@@ -1,0 +1,456 @@
+//! Aggregates with explicit, *mergeable* partial states.
+//!
+//! [`AggState`] is the cornerstone of DataCell's incremental sliding-window
+//! processing: a window is split into basic windows, each basic window keeps
+//! its partial `AggState`, and the window result is the merge of the cached
+//! partials ("the resulting partial results are then merged to yield the
+//! complete window result", paper §3). Merging never needs retraction —
+//! expiry drops whole basic-window partials instead.
+
+use datacell_storage::{Bat, DataType, Value};
+
+use crate::candidates::Candidates;
+use crate::error::{AlgebraError, Result};
+use crate::group::GroupMap;
+
+/// Supported aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggKind {
+    /// `COUNT(*)` — counts rows including NULLs.
+    CountStar,
+    /// `COUNT(x)` — counts non-NULL values.
+    Count,
+    /// `SUM(x)`.
+    Sum,
+    /// `AVG(x)`.
+    Avg,
+    /// `MIN(x)`.
+    Min,
+    /// `MAX(x)`.
+    Max,
+}
+
+impl AggKind {
+    /// SQL spelling.
+    pub fn sql(self) -> &'static str {
+        match self {
+            AggKind::CountStar => "COUNT(*)",
+            AggKind::Count => "COUNT",
+            AggKind::Sum => "SUM",
+            AggKind::Avg => "AVG",
+            AggKind::Min => "MIN",
+            AggKind::Max => "MAX",
+        }
+    }
+
+    /// Output type given the input column type.
+    pub fn output_type(self, input: DataType) -> Result<DataType> {
+        match self {
+            AggKind::CountStar | AggKind::Count => Ok(DataType::Int),
+            AggKind::Avg => {
+                if input.is_numeric() {
+                    Ok(DataType::Float)
+                } else {
+                    Err(AlgebraError::UnsupportedType { op: "AVG", ty: input })
+                }
+            }
+            AggKind::Sum => {
+                if input.is_numeric() {
+                    Ok(if input == DataType::Float { DataType::Float } else { DataType::Int })
+                } else {
+                    Err(AlgebraError::UnsupportedType { op: "SUM", ty: input })
+                }
+            }
+            AggKind::Min | AggKind::Max => Ok(input),
+        }
+    }
+
+    /// Whether the aggregate needs an argument column.
+    pub fn needs_input(self) -> bool {
+        self != AggKind::CountStar
+    }
+}
+
+/// A mergeable partial aggregate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggState {
+    kind: AggKind,
+    /// Rows seen (including NULLs) — for COUNT(*).
+    rows: u64,
+    /// Non-NULL contributions — for COUNT/AVG denominators.
+    count: u64,
+    sum_int: i64,
+    sum_float: f64,
+    /// Whether any float value contributed (switches SUM/AVG output).
+    float: bool,
+    min: Option<Value>,
+    max: Option<Value>,
+}
+
+impl AggState {
+    /// Fresh empty state.
+    pub fn new(kind: AggKind) -> Self {
+        AggState {
+            kind,
+            rows: 0,
+            count: 0,
+            sum_int: 0,
+            sum_float: 0.0,
+            float: false,
+            min: None,
+            max: None,
+        }
+    }
+
+    /// The aggregate this state computes.
+    pub fn kind(&self) -> AggKind {
+        self.kind
+    }
+
+    /// Rows folded in so far (incl. NULLs).
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    /// Fold one value in.
+    pub fn update(&mut self, value: &Value) {
+        self.rows += 1;
+        if value.is_null() {
+            return;
+        }
+        self.count += 1;
+        match self.kind {
+            AggKind::CountStar | AggKind::Count => {}
+            AggKind::Sum | AggKind::Avg => match value {
+                Value::Int(i) | Value::Timestamp(i) => self.sum_int = self.sum_int.wrapping_add(*i),
+                Value::Float(x) => {
+                    self.float = true;
+                    self.sum_float += x;
+                }
+                _ => {}
+            },
+            AggKind::Min => {
+                let better = match &self.min {
+                    None => true,
+                    Some(m) => matches!(value.sql_cmp(m), Some(std::cmp::Ordering::Less)),
+                };
+                if better {
+                    self.min = Some(value.clone());
+                }
+            }
+            AggKind::Max => {
+                let better = match &self.max {
+                    None => true,
+                    Some(m) => matches!(value.sql_cmp(m), Some(std::cmp::Ordering::Greater)),
+                };
+                if better {
+                    self.max = Some(value.clone());
+                }
+            }
+        }
+    }
+
+    /// Fold a whole column (restricted to `cand`) in bulk, with typed fast
+    /// paths — this is the per-basic-window computation.
+    pub fn update_bulk(&mut self, bat: &Bat, cand: Option<&Candidates>) {
+        let full = Candidates::all(bat);
+        let cand = cand.unwrap_or(&full);
+        let positions = cand.positions_in(bat);
+
+        // Fast paths: no NULLs, primitive layouts.
+        if !bat.has_nulls() {
+            match self.kind {
+                AggKind::CountStar | AggKind::Count => {
+                    self.rows += positions.len() as u64;
+                    self.count += positions.len() as u64;
+                    return;
+                }
+                AggKind::Sum | AggKind::Avg => {
+                    if let Some(ints) = bat.data().as_ints() {
+                        let mut s = 0i64;
+                        for &p in &positions {
+                            s = s.wrapping_add(ints[p]);
+                        }
+                        self.sum_int = self.sum_int.wrapping_add(s);
+                        self.rows += positions.len() as u64;
+                        self.count += positions.len() as u64;
+                        return;
+                    }
+                    if let Some(floats) = bat.data().as_floats() {
+                        let mut s = 0.0f64;
+                        for &p in &positions {
+                            s += floats[p];
+                        }
+                        self.sum_float += s;
+                        self.float = true;
+                        self.rows += positions.len() as u64;
+                        self.count += positions.len() as u64;
+                        return;
+                    }
+                }
+                AggKind::Min | AggKind::Max => {
+                    if let Some(ints) = bat.data().as_ints() {
+                        let it = positions.iter().map(|&p| ints[p]);
+                        let best = if self.kind == AggKind::Min { it.min() } else { it.max() };
+                        if let Some(b) = best {
+                            let wrap = if bat.data_type() == DataType::Timestamp {
+                                Value::Timestamp(b)
+                            } else {
+                                Value::Int(b)
+                            };
+                            self.rows += positions.len() as u64 - 1;
+                            self.update(&wrap);
+                            self.count += positions.len() as u64 - 1;
+                        }
+                        return;
+                    }
+                }
+            }
+        }
+
+        for &p in &positions {
+            self.update(&bat.get_at(p));
+        }
+    }
+
+    /// Merge another partial in (associative, commutative).
+    pub fn merge(&mut self, other: &AggState) {
+        debug_assert_eq!(self.kind, other.kind, "cannot merge different aggregates");
+        self.rows += other.rows;
+        self.count += other.count;
+        self.sum_int = self.sum_int.wrapping_add(other.sum_int);
+        self.sum_float += other.sum_float;
+        self.float |= other.float;
+        if let Some(m) = &other.min {
+            let better = match &self.min {
+                None => true,
+                Some(cur) => matches!(m.sql_cmp(cur), Some(std::cmp::Ordering::Less)),
+            };
+            if better {
+                self.min = Some(m.clone());
+            }
+        }
+        if let Some(m) = &other.max {
+            let better = match &self.max {
+                None => true,
+                Some(cur) => matches!(m.sql_cmp(cur), Some(std::cmp::Ordering::Greater)),
+            };
+            if better {
+                self.max = Some(m.clone());
+            }
+        }
+    }
+
+    /// Final SQL value. Empty SUM/AVG/MIN/MAX are NULL; COUNT of nothing is 0.
+    pub fn finalize(&self) -> Value {
+        match self.kind {
+            AggKind::CountStar => Value::Int(self.rows as i64),
+            AggKind::Count => Value::Int(self.count as i64),
+            AggKind::Sum => {
+                if self.count == 0 {
+                    Value::Null
+                } else if self.float {
+                    Value::Float(self.sum_float + self.sum_int as f64)
+                } else {
+                    Value::Int(self.sum_int)
+                }
+            }
+            AggKind::Avg => {
+                if self.count == 0 {
+                    Value::Null
+                } else {
+                    Value::Float((self.sum_float + self.sum_int as f64) / self.count as f64)
+                }
+            }
+            AggKind::Min => self.min.clone().unwrap_or(Value::Null),
+            AggKind::Max => self.max.clone().unwrap_or(Value::Null),
+        }
+    }
+}
+
+/// Aggregate a whole column into one state.
+pub fn aggregate_all(kind: AggKind, bat: &Bat, cand: Option<&Candidates>) -> AggState {
+    let mut s = AggState::new(kind);
+    s.update_bulk(bat, cand);
+    s
+}
+
+/// Grouped aggregation: one state per group. `values` must be the column the
+/// grouping was computed over (same length/alignment), and `cand` the same
+/// candidate list passed to `group_by`.
+pub fn aggregate_groups(
+    kind: AggKind,
+    values: &Bat,
+    map: &GroupMap,
+    cand: Option<&Candidates>,
+) -> Result<Vec<AggState>> {
+    let full = Candidates::all(values);
+    let cand = cand.unwrap_or(&full);
+    let positions = cand.positions_in(values);
+    if positions.len() != map.len() {
+        return Err(AlgebraError::GroupMismatch {
+            groups: map.len(),
+            values: positions.len(),
+        });
+    }
+    let mut states = vec![AggState::new(kind); map.ngroups()];
+    for (row, &pos) in positions.iter().enumerate() {
+        states[map.ids[row] as usize].update(&values.get_at(pos));
+    }
+    Ok(states)
+}
+
+/// Merge two aligned per-group state vectors (groups must correspond).
+pub fn merge_group_states(into: &mut Vec<AggState>, other: &[AggState]) {
+    debug_assert_eq!(into.len(), other.len());
+    for (a, b) in into.iter_mut().zip(other) {
+        a.merge(b);
+    }
+}
+
+/// Materialize finalized states as a BAT of `ty`.
+pub fn states_to_bat(states: &[AggState], ty: DataType) -> Result<Bat> {
+    let mut out = Bat::new(ty);
+    for s in states {
+        out.push(&s.finalize().coerce(ty).unwrap_or(Value::Null))?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::group::group_by;
+
+    #[test]
+    fn scalar_aggregates() {
+        let b = Bat::from_ints(vec![3, 1, 4, 1, 5]);
+        assert_eq!(aggregate_all(AggKind::Sum, &b, None).finalize(), Value::Int(14));
+        assert_eq!(aggregate_all(AggKind::Min, &b, None).finalize(), Value::Int(1));
+        assert_eq!(aggregate_all(AggKind::Max, &b, None).finalize(), Value::Int(5));
+        assert_eq!(aggregate_all(AggKind::Count, &b, None).finalize(), Value::Int(5));
+        assert_eq!(aggregate_all(AggKind::Avg, &b, None).finalize(), Value::Float(2.8));
+    }
+
+    #[test]
+    fn empty_aggregates() {
+        let b = Bat::from_ints(vec![]);
+        assert_eq!(aggregate_all(AggKind::Sum, &b, None).finalize(), Value::Null);
+        assert_eq!(aggregate_all(AggKind::Avg, &b, None).finalize(), Value::Null);
+        assert_eq!(aggregate_all(AggKind::Min, &b, None).finalize(), Value::Null);
+        assert_eq!(aggregate_all(AggKind::CountStar, &b, None).finalize(), Value::Int(0));
+    }
+
+    #[test]
+    fn nulls_skipped_but_counted_by_count_star() {
+        let mut b = Bat::new(DataType::Int);
+        b.push(&Value::Int(2)).unwrap();
+        b.push(&Value::Null).unwrap();
+        b.push(&Value::Int(4)).unwrap();
+        assert_eq!(aggregate_all(AggKind::CountStar, &b, None).finalize(), Value::Int(3));
+        assert_eq!(aggregate_all(AggKind::Count, &b, None).finalize(), Value::Int(2));
+        assert_eq!(aggregate_all(AggKind::Sum, &b, None).finalize(), Value::Int(6));
+        assert_eq!(aggregate_all(AggKind::Avg, &b, None).finalize(), Value::Float(3.0));
+    }
+
+    #[test]
+    fn merge_equals_whole_computation() {
+        let all = Bat::from_ints(vec![5, 2, 9, 2, 7, 1]);
+        let left = Bat::from_ints(vec![5, 2, 9]);
+        let right = Bat::from_ints(vec![2, 7, 1]);
+        for kind in [AggKind::Sum, AggKind::Avg, AggKind::Min, AggKind::Max, AggKind::Count] {
+            let whole = aggregate_all(kind, &all, None);
+            let mut merged = aggregate_all(kind, &left, None);
+            merged.merge(&aggregate_all(kind, &right, None));
+            assert_eq!(whole.finalize(), merged.finalize(), "kind {kind:?}");
+        }
+    }
+
+    #[test]
+    fn candidate_restricted_aggregate() {
+        let b = Bat::from_vector(vec![10i64, 20, 30].into(), 100);
+        let cand = Candidates::List(vec![100, 102]);
+        assert_eq!(
+            aggregate_all(AggKind::Sum, &b, Some(&cand)).finalize(),
+            Value::Int(40)
+        );
+    }
+
+    #[test]
+    fn grouped_aggregation() {
+        let keys = Bat::from_ints(vec![1, 2, 1, 2, 1]);
+        let vals = Bat::from_ints(vec![10, 20, 30, 40, 50]);
+        let map = group_by(&[&keys], None).unwrap();
+        let sums = aggregate_groups(AggKind::Sum, &vals, &map, None).unwrap();
+        assert_eq!(sums[0].finalize(), Value::Int(90));
+        assert_eq!(sums[1].finalize(), Value::Int(60));
+        let bat = states_to_bat(&sums, DataType::Int).unwrap();
+        assert_eq!(bat.data().as_ints().unwrap(), &[90, 60]);
+    }
+
+    #[test]
+    fn grouped_merge_across_partials() {
+        // Two "basic windows" over the same two groups.
+        let k1 = Bat::from_ints(vec![1, 2]);
+        let v1 = Bat::from_ints(vec![1, 10]);
+        let k2 = Bat::from_ints(vec![1, 2]);
+        let v2 = Bat::from_ints(vec![2, 20]);
+        let m1 = group_by(&[&k1], None).unwrap();
+        let m2 = group_by(&[&k2], None).unwrap();
+        let mut s1 = aggregate_groups(AggKind::Sum, &v1, &m1, None).unwrap();
+        let s2 = aggregate_groups(AggKind::Sum, &v2, &m2, None).unwrap();
+        merge_group_states(&mut s1, &s2);
+        assert_eq!(s1[0].finalize(), Value::Int(3));
+        assert_eq!(s1[1].finalize(), Value::Int(30));
+    }
+
+    #[test]
+    fn float_sum_switches_output() {
+        let b = Bat::from_floats(vec![0.5, 0.25]);
+        assert_eq!(aggregate_all(AggKind::Sum, &b, None).finalize(), Value::Float(0.75));
+    }
+
+    #[test]
+    fn output_types() {
+        assert_eq!(AggKind::Sum.output_type(DataType::Int).unwrap(), DataType::Int);
+        assert_eq!(AggKind::Sum.output_type(DataType::Float).unwrap(), DataType::Float);
+        assert_eq!(AggKind::Avg.output_type(DataType::Int).unwrap(), DataType::Float);
+        assert_eq!(AggKind::Min.output_type(DataType::Str).unwrap(), DataType::Str);
+        assert!(AggKind::Sum.output_type(DataType::Str).is_err());
+        assert_eq!(AggKind::Count.output_type(DataType::Str).unwrap(), DataType::Int);
+    }
+
+    #[test]
+    fn min_max_on_strings() {
+        let b = Bat::from_vector(
+            Vector::from(vec!["pear".to_string(), "apple".into(), "zed".into()]),
+            0,
+        );
+        assert_eq!(
+            aggregate_all(AggKind::Min, &b, None).finalize(),
+            Value::Str("apple".into())
+        );
+        assert_eq!(
+            aggregate_all(AggKind::Max, &b, None).finalize(),
+            Value::Str("zed".into())
+        );
+    }
+    use datacell_storage::{DataType, Vector};
+
+    #[test]
+    fn group_mismatch_detected() {
+        let keys = Bat::from_ints(vec![1, 2]);
+        let vals = Bat::from_ints(vec![1, 2, 3]);
+        let map = group_by(&[&keys], None).unwrap();
+        assert!(aggregate_groups(AggKind::Sum, &vals, &map, None).is_err());
+    }
+
+    #[test]
+    fn timestamp_min_max_wrap() {
+        let b = Bat::from_vector(Vector::Timestamp(vec![30, 10, 20]), 0);
+        assert_eq!(
+            aggregate_all(AggKind::Min, &b, None).finalize(),
+            Value::Timestamp(10)
+        );
+    }
+}

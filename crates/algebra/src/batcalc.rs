@@ -1,0 +1,345 @@
+//! Element-wise bulk arithmetic over BATs (MonetDB's `batcalc` module).
+//!
+//! Used by projection expressions (`SELECT a * b + 1 …`). NULLs propagate:
+//! if either operand is NULL the result is NULL. Integer division by zero
+//! yields NULL (matching MonetDB's permissive bulk semantics) rather than
+//! aborting a whole vectorised batch.
+
+use datacell_storage::{Bat, DataType, Value, Vector};
+
+use crate::error::{AlgebraError, Result};
+
+/// Arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArithOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+    /// Remainder.
+    Mod,
+}
+
+impl ArithOp {
+    /// SQL spelling.
+    pub fn sql(self) -> &'static str {
+        match self {
+            ArithOp::Add => "+",
+            ArithOp::Sub => "-",
+            ArithOp::Mul => "*",
+            ArithOp::Div => "/",
+            ArithOp::Mod => "%",
+        }
+    }
+
+    fn apply_int(self, a: i64, b: i64) -> Option<i64> {
+        match self {
+            ArithOp::Add => Some(a.wrapping_add(b)),
+            ArithOp::Sub => Some(a.wrapping_sub(b)),
+            ArithOp::Mul => Some(a.wrapping_mul(b)),
+            ArithOp::Div => {
+                if b == 0 {
+                    None
+                } else {
+                    Some(a.wrapping_div(b))
+                }
+            }
+            ArithOp::Mod => {
+                if b == 0 {
+                    None
+                } else {
+                    Some(a.wrapping_rem(b))
+                }
+            }
+        }
+    }
+
+    fn apply_float(self, a: f64, b: f64) -> f64 {
+        match self {
+            ArithOp::Add => a + b,
+            ArithOp::Sub => a - b,
+            ArithOp::Mul => a * b,
+            ArithOp::Div => a / b,
+            ArithOp::Mod => a % b,
+        }
+    }
+}
+
+/// Result type of `left op right`, mirroring [`DataType::arith_result`].
+pub fn result_type(op: ArithOp, left: DataType, right: DataType) -> Result<DataType> {
+    left.arith_result(right).ok_or(AlgebraError::TypeCombination {
+        op: op.sql(),
+        left,
+        right,
+    })
+}
+
+enum Operand<'a> {
+    Col(&'a Bat),
+    Const(&'a Value),
+}
+
+impl Operand<'_> {
+    fn ty(&self, op: ArithOp) -> Result<DataType> {
+        match self {
+            Operand::Col(b) => Ok(b.data_type()),
+            Operand::Const(v) => v.data_type().ok_or(AlgebraError::UnsupportedType {
+                op: op.sql(),
+                ty: DataType::Bool, // NULL constant: folded by the caller
+            }),
+        }
+    }
+
+    fn len_or(&self, other_len: usize) -> usize {
+        match self {
+            Operand::Col(b) => b.len(),
+            Operand::Const(_) => other_len,
+        }
+    }
+
+    fn is_null_at(&self, i: usize) -> bool {
+        match self {
+            Operand::Col(b) => b.is_null_at(i),
+            Operand::Const(v) => v.is_null(),
+        }
+    }
+
+    fn int_at(&self, i: usize) -> i64 {
+        match self {
+            Operand::Col(b) => b.data().as_ints().map(|s| s[i]).unwrap_or_else(|| {
+                b.data().as_floats().map(|s| s[i] as i64).unwrap_or(0)
+            }),
+            Operand::Const(v) => v.as_int().unwrap_or(0),
+        }
+    }
+
+    fn float_at(&self, i: usize) -> f64 {
+        match self {
+            Operand::Col(b) => b
+                .data()
+                .as_floats()
+                .map(|s| s[i])
+                .or_else(|| b.data().as_ints().map(|s| s[i] as f64))
+                .unwrap_or(0.0),
+            Operand::Const(v) => v.as_float().unwrap_or(0.0),
+        }
+    }
+}
+
+fn arith(op: ArithOp, left: Operand<'_>, right: Operand<'_>) -> Result<Bat> {
+    let lt = left.ty(op)?;
+    let rt = right.ty(op)?;
+    let out_ty = result_type(op, lt, rt)?;
+    let len = match (&left, &right) {
+        (Operand::Col(a), Operand::Col(b)) => {
+            if a.len() != b.len() {
+                return Err(AlgebraError::LengthMismatch { left: a.len(), right: b.len() });
+            }
+            a.len()
+        }
+        _ => left.len_or(right.len_or(0)),
+    };
+
+    let mut validity: Option<Vec<bool>> = None;
+    let mark_null = |validity: &mut Option<Vec<bool>>, i: usize| {
+        validity.get_or_insert_with(|| vec![true; len])[i] = false;
+    };
+
+    let data = match out_ty {
+        DataType::Int | DataType::Timestamp => {
+            let mut out = vec![0i64; len];
+            for (i, slot) in out.iter_mut().enumerate() {
+                if left.is_null_at(i) || right.is_null_at(i) {
+                    mark_null(&mut validity, i);
+                    continue;
+                }
+                match op.apply_int(left.int_at(i), right.int_at(i)) {
+                    Some(v) => *slot = v,
+                    None => mark_null(&mut validity, i),
+                }
+            }
+            if out_ty == DataType::Timestamp {
+                Vector::Timestamp(out)
+            } else {
+                Vector::Int(out)
+            }
+        }
+        DataType::Float => {
+            let mut out = vec![0.0f64; len];
+            for (i, slot) in out.iter_mut().enumerate() {
+                if left.is_null_at(i) || right.is_null_at(i) {
+                    mark_null(&mut validity, i);
+                    continue;
+                }
+                *slot = op.apply_float(left.float_at(i), right.float_at(i));
+            }
+            Vector::Float(out)
+        }
+        other => {
+            return Err(AlgebraError::UnsupportedType { op: op.sql(), ty: other });
+        }
+    };
+    Ok(Bat::from_parts(data, 0, validity).expect("validity sized to len"))
+}
+
+/// `left op right` over two aligned columns.
+pub fn arith_cols(op: ArithOp, left: &Bat, right: &Bat) -> Result<Bat> {
+    arith(op, Operand::Col(left), Operand::Col(right))
+}
+
+/// `left op constant`.
+pub fn arith_const(op: ArithOp, left: &Bat, constant: &Value) -> Result<Bat> {
+    if constant.is_null() {
+        // NULL constant: whole result is NULL of the left type.
+        let validity = vec![false; left.len()];
+        let data = Vector::with_capacity(left.data_type(), 0);
+        let mut filled = data;
+        for _ in 0..left.len() {
+            filled.push(&Value::Null)?;
+        }
+        return Ok(Bat::from_parts(filled, 0, Some(validity))?);
+    }
+    arith(op, Operand::Col(left), Operand::Const(constant))
+}
+
+/// `constant op right`.
+pub fn arith_const_left(op: ArithOp, constant: &Value, right: &Bat) -> Result<Bat> {
+    if constant.is_null() {
+        return arith_const(op, right, constant);
+    }
+    arith(op, Operand::Const(constant), Operand::Col(right))
+}
+
+/// Unary negation.
+pub fn negate(bat: &Bat) -> Result<Bat> {
+    arith_const_left(ArithOp::Sub, &Value::Int(0), bat)
+}
+
+/// Cast a whole column to `target` using [`Value::coerce`] semantics.
+pub fn cast(bat: &Bat, target: DataType) -> Result<Bat> {
+    if bat.data_type() == target {
+        return Ok(bat.clone());
+    }
+    let mut out = Bat::new(target);
+    for i in 0..bat.len() {
+        let v = bat.get_at(i);
+        let coerced = v.coerce(target).ok_or(AlgebraError::UnsupportedType {
+            op: "cast",
+            ty: bat.data_type(),
+        })?;
+        out.push(&coerced)?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_col_col() {
+        let a = Bat::from_ints(vec![1, 2, 3]);
+        let b = Bat::from_ints(vec![10, 20, 30]);
+        let r = arith_cols(ArithOp::Add, &a, &b).unwrap();
+        assert_eq!(r.data().as_ints().unwrap(), &[11, 22, 33]);
+        assert_eq!(r.data_type(), DataType::Int);
+    }
+
+    #[test]
+    fn mixed_int_float_widens() {
+        let a = Bat::from_ints(vec![1, 2]);
+        let b = Bat::from_floats(vec![0.5, 0.5]);
+        let r = arith_cols(ArithOp::Mul, &a, &b).unwrap();
+        assert_eq!(r.data_type(), DataType::Float);
+        assert_eq!(r.data().as_floats().unwrap(), &[0.5, 1.0]);
+    }
+
+    #[test]
+    fn const_operand() {
+        let a = Bat::from_ints(vec![3, 6]);
+        let r = arith_const(ArithOp::Div, &a, &Value::Int(3)).unwrap();
+        assert_eq!(r.data().as_ints().unwrap(), &[1, 2]);
+        let r = arith_const_left(ArithOp::Sub, &Value::Int(10), &a).unwrap();
+        assert_eq!(r.data().as_ints().unwrap(), &[7, 4]);
+    }
+
+    #[test]
+    fn div_by_zero_yields_null() {
+        let a = Bat::from_ints(vec![4, 8]);
+        let b = Bat::from_ints(vec![2, 0]);
+        let r = arith_cols(ArithOp::Div, &a, &b).unwrap();
+        assert_eq!(r.get_at(0), Value::Int(2));
+        assert_eq!(r.get_at(1), Value::Null);
+    }
+
+    #[test]
+    fn null_propagates() {
+        let mut a = Bat::new(DataType::Int);
+        a.push(&Value::Int(1)).unwrap();
+        a.push(&Value::Null).unwrap();
+        let r = arith_const(ArithOp::Add, &a, &Value::Int(1)).unwrap();
+        assert_eq!(r.get_at(0), Value::Int(2));
+        assert_eq!(r.get_at(1), Value::Null);
+    }
+
+    #[test]
+    fn null_constant_nullifies_all() {
+        let a = Bat::from_ints(vec![1, 2]);
+        let r = arith_const(ArithOp::Add, &a, &Value::Null).unwrap();
+        assert_eq!(r.get_at(0), Value::Null);
+        assert_eq!(r.get_at(1), Value::Null);
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let a = Bat::from_ints(vec![1]);
+        let b = Bat::from_ints(vec![1, 2]);
+        assert!(matches!(
+            arith_cols(ArithOp::Add, &a, &b),
+            Err(AlgebraError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn string_arith_rejected() {
+        let a = Bat::from_vector(
+            Vector::from(vec!["x".to_string()]),
+            0,
+        );
+        let b = Bat::from_ints(vec![1]);
+        assert!(arith_cols(ArithOp::Add, &a, &b).is_err());
+    }
+
+    #[test]
+    fn timestamp_arithmetic() {
+        let ts = Bat::from_vector(Vector::Timestamp(vec![100, 200]), 0);
+        let r = arith_const(ArithOp::Add, &ts, &Value::Int(5)).unwrap();
+        assert_eq!(r.data_type(), DataType::Timestamp);
+        assert_eq!(r.data().as_ints().unwrap(), &[105, 205]);
+        // timestamp - timestamp = int (duration)
+        let d = arith_cols(ArithOp::Sub, &ts, &ts).unwrap();
+        assert_eq!(d.data_type(), DataType::Int);
+    }
+
+    #[test]
+    fn negate_and_cast() {
+        let a = Bat::from_ints(vec![5, -3]);
+        let n = negate(&a).unwrap();
+        assert_eq!(n.data().as_ints().unwrap(), &[-5, 3]);
+        let f = cast(&a, DataType::Float).unwrap();
+        assert_eq!(f.data().as_floats().unwrap(), &[5.0, -3.0]);
+        let same = cast(&a, DataType::Int).unwrap();
+        assert_eq!(same, a);
+    }
+
+    #[test]
+    fn mod_semantics() {
+        let a = Bat::from_ints(vec![7, -7]);
+        let r = arith_const(ArithOp::Mod, &a, &Value::Int(3)).unwrap();
+        assert_eq!(r.data().as_ints().unwrap(), &[1, -1]);
+    }
+}

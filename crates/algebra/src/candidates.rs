@@ -1,0 +1,359 @@
+//! Candidate lists: sorted OID selection vectors.
+//!
+//! MonetDB operators take an optional *candidate list* restricting which
+//! tuples they may touch; selections produce candidate lists instead of
+//! materialized columns. This is what makes chained predicates cheap and is
+//! the intermediate DataCell caches between window slides ("these
+//! intermediates can be exploited for flexible incremental processing
+//! strategies", paper §3).
+//!
+//! Two representations are kept, as in MonetDB: a dense OID range (the
+//! common case for freshly scanned baskets) and an explicit sorted list.
+
+use datacell_storage::{Bat, Oid};
+
+/// A sorted set of candidate OIDs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Candidates {
+    /// The dense range `[lo, hi)`.
+    Range(Oid, Oid),
+    /// An explicit, strictly ascending list of OIDs.
+    List(Vec<Oid>),
+}
+
+impl Candidates {
+    /// All OIDs of `bat`.
+    pub fn all(bat: &Bat) -> Self {
+        Candidates::Range(bat.oid_base(), bat.oid_end())
+    }
+
+    /// The empty candidate set.
+    pub fn empty() -> Self {
+        Candidates::Range(0, 0)
+    }
+
+    /// A range `[lo, hi)`; normalized so `hi >= lo`.
+    pub fn range(lo: Oid, hi: Oid) -> Self {
+        Candidates::Range(lo, hi.max(lo))
+    }
+
+    /// From a sorted, deduplicated OID list. Collapses to a range when dense.
+    pub fn from_sorted(oids: Vec<Oid>) -> Self {
+        debug_assert!(oids.windows(2).all(|w| w[0] < w[1]), "candidates must be ascending");
+        if let (Some(&first), Some(&last)) = (oids.first(), oids.last()) {
+            if last - first + 1 == oids.len() as u64 {
+                return Candidates::Range(first, last + 1);
+            }
+        } else {
+            return Candidates::empty();
+        }
+        Candidates::List(oids)
+    }
+
+    /// Number of candidates.
+    pub fn len(&self) -> usize {
+        match self {
+            Candidates::Range(lo, hi) => (hi - lo) as usize,
+            Candidates::List(v) => v.len(),
+        }
+    }
+
+    /// True iff no candidates.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True iff stored as a dense range.
+    pub fn is_dense(&self) -> bool {
+        matches!(self, Candidates::Range(..))
+    }
+
+    /// Iterate the OIDs in ascending order.
+    pub fn iter(&self) -> CandIter<'_> {
+        match self {
+            Candidates::Range(lo, hi) => CandIter::Range(*lo, *hi),
+            Candidates::List(v) => CandIter::List(v.iter()),
+        }
+    }
+
+    /// Membership test (O(1) for ranges, O(log n) for lists).
+    pub fn contains(&self, oid: Oid) -> bool {
+        match self {
+            Candidates::Range(lo, hi) => oid >= *lo && oid < *hi,
+            Candidates::List(v) => v.binary_search(&oid).is_ok(),
+        }
+    }
+
+    /// First OID, if any.
+    pub fn first(&self) -> Option<Oid> {
+        match self {
+            Candidates::Range(lo, hi) if lo < hi => Some(*lo),
+            Candidates::Range(..) => None,
+            Candidates::List(v) => v.first().copied(),
+        }
+    }
+
+    /// Last OID, if any.
+    pub fn last(&self) -> Option<Oid> {
+        match self {
+            Candidates::Range(lo, hi) if lo < hi => Some(hi - 1),
+            Candidates::Range(..) => None,
+            Candidates::List(v) => v.last().copied(),
+        }
+    }
+
+    /// Intersect with another candidate set (both sorted ⇒ linear merge;
+    /// range×range stays a range).
+    pub fn intersect(&self, other: &Candidates) -> Candidates {
+        match (self, other) {
+            (Candidates::Range(a, b), Candidates::Range(c, d)) => {
+                let lo = *a.max(c);
+                let hi = *b.min(d);
+                Candidates::range(lo, hi)
+            }
+            (Candidates::Range(lo, hi), Candidates::List(v))
+            | (Candidates::List(v), Candidates::Range(lo, hi)) => {
+                let out: Vec<Oid> =
+                    v.iter().copied().filter(|o| o >= lo && o < hi).collect();
+                Candidates::from_sorted(out)
+            }
+            (Candidates::List(a), Candidates::List(b)) => {
+                let mut out = Vec::with_capacity(a.len().min(b.len()));
+                let (mut i, mut j) = (0, 0);
+                while i < a.len() && j < b.len() {
+                    match a[i].cmp(&b[j]) {
+                        std::cmp::Ordering::Less => i += 1,
+                        std::cmp::Ordering::Greater => j += 1,
+                        std::cmp::Ordering::Equal => {
+                            out.push(a[i]);
+                            i += 1;
+                            j += 1;
+                        }
+                    }
+                }
+                Candidates::from_sorted(out)
+            }
+        }
+    }
+
+    /// Union with another candidate set (sorted merge, deduplicating).
+    pub fn union(&self, other: &Candidates) -> Candidates {
+        // Fast path: adjacent/overlapping ranges stay ranges.
+        if let (Candidates::Range(a, b), Candidates::Range(c, d)) = (self, other) {
+            if self.is_empty() {
+                return other.clone();
+            }
+            if other.is_empty() {
+                return self.clone();
+            }
+            if *a <= *d && *c <= *b {
+                return Candidates::Range(*a.min(c), *b.max(d));
+            }
+        }
+        let mut out = Vec::with_capacity(self.len() + other.len());
+        let mut ai = self.iter().peekable();
+        let mut bi = other.iter().peekable();
+        loop {
+            match (ai.peek(), bi.peek()) {
+                (Some(&x), Some(&y)) => {
+                    if x < y {
+                        out.push(x);
+                        ai.next();
+                    } else if y < x {
+                        out.push(y);
+                        bi.next();
+                    } else {
+                        out.push(x);
+                        ai.next();
+                        bi.next();
+                    }
+                }
+                (Some(&x), None) => {
+                    out.push(x);
+                    ai.next();
+                }
+                (None, Some(&y)) => {
+                    out.push(y);
+                    bi.next();
+                }
+                (None, None) => break,
+            }
+        }
+        Candidates::from_sorted(out)
+    }
+
+    /// Complement within the universe `[lo, hi)` (for NOT predicates).
+    pub fn complement(&self, lo: Oid, hi: Oid) -> Candidates {
+        let mut out = Vec::new();
+        let mut cur = lo;
+        for oid in self.iter() {
+            if oid >= hi {
+                break;
+            }
+            if oid < lo {
+                continue;
+            }
+            while cur < oid {
+                out.push(cur);
+                cur += 1;
+            }
+            cur = oid + 1;
+        }
+        while cur < hi {
+            out.push(cur);
+            cur += 1;
+        }
+        Candidates::from_sorted(out)
+    }
+
+    /// Physical positions of the candidates within `bat`
+    /// (candidates outside the BAT's OID range are skipped).
+    pub fn positions_in(&self, bat: &Bat) -> Vec<usize> {
+        let base = bat.oid_base();
+        let end = bat.oid_end();
+        match self {
+            Candidates::Range(lo, hi) => {
+                let lo = (*lo).clamp(base, end);
+                let hi = (*hi).clamp(lo, end);
+                ((lo - base) as usize..(hi - base) as usize).collect()
+            }
+            Candidates::List(v) => v
+                .iter()
+                .filter(|&&o| o >= base && o < end)
+                .map(|&o| (o - base) as usize)
+                .collect(),
+        }
+    }
+
+    /// Collect into an explicit OID vector.
+    pub fn to_vec(&self) -> Vec<Oid> {
+        self.iter().collect()
+    }
+}
+
+/// Iterator over candidate OIDs.
+pub enum CandIter<'a> {
+    /// Remaining dense range.
+    Range(Oid, Oid),
+    /// Remaining explicit list.
+    List(std::slice::Iter<'a, Oid>),
+}
+
+impl Iterator for CandIter<'_> {
+    type Item = Oid;
+
+    fn next(&mut self) -> Option<Oid> {
+        match self {
+            CandIter::Range(lo, hi) => {
+                if lo < hi {
+                    let v = *lo;
+                    *lo += 1;
+                    Some(v)
+                } else {
+                    None
+                }
+            }
+            CandIter::List(it) => it.next().copied(),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = match self {
+            CandIter::Range(lo, hi) => (*hi - *lo) as usize,
+            CandIter::List(it) => it.len(),
+        };
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for CandIter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_detection() {
+        assert_eq!(Candidates::from_sorted(vec![3, 4, 5]), Candidates::Range(3, 6));
+        assert_eq!(
+            Candidates::from_sorted(vec![3, 5]),
+            Candidates::List(vec![3, 5])
+        );
+        assert_eq!(Candidates::from_sorted(vec![]), Candidates::empty());
+    }
+
+    #[test]
+    fn len_and_iter() {
+        let c = Candidates::range(10, 13);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.to_vec(), vec![10, 11, 12]);
+        let l = Candidates::List(vec![1, 4, 9]);
+        assert_eq!(l.iter().collect::<Vec<_>>(), vec![1, 4, 9]);
+    }
+
+    #[test]
+    fn intersect_range_range() {
+        let a = Candidates::range(0, 10);
+        let b = Candidates::range(5, 20);
+        assert_eq!(a.intersect(&b), Candidates::Range(5, 10));
+        let disjoint = Candidates::range(0, 3).intersect(&Candidates::range(7, 9));
+        assert!(disjoint.is_empty());
+    }
+
+    #[test]
+    fn intersect_mixed() {
+        let r = Candidates::range(2, 8);
+        let l = Candidates::List(vec![1, 3, 5, 9]);
+        assert_eq!(r.intersect(&l), Candidates::List(vec![3, 5]));
+        assert_eq!(l.intersect(&r), Candidates::List(vec![3, 5]));
+    }
+
+    #[test]
+    fn intersect_list_list() {
+        let a = Candidates::List(vec![1, 3, 5, 7]);
+        let b = Candidates::List(vec![3, 4, 7, 10]);
+        assert_eq!(a.intersect(&b), Candidates::List(vec![3, 7]));
+    }
+
+    #[test]
+    fn union_merges() {
+        let a = Candidates::List(vec![1, 5]);
+        let b = Candidates::List(vec![2, 5, 8]);
+        assert_eq!(a.union(&b), Candidates::List(vec![1, 2, 5, 8]));
+        // touching ranges collapse
+        let r = Candidates::range(0, 5).union(&Candidates::range(5, 9));
+        assert_eq!(r, Candidates::Range(0, 9));
+        // union turning dense
+        let d = Candidates::List(vec![1, 3]).union(&Candidates::List(vec![2]));
+        assert_eq!(d, Candidates::Range(1, 4));
+    }
+
+    #[test]
+    fn complement_within_universe() {
+        let c = Candidates::List(vec![2, 4]);
+        assert_eq!(c.complement(0, 6), Candidates::List(vec![0, 1, 3, 5]));
+        let all = Candidates::range(0, 4);
+        assert!(all.complement(0, 4).is_empty());
+        let none = Candidates::empty();
+        assert_eq!(none.complement(1, 4), Candidates::Range(1, 4));
+    }
+
+    #[test]
+    fn positions_respect_bat_base() {
+        let bat = Bat::from_vector(vec![1i64, 2, 3, 4].into(), 100);
+        let c = Candidates::List(vec![99, 101, 103, 200]);
+        assert_eq!(c.positions_in(&bat), vec![1, 3]);
+        let r = Candidates::range(102, 1000);
+        assert_eq!(r.positions_in(&bat), vec![2, 3]);
+    }
+
+    #[test]
+    fn contains_and_bounds() {
+        let c = Candidates::List(vec![1, 5, 9]);
+        assert!(c.contains(5));
+        assert!(!c.contains(4));
+        assert_eq!(c.first(), Some(1));
+        assert_eq!(c.last(), Some(9));
+        assert_eq!(Candidates::empty().first(), None);
+    }
+}

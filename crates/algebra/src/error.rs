@@ -1,0 +1,76 @@
+//! Error type for the columnar algebra.
+
+use std::fmt;
+
+use datacell_storage::{DataType, StorageError};
+
+/// Errors produced by algebra operators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AlgebraError {
+    /// Underlying storage error.
+    Storage(StorageError),
+    /// Operator applied to a column of an unsupported type.
+    UnsupportedType {
+        /// Operator name (e.g. `"sum"`).
+        op: &'static str,
+        /// The offending type.
+        ty: DataType,
+    },
+    /// Binary operator over incompatible column types.
+    TypeCombination {
+        /// Operator name.
+        op: &'static str,
+        /// Left input type.
+        left: DataType,
+        /// Right input type.
+        right: DataType,
+    },
+    /// Inputs that must be equal length were not.
+    LengthMismatch {
+        /// Length of the left input.
+        left: usize,
+        /// Length of the right input.
+        right: usize,
+    },
+    /// Division by zero in integer arithmetic.
+    DivideByZero,
+    /// Group input given to an aggregate disagrees with the value column.
+    GroupMismatch {
+        /// Number of group ids.
+        groups: usize,
+        /// Number of values.
+        values: usize,
+    },
+}
+
+impl fmt::Display for AlgebraError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlgebraError::Storage(e) => write!(f, "storage: {e}"),
+            AlgebraError::UnsupportedType { op, ty } => {
+                write!(f, "operator {op} does not support type {ty}")
+            }
+            AlgebraError::TypeCombination { op, left, right } => {
+                write!(f, "operator {op} cannot combine {left} and {right}")
+            }
+            AlgebraError::LengthMismatch { left, right } => {
+                write!(f, "input length mismatch: {left} vs {right}")
+            }
+            AlgebraError::DivideByZero => f.write_str("division by zero"),
+            AlgebraError::GroupMismatch { groups, values } => {
+                write!(f, "group/value length mismatch: {groups} vs {values}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AlgebraError {}
+
+impl From<StorageError> for AlgebraError {
+    fn from(e: StorageError) -> Self {
+        AlgebraError::Storage(e)
+    }
+}
+
+/// Convenience alias used throughout the algebra crate.
+pub type Result<T> = std::result::Result<T, AlgebraError>;

@@ -1,0 +1,40 @@
+//! # datacell-algebra
+//!
+//! The columnar bulk algebra of the DataCell kernel — the operator set a
+//! MonetDB MAL plan compiles to (paper §3): whole-column operators that
+//! consume and produce BATs and candidate lists, never touching tuples one
+//! at a time.
+//!
+//! * [`candidates`] — sorted OID selection vectors, the universal
+//!   intermediate that selections produce and every operator accepts.
+//! * [`select`] — theta/range selections → candidates.
+//! * [`fetch`] — late tuple reconstruction (positional projection).
+//! * [`batcalc`] — element-wise bulk arithmetic.
+//! * [`join`] — reusable hash tables, hash join, merge join.
+//! * [`group`] / [`aggregate`] — grouping and *mergeable* aggregate states,
+//!   the primitive behind incremental basic-window processing.
+//! * [`sort`] — order-by permutations and top-N.
+
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod batcalc;
+pub mod candidates;
+pub mod error;
+pub mod fetch;
+pub mod group;
+pub mod join;
+pub mod select;
+pub mod sort;
+
+pub use aggregate::{
+    aggregate_all, aggregate_groups, merge_group_states, states_to_bat, AggKind, AggState,
+};
+pub use batcalc::{arith_cols, arith_const, arith_const_left, cast, negate, ArithOp};
+pub use candidates::Candidates;
+pub use error::{AlgebraError, Result};
+pub use fetch::{fetch, fetch_chunk};
+pub use group::{distinct, group_by, group_counts, group_heads, GroupMap};
+pub use join::{hash_join, merge_join_sorted_ints, JoinHashTable, JoinKey};
+pub use select::{select, select_between, select_null, select_true, CmpOp};
+pub use sort::{sort_positions, topn_positions, SortKey, SortOrder};

@@ -1,0 +1,330 @@
+//! Bulk selection: predicate over one BAT → candidate list.
+//!
+//! This is MonetDB's `algebra.thetaselect` / `algebra.select`: it scans one
+//! column (optionally restricted by an input candidate list) and returns the
+//! qualifying OIDs. NULLs never qualify (SQL three-valued logic: unknown is
+//! not true).
+
+use datacell_storage::{Bat, Value};
+
+use crate::candidates::Candidates;
+use crate::error::Result;
+
+/// Comparison operators understood by selections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Evaluate against a three-valued comparison result.
+    #[inline]
+    pub fn eval(self, ord: Option<std::cmp::Ordering>) -> bool {
+        use std::cmp::Ordering::*;
+        match ord {
+            None => false,
+            Some(o) => match self {
+                CmpOp::Eq => o == Equal,
+                CmpOp::Ne => o != Equal,
+                CmpOp::Lt => o == Less,
+                CmpOp::Le => o != Greater,
+                CmpOp::Gt => o == Greater,
+                CmpOp::Ge => o != Less,
+            },
+        }
+    }
+
+    /// The operator with its arguments swapped (`a op b` ⇔ `b op.flip() a`).
+    pub fn flip(self) -> CmpOp {
+        match self {
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+            other => other,
+        }
+    }
+
+    /// Logical negation (`NOT (a op b)` ⇔ `a op.negate() b`) — only valid
+    /// under two-valued logic, i.e. when neither side is NULL.
+    pub fn negate(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Ge => CmpOp::Lt,
+        }
+    }
+
+    /// SQL spelling.
+    pub fn sql(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+}
+
+/// Theta-select: OIDs of `bat` (within `cand`, if given) whose value
+/// satisfies `value_at(oid) op constant`.
+pub fn select(
+    bat: &Bat,
+    cand: Option<&Candidates>,
+    op: CmpOp,
+    constant: &Value,
+) -> Result<Candidates> {
+    // Typed fast paths over the full column when the candidate set is the
+    // dense range covering the BAT; this is the common basket-scan case.
+    let full = Candidates::all(bat);
+    let cand = cand.unwrap_or(&full);
+
+    if constant.is_null() {
+        // `x op NULL` is unknown for every row.
+        return Ok(Candidates::empty());
+    }
+
+    let base = bat.oid_base();
+    let mut out: Vec<u64> = Vec::new();
+
+    // Fast path: dense candidates + int column + int constant, no NULLs.
+    if let (Candidates::Range(lo, hi), Some(ints), Some(k), false) = (
+        cand,
+        bat.data().as_ints(),
+        constant.as_int(),
+        bat.has_nulls(),
+    ) {
+        let lo = (*lo).clamp(base, bat.oid_end());
+        let hi = (*hi).clamp(lo, bat.oid_end());
+        let s = (lo - base) as usize;
+        let e = (hi - base) as usize;
+        out.reserve(e - s);
+        match op {
+            CmpOp::Eq => scan_ints(&ints[s..e], lo, &mut out, |v| v == k),
+            CmpOp::Ne => scan_ints(&ints[s..e], lo, &mut out, |v| v != k),
+            CmpOp::Lt => scan_ints(&ints[s..e], lo, &mut out, |v| v < k),
+            CmpOp::Le => scan_ints(&ints[s..e], lo, &mut out, |v| v <= k),
+            CmpOp::Gt => scan_ints(&ints[s..e], lo, &mut out, |v| v > k),
+            CmpOp::Ge => scan_ints(&ints[s..e], lo, &mut out, |v| v >= k),
+        }
+        return Ok(Candidates::from_sorted(out));
+    }
+
+    // Fast path: dense candidates + float column + numeric constant.
+    if let (Candidates::Range(lo, hi), Some(floats), Some(k), false) = (
+        cand,
+        bat.data().as_floats(),
+        constant.as_float(),
+        bat.has_nulls(),
+    ) {
+        let lo = (*lo).clamp(base, bat.oid_end());
+        let hi = (*hi).clamp(lo, bat.oid_end());
+        let s = (lo - base) as usize;
+        let e = (hi - base) as usize;
+        out.reserve(e - s);
+        match op {
+            CmpOp::Eq => scan_floats(&floats[s..e], lo, &mut out, |v| v == k),
+            CmpOp::Ne => scan_floats(&floats[s..e], lo, &mut out, |v| v != k),
+            CmpOp::Lt => scan_floats(&floats[s..e], lo, &mut out, |v| v < k),
+            CmpOp::Le => scan_floats(&floats[s..e], lo, &mut out, |v| v <= k),
+            CmpOp::Gt => scan_floats(&floats[s..e], lo, &mut out, |v| v > k),
+            CmpOp::Ge => scan_floats(&floats[s..e], lo, &mut out, |v| v >= k),
+        }
+        return Ok(Candidates::from_sorted(out));
+    }
+
+    // General path: Value comparison per candidate.
+    for oid in cand.iter() {
+        if oid < base || oid >= bat.oid_end() {
+            continue;
+        }
+        let i = (oid - base) as usize;
+        if bat.is_null_at(i) {
+            continue;
+        }
+        let v = bat.get_at(i);
+        if op.eval(v.sql_cmp(constant)) {
+            out.push(oid);
+        }
+    }
+    Ok(Candidates::from_sorted(out))
+}
+
+#[inline]
+fn scan_ints(vals: &[i64], lo: u64, out: &mut Vec<u64>, pred: impl Fn(i64) -> bool) {
+    for (i, &v) in vals.iter().enumerate() {
+        if pred(v) {
+            out.push(lo + i as u64);
+        }
+    }
+}
+
+#[inline]
+fn scan_floats(vals: &[f64], lo: u64, out: &mut Vec<u64>, pred: impl Fn(f64) -> bool) {
+    for (i, &v) in vals.iter().enumerate() {
+        if pred(v) {
+            out.push(lo + i as u64);
+        }
+    }
+}
+
+/// Range select `lo <= x <= hi` (both bounds inclusive), the shape produced
+/// by `BETWEEN` and by window slicing on timestamps.
+pub fn select_between(
+    bat: &Bat,
+    cand: Option<&Candidates>,
+    lo: &Value,
+    hi: &Value,
+) -> Result<Candidates> {
+    let ge = select(bat, cand, CmpOp::Ge, lo)?;
+    select(bat, Some(&ge), CmpOp::Le, hi)
+}
+
+/// OIDs whose value is (or is not) NULL.
+pub fn select_null(bat: &Bat, cand: Option<&Candidates>, want_null: bool) -> Candidates {
+    let full = Candidates::all(bat);
+    let cand = cand.unwrap_or(&full);
+    let base = bat.oid_base();
+    let mut out = Vec::new();
+    for oid in cand.iter() {
+        if oid < base || oid >= bat.oid_end() {
+            continue;
+        }
+        let i = (oid - base) as usize;
+        if bat.is_null_at(i) == want_null {
+            out.push(oid);
+        }
+    }
+    Candidates::from_sorted(out)
+}
+
+/// Select over a boolean column: OIDs where the value is exactly `true`.
+pub fn select_true(bat: &Bat, cand: Option<&Candidates>) -> Result<Candidates> {
+    select(bat, cand, CmpOp::Eq, &Value::Bool(true))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datacell_storage::DataType;
+
+    fn int_bat() -> Bat {
+        Bat::from_vector(vec![5i64, 1, 9, 3, 7].into(), 10)
+    }
+
+    #[test]
+    fn theta_select_ints() {
+        let b = int_bat();
+        let c = select(&b, None, CmpOp::Gt, &Value::Int(4)).unwrap();
+        assert_eq!(c.to_vec(), vec![10, 12, 14]);
+        let c = select(&b, None, CmpOp::Eq, &Value::Int(3)).unwrap();
+        assert_eq!(c.to_vec(), vec![13]);
+        let c = select(&b, None, CmpOp::Le, &Value::Int(0)).unwrap();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn select_respects_candidates() {
+        let b = int_bat();
+        let cand = Candidates::List(vec![11, 13, 14]);
+        let c = select(&b, Some(&cand), CmpOp::Gt, &Value::Int(2)).unwrap();
+        assert_eq!(c.to_vec(), vec![13, 14]);
+    }
+
+    #[test]
+    fn select_with_out_of_range_candidates() {
+        let b = int_bat();
+        let cand = Candidates::List(vec![0, 12, 99]);
+        let c = select(&b, Some(&cand), CmpOp::Ge, &Value::Int(0)).unwrap();
+        assert_eq!(c.to_vec(), vec![12]);
+    }
+
+    #[test]
+    fn nulls_never_qualify() {
+        let mut b = Bat::new(DataType::Int);
+        b.push(&Value::Int(1)).unwrap();
+        b.push(&Value::Null).unwrap();
+        b.push(&Value::Int(3)).unwrap();
+        let c = select(&b, None, CmpOp::Ge, &Value::Int(0)).unwrap();
+        assert_eq!(c.to_vec(), vec![0, 2]);
+        // x <> 2 still excludes NULL
+        let c = select(&b, None, CmpOp::Ne, &Value::Int(2)).unwrap();
+        assert_eq!(c.to_vec(), vec![0, 2]);
+    }
+
+    #[test]
+    fn compare_to_null_selects_nothing() {
+        let b = int_bat();
+        let c = select(&b, None, CmpOp::Eq, &Value::Null).unwrap();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn float_fast_path() {
+        let b = Bat::from_floats(vec![0.5, 2.5, 1.5]);
+        let c = select(&b, None, CmpOp::Ge, &Value::Float(1.5)).unwrap();
+        assert_eq!(c.to_vec(), vec![1, 2]);
+        // int constant against float column
+        let c = select(&b, None, CmpOp::Lt, &Value::Int(2)).unwrap();
+        assert_eq!(c.to_vec(), vec![0, 2]);
+    }
+
+    #[test]
+    fn string_select_general_path() {
+        let b = Bat::from_vector(
+            Vector::from(vec!["b".to_string(), "a".into(), "c".into()]),
+            0,
+        );
+        let c = select(&b, None, CmpOp::Ge, &Value::Str("b".into())).unwrap();
+        assert_eq!(c.to_vec(), vec![0, 2]);
+    }
+    use datacell_storage::Vector;
+
+    #[test]
+    fn between_is_inclusive() {
+        let b = int_bat();
+        let c = select_between(&b, None, &Value::Int(3), &Value::Int(7)).unwrap();
+        assert_eq!(c.to_vec(), vec![10, 13, 14]);
+    }
+
+    #[test]
+    fn null_select() {
+        let mut b = Bat::new(DataType::Int);
+        b.push(&Value::Null).unwrap();
+        b.push(&Value::Int(2)).unwrap();
+        assert_eq!(select_null(&b, None, true).to_vec(), vec![0]);
+        assert_eq!(select_null(&b, None, false).to_vec(), vec![1]);
+    }
+
+    #[test]
+    fn op_helpers() {
+        assert_eq!(CmpOp::Lt.flip(), CmpOp::Gt);
+        assert_eq!(CmpOp::Lt.negate(), CmpOp::Ge);
+        assert_eq!(CmpOp::Eq.flip(), CmpOp::Eq);
+        assert_eq!(CmpOp::Le.sql(), "<=");
+        assert!(CmpOp::Ne.eval(Some(std::cmp::Ordering::Less)));
+        assert!(!CmpOp::Eq.eval(None));
+    }
+
+    #[test]
+    fn select_true_on_bools() {
+        let b = Bat::from_vector(vec![true, false, true].into(), 0);
+        assert_eq!(select_true(&b, None).unwrap().to_vec(), vec![0, 2]);
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based laws of the candidate-list algebra, checked against a
+//! `BTreeSet` reference model. Candidate lists are the universal
+//! intermediate of the kernel; if these laws break, every plan breaks.
+
+use std::collections::BTreeSet;
+
+use datacell_algebra::{
+    aggregate_all, fetch, select, AggKind, Candidates, CmpOp,
+};
+use datacell_storage::{Bat, Value};
+use proptest::prelude::*;
+
+fn model(c: &Candidates) -> BTreeSet<u64> {
+    c.iter().collect()
+}
+
+fn arb_candidates() -> impl Strategy<Value = Candidates> {
+    prop_oneof![
+        // dense ranges
+        (0u64..64, 0u64..64).prop_map(|(a, b)| Candidates::range(a.min(b), a.max(b))),
+        // sorted deduplicated lists
+        prop::collection::btree_set(0u64..96, 0..32)
+            .prop_map(|s| Candidates::from_sorted(s.into_iter().collect())),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn intersection_matches_set_model(a in arb_candidates(), b in arb_candidates()) {
+        let got = model(&a.intersect(&b));
+        let want: BTreeSet<u64> = model(&a).intersection(&model(&b)).copied().collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn union_matches_set_model(a in arb_candidates(), b in arb_candidates()) {
+        let got = model(&a.union(&b));
+        let want: BTreeSet<u64> = model(&a).union(&model(&b)).copied().collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn complement_matches_set_model(a in arb_candidates(), hi in 0u64..96) {
+        let got = model(&a.complement(0, hi));
+        let want: BTreeSet<u64> = (0..hi).filter(|o| !model(&a).contains(o)).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn operations_are_commutative(a in arb_candidates(), b in arb_candidates()) {
+        prop_assert_eq!(model(&a.intersect(&b)), model(&b.intersect(&a)));
+        prop_assert_eq!(model(&a.union(&b)), model(&b.union(&a)));
+    }
+
+    #[test]
+    fn dense_normalization_is_canonical(a in arb_candidates()) {
+        // from_sorted(to_vec()) must round-trip to an equal set and the
+        // same representation (dense stays dense).
+        let rebuilt = Candidates::from_sorted(a.to_vec());
+        prop_assert_eq!(model(&a), model(&rebuilt));
+        if !a.is_empty() {
+            let span = a.last().unwrap() - a.first().unwrap() + 1;
+            prop_assert_eq!(rebuilt.is_dense(), span == a.len() as u64);
+        }
+    }
+
+    #[test]
+    fn contains_agrees_with_iteration(a in arb_candidates(), probe in 0u64..100) {
+        prop_assert_eq!(a.contains(probe), model(&a).contains(&probe));
+    }
+
+    /// Chained selects (the plan compiler's AND) equal candidate
+    /// intersection of independent selects.
+    #[test]
+    fn conjunction_equals_intersection(
+        values in prop::collection::vec(-50i64..50, 1..200),
+        lo in -50i64..0,
+        hi in 0i64..50,
+    ) {
+        let bat = Bat::from_ints(values);
+        let ge = select(&bat, None, CmpOp::Ge, &Value::Int(lo)).unwrap();
+        let le = select(&bat, None, CmpOp::Le, &Value::Int(hi)).unwrap();
+        let chained = select(&bat, Some(&ge), CmpOp::Le, &Value::Int(hi)).unwrap();
+        prop_assert_eq!(model(&chained), model(&ge.intersect(&le)));
+    }
+
+    /// select + fetch + aggregate equals a scalar reference computation.
+    #[test]
+    fn select_fetch_aggregate_pipeline(
+        values in prop::collection::vec(-1000i64..1000, 0..300),
+        threshold in -1000i64..1000,
+    ) {
+        let bat = Bat::from_ints(values.clone());
+        let cand = select(&bat, None, CmpOp::Gt, &Value::Int(threshold)).unwrap();
+        let fetched = fetch(&bat, &cand);
+        let sum = aggregate_all(AggKind::Sum, &fetched, None).finalize();
+        let expected: i64 = values.iter().filter(|&&v| v > threshold).sum();
+        let any = values.iter().any(|&v| v > threshold);
+        if any {
+            prop_assert_eq!(sum, Value::Int(expected));
+        } else {
+            prop_assert_eq!(sum, Value::Null);
+        }
+        // count via candidates must agree with fetched length
+        prop_assert_eq!(cand.len(), fetched.len());
+    }
+}

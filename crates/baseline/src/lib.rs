@@ -1,0 +1,22 @@
+//! # datacell-baseline
+//!
+//! Comparator engines for the paper's architectural claims (§2):
+//!
+//! * [`volcano`] — the same logical plans executed tuple-at-a-time with an
+//!   interpreted Volcano iterator model (what STREAM/Aurora-generation
+//!   engines did), isolating the bulk-vs-tuple execution difference.
+//! * [`stream_engine`] — a continuous engine wrapper around the Volcano
+//!   executor with DataCell-identical window semantics.
+//! * [`store_first`] — store-first-query-later: append to a table, re-run
+//!   the one-time query over the whole history per batch (the traditional
+//!   DBMS answer Truviso/DataCell are contrasted with).
+
+#![warn(missing_docs)]
+
+pub mod store_first;
+pub mod stream_engine;
+pub mod volcano;
+
+pub use store_first::StoreFirstEngine;
+pub use stream_engine::VolcanoEngine;
+pub use volcano::{eval_expr_row, eval_pred_row, execute_volcano, RowSources};

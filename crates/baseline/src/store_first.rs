@@ -1,0 +1,132 @@
+//! Store-first-query-later baseline.
+//!
+//! The classic DBMS answer to streaming: append every arrival to a
+//! persistent table and re-run the (one-time) query over the *whole* table
+//! whenever fresh answers are needed. Truviso's comparison point — "query
+//! evaluation has already been initiated when the first tuples arrive"
+//! versus "traditional store-first-query-later database technologies"
+//! (paper §2). Latency grows with the stored history, which is exactly
+//! the shape benchmark E8 demonstrates.
+
+use datacell_plan::{compile, execute, Binder, CompiledQuery, ExecSources, PlanError};
+use datacell_sql::{parse_statement, Statement};
+use datacell_storage::{Catalog, Chunk, Row, Schema, TableHandle};
+
+/// The store-first engine: one table per "stream", full re-query per batch.
+pub struct StoreFirstEngine {
+    catalog: Catalog,
+    queries: Vec<(u64, CompiledQuery)>,
+    next_id: u64,
+}
+
+impl Default for StoreFirstEngine {
+    fn default() -> Self {
+        StoreFirstEngine { catalog: Catalog::new(), queries: Vec::new(), next_id: 1 }
+    }
+}
+
+impl StoreFirstEngine {
+    /// New empty engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create the backing table for an incoming "stream".
+    pub fn create_table(&mut self, sql: &str) -> Result<TableHandle, PlanError> {
+        match parse_statement(sql)? {
+            Statement::CreateTable { name, columns } | Statement::CreateStream { name, columns } => {
+                let schema = Schema::new(
+                    columns
+                        .iter()
+                        .map(|c| datacell_storage::ColumnDef {
+                            name: c.name.clone(),
+                            ty: datacell_plan::type_of(c.ty),
+                            not_null: c.not_null,
+                        })
+                        .collect(),
+                );
+                Ok(self.catalog.create_table(&name, schema)?)
+            }
+            other => Err(PlanError::Unsupported(format!("expected CREATE, got {other}"))),
+        }
+    }
+
+    /// Register the query that will be re-run per batch (plain SQL over the
+    /// table — no window clause; the "window" is the whole history).
+    pub fn register_query(&mut self, sql: &str) -> Result<u64, PlanError> {
+        let stmt = match parse_statement(sql)? {
+            Statement::Select(s) => s,
+            other => {
+                return Err(PlanError::Unsupported(format!("not a SELECT: {other}")))
+            }
+        };
+        let bound = Binder::new(&self.catalog).bind_select(&stmt)?;
+        let compiled = compile(sql, bound)?;
+        let id = self.next_id;
+        self.next_id += 1;
+        self.queries.push((id, compiled));
+        Ok(id)
+    }
+
+    /// Append a batch to the stored history.
+    pub fn push_rows(&mut self, table: &str, rows: &[Row]) -> Result<usize, PlanError> {
+        let handle = self.catalog.table(table)?;
+        let n = handle.write().insert_rows(rows)?;
+        Ok(n)
+    }
+
+    /// Stored row count of a table.
+    pub fn stored_rows(&self, table: &str) -> Result<usize, PlanError> {
+        Ok(self.catalog.table(table)?.read().len())
+    }
+
+    /// Re-run query `id` over the full stored history.
+    pub fn evaluate(&self, id: u64) -> Result<Chunk, PlanError> {
+        let (_, compiled) = self
+            .queries
+            .iter()
+            .find(|(qid, _)| *qid == id)
+            .ok_or_else(|| PlanError::Internal(format!("unknown query {id}")))?;
+        let mut sources = ExecSources::new();
+        for (binding, object) in &compiled.tables {
+            let handle = self.catalog.table(object)?;
+            let snap = handle.read().scan();
+            sources.bind(binding, snap);
+        }
+        execute(&compiled.plan, &sources)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datacell_storage::Value;
+
+    #[test]
+    fn full_requery_sees_whole_history() {
+        let mut e = StoreFirstEngine::new();
+        e.create_table("CREATE TABLE s (v BIGINT)").unwrap();
+        let q = e.register_query("SELECT COUNT(*), SUM(v) FROM s").unwrap();
+        e.push_rows("s", &[vec![Value::Int(1)], vec![Value::Int(2)]]).unwrap();
+        let out = e.evaluate(q).unwrap();
+        assert_eq!(out.row(0), vec![Value::Int(2), Value::Int(3)]);
+        e.push_rows("s", &[vec![Value::Int(3)]]).unwrap();
+        let out = e.evaluate(q).unwrap();
+        // unlike a continuous engine, the history accumulates
+        assert_eq!(out.row(0), vec![Value::Int(3), Value::Int(6)]);
+        assert_eq!(e.stored_rows("s").unwrap(), 3);
+    }
+
+    #[test]
+    fn create_stream_ddl_becomes_table() {
+        let mut e = StoreFirstEngine::new();
+        e.create_table("CREATE STREAM s (v BIGINT)").unwrap();
+        assert_eq!(e.stored_rows("s").unwrap(), 0);
+    }
+
+    #[test]
+    fn unknown_query_errors() {
+        let e = StoreFirstEngine::new();
+        assert!(e.evaluate(42).is_err());
+    }
+}

@@ -1,0 +1,352 @@
+//! A tuple-at-a-time continuous engine: DataCell's window semantics driven
+//! by the Volcano executor. Benchmarks run the *same* SQL on this engine
+//! and on DataCell; the only difference is the execution model.
+
+use std::collections::HashMap;
+
+use datacell_plan::{compile, Binder, CompiledQuery, PlanError};
+use datacell_sql::{parse_statement, Statement, WindowSpec};
+use datacell_storage::{Catalog, Row, Schema};
+
+use crate::volcano::{execute_volcano, RowSources};
+
+/// Per-stream row buffer with an absolute offset (mirrors basket OIDs).
+#[derive(Debug, Default)]
+struct RowBuffer {
+    rows: Vec<Row>,
+    /// Absolute index of `rows[0]`.
+    base: u64,
+}
+
+impl RowBuffer {
+    fn high(&self) -> u64 {
+        self.base + self.rows.len() as u64
+    }
+
+    fn slice(&self, lo: u64, hi: u64) -> Vec<Row> {
+        let lo = lo.clamp(self.base, self.high());
+        let hi = hi.clamp(lo, self.high());
+        self.rows[(lo - self.base) as usize..(hi - self.base) as usize].to_vec()
+    }
+
+    fn retire_before(&mut self, keep_from: u64) {
+        if keep_from <= self.base {
+            return;
+        }
+        let n = (keep_from.min(self.high()) - self.base) as usize;
+        self.rows.drain(..n);
+        self.base += n as u64;
+    }
+}
+
+struct VQuery {
+    id: u64,
+    compiled: CompiledQuery,
+    /// Per-stream cursor: (binding, window, next window end / next unseen).
+    cursors: Vec<(String, Option<WindowSpec>, u64)>,
+}
+
+/// Tuple-at-a-time comparator engine (ROWS windows and unwindowed queries).
+pub struct VolcanoEngine {
+    catalog: Catalog,
+    streams: HashMap<String, RowBuffer>,
+    queries: Vec<VQuery>,
+    results: HashMap<u64, Vec<Vec<Row>>>,
+    next_id: u64,
+}
+
+impl Default for VolcanoEngine {
+    fn default() -> Self {
+        VolcanoEngine {
+            catalog: Catalog::new(),
+            streams: HashMap::new(),
+            queries: Vec::new(),
+            results: HashMap::new(),
+            next_id: 1,
+        }
+    }
+}
+
+impl VolcanoEngine {
+    /// New empty engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Run a DDL/INSERT statement (CREATE STREAM / CREATE TABLE / INSERT).
+    pub fn execute(&mut self, sql: &str) -> Result<(), PlanError> {
+        match parse_statement(sql)? {
+            Statement::CreateStream { name, columns } => {
+                let schema = schema_of(&columns);
+                self.catalog.create_stream(&name, schema)?;
+                self.streams.insert(name.to_ascii_lowercase(), RowBuffer::default());
+                Ok(())
+            }
+            Statement::CreateTable { name, columns } => {
+                self.catalog.create_table(&name, schema_of(&columns))?;
+                Ok(())
+            }
+            Statement::Insert { table, rows } => {
+                let mut converted = Vec::with_capacity(rows.len());
+                for row in &rows {
+                    converted.push(
+                        row.iter()
+                            .map(datacell_plan::literal_to_value)
+                            .collect::<Result<Row, PlanError>>()?,
+                    );
+                }
+                let handle = self.catalog.table(&table)?;
+                handle.write().insert_rows(&converted)?;
+                Ok(())
+            }
+            other => Err(PlanError::Unsupported(format!(
+                "VolcanoEngine::execute supports DDL/INSERT, got {other}"
+            ))),
+        }
+    }
+
+    /// Register a continuous query (ROWS windows or unwindowed).
+    pub fn register_query(&mut self, sql: &str) -> Result<u64, PlanError> {
+        let stmt = match parse_statement(sql)? {
+            Statement::Select(s) => s,
+            other => {
+                return Err(PlanError::Unsupported(format!("not a SELECT: {other}")))
+            }
+        };
+        let bound = Binder::new(&self.catalog).bind_select(&stmt)?;
+        let compiled = compile(sql, bound)?;
+        let mut cursors = Vec::new();
+        for s in &compiled.streams {
+            let buffer = self
+                .streams
+                .get(&s.object.to_ascii_lowercase())
+                .ok_or_else(|| PlanError::MissingSource(s.object.clone()))?;
+            let start = match &s.window {
+                None => buffer.high(),
+                Some(WindowSpec::Rows { slide, .. }) => buffer.high() + slide,
+                Some(WindowSpec::Range { .. }) => {
+                    return Err(PlanError::Unsupported(
+                        "VolcanoEngine supports ROWS windows only".into(),
+                    ))
+                }
+            };
+            cursors.push((s.object.to_ascii_lowercase(), s.window.clone(), start));
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.queries.push(VQuery { id, compiled, cursors });
+        self.results.insert(id, Vec::new());
+        Ok(id)
+    }
+
+    /// Append rows to a stream buffer.
+    pub fn push_rows(&mut self, stream: &str, rows: &[Row]) -> Result<usize, PlanError> {
+        let buffer = self
+            .streams
+            .get_mut(&stream.to_ascii_lowercase())
+            .ok_or_else(|| PlanError::MissingSource(stream.to_owned()))?;
+        buffer.rows.extend(rows.iter().cloned());
+        Ok(rows.len())
+    }
+
+    /// Fire every ready query repeatedly until quiescent; returns firings.
+    pub fn run_until_idle(&mut self) -> Result<u64, PlanError> {
+        let mut total = 0u64;
+        loop {
+            let mut fired = 0u64;
+            for qi in 0..self.queries.len() {
+                while self.ready(qi) {
+                    self.fire(qi)?;
+                    fired += 1;
+                }
+            }
+            if fired == 0 {
+                break;
+            }
+            total += fired;
+        }
+        self.retire();
+        Ok(total)
+    }
+
+    fn ready(&self, qi: usize) -> bool {
+        let q = &self.queries[qi];
+        !q.cursors.is_empty()
+            && q.cursors.iter().all(|(obj, window, cursor)| {
+                let high = self.streams[obj].high();
+                match window {
+                    None => high > *cursor,
+                    Some(WindowSpec::Rows { .. }) => high >= *cursor,
+                    Some(WindowSpec::Range { .. }) => false,
+                }
+            })
+    }
+
+    fn fire(&mut self, qi: usize) -> Result<(), PlanError> {
+        let (id, plan, tables, windows): (u64, _, _, Vec<(String, String, Option<WindowSpec>)>) = {
+            let q = &self.queries[qi];
+            (
+                q.id,
+                q.compiled.plan.clone(),
+                q.compiled.tables.clone(),
+                q.compiled
+                    .streams
+                    .iter()
+                    .map(|s| {
+                        (s.binding.clone(), s.object.to_ascii_lowercase(), s.window.clone())
+                    })
+                    .collect(),
+            )
+        };
+        let mut sources = RowSources::new();
+        for (ci, (binding, object, window)) in windows.iter().enumerate() {
+            let cursor = self.queries[qi].cursors[ci].2;
+            let buffer = &self.streams[object];
+            let rows = match window {
+                None => {
+                    let rows = buffer.slice(cursor, buffer.high());
+                    self.queries[qi].cursors[ci].2 = buffer.high();
+                    rows
+                }
+                Some(WindowSpec::Rows { size, slide }) => {
+                    let win_end = cursor;
+                    let rows = buffer.slice(win_end.saturating_sub(*size), win_end);
+                    self.queries[qi].cursors[ci].2 = win_end + slide;
+                    rows
+                }
+                Some(WindowSpec::Range { .. }) => unreachable!("rejected at register"),
+            };
+            sources.insert(binding.to_ascii_lowercase(), rows);
+        }
+        for (binding, object) in &tables {
+            let handle = self.catalog.table(object)?;
+            let rows: Vec<Row> = handle.read().scan().rows().collect();
+            sources.insert(binding.to_ascii_lowercase(), rows);
+        }
+        let out = execute_volcano(&plan, &sources)?;
+        self.results.entry(id).or_default().push(out);
+        Ok(())
+    }
+
+    fn retire(&mut self) {
+        // Per stream object, the minimum index still needed.
+        let mut needed: HashMap<String, u64> = HashMap::new();
+        for q in &self.queries {
+            for (obj, window, cursor) in &q.cursors {
+                let need = match window {
+                    None => *cursor,
+                    Some(WindowSpec::Rows { size, slide }) => {
+                        (*cursor + slide).saturating_sub(*size + slide)
+                    }
+                    Some(WindowSpec::Range { .. }) => 0,
+                };
+                needed
+                    .entry(obj.clone())
+                    .and_modify(|m| *m = (*m).min(need))
+                    .or_insert(need);
+            }
+        }
+        for (obj, bound) in needed {
+            if let Some(buf) = self.streams.get_mut(&obj) {
+                buf.retire_before(bound);
+            }
+        }
+    }
+
+    /// Take all pending result batches for a query.
+    pub fn take_results(&mut self, id: u64) -> Vec<Vec<Row>> {
+        self.results.get_mut(&id).map(std::mem::take).unwrap_or_default()
+    }
+}
+
+fn schema_of(columns: &[datacell_sql::ColumnSpec]) -> Schema {
+    Schema::new(
+        columns
+            .iter()
+            .map(|c| datacell_storage::ColumnDef {
+                name: c.name.clone(),
+                ty: datacell_plan::type_of(c.ty),
+                not_null: c.not_null,
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datacell_storage::Value;
+
+    fn rows(n: usize, start: i64) -> Vec<Row> {
+        (0..n as i64)
+            .map(|i| vec![Value::Int(start + i), Value::Int((start + i) % 3)])
+            .collect()
+    }
+
+    fn engine() -> VolcanoEngine {
+        let mut e = VolcanoEngine::new();
+        e.execute("CREATE STREAM s (v BIGINT, k BIGINT)").unwrap();
+        e
+    }
+
+    #[test]
+    fn unwindowed_consume_once() {
+        let mut e = engine();
+        let q = e.register_query("SELECT COUNT(*) FROM s").unwrap();
+        e.push_rows("s", &rows(5, 0)).unwrap();
+        e.run_until_idle().unwrap();
+        e.push_rows("s", &rows(2, 5)).unwrap();
+        e.run_until_idle().unwrap();
+        let out = e.take_results(q);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0][0][0], Value::Int(5));
+        assert_eq!(out[1][0][0], Value::Int(2));
+    }
+
+    #[test]
+    fn sliding_window_matches_datacell_semantics() {
+        let mut e = engine();
+        let q = e.register_query("SELECT COUNT(*) FROM s [ROWS 6 SLIDE 2]").unwrap();
+        e.push_rows("s", &rows(10, 0)).unwrap();
+        e.run_until_idle().unwrap();
+        let out = e.take_results(q);
+        let counts: Vec<Value> = out.iter().map(|b| b[0][0].clone()).collect();
+        assert_eq!(
+            counts,
+            vec![Value::Int(2), Value::Int(4), Value::Int(6), Value::Int(6), Value::Int(6)]
+        );
+    }
+
+    #[test]
+    fn grouped_window_aggregate() {
+        let mut e = engine();
+        let q = e
+            .register_query("SELECT k, SUM(v) FROM s [ROWS 6] GROUP BY k")
+            .unwrap();
+        e.push_rows("s", &rows(6, 0)).unwrap();
+        e.run_until_idle().unwrap();
+        let out = e.take_results(q);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].len(), 3); // groups 0,1,2
+    }
+
+    #[test]
+    fn range_window_rejected() {
+        let mut e = engine();
+        e.execute("CREATE STREAM t (ts TIMESTAMP, v BIGINT)").unwrap();
+        let err = e
+            .register_query("SELECT COUNT(*) FROM t [RANGE 10 ON ts SLIDE 5]")
+            .unwrap_err();
+        assert!(matches!(err, PlanError::Unsupported(_)));
+    }
+
+    #[test]
+    fn buffers_retire_consumed_rows() {
+        let mut e = engine();
+        let _q = e.register_query("SELECT COUNT(*) FROM s").unwrap();
+        e.push_rows("s", &rows(100, 0)).unwrap();
+        e.run_until_idle().unwrap();
+        assert!(e.streams["s"].rows.is_empty());
+        assert_eq!(e.streams["s"].base, 100);
+    }
+}

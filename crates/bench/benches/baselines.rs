@@ -1,0 +1,76 @@
+//! Criterion companion to E8a: the same optimized plan executed by the
+//! bulk columnar executor vs. the tuple-at-a-time Volcano interpreter.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use datacell_baseline::{execute_volcano, RowSources};
+use datacell_plan::{execute, Binder, ExecSources, LogicalPlan};
+use datacell_storage::{Catalog, Chunk, DataType, Row, Schema, Value};
+use datacell_workload::{rows_to_chunk, SensorConfig, SensorStream};
+
+const QUERY: &str =
+    "SELECT sensor, COUNT(*), AVG(temp) FROM s WHERE temp > 16.0 GROUP BY sensor";
+
+fn plan_and_data(n: usize) -> (LogicalPlan, Chunk, Vec<Row>) {
+    let cat = Catalog::new();
+    cat.create_stream(
+        "s",
+        Schema::of(&[
+            ("ts", DataType::Timestamp),
+            ("sensor", DataType::Int),
+            ("temp", DataType::Float),
+        ]),
+    )
+    .unwrap();
+    let stmt = match datacell_sql::parse_statement(QUERY).unwrap() {
+        datacell_sql::Statement::Select(s) => s,
+        _ => unreachable!(),
+    };
+    let bound = Binder::new(&cat).bind_select(&stmt).unwrap();
+    let plan = datacell_plan::optimize(bound.plan);
+    let mut gen = SensorStream::new(SensorConfig::default());
+    let rows = gen.take_rows(n);
+    let chunk = rows_to_chunk(&SensorStream::schema(), &rows).unwrap();
+    (plan, chunk, rows)
+}
+
+fn bench_executors(c: &mut Criterion) {
+    let mut g = c.benchmark_group("executor_model");
+    for &n in &[4096usize, 65_536] {
+        let (plan, chunk, rows) = plan_and_data(n);
+
+        let mut col_sources = ExecSources::new();
+        col_sources.bind("s", chunk);
+        g.bench_with_input(BenchmarkId::new("bulk_columnar", n), &(), |b, _| {
+            b.iter(|| execute(black_box(&plan), black_box(&col_sources)).unwrap())
+        });
+
+        let mut row_sources = RowSources::new();
+        row_sources.insert("s".into(), rows);
+        g.bench_with_input(BenchmarkId::new("volcano_rows", n), &(), |b, _| {
+            b.iter(|| execute_volcano(black_box(&plan), black_box(&row_sources)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_value_boundary(c: &mut Criterion) {
+    // The cost of crossing the row⇄column boundary itself.
+    let mut g = c.benchmark_group("ingest_boundary");
+    for &n in &[4096usize, 65_536] {
+        let mut gen = SensorStream::new(SensorConfig::default());
+        let rows = gen.take_rows(n);
+        let schema = SensorStream::schema();
+        g.bench_with_input(BenchmarkId::new("rows_to_chunk", n), &(), |b, _| {
+            b.iter(|| rows_to_chunk(black_box(&schema), black_box(&rows)).unwrap())
+        });
+    }
+    let _ = Value::Int(0); // keep import used under cfg permutations
+    g.finish();
+}
+
+criterion_group!(
+    name = baselines;
+    config = Criterion::default().sample_size(15);
+    targets = bench_executors, bench_value_boundary
+);
+criterion_main!(baselines);

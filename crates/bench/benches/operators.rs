@@ -1,0 +1,105 @@
+//! µB — per-operator microbenchmarks of the columnar kernel: the
+//! building blocks every experiment stands on (select with candidates,
+//! fetch/late reconstruction, hash join, group+aggregate).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use datacell_algebra::{
+    aggregate_all, fetch, group_by, hash_join, select, AggKind, Candidates, CmpOp,
+};
+use datacell_storage::{Bat, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn int_bat(n: usize, cardinality: i64, seed: u64) -> Bat {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Bat::from_ints((0..n).map(|_| rng.gen_range(0..cardinality)).collect())
+}
+
+fn bench_select(c: &mut Criterion) {
+    let mut g = c.benchmark_group("select");
+    for &n in &[4096usize, 65_536, 1_048_576] {
+        let bat = int_bat(n, 1000, 1);
+        g.bench_with_input(BenchmarkId::new("theta_gt_half", n), &bat, |b, bat| {
+            b.iter(|| select(black_box(bat), None, CmpOp::Gt, &Value::Int(500)).unwrap())
+        });
+        // chained select over prior candidates (conjunction shape)
+        let first = select(&bat, None, CmpOp::Gt, &Value::Int(250)).unwrap();
+        g.bench_with_input(BenchmarkId::new("chained_select", n), &bat, |b, bat| {
+            b.iter(|| {
+                select(black_box(bat), Some(&first), CmpOp::Lt, &Value::Int(750)).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_fetch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fetch");
+    for &n in &[65_536usize, 1_048_576] {
+        let bat = int_bat(n, 1_000_000, 2);
+        let cand = select(&bat, None, CmpOp::Lt, &Value::Int(500_000)).unwrap();
+        g.bench_with_input(
+            BenchmarkId::new("late_reconstruction", n),
+            &(&bat, &cand),
+            |b, (bat, cand)| b.iter(|| fetch(black_box(bat), black_box(cand))),
+        );
+        g.bench_with_input(BenchmarkId::new("dense_copy", n), &bat, |b, bat| {
+            b.iter(|| fetch(black_box(bat), &Candidates::all(bat)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_join(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hash_join");
+    for &n in &[4096usize, 65_536] {
+        let probe = int_bat(n, 1000, 3);
+        let build = int_bat(1000, 1000, 4);
+        g.bench_with_input(
+            BenchmarkId::new("stream_x_dim", n),
+            &(&probe, &build),
+            |b, (probe, build)| {
+                b.iter(|| hash_join(black_box(probe), black_box(build), None, None))
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_group_aggregate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("group_aggregate");
+    for &n in &[65_536usize, 1_048_576] {
+        for &card in &[8i64, 1024] {
+            let keys = int_bat(n, card, 5);
+            let vals = int_bat(n, 1_000_000, 6);
+            g.bench_with_input(
+                BenchmarkId::new(format!("group_sum_card{card}"), n),
+                &(&keys, &vals),
+                |b, (keys, vals)| {
+                    b.iter(|| {
+                        let map = group_by(&[black_box(keys)], None).unwrap();
+                        datacell_algebra::aggregate_groups(
+                            AggKind::Sum,
+                            black_box(vals),
+                            &map,
+                            None,
+                        )
+                        .unwrap()
+                    })
+                },
+            );
+        }
+        let vals = int_bat(n, 1_000_000, 7);
+        g.bench_with_input(BenchmarkId::new("global_sum", n), &vals, |b, vals| {
+            b.iter(|| aggregate_all(AggKind::Sum, black_box(vals), None))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = operators;
+    config = Criterion::default().sample_size(20);
+    targets = bench_select, bench_fetch, bench_join, bench_group_aggregate
+);
+criterion_main!(operators);

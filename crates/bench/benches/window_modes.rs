@@ -1,0 +1,64 @@
+//! Criterion companion to E2/E3: steady-state cost of one slide in each
+//! execution mode, at a fixed window/slide shape.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datacell_core::{DataCell, ExecutionMode};
+use datacell_workload::{SensorConfig, SensorStream};
+
+const WINDOW: usize = 16_384;
+const SLIDE: usize = 1024;
+
+struct Rig {
+    cell: DataCell,
+    gen: SensorStream,
+    q: u64,
+}
+
+fn rig(mode: ExecutionMode) -> Rig {
+    let mut cell = DataCell::default();
+    cell.execute(&SensorStream::create_stream_sql("sensors")).unwrap();
+    let q = cell
+        .register_query_with_mode(
+            &format!(
+                "SELECT sensor, SUM(temp), COUNT(*) FROM sensors \
+                 [ROWS {WINDOW} SLIDE {SLIDE}] GROUP BY sensor"
+            ),
+            mode,
+        )
+        .unwrap();
+    let mut gen = SensorStream::new(SensorConfig { sensors: 64, ..Default::default() });
+    cell.push_rows("sensors", &gen.take_rows(WINDOW)).unwrap();
+    cell.run_until_idle().unwrap();
+    let _ = cell.take_results(q);
+    Rig { cell, gen, q }
+}
+
+fn bench_modes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("one_slide");
+    for (label, mode) in [
+        ("reevaluate", ExecutionMode::Reevaluate),
+        ("incremental", ExecutionMode::Incremental),
+    ] {
+        let mut r = rig(mode);
+        g.bench_with_input(
+            BenchmarkId::new(label, format!("w{WINDOW}_s{SLIDE}")),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    let rows = r.gen.take_rows(SLIDE);
+                    r.cell.push_rows("sensors", &rows).unwrap();
+                    r.cell.run_until_idle().unwrap();
+                    r.cell.take_results(r.q).unwrap()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = window_modes;
+    config = Criterion::default().sample_size(30);
+    targets = bench_modes
+);
+criterion_main!(window_modes);

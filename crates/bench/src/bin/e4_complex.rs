@@ -1,0 +1,118 @@
+//! E4 — "Complex Queries" (paper §4).
+//!
+//! "The audience will be able to see the difference that results from
+//! complex operators (e.g., joins) in continuous query plans with sliding
+//! windows as opposed to simple select project aggregation queries."
+//!
+//! Three query classes over the same windowed stream, in both modes:
+//!  * SPA        — filter + grouped aggregate;
+//!  * stream⋈table — enrich with a dimension table, then aggregate;
+//!  * stream⋈stream — windowed equi-join of two streams, then aggregate.
+
+use datacell_bench::report::{f1, Table};
+use datacell_core::{DataCell, ExecutionMode};
+use datacell_storage::{Row, Value};
+use datacell_workload::{SensorConfig, SensorStream};
+
+const WINDOW: usize = 8192;
+const SLIDE: usize = WINDOW / 16;
+const SLIDES_MEASURED: usize = 12;
+
+fn setup(cell: &mut DataCell) {
+    cell.execute(&SensorStream::create_stream_sql("sensors")).unwrap();
+    cell.execute("CREATE STREAM alerts (ts TIMESTAMP, sensor BIGINT, level BIGINT)")
+        .unwrap();
+    cell.execute("CREATE TABLE dim (sensor BIGINT, zone BIGINT)").unwrap();
+    let rows: Vec<Row> = (0..100)
+        .map(|i| vec![Value::Int(i), Value::Int(i % 8)])
+        .collect();
+    let stmt = format!(
+        "INSERT INTO dim VALUES {}",
+        rows.iter()
+            .map(|r| format!("({}, {})", r[0], r[1]))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    cell.execute(&stmt).unwrap();
+}
+
+fn alert_rows(gen: &mut SensorStream, n: usize) -> Vec<Row> {
+    gen.take_rows(n)
+        .into_iter()
+        .map(|r| {
+            let level = r[1].as_int().unwrap() % 5;
+            vec![r[0].clone(), r[1].clone(), Value::Int(level)]
+        })
+        .collect()
+}
+
+fn run(sql: &str, mode: ExecutionMode, two_streams: bool) -> f64 {
+    let mut cell = DataCell::default();
+    setup(&mut cell);
+    let q = cell.register_query_with_mode(sql, mode).unwrap();
+    let mut gen = SensorStream::new(SensorConfig { sensors: 100, ..Default::default() });
+    let mut gen2 = SensorStream::new(SensorConfig { sensors: 100, seed: 99, ..Default::default() });
+
+    let feed = |cell: &mut DataCell, n: usize, g1: &mut SensorStream, g2: &mut SensorStream| {
+        cell.push_rows("sensors", &g1.take_rows(n)).unwrap();
+        if two_streams {
+            let rows = alert_rows(g2, n);
+            cell.push_rows("alerts", &rows).unwrap();
+        }
+    };
+
+    feed(&mut cell, WINDOW, &mut gen, &mut gen2);
+    cell.run_until_idle().unwrap();
+    let _ = cell.take_results(q);
+
+    let mut samples = Vec::with_capacity(SLIDES_MEASURED);
+    for _ in 0..SLIDES_MEASURED {
+        feed(&mut cell, SLIDE, &mut gen, &mut gen2);
+        let start = std::time::Instant::now();
+        cell.run_until_idle().unwrap();
+        samples.push(start.elapsed().as_secs_f64() * 1e6);
+        let _ = cell.take_results(q);
+    }
+    datacell_bench::median_micros(samples)
+}
+
+fn main() {
+    println!(
+        "E4: query complexity under sliding windows [ROWS {WINDOW} SLIDE {SLIDE}], both modes\n"
+    );
+    let spa = format!(
+        "SELECT sensor, AVG(temp) FROM sensors [ROWS {WINDOW} SLIDE {SLIDE}] \
+         WHERE temp > 18.0 GROUP BY sensor"
+    );
+    let st_join = format!(
+        "SELECT dim.zone, AVG(sensors.temp), COUNT(*) \
+         FROM sensors [ROWS {WINDOW} SLIDE {SLIDE}] JOIN dim ON sensors.sensor = dim.sensor \
+         GROUP BY dim.zone"
+    );
+    let ss_join = format!(
+        "SELECT COUNT(*), AVG(sensors.temp) \
+         FROM sensors [ROWS {WINDOW} SLIDE {SLIDE}] \
+         JOIN alerts [ROWS {WINDOW} SLIDE {SLIDE}] ON sensors.sensor = alerts.sensor \
+         WHERE alerts.level >= 3"
+    );
+
+    let mut t = Table::new(&["query class", "reeval us/slide", "incr us/slide", "speedup"]);
+    for (label, sql, two) in [
+        ("SPA", spa.as_str(), false),
+        ("stream JOIN table", st_join.as_str(), false),
+        ("stream JOIN stream", ss_join.as_str(), true),
+    ] {
+        let re = run(sql, ExecutionMode::Reevaluate, two);
+        let inc = run(sql, ExecutionMode::Incremental, two);
+        t.row(&[
+            label.to_string(),
+            f1(re),
+            f1(inc),
+            format!("{:.1}x", re / inc.max(0.001)),
+        ]);
+    }
+    t.print();
+    println!(
+        "\nshape check: joins pay the most under re-evaluation (hash tables\nrebuilt over the whole window every slide), so incremental processing\nhelps complex queries more than cheap SPA plans."
+    );
+}

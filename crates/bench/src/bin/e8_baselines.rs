@@ -1,0 +1,130 @@
+//! E8 — architectural baselines (paper §2).
+//!
+//! Two comparisons on the *same* queries and data:
+//!
+//! 1. **bulk columnar vs tuple-at-a-time volcano**: DataCell against the
+//!    Volcano comparator engine (same binder, same plans, row-by-row
+//!    interpretation) — "bulk processing instead of volcano and vectorized
+//!    query processing as opposed to tuple-based".
+//! 2. **continuous vs store-first-query-later**: DataCell against the
+//!    traditional insert-then-requery DBMS pattern, whose latency grows
+//!    with the stored history.
+
+use datacell_baseline::{StoreFirstEngine, VolcanoEngine};
+use datacell_bench::report::{f1, f2, Table};
+use datacell_core::{DataCell, ExecutionMode};
+use datacell_workload::{SensorConfig, SensorStream};
+
+const TUPLES: usize = 120_000;
+const BATCH: usize = 4000;
+const QUERY: &str = "SELECT sensor, COUNT(*), AVG(temp), MAX(temp) \
+                     FROM sensors [ROWS 8192 SLIDE 2048] WHERE temp > 16.0 GROUP BY sensor";
+
+fn feed(gen: &mut SensorStream) -> Vec<Vec<datacell_storage::Value>> {
+    gen.take_rows(BATCH)
+}
+
+fn run_datacell(mode: ExecutionMode) -> f64 {
+    let mut cell = DataCell::default();
+    cell.execute(&SensorStream::create_stream_sql("sensors")).unwrap();
+    let q = cell.register_query_with_mode(QUERY, mode).unwrap();
+    let mut gen = SensorStream::new(SensorConfig::default());
+    let start = std::time::Instant::now();
+    let mut fed = 0;
+    while fed < TUPLES {
+        let rows = feed(&mut gen);
+        cell.push_rows("sensors", &rows).unwrap();
+        cell.run_until_idle().unwrap();
+        let _ = cell.take_results(q);
+        fed += BATCH;
+    }
+    TUPLES as f64 / start.elapsed().as_secs_f64()
+}
+
+fn run_volcano() -> f64 {
+    let mut engine = VolcanoEngine::new();
+    engine.execute(&SensorStream::create_stream_sql("sensors")).unwrap();
+    let q = engine.register_query(QUERY).unwrap();
+    let mut gen = SensorStream::new(SensorConfig::default());
+    let start = std::time::Instant::now();
+    let mut fed = 0;
+    while fed < TUPLES {
+        let rows = feed(&mut gen);
+        engine.push_rows("sensors", &rows).unwrap();
+        engine.run_until_idle().unwrap();
+        let _ = engine.take_results(q);
+        fed += BATCH;
+    }
+    TUPLES as f64 / start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    println!("E8a: execution model — {TUPLES} tuples, sliding grouped aggregate\nquery: {QUERY}\n");
+    let mut t = Table::new(&["engine", "tuples/s", "vs volcano"]);
+    let volcano = run_volcano();
+    let reeval = run_datacell(ExecutionMode::Reevaluate);
+    let incr = run_datacell(ExecutionMode::Incremental);
+    t.row(&["volcano tuple-at-a-time".into(), f1(volcano), "1.0x".into()]);
+    t.row(&[
+        "DataCell bulk (re-evaluation)".into(),
+        f1(reeval),
+        format!("{:.1}x", reeval / volcano),
+    ]);
+    t.row(&[
+        "DataCell bulk (incremental)".into(),
+        f1(incr),
+        format!("{:.1}x", incr / volcano),
+    ]);
+    t.print();
+
+    println!("\nE8b: store-first-query-later — per-batch answer latency as history grows");
+    let mut store = StoreFirstEngine::new();
+    store.create_table("CREATE STREAM sensors (ts TIMESTAMP, sensor BIGINT, temp DOUBLE)")
+        .unwrap();
+    let sq = store
+        .register_query(
+            "SELECT sensor, COUNT(*), AVG(temp), MAX(temp) FROM sensors \
+             WHERE temp > 16.0 GROUP BY sensor",
+        )
+        .unwrap();
+    // DataCell equivalent: unwindowed continuous query (consume-once).
+    let mut cell = DataCell::default();
+    cell.execute(&SensorStream::create_stream_sql("sensors")).unwrap();
+    let cq = cell
+        .register_query(
+            "SELECT sensor, COUNT(*), AVG(temp), MAX(temp) FROM sensors \
+             WHERE temp > 16.0 GROUP BY sensor",
+        )
+        .unwrap();
+
+    let mut gen_a = SensorStream::new(SensorConfig::default());
+    let mut gen_b = SensorStream::new(SensorConfig::default());
+    let mut t = Table::new(&[
+        "stored rows", "store-first us/batch", "DataCell us/batch", "ratio",
+    ]);
+    let mut stored = 0usize;
+    for step in 1..=10 {
+        let rows_a = gen_a.take_rows(BATCH);
+        let rows_b = gen_b.take_rows(BATCH);
+        stored += BATCH;
+        store.push_rows("sensors", &rows_a).unwrap();
+        let (_, sf_us) = datacell_bench::time_once(|| store.evaluate(sq).unwrap());
+        cell.push_rows("sensors", &rows_b).unwrap();
+        let (_, dc_us) = datacell_bench::time_once(|| {
+            cell.run_until_idle().unwrap();
+            cell.take_results(cq).unwrap()
+        });
+        if step % 2 == 0 {
+            t.row(&[
+                stored.to_string(),
+                f1(sf_us),
+                f1(dc_us),
+                f2(sf_us / dc_us.max(0.001)),
+            ]);
+        }
+    }
+    t.print();
+    println!(
+        "\nshape check: columnar bulk processing beats the interpreted volcano\nmodel by an order of magnitude at equal plans; store-first latency grows\nlinearly with history while the continuous engine stays flat."
+    );
+}

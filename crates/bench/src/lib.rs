@@ -1,0 +1,12 @@
+//! # datacell-bench
+//!
+//! The experiment harness: one binary per paper experiment (see DESIGN.md
+//! §4 for the experiment index) plus Criterion micro-benchmarks. Every
+//! binary prints the table/series the corresponding demo scenario or claim
+//! describes; EXPERIMENTS.md records paper-expected shape vs. measured.
+
+#![warn(missing_docs)]
+
+pub mod report;
+
+pub use report::{median_micros, time_once, Table};

@@ -1,0 +1,123 @@
+//! Tiny reporting toolkit for the experiment binaries: aligned ASCII
+//! tables and stable timing helpers.
+
+use std::time::Instant;
+
+/// Time one closure invocation in microseconds.
+pub fn time_once<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64() * 1e6)
+}
+
+/// Median of a sample of microsecond measurements.
+pub fn median_micros(mut samples: Vec<f64>) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let mid = samples.len() / 2;
+    if samples.len() % 2 == 0 {
+        (samples[mid - 1] + samples[mid]) / 2.0
+    } else {
+        samples[mid]
+    }
+}
+
+/// An aligned ASCII table accumulated row by row.
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Append one row (stringified cells).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Render with per-column alignment.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            let mut line = String::new();
+            for i in 0..ncols {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:>width$}", cells[i], width = widths[i]));
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push_str(&format!(
+            "{}\n",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1))
+        ));
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Format a float with 1 decimal.
+pub fn f1(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+/// Format a float with 2 decimals.
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_of_samples() {
+        assert_eq!(median_micros(vec![3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median_micros(vec![1.0, 2.0, 3.0, 4.0]), 2.5);
+        assert_eq!(median_micros(vec![]), 0.0);
+    }
+
+    #[test]
+    fn table_alignment() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(&["x".into(), "10".into()]);
+        t.row(&["longer".into(), "7".into()]);
+        let text = t.render();
+        assert!(text.contains("name"));
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[1].chars().filter(|&c| c == '-').count(), lines[1].len());
+    }
+
+    #[test]
+    fn time_once_measures() {
+        let (v, us) = time_once(|| 21 * 2);
+        assert_eq!(v, 42);
+        assert!(us >= 0.0);
+    }
+}

@@ -1,0 +1,264 @@
+//! Baskets: the lightweight stream tables of DataCell.
+//!
+//! "When an event stream enters the system via a receptor, stream tuples
+//! are immediately stored in a lightweight table, called basket. By
+//! collecting event tuples into baskets, DataCell can evaluate the
+//! continuous queries over the baskets as if they were normal one-time
+//! queries… Once a tuple has been seen by all relevant queries/operators,
+//! it is dropped from its basket." (paper §3)
+//!
+//! A basket is columnar like a table (one BAT per attribute, shared dense
+//! OID head) but supports *retirement*: dropping a consumed prefix while
+//! OIDs keep advancing, so factory cursors remain valid.
+
+use datacell_storage::{Bat, Chunk, Oid, Result as StorageResult, Row, Schema};
+
+/// A windowed, append-only columnar stream buffer.
+#[derive(Debug, Clone)]
+pub struct Basket {
+    name: String,
+    schema: Schema,
+    columns: Vec<Bat>,
+    /// Total tuples ever appended.
+    arrived: u64,
+    /// Total tuples retired (dropped from the front).
+    retired: u64,
+    /// Paused receptors stop appending (demo §4 "Pause and Resume").
+    paused: bool,
+}
+
+impl Basket {
+    /// Create an empty basket for `schema`.
+    pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        let columns = schema.columns().iter().map(|c| Bat::new(c.ty)).collect();
+        Basket { name: name.into(), schema, columns, arrived: 0, retired: 0, paused: false }
+    }
+
+    /// Basket name (= stream name).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Tuple schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Tuples currently buffered.
+    pub fn len(&self) -> usize {
+        self.columns.first().map_or(0, Bat::len)
+    }
+
+    /// True iff no tuples are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// OID of the oldest buffered tuple.
+    pub fn first_oid(&self) -> Oid {
+        self.columns.first().map_or(0, Bat::oid_base)
+    }
+
+    /// One-past-the-newest OID (the high-water mark).
+    pub fn high_water(&self) -> Oid {
+        self.columns.first().map_or(0, Bat::oid_end)
+    }
+
+    /// Total tuples ever appended.
+    pub fn arrived(&self) -> u64 {
+        self.arrived
+    }
+
+    /// Total tuples retired.
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// Whether the basket is paused (appends rejected).
+    pub fn is_paused(&self) -> bool {
+        self.paused
+    }
+
+    /// Pause/resume ingestion.
+    pub fn set_paused(&mut self, paused: bool) {
+        self.paused = paused;
+    }
+
+    /// Append one validated row; returns its OID, or `None` when paused.
+    pub fn push(&mut self, row: &Row) -> StorageResult<Option<Oid>> {
+        if self.paused {
+            return Ok(None);
+        }
+        self.schema.validate_row(row)?;
+        let oid = self.high_water();
+        for (col, val) in self.columns.iter_mut().zip(row) {
+            col.push(val)?;
+        }
+        self.arrived += 1;
+        Ok(Some(oid))
+    }
+
+    /// Append many rows (all validated first); returns how many entered.
+    pub fn push_rows(&mut self, rows: &[Row]) -> StorageResult<usize> {
+        if self.paused {
+            return Ok(0);
+        }
+        for row in rows {
+            self.schema.validate_row(row)?;
+        }
+        for row in rows {
+            for (col, val) in self.columns.iter_mut().zip(row) {
+                col.push(val)?;
+            }
+        }
+        self.arrived += rows.len() as u64;
+        Ok(rows.len())
+    }
+
+    /// Append a pre-built columnar chunk (receptor bulk path).
+    pub fn push_chunk(&mut self, chunk: &Chunk) -> StorageResult<usize> {
+        if self.paused {
+            return Ok(0);
+        }
+        for (col, inc) in self.columns.iter_mut().zip(chunk.columns()) {
+            col.append(inc)?;
+        }
+        self.arrived += chunk.len() as u64;
+        Ok(chunk.len())
+    }
+
+    /// Copy the tuples with OIDs in `[lo, hi)` (clamped) as a chunk whose
+    /// columns keep their original OID heads.
+    pub fn slice(&self, lo: Oid, hi: Oid) -> Chunk {
+        Chunk::new(self.columns.iter().map(|c| c.slice_oids(lo, hi)).collect())
+            .expect("basket columns aligned")
+    }
+
+    /// The whole buffered contents.
+    pub fn contents(&self) -> Chunk {
+        self.slice(self.first_oid(), self.high_water())
+    }
+
+    /// Drop all tuples with OID `< keep_from` — called by the scheduler once
+    /// every consumer's cursor has passed them.
+    pub fn retire_before(&mut self, keep_from: Oid) {
+        let first = self.first_oid();
+        if keep_from <= first {
+            return;
+        }
+        let n = (keep_from.min(self.high_water()) - first) as usize;
+        for c in &mut self.columns {
+            c.drop_front(n);
+        }
+        self.retired += n as u64;
+    }
+
+    /// Timestamp value of the newest tuple in column `col` (RANGE windows).
+    pub fn last_value_int(&self, col: usize) -> Option<i64> {
+        let bat = self.columns.get(col)?;
+        if bat.is_empty() {
+            return None;
+        }
+        bat.get_at(bat.len() - 1).as_int()
+    }
+
+    /// Approximate buffered bytes (monitor pane).
+    pub fn byte_size(&self) -> usize {
+        self.columns.iter().map(Bat::byte_size).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datacell_storage::{DataType, Value};
+
+    fn basket() -> Basket {
+        Basket::new("s", Schema::of(&[("ts", DataType::Int), ("v", DataType::Float)]))
+    }
+
+    fn row(ts: i64, v: f64) -> Row {
+        vec![Value::Int(ts), Value::Float(v)]
+    }
+
+    #[test]
+    fn push_and_high_water() {
+        let mut b = basket();
+        assert_eq!(b.push(&row(1, 0.5)).unwrap(), Some(0));
+        assert_eq!(b.push(&row(2, 1.5)).unwrap(), Some(1));
+        assert_eq!(b.high_water(), 2);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.arrived(), 2);
+    }
+
+    #[test]
+    fn validation_enforced() {
+        let mut b = basket();
+        assert!(b.push(&vec![Value::Str("x".into()), Value::Null]).is_err());
+        assert_eq!(b.len(), 0);
+    }
+
+    #[test]
+    fn retirement_advances_base_keeps_oids() {
+        let mut b = basket();
+        b.push_rows(&[row(1, 1.0), row(2, 2.0), row(3, 3.0)]).unwrap();
+        b.retire_before(2);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.first_oid(), 2);
+        assert_eq!(b.high_water(), 3);
+        assert_eq!(b.retired(), 2);
+        // retiring before the current base is a no-op
+        b.retire_before(1);
+        assert_eq!(b.len(), 1);
+        // new arrivals continue the OID sequence
+        b.push(&row(4, 4.0)).unwrap();
+        assert_eq!(b.high_water(), 4);
+    }
+
+    #[test]
+    fn slice_windows() {
+        let mut b = basket();
+        for i in 0..10 {
+            b.push(&row(i, i as f64)).unwrap();
+        }
+        let w = b.slice(3, 7);
+        assert_eq!(w.len(), 4);
+        assert_eq!(w.column(0).oid_base(), 3);
+        assert_eq!(w.row(0)[0], Value::Int(3));
+        // clamping
+        let w = b.slice(8, 100);
+        assert_eq!(w.len(), 2);
+    }
+
+    #[test]
+    fn pause_blocks_appends() {
+        let mut b = basket();
+        b.set_paused(true);
+        assert_eq!(b.push(&row(1, 1.0)).unwrap(), None);
+        assert_eq!(b.push_rows(&[row(1, 1.0)]).unwrap(), 0);
+        assert!(b.is_paused());
+        b.set_paused(false);
+        assert_eq!(b.push(&row(1, 1.0)).unwrap(), Some(0));
+    }
+
+    #[test]
+    fn last_value_for_range_windows() {
+        let mut b = basket();
+        assert_eq!(b.last_value_int(0), None);
+        b.push(&row(42, 0.0)).unwrap();
+        assert_eq!(b.last_value_int(0), Some(42));
+    }
+
+    #[test]
+    fn push_chunk_bulk_path() {
+        let mut b = basket();
+        let chunk = Chunk::new(vec![
+            Bat::from_ints(vec![1, 2]),
+            Bat::from_floats(vec![0.1, 0.2]),
+        ])
+        .unwrap();
+        assert_eq!(b.push_chunk(&chunk).unwrap(), 2);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.arrived(), 2);
+    }
+}

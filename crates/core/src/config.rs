@@ -1,0 +1,54 @@
+//! Engine configuration — the "DataCell knobs" the demo lets the audience
+//! vary (paper §4).
+
+use datacell_plan::ExecutionMode;
+
+/// Tunable engine parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataCellConfig {
+    /// Default execution mode for newly registered continuous queries.
+    pub default_mode: ExecutionMode,
+    /// Whether incremental factories cache per-basic-window partials.
+    /// Disabling this (ablation) recomputes every basic window per slide,
+    /// isolating the benefit of intermediate reuse.
+    pub cache_partials: bool,
+    /// Minimum number of pending tuples before an *unwindowed* continuous
+    /// query fires. 1 = fire per tuple (lowest latency); larger values
+    /// batch arrivals (higher throughput) — the scheduler's batching knob.
+    pub firing_threshold: usize,
+    /// Retire (drop) basket tuples once every consumer has passed them.
+    pub retire_consumed: bool,
+}
+
+impl Default for DataCellConfig {
+    fn default() -> Self {
+        DataCellConfig {
+            default_mode: ExecutionMode::Reevaluate,
+            cache_partials: true,
+            firing_threshold: 1,
+            retire_consumed: true,
+        }
+    }
+}
+
+impl DataCellConfig {
+    /// Config with incremental mode as the default.
+    pub fn incremental() -> Self {
+        DataCellConfig { default_mode: ExecutionMode::Incremental, ..Default::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let c = DataCellConfig::default();
+        assert_eq!(c.default_mode, ExecutionMode::Reevaluate);
+        assert!(c.cache_partials);
+        assert_eq!(c.firing_threshold, 1);
+        assert!(c.retire_consumed);
+        assert_eq!(DataCellConfig::incremental().default_mode, ExecutionMode::Incremental);
+    }
+}

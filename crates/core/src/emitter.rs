@@ -1,0 +1,87 @@
+//! Emitters: result delivery to clients.
+//!
+//! The counterpart of receptors on the output edge (paper §3, Figure 1):
+//! each continuous query's result chunks are pushed into subscriber
+//! channels; an [`Emitter`] wraps one such channel and gives clients
+//! blocking, polling and draining access.
+
+use std::time::Duration;
+
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender, TryRecvError};
+use datacell_storage::Chunk;
+
+/// Create a connected (sender, emitter) pair for one query's results.
+pub fn channel(query: u64, capacity: Option<usize>) -> (Sender<Chunk>, Emitter) {
+    let (tx, rx) = match capacity {
+        Some(n) => crossbeam::channel::bounded(n),
+        None => crossbeam::channel::unbounded(),
+    };
+    (tx, Emitter { query, rx })
+}
+
+/// Client-side handle receiving one query's result chunks.
+pub struct Emitter {
+    query: u64,
+    rx: Receiver<Chunk>,
+}
+
+impl Emitter {
+    /// The query this emitter listens to.
+    pub fn query(&self) -> u64 {
+        self.query
+    }
+
+    /// Non-blocking poll for the next result chunk.
+    pub fn try_next(&self) -> Option<Chunk> {
+        match self.rx.try_recv() {
+            Ok(c) => Some(c),
+            Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => None,
+        }
+    }
+
+    /// Block up to `timeout` for the next result chunk.
+    pub fn next_timeout(&self, timeout: Duration) -> Option<Chunk> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(c) => Some(c),
+            Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => None,
+        }
+    }
+
+    /// Drain everything currently buffered.
+    pub fn drain(&self) -> Vec<Chunk> {
+        let mut out = Vec::new();
+        while let Some(c) = self.try_next() {
+            out.push(c);
+        }
+        out
+    }
+
+    /// Total rows across everything currently buffered (consumes them).
+    pub fn drain_rows(&self) -> usize {
+        self.drain().iter().map(Chunk::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datacell_storage::Bat;
+
+    #[test]
+    fn try_next_and_drain() {
+        let (tx, em) = channel(7, None);
+        assert_eq!(em.query(), 7);
+        assert!(em.try_next().is_none());
+        tx.send(Chunk::new(vec![Bat::from_ints(vec![1, 2])]).unwrap()).unwrap();
+        tx.send(Chunk::new(vec![Bat::from_ints(vec![3])]).unwrap()).unwrap();
+        assert_eq!(em.drain_rows(), 3);
+        assert!(em.try_next().is_none());
+    }
+
+    #[test]
+    fn timeout_returns_none_on_disconnect() {
+        let (tx, em) = channel(1, Some(4));
+        drop(tx);
+        assert!(em.next_timeout(Duration::from_millis(5)).is_none());
+    }
+}

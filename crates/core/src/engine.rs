@@ -1,0 +1,498 @@
+//! The DataCell engine facade: catalog + baskets + factories + scheduler.
+//!
+//! This is the programmatic surface of the whole system (paper Figure 1):
+//! DDL and one-time queries via [`DataCell::execute`], continuous queries
+//! via [`DataCell::register_query`], stream ingestion via
+//! [`DataCell::push_rows`] (or threaded [`crate::receptor::Receptor`]s),
+//! and event-driven evaluation via [`DataCell::step`] /
+//! [`DataCell::run_until_idle`].
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::Arc;
+
+use crossbeam::channel::Sender;
+use datacell_plan::{compile, execute, Binder, ExecSources, ExecutionMode};
+use datacell_sql::{parse_statement, Statement};
+use datacell_storage::{Catalog, Chunk, Row, Schema};
+use parking_lot::RwLock;
+
+use crate::basket::Basket;
+use crate::config::DataCellConfig;
+use crate::emitter::{channel, Emitter};
+use crate::error::{EngineError, Result};
+use crate::factory::{BasketHandle, Factory, FireContext};
+use crate::network::QueryNetwork;
+use crate::scheduler::Scheduler;
+use crate::stats::{BasketStats, EngineStats, QueryStats};
+
+/// Outcome of [`DataCell::execute`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecOutcome {
+    /// Object created.
+    Created(String),
+    /// Object dropped.
+    Dropped(String),
+    /// Rows inserted.
+    Inserted(usize),
+    /// One-time query result: column names plus rows.
+    Rows {
+        /// Output column names.
+        names: Vec<String>,
+        /// Result data.
+        chunk: Chunk,
+    },
+}
+
+/// Identifier of a registered continuous query.
+pub type QueryId = u64;
+
+/// The DataCell instance.
+pub struct DataCell {
+    catalog: Catalog,
+    baskets: HashMap<String, BasketHandle>,
+    factories: BTreeMap<QueryId, Factory>,
+    results: HashMap<QueryId, VecDeque<Chunk>>,
+    subscribers: HashMap<QueryId, Vec<Sender<Chunk>>>,
+    scheduler: Scheduler,
+    config: DataCellConfig,
+    next_qid: QueryId,
+}
+
+impl Default for DataCell {
+    fn default() -> Self {
+        DataCell::new(DataCellConfig::default())
+    }
+}
+
+impl DataCell {
+    /// Create an engine with the given configuration.
+    pub fn new(config: DataCellConfig) -> Self {
+        DataCell {
+            catalog: Catalog::new(),
+            baskets: HashMap::new(),
+            factories: BTreeMap::new(),
+            results: HashMap::new(),
+            subscribers: HashMap::new(),
+            scheduler: Scheduler::new(),
+            config,
+            next_qid: 1,
+        }
+    }
+
+    /// The engine's catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Current configuration.
+    pub fn config(&self) -> &DataCellConfig {
+        &self.config
+    }
+
+    /// Mutate configuration knobs (affects subsequent firings).
+    pub fn config_mut(&mut self) -> &mut DataCellConfig {
+        &mut self.config
+    }
+
+    // ---- DDL / DML / one-time queries ---------------------------------
+
+    /// Execute a single SQL statement: `CREATE TABLE`, `CREATE STREAM`,
+    /// `DROP`, `INSERT`, or a one-time `SELECT`.
+    pub fn execute(&mut self, sql: &str) -> Result<ExecOutcome> {
+        match parse_statement(sql)? {
+            Statement::CreateTable { name, columns } => {
+                let schema = spec_schema(&columns);
+                self.catalog.create_table(&name, schema)?;
+                Ok(ExecOutcome::Created(name))
+            }
+            Statement::CreateStream { name, columns } => {
+                let schema = spec_schema(&columns);
+                self.catalog.create_stream(&name, schema.clone())?;
+                self.baskets.insert(
+                    name.to_ascii_lowercase(),
+                    Arc::new(RwLock::new(Basket::new(&name, schema))),
+                );
+                Ok(ExecOutcome::Created(name))
+            }
+            Statement::Drop { name } => {
+                self.catalog.drop_entry(&name)?;
+                self.baskets.remove(&name.to_ascii_lowercase());
+                Ok(ExecOutcome::Dropped(name))
+            }
+            Statement::Insert { table, rows } => {
+                let mut converted: Vec<Row> = Vec::with_capacity(rows.len());
+                for row in &rows {
+                    converted.push(
+                        row.iter()
+                            .map(datacell_plan::literal_to_value)
+                            .collect::<datacell_plan::Result<Row>>()?,
+                    );
+                }
+                if self.catalog.is_stream(&table) {
+                    Ok(ExecOutcome::Inserted(self.push_rows(&table, &converted)?))
+                } else {
+                    let handle = self.catalog.table(&table)?;
+                    let n = handle.write().insert_rows(&converted)?;
+                    Ok(ExecOutcome::Inserted(n))
+                }
+            }
+            Statement::Select(stmt) => {
+                let bound = Binder::new(&self.catalog).bind_select(&stmt)?;
+                let compiled = compile(sql, bound)?;
+                // One-time evaluation: tables snapshot; streams read their
+                // current basket contents without consuming. Windows only
+                // make sense continuously.
+                for s in &compiled.streams {
+                    if s.window.is_some() {
+                        return Err(EngineError::InvalidStatement(
+                            "windowed queries must be registered as continuous queries"
+                                .into(),
+                        ));
+                    }
+                }
+                let mut sources = ExecSources::new();
+                for s in &compiled.streams {
+                    let basket = self
+                        .baskets
+                        .get(&s.object.to_ascii_lowercase())
+                        .ok_or_else(|| EngineError::UnknownStream(s.object.clone()))?;
+                    sources.bind(&s.binding, basket.read().contents());
+                }
+                for (binding, object) in &compiled.tables {
+                    let handle = self.catalog.table(object)?;
+                    let snap = handle.read().scan();
+                    sources.bind(binding, snap);
+                }
+                let chunk = execute(&compiled.plan, &sources).map_err(EngineError::Plan)?;
+                Ok(ExecOutcome::Rows { names: compiled.output_names, chunk })
+            }
+        }
+    }
+
+    /// Run a `;`-separated script of statements.
+    pub fn execute_script(&mut self, script: &str) -> Result<Vec<ExecOutcome>> {
+        let stmts = datacell_sql::parse_script(script)?;
+        let mut out = Vec::with_capacity(stmts.len());
+        for stmt in stmts {
+            out.push(self.execute(&stmt.to_string())?);
+        }
+        Ok(out)
+    }
+
+    // ---- continuous queries --------------------------------------------
+
+    /// Register a continuous query in the engine's default mode.
+    pub fn register_query(&mut self, sql: &str) -> Result<QueryId> {
+        self.register_query_with_mode(sql, self.config.default_mode)
+    }
+
+    /// Register a continuous query with an explicit execution mode.
+    pub fn register_query_with_mode(
+        &mut self,
+        sql: &str,
+        mode: ExecutionMode,
+    ) -> Result<QueryId> {
+        let stmt = match parse_statement(sql)? {
+            Statement::Select(s) => s,
+            other => {
+                return Err(EngineError::InvalidStatement(format!(
+                    "only SELECT can be registered as a continuous query, got {other}"
+                )))
+            }
+        };
+        let bound = Binder::new(&self.catalog).bind_select(&stmt)?;
+        let compiled = compile(sql, bound)?;
+        if !compiled.is_continuous() {
+            return Err(EngineError::InvalidStatement(
+                "query reads no stream; run it with execute() instead".into(),
+            ));
+        }
+        let id = self.next_qid;
+        self.next_qid += 1;
+        let factory = Factory::new(id, compiled, mode, &self.baskets, &self.catalog)?;
+        self.factories.insert(id, factory);
+        self.results.insert(id, VecDeque::new());
+        Ok(id)
+    }
+
+    /// Remove a continuous query from the network.
+    pub fn deregister_query(&mut self, id: QueryId) -> Result<()> {
+        self.factories
+            .remove(&id)
+            .map(|_| {
+                self.results.remove(&id);
+                self.subscribers.remove(&id);
+            })
+            .ok_or(EngineError::UnknownQuery(id))
+    }
+
+    /// Pause / resume one query (paper §4, "Pause and Resume").
+    pub fn set_query_paused(&mut self, id: QueryId, paused: bool) -> Result<()> {
+        self.factories
+            .get_mut(&id)
+            .map(|f| f.paused = paused)
+            .ok_or(EngineError::UnknownQuery(id))
+    }
+
+    /// Pause / resume one stream's ingestion.
+    pub fn set_stream_paused(&mut self, stream: &str, paused: bool) -> Result<()> {
+        self.baskets
+            .get(&stream.to_ascii_lowercase())
+            .map(|b| b.write().set_paused(paused))
+            .ok_or_else(|| EngineError::UnknownStream(stream.to_owned()))
+    }
+
+    /// The effective execution mode of a query.
+    pub fn query_mode(&self, id: QueryId) -> Result<ExecutionMode> {
+        self.factories
+            .get(&id)
+            .map(|f| f.mode)
+            .ok_or(EngineError::UnknownQuery(id))
+    }
+
+    // ---- ingestion -----------------------------------------------------
+
+    /// Append rows to a stream's basket. Returns how many were accepted
+    /// (0 when the stream is paused).
+    pub fn push_rows(&mut self, stream: &str, rows: &[Row]) -> Result<usize> {
+        let basket = self
+            .baskets
+            .get(&stream.to_ascii_lowercase())
+            .ok_or_else(|| EngineError::UnknownStream(stream.to_owned()))?;
+        Ok(basket.write().push_rows(rows)?)
+    }
+
+    /// Append a columnar chunk to a stream's basket (bulk receptor path).
+    pub fn push_chunk(&mut self, stream: &str, chunk: &Chunk) -> Result<usize> {
+        let basket = self
+            .baskets
+            .get(&stream.to_ascii_lowercase())
+            .ok_or_else(|| EngineError::UnknownStream(stream.to_owned()))?;
+        Ok(basket.write().push_chunk(chunk)?)
+    }
+
+    /// Shared handle to a stream's basket (for receptor threads).
+    pub fn basket(&self, stream: &str) -> Result<BasketHandle> {
+        self.baskets
+            .get(&stream.to_ascii_lowercase())
+            .cloned()
+            .ok_or_else(|| EngineError::UnknownStream(stream.to_owned()))
+    }
+
+    // ---- scheduling ------------------------------------------------------
+
+    /// Fire every enabled factory once; returns how many fired.
+    pub fn step(&mut self) -> Result<usize> {
+        let ctx = FireContext {
+            baskets: &self.baskets,
+            catalog: &self.catalog,
+            config: &self.config,
+        };
+        let results = &mut self.results;
+        let subscribers = &mut self.subscribers;
+        let mut sink = |qid: QueryId, chunk: Chunk| {
+            if let Some(subs) = subscribers.get_mut(&qid) {
+                subs.retain(|tx| tx.send(chunk.clone()).is_ok());
+            }
+            results.entry(qid).or_default().push_back(chunk);
+        };
+        let mut factories: Vec<&mut Factory> = self.factories.values_mut().collect();
+        let fired = self.scheduler.step(&mut factories, &ctx, &mut sink)?;
+        self.scheduler.rounds += 1;
+        drop(factories);
+        if self.config.retire_consumed {
+            self.retire();
+        }
+        Ok(fired)
+    }
+
+    /// Run the scheduler until quiescent; returns total firings.
+    pub fn run_until_idle(&mut self) -> Result<u64> {
+        let mut total = 0u64;
+        loop {
+            let fired = self.step()?;
+            if fired == 0 {
+                return Ok(total);
+            }
+            total += fired as u64;
+        }
+    }
+
+    /// Drop basket prefixes every consumer has passed.
+    fn retire(&mut self) {
+        // stream object (lowercase) → [(query id, binding)]
+        let mut consumers: HashMap<String, Vec<(QueryId, String)>> = HashMap::new();
+        for f in self.factories.values() {
+            for s in &f.query.streams {
+                consumers
+                    .entry(s.object.to_ascii_lowercase())
+                    .or_default()
+                    .push((f.id, s.binding.clone()));
+            }
+        }
+        for (object, basket) in &self.baskets {
+            let Some(users) = consumers.get(object) else {
+                continue; // no consumers: keep (a query may register later)
+            };
+            let mut min_needed: Option<u64> = None;
+            for (qid, binding) in users {
+                if let Some(f) = self.factories.get(qid) {
+                    if let Some(n) = f.needed_from(binding) {
+                        min_needed = Some(min_needed.map_or(n, |m| m.min(n)));
+                    }
+                }
+            }
+            if let Some(bound) = min_needed {
+                basket.write().retire_before(bound);
+            }
+        }
+    }
+
+    // ---- results ----------------------------------------------------------
+
+    /// Take all pending result chunks of a query.
+    pub fn take_results(&mut self, id: QueryId) -> Result<Vec<Chunk>> {
+        if !self.factories.contains_key(&id) && !self.results.contains_key(&id) {
+            return Err(EngineError::UnknownQuery(id));
+        }
+        Ok(self
+            .results
+            .get_mut(&id)
+            .map(|q| q.drain(..).collect())
+            .unwrap_or_default())
+    }
+
+    /// The most recent result chunk, discarding older pending ones.
+    pub fn latest_result(&mut self, id: QueryId) -> Result<Option<Chunk>> {
+        Ok(self.take_results(id)?.pop())
+    }
+
+    /// Subscribe an emitter to a query's future results.
+    pub fn subscribe(&mut self, id: QueryId) -> Result<Emitter> {
+        if !self.factories.contains_key(&id) {
+            return Err(EngineError::UnknownQuery(id));
+        }
+        let (tx, emitter) = channel(id, None);
+        self.subscribers.entry(id).or_default().push(tx);
+        Ok(emitter)
+    }
+
+    /// Output column names of a query.
+    pub fn output_names(&self, id: QueryId) -> Result<Vec<String>> {
+        self.factories
+            .get(&id)
+            .map(|f| f.output_names().to_vec())
+            .ok_or(EngineError::UnknownQuery(id))
+    }
+
+    /// Output schema of a query.
+    pub fn output_schema(&self, id: QueryId) -> Result<Schema> {
+        self.factories
+            .get(&id)
+            .map(|f| f.output_schema())
+            .ok_or(EngineError::UnknownQuery(id))
+    }
+
+    // ---- monitoring --------------------------------------------------------
+
+    /// Plan inspection for a registered query (one-time vs continuous vs
+    /// incremental shapes).
+    pub fn explain(&self, id: QueryId) -> Result<String> {
+        let f = self.factories.get(&id).ok_or(EngineError::UnknownQuery(id))?;
+        let mut text = f.query.explain_modes();
+        text.push_str(&format!(
+            "effective mode: {}\n",
+            match f.mode {
+                ExecutionMode::Reevaluate => "full re-evaluation",
+                ExecutionMode::Incremental => "incremental",
+            }
+        ));
+        if let Some(note) = &f.mode_note {
+            text.push_str(&format!("note: {note}\n"));
+        }
+        Ok(text)
+    }
+
+    /// Plan inspection for an arbitrary SELECT without registering it.
+    pub fn explain_sql(&self, sql: &str) -> Result<String> {
+        let stmt = match parse_statement(sql)? {
+            Statement::Select(s) => s,
+            other => {
+                return Err(EngineError::InvalidStatement(format!(
+                    "EXPLAIN supports SELECT only, got {other}"
+                )))
+            }
+        };
+        let bound = Binder::new(&self.catalog).bind_select(&stmt)?;
+        let compiled = compile(sql, bound)?;
+        Ok(compiled.explain_modes())
+    }
+
+    /// The query network (demo's network pane).
+    pub fn network(&self) -> QueryNetwork {
+        QueryNetwork::from_factories(self.factories.values())
+    }
+
+    /// Whole-engine statistics snapshot (demo's analysis pane).
+    pub fn stats(&self) -> EngineStats {
+        let mut baskets: Vec<BasketStats> = self
+            .baskets
+            .values()
+            .map(|b| {
+                let b = b.read();
+                BasketStats {
+                    name: b.name().to_owned(),
+                    arrived: b.arrived(),
+                    retired: b.retired(),
+                    buffered: b.len(),
+                    bytes: b.byte_size(),
+                    paused: b.is_paused(),
+                }
+            })
+            .collect();
+        baskets.sort_by(|a, b| a.name.cmp(&b.name));
+        let queries = self
+            .factories
+            .values()
+            .map(|f| QueryStats {
+                id: f.id,
+                sql: f.query.sql.clone(),
+                mode: match f.mode {
+                    ExecutionMode::Reevaluate => "reevaluate".into(),
+                    ExecutionMode::Incremental => "incremental".into(),
+                },
+                firings: f.stats.firings,
+                tuples_in: f.stats.tuples_in,
+                tuples_out: f.stats.tuples_out,
+                busy: f.stats.busy,
+                last_tuples_touched: f.stats.last_tuples_touched,
+                pending_results: self.results.get(&f.id).map_or(0, VecDeque::len),
+                paused: f.paused,
+            })
+            .collect();
+        EngineStats {
+            baskets,
+            queries,
+            total_firings: self.scheduler.total_firings,
+            scheduler_rounds: self.scheduler.rounds,
+        }
+    }
+
+    /// Ids of all registered queries.
+    pub fn query_ids(&self) -> Vec<QueryId> {
+        self.factories.keys().copied().collect()
+    }
+}
+
+fn spec_schema(columns: &[datacell_sql::ColumnSpec]) -> Schema {
+    Schema::new(
+        columns
+            .iter()
+            .map(|c| datacell_storage::ColumnDef {
+                name: c.name.clone(),
+                ty: datacell_plan::type_of(c.ty),
+                not_null: c.not_null,
+            })
+            .collect(),
+    )
+}

@@ -1,0 +1,58 @@
+//! Engine error type.
+
+use std::fmt;
+
+use datacell_plan::PlanError;
+use datacell_sql::ParseError;
+use datacell_storage::StorageError;
+
+/// Errors surfaced by the DataCell engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// SQL parse error.
+    Parse(ParseError),
+    /// Storage error.
+    Storage(StorageError),
+    /// Planner/executor error.
+    Plan(PlanError),
+    /// Unknown continuous query id.
+    UnknownQuery(u64),
+    /// Unknown stream (no basket registered).
+    UnknownStream(String),
+    /// Statement kind not valid in this API (e.g. SELECT via `execute`).
+    InvalidStatement(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Parse(e) => write!(f, "{e}"),
+            EngineError::Storage(e) => write!(f, "{e}"),
+            EngineError::Plan(e) => write!(f, "{e}"),
+            EngineError::UnknownQuery(id) => write!(f, "unknown continuous query: q{id}"),
+            EngineError::UnknownStream(s) => write!(f, "unknown stream: {s}"),
+            EngineError::InvalidStatement(m) => write!(f, "invalid statement: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<ParseError> for EngineError {
+    fn from(e: ParseError) -> Self {
+        EngineError::Parse(e)
+    }
+}
+impl From<StorageError> for EngineError {
+    fn from(e: StorageError) -> Self {
+        EngineError::Storage(e)
+    }
+}
+impl From<PlanError> for EngineError {
+    fn from(e: PlanError) -> Self {
+        EngineError::Plan(e)
+    }
+}
+
+/// Convenience alias used throughout the engine crate.
+pub type Result<T> = std::result::Result<T, EngineError>;

@@ -1,0 +1,742 @@
+//! Factories: resumable continuous-query plan instances.
+//!
+//! "Continuous query plans are represented by factories, i.e., a kind of
+//! co-routine… Each factory encloses a (partial) query plan and produces a
+//! partial result at each call. For this, a factory continuously reads data
+//! from the input baskets, evaluates its query plan and creates a result
+//! set… The factory remains active as long as the continuous query remains
+//! in the system." (paper §3)
+//!
+//! A factory owns per-stream window cursors and — in incremental mode —
+//! the cached basic-window partials (rings of [`PartialAgg`]s or pairwise
+//! join caches). Each `fire()` consumes exactly one slide step.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use datacell_algebra::JoinHashTable;
+use datacell_plan::{
+    execute, CompiledQuery, ExecSources, ExecutionMode, IncrementalAggPlan,
+    IncrementalJoinPlan, IncrementalPlan, PartialAgg, PlanError, AGG_BINDING, JOIN_BINDING,
+};
+use datacell_sql::WindowSpec;
+use datacell_storage::{Catalog, Chunk, Oid, Schema};
+use parking_lot::RwLock;
+
+use crate::basket::Basket;
+use crate::config::DataCellConfig;
+use crate::error::{EngineError, Result};
+
+/// Shared handle to a basket.
+pub type BasketHandle = Arc<RwLock<Basket>>;
+
+/// Everything a factory needs at fire time.
+pub struct FireContext<'a> {
+    /// Baskets by stream name (lowercase).
+    pub baskets: &'a HashMap<String, BasketHandle>,
+    /// The catalog, for table snapshots.
+    pub catalog: &'a Catalog,
+    /// Engine knobs.
+    pub config: &'a DataCellConfig,
+}
+
+/// Window cursor over one stream input.
+#[derive(Debug, Clone)]
+enum Cursor {
+    /// Consume-once semantics: everything since `next`.
+    Unwindowed { next: Oid },
+    /// Count-based basic windows of `slide` tuples; a full window is
+    /// `ring_len` basic windows.
+    Rows { slide: u64, ring_len: usize, next_bw_end: Oid },
+    /// Time-based basic windows of `slide` units over column `col`.
+    Range { slide: i64, ring_len: usize, col: usize, next_bw_end: Option<i64>, low_oid: Oid },
+}
+
+/// Runtime counters per factory (the demo's per-query Analysis pane).
+#[derive(Debug, Clone, Default)]
+pub struct FactoryStats {
+    /// Number of times the factory fired.
+    pub firings: u64,
+    /// Stream tuples consumed.
+    pub tuples_in: u64,
+    /// Result tuples produced.
+    pub tuples_out: u64,
+    /// Total time spent evaluating.
+    pub busy: Duration,
+    /// Rows of the most recent result.
+    pub last_result_rows: usize,
+    /// Tuples touched by plan evaluation in the last firing (intermediate
+    /// volume — what incremental mode shrinks).
+    pub last_tuples_touched: u64,
+}
+
+/// Incremental runtime state.
+enum IncrState {
+    Agg(AggRings),
+    Join(JoinRings),
+}
+
+/// Ring of per-basic-window partial aggregates.
+struct AggRings {
+    ring: VecDeque<PartialAgg>,
+    /// Delta chunks kept only when partial caching is disabled (ablation).
+    raw_ring: VecDeque<Chunk>,
+}
+
+/// Pairwise basic-window join caches.
+struct JoinRings {
+    left: VecDeque<(u64, Chunk)>,
+    right: VecDeque<(u64, Chunk, JoinHashTable)>,
+    next_epoch: u64,
+    /// `(left_epoch, right_epoch)` → cached pair result.
+    pairs: HashMap<(u64, u64), PairCache>,
+}
+
+enum PairCache {
+    Agg(PartialAgg),
+    Rows(Chunk),
+}
+
+/// A factory: one continuous query instance.
+pub struct Factory {
+    /// Engine-assigned query id.
+    pub id: u64,
+    /// The compiled query.
+    pub query: CompiledQuery,
+    /// Effective execution mode (may be forced to re-evaluation when the
+    /// plan does not decompose).
+    pub mode: ExecutionMode,
+    /// Why incremental mode was refused, if it was requested but unusable.
+    pub mode_note: Option<String>,
+    /// Paused factories are never enabled (demo §4 "Pause and Resume").
+    pub paused: bool,
+    cursors: HashMap<String, Cursor>,
+    incr: Option<IncrState>,
+    table_cache: HashMap<String, (u64, Chunk)>,
+    /// Tuples consumed by the most recent window advance (stats detail).
+    last_delta_len: u64,
+    /// Runtime counters.
+    pub stats: FactoryStats,
+}
+
+fn ring_len_of(w: &WindowSpec) -> Option<usize> {
+    match w {
+        WindowSpec::Rows { size, slide } => {
+            (size % slide == 0).then(|| (size / slide) as usize)
+        }
+        WindowSpec::Range { size, slide, .. } => {
+            (size % slide == 0).then(|| (size / slide) as usize)
+        }
+    }
+}
+
+impl Factory {
+    /// Build a factory for `query` in `requested` mode, positioned at the
+    /// current high-water marks of the baskets (a new query only sees
+    /// future tuples).
+    pub fn new(
+        id: u64,
+        query: CompiledQuery,
+        requested: ExecutionMode,
+        baskets: &HashMap<String, BasketHandle>,
+        catalog: &Catalog,
+    ) -> Result<Self> {
+        let mut cursors = HashMap::new();
+        for s in &query.streams {
+            let basket = baskets
+                .get(&s.object.to_ascii_lowercase())
+                .ok_or_else(|| EngineError::UnknownStream(s.object.clone()))?;
+            let hw = basket.read().high_water();
+            let cursor = match &s.window {
+                None => Cursor::Unwindowed { next: hw },
+                Some(WindowSpec::Rows { slide, .. }) => Cursor::Rows {
+                    slide: *slide,
+                    ring_len: ring_len_of(s.window.as_ref().expect("window")).unwrap_or(1),
+                    next_bw_end: hw + slide,
+                },
+                Some(WindowSpec::Range { slide, on, .. }) => {
+                    let schema = catalog.schema_of(&s.object).map_err(EngineError::Storage)?;
+                    let col = schema.index_of(on).map_err(EngineError::Storage)?;
+                    Cursor::Range {
+                        slide: *slide,
+                        ring_len: ring_len_of(s.window.as_ref().expect("window")).unwrap_or(1),
+                        col,
+                        next_bw_end: None,
+                        low_oid: hw,
+                    }
+                }
+            };
+            cursors.insert(s.binding.to_ascii_lowercase(), cursor);
+        }
+
+        // Decide the effective mode.
+        let mut mode = requested;
+        let mut mode_note = None;
+        let mut incr = None;
+        if requested == ExecutionMode::Incremental {
+            let divisible = query
+                .streams
+                .iter()
+                .all(|s| s.window.as_ref().is_none_or(|w| ring_len_of(w).is_some()));
+            match (&query.incremental, divisible) {
+                (Some(IncrementalPlan::Aggregate(_)), true) => {
+                    incr = Some(IncrState::Agg(AggRings {
+                        ring: VecDeque::new(),
+                        raw_ring: VecDeque::new(),
+                    }));
+                }
+                (Some(IncrementalPlan::Join(_)), true) => {
+                    incr = Some(IncrState::Join(JoinRings {
+                        left: VecDeque::new(),
+                        right: VecDeque::new(),
+                        next_epoch: 0,
+                        pairs: HashMap::new(),
+                    }));
+                }
+                (None, _) => {
+                    mode = ExecutionMode::Reevaluate;
+                    mode_note =
+                        Some("plan does not decompose; falling back to re-evaluation".into());
+                }
+                (_, false) => {
+                    mode = ExecutionMode::Reevaluate;
+                    mode_note = Some(
+                        "window size not divisible by slide; falling back to re-evaluation"
+                            .into(),
+                    );
+                }
+            }
+        }
+
+        Ok(Factory {
+            id,
+            query,
+            mode,
+            mode_note,
+            paused: false,
+            cursors,
+            incr,
+            table_cache: HashMap::new(),
+            last_delta_len: 0,
+            stats: FactoryStats::default(),
+        })
+    }
+
+    /// Petri-net firing condition: is there a complete next slide on every
+    /// stream input (and is the factory not paused)?
+    pub fn enabled(&self, ctx: &FireContext<'_>) -> bool {
+        if self.paused || self.cursors.is_empty() {
+            return false;
+        }
+        self.query.streams.iter().all(|s| {
+            let Some(basket) = ctx.baskets.get(&s.object.to_ascii_lowercase()) else {
+                return false;
+            };
+            let b = basket.read();
+            match &self.cursors[&s.binding.to_ascii_lowercase()] {
+                Cursor::Unwindowed { next } => {
+                    b.high_water().saturating_sub(*next) >= ctx.config.firing_threshold as u64
+                        && b.high_water() > *next
+                }
+                Cursor::Rows { next_bw_end, .. } => b.high_water() >= *next_bw_end,
+                Cursor::Range { col, next_bw_end, .. } => match b.last_value_int(*col) {
+                    None => false,
+                    Some(last) => match next_bw_end {
+                        None => true, // first tuple arrived; boundary can be set
+                        Some(end) => last >= *end,
+                    },
+                },
+            }
+        })
+    }
+
+    /// The OID this factory still needs from `stream` (retirement bound).
+    pub fn needed_from(&self, binding: &str) -> Option<Oid> {
+        match self.cursors.get(&binding.to_ascii_lowercase())? {
+            Cursor::Unwindowed { next } => Some(*next),
+            Cursor::Rows { slide, ring_len, next_bw_end } => {
+                // Oldest basic window still inside the *next* full window.
+                Some(next_bw_end.saturating_sub(slide * (*ring_len as u64)))
+            }
+            Cursor::Range { low_oid, .. } => Some(*low_oid),
+        }
+    }
+
+    /// Consume one slide step: evaluate and return the result chunk (None
+    /// when the slide completed but no output is due yet, e.g. the first
+    /// window is still filling in incremental mode).
+    pub fn fire(&mut self, ctx: &FireContext<'_>) -> Result<Option<Chunk>> {
+        let start = Instant::now();
+        let result = match self.mode {
+            ExecutionMode::Reevaluate => self.fire_reevaluate(ctx),
+            ExecutionMode::Incremental => self.fire_incremental(ctx),
+        };
+        self.stats.busy += start.elapsed();
+        self.stats.firings += 1;
+        if let Ok(Some(chunk)) = &result {
+            self.stats.tuples_out += chunk.len() as u64;
+            self.stats.last_result_rows = chunk.len();
+        }
+        result
+    }
+
+    // ---- full re-evaluation mode -------------------------------------
+
+    fn fire_reevaluate(&mut self, ctx: &FireContext<'_>) -> Result<Option<Chunk>> {
+        let mut sources = ExecSources::new();
+        let mut touched = 0u64;
+        // Current windows per stream.
+        let streams = self.query.streams.clone();
+        for s in &streams {
+            let basket = ctx
+                .baskets
+                .get(&s.object.to_ascii_lowercase())
+                .ok_or_else(|| EngineError::UnknownStream(s.object.clone()))?;
+            let window = self.advance_window(&s.binding, &basket.read())?;
+            touched += window.len() as u64;
+            self.stats.tuples_in += self.last_delta_len;
+            sources.bind(&s.binding, window);
+        }
+        self.bind_tables(ctx, &mut sources)?;
+        let out = execute(&self.query.plan, &sources).map_err(EngineError::Plan)?;
+        self.stats.last_tuples_touched = touched;
+        Ok(Some(out))
+    }
+
+    /// Slice the current full window of `binding` and advance its cursor by
+    /// one slide.
+    fn advance_window(&mut self, binding: &str, basket: &Basket) -> Result<Chunk> {
+        let key = binding.to_ascii_lowercase();
+        let _spec = self.query.window_of(binding).cloned();
+        let cursor = self
+            .cursors
+            .get_mut(&key)
+            .ok_or_else(|| EngineError::UnknownStream(binding.to_owned()))?;
+        match cursor {
+            Cursor::Unwindowed { next } => {
+                let hi = basket.high_water();
+                let chunk = basket.slice(*next, hi);
+                self.last_delta_len = chunk.len() as u64;
+                *next = hi;
+                Ok(chunk)
+            }
+            Cursor::Rows { slide, ring_len, next_bw_end } => {
+                let size = (*ring_len as u64) * *slide;
+                let end = *next_bw_end + (*ring_len as u64 - 1) * *slide;
+                // Window covering the *latest complete* basic window:
+                // fire consumes basic window ending at next_bw_end; the full
+                // window is the `size` tuples ending there plus the ones
+                // before (may be partial at the start of the stream).
+                let win_end = *next_bw_end;
+                let win_start = win_end.saturating_sub(size);
+                let chunk = basket.slice(win_start, win_end);
+                self.last_delta_len = *slide;
+                *next_bw_end += *slide;
+                let _ = end;
+                Ok(chunk)
+            }
+            Cursor::Range { slide, ring_len, col, next_bw_end, low_oid } => {
+                let size = *slide * (*ring_len as i64);
+                // Initialize the boundary lazily from the first tuple seen.
+                let first_end = match next_bw_end {
+                    Some(e) => *e,
+                    None => {
+                        let contents = basket.slice(*low_oid, basket.high_water());
+                        let first_ts = contents
+                            .column(*col)
+                            .get_at(0)
+                            .as_int()
+                            .ok_or_else(|| {
+                                EngineError::Plan(PlanError::Internal(
+                                    "RANGE window over NULL timestamp".into(),
+                                ))
+                            })?;
+                        let e = first_ts + *slide;
+                        *next_bw_end = Some(e);
+                        e
+                    }
+                };
+                let win_end = first_end;
+                let win_start = win_end - size;
+                // Slice by value: rows with ts in [win_start, win_end).
+                let chunk = basket.slice(*low_oid, basket.high_water());
+                let ts = chunk.column(*col);
+                let n = ts.len();
+                let mut start_pos = 0usize;
+                while start_pos < n
+                    && ts.get_at(start_pos).as_int().is_some_and(|v| v < win_start)
+                {
+                    start_pos += 1;
+                }
+                let mut end_pos = start_pos;
+                while end_pos < n
+                    && ts.get_at(end_pos).as_int().is_some_and(|v| v < win_end)
+                {
+                    end_pos += 1;
+                }
+                let base = chunk.column(*col).oid_base();
+                let out = chunk.slice_oids(base + start_pos as u64, base + end_pos as u64);
+                self.last_delta_len = out.len() as u64;
+                *next_bw_end = Some(win_end + *slide);
+                *low_oid = base + start_pos as u64;
+                Ok(out)
+            }
+        }
+    }
+
+    // ---- incremental mode ---------------------------------------------
+
+    fn fire_incremental(&mut self, ctx: &FireContext<'_>) -> Result<Option<Chunk>> {
+        match self.query.incremental.clone() {
+            Some(IncrementalPlan::Aggregate(plan)) => self.fire_incr_agg(ctx, &plan),
+            Some(IncrementalPlan::Join(plan)) => self.fire_incr_join(ctx, &plan),
+            None => self.fire_reevaluate(ctx),
+        }
+    }
+
+    /// Slice the *next basic window* (one slide of tuples) of `binding`.
+    fn next_basic_window(&mut self, binding: &str, basket: &Basket) -> Result<Option<Chunk>> {
+        let key = binding.to_ascii_lowercase();
+        let cursor = self
+            .cursors
+            .get_mut(&key)
+            .ok_or_else(|| EngineError::UnknownStream(binding.to_owned()))?;
+        match cursor {
+            Cursor::Unwindowed { next } => {
+                let hi = basket.high_water();
+                if hi <= *next {
+                    return Ok(None);
+                }
+                let chunk = basket.slice(*next, hi);
+                *next = hi;
+                Ok(Some(chunk))
+            }
+            Cursor::Rows { slide, next_bw_end, .. } => {
+                if basket.high_water() < *next_bw_end {
+                    return Ok(None);
+                }
+                let chunk = basket.slice(*next_bw_end - *slide, *next_bw_end);
+                *next_bw_end += *slide;
+                Ok(Some(chunk))
+            }
+            Cursor::Range { slide, col, next_bw_end, low_oid, .. } => {
+                let contents = basket.slice(*low_oid, basket.high_water());
+                if contents.is_empty() {
+                    return Ok(None);
+                }
+                let end = match next_bw_end {
+                    Some(e) => *e,
+                    None => {
+                        let first_ts =
+                            contents.column(*col).get_at(0).as_int().unwrap_or(0);
+                        let e = first_ts + *slide;
+                        *next_bw_end = Some(e);
+                        e
+                    }
+                };
+                let last = basket.last_value_int(*col).unwrap_or(i64::MIN);
+                if last < end {
+                    return Ok(None);
+                }
+                let ts = contents.column(*col);
+                let mut end_pos = 0usize;
+                let n = ts.len();
+                while end_pos < n && ts.get_at(end_pos).as_int().is_some_and(|v| v < end) {
+                    end_pos += 1;
+                }
+                let base = ts.oid_base();
+                let chunk = contents.slice_oids(base, base + end_pos as u64);
+                *next_bw_end = Some(end + *slide);
+                *low_oid = base + end_pos as u64;
+                Ok(Some(chunk))
+            }
+        }
+    }
+
+    fn ring_len_for(&self, binding: &str) -> usize {
+        match self.cursors.get(&binding.to_ascii_lowercase()) {
+            Some(Cursor::Rows { ring_len, .. }) | Some(Cursor::Range { ring_len, .. }) => {
+                *ring_len
+            }
+            _ => 1,
+        }
+    }
+
+    fn fire_incr_agg(
+        &mut self,
+        ctx: &FireContext<'_>,
+        plan: &IncrementalAggPlan,
+    ) -> Result<Option<Chunk>> {
+        let basket = ctx
+            .baskets
+            .get(&plan.stream.object.to_ascii_lowercase())
+            .ok_or_else(|| EngineError::UnknownStream(plan.stream.object.clone()))?
+            .read()
+            .clone();
+        let Some(delta) = self.next_basic_window(&plan.stream.binding, &basket)? else {
+            return Ok(None);
+        };
+        self.stats.tuples_in += delta.len() as u64;
+        self.stats.last_tuples_touched = delta.len() as u64;
+
+        // Per-delta pre-plan (filters, table joins) then partial aggregate.
+        let mut sources = ExecSources::new();
+        sources.bind(&plan.stream.binding, delta);
+        self.bind_tables(ctx, &mut sources)?;
+        let pre = execute(&plan.pre_plan, &sources).map_err(EngineError::Plan)?;
+
+        let ring_len = self.ring_len_for(&plan.stream.binding);
+        let Some(IncrState::Agg(rings)) = &mut self.incr else {
+            return Err(EngineError::Plan(PlanError::Internal(
+                "incremental state missing".into(),
+            )));
+        };
+
+        if ctx.config.cache_partials {
+            let partial = PartialAgg::compute(&pre, &plan.group_exprs, &plan.aggs)
+                .map_err(EngineError::Plan)?;
+            rings.ring.push_back(partial);
+            if rings.ring.len() > ring_len {
+                rings.ring.pop_front();
+            }
+            if rings.ring.len() < ring_len {
+                return Ok(None); // window still filling
+            }
+            let mut merged = PartialAgg::default();
+            for p in &rings.ring {
+                merged.merge(p);
+            }
+            let agg_chunk = merged
+                .finalize(&plan.group_exprs, &plan.group_types, &plan.aggs)
+                .map_err(EngineError::Plan)?;
+            self.run_post(ctx, &plan.post_plan, AGG_BINDING, agg_chunk).map(Some)
+        } else {
+            // Ablation: no partial caching — keep raw deltas and recompute
+            // every basic window per slide.
+            rings.raw_ring.push_back(pre);
+            if rings.raw_ring.len() > ring_len {
+                rings.raw_ring.pop_front();
+            }
+            if rings.raw_ring.len() < ring_len {
+                return Ok(None);
+            }
+            let mut merged = PartialAgg::default();
+            let mut touched = 0u64;
+            for chunk in rings.raw_ring.iter() {
+                touched += chunk.len() as u64;
+                merged
+                    .fold(chunk, &plan.group_exprs, &plan.aggs)
+                    .map_err(EngineError::Plan)?;
+            }
+            self.stats.last_tuples_touched = touched;
+            let agg_chunk = merged
+                .finalize(&plan.group_exprs, &plan.group_types, &plan.aggs)
+                .map_err(EngineError::Plan)?;
+            self.run_post(ctx, &plan.post_plan, AGG_BINDING, agg_chunk).map(Some)
+        }
+    }
+
+    fn fire_incr_join(
+        &mut self,
+        ctx: &FireContext<'_>,
+        plan: &IncrementalJoinPlan,
+    ) -> Result<Option<Chunk>> {
+        use datacell_plan::eval_predicate;
+        // Pull at most one new basic window per side.
+        let mut new_left: Option<Chunk> = None;
+        let mut new_right: Option<Chunk> = None;
+        for (side, stream) in [(0, &plan.left_stream), (1, &plan.right_stream)] {
+            let basket = ctx
+                .baskets
+                .get(&stream.object.to_ascii_lowercase())
+                .ok_or_else(|| EngineError::UnknownStream(stream.object.clone()))?
+                .read()
+                .clone();
+            if let Some(delta) = self.next_basic_window(&stream.binding, &basket)? {
+                self.stats.tuples_in += delta.len() as u64;
+                let mut sources = ExecSources::new();
+                sources.bind(&stream.binding, delta);
+                self.bind_tables(ctx, &mut sources)?;
+                let pre = if side == 0 {
+                    execute(&plan.left_pre, &sources)
+                } else {
+                    execute(&plan.right_pre, &sources)
+                }
+                .map_err(EngineError::Plan)?;
+                if side == 0 {
+                    new_left = Some(pre);
+                } else {
+                    new_right = Some(pre);
+                }
+            }
+        }
+        if new_left.is_none() && new_right.is_none() {
+            return Ok(None);
+        }
+
+        let nl = self.ring_len_for(&plan.left_stream.binding);
+        let nr = self.ring_len_for(&plan.right_stream.binding);
+        let Some(IncrState::Join(rings)) = &mut self.incr else {
+            return Err(EngineError::Plan(PlanError::Internal(
+                "incremental join state missing".into(),
+            )));
+        };
+
+        let mut touched = 0u64;
+        // Helper: join one left chunk with one right (chunk, table) pair.
+        let compute_pair = |lc: &Chunk,
+                            rc: &Chunk,
+                            table: &JoinHashTable|
+         -> Result<PairCache> {
+            let probe = lc.column(plan.left_key);
+            let (lp, roids) = table.probe(probe, None);
+            let rbase = rc.column(plan.right_key).oid_base();
+            let rp: Vec<usize> = roids.into_iter().map(|o| (o - rbase) as usize).collect();
+            let mut cols = Vec::with_capacity(lc.arity() + rc.arity());
+            for c in lc.columns() {
+                cols.push(c.gather_positions(&lp));
+            }
+            for c in rc.columns() {
+                cols.push(c.gather_positions(&rp));
+            }
+            let mut pairs = Chunk::new(cols).map_err(|e| EngineError::Plan(e.into()))?;
+            if let Some(f) = &plan.pair_filter {
+                let cand = if pairs.arity() == 0 {
+                    datacell_algebra::Candidates::empty()
+                } else {
+                    datacell_algebra::Candidates::all(pairs.column(0))
+                };
+                let hits = eval_predicate(f, &pairs, &cand).map_err(EngineError::Plan)?;
+                pairs = datacell_algebra::fetch_chunk(&pairs, &hits);
+            }
+            match &plan.agg {
+                Some(agg) => Ok(PairCache::Agg(
+                    PartialAgg::compute(&pairs, &agg.group_exprs, &agg.aggs)
+                        .map_err(EngineError::Plan)?,
+                )),
+                None => Ok(PairCache::Rows(pairs)),
+            }
+        };
+
+        // Insert new epochs and compute the new pairs only.
+        if let Some(lc) = new_left {
+            let epoch = rings.next_epoch;
+            rings.next_epoch += 1;
+            touched += lc.len() as u64;
+            for (re, rc, table) in rings.right.iter() {
+                rings.pairs.insert((epoch, *re), compute_pair(&lc, rc, table)?);
+            }
+            rings.left.push_back((epoch, lc));
+            if rings.left.len() > nl {
+                let (old, _) = rings.left.pop_front().expect("nonempty");
+                rings.pairs.retain(|(l, _), _| *l != old);
+            }
+        }
+        if let Some(rc) = new_right {
+            let epoch = rings.next_epoch;
+            rings.next_epoch += 1;
+            touched += rc.len() as u64;
+            let table = JoinHashTable::build(rc.column(plan.right_key), None);
+            for (le, lc) in rings.left.iter() {
+                rings.pairs.insert((*le, epoch), compute_pair(lc, &rc, &table)?);
+            }
+            rings.right.push_back((epoch, rc, table));
+            if rings.right.len() > nr {
+                let (old, _, _) = rings.right.pop_front().expect("nonempty");
+                rings.pairs.retain(|(_, r), _| *r != old);
+            }
+        }
+        self.stats.last_tuples_touched = touched;
+
+        // Emit only once both windows are full.
+        if rings.left.len() < nl || rings.right.len() < nr {
+            return Ok(None);
+        }
+
+        // Deterministic pair order: by (left epoch, right epoch).
+        let mut keys: Vec<(u64, u64)> = rings.pairs.keys().copied().collect();
+        keys.sort_unstable();
+
+        match &plan.agg {
+            Some(agg) => {
+                let mut merged = PartialAgg::default();
+                for k in &keys {
+                    if let PairCache::Agg(p) = &rings.pairs[k] {
+                        merged.merge(p);
+                    }
+                }
+                let chunk = merged
+                    .finalize(&agg.group_exprs, &agg.group_types, &agg.aggs)
+                    .map_err(EngineError::Plan)?;
+                self.run_post(ctx, &plan.post_plan, AGG_BINDING, chunk).map(Some)
+            }
+            None => {
+                let mut all = Chunk::empty();
+                for k in &keys {
+                    if let PairCache::Rows(c) = &rings.pairs[k] {
+                        all.append(c).map_err(|e| EngineError::Plan(e.into()))?;
+                    }
+                }
+                self.run_post(ctx, &plan.post_plan, JOIN_BINDING, all).map(Some)
+            }
+        }
+    }
+
+    fn run_post(
+        &mut self,
+        ctx: &FireContext<'_>,
+        post: &datacell_plan::LogicalPlan,
+        binding: &str,
+        merged: Chunk,
+    ) -> Result<Chunk> {
+        let mut sources = ExecSources::new();
+        sources.bind(binding, merged);
+        self.bind_tables(ctx, &mut sources)?;
+        execute(post, &sources).map_err(EngineError::Plan)
+    }
+
+    /// Bind snapshots of every referenced table, cached by table version.
+    fn bind_tables(&mut self, ctx: &FireContext<'_>, sources: &mut ExecSources) -> Result<()> {
+        for (binding, object) in self.query.tables.clone() {
+            if binding.eq_ignore_ascii_case(AGG_BINDING)
+                || binding.eq_ignore_ascii_case(JOIN_BINDING)
+            {
+                continue;
+            }
+            let handle = ctx.catalog.table(&object).map_err(EngineError::Storage)?;
+            let table = handle.read();
+            let version = table.version();
+            let cached = self.table_cache.get(&binding);
+            let chunk = match cached {
+                Some((v, c)) if *v == version => c.clone(),
+                _ => {
+                    let snap = table.scan();
+                    self.table_cache
+                        .insert(binding.clone(), (version, snap.clone()));
+                    snap
+                }
+            };
+            sources.bind(&binding, chunk);
+        }
+        Ok(())
+    }
+
+    /// Output schema (names) of the query.
+    pub fn output_names(&self) -> &[String] {
+        &self.query.output_names
+    }
+
+    /// Output schema of the query as a [`Schema`].
+    pub fn output_schema(&self) -> Schema {
+        let names = self.query.plan.names();
+        let types = self.query.plan.types();
+        Schema::new(
+            names
+                .into_iter()
+                .zip(types)
+                .map(|(n, t)| datacell_storage::ColumnDef::new(n, t))
+                .collect(),
+        )
+    }
+}

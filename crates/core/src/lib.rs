@@ -1,0 +1,49 @@
+//! # datacell-core
+//!
+//! The DataCell runtime (paper Figure 1): **receptors** feed **baskets**,
+//! **factories** hold continuous query plans, a Petri-net **scheduler**
+//! fires them as events arrive, and **emitters** deliver results — all on
+//! top of the columnar kernel, so "stream processing … becomes primarily a
+//! query scheduling task" (paper §1).
+//!
+//! The facade type is [`DataCell`]:
+//!
+//! ```
+//! use datacell_core::DataCell;
+//!
+//! let mut cell = DataCell::default();
+//! cell.execute("CREATE STREAM s (ts TIMESTAMP, val BIGINT)").unwrap();
+//! let q = cell.register_query("SELECT COUNT(*), SUM(val) FROM s").unwrap();
+//! cell.push_rows("s", &[vec![1i64.into(), 10i64.into()],
+//!                       vec![2i64.into(), 32i64.into()]]).unwrap();
+//! cell.run_until_idle().unwrap();
+//! let out = cell.take_results(q).unwrap();
+//! assert_eq!(out[0].row(0), vec![2i64.into(), 42i64.into()]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod basket;
+pub mod config;
+pub mod emitter;
+pub mod engine;
+pub mod error;
+pub mod factory;
+pub mod network;
+pub mod receptor;
+pub mod scheduler;
+pub mod stats;
+
+pub use basket::Basket;
+pub use config::DataCellConfig;
+pub use emitter::Emitter;
+pub use engine::{DataCell, ExecOutcome, QueryId};
+pub use error::{EngineError, Result};
+pub use factory::{BasketHandle, Factory, FactoryStats, FireContext};
+pub use network::{NetworkEdge, QueryNetwork};
+pub use receptor::Receptor;
+pub use scheduler::Scheduler;
+pub use stats::{BasketStats, EngineStats, QueryStats};
+
+// Re-export the execution mode so engine users don't need datacell-plan.
+pub use datacell_plan::ExecutionMode;

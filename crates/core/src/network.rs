@@ -1,0 +1,116 @@
+//! Query-network introspection — the demo's "Query Network
+//! Characteristics" pane: "we can monitor which query waits for which
+//! stream, which baskets/columns it binds and how the various queries
+//! relate to each other regarding their input/output properties" (§4).
+
+use crate::factory::Factory;
+
+/// One edge of the bipartite basket/query graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetworkEdge {
+    /// Source basket (stream) or table name.
+    pub source: String,
+    /// `"stream"` or `"table"`.
+    pub kind: &'static str,
+    /// Consuming query id.
+    pub query: u64,
+    /// Window annotation, if any.
+    pub window: Option<String>,
+}
+
+/// The query network: who reads what.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QueryNetwork {
+    /// All edges.
+    pub edges: Vec<NetworkEdge>,
+}
+
+impl QueryNetwork {
+    /// Build the network from the registered factories.
+    pub fn from_factories<'a>(factories: impl Iterator<Item = &'a Factory>) -> Self {
+        let mut edges = Vec::new();
+        for f in factories {
+            for s in &f.query.streams {
+                edges.push(NetworkEdge {
+                    source: s.object.clone(),
+                    kind: "stream",
+                    query: f.id,
+                    window: s.window.as_ref().map(|w| w.to_string()),
+                });
+            }
+            for (_, object) in &f.query.tables {
+                edges.push(NetworkEdge {
+                    source: object.clone(),
+                    kind: "table",
+                    query: f.id,
+                    window: None,
+                });
+            }
+        }
+        QueryNetwork { edges }
+    }
+
+    /// Queries reading `source`.
+    pub fn consumers_of(&self, source: &str) -> Vec<u64> {
+        let mut v: Vec<u64> = self
+            .edges
+            .iter()
+            .filter(|e| e.source.eq_ignore_ascii_case(source))
+            .map(|e| e.query)
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Render as an ASCII bipartite graph.
+    pub fn describe(&self) -> String {
+        let mut out = String::new();
+        out.push_str("query network:\n");
+        if self.edges.is_empty() {
+            out.push_str("  (no continuous queries registered)\n");
+            return out;
+        }
+        let mut sources: Vec<(&str, &'static str)> =
+            self.edges.iter().map(|e| (e.source.as_str(), e.kind)).collect();
+        sources.sort_unstable();
+        sources.dedup();
+        for (source, kind) in sources {
+            out.push_str(&format!("  [{kind}] {source}\n"));
+            for e in self.edges.iter().filter(|e| e.source == source) {
+                match &e.window {
+                    Some(w) => out.push_str(&format!("    └─▶ q{} {w}\n", e.query)),
+                    None => out.push_str(&format!("    └─▶ q{}\n", e.query)),
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_network_renders() {
+        let n = QueryNetwork::default();
+        assert!(n.describe().contains("no continuous queries"));
+        assert!(n.consumers_of("s").is_empty());
+    }
+
+    #[test]
+    fn consumers_deduplicated_and_sorted() {
+        let n = QueryNetwork {
+            edges: vec![
+                NetworkEdge { source: "s".into(), kind: "stream", query: 2, window: None },
+                NetworkEdge { source: "s".into(), kind: "stream", query: 1, window: None },
+                NetworkEdge { source: "S".into(), kind: "stream", query: 2, window: None },
+            ],
+        };
+        assert_eq!(n.consumers_of("s"), vec![1, 2]);
+        let text = n.describe();
+        assert!(text.contains("[stream] s"));
+        assert!(text.contains("q1"));
+    }
+}

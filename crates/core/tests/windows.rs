@@ -1,0 +1,410 @@
+//! Window semantics and execution-mode equivalence tests.
+//!
+//! The central correctness claim of the reproduction: the paper's two
+//! execution modes ("queries are evaluated fully every time new relevant
+//! data arrive" vs. incremental basic-window processing) must produce
+//! identical results, slide for slide.
+
+use datacell_core::{DataCell, DataCellConfig, ExecutionMode};
+use datacell_storage::{Chunk, Row, Value};
+
+fn setup() -> DataCell {
+    let mut cell = DataCell::default();
+    cell.execute("CREATE STREAM s (ts BIGINT, k BIGINT, v BIGINT)").unwrap();
+    cell.execute("CREATE TABLE dim (k BIGINT, w BIGINT)").unwrap();
+    cell.execute("INSERT INTO dim VALUES (0, 100), (1, 200), (2, 300)").unwrap();
+    cell
+}
+
+fn rows(n: usize, start: i64) -> Vec<Row> {
+    (0..n as i64)
+        .map(|i| {
+            let t = start + i;
+            vec![Value::Int(t), Value::Int(t % 3), Value::Int(t * 10)]
+        })
+        .collect()
+}
+
+/// Feed the same stream to the same query in both modes; results must be
+/// identical chunk-for-chunk.
+fn assert_modes_agree(sql: &str, batches: &[Vec<Row>]) {
+    let mut outputs: Vec<Vec<Chunk>> = Vec::new();
+    for mode in [ExecutionMode::Reevaluate, ExecutionMode::Incremental] {
+        let mut cell = setup();
+        let q = cell.register_query_with_mode(sql, mode).unwrap();
+        let mut got = Vec::new();
+        for batch in batches {
+            cell.push_rows("s", batch).unwrap();
+            cell.run_until_idle().unwrap();
+            got.extend(cell.take_results(q).unwrap());
+        }
+        outputs.push(got);
+    }
+    let (reeval, incr) = (&outputs[0], &outputs[1]);
+    // Incremental mode stays silent while the first window fills; align on
+    // the common tail.
+    assert!(
+        reeval.len() >= incr.len(),
+        "incremental produced more outputs ({}) than re-evaluation ({})",
+        incr.len(),
+        reeval.len()
+    );
+    let offset = reeval.len() - incr.len();
+    for (i, (a, b)) in reeval[offset..].iter().zip(incr).enumerate() {
+        assert_eq!(
+            sorted_rows(a),
+            sorted_rows(b),
+            "slide {i} differs for {sql}\nreeval: {a:?}\nincr: {b:?}"
+        );
+    }
+    assert!(!incr.is_empty(), "incremental never produced output for {sql}");
+}
+
+fn sorted_rows(c: &Chunk) -> Vec<Vec<String>> {
+    let mut rows: Vec<Vec<String>> =
+        c.rows().map(|r| r.iter().map(|v| v.to_string()).collect()).collect();
+    rows.sort();
+    rows
+}
+
+#[test]
+fn unwindowed_count_consumes_once() {
+    let mut cell = setup();
+    let q = cell.register_query("SELECT COUNT(*) FROM s").unwrap();
+    cell.push_rows("s", &rows(5, 0)).unwrap();
+    cell.run_until_idle().unwrap();
+    cell.push_rows("s", &rows(3, 5)).unwrap();
+    cell.run_until_idle().unwrap();
+    let out = cell.take_results(q).unwrap();
+    assert_eq!(out.len(), 2);
+    assert_eq!(out[0].row(0), vec![Value::Int(5)]);
+    assert_eq!(out[1].row(0), vec![Value::Int(3)]);
+}
+
+#[test]
+fn tumbling_window_fires_per_window() {
+    let mut cell = setup();
+    let q = cell.register_query("SELECT SUM(v) FROM s [ROWS 4]").unwrap();
+    cell.push_rows("s", &rows(10, 0)).unwrap();
+    cell.run_until_idle().unwrap();
+    let out = cell.take_results(q).unwrap();
+    // two complete windows of 4; the remaining 2 tuples wait
+    assert_eq!(out.len(), 2);
+    assert_eq!(out[0].row(0), vec![Value::Int((0 + 1 + 2 + 3) * 10)]);
+    assert_eq!(out[1].row(0), vec![Value::Int((4 + 5 + 6 + 7) * 10)]);
+}
+
+#[test]
+fn sliding_window_reevaluate_counts() {
+    let mut cell = setup();
+    let q = cell
+        .register_query_with_mode(
+            "SELECT COUNT(*) FROM s [ROWS 6 SLIDE 2]",
+            ExecutionMode::Reevaluate,
+        )
+        .unwrap();
+    cell.push_rows("s", &rows(10, 0)).unwrap();
+    cell.run_until_idle().unwrap();
+    let out = cell.take_results(q).unwrap();
+    // windows end at 2,4,6,8,10 (slide 2); early windows are partial
+    assert_eq!(out.len(), 5);
+    let counts: Vec<i64> =
+        out.iter().map(|c| c.row(0)[0].as_int().unwrap()).collect();
+    assert_eq!(counts, vec![2, 4, 6, 6, 6]);
+}
+
+#[test]
+fn modes_agree_global_aggregate() {
+    assert_modes_agree(
+        "SELECT COUNT(*), SUM(v), MIN(v), MAX(v), AVG(v) FROM s [ROWS 8 SLIDE 2]",
+        &[rows(8, 0), rows(6, 8), rows(7, 14), rows(3, 21)],
+    );
+}
+
+#[test]
+fn modes_agree_grouped_aggregate() {
+    assert_modes_agree(
+        "SELECT k, SUM(v), COUNT(*) FROM s [ROWS 9 SLIDE 3] GROUP BY k",
+        &[rows(9, 0), rows(5, 9), rows(10, 14)],
+    );
+}
+
+#[test]
+fn modes_agree_with_filter_and_having() {
+    assert_modes_agree(
+        "SELECT k, SUM(v) FROM s [ROWS 12 SLIDE 4] WHERE v % 20 = 0 GROUP BY k HAVING COUNT(*) > 1",
+        &[rows(12, 0), rows(12, 12), rows(4, 24)],
+    );
+}
+
+#[test]
+fn modes_agree_stream_table_join() {
+    assert_modes_agree(
+        "SELECT dim.w, SUM(s.v) FROM s [ROWS 8 SLIDE 4] JOIN dim ON s.k = dim.k GROUP BY dim.w",
+        &[rows(8, 0), rows(8, 8), rows(4, 16)],
+    );
+}
+
+#[test]
+fn modes_agree_range_window() {
+    assert_modes_agree(
+        "SELECT COUNT(*), SUM(v) FROM s [RANGE 6 ON ts SLIDE 2]",
+        &[rows(8, 0), rows(6, 8), rows(8, 14)],
+    );
+}
+
+#[test]
+fn modes_agree_two_stream_join() {
+    let sql = "SELECT COUNT(*) FROM s [ROWS 6 SLIDE 2] JOIN r [ROWS 6 SLIDE 2] ON s.k = r.k";
+    let mut outputs: Vec<Vec<Chunk>> = Vec::new();
+    for mode in [ExecutionMode::Reevaluate, ExecutionMode::Incremental] {
+        let mut cell = setup();
+        cell.execute("CREATE STREAM r (ts BIGINT, k BIGINT)").unwrap();
+        let q = cell.register_query_with_mode(sql, mode).unwrap();
+        let mut got = Vec::new();
+        for start in [0i64, 6, 12] {
+            cell.push_rows("s", &rows(6, start)).unwrap();
+            let r_rows: Vec<Row> = (0..6)
+                .map(|i| vec![Value::Int(start + i), Value::Int((start + i) % 3)])
+                .collect();
+            cell.push_rows("r", &r_rows).unwrap();
+            cell.run_until_idle().unwrap();
+            got.extend(cell.take_results(q).unwrap());
+        }
+        outputs.push(got);
+    }
+    let (reeval, incr) = (&outputs[0], &outputs[1]);
+    assert!(!incr.is_empty());
+    let offset = reeval.len().saturating_sub(incr.len());
+    for (a, b) in reeval[offset..].iter().zip(incr) {
+        assert_eq!(sorted_rows(a), sorted_rows(b), "two-stream join modes disagree");
+    }
+}
+
+#[test]
+fn incremental_falls_back_when_not_divisible() {
+    let mut cell = setup();
+    let q = cell
+        .register_query_with_mode(
+            "SELECT SUM(v) FROM s [ROWS 7 SLIDE 3]",
+            ExecutionMode::Incremental,
+        )
+        .unwrap();
+    assert_eq!(cell.query_mode(q).unwrap(), ExecutionMode::Reevaluate);
+    let text = cell.explain(q).unwrap();
+    assert!(text.contains("falling back"), "{text}");
+}
+
+#[test]
+fn incremental_falls_back_for_projection_queries() {
+    let mut cell = setup();
+    let q = cell
+        .register_query_with_mode(
+            "SELECT v FROM s [ROWS 4 SLIDE 2] WHERE v > 20",
+            ExecutionMode::Incremental,
+        )
+        .unwrap();
+    assert_eq!(cell.query_mode(q).unwrap(), ExecutionMode::Reevaluate);
+}
+
+#[test]
+fn pause_and_resume_query() {
+    let mut cell = setup();
+    let q = cell.register_query("SELECT COUNT(*) FROM s").unwrap();
+    cell.set_query_paused(q, true).unwrap();
+    cell.push_rows("s", &rows(4, 0)).unwrap();
+    assert_eq!(cell.run_until_idle().unwrap(), 0);
+    assert!(cell.take_results(q).unwrap().is_empty());
+    cell.set_query_paused(q, false).unwrap();
+    cell.run_until_idle().unwrap();
+    let out = cell.take_results(q).unwrap();
+    assert_eq!(out.len(), 1);
+    assert_eq!(out[0].row(0), vec![Value::Int(4)]);
+}
+
+#[test]
+fn pause_stream_blocks_ingestion() {
+    let mut cell = setup();
+    cell.set_stream_paused("s", true).unwrap();
+    assert_eq!(cell.push_rows("s", &rows(4, 0)).unwrap(), 0);
+    cell.set_stream_paused("s", false).unwrap();
+    assert_eq!(cell.push_rows("s", &rows(4, 0)).unwrap(), 4);
+}
+
+#[test]
+fn basket_retirement_after_consumption() {
+    let mut cell = setup();
+    let _q = cell.register_query("SELECT COUNT(*) FROM s").unwrap();
+    cell.push_rows("s", &rows(100, 0)).unwrap();
+    cell.run_until_idle().unwrap();
+    let stats = cell.stats();
+    let s = stats.baskets.iter().find(|b| b.name == "s").unwrap();
+    assert_eq!(s.arrived, 100);
+    assert_eq!(s.retired, 100, "consumed tuples must be dropped from the basket");
+    assert_eq!(s.buffered, 0);
+}
+
+#[test]
+fn windowed_query_retains_window_tail() {
+    let mut cell = setup();
+    let _q = cell.register_query("SELECT SUM(v) FROM s [ROWS 4 SLIDE 2]").unwrap();
+    cell.push_rows("s", &rows(10, 0)).unwrap();
+    cell.run_until_idle().unwrap();
+    let stats = cell.stats();
+    let s = stats.baskets.iter().find(|b| b.name == "s").unwrap();
+    // The last window [6,10) may still be needed; tuples before OID 6 are not.
+    assert!(s.retired >= 6, "retired only {}", s.retired);
+    assert!(s.buffered <= 4);
+}
+
+#[test]
+fn multiple_queries_share_one_basket() {
+    let mut cell = setup();
+    let q1 = cell.register_query("SELECT COUNT(*) FROM s").unwrap();
+    let q2 = cell.register_query("SELECT SUM(v) FROM s [ROWS 4]").unwrap();
+    cell.push_rows("s", &rows(8, 0)).unwrap();
+    cell.run_until_idle().unwrap();
+    assert_eq!(cell.take_results(q1).unwrap().len(), 1);
+    assert_eq!(cell.take_results(q2).unwrap().len(), 2);
+    // retirement respects the slowest consumer
+    let stats = cell.stats();
+    let s = stats.baskets.iter().find(|b| b.name == "s").unwrap();
+    assert_eq!(s.retired, 8);
+}
+
+#[test]
+fn take_results_unknown_query_errors() {
+    let mut cell = setup();
+    assert!(cell.take_results(99).is_err());
+}
+
+#[test]
+fn emitter_receives_results() {
+    let mut cell = setup();
+    let q = cell.register_query("SELECT COUNT(*) FROM s").unwrap();
+    let emitter = cell.subscribe(q).unwrap();
+    cell.push_rows("s", &rows(3, 0)).unwrap();
+    cell.run_until_idle().unwrap();
+    let chunks = emitter.drain();
+    assert_eq!(chunks.len(), 1);
+    assert_eq!(chunks[0].row(0), vec![Value::Int(3)]);
+}
+
+#[test]
+fn firing_threshold_batches_arrivals() {
+    let mut cell = DataCell::new(DataCellConfig {
+        firing_threshold: 5,
+        ..Default::default()
+    });
+    cell.execute("CREATE STREAM s (v BIGINT)").unwrap();
+    let q = cell.register_query("SELECT COUNT(*) FROM s").unwrap();
+    cell.push_rows("s", &[vec![Value::Int(1)], vec![Value::Int(2)]]).unwrap();
+    assert_eq!(cell.run_until_idle().unwrap(), 0, "below threshold: no firing");
+    cell.push_rows(
+        "s",
+        &[vec![Value::Int(3)], vec![Value::Int(4)], vec![Value::Int(5)]],
+    )
+    .unwrap();
+    cell.run_until_idle().unwrap();
+    let out = cell.take_results(q).unwrap();
+    assert_eq!(out.len(), 1);
+    assert_eq!(out[0].row(0), vec![Value::Int(5)]);
+}
+
+#[test]
+fn one_time_query_over_stream_contents() {
+    let mut cell = setup();
+    cell.push_rows("s", &rows(5, 0)).unwrap();
+    match cell.execute("SELECT COUNT(*) FROM s").unwrap() {
+        datacell_core::ExecOutcome::Rows { chunk, .. } => {
+            assert_eq!(chunk.row(0), vec![Value::Int(5)]);
+        }
+        other => panic!("expected rows, got {other:?}"),
+    }
+    // non-consuming: basket still holds the tuples
+    assert_eq!(cell.stats().baskets.iter().find(|b| b.name == "s").unwrap().buffered, 5);
+}
+
+#[test]
+fn hybrid_one_time_join_stream_and_table() {
+    let mut cell = setup();
+    cell.push_rows("s", &rows(6, 0)).unwrap();
+    match cell
+        .execute("SELECT SUM(dim.w) FROM s JOIN dim ON s.k = dim.k")
+        .unwrap()
+    {
+        datacell_core::ExecOutcome::Rows { chunk, .. } => {
+            // k cycle 0,1,2 → w cycle 100,200,300, twice
+            assert_eq!(chunk.row(0), vec![Value::Int(1200)]);
+        }
+        other => panic!("expected rows, got {other:?}"),
+    }
+}
+
+#[test]
+fn ablation_no_partial_cache_same_results() {
+    let sql = "SELECT k, SUM(v) FROM s [ROWS 8 SLIDE 2] GROUP BY k";
+    let batches = vec![rows(8, 0), rows(8, 8)];
+    let mut with_cache = Vec::new();
+    let mut without_cache = Vec::new();
+    for (cache, sink) in [(true, &mut with_cache), (false, &mut without_cache)] {
+        let mut cell = DataCell::new(DataCellConfig {
+            cache_partials: cache,
+            ..DataCellConfig::incremental()
+        });
+        cell.execute("CREATE STREAM s (ts BIGINT, k BIGINT, v BIGINT)").unwrap();
+        let q = cell.register_query(sql).unwrap();
+        for b in &batches {
+            cell.push_rows("s", b).unwrap();
+            cell.run_until_idle().unwrap();
+            sink.extend(cell.take_results(q).unwrap());
+        }
+    }
+    assert_eq!(with_cache.len(), without_cache.len());
+    for (a, b) in with_cache.iter().zip(&without_cache) {
+        assert_eq!(sorted_rows(a), sorted_rows(b));
+    }
+}
+
+#[test]
+fn network_and_stats_render() {
+    let mut cell = setup();
+    let q1 = cell.register_query("SELECT COUNT(*) FROM s").unwrap();
+    let _q2 = cell
+        .register_query("SELECT dim.w, COUNT(*) FROM s [ROWS 4] JOIN dim ON s.k = dim.k GROUP BY dim.w")
+        .unwrap();
+    let net = cell.network();
+    assert_eq!(net.consumers_of("s").len(), 2);
+    let text = net.describe();
+    assert!(text.contains("[stream] s"), "{text}");
+    assert!(text.contains("[table] dim"), "{text}");
+    cell.push_rows("s", &rows(4, 0)).unwrap();
+    cell.run_until_idle().unwrap();
+    let stats = cell.stats();
+    assert!(stats.render().contains(&format!("q{q1}")));
+}
+
+#[test]
+fn deregister_removes_query() {
+    let mut cell = setup();
+    let q = cell.register_query("SELECT COUNT(*) FROM s").unwrap();
+    cell.deregister_query(q).unwrap();
+    assert!(cell.deregister_query(q).is_err());
+    cell.push_rows("s", &rows(3, 0)).unwrap();
+    assert_eq!(cell.run_until_idle().unwrap(), 0);
+}
+
+#[test]
+fn explain_shows_mode_transformation() {
+    let mut cell = setup();
+    let q = cell
+        .register_query_with_mode(
+            "SELECT k, AVG(v) FROM s [ROWS 100 SLIDE 10] GROUP BY k",
+            ExecutionMode::Incremental,
+        )
+        .unwrap();
+    let text = cell.explain(q).unwrap();
+    assert!(text.contains("optimized plan"), "{text}");
+    assert!(text.contains("incremental split"), "{text}");
+    assert!(text.contains("effective mode: incremental"), "{text}");
+}

@@ -1,0 +1,851 @@
+//! Name resolution and plan construction: SQL AST + catalog → [`LogicalPlan`].
+//!
+//! The binder plays the role of MonetDB's SQL compiler front half: it
+//! resolves tables *and streams* through one namespace (the "natural
+//! integration of baskets and tables within the same processing fabric",
+//! paper §3), extracts equi-join keys, and splits aggregate queries into
+//! pre-aggregation input, the aggregate node, and post-aggregation
+//! projection — the seam the incremental rewriter later splits plans at.
+
+use datacell_algebra::{AggKind, ArithOp, CmpOp};
+use datacell_sql::{
+    AggFunc, BinaryOp, Expr, Literal, SelectItem, SelectStmt, TableRef, TypeName, UnaryOp,
+    WindowSpec,
+};
+use datacell_storage::{Catalog, DataType, Value};
+
+use crate::error::{PlanError, Result};
+use crate::expr::BoundExpr;
+use crate::logical::{AggSpec, LogicalPlan, ScanNode};
+
+/// Result of binding a SELECT.
+#[derive(Debug, Clone)]
+pub struct BoundQuery {
+    /// The bound, unoptimized plan.
+    pub plan: LogicalPlan,
+    /// Whether any scan reads a stream.
+    pub is_continuous: bool,
+}
+
+/// One entry of the flat FROM-clause namespace.
+#[derive(Debug, Clone)]
+struct NsEntry {
+    binding: String,
+    column: String,
+    ty: DataType,
+}
+
+#[derive(Debug, Default)]
+struct Namespace {
+    entries: Vec<NsEntry>,
+}
+
+impl Namespace {
+    fn push_source(&mut self, binding: &str, schema: &datacell_storage::Schema) {
+        for c in schema.columns() {
+            self.entries.push(NsEntry {
+                binding: binding.to_owned(),
+                column: c.name.clone(),
+                ty: c.ty,
+            });
+        }
+    }
+
+    fn resolve(&self, table: Option<&str>, name: &str) -> Result<usize> {
+        let mut found = None;
+        for (i, e) in self.entries.iter().enumerate() {
+            let tbl_ok = table.is_none_or(|t| e.binding.eq_ignore_ascii_case(t));
+            if tbl_ok && e.column.eq_ignore_ascii_case(name) {
+                if found.is_some() {
+                    return Err(PlanError::Binding(format!("ambiguous column: {name}")));
+                }
+                found = Some(i);
+            }
+        }
+        found.ok_or_else(|| {
+            let q = table.map(|t| format!("{t}.")).unwrap_or_default();
+            PlanError::Binding(format!("unknown column: {q}{name}"))
+        })
+    }
+
+    fn types(&self) -> Vec<DataType> {
+        self.entries.iter().map(|e| e.ty).collect()
+    }
+
+    #[allow(dead_code)] // used by future EXPLAIN verbosity levels
+    fn qualified_names(&self) -> Vec<String> {
+        self.entries
+            .iter()
+            .map(|e| format!("{}.{}", e.binding, e.column))
+            .collect()
+    }
+}
+
+/// Convert a literal expression (as appears in `INSERT … VALUES`) to a
+/// [`Value`]. Non-literals are rejected.
+pub fn literal_to_value(expr: &Expr) -> Result<Value> {
+    match expr {
+        Expr::Literal(Literal::Int(v)) => Ok(Value::Int(*v)),
+        Expr::Literal(Literal::Float(v)) => Ok(Value::Float(*v)),
+        Expr::Literal(Literal::Str(s)) => Ok(Value::Str(s.clone())),
+        Expr::Literal(Literal::Bool(b)) => Ok(Value::Bool(*b)),
+        Expr::Literal(Literal::Null) => Ok(Value::Null),
+        other => Err(PlanError::Unsupported(format!(
+            "INSERT values must be literals, found {other}"
+        ))),
+    }
+}
+
+/// Map a SQL type name to a kernel type.
+pub fn type_of(ty: TypeName) -> DataType {
+    match ty {
+        TypeName::Bool => DataType::Bool,
+        TypeName::Int => DataType::Int,
+        TypeName::Float => DataType::Float,
+        TypeName::Str => DataType::Str,
+        TypeName::Timestamp => DataType::Timestamp,
+    }
+}
+
+/// The binder. Holds only a catalog reference; stateless across queries.
+pub struct Binder<'a> {
+    catalog: &'a Catalog,
+}
+
+impl<'a> Binder<'a> {
+    /// Create a binder over `catalog`.
+    pub fn new(catalog: &'a Catalog) -> Self {
+        Binder { catalog }
+    }
+
+    /// Bind a SELECT statement into a logical plan.
+    pub fn bind_select(&self, stmt: &SelectStmt) -> Result<BoundQuery> {
+        let from = stmt
+            .from
+            .as_ref()
+            .ok_or_else(|| PlanError::Unsupported("SELECT without FROM".into()))?;
+
+        // --- sources and namespace -----------------------------------
+        let mut sources: Vec<(TableRef, datacell_storage::Schema, bool)> = Vec::new();
+        for tref in std::iter::once(from).chain(stmt.joins.iter().map(|j| &j.table)) {
+            let schema = self.catalog.schema_of(&tref.name)?;
+            let is_stream = self.catalog.is_stream(&tref.name);
+            if let Some(w) = &tref.window {
+                if !is_stream {
+                    return Err(PlanError::Unsupported(format!(
+                        "window clause on non-stream {}",
+                        tref.name
+                    )));
+                }
+                if let WindowSpec::Range { on, .. } = w {
+                    let def = schema.column(on).map_err(PlanError::Storage)?;
+                    if !matches!(def.ty, DataType::Int | DataType::Timestamp) {
+                        return Err(PlanError::Unsupported(format!(
+                            "RANGE window column {on} must be BIGINT or TIMESTAMP"
+                        )));
+                    }
+                }
+            }
+            sources.push((tref.clone(), schema, is_stream));
+        }
+        // duplicate binding names
+        for i in 0..sources.len() {
+            for j in i + 1..sources.len() {
+                if sources[i].0.binding_name().eq_ignore_ascii_case(sources[j].0.binding_name())
+                {
+                    return Err(PlanError::Binding(format!(
+                        "duplicate source binding: {}",
+                        sources[i].0.binding_name()
+                    )));
+                }
+            }
+        }
+
+        let mut ns = Namespace::default();
+        let mut offsets = Vec::with_capacity(sources.len());
+        for (tref, schema, _) in &sources {
+            offsets.push(ns.entries.len());
+            ns.push_source(tref.binding_name(), schema);
+        }
+
+        // --- conjuncts from ON and WHERE ------------------------------
+        let mut conjuncts: Vec<BoundExpr> = Vec::new();
+        for join in &stmt.joins {
+            collect_conjuncts(&join.on, &mut |e| {
+                if !matches!(e, Expr::Literal(Literal::Bool(true))) {
+                    conjuncts.push(self.bind_scalar(e, &ns)?);
+                }
+                Ok(())
+            })?;
+        }
+        if let Some(w) = &stmt.where_clause {
+            if w.contains_aggregate() {
+                return Err(PlanError::Unsupported(
+                    "aggregates are not allowed in WHERE".into(),
+                ));
+            }
+            collect_conjuncts(w, &mut |e| {
+                conjuncts.push(self.bind_scalar(e, &ns)?);
+                Ok(())
+            })?;
+        }
+
+        // --- left-deep join tree ---------------------------------------
+        let mut used = vec![false; conjuncts.len()];
+        let mut plan = scan_node(&sources[0]);
+        for (i, source) in sources.iter().enumerate().skip(1) {
+            let right_lo = offsets[i];
+            let right_hi = right_lo + source.1.arity();
+            let key = find_join_key(&conjuncts, &mut used, right_lo, right_hi)
+                .ok_or_else(|| {
+                    PlanError::Unsupported(format!(
+                        "no equi-join condition found for {} (cross joins unsupported)",
+                        source.0.binding_name()
+                    ))
+                })?;
+            plan = LogicalPlan::Join {
+                left: Box::new(plan),
+                right: Box::new(scan_node(source)),
+                left_key: key.0,
+                right_key: key.1 - right_lo,
+            };
+        }
+
+        // --- residual filter --------------------------------------------
+        let residual: Vec<BoundExpr> = conjuncts
+            .into_iter()
+            .zip(used)
+            .filter(|(_, u)| !u)
+            .map(|(c, _)| c)
+            .collect();
+        if let Some(pred) = and_all(residual) {
+            plan = LogicalPlan::Filter { input: Box::new(plan), predicate: pred };
+        }
+
+        // --- aggregate vs plain projection -----------------------------
+        let has_agg = !stmt.group_by.is_empty()
+            || stmt.having.is_some()
+            || stmt.projection.iter().any(|item| match item {
+                SelectItem::Expr { expr, .. } => expr.contains_aggregate(),
+                SelectItem::Wildcard => false,
+            });
+
+        let is_continuous = plan.is_continuous();
+        let mut plan = if has_agg {
+            self.bind_aggregate_query(stmt, plan, &ns)?
+        } else {
+            self.bind_plain_query(stmt, plan, &ns)?
+        };
+
+        if let Some(n) = stmt.limit {
+            plan = LogicalPlan::Limit { input: Box::new(plan), n };
+        }
+        Ok(BoundQuery { plan, is_continuous })
+    }
+
+    /// Bind a scalar (non-aggregate) expression over the namespace.
+    fn bind_scalar(&self, expr: &Expr, ns: &Namespace) -> Result<BoundExpr> {
+        match expr {
+            Expr::Column { table, name } => {
+                Ok(BoundExpr::Col(ns.resolve(table.as_deref(), name)?))
+            }
+            Expr::Literal(l) => Ok(BoundExpr::Const(lit_value(l))),
+            Expr::Unary { op: UnaryOp::Neg, expr } => Ok(BoundExpr::Arith {
+                left: Box::new(BoundExpr::Const(Value::Int(0))),
+                op: ArithOp::Sub,
+                right: Box::new(self.bind_scalar(expr, ns)?),
+            }),
+            Expr::Unary { op: UnaryOp::Not, expr } => {
+                Ok(BoundExpr::Not(Box::new(self.bind_scalar(expr, ns)?)))
+            }
+            Expr::Binary { left, op, right } => {
+                let l = Box::new(self.bind_scalar(left, ns)?);
+                let r = Box::new(self.bind_scalar(right, ns)?);
+                Ok(bind_binop(*op, l, r))
+            }
+            Expr::IsNull { expr, negated } => Ok(BoundExpr::IsNull {
+                expr: Box::new(self.bind_scalar(expr, ns)?),
+                negated: *negated,
+            }),
+            Expr::Between { expr, low, high, negated } => Ok(BoundExpr::Between {
+                expr: Box::new(self.bind_scalar(expr, ns)?),
+                low: Box::new(self.bind_scalar(low, ns)?),
+                high: Box::new(self.bind_scalar(high, ns)?),
+                negated: *negated,
+            }),
+            Expr::Agg { .. } => Err(PlanError::Binding(
+                "aggregate not allowed in this context".into(),
+            )),
+        }
+    }
+
+    fn bind_plain_query(
+        &self,
+        stmt: &SelectStmt,
+        mut plan: LogicalPlan,
+        ns: &Namespace,
+    ) -> Result<LogicalPlan> {
+        // ORDER BY binds over the pre-projection schema and sorts first;
+        // projection afterwards is row-aligned so order is preserved.
+        if !stmt.order_by.is_empty() {
+            let mut keys = Vec::new();
+            for item in &stmt.order_by {
+                match self.bind_scalar(&item.expr, ns)? {
+                    BoundExpr::Col(i) => keys.push((i, item.desc)),
+                    _ => {
+                        return Err(PlanError::Unsupported(
+                            "ORDER BY supports plain columns (or projected aliases in aggregate queries)".into(),
+                        ))
+                    }
+                }
+            }
+            plan = LogicalPlan::Sort { input: Box::new(plan), keys };
+        }
+
+        let mut exprs = Vec::new();
+        let mut names = Vec::new();
+        for item in &stmt.projection {
+            match item {
+                SelectItem::Wildcard => {
+                    for (i, e) in ns.entries.iter().enumerate() {
+                        exprs.push(BoundExpr::Col(i));
+                        names.push(e.column.clone());
+                    }
+                }
+                SelectItem::Expr { expr, alias } => {
+                    exprs.push(self.bind_scalar(expr, ns)?);
+                    names.push(output_name(expr, alias.as_deref()));
+                }
+            }
+        }
+        let in_types = ns.types();
+        let types: Result<Vec<DataType>> =
+            exprs.iter().map(|e| e.output_type(&in_types)).collect();
+        plan = LogicalPlan::Project { input: Box::new(plan), exprs, names, types: types? };
+        if stmt.distinct {
+            plan = LogicalPlan::Distinct { input: Box::new(plan) };
+        }
+        Ok(plan)
+    }
+
+    fn bind_aggregate_query(
+        &self,
+        stmt: &SelectStmt,
+        input: LogicalPlan,
+        ns: &Namespace,
+    ) -> Result<LogicalPlan> {
+        let in_types = ns.types();
+
+        // Group keys.
+        let mut group_exprs = Vec::new();
+        let mut group_names = Vec::new();
+        let mut group_types = Vec::new();
+        for g in &stmt.group_by {
+            if g.contains_aggregate() {
+                return Err(PlanError::Unsupported("aggregate in GROUP BY".into()));
+            }
+            let bound = self.bind_scalar(g, ns)?;
+            group_types.push(bound.output_type(&in_types)?);
+            group_names.push(output_name(g, None));
+            group_exprs.push(bound);
+        }
+
+        // Aggregate slots, deduplicated on (kind, bound arg).
+        let mut aggs: Vec<AggSpec> = Vec::new();
+        let mut slot_of = |func: AggFunc, arg: &Option<Box<Expr>>, binder: &Binder<'_>| -> Result<usize> {
+            let (kind, bound_arg) = match (func, arg) {
+                (AggFunc::Count, None) => (AggKind::CountStar, None),
+                (AggFunc::Count, Some(a)) => (AggKind::Count, Some(binder.bind_scalar(a, ns)?)),
+                (AggFunc::Sum, Some(a)) => (AggKind::Sum, Some(binder.bind_scalar(a, ns)?)),
+                (AggFunc::Avg, Some(a)) => (AggKind::Avg, Some(binder.bind_scalar(a, ns)?)),
+                (AggFunc::Min, Some(a)) => (AggKind::Min, Some(binder.bind_scalar(a, ns)?)),
+                (AggFunc::Max, Some(a)) => (AggKind::Max, Some(binder.bind_scalar(a, ns)?)),
+                (f, None) => {
+                    return Err(PlanError::Unsupported(format!("{f} requires an argument")))
+                }
+            };
+            if let Some(i) = aggs
+                .iter()
+                .position(|s| s.kind == kind && s.arg == bound_arg)
+            {
+                return Ok(i);
+            }
+            let input_ty = match &bound_arg {
+                Some(a) => a.output_type(&in_types)?,
+                None => DataType::Int,
+            };
+            let ty = kind.output_type(input_ty)?;
+            let name = match (&kind, arg) {
+                (AggKind::CountStar, _) => "COUNT(*)".to_owned(),
+                (_, Some(a)) => format!("{}({})", agg_sql_name(kind), a),
+                (_, None) => agg_sql_name(kind).to_owned(),
+            };
+            aggs.push(AggSpec { kind, arg: bound_arg, name, ty });
+            Ok(aggs.len() - 1)
+        };
+
+        // Rewrite post-aggregate expressions (projection, HAVING, ORDER BY)
+        // over the aggregate output schema [group keys..., agg slots...].
+        struct Rewriter<'b, 'c> {
+            binder: &'b Binder<'c>,
+            ns: &'b Namespace,
+            group_exprs: Vec<BoundExpr>,
+        }
+        impl Rewriter<'_, '_> {
+            fn rewrite(
+                &self,
+                expr: &Expr,
+                slot_of: &mut dyn FnMut(AggFunc, &Option<Box<Expr>>) -> Result<usize>,
+                group_len: usize,
+            ) -> Result<BoundExpr> {
+                // A whole sub-expression equal to a group key becomes a key ref.
+                if !expr.contains_aggregate() {
+                    if let Ok(bound) = self.binder.bind_scalar(expr, self.ns) {
+                        if let Some(i) =
+                            self.group_exprs.iter().position(|g| *g == bound)
+                        {
+                            return Ok(BoundExpr::Col(i));
+                        }
+                        if let BoundExpr::Const(v) = bound {
+                            return Ok(BoundExpr::Const(v));
+                        }
+                    }
+                }
+                match expr {
+                    Expr::Agg { func, arg } => {
+                        let slot = slot_of(*func, arg)?;
+                        Ok(BoundExpr::Col(group_len + slot))
+                    }
+                    Expr::Binary { left, op, right } => {
+                        let l = Box::new(self.rewrite(left, slot_of, group_len)?);
+                        let r = Box::new(self.rewrite(right, slot_of, group_len)?);
+                        Ok(bind_binop(*op, l, r))
+                    }
+                    Expr::Unary { op: UnaryOp::Neg, expr } => Ok(BoundExpr::Arith {
+                        left: Box::new(BoundExpr::Const(Value::Int(0))),
+                        op: ArithOp::Sub,
+                        right: Box::new(self.rewrite(expr, slot_of, group_len)?),
+                    }),
+                    Expr::Unary { op: UnaryOp::Not, expr } => {
+                        Ok(BoundExpr::Not(Box::new(self.rewrite(expr, slot_of, group_len)?)))
+                    }
+                    Expr::IsNull { expr, negated } => Ok(BoundExpr::IsNull {
+                        expr: Box::new(self.rewrite(expr, slot_of, group_len)?),
+                        negated: *negated,
+                    }),
+                    Expr::Between { expr, low, high, negated } => Ok(BoundExpr::Between {
+                        expr: Box::new(self.rewrite(expr, slot_of, group_len)?),
+                        low: Box::new(self.rewrite(low, slot_of, group_len)?),
+                        high: Box::new(self.rewrite(high, slot_of, group_len)?),
+                        negated: *negated,
+                    }),
+                    Expr::Literal(l) => Ok(BoundExpr::Const(lit_value(l))),
+                    Expr::Column { table, name } => {
+                        let q = table.as_ref().map(|t| format!("{t}.")).unwrap_or_default();
+                        Err(PlanError::Binding(format!(
+                            "column {q}{name} must appear in GROUP BY or inside an aggregate"
+                        )))
+                    }
+                }
+            }
+        }
+        let rewriter =
+            Rewriter { binder: self, ns, group_exprs: group_exprs.clone() };
+        let group_len = group_exprs.len();
+
+        // Projection.
+        let mut post_exprs = Vec::new();
+        let mut post_names = Vec::new();
+        for item in &stmt.projection {
+            match item {
+                SelectItem::Wildcard => {
+                    return Err(PlanError::Unsupported(
+                        "SELECT * is not allowed in aggregate queries".into(),
+                    ))
+                }
+                SelectItem::Expr { expr, alias } => {
+                    let rewritten = rewriter.rewrite(
+                        expr,
+                        &mut |f, a| slot_of(f, a, self),
+                        group_len,
+                    )?;
+                    post_exprs.push(rewritten);
+                    post_names.push(output_name(expr, alias.as_deref()));
+                }
+            }
+        }
+        // HAVING.
+        let having = stmt
+            .having
+            .as_ref()
+            .map(|h| rewriter.rewrite(h, &mut |f, a| slot_of(f, a, self), group_len))
+            .transpose()?;
+        // ORDER BY: rewrite over aggregate output as well.
+        let mut order_keys_pre: Vec<(BoundExpr, bool)> = Vec::new();
+        for item in &stmt.order_by {
+            let rewritten =
+                rewriter.rewrite(&item.expr, &mut |f, a| slot_of(f, a, self), group_len)?;
+            order_keys_pre.push((rewritten, item.desc));
+        }
+
+        // Assemble: Aggregate → (Filter having) → (Sort) → Project.
+        let mut plan = LogicalPlan::Aggregate {
+            input: Box::new(input),
+            group_exprs,
+            group_names,
+            group_types,
+            aggs,
+        };
+        if let Some(h) = having {
+            plan = LogicalPlan::Filter { input: Box::new(plan), predicate: h };
+        }
+        if !order_keys_pre.is_empty() {
+            let mut keys = Vec::new();
+            for (e, desc) in order_keys_pre {
+                match e {
+                    BoundExpr::Col(i) => keys.push((i, desc)),
+                    _ => {
+                        return Err(PlanError::Unsupported(
+                            "ORDER BY in aggregate queries must reference group keys or aggregates".into(),
+                        ))
+                    }
+                }
+            }
+            plan = LogicalPlan::Sort { input: Box::new(plan), keys };
+        }
+        let agg_out_types = plan.types();
+        let post_types: Result<Vec<DataType>> =
+            post_exprs.iter().map(|e| e.output_type(&agg_out_types)).collect();
+        let mut plan = LogicalPlan::Project {
+            input: Box::new(plan),
+            exprs: post_exprs,
+            names: post_names,
+            types: post_types?,
+        };
+        if stmt.distinct {
+            plan = LogicalPlan::Distinct { input: Box::new(plan) };
+        }
+        Ok(plan)
+    }
+}
+
+fn agg_sql_name(kind: AggKind) -> &'static str {
+    match kind {
+        AggKind::CountStar | AggKind::Count => "COUNT",
+        AggKind::Sum => "SUM",
+        AggKind::Avg => "AVG",
+        AggKind::Min => "MIN",
+        AggKind::Max => "MAX",
+    }
+}
+
+fn scan_node(source: &(TableRef, datacell_storage::Schema, bool)) -> LogicalPlan {
+    let (tref, schema, is_stream) = source;
+    LogicalPlan::Scan(ScanNode {
+        binding: tref.binding_name().to_owned(),
+        object: tref.name.clone(),
+        is_stream: *is_stream,
+        window: tref.window.clone(),
+        names: schema
+            .columns()
+            .iter()
+            .map(|c| format!("{}.{}", tref.binding_name(), c.name))
+            .collect(),
+        types: schema.columns().iter().map(|c| c.ty).collect(),
+    })
+}
+
+fn lit_value(l: &Literal) -> Value {
+    match l {
+        Literal::Int(v) => Value::Int(*v),
+        Literal::Float(v) => Value::Float(*v),
+        Literal::Str(s) => Value::Str(s.clone()),
+        Literal::Bool(b) => Value::Bool(*b),
+        Literal::Null => Value::Null,
+    }
+}
+
+fn bind_binop(op: BinaryOp, l: Box<BoundExpr>, r: Box<BoundExpr>) -> BoundExpr {
+    match op {
+        BinaryOp::Add => BoundExpr::Arith { left: l, op: ArithOp::Add, right: r },
+        BinaryOp::Sub => BoundExpr::Arith { left: l, op: ArithOp::Sub, right: r },
+        BinaryOp::Mul => BoundExpr::Arith { left: l, op: ArithOp::Mul, right: r },
+        BinaryOp::Div => BoundExpr::Arith { left: l, op: ArithOp::Div, right: r },
+        BinaryOp::Mod => BoundExpr::Arith { left: l, op: ArithOp::Mod, right: r },
+        BinaryOp::Eq => BoundExpr::Cmp { left: l, op: CmpOp::Eq, right: r },
+        BinaryOp::Ne => BoundExpr::Cmp { left: l, op: CmpOp::Ne, right: r },
+        BinaryOp::Lt => BoundExpr::Cmp { left: l, op: CmpOp::Lt, right: r },
+        BinaryOp::Le => BoundExpr::Cmp { left: l, op: CmpOp::Le, right: r },
+        BinaryOp::Gt => BoundExpr::Cmp { left: l, op: CmpOp::Gt, right: r },
+        BinaryOp::Ge => BoundExpr::Cmp { left: l, op: CmpOp::Ge, right: r },
+        BinaryOp::And => BoundExpr::And(l, r),
+        BinaryOp::Or => BoundExpr::Or(l, r),
+    }
+}
+
+/// Split a (possibly nested) AND tree into conjuncts.
+fn collect_conjuncts(
+    expr: &Expr,
+    f: &mut impl FnMut(&Expr) -> Result<()>,
+) -> Result<()> {
+    match expr {
+        Expr::Binary { left, op: BinaryOp::And, right } => {
+            collect_conjuncts(left, f)?;
+            collect_conjuncts(right, f)
+        }
+        other => f(other),
+    }
+}
+
+/// AND-combine a list of predicates (None if empty).
+fn and_all(mut preds: Vec<BoundExpr>) -> Option<BoundExpr> {
+    let first = if preds.is_empty() { None } else { Some(preds.remove(0)) };
+    preds.into_iter().fold(first, |acc, p| {
+        Some(match acc {
+            None => p,
+            Some(a) => BoundExpr::And(Box::new(a), Box::new(p)),
+        })
+    })
+}
+
+/// Find an unused `Col(a) = Col(b)` conjunct linking the accumulated left
+/// side (cols `< right_lo`) with the new right source (`[right_lo,
+/// right_hi)`), returning `(left_col, right_col_flat)`.
+fn find_join_key(
+    conjuncts: &[BoundExpr],
+    used: &mut [bool],
+    right_lo: usize,
+    right_hi: usize,
+) -> Option<(usize, usize)> {
+    for (i, c) in conjuncts.iter().enumerate() {
+        if used[i] {
+            continue;
+        }
+        if let BoundExpr::Cmp { left, op: CmpOp::Eq, right } = c {
+            if let (BoundExpr::Col(a), BoundExpr::Col(b)) = (left.as_ref(), right.as_ref()) {
+                let (a, b) = (*a, *b);
+                let pair = if a < right_lo && (right_lo..right_hi).contains(&b) {
+                    Some((a, b))
+                } else if b < right_lo && (right_lo..right_hi).contains(&a) {
+                    Some((b, a))
+                } else {
+                    None
+                };
+                if let Some(p) = pair {
+                    used[i] = true;
+                    return Some(p);
+                }
+            }
+        }
+    }
+    None
+}
+
+fn output_name(expr: &Expr, alias: Option<&str>) -> String {
+    if let Some(a) = alias {
+        return a.to_owned();
+    }
+    match expr {
+        Expr::Column { name, .. } => name.clone(),
+        other => other.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datacell_sql::parse_statement;
+    use datacell_storage::Schema;
+
+    fn catalog() -> Catalog {
+        let cat = Catalog::new();
+        cat.create_table(
+            "dim",
+            Schema::of(&[("k", DataType::Int), ("label", DataType::Str)]),
+        )
+        .unwrap();
+        cat.create_stream(
+            "s",
+            Schema::of(&[
+                ("ts", DataType::Timestamp),
+                ("k", DataType::Int),
+                ("v", DataType::Float),
+            ]),
+        )
+        .unwrap();
+        cat
+    }
+
+    fn bind(sql: &str) -> Result<BoundQuery> {
+        let cat = catalog();
+        let stmt = match parse_statement(sql).unwrap() {
+            datacell_sql::Statement::Select(s) => s,
+            _ => panic!("not a select"),
+        };
+        Binder::new(&cat).bind_select(&stmt)
+    }
+
+    #[test]
+    fn simple_projection() {
+        let q = bind("SELECT v, k FROM s WHERE v > 1.0").unwrap();
+        assert!(q.is_continuous);
+        assert_eq!(q.plan.names(), vec!["v", "k"]);
+        assert_eq!(q.plan.types(), vec![DataType::Float, DataType::Int]);
+    }
+
+    #[test]
+    fn wildcard_expansion() {
+        let q = bind("SELECT * FROM dim").unwrap();
+        assert!(!q.is_continuous);
+        assert_eq!(q.plan.names(), vec!["k", "label"]);
+    }
+
+    #[test]
+    fn unknown_column_rejected() {
+        assert!(matches!(bind("SELECT nope FROM s"), Err(PlanError::Binding(_))));
+    }
+
+    #[test]
+    fn ambiguous_column_rejected() {
+        let err = bind("SELECT k FROM s JOIN dim ON s.k = dim.k").unwrap_err();
+        assert!(matches!(err, PlanError::Binding(m) if m.contains("ambiguous")));
+    }
+
+    #[test]
+    fn qualified_columns_resolve() {
+        let q = bind("SELECT s.k, dim.label FROM s JOIN dim ON s.k = dim.k").unwrap();
+        assert_eq!(q.plan.names(), vec!["k", "label"]);
+        // join node present with correct keys
+        let mut found_join = false;
+        fn walk(p: &LogicalPlan, found: &mut bool) {
+            if let LogicalPlan::Join { left_key, right_key, .. } = p {
+                assert_eq!((*left_key, *right_key), (1, 0));
+                *found = true;
+            }
+            match p {
+                LogicalPlan::Filter { input, .. }
+                | LogicalPlan::Project { input, .. }
+                | LogicalPlan::Aggregate { input, .. }
+                | LogicalPlan::Distinct { input }
+                | LogicalPlan::Sort { input, .. }
+                | LogicalPlan::Limit { input, .. } => walk(input, found),
+                LogicalPlan::Join { left, right, .. } => {
+                    walk(left, found);
+                    walk(right, found);
+                }
+                LogicalPlan::Scan(_) => {}
+            }
+        }
+        walk(&q.plan, &mut found_join);
+        assert!(found_join);
+    }
+
+    #[test]
+    fn comma_join_key_from_where() {
+        let q = bind("SELECT s.v FROM s, dim WHERE s.k = dim.k AND s.v > 0.0").unwrap();
+        // the equality must be consumed by the join, leaving v > 0 as filter
+        let rendered = crate::explain::explain(&q.plan);
+        assert!(rendered.contains("Join"), "{rendered}");
+        assert!(rendered.contains("> 0"), "{rendered}");
+    }
+
+    #[test]
+    fn cross_join_rejected() {
+        let err = bind("SELECT s.v FROM s, dim").unwrap_err();
+        assert!(matches!(err, PlanError::Unsupported(m) if m.contains("equi-join")));
+    }
+
+    #[test]
+    fn aggregate_query_shape() {
+        let q = bind(
+            "SELECT k, SUM(v) AS total, COUNT(*) FROM s GROUP BY k HAVING SUM(v) > 10 ORDER BY k LIMIT 3",
+        )
+        .unwrap();
+        assert_eq!(q.plan.names(), vec!["k", "total", "COUNT(*)"]);
+        assert_eq!(
+            q.plan.types(),
+            vec![DataType::Int, DataType::Float, DataType::Int]
+        );
+        assert!(q.plan.aggregate_node().is_some());
+    }
+
+    #[test]
+    fn aggregate_dedup_slots() {
+        // SUM(v) appears twice, must be computed once
+        let q = bind("SELECT SUM(v), SUM(v) + 1 FROM s").unwrap();
+        if let Some(LogicalPlan::Aggregate { aggs, .. }) = q.plan.aggregate_node() {
+            assert_eq!(aggs.len(), 1);
+        } else {
+            panic!("no aggregate node");
+        }
+    }
+
+    #[test]
+    fn bare_column_outside_group_by_rejected() {
+        let err = bind("SELECT v, SUM(v) FROM s GROUP BY k").unwrap_err();
+        assert!(matches!(err, PlanError::Binding(m) if m.contains("GROUP BY")));
+    }
+
+    #[test]
+    fn group_key_expression_matched() {
+        let q = bind("SELECT k % 10, COUNT(*) FROM s GROUP BY k % 10").unwrap();
+        assert_eq!(q.plan.names()[0], "(k % 10)");
+    }
+
+    #[test]
+    fn window_on_table_rejected() {
+        let err = bind("SELECT k FROM dim [ROWS 10]").unwrap_err();
+        assert!(matches!(err, PlanError::Unsupported(m) if m.contains("non-stream")));
+    }
+
+    #[test]
+    fn range_window_column_checked() {
+        assert!(bind("SELECT AVG(v) FROM s [RANGE 100 ON ts SLIDE 10]").is_ok());
+        let err = bind("SELECT AVG(v) FROM s [RANGE 100 ON v SLIDE 10]").unwrap_err();
+        assert!(matches!(err, PlanError::Unsupported(_)));
+        assert!(bind("SELECT AVG(v) FROM s [RANGE 100 ON missing SLIDE 10]").is_err());
+    }
+
+    #[test]
+    fn order_by_plain_column_non_aggregate() {
+        let q = bind("SELECT v FROM s ORDER BY k DESC").unwrap();
+        let rendered = crate::explain::explain(&q.plan);
+        assert!(rendered.contains("Sort"));
+    }
+
+    #[test]
+    fn where_aggregate_rejected() {
+        let err = bind("SELECT k FROM s WHERE SUM(v) > 1").unwrap_err();
+        assert!(matches!(err, PlanError::Unsupported(m) if m.contains("WHERE")));
+    }
+
+    #[test]
+    fn duplicate_bindings_rejected() {
+        let err = bind("SELECT 1 FROM s JOIN s ON s.k = s.k").unwrap_err();
+        assert!(matches!(err, PlanError::Binding(m) if m.contains("duplicate")));
+    }
+
+    #[test]
+    fn literal_conversion() {
+        use datacell_sql::parse_expression;
+        assert_eq!(
+            literal_to_value(&parse_expression("42").unwrap()).unwrap(),
+            Value::Int(42)
+        );
+        assert_eq!(
+            literal_to_value(&parse_expression("-7").unwrap()).unwrap(),
+            Value::Int(-7)
+        );
+        assert_eq!(
+            literal_to_value(&parse_expression("NULL").unwrap()).unwrap(),
+            Value::Null
+        );
+        assert!(literal_to_value(&parse_expression("1 + 2").unwrap()).is_err());
+    }
+
+    #[test]
+    fn distinct_non_aggregate() {
+        let q = bind("SELECT DISTINCT k FROM s").unwrap();
+        assert!(matches!(q.plan, LogicalPlan::Distinct { .. }));
+    }
+}

@@ -1,0 +1,61 @@
+//! Error type for binding, optimization and execution.
+
+use std::fmt;
+
+use datacell_algebra::AlgebraError;
+use datacell_sql::ParseError;
+use datacell_storage::StorageError;
+
+/// Errors produced by the planner/executor.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanError {
+    /// SQL parse error.
+    Parse(ParseError),
+    /// Storage-layer error.
+    Storage(StorageError),
+    /// Algebra operator error.
+    Algebra(AlgebraError),
+    /// Name resolution failure.
+    Binding(String),
+    /// Query shape the engine does not support.
+    Unsupported(String),
+    /// A runtime input (stream delta / table snapshot) was missing.
+    MissingSource(String),
+    /// Internal invariant violation.
+    Internal(String),
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::Parse(e) => write!(f, "{e}"),
+            PlanError::Storage(e) => write!(f, "{e}"),
+            PlanError::Algebra(e) => write!(f, "{e}"),
+            PlanError::Binding(m) => write!(f, "binding error: {m}"),
+            PlanError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            PlanError::MissingSource(m) => write!(f, "missing source at execution: {m}"),
+            PlanError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+impl From<ParseError> for PlanError {
+    fn from(e: ParseError) -> Self {
+        PlanError::Parse(e)
+    }
+}
+impl From<StorageError> for PlanError {
+    fn from(e: StorageError) -> Self {
+        PlanError::Storage(e)
+    }
+}
+impl From<AlgebraError> for PlanError {
+    fn from(e: AlgebraError) -> Self {
+        PlanError::Algebra(e)
+    }
+}
+
+/// Convenience alias used throughout the plan crate.
+pub type Result<T> = std::result::Result<T, PlanError>;

@@ -1,0 +1,134 @@
+//! Plan rendering — the textual equivalent of the demo's plan-inspection
+//! pane ("how query plans transform from typical DBMS query plans to online
+//! query plans", paper abstract).
+
+use crate::logical::LogicalPlan;
+
+/// Render a logical plan as an indented operator tree.
+pub fn explain(plan: &LogicalPlan) -> String {
+    let mut out = String::new();
+    render(plan, 0, &mut out);
+    out
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn render(plan: &LogicalPlan, depth: usize, out: &mut String) {
+    indent(out, depth);
+    match plan {
+        LogicalPlan::Scan(s) => {
+            let kind = if s.is_stream { "StreamScan" } else { "TableScan" };
+            out.push_str(&format!("{kind} {}", s.object));
+            if s.binding.to_ascii_lowercase() != s.object.to_ascii_lowercase() {
+                out.push_str(&format!(" AS {}", s.binding));
+            }
+            if let Some(w) = &s.window {
+                out.push_str(&format!(" {w}"));
+            }
+            out.push('\n');
+        }
+        LogicalPlan::Filter { input, predicate } => {
+            let names = input.names();
+            out.push_str(&format!("Filter {}\n", predicate.render(&names)));
+            render(input, depth + 1, out);
+        }
+        LogicalPlan::Join { left, right, left_key, right_key } => {
+            let ln = left.names();
+            let rn = right.names();
+            out.push_str(&format!(
+                "HashJoin {} = {}\n",
+                ln.get(*left_key).cloned().unwrap_or_else(|| format!("#{left_key}")),
+                rn.get(*right_key).cloned().unwrap_or_else(|| format!("#{right_key}")),
+            ));
+            render(left, depth + 1, out);
+            render(right, depth + 1, out);
+        }
+        LogicalPlan::Project { input, exprs, names, .. } => {
+            let in_names = input.names();
+            let items: Vec<String> = exprs
+                .iter()
+                .zip(names)
+                .map(|(e, n)| {
+                    let r = e.render(&in_names);
+                    if &r == n {
+                        r
+                    } else {
+                        format!("{r} AS {n}")
+                    }
+                })
+                .collect();
+            out.push_str(&format!("Project [{}]\n", items.join(", ")));
+            render(input, depth + 1, out);
+        }
+        LogicalPlan::Aggregate { input, group_exprs, aggs, .. } => {
+            let in_names = input.names();
+            let keys: Vec<String> = group_exprs.iter().map(|e| e.render(&in_names)).collect();
+            let fns: Vec<String> = aggs.iter().map(|a| a.name.clone()).collect();
+            if keys.is_empty() {
+                out.push_str(&format!("Aggregate [{}]\n", fns.join(", ")));
+            } else {
+                out.push_str(&format!(
+                    "Aggregate group=[{}] aggs=[{}]\n",
+                    keys.join(", "),
+                    fns.join(", ")
+                ));
+            }
+            render(input, depth + 1, out);
+        }
+        LogicalPlan::Distinct { input } => {
+            out.push_str("Distinct\n");
+            render(input, depth + 1, out);
+        }
+        LogicalPlan::Sort { input, keys } => {
+            let names = input.names();
+            let items: Vec<String> = keys
+                .iter()
+                .map(|(c, desc)| {
+                    format!(
+                        "{}{}",
+                        names.get(*c).cloned().unwrap_or_else(|| format!("#{c}")),
+                        if *desc { " DESC" } else { "" }
+                    )
+                })
+                .collect();
+            out.push_str(&format!("Sort [{}]\n", items.join(", ")));
+            render(input, depth + 1, out);
+        }
+        LogicalPlan::Limit { input, n } => {
+            out.push_str(&format!("Limit {n}\n"));
+            render(input, depth + 1, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::BoundExpr;
+    use crate::logical::ScanNode;
+    use datacell_storage::{DataType, Value};
+
+    #[test]
+    fn renders_tree() {
+        let plan = LogicalPlan::Filter {
+            input: Box::new(LogicalPlan::Scan(ScanNode {
+                binding: "s".into(),
+                object: "s".into(),
+                is_stream: true,
+                window: Some(datacell_sql::WindowSpec::Rows { size: 10, slide: 2 }),
+                names: vec!["s.v".into()],
+                types: vec![DataType::Int],
+            })),
+            predicate: BoundExpr::Const(Value::Bool(true)),
+        };
+        let text = explain(&plan);
+        assert!(text.contains("Filter"));
+        assert!(text.contains("StreamScan s [ROWS 10 SLIDE 2]"));
+        assert!(text.starts_with("Filter"));
+        assert!(text.lines().nth(1).unwrap().starts_with("  "));
+    }
+}

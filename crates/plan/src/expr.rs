@@ -1,0 +1,662 @@
+//! Bound expressions: column references resolved to positions in a flat
+//! input row, evaluable in bulk over a [`Chunk`].
+//!
+//! Predicates compile to candidate-list pipelines (select → select → …)
+//! exactly like MonetDB plans; value expressions compile to `batcalc` calls.
+
+use datacell_algebra::{
+    arith_cols, arith_const, arith_const_left, select, select_between, select_null, ArithOp,
+    Candidates, CmpOp,
+};
+use datacell_storage::{Bat, Chunk, DataType, Value, Vector};
+
+use crate::error::{PlanError, Result};
+
+/// An expression whose column references are input positions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BoundExpr {
+    /// Input column at position `i`.
+    Col(usize),
+    /// Constant.
+    Const(Value),
+    /// Arithmetic `left op right`.
+    Arith {
+        /// Left operand.
+        left: Box<BoundExpr>,
+        /// Operator.
+        op: ArithOp,
+        /// Right operand.
+        right: Box<BoundExpr>,
+    },
+    /// Comparison producing a boolean.
+    Cmp {
+        /// Left operand.
+        left: Box<BoundExpr>,
+        /// Operator.
+        op: CmpOp,
+        /// Right operand.
+        right: Box<BoundExpr>,
+    },
+    /// Logical AND.
+    And(Box<BoundExpr>, Box<BoundExpr>),
+    /// Logical OR.
+    Or(Box<BoundExpr>, Box<BoundExpr>),
+    /// Logical NOT.
+    Not(Box<BoundExpr>),
+    /// `expr IS [NOT] NULL`.
+    IsNull {
+        /// Tested expression.
+        expr: Box<BoundExpr>,
+        /// IS NOT NULL?
+        negated: bool,
+    },
+    /// `expr BETWEEN low AND high` (bounds must be constants after folding
+    /// or arbitrary expressions — both supported).
+    Between {
+        /// Tested expression.
+        expr: Box<BoundExpr>,
+        /// Lower bound.
+        low: Box<BoundExpr>,
+        /// Upper bound.
+        high: Box<BoundExpr>,
+        /// NOT BETWEEN?
+        negated: bool,
+    },
+}
+
+impl BoundExpr {
+    /// Infer the output type against input column types.
+    pub fn output_type(&self, input: &[DataType]) -> Result<DataType> {
+        match self {
+            BoundExpr::Col(i) => input.get(*i).copied().ok_or_else(|| {
+                PlanError::Internal(format!("column index {i} out of range"))
+            }),
+            BoundExpr::Const(v) => Ok(v.data_type().unwrap_or(DataType::Int)),
+            BoundExpr::Arith { left, op, right } => {
+                let lt = left.output_type(input)?;
+                let rt = right.output_type(input)?;
+                lt.arith_result(rt).ok_or_else(|| {
+                    PlanError::Unsupported(format!("arithmetic {lt} {} {rt}", op.sql()))
+                })
+            }
+            BoundExpr::Cmp { .. }
+            | BoundExpr::And(..)
+            | BoundExpr::Or(..)
+            | BoundExpr::Not(..)
+            | BoundExpr::IsNull { .. }
+            | BoundExpr::Between { .. } => Ok(DataType::Bool),
+        }
+    }
+
+    /// True iff the expression references no input columns.
+    pub fn is_const(&self) -> bool {
+        match self {
+            BoundExpr::Col(_) => false,
+            BoundExpr::Const(_) => true,
+            BoundExpr::Arith { left, right, .. } | BoundExpr::Cmp { left, right, .. } => {
+                left.is_const() && right.is_const()
+            }
+            BoundExpr::And(a, b) | BoundExpr::Or(a, b) => a.is_const() && b.is_const(),
+            BoundExpr::Not(e) | BoundExpr::IsNull { expr: e, .. } => e.is_const(),
+            BoundExpr::Between { expr, low, high, .. } => {
+                expr.is_const() && low.is_const() && high.is_const()
+            }
+        }
+    }
+
+    /// Collect referenced column positions.
+    pub fn collect_cols(&self, out: &mut Vec<usize>) {
+        match self {
+            BoundExpr::Col(i) => out.push(*i),
+            BoundExpr::Const(_) => {}
+            BoundExpr::Arith { left, right, .. } | BoundExpr::Cmp { left, right, .. } => {
+                left.collect_cols(out);
+                right.collect_cols(out);
+            }
+            BoundExpr::And(a, b) | BoundExpr::Or(a, b) => {
+                a.collect_cols(out);
+                b.collect_cols(out);
+            }
+            BoundExpr::Not(e) | BoundExpr::IsNull { expr: e, .. } => e.collect_cols(out),
+            BoundExpr::Between { expr, low, high, .. } => {
+                expr.collect_cols(out);
+                low.collect_cols(out);
+                high.collect_cols(out);
+            }
+        }
+    }
+
+    /// Rewrite column indices through `mapping` (old → new position).
+    pub fn remap(&self, mapping: &[usize]) -> BoundExpr {
+        match self {
+            BoundExpr::Col(i) => BoundExpr::Col(mapping[*i]),
+            BoundExpr::Const(v) => BoundExpr::Const(v.clone()),
+            BoundExpr::Arith { left, op, right } => BoundExpr::Arith {
+                left: Box::new(left.remap(mapping)),
+                op: *op,
+                right: Box::new(right.remap(mapping)),
+            },
+            BoundExpr::Cmp { left, op, right } => BoundExpr::Cmp {
+                left: Box::new(left.remap(mapping)),
+                op: *op,
+                right: Box::new(right.remap(mapping)),
+            },
+            BoundExpr::And(a, b) => {
+                BoundExpr::And(Box::new(a.remap(mapping)), Box::new(b.remap(mapping)))
+            }
+            BoundExpr::Or(a, b) => {
+                BoundExpr::Or(Box::new(a.remap(mapping)), Box::new(b.remap(mapping)))
+            }
+            BoundExpr::Not(e) => BoundExpr::Not(Box::new(e.remap(mapping))),
+            BoundExpr::IsNull { expr, negated } => BoundExpr::IsNull {
+                expr: Box::new(expr.remap(mapping)),
+                negated: *negated,
+            },
+            BoundExpr::Between { expr, low, high, negated } => BoundExpr::Between {
+                expr: Box::new(expr.remap(mapping)),
+                low: Box::new(low.remap(mapping)),
+                high: Box::new(high.remap(mapping)),
+                negated: *negated,
+            },
+        }
+    }
+
+    /// Evaluate as a scalar (valid when `is_const()`).
+    pub fn eval_const(&self) -> Result<Value> {
+        let empty = Chunk::empty();
+        let bat = eval_expr(self, &empty, &Candidates::range(0, 1))?;
+        Ok(bat.get_at(0))
+    }
+
+    /// Render for EXPLAIN output.
+    pub fn render(&self, names: &[String]) -> String {
+        match self {
+            BoundExpr::Col(i) => names
+                .get(*i)
+                .cloned()
+                .unwrap_or_else(|| format!("#{i}")),
+            BoundExpr::Const(v) => match v {
+                Value::Str(s) => format!("'{s}'"),
+                other => other.to_string(),
+            },
+            BoundExpr::Arith { left, op, right } => {
+                format!("({} {} {})", left.render(names), op.sql(), right.render(names))
+            }
+            BoundExpr::Cmp { left, op, right } => {
+                format!("({} {} {})", left.render(names), op.sql(), right.render(names))
+            }
+            BoundExpr::And(a, b) => format!("({} AND {})", a.render(names), b.render(names)),
+            BoundExpr::Or(a, b) => format!("({} OR {})", a.render(names), b.render(names)),
+            BoundExpr::Not(e) => format!("(NOT {})", e.render(names)),
+            BoundExpr::IsNull { expr, negated } => {
+                format!("({} IS {}NULL)", expr.render(names), if *negated { "NOT " } else { "" })
+            }
+            BoundExpr::Between { expr, low, high, negated } => format!(
+                "({} {}BETWEEN {} AND {})",
+                expr.render(names),
+                if *negated { "NOT " } else { "" },
+                low.render(names),
+                high.render(names)
+            ),
+        }
+    }
+}
+
+/// Evaluate a value expression over the candidate rows of `chunk`,
+/// producing a dense BAT aligned with candidate order.
+pub fn eval_expr(expr: &BoundExpr, chunk: &Chunk, cand: &Candidates) -> Result<Bat> {
+    match expr {
+        BoundExpr::Col(i) => {
+            let col = chunk
+                .columns()
+                .get(*i)
+                .ok_or_else(|| PlanError::Internal(format!("column {i} missing")))?;
+            Ok(datacell_algebra::fetch(col, cand))
+        }
+        BoundExpr::Const(v) => {
+            let n = cand.len();
+            let ty = v.data_type().unwrap_or(DataType::Int);
+            let mut data = Vector::with_capacity(ty, n);
+            for _ in 0..n {
+                data.push(v)?;
+            }
+            let validity = if v.is_null() { Some(vec![false; n]) } else { None };
+            Ok(Bat::from_parts(data, 0, validity)?)
+        }
+        BoundExpr::Arith { left, op, right } => match (left.as_ref(), right.as_ref()) {
+            (l, BoundExpr::Const(v)) => {
+                let lb = eval_expr(l, chunk, cand)?;
+                Ok(arith_const(*op, &lb, v)?)
+            }
+            (BoundExpr::Const(v), r) => {
+                let rb = eval_expr(r, chunk, cand)?;
+                Ok(arith_const_left(*op, v, &rb)?)
+            }
+            (l, r) => {
+                let lb = eval_expr(l, chunk, cand)?;
+                let rb = eval_expr(r, chunk, cand)?;
+                Ok(arith_cols(*op, &lb, &rb)?)
+            }
+        },
+        // Boolean-valued expressions: evaluate via the predicate pipeline
+        // and materialize a bool column.
+        _ => {
+            let truthy = eval_predicate(expr, chunk, cand)?;
+            let n = cand.len();
+            let mut out = vec![false; n];
+            // `truthy` holds OIDs relative to chunk columns' head.
+            for (row, oid) in cand.iter().enumerate() {
+                if truthy.contains(oid) {
+                    out[row] = true;
+                }
+            }
+            Ok(Bat::from_vector(Vector::Bool(out), 0))
+        }
+    }
+}
+
+/// Evaluate a predicate over `chunk`, returning the subset of `cand` whose
+/// rows satisfy it. Compiles to MonetDB-style candidate pipelines:
+/// conjunction = chained selects, disjunction = candidate union.
+pub fn eval_predicate(expr: &BoundExpr, chunk: &Chunk, cand: &Candidates) -> Result<Candidates> {
+    match expr {
+        BoundExpr::And(a, b) => {
+            let c1 = eval_predicate(a, chunk, cand)?;
+            if c1.is_empty() {
+                return Ok(c1);
+            }
+            eval_predicate(b, chunk, &c1)
+        }
+        BoundExpr::Or(a, b) => {
+            let c1 = eval_predicate(a, chunk, cand)?;
+            let c2 = eval_predicate(b, chunk, cand)?;
+            Ok(c1.union(&c2))
+        }
+        BoundExpr::Not(inner) => {
+            // NOT under three-valued logic: rows where inner is true are
+            // excluded, rows where inner is NULL are also excluded. For
+            // comparisons we can negate the operator (NULL-safe because
+            // selects skip NULLs either way); the general fallback
+            // complements and then re-filters NULL rows out.
+            match inner.as_ref() {
+                BoundExpr::Cmp { left, op, right } => eval_predicate(
+                    &BoundExpr::Cmp {
+                        left: left.clone(),
+                        op: op.negate(),
+                        right: right.clone(),
+                    },
+                    chunk,
+                    cand,
+                ),
+                BoundExpr::IsNull { expr, negated } => eval_predicate(
+                    &BoundExpr::IsNull { expr: expr.clone(), negated: !negated },
+                    chunk,
+                    cand,
+                ),
+                BoundExpr::Between { expr, low, high, negated } => eval_predicate(
+                    &BoundExpr::Between {
+                        expr: expr.clone(),
+                        low: low.clone(),
+                        high: high.clone(),
+                        negated: !negated,
+                    },
+                    chunk,
+                    cand,
+                ),
+                BoundExpr::Not(e) => eval_predicate(e, chunk, cand),
+                other => {
+                    let truthy = eval_predicate(other, chunk, cand)?;
+                    // Complement within cand; NULL-producing rows of complex
+                    // inner expressions are conservatively included only if
+                    // the inner expression is genuinely boolean (And/Or of
+                    // comparisons), whose eval treats NULL as false already.
+                    Ok(subtract(cand, &truthy))
+                }
+            }
+        }
+        BoundExpr::Cmp { left, op, right } => eval_cmp(left, *op, right, chunk, cand),
+        BoundExpr::IsNull { expr, negated } => {
+            let bat = eval_expr(expr, chunk, cand)?;
+            // bat rows align with cand order; map row positions back to OIDs.
+            let null_rows = select_null(&bat, None, !*negated);
+            Ok(rows_to_oids(&null_rows, cand))
+        }
+        BoundExpr::Between { expr, low, high, negated } => {
+            if *negated {
+                let lo_pred = BoundExpr::Cmp {
+                    left: expr.clone(),
+                    op: CmpOp::Lt,
+                    right: low.clone(),
+                };
+                let hi_pred = BoundExpr::Cmp {
+                    left: expr.clone(),
+                    op: CmpOp::Gt,
+                    right: high.clone(),
+                };
+                return eval_predicate(
+                    &BoundExpr::Or(Box::new(lo_pred), Box::new(hi_pred)),
+                    chunk,
+                    cand,
+                );
+            }
+            match (low.is_const(), high.is_const()) {
+                (true, true) => {
+                    let bat = eval_expr(expr, chunk, cand)?;
+                    let lo = low.eval_const()?;
+                    let hi = high.eval_const()?;
+                    let rows = select_between(&bat, None, &lo, &hi)?;
+                    Ok(rows_to_oids(&rows, cand))
+                }
+                _ => {
+                    let ge = BoundExpr::Cmp {
+                        left: expr.clone(),
+                        op: CmpOp::Ge,
+                        right: low.clone(),
+                    };
+                    let le = BoundExpr::Cmp {
+                        left: expr.clone(),
+                        op: CmpOp::Le,
+                        right: high.clone(),
+                    };
+                    eval_predicate(&BoundExpr::And(Box::new(ge), Box::new(le)), chunk, cand)
+                }
+            }
+        }
+        BoundExpr::Const(Value::Bool(true)) => Ok(cand.clone()),
+        BoundExpr::Const(Value::Bool(false)) | BoundExpr::Const(Value::Null) => {
+            Ok(Candidates::empty())
+        }
+        BoundExpr::Col(i) => {
+            // bare boolean column as predicate
+            let col = chunk
+                .columns()
+                .get(*i)
+                .ok_or_else(|| PlanError::Internal(format!("column {i} missing")))?;
+            Ok(select(col, Some(cand), CmpOp::Eq, &Value::Bool(true))?)
+        }
+        other => Err(PlanError::Unsupported(format!(
+            "expression used as predicate: {other:?}"
+        ))),
+    }
+}
+
+fn eval_cmp(
+    left: &BoundExpr,
+    op: CmpOp,
+    right: &BoundExpr,
+    chunk: &Chunk,
+    cand: &Candidates,
+) -> Result<Candidates> {
+    // col op const → direct theta-select on the stored column (no copy).
+    if let (BoundExpr::Col(i), true) = (left, right.is_const()) {
+        let constant = right.eval_const()?;
+        let col = &chunk.columns()[*i];
+        return Ok(select(col, Some(cand), op, &constant)?);
+    }
+    if let (true, BoundExpr::Col(i)) = (left.is_const(), right) {
+        let constant = left.eval_const()?;
+        let col = &chunk.columns()[*i];
+        return Ok(select(col, Some(cand), op.flip(), &constant)?);
+    }
+    // expr op const → evaluate expr, select over the intermediate.
+    if right.is_const() {
+        let bat = eval_expr(left, chunk, cand)?;
+        let constant = right.eval_const()?;
+        let rows = select(&bat, None, op, &constant)?;
+        return Ok(rows_to_oids(&rows, cand));
+    }
+    if left.is_const() {
+        let bat = eval_expr(right, chunk, cand)?;
+        let constant = left.eval_const()?;
+        let rows = select(&bat, None, op.flip(), &constant)?;
+        return Ok(rows_to_oids(&rows, cand));
+    }
+    // expr op expr → evaluate both, compare pairwise.
+    let lb = eval_expr(left, chunk, cand)?;
+    let rb = eval_expr(right, chunk, cand)?;
+    let mut out = Vec::new();
+    for (row, oid) in cand.iter().enumerate() {
+        let lv = lb.get_at(row);
+        let rv = rb.get_at(row);
+        if op.eval(lv.sql_cmp(&rv)) {
+            out.push(oid);
+        }
+    }
+    Ok(Candidates::from_sorted(out))
+}
+
+/// Convert row positions (0-based, aligned with `cand` order) back to OIDs.
+fn rows_to_oids(rows: &Candidates, cand: &Candidates) -> Candidates {
+    // Fast path: cand is dense — row i ↔ oid lo+i.
+    if let Candidates::Range(lo, _) = cand {
+        return match rows {
+            Candidates::Range(a, b) => Candidates::range(lo + a, lo + b),
+            Candidates::List(v) => {
+                Candidates::from_sorted(v.iter().map(|r| lo + r).collect())
+            }
+        };
+    }
+    let oids: Vec<u64> = cand.iter().collect();
+    Candidates::from_sorted(rows.iter().map(|r| oids[r as usize]).collect())
+}
+
+/// Difference `a \ b` of candidate sets.
+fn subtract(a: &Candidates, b: &Candidates) -> Candidates {
+    let mut out = Vec::new();
+    for oid in a.iter() {
+        if !b.contains(oid) {
+            out.push(oid);
+        }
+    }
+    Candidates::from_sorted(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datacell_storage::Bat;
+
+    fn chunk() -> Chunk {
+        Chunk::new(vec![
+            Bat::from_ints(vec![1, 2, 3, 4, 5]),
+            Bat::from_floats(vec![1.0, 4.0, 9.0, 16.0, 25.0]),
+        ])
+        .unwrap()
+    }
+
+    fn all(c: &Chunk) -> Candidates {
+        Candidates::all(c.column(0))
+    }
+
+    #[test]
+    fn eval_column_and_const() {
+        let c = chunk();
+        let b = eval_expr(&BoundExpr::Col(0), &c, &all(&c)).unwrap();
+        assert_eq!(b.data().as_ints().unwrap(), &[1, 2, 3, 4, 5]);
+        let k = eval_expr(&BoundExpr::Const(Value::Int(7)), &c, &Candidates::range(0, 3))
+            .unwrap();
+        assert_eq!(k.data().as_ints().unwrap(), &[7, 7, 7]);
+    }
+
+    #[test]
+    fn eval_arith_tree() {
+        let c = chunk();
+        // a * 2 + 1
+        let e = BoundExpr::Arith {
+            left: Box::new(BoundExpr::Arith {
+                left: Box::new(BoundExpr::Col(0)),
+                op: ArithOp::Mul,
+                right: Box::new(BoundExpr::Const(Value::Int(2))),
+            }),
+            op: ArithOp::Add,
+            right: Box::new(BoundExpr::Const(Value::Int(1))),
+        };
+        let b = eval_expr(&e, &c, &all(&c)).unwrap();
+        assert_eq!(b.data().as_ints().unwrap(), &[3, 5, 7, 9, 11]);
+    }
+
+    #[test]
+    fn predicate_col_op_const() {
+        let c = chunk();
+        let p = BoundExpr::Cmp {
+            left: Box::new(BoundExpr::Col(0)),
+            op: CmpOp::Gt,
+            right: Box::new(BoundExpr::Const(Value::Int(3))),
+        };
+        let cands = eval_predicate(&p, &c, &all(&c)).unwrap();
+        assert_eq!(cands.to_vec(), vec![3, 4]);
+    }
+
+    #[test]
+    fn predicate_and_chains_selects() {
+        let c = chunk();
+        let p = BoundExpr::And(
+            Box::new(BoundExpr::Cmp {
+                left: Box::new(BoundExpr::Col(0)),
+                op: CmpOp::Ge,
+                right: Box::new(BoundExpr::Const(Value::Int(2))),
+            }),
+            Box::new(BoundExpr::Cmp {
+                left: Box::new(BoundExpr::Col(1)),
+                op: CmpOp::Lt,
+                right: Box::new(BoundExpr::Const(Value::Float(20.0))),
+            }),
+        );
+        let cands = eval_predicate(&p, &c, &all(&c)).unwrap();
+        assert_eq!(cands.to_vec(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn predicate_or_unions() {
+        let c = chunk();
+        let lt2 = BoundExpr::Cmp {
+            left: Box::new(BoundExpr::Col(0)),
+            op: CmpOp::Lt,
+            right: Box::new(BoundExpr::Const(Value::Int(2))),
+        };
+        let ge5 = BoundExpr::Cmp {
+            left: Box::new(BoundExpr::Col(0)),
+            op: CmpOp::Ge,
+            right: Box::new(BoundExpr::Const(Value::Int(5))),
+        };
+        let cands =
+            eval_predicate(&BoundExpr::Or(Box::new(lt2), Box::new(ge5)), &c, &all(&c))
+                .unwrap();
+        assert_eq!(cands.to_vec(), vec![0, 4]);
+    }
+
+    #[test]
+    fn predicate_not_negates_cmp() {
+        let c = chunk();
+        let p = BoundExpr::Not(Box::new(BoundExpr::Cmp {
+            left: Box::new(BoundExpr::Col(0)),
+            op: CmpOp::Gt,
+            right: Box::new(BoundExpr::Const(Value::Int(3))),
+        }));
+        let cands = eval_predicate(&p, &c, &all(&c)).unwrap();
+        assert_eq!(cands.to_vec(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn predicate_expr_op_expr() {
+        let c = chunk();
+        // b < a * a  (strictly less: never true since b == a²)
+        let p = BoundExpr::Cmp {
+            left: Box::new(BoundExpr::Col(1)),
+            op: CmpOp::Lt,
+            right: Box::new(BoundExpr::Arith {
+                left: Box::new(BoundExpr::Col(0)),
+                op: ArithOp::Mul,
+                right: Box::new(BoundExpr::Col(0)),
+            }),
+        };
+        assert!(eval_predicate(&p, &c, &all(&c)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn predicate_between() {
+        let c = chunk();
+        let p = BoundExpr::Between {
+            expr: Box::new(BoundExpr::Col(0)),
+            low: Box::new(BoundExpr::Const(Value::Int(2))),
+            high: Box::new(BoundExpr::Const(Value::Int(4))),
+            negated: false,
+        };
+        assert_eq!(eval_predicate(&p, &c, &all(&c)).unwrap().to_vec(), vec![1, 2, 3]);
+        let p = BoundExpr::Between {
+            expr: Box::new(BoundExpr::Col(0)),
+            low: Box::new(BoundExpr::Const(Value::Int(2))),
+            high: Box::new(BoundExpr::Const(Value::Int(4))),
+            negated: true,
+        };
+        assert_eq!(eval_predicate(&p, &c, &all(&c)).unwrap().to_vec(), vec![0, 4]);
+    }
+
+    #[test]
+    fn is_null_predicate() {
+        let mut col = Bat::new(DataType::Int);
+        col.push(&Value::Int(1)).unwrap();
+        col.push(&Value::Null).unwrap();
+        col.push(&Value::Int(3)).unwrap();
+        let c = Chunk::new(vec![col]).unwrap();
+        let p = BoundExpr::IsNull { expr: Box::new(BoundExpr::Col(0)), negated: false };
+        assert_eq!(eval_predicate(&p, &c, &all(&c)).unwrap().to_vec(), vec![1]);
+        let p = BoundExpr::IsNull { expr: Box::new(BoundExpr::Col(0)), negated: true };
+        assert_eq!(eval_predicate(&p, &c, &all(&c)).unwrap().to_vec(), vec![0, 2]);
+    }
+
+    #[test]
+    fn boolean_expr_materializes() {
+        let c = chunk();
+        let p = BoundExpr::Cmp {
+            left: Box::new(BoundExpr::Col(0)),
+            op: CmpOp::Ge,
+            right: Box::new(BoundExpr::Const(Value::Int(4))),
+        };
+        let b = eval_expr(&p, &c, &all(&c)).unwrap();
+        assert_eq!(b.data().as_bools().unwrap(), &[false, false, false, true, true]);
+    }
+
+    #[test]
+    fn nonzero_base_candidates() {
+        let col = Bat::from_vector(vec![5i64, 6, 7].into(), 100);
+        let c = Chunk::new(vec![col]).unwrap();
+        let p = BoundExpr::Cmp {
+            left: Box::new(BoundExpr::Col(0)),
+            op: CmpOp::Gt,
+            right: Box::new(BoundExpr::Const(Value::Int(5))),
+        };
+        let cands = eval_predicate(&p, &c, &Candidates::range(100, 103)).unwrap();
+        assert_eq!(cands.to_vec(), vec![101, 102]);
+    }
+
+    #[test]
+    fn remap_and_collect() {
+        let e = BoundExpr::Arith {
+            left: Box::new(BoundExpr::Col(0)),
+            op: ArithOp::Add,
+            right: Box::new(BoundExpr::Col(2)),
+        };
+        let mut cols = Vec::new();
+        e.collect_cols(&mut cols);
+        assert_eq!(cols, vec![0, 2]);
+        let remapped = e.remap(&[5, 6, 7]);
+        let mut cols2 = Vec::new();
+        remapped.collect_cols(&mut cols2);
+        assert_eq!(cols2, vec![5, 7]);
+    }
+
+    #[test]
+    fn output_types() {
+        let types = [DataType::Int, DataType::Float];
+        assert_eq!(BoundExpr::Col(1).output_type(&types).unwrap(), DataType::Float);
+        let e = BoundExpr::Arith {
+            left: Box::new(BoundExpr::Col(0)),
+            op: ArithOp::Add,
+            right: Box::new(BoundExpr::Col(1)),
+        };
+        assert_eq!(e.output_type(&types).unwrap(), DataType::Float);
+    }
+
+    use datacell_storage::DataType;
+}

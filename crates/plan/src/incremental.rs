@@ -1,0 +1,597 @@
+//! Incremental sliding-window rewriting.
+//!
+//! "Conceptually, DataCell achieves incremental processing by partitioning a
+//! window into n smaller parts, called basic windows. Each basic window is
+//! of equal size to the sliding step of the window and is processed
+//! separately. The resulting partial results are then merged to yield the
+//! complete window result. We design and develop the incremental logic at
+//! the query plan level…" (paper §3).
+//!
+//! This module does exactly that, at the plan level:
+//!
+//! * [`rewrite_incremental`] splits an optimized continuous plan at its
+//!   blocking operator (the Aggregate, or the stream⋈stream Join) into a
+//!   **pre-plan** that runs independently per basic window, a mergeable
+//!   **partial state** ([`PartialAgg`]), and a **post-plan** that runs over
+//!   the merged result ("query plans are split such as as many operators as
+//!   possible can run independently on each portion of a sliding window
+//!   stream. Then, when blocking operators occur, the plan merges
+//!   intermediates from the active slides").
+//! * The runtime ring buffers that hold the cached partials live in
+//!   `datacell-core`'s factory; this module is purely the plan transform
+//!   plus the partial-state algebra.
+
+use std::collections::HashMap;
+
+use datacell_algebra::{AggState, JoinKey};
+use datacell_sql::WindowSpec;
+use datacell_storage::{Bat, Chunk, DataType, Value};
+
+use crate::error::Result;
+use crate::expr::BoundExpr;
+use crate::logical::{AggSpec, LogicalPlan, ScanNode};
+use crate::physical;
+
+/// Binding name under which the post-plan reads the merged aggregate.
+pub const AGG_BINDING: &str = "__agg__";
+/// Binding name under which a post-plan reads merged join pairs.
+pub const JOIN_BINDING: &str = "__join__";
+
+/// A windowed stream input of a continuous plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamInput {
+    /// Binding name inside the plan.
+    pub binding: String,
+    /// Catalog stream name.
+    pub object: String,
+    /// Window clause (None ⇒ unwindowed continuous query).
+    pub window: Option<WindowSpec>,
+}
+
+/// Incremental strategy chosen for a continuous plan.
+#[derive(Debug, Clone)]
+pub enum IncrementalPlan {
+    /// Single windowed stream → (scalar pipeline) → Aggregate → post.
+    /// Partial aggregate states are cached per basic window and merged.
+    Aggregate(IncrementalAggPlan),
+    /// Two windowed streams joined (then optionally aggregated): join
+    /// outputs are cached per basic-window *pair* and merged.
+    Join(IncrementalJoinPlan),
+}
+
+/// Split form of a single-stream aggregate query.
+#[derive(Debug, Clone)]
+pub struct IncrementalAggPlan {
+    /// The windowed stream that drives the factory.
+    pub stream: StreamInput,
+    /// Plan evaluated on each basic-window delta (stream scan + filters +
+    /// table joins), producing the aggregate input.
+    pub pre_plan: LogicalPlan,
+    /// Group key expressions over the pre-plan output.
+    pub group_exprs: Vec<BoundExpr>,
+    /// Group key output types.
+    pub group_types: Vec<DataType>,
+    /// Aggregates.
+    pub aggs: Vec<AggSpec>,
+    /// Plan above the Aggregate, reading binding [`AGG_BINDING`].
+    pub post_plan: LogicalPlan,
+}
+
+/// Split form of a two-stream windowed join query.
+#[derive(Debug, Clone)]
+pub struct IncrementalJoinPlan {
+    /// Left windowed stream.
+    pub left_stream: StreamInput,
+    /// Right windowed stream.
+    pub right_stream: StreamInput,
+    /// Per-delta plan of the left side (scan + filters + table joins).
+    pub left_pre: LogicalPlan,
+    /// Per-delta plan of the right side.
+    pub right_pre: LogicalPlan,
+    /// Join key column in the left pre-plan output.
+    pub left_key: usize,
+    /// Join key column in the right pre-plan output.
+    pub right_key: usize,
+    /// Residual predicate over joined pairs (left ++ right schema).
+    pub pair_filter: Option<BoundExpr>,
+    /// Aggregation over pairs, if the query aggregates.
+    pub agg: Option<PairAggregate>,
+    /// Plan above the blocking operator, reading [`AGG_BINDING`] when `agg`
+    /// is set, else [`JOIN_BINDING`].
+    pub post_plan: LogicalPlan,
+}
+
+/// Aggregate step of an [`IncrementalJoinPlan`].
+#[derive(Debug, Clone)]
+pub struct PairAggregate {
+    /// Group key expressions over the joined-pair schema.
+    pub group_exprs: Vec<BoundExpr>,
+    /// Group key output types.
+    pub group_types: Vec<DataType>,
+    /// Aggregates.
+    pub aggs: Vec<AggSpec>,
+}
+
+// ---------------------------------------------------------------------
+// PartialAgg: the mergeable, value-keyed grouped aggregate state.
+// ---------------------------------------------------------------------
+
+/// Key of one group across the group-by columns (`None` = NULL).
+pub type GroupKey = Vec<Option<JoinKey>>;
+
+/// A mergeable partial aggregation — the cached intermediate of one basic
+/// window ("DataCell maintains intermediate results in columnar form to
+/// avoid repeated evaluation of the same stream portions", paper abstract).
+#[derive(Debug, Clone, Default)]
+pub struct PartialAgg {
+    groups: HashMap<GroupKey, (Vec<Value>, Vec<AggState>)>,
+    /// First-appearance order of the keys, for deterministic output.
+    order: Vec<GroupKey>,
+    /// Rows folded in.
+    pub rows_in: usize,
+}
+
+impl PartialAgg {
+    /// Compute the partial aggregate of one chunk.
+    pub fn compute(
+        chunk: &Chunk,
+        group_exprs: &[BoundExpr],
+        aggs: &[AggSpec],
+    ) -> Result<Self> {
+        let mut out = PartialAgg::default();
+        out.fold(chunk, group_exprs, aggs)?;
+        Ok(out)
+    }
+
+    /// Fold another chunk into this partial.
+    pub fn fold(
+        &mut self,
+        chunk: &Chunk,
+        group_exprs: &[BoundExpr],
+        aggs: &[AggSpec],
+    ) -> Result<()> {
+        let cand = if chunk.arity() == 0 {
+            datacell_algebra::Candidates::range(0, chunk.len() as u64)
+        } else {
+            datacell_algebra::Candidates::all(chunk.column(0))
+        };
+        let n = cand.len();
+        self.rows_in += n;
+
+        // Evaluate group keys and aggregate args in bulk first.
+        let keys: Result<Vec<Bat>> = group_exprs
+            .iter()
+            .map(|e| crate::expr::eval_expr(e, chunk, &cand))
+            .collect();
+        let keys = keys?;
+        let args: Result<Vec<Option<Bat>>> = aggs
+            .iter()
+            .map(|a| {
+                a.arg
+                    .as_ref()
+                    .map(|e| crate::expr::eval_expr(e, chunk, &cand))
+                    .transpose()
+            })
+            .collect();
+        let args = args?;
+
+        if group_exprs.is_empty() {
+            // Global aggregation: one group with the empty key.
+            let entry = self.entry(GroupKey::new(), Vec::new(), aggs);
+            for (slot, _spec) in aggs.iter().enumerate() {
+                match &args[slot] {
+                    Some(vals) => entry[slot].update_bulk(vals, None),
+                    None => {
+                        for _ in 0..n {
+                            entry[slot].update(&Value::Bool(true));
+                        }
+                    }
+                }
+            }
+            return Ok(());
+        }
+
+        for row in 0..n {
+            let key: GroupKey = keys
+                .iter()
+                .map(|k| JoinKey::from_value(&k.get_at(row)))
+                .collect();
+            if !self.groups.contains_key(&key) {
+                let values: Vec<Value> = keys.iter().map(|k| k.get_at(row)).collect();
+                self.entry(key.clone(), values, aggs);
+            }
+            let states = &mut self.groups.get_mut(&key).expect("just inserted").1;
+            for (slot, _spec) in aggs.iter().enumerate() {
+                match &args[slot] {
+                    Some(vals) => states[slot].update(&vals.get_at(row)),
+                    None => states[slot].update(&Value::Bool(true)),
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn entry(
+        &mut self,
+        key: GroupKey,
+        values: Vec<Value>,
+        aggs: &[AggSpec],
+    ) -> &mut Vec<AggState> {
+        if !self.groups.contains_key(&key) {
+            let states = aggs.iter().map(|a| AggState::new(a.kind)).collect();
+            self.groups.insert(key.clone(), (values, states));
+            self.order.push(key.clone());
+        }
+        &mut self.groups.get_mut(&key).expect("present").1
+    }
+
+    /// Merge another partial in (associative, commutative per group).
+    pub fn merge(&mut self, other: &PartialAgg) {
+        self.rows_in += other.rows_in;
+        for key in &other.order {
+            let (values, states) = &other.groups[key];
+            match self.groups.get_mut(key) {
+                Some((_, mine)) => {
+                    for (a, b) in mine.iter_mut().zip(states) {
+                        a.merge(b);
+                    }
+                }
+                None => {
+                    self.groups.insert(key.clone(), (values.clone(), states.clone()));
+                    self.order.push(key.clone());
+                }
+            }
+        }
+    }
+
+    /// Number of groups.
+    pub fn ngroups(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Materialize as a chunk `[group keys…, aggregates…]`.
+    ///
+    /// `global` aggregation (no keys) yields exactly one row even when no
+    /// tuples were folded (SQL semantics).
+    pub fn finalize(
+        &self,
+        group_exprs: &[BoundExpr],
+        group_types: &[DataType],
+        aggs: &[AggSpec],
+    ) -> Result<Chunk> {
+        if group_exprs.is_empty() {
+            let mut cols = Vec::with_capacity(aggs.len());
+            let empty: Vec<AggState>;
+            let states: &[AggState] = match self.groups.get(&GroupKey::new()) {
+                Some((_, s)) => s,
+                None => {
+                    empty = aggs.iter().map(|a| AggState::new(a.kind)).collect();
+                    &empty
+                }
+            };
+            for (spec, st) in aggs.iter().zip(states) {
+                let mut bat = Bat::new(spec.ty);
+                bat.push(&st.finalize().coerce(spec.ty).unwrap_or(Value::Null))?;
+                cols.push(bat);
+            }
+            return Ok(Chunk::new(cols)?);
+        }
+
+        let mut key_cols: Vec<Bat> =
+            group_types.iter().map(|t| Bat::new(*t)).collect();
+        let mut agg_cols: Vec<Bat> = aggs.iter().map(|a| Bat::new(a.ty)).collect();
+        for key in &self.order {
+            let (values, states) = &self.groups[key];
+            for (col, v) in key_cols.iter_mut().zip(values) {
+                col.push(&v.coerce(col.data_type()).unwrap_or(Value::Null))?;
+            }
+            for (col, st) in agg_cols.iter_mut().zip(states) {
+                col.push(&st.finalize().coerce(col.data_type()).unwrap_or(Value::Null))?;
+            }
+        }
+        key_cols.extend(agg_cols);
+        Ok(Chunk::new(key_cols)?)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Plan splitting
+// ---------------------------------------------------------------------
+
+/// All stream inputs of a plan.
+pub fn stream_inputs(plan: &LogicalPlan) -> Vec<StreamInput> {
+    plan.scans()
+        .into_iter()
+        .filter(|s| s.is_stream)
+        .map(|s| StreamInput {
+            binding: s.binding.clone(),
+            object: s.object.clone(),
+            window: s.window.clone(),
+        })
+        .collect()
+}
+
+/// Attempt to rewrite an optimized continuous plan into incremental form.
+/// Returns `None` when the shape does not decompose (the factory then runs
+/// in full re-evaluation mode, the paper's first execution mode).
+pub fn rewrite_incremental(plan: &LogicalPlan) -> Option<IncrementalPlan> {
+    let streams = stream_inputs(plan);
+    match streams.len() {
+        1 => rewrite_single_stream(plan, &streams[0]),
+        2 => rewrite_two_streams(plan, &streams),
+        _ => None,
+    }
+}
+
+/// Split at the Aggregate for a single windowed stream.
+fn rewrite_single_stream(plan: &LogicalPlan, stream: &StreamInput) -> Option<IncrementalPlan> {
+    stream.window.as_ref()?; // unwindowed queries re-evaluate trivially
+    // Locate the aggregate node and build the post-plan with the aggregate
+    // replaced by a scan of AGG_BINDING.
+    let (post_plan, agg) = split_at_aggregate(plan)?;
+    let LogicalPlan::Aggregate { input, group_exprs, group_types, aggs, .. } = agg else {
+        return None;
+    };
+    // Pre-plan must contain only this stream and tables.
+    if stream_inputs(input).len() != 1 {
+        return None;
+    }
+    // MIN/MAX merge correctly across basic windows because expiry drops
+    // whole partials; all supported aggregates are mergeable.
+    Some(IncrementalPlan::Aggregate(IncrementalAggPlan {
+        stream: stream.clone(),
+        pre_plan: (**input).clone(),
+        group_exprs: group_exprs.clone(),
+        group_types: group_types.clone(),
+        aggs: aggs.clone(),
+        post_plan,
+    }))
+}
+
+/// Split a two-stream plan at the stream⋈stream join (and the aggregate
+/// above it, if any).
+fn rewrite_two_streams(plan: &LogicalPlan, streams: &[StreamInput]) -> Option<IncrementalPlan> {
+    if streams.iter().any(|s| s.window.is_none()) {
+        return None;
+    }
+    // Expected shape: post* ( Aggregate? ( Filter? ( Join(l, r) ) ) )
+    let (post_after_agg, agg_node) = match split_at_aggregate(plan) {
+        Some((post, agg)) => (Some(post), Some(agg)),
+        None => (None, None),
+    };
+
+    // The subtree to decompose at the join.
+    let join_region: &LogicalPlan = match &agg_node {
+        Some(LogicalPlan::Aggregate { input, .. }) => input,
+        _ => plan,
+    };
+
+    // Peel an optional Filter above the Join.
+    let (pair_filter, join_node) = match join_region {
+        LogicalPlan::Filter { input, predicate } => (Some(predicate.clone()), input.as_ref()),
+        other => (None, other),
+    };
+    let LogicalPlan::Join { left, right, left_key, right_key } = join_node else {
+        return None;
+    };
+    // Each side must contain exactly one windowed stream.
+    let ls = stream_inputs(left);
+    let rs = stream_inputs(right);
+    if ls.len() != 1 || rs.len() != 1 {
+        return None;
+    }
+
+    let (agg, post_plan) = match (agg_node, post_after_agg) {
+        (Some(LogicalPlan::Aggregate { group_exprs, group_types, aggs, .. }), Some(post)) => (
+            Some(PairAggregate {
+                group_exprs: group_exprs.clone(),
+                group_types: group_types.clone(),
+                aggs: aggs.clone(),
+            }),
+            post,
+        ),
+        _ => {
+            // Pure join query: post-plan is everything above the join
+            // region, reading JOIN_BINDING.
+            let pair_schema_names = join_node.names();
+            let pair_schema_types = join_node.types();
+            let post = replace_subtree(
+                plan,
+                join_region,
+                LogicalPlan::Scan(ScanNode {
+                    binding: JOIN_BINDING.into(),
+                    object: JOIN_BINDING.into(),
+                    is_stream: false,
+                    window: None,
+                    names: pair_schema_names,
+                    types: pair_schema_types,
+                }),
+            )?;
+            // The pair filter stays inside the cached pair computation, so
+            // drop it from the post side (replace_subtree swapped the whole
+            // filtered region).
+            (None, post)
+        }
+    };
+
+    Some(IncrementalPlan::Join(IncrementalJoinPlan {
+        left_stream: ls[0].clone(),
+        right_stream: rs[0].clone(),
+        left_pre: (**left).clone(),
+        right_pre: (**right).clone(),
+        left_key: *left_key,
+        right_key: *right_key,
+        pair_filter,
+        agg,
+        post_plan,
+    }))
+}
+
+/// Find the unique Aggregate reachable through unary operators from the
+/// root; return the post-plan (aggregate replaced by a scan of
+/// [`AGG_BINDING`]) and a reference to the aggregate node.
+fn split_at_aggregate(plan: &LogicalPlan) -> Option<(LogicalPlan, &LogicalPlan)> {
+    let agg = plan.aggregate_node()?;
+    let LogicalPlan::Aggregate { group_names, group_types, aggs, .. } = agg else {
+        return None;
+    };
+    let mut names = group_names.clone();
+    names.extend(aggs.iter().map(|a| a.name.clone()));
+    let mut types = group_types.clone();
+    types.extend(aggs.iter().map(|a| a.ty));
+    let replacement = LogicalPlan::Scan(ScanNode {
+        binding: AGG_BINDING.into(),
+        object: AGG_BINDING.into(),
+        is_stream: false,
+        window: None,
+        names,
+        types,
+    });
+    let post = replace_subtree(plan, agg, replacement)?;
+    Some((post, agg))
+}
+
+/// Clone `plan` with the subtree pointer-equal to `target` replaced.
+fn replace_subtree(
+    plan: &LogicalPlan,
+    target: &LogicalPlan,
+    replacement: LogicalPlan,
+) -> Option<LogicalPlan> {
+    if std::ptr::eq(plan, target) {
+        return Some(replacement);
+    }
+    Some(match plan {
+        LogicalPlan::Scan(_) => return None,
+        LogicalPlan::Filter { input, predicate } => LogicalPlan::Filter {
+            input: Box::new(replace_subtree(input, target, replacement)?),
+            predicate: predicate.clone(),
+        },
+        LogicalPlan::Project { input, exprs, names, types } => LogicalPlan::Project {
+            input: Box::new(replace_subtree(input, target, replacement)?),
+            exprs: exprs.clone(),
+            names: names.clone(),
+            types: types.clone(),
+        },
+        LogicalPlan::Aggregate { input, group_exprs, group_names, group_types, aggs } => {
+            LogicalPlan::Aggregate {
+                input: Box::new(replace_subtree(input, target, replacement)?),
+                group_exprs: group_exprs.clone(),
+                group_names: group_names.clone(),
+                group_types: group_types.clone(),
+                aggs: aggs.clone(),
+            }
+        }
+        LogicalPlan::Distinct { input } => LogicalPlan::Distinct {
+            input: Box::new(replace_subtree(input, target, replacement)?),
+        },
+        LogicalPlan::Sort { input, keys } => LogicalPlan::Sort {
+            input: Box::new(replace_subtree(input, target, replacement)?),
+            keys: keys.clone(),
+        },
+        LogicalPlan::Limit { input, n } => LogicalPlan::Limit {
+            input: Box::new(replace_subtree(input, target, replacement)?),
+            n: *n,
+        },
+        LogicalPlan::Join { .. } => return None,
+    })
+}
+
+/// Execute a post-plan over a merged aggregate chunk.
+pub fn run_post_plan(
+    post_plan: &LogicalPlan,
+    binding: &str,
+    merged: Chunk,
+    extra_sources: &physical::ExecSources,
+) -> Result<Chunk> {
+    let mut sources = extra_sources.clone();
+    sources.bind(binding, merged);
+    physical::execute(post_plan, &sources)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datacell_algebra::AggKind;
+
+    fn agg_specs() -> Vec<AggSpec> {
+        vec![
+            AggSpec { kind: AggKind::Sum, arg: Some(BoundExpr::Col(1)), name: "s".into(), ty: DataType::Int },
+            AggSpec { kind: AggKind::CountStar, arg: None, name: "c".into(), ty: DataType::Int },
+            AggSpec { kind: AggKind::Min, arg: Some(BoundExpr::Col(1)), name: "m".into(), ty: DataType::Int },
+        ]
+    }
+
+    fn chunk(keys: Vec<i64>, vals: Vec<i64>) -> Chunk {
+        Chunk::new(vec![Bat::from_ints(keys), Bat::from_ints(vals)]).unwrap()
+    }
+
+    #[test]
+    fn partial_agg_matches_whole_computation() {
+        let group = vec![BoundExpr::Col(0)];
+        let aggs = agg_specs();
+        let whole = PartialAgg::compute(
+            &chunk(vec![1, 2, 1, 2], vec![10, 20, 30, 40]),
+            &group,
+            &aggs,
+        )
+        .unwrap();
+        let mut merged = PartialAgg::compute(&chunk(vec![1, 2], vec![10, 20]), &group, &aggs)
+            .unwrap();
+        merged.merge(
+            &PartialAgg::compute(&chunk(vec![1, 2], vec![30, 40]), &group, &aggs).unwrap(),
+        );
+        let a = whole.finalize(&group, &[DataType::Int], &aggs).unwrap();
+        let b = merged.finalize(&group, &[DataType::Int], &aggs).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.row(0), vec![Value::Int(1), Value::Int(40), Value::Int(2), Value::Int(10)]);
+    }
+
+    #[test]
+    fn global_partial_agg() {
+        let aggs = agg_specs();
+        let mut p = PartialAgg::compute(&chunk(vec![1], vec![5]), &[], &aggs).unwrap();
+        p.merge(&PartialAgg::compute(&chunk(vec![2], vec![7]), &[], &aggs).unwrap());
+        let out = p.finalize(&[], &[], &aggs).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.row(0), vec![Value::Int(12), Value::Int(2), Value::Int(5)]);
+    }
+
+    #[test]
+    fn empty_global_partial_yields_row() {
+        let aggs = agg_specs();
+        let p = PartialAgg::default();
+        let out = p.finalize(&[], &[], &aggs).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.row(0), vec![Value::Null, Value::Int(0), Value::Null]);
+    }
+
+    #[test]
+    fn merge_is_commutative_on_groups() {
+        let group = vec![BoundExpr::Col(0)];
+        let aggs = agg_specs();
+        let a = PartialAgg::compute(&chunk(vec![1, 3], vec![1, 3]), &group, &aggs).unwrap();
+        let b = PartialAgg::compute(&chunk(vec![3, 2], vec![30, 2]), &group, &aggs).unwrap();
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        // group order differs, but contents per key must agree
+        assert_eq!(ab.ngroups(), ba.ngroups());
+        let fa = ab.finalize(&group, &[DataType::Int], &aggs).unwrap();
+        let fb = ba.finalize(&group, &[DataType::Int], &aggs).unwrap();
+        let mut ra: Vec<_> = fa.rows().collect();
+        let mut rb: Vec<_> = fb.rows().collect();
+        let key = |r: &Vec<Value>| r[0].as_int().unwrap();
+        ra.sort_by_key(key);
+        rb.sort_by_key(key);
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn rows_in_tracks_volume() {
+        let aggs = agg_specs();
+        let p = PartialAgg::compute(&chunk(vec![1, 1, 1], vec![1, 2, 3]), &[], &aggs).unwrap();
+        assert_eq!(p.rows_in, 3);
+    }
+}

@@ -1,0 +1,40 @@
+//! # datacell-plan
+//!
+//! The query-compilation middle of DataCell (paper Figure 1:
+//! Parser/Compiler → Optimizer → **Rewriter**): binding SQL to the catalog,
+//! rule-based optimization, bulk plan execution, and the continuous /
+//! incremental rewriting that turns DBMS plans into online plans.
+//!
+//! * [`binder`] — name resolution, join-key extraction, aggregate split.
+//! * [`expr`] — bound expressions evaluated in bulk over chunks.
+//! * [`logical`] — the plan tree.
+//! * [`optimizer`] — constant folding, filter pushdown, filter merging.
+//! * [`physical`] — the bulk executor (and partial-aggregation states).
+//! * [`continuous`] — compilation of continuous plans and execution modes.
+//! * [`incremental`] — basic-window splitting and mergeable partials.
+//! * [`explain`] — plan rendering (the demo's plan inspection pane).
+
+#![warn(missing_docs)]
+
+pub mod binder;
+pub mod continuous;
+pub mod error;
+pub mod explain;
+pub mod expr;
+pub mod incremental;
+pub mod logical;
+pub mod optimizer;
+pub mod physical;
+
+pub use binder::{literal_to_value, type_of, Binder, BoundQuery};
+pub use continuous::{compile, CompiledQuery, ExecutionMode};
+pub use error::{PlanError, Result};
+pub use explain::explain;
+pub use expr::{eval_expr, eval_predicate, BoundExpr};
+pub use incremental::{
+    rewrite_incremental, IncrementalAggPlan, IncrementalJoinPlan, IncrementalPlan,
+    PairAggregate, PartialAgg, StreamInput, AGG_BINDING, JOIN_BINDING,
+};
+pub use logical::{AggSpec, LogicalPlan, ScanNode};
+pub use optimizer::optimize;
+pub use physical::{execute, execute_traced, ExecSources, OpTrace};

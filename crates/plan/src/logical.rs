@@ -1,0 +1,263 @@
+//! Logical query plans over bound expressions.
+//!
+//! The tree mirrors what the MonetDB SQL optimizer hands to DataCell: scans
+//! at the leaves (tables *or* stream baskets — the same node, which is what
+//! lets one factory "interact both with tables and baskets", paper §3),
+//! candidate-producing filters, equi-joins, group/aggregate, sort and limit.
+
+use datacell_algebra::AggKind;
+use datacell_sql::WindowSpec;
+use datacell_storage::DataType;
+
+use crate::expr::BoundExpr;
+
+/// One aggregate computation inside an [`LogicalPlan::Aggregate`] node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggSpec {
+    /// Which aggregate.
+    pub kind: AggKind,
+    /// Argument expression over the aggregate input; `None` for `COUNT(*)`.
+    pub arg: Option<BoundExpr>,
+    /// Output column name.
+    pub name: String,
+    /// Output type.
+    pub ty: DataType,
+}
+
+/// A leaf data source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScanNode {
+    /// Binding name used by the query (alias or object name).
+    pub binding: String,
+    /// Catalog object name.
+    pub object: String,
+    /// Whether the object is a stream (⇒ the query is continuous).
+    pub is_stream: bool,
+    /// Window clause, if any (streams only).
+    pub window: Option<WindowSpec>,
+    /// Output column names (qualified with the binding).
+    pub names: Vec<String>,
+    /// Output column types.
+    pub types: Vec<DataType>,
+}
+
+/// A logical plan node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogicalPlan {
+    /// Leaf scan of a table or stream basket.
+    Scan(ScanNode),
+    /// Candidate-producing selection.
+    Filter {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Predicate over the input schema.
+        predicate: BoundExpr,
+    },
+    /// Hash equi-join; output schema = left columns ++ right columns.
+    Join {
+        /// Left (probe) input.
+        left: Box<LogicalPlan>,
+        /// Right (build) input.
+        right: Box<LogicalPlan>,
+        /// Join key column in the left schema.
+        left_key: usize,
+        /// Join key column in the right schema.
+        right_key: usize,
+    },
+    /// Bulk expression projection.
+    Project {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Output expressions over the input schema.
+        exprs: Vec<BoundExpr>,
+        /// Output names.
+        names: Vec<String>,
+        /// Output types.
+        types: Vec<DataType>,
+    },
+    /// Group + aggregate; output = group keys then aggregate results.
+    Aggregate {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Group key expressions over the input schema.
+        group_exprs: Vec<BoundExpr>,
+        /// Group key output names.
+        group_names: Vec<String>,
+        /// Group key output types.
+        group_types: Vec<DataType>,
+        /// Aggregates.
+        aggs: Vec<AggSpec>,
+    },
+    /// Duplicate elimination over all columns.
+    Distinct {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+    },
+    /// Sort by key columns of the input schema.
+    Sort {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// `(column, descending)` keys.
+        keys: Vec<(usize, bool)>,
+    },
+    /// Keep the first `n` rows.
+    Limit {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Row bound.
+        n: u64,
+    },
+}
+
+impl LogicalPlan {
+    /// Output column names.
+    pub fn names(&self) -> Vec<String> {
+        match self {
+            LogicalPlan::Scan(s) => s.names.clone(),
+            LogicalPlan::Filter { input, .. }
+            | LogicalPlan::Distinct { input }
+            | LogicalPlan::Sort { input, .. }
+            | LogicalPlan::Limit { input, .. } => input.names(),
+            LogicalPlan::Join { left, right, .. } => {
+                let mut v = left.names();
+                v.extend(right.names());
+                v
+            }
+            LogicalPlan::Project { names, .. } => names.clone(),
+            LogicalPlan::Aggregate { group_names, aggs, .. } => {
+                let mut v = group_names.clone();
+                v.extend(aggs.iter().map(|a| a.name.clone()));
+                v
+            }
+        }
+    }
+
+    /// Output column types.
+    pub fn types(&self) -> Vec<DataType> {
+        match self {
+            LogicalPlan::Scan(s) => s.types.clone(),
+            LogicalPlan::Filter { input, .. }
+            | LogicalPlan::Distinct { input }
+            | LogicalPlan::Sort { input, .. }
+            | LogicalPlan::Limit { input, .. } => input.types(),
+            LogicalPlan::Join { left, right, .. } => {
+                let mut v = left.types();
+                v.extend(right.types());
+                v
+            }
+            LogicalPlan::Project { types, .. } => types.clone(),
+            LogicalPlan::Aggregate { group_types, aggs, .. } => {
+                let mut v = group_types.clone();
+                v.extend(aggs.iter().map(|a| a.ty));
+                v
+            }
+        }
+    }
+
+    /// Number of output columns.
+    pub fn arity(&self) -> usize {
+        self.types().len()
+    }
+
+    /// All scans in the plan, left to right.
+    pub fn scans(&self) -> Vec<&ScanNode> {
+        let mut out = Vec::new();
+        self.visit_scans(&mut out);
+        out
+    }
+
+    fn visit_scans<'a>(&'a self, out: &mut Vec<&'a ScanNode>) {
+        match self {
+            LogicalPlan::Scan(s) => out.push(s),
+            LogicalPlan::Filter { input, .. }
+            | LogicalPlan::Project { input, .. }
+            | LogicalPlan::Aggregate { input, .. }
+            | LogicalPlan::Distinct { input }
+            | LogicalPlan::Sort { input, .. }
+            | LogicalPlan::Limit { input, .. } => input.visit_scans(out),
+            LogicalPlan::Join { left, right, .. } => {
+                left.visit_scans(out);
+                right.visit_scans(out);
+            }
+        }
+    }
+
+    /// True iff any scan reads a stream (⇒ this is a continuous query).
+    pub fn is_continuous(&self) -> bool {
+        self.scans().iter().any(|s| s.is_stream)
+    }
+
+    /// True iff the top of the plan (ignoring Sort/Limit/Project/Filter)
+    /// is an Aggregate node — the shape the incremental rewriter targets.
+    pub fn aggregate_node(&self) -> Option<&LogicalPlan> {
+        match self {
+            LogicalPlan::Aggregate { .. } => Some(self),
+            LogicalPlan::Filter { input, .. }
+            | LogicalPlan::Project { input, .. }
+            | LogicalPlan::Sort { input, .. }
+            | LogicalPlan::Distinct { input }
+            | LogicalPlan::Limit { input, .. } => input.aggregate_node(),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datacell_storage::Value;
+
+    fn scan(binding: &str, stream: bool) -> LogicalPlan {
+        LogicalPlan::Scan(ScanNode {
+            binding: binding.into(),
+            object: binding.into(),
+            is_stream: stream,
+            window: None,
+            names: vec![format!("{binding}.a"), format!("{binding}.b")],
+            types: vec![DataType::Int, DataType::Float],
+        })
+    }
+
+    #[test]
+    fn schema_propagation() {
+        let plan = LogicalPlan::Filter {
+            input: Box::new(scan("t", false)),
+            predicate: BoundExpr::Const(Value::Bool(true)),
+        };
+        assert_eq!(plan.names(), vec!["t.a", "t.b"]);
+        assert_eq!(plan.types(), vec![DataType::Int, DataType::Float]);
+    }
+
+    #[test]
+    fn join_concats_schemas() {
+        let plan = LogicalPlan::Join {
+            left: Box::new(scan("l", true)),
+            right: Box::new(scan("r", false)),
+            left_key: 0,
+            right_key: 0,
+        };
+        assert_eq!(plan.arity(), 4);
+        assert_eq!(plan.names()[2], "r.a");
+        assert!(plan.is_continuous());
+        assert_eq!(plan.scans().len(), 2);
+    }
+
+    #[test]
+    fn aggregate_schema() {
+        let plan = LogicalPlan::Aggregate {
+            input: Box::new(scan("s", true)),
+            group_exprs: vec![BoundExpr::Col(0)],
+            group_names: vec!["s.a".into()],
+            group_types: vec![DataType::Int],
+            aggs: vec![AggSpec {
+                kind: AggKind::Sum,
+                arg: Some(BoundExpr::Col(1)),
+                name: "SUM(s.b)".into(),
+                ty: DataType::Float,
+            }],
+        };
+        assert_eq!(plan.names(), vec!["s.a", "SUM(s.b)"]);
+        assert_eq!(plan.types(), vec![DataType::Int, DataType::Float]);
+        assert!(plan.aggregate_node().is_some());
+    }
+}

@@ -1,0 +1,489 @@
+//! Rule-based optimizer over logical plans.
+//!
+//! DataCell reuses "the complete optimizer stack" of the host DBMS (paper
+//! §1); here that stack is a small rule pipeline: constant folding,
+//! conjunction splitting, filter pushdown through projections and joins,
+//! and trivial-filter elimination. The continuous rewriter
+//! ([`crate::continuous`]) runs *after* these rules, exactly as DataCell
+//! rewrites the optimizer's output plan.
+
+use datacell_algebra::ArithOp;
+use datacell_storage::Value;
+
+use crate::expr::BoundExpr;
+use crate::logical::LogicalPlan;
+
+/// Names of the rules applied, in order (for EXPLAIN/ablation output).
+pub const RULES: &[&str] = &[
+    "fold_constants",
+    "merge_filters",
+    "push_filter_through_join",
+    "drop_trivial_filters",
+];
+
+/// Optimize a plan: apply all rules to fixpoint (bounded).
+pub fn optimize(plan: LogicalPlan) -> LogicalPlan {
+    let mut plan = plan;
+    for _ in 0..8 {
+        let (next, changed) = pass(plan);
+        plan = next;
+        if !changed {
+            break;
+        }
+    }
+    plan
+}
+
+fn pass(plan: LogicalPlan) -> (LogicalPlan, bool) {
+    let mut changed = false;
+    let plan = rewrite(plan, &mut changed);
+    (plan, changed)
+}
+
+fn rewrite(plan: LogicalPlan, changed: &mut bool) -> LogicalPlan {
+    // bottom-up
+    let plan = match plan {
+        LogicalPlan::Scan(s) => LogicalPlan::Scan(s),
+        LogicalPlan::Filter { input, predicate } => {
+            let input = Box::new(rewrite(*input, changed));
+            let predicate = fold_expr(predicate, changed);
+            LogicalPlan::Filter { input, predicate }
+        }
+        LogicalPlan::Join { left, right, left_key, right_key } => LogicalPlan::Join {
+            left: Box::new(rewrite(*left, changed)),
+            right: Box::new(rewrite(*right, changed)),
+            left_key,
+            right_key,
+        },
+        LogicalPlan::Project { input, exprs, names, types } => LogicalPlan::Project {
+            input: Box::new(rewrite(*input, changed)),
+            exprs: exprs.into_iter().map(|e| fold_expr(e, changed)).collect(),
+            names,
+            types,
+        },
+        LogicalPlan::Aggregate { input, group_exprs, group_names, group_types, aggs } => {
+            LogicalPlan::Aggregate {
+                input: Box::new(rewrite(*input, changed)),
+                group_exprs: group_exprs.into_iter().map(|e| fold_expr(e, changed)).collect(),
+                group_names,
+                group_types,
+                aggs,
+            }
+        }
+        LogicalPlan::Distinct { input } => {
+            LogicalPlan::Distinct { input: Box::new(rewrite(*input, changed)) }
+        }
+        LogicalPlan::Sort { input, keys } => {
+            LogicalPlan::Sort { input: Box::new(rewrite(*input, changed)), keys }
+        }
+        LogicalPlan::Limit { input, n } => {
+            LogicalPlan::Limit { input: Box::new(rewrite(*input, changed)), n }
+        }
+    };
+
+    // local rules at this node
+    let plan = merge_filters(plan, changed);
+    let plan = push_filter_through_join(plan, changed);
+    drop_trivial_filter(plan, changed)
+}
+
+// ---- rule: constant folding -------------------------------------------
+
+fn fold_expr(expr: BoundExpr, changed: &mut bool) -> BoundExpr {
+    match expr {
+        BoundExpr::Arith { left, op, right } => {
+            let l = fold_expr(*left, changed);
+            let r = fold_expr(*right, changed);
+            if let (BoundExpr::Const(a), BoundExpr::Const(b)) = (&l, &r) {
+                if let Some(v) = fold_arith(op, a, b) {
+                    *changed = true;
+                    return BoundExpr::Const(v);
+                }
+            }
+            BoundExpr::Arith { left: Box::new(l), op, right: Box::new(r) }
+        }
+        BoundExpr::Cmp { left, op, right } => {
+            let l = fold_expr(*left, changed);
+            let r = fold_expr(*right, changed);
+            if let (BoundExpr::Const(a), BoundExpr::Const(b)) = (&l, &r) {
+                let v = match a.sql_cmp(b) {
+                    None => Value::Null,
+                    Some(ord) => Value::Bool(op.eval(Some(ord))),
+                };
+                *changed = true;
+                return BoundExpr::Const(v);
+            }
+            BoundExpr::Cmp { left: Box::new(l), op, right: Box::new(r) }
+        }
+        BoundExpr::And(a, b) => {
+            let a = fold_expr(*a, changed);
+            let b = fold_expr(*b, changed);
+            match (&a, &b) {
+                (BoundExpr::Const(Value::Bool(true)), _) => {
+                    *changed = true;
+                    b
+                }
+                (_, BoundExpr::Const(Value::Bool(true))) => {
+                    *changed = true;
+                    a
+                }
+                (BoundExpr::Const(Value::Bool(false)), _)
+                | (_, BoundExpr::Const(Value::Bool(false))) => {
+                    *changed = true;
+                    BoundExpr::Const(Value::Bool(false))
+                }
+                _ => BoundExpr::And(Box::new(a), Box::new(b)),
+            }
+        }
+        BoundExpr::Or(a, b) => {
+            let a = fold_expr(*a, changed);
+            let b = fold_expr(*b, changed);
+            match (&a, &b) {
+                (BoundExpr::Const(Value::Bool(false)), _) => {
+                    *changed = true;
+                    b
+                }
+                (_, BoundExpr::Const(Value::Bool(false))) => {
+                    *changed = true;
+                    a
+                }
+                (BoundExpr::Const(Value::Bool(true)), _)
+                | (_, BoundExpr::Const(Value::Bool(true))) => {
+                    *changed = true;
+                    BoundExpr::Const(Value::Bool(true))
+                }
+                _ => BoundExpr::Or(Box::new(a), Box::new(b)),
+            }
+        }
+        BoundExpr::Not(e) => {
+            let e = fold_expr(*e, changed);
+            if let BoundExpr::Const(Value::Bool(b)) = e {
+                *changed = true;
+                BoundExpr::Const(Value::Bool(!b))
+            } else {
+                BoundExpr::Not(Box::new(e))
+            }
+        }
+        BoundExpr::IsNull { expr, negated } => {
+            let e = fold_expr(*expr, changed);
+            if let BoundExpr::Const(v) = &e {
+                *changed = true;
+                return BoundExpr::Const(Value::Bool(v.is_null() != negated));
+            }
+            BoundExpr::IsNull { expr: Box::new(e), negated }
+        }
+        BoundExpr::Between { expr, low, high, negated } => BoundExpr::Between {
+            expr: Box::new(fold_expr(*expr, changed)),
+            low: Box::new(fold_expr(*low, changed)),
+            high: Box::new(fold_expr(*high, changed)),
+            negated,
+        },
+        leaf => leaf,
+    }
+}
+
+fn fold_arith(op: ArithOp, a: &Value, b: &Value) -> Option<Value> {
+    if a.is_null() || b.is_null() {
+        return Some(Value::Null);
+    }
+    match (a, b) {
+        (Value::Int(x), Value::Int(y)) => match op {
+            ArithOp::Add => Some(Value::Int(x.wrapping_add(*y))),
+            ArithOp::Sub => Some(Value::Int(x.wrapping_sub(*y))),
+            ArithOp::Mul => Some(Value::Int(x.wrapping_mul(*y))),
+            ArithOp::Div => {
+                if *y == 0 {
+                    Some(Value::Null)
+                } else {
+                    Some(Value::Int(x.wrapping_div(*y)))
+                }
+            }
+            ArithOp::Mod => {
+                if *y == 0 {
+                    Some(Value::Null)
+                } else {
+                    Some(Value::Int(x.wrapping_rem(*y)))
+                }
+            }
+        },
+        _ => {
+            let x = a.as_float()?;
+            let y = b.as_float()?;
+            let v = match op {
+                ArithOp::Add => x + y,
+                ArithOp::Sub => x - y,
+                ArithOp::Mul => x * y,
+                ArithOp::Div => x / y,
+                ArithOp::Mod => x % y,
+            };
+            Some(Value::Float(v))
+        }
+    }
+}
+
+// ---- rule: merge adjacent filters ---------------------------------------
+
+fn merge_filters(plan: LogicalPlan, changed: &mut bool) -> LogicalPlan {
+    if let LogicalPlan::Filter { input, predicate } = plan {
+        if let LogicalPlan::Filter { input: inner, predicate: p2 } = *input {
+            *changed = true;
+            return LogicalPlan::Filter {
+                input: inner,
+                // inner predicate first: it was closer to the scan
+                predicate: BoundExpr::And(Box::new(p2), Box::new(predicate)),
+            };
+        }
+        return LogicalPlan::Filter { input, predicate };
+    }
+    plan
+}
+
+// ---- rule: push filters through joins ------------------------------------
+
+fn push_filter_through_join(plan: LogicalPlan, changed: &mut bool) -> LogicalPlan {
+    let LogicalPlan::Filter { input, predicate } = plan else {
+        return plan;
+    };
+    let LogicalPlan::Join { left, right, left_key, right_key } = *input else {
+        return LogicalPlan::Filter { input, predicate };
+    };
+
+    let left_arity = left.arity();
+    let mut conjuncts = Vec::new();
+    split_and(predicate, &mut conjuncts);
+
+    let mut left_preds = Vec::new();
+    let mut right_preds = Vec::new();
+    let mut keep = Vec::new();
+    for c in conjuncts {
+        let mut cols = Vec::new();
+        c.collect_cols(&mut cols);
+        if !cols.is_empty() && cols.iter().all(|&i| i < left_arity) {
+            left_preds.push(c);
+        } else if !cols.is_empty() && cols.iter().all(|&i| i >= left_arity) {
+            let mapping: Vec<usize> = (0..left_arity + right.arity())
+                .map(|i| i.saturating_sub(left_arity))
+                .collect();
+            right_preds.push(c.remap(&mapping));
+        } else {
+            keep.push(c);
+        }
+    }
+
+    if left_preds.is_empty() && right_preds.is_empty() {
+        return LogicalPlan::Filter {
+            input: Box::new(LogicalPlan::Join { left, right, left_key, right_key }),
+            predicate: and_list(keep),
+        };
+    }
+    *changed = true;
+
+    let new_left = match and_opt(left_preds) {
+        Some(p) => Box::new(LogicalPlan::Filter { input: left, predicate: p }),
+        None => left,
+    };
+    let new_right = match and_opt(right_preds) {
+        Some(p) => Box::new(LogicalPlan::Filter { input: right, predicate: p }),
+        None => right,
+    };
+    let join = LogicalPlan::Join { left: new_left, right: new_right, left_key, right_key };
+    match and_opt(keep) {
+        Some(p) => LogicalPlan::Filter { input: Box::new(join), predicate: p },
+        None => join,
+    }
+}
+
+fn split_and(expr: BoundExpr, out: &mut Vec<BoundExpr>) {
+    match expr {
+        BoundExpr::And(a, b) => {
+            split_and(*a, out);
+            split_and(*b, out);
+        }
+        other => out.push(other),
+    }
+}
+
+fn and_opt(preds: Vec<BoundExpr>) -> Option<BoundExpr> {
+    let mut it = preds.into_iter();
+    let first = it.next()?;
+    Some(it.fold(first, |acc, p| BoundExpr::And(Box::new(acc), Box::new(p))))
+}
+
+fn and_list(preds: Vec<BoundExpr>) -> BoundExpr {
+    and_opt(preds).unwrap_or(BoundExpr::Const(Value::Bool(true)))
+}
+
+// ---- rule: drop trivial filters -------------------------------------------
+
+fn drop_trivial_filter(plan: LogicalPlan, changed: &mut bool) -> LogicalPlan {
+    if let LogicalPlan::Filter { input, predicate } = plan {
+        if matches!(predicate, BoundExpr::Const(Value::Bool(true))) {
+            *changed = true;
+            return *input;
+        }
+        return LogicalPlan::Filter { input, predicate };
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logical::ScanNode;
+    use datacell_algebra::CmpOp;
+    use datacell_storage::DataType;
+
+    fn scan(binding: &str, cols: usize) -> LogicalPlan {
+        LogicalPlan::Scan(ScanNode {
+            binding: binding.into(),
+            object: binding.into(),
+            is_stream: false,
+            window: None,
+            names: (0..cols).map(|i| format!("{binding}.c{i}")).collect(),
+            types: vec![DataType::Int; cols],
+        })
+    }
+
+    fn cmp(col: usize, op: CmpOp, k: i64) -> BoundExpr {
+        BoundExpr::Cmp {
+            left: Box::new(BoundExpr::Col(col)),
+            op,
+            right: Box::new(BoundExpr::Const(Value::Int(k))),
+        }
+    }
+
+    #[test]
+    fn folds_constants() {
+        let mut ch = false;
+        let e = BoundExpr::Arith {
+            left: Box::new(BoundExpr::Const(Value::Int(2))),
+            op: ArithOp::Mul,
+            right: Box::new(BoundExpr::Const(Value::Int(21))),
+        };
+        assert_eq!(fold_expr(e, &mut ch), BoundExpr::Const(Value::Int(42)));
+        assert!(ch);
+    }
+
+    #[test]
+    fn folds_boolean_shortcuts() {
+        let mut ch = false;
+        let e = BoundExpr::And(
+            Box::new(BoundExpr::Const(Value::Bool(true))),
+            Box::new(cmp(0, CmpOp::Gt, 1)),
+        );
+        assert_eq!(fold_expr(e, &mut ch), cmp(0, CmpOp::Gt, 1));
+        let e = BoundExpr::Or(
+            Box::new(BoundExpr::Const(Value::Bool(true))),
+            Box::new(cmp(0, CmpOp::Gt, 1)),
+        );
+        assert_eq!(fold_expr(e, &mut ch), BoundExpr::Const(Value::Bool(true)));
+    }
+
+    #[test]
+    fn drops_true_filter() {
+        let plan = LogicalPlan::Filter {
+            input: Box::new(scan("t", 2)),
+            predicate: BoundExpr::Const(Value::Bool(true)),
+        };
+        assert_eq!(optimize(plan), scan("t", 2));
+    }
+
+    #[test]
+    fn merges_filters() {
+        let plan = LogicalPlan::Filter {
+            input: Box::new(LogicalPlan::Filter {
+                input: Box::new(scan("t", 2)),
+                predicate: cmp(0, CmpOp::Gt, 1),
+            }),
+            predicate: cmp(1, CmpOp::Lt, 9),
+        };
+        let opt = optimize(plan);
+        match opt {
+            LogicalPlan::Filter { predicate: BoundExpr::And(..), input } => {
+                assert!(matches!(*input, LogicalPlan::Scan(_)));
+            }
+            other => panic!("expected merged filter, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pushes_filters_through_join() {
+        // Filter(l.c0 > 1 AND r.c0 < 5) over Join(l:2 cols, r:2 cols)
+        let plan = LogicalPlan::Filter {
+            input: Box::new(LogicalPlan::Join {
+                left: Box::new(scan("l", 2)),
+                right: Box::new(scan("r", 2)),
+                left_key: 0,
+                right_key: 0,
+            }),
+            predicate: BoundExpr::And(
+                Box::new(cmp(0, CmpOp::Gt, 1)),
+                Box::new(cmp(2, CmpOp::Lt, 5)),
+            ),
+        };
+        let opt = optimize(plan);
+        match &opt {
+            LogicalPlan::Join { left, right, .. } => {
+                assert!(matches!(&**left, LogicalPlan::Filter { .. }), "{opt:?}");
+                match &**right {
+                    LogicalPlan::Filter { predicate, .. } => {
+                        // remapped to right-local column 0
+                        assert_eq!(*predicate, cmp(0, CmpOp::Lt, 5));
+                    }
+                    other => panic!("right not filtered: {other:?}"),
+                }
+            }
+            other => panic!("expected join at top, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cross_side_predicate_stays_above() {
+        // l.c0 < r.c0 references both sides → must stay above the join
+        let pred = BoundExpr::Cmp {
+            left: Box::new(BoundExpr::Col(0)),
+            op: CmpOp::Lt,
+            right: Box::new(BoundExpr::Col(2)),
+        };
+        let plan = LogicalPlan::Filter {
+            input: Box::new(LogicalPlan::Join {
+                left: Box::new(scan("l", 2)),
+                right: Box::new(scan("r", 2)),
+                left_key: 0,
+                right_key: 0,
+            }),
+            predicate: pred.clone(),
+        };
+        let opt = optimize(plan);
+        match opt {
+            LogicalPlan::Filter { predicate, .. } => assert_eq!(predicate, pred),
+            other => panic!("filter should remain on top: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn is_null_on_constants_folds() {
+        let mut ch = false;
+        let e = BoundExpr::IsNull {
+            expr: Box::new(BoundExpr::Const(Value::Null)),
+            negated: false,
+        };
+        assert_eq!(fold_expr(e, &mut ch), BoundExpr::Const(Value::Bool(true)));
+    }
+
+    #[test]
+    fn optimizer_is_idempotent() {
+        let plan = LogicalPlan::Filter {
+            input: Box::new(LogicalPlan::Join {
+                left: Box::new(scan("l", 1)),
+                right: Box::new(scan("r", 1)),
+                left_key: 0,
+                right_key: 0,
+            }),
+            predicate: cmp(0, CmpOp::Gt, 1),
+        };
+        let once = optimize(plan);
+        let twice = optimize(once.clone());
+        assert_eq!(once, twice);
+    }
+}

@@ -1,0 +1,644 @@
+//! Abstract syntax for the DataCell SQL subset.
+//!
+//! The paper extends the MonetDB SQL'03 compiler "with a few orthogonal
+//! language constructs": `CREATE STREAM` declares a stream, and a bracketed
+//! window clause after a stream reference (`FROM s [ROWS 100 SLIDE 10]` or
+//! `FROM s [RANGE 100 ON ts SLIDE 10]`) declares sliding/tumbling windows.
+//! Queries over streams are *continuous*; everything else is ordinary SQL.
+
+use std::fmt;
+
+/// A parsed SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `CREATE TABLE name (...)`.
+    CreateTable {
+        /// Table name.
+        name: String,
+        /// Column specifications.
+        columns: Vec<ColumnSpec>,
+    },
+    /// `CREATE STREAM name (...)` — DataCell extension.
+    CreateStream {
+        /// Stream name.
+        name: String,
+        /// Column specifications.
+        columns: Vec<ColumnSpec>,
+    },
+    /// `DROP TABLE name` / `DROP STREAM name`.
+    Drop {
+        /// Object name.
+        name: String,
+    },
+    /// `INSERT INTO name VALUES (...), (...)`.
+    Insert {
+        /// Target table or stream.
+        table: String,
+        /// Literal rows.
+        rows: Vec<Vec<Expr>>,
+    },
+    /// A query.
+    Select(SelectStmt),
+}
+
+/// Column in a CREATE statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnSpec {
+    /// Column name.
+    pub name: String,
+    /// Declared type.
+    pub ty: TypeName,
+    /// NOT NULL constraint.
+    pub not_null: bool,
+}
+
+/// SQL type names (mapped to kernel types by the binder).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TypeName {
+    /// BOOLEAN.
+    Bool,
+    /// INT / INTEGER / BIGINT.
+    Int,
+    /// FLOAT / DOUBLE.
+    Float,
+    /// VARCHAR / TEXT.
+    Str,
+    /// TIMESTAMP.
+    Timestamp,
+}
+
+impl fmt::Display for TypeName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TypeName::Bool => "BOOLEAN",
+            TypeName::Int => "BIGINT",
+            TypeName::Float => "DOUBLE",
+            TypeName::Str => "VARCHAR",
+            TypeName::Timestamp => "TIMESTAMP",
+        })
+    }
+}
+
+/// A SELECT query.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SelectStmt {
+    /// `SELECT DISTINCT`.
+    pub distinct: bool,
+    /// Projection list.
+    pub projection: Vec<SelectItem>,
+    /// First FROM source.
+    pub from: Option<TableRef>,
+    /// JOIN clauses in order.
+    pub joins: Vec<Join>,
+    /// WHERE predicate.
+    pub where_clause: Option<Expr>,
+    /// GROUP BY expressions.
+    pub group_by: Vec<Expr>,
+    /// HAVING predicate.
+    pub having: Option<Expr>,
+    /// ORDER BY items.
+    pub order_by: Vec<OrderItem>,
+    /// LIMIT row count.
+    pub limit: Option<u64>,
+}
+
+/// One projection item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`.
+    Wildcard,
+    /// Expression with optional alias.
+    Expr {
+        /// The expression.
+        expr: Expr,
+        /// `AS alias`.
+        alias: Option<String>,
+    },
+}
+
+/// A FROM-clause source: table or stream, optional alias and window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRef {
+    /// Object name.
+    pub name: String,
+    /// `AS alias`.
+    pub alias: Option<String>,
+    /// Bracketed window clause — only meaningful on streams.
+    pub window: Option<WindowSpec>,
+}
+
+impl TableRef {
+    /// The name this source is referred to by in expressions.
+    pub fn binding_name(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.name)
+    }
+}
+
+/// DataCell window clause.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WindowSpec {
+    /// Count-based window: last `size` tuples, advancing by `slide`.
+    Rows {
+        /// Window size in tuples.
+        size: u64,
+        /// Slide step in tuples (`size` for tumbling).
+        slide: u64,
+    },
+    /// Time-based window over column `on`: values in `[t - size, t)` for
+    /// window boundaries `t` advancing by `slide`.
+    Range {
+        /// Window length in timestamp units.
+        size: i64,
+        /// Slide step in timestamp units.
+        slide: i64,
+        /// Ordering/timestamp column.
+        on: String,
+    },
+}
+
+impl WindowSpec {
+    /// True iff slide == size (no overlap).
+    pub fn is_tumbling(&self) -> bool {
+        match self {
+            WindowSpec::Rows { size, slide } => slide >= size,
+            WindowSpec::Range { size, slide, .. } => slide >= size,
+        }
+    }
+
+    /// Number of basic windows the incremental rewriter splits this window
+    /// into (`ceil(size / slide)`).
+    pub fn basic_window_count(&self) -> u64 {
+        match self {
+            WindowSpec::Rows { size, slide } => size.div_ceil((*slide).max(1)),
+            WindowSpec::Range { size, slide, .. } => {
+                (*size as u64).div_ceil((*slide).max(1) as u64)
+            }
+        }
+    }
+}
+
+/// A JOIN clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Join {
+    /// Joined source.
+    pub table: TableRef,
+    /// `ON` predicate.
+    pub on: Expr,
+}
+
+/// ORDER BY item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderItem {
+    /// Sort expression.
+    pub expr: Expr,
+    /// Descending?
+    pub desc: bool,
+}
+
+/// Scalar/boolean expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Column reference, optionally qualified.
+    Column {
+        /// Qualifier (table/stream binding name).
+        table: Option<String>,
+        /// Column name.
+        name: String,
+    },
+    /// Literal constant.
+    Literal(Literal),
+    /// Unary operator.
+    Unary {
+        /// The operator.
+        op: UnaryOp,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// Binary operator.
+    Binary {
+        /// Left operand.
+        left: Box<Expr>,
+        /// The operator.
+        op: BinaryOp,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// `expr IS [NOT] NULL`.
+    IsNull {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// IS NOT NULL?
+        negated: bool,
+    },
+    /// `expr [NOT] BETWEEN low AND high`.
+    Between {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Lower bound (inclusive).
+        low: Box<Expr>,
+        /// Upper bound (inclusive).
+        high: Box<Expr>,
+        /// NOT BETWEEN?
+        negated: bool,
+    },
+    /// Aggregate function call.
+    Agg {
+        /// Which aggregate.
+        func: AggFunc,
+        /// Argument; `None` encodes `COUNT(*)`.
+        arg: Option<Box<Expr>>,
+    },
+}
+
+impl Expr {
+    /// Shorthand for an unqualified column reference.
+    pub fn col(name: impl Into<String>) -> Expr {
+        Expr::Column { table: None, name: name.into() }
+    }
+
+    /// Shorthand for an integer literal.
+    pub fn int(v: i64) -> Expr {
+        Expr::Literal(Literal::Int(v))
+    }
+
+    /// True iff the expression contains any aggregate call.
+    pub fn contains_aggregate(&self) -> bool {
+        match self {
+            Expr::Agg { .. } => true,
+            Expr::Column { .. } | Expr::Literal(_) => false,
+            Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } => expr.contains_aggregate(),
+            Expr::Binary { left, right, .. } => {
+                left.contains_aggregate() || right.contains_aggregate()
+            }
+            Expr::Between { expr, low, high, .. } => {
+                expr.contains_aggregate()
+                    || low.contains_aggregate()
+                    || high.contains_aggregate()
+            }
+        }
+    }
+
+    /// Collect all column references into `out`.
+    pub fn collect_columns<'a>(&'a self, out: &mut Vec<(&'a Option<String>, &'a str)>) {
+        match self {
+            Expr::Column { table, name } => out.push((table, name)),
+            Expr::Literal(_) => {}
+            Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } => expr.collect_columns(out),
+            Expr::Binary { left, right, .. } => {
+                left.collect_columns(out);
+                right.collect_columns(out);
+            }
+            Expr::Between { expr, low, high, .. } => {
+                expr.collect_columns(out);
+                low.collect_columns(out);
+                high.collect_columns(out);
+            }
+            Expr::Agg { arg, .. } => {
+                if let Some(a) = arg {
+                    a.collect_columns(out);
+                }
+            }
+        }
+    }
+}
+
+/// Literal constants.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    /// Integer.
+    Int(i64),
+    /// Float.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+    /// NULL.
+    Null,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical NOT.
+    Not,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinaryOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+}
+
+impl BinaryOp {
+    /// True for comparison operators.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinaryOp::Eq | BinaryOp::Ne | BinaryOp::Lt | BinaryOp::Le | BinaryOp::Gt | BinaryOp::Ge
+        )
+    }
+
+    /// True for `+ - * / %`.
+    pub fn is_arithmetic(self) -> bool {
+        matches!(
+            self,
+            BinaryOp::Add | BinaryOp::Sub | BinaryOp::Mul | BinaryOp::Div | BinaryOp::Mod
+        )
+    }
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    /// COUNT (arg `None` ⇒ `COUNT(*)`).
+    Count,
+    /// SUM.
+    Sum,
+    /// AVG.
+    Avg,
+    /// MIN.
+    Min,
+    /// MAX.
+    Max,
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Avg => "AVG",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Display: render statements back to parseable SQL (round-trip tested).
+// ---------------------------------------------------------------------
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Int(v) => write!(f, "{v}"),
+            Literal::Float(v) => {
+                if v.fract() == 0.0 && v.abs() < 1e15 {
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            Literal::Str(s) => write!(f, "'{}'", s.replace('\'', "''")),
+            Literal::Bool(b) => f.write_str(if *b { "TRUE" } else { "FALSE" }),
+            Literal::Null => f.write_str("NULL"),
+        }
+    }
+}
+
+impl fmt::Display for BinaryOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BinaryOp::Add => "+",
+            BinaryOp::Sub => "-",
+            BinaryOp::Mul => "*",
+            BinaryOp::Div => "/",
+            BinaryOp::Mod => "%",
+            BinaryOp::Eq => "=",
+            BinaryOp::Ne => "<>",
+            BinaryOp::Lt => "<",
+            BinaryOp::Le => "<=",
+            BinaryOp::Gt => ">",
+            BinaryOp::Ge => ">=",
+            BinaryOp::And => "AND",
+            BinaryOp::Or => "OR",
+        })
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Column { table: Some(t), name } => write!(f, "{t}.{name}"),
+            Expr::Column { table: None, name } => write!(f, "{name}"),
+            Expr::Literal(l) => write!(f, "{l}"),
+            Expr::Unary { op: UnaryOp::Neg, expr } => write!(f, "(-{expr})"),
+            Expr::Unary { op: UnaryOp::Not, expr } => write!(f, "(NOT {expr})"),
+            Expr::Binary { left, op, right } => write!(f, "({left} {op} {right})"),
+            Expr::IsNull { expr, negated: false } => write!(f, "({expr} IS NULL)"),
+            Expr::IsNull { expr, negated: true } => write!(f, "({expr} IS NOT NULL)"),
+            Expr::Between { expr, low, high, negated } => {
+                let not = if *negated { "NOT " } else { "" };
+                write!(f, "({expr} {not}BETWEEN {low} AND {high})")
+            }
+            Expr::Agg { func, arg: None } => write!(f, "{func}(*)"),
+            Expr::Agg { func, arg: Some(a) } => write!(f, "{func}({a})"),
+        }
+    }
+}
+
+impl fmt::Display for WindowSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WindowSpec::Rows { size, slide } => write!(f, "[ROWS {size} SLIDE {slide}]"),
+            WindowSpec::Range { size, slide, on } => {
+                write!(f, "[RANGE {size} ON {on} SLIDE {slide}]")
+            }
+        }
+    }
+}
+
+impl fmt::Display for TableRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)?;
+        if let Some(a) = &self.alias {
+            write!(f, " AS {a}")?;
+        }
+        if let Some(w) = &self.window {
+            write!(f, " {w}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for SelectStmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT ")?;
+        if self.distinct {
+            write!(f, "DISTINCT ")?;
+        }
+        for (i, item) in self.projection.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            match item {
+                SelectItem::Wildcard => write!(f, "*")?,
+                SelectItem::Expr { expr, alias: None } => write!(f, "{expr}")?,
+                SelectItem::Expr { expr, alias: Some(a) } => write!(f, "{expr} AS {a}")?,
+            }
+        }
+        if let Some(from) = &self.from {
+            write!(f, " FROM {from}")?;
+        }
+        for j in &self.joins {
+            write!(f, " JOIN {} ON {}", j.table, j.on)?;
+        }
+        if let Some(w) = &self.where_clause {
+            write!(f, " WHERE {w}")?;
+        }
+        if !self.group_by.is_empty() {
+            write!(f, " GROUP BY ")?;
+            for (i, g) in self.group_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{g}")?;
+            }
+        }
+        if let Some(h) = &self.having {
+            write!(f, " HAVING {h}")?;
+        }
+        if !self.order_by.is_empty() {
+            write!(f, " ORDER BY ")?;
+            for (i, o) in self.order_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}{}", o.expr, if o.desc { " DESC" } else { " ASC" })?;
+            }
+        }
+        if let Some(l) = self.limit {
+            write!(f, " LIMIT {l}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Statement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Statement::CreateTable { name, columns } => {
+                write!(f, "CREATE TABLE {name} (")?;
+                fmt_columns(f, columns)?;
+                write!(f, ")")
+            }
+            Statement::CreateStream { name, columns } => {
+                write!(f, "CREATE STREAM {name} (")?;
+                fmt_columns(f, columns)?;
+                write!(f, ")")
+            }
+            Statement::Drop { name } => write!(f, "DROP TABLE {name}"),
+            Statement::Insert { table, rows } => {
+                write!(f, "INSERT INTO {table} VALUES ")?;
+                for (i, row) in rows.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "(")?;
+                    for (j, e) in row.iter().enumerate() {
+                        if j > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{e}")?;
+                    }
+                    write!(f, ")")?;
+                }
+                Ok(())
+            }
+            Statement::Select(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+fn fmt_columns(f: &mut fmt::Formatter<'_>, columns: &[ColumnSpec]) -> fmt::Result {
+    for (i, c) in columns.iter().enumerate() {
+        if i > 0 {
+            write!(f, ", ")?;
+        }
+        write!(f, "{} {}", c.name, c.ty)?;
+        if c.not_null {
+            write!(f, " NOT NULL")?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_helpers() {
+        let w = WindowSpec::Rows { size: 100, slide: 10 };
+        assert!(!w.is_tumbling());
+        assert_eq!(w.basic_window_count(), 10);
+        let t = WindowSpec::Rows { size: 10, slide: 10 };
+        assert!(t.is_tumbling());
+        assert_eq!(t.basic_window_count(), 1);
+        let r = WindowSpec::Range { size: 95, slide: 10, on: "ts".into() };
+        assert_eq!(r.basic_window_count(), 10);
+    }
+
+    #[test]
+    fn contains_aggregate_walks_tree() {
+        let e = Expr::Binary {
+            left: Box::new(Expr::col("a")),
+            op: BinaryOp::Add,
+            right: Box::new(Expr::Agg { func: AggFunc::Sum, arg: Some(Box::new(Expr::col("b"))) }),
+        };
+        assert!(e.contains_aggregate());
+        assert!(!Expr::col("a").contains_aggregate());
+    }
+
+    #[test]
+    fn collect_columns_finds_all() {
+        let e = Expr::Between {
+            expr: Box::new(Expr::col("x")),
+            low: Box::new(Expr::col("lo")),
+            high: Box::new(Expr::int(9)),
+            negated: false,
+        };
+        let mut cols = Vec::new();
+        e.collect_columns(&mut cols);
+        assert_eq!(cols.len(), 2);
+    }
+
+    #[test]
+    fn display_escapes_strings() {
+        assert_eq!(Literal::Str("a'b".into()).to_string(), "'a''b'");
+    }
+
+    #[test]
+    fn binding_name_prefers_alias() {
+        let t = TableRef { name: "t".into(), alias: Some("x".into()), window: None };
+        assert_eq!(t.binding_name(), "x");
+    }
+}

@@ -1,0 +1,30 @@
+//! Parse errors with source positions.
+
+use std::fmt;
+
+/// A lexing or parsing error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable message.
+    pub message: String,
+    /// Byte offset into the input where the error was detected.
+    pub offset: usize,
+}
+
+impl ParseError {
+    /// Construct an error at `offset`.
+    pub fn new(message: impl Into<String>, offset: usize) -> Self {
+        ParseError { message: message.into(), offset }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Convenience alias for parser results.
+pub type Result<T> = std::result::Result<T, ParseError>;

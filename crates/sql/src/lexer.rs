@@ -1,0 +1,394 @@
+//! Hand-written SQL lexer.
+//!
+//! Keywords are recognized case-insensitively; identifiers keep their
+//! original spelling (resolution downstream is case-insensitive). String
+//! literals use single quotes with `''` as the escape, per SQL.
+
+use crate::error::{ParseError, Result};
+
+/// A lexical token with its byte offset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind/payload.
+    pub kind: TokenKind,
+    /// Byte offset of the first character.
+    pub offset: usize,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Keyword (uppercased spelling stored).
+    Keyword(Keyword),
+    /// Identifier (original spelling).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal (unescaped).
+    Str(String),
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `;`
+    Semi,
+    /// End of input.
+    Eof,
+}
+
+macro_rules! keywords {
+    ($($name:ident => $spelling:literal),+ $(,)?) => {
+        /// SQL keywords recognized by the lexer.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+        #[allow(missing_docs)]
+        pub enum Keyword {
+            $($name,)+
+        }
+
+        impl Keyword {
+            /// Parse a word as a keyword, case-insensitively.
+            pub fn from_word(word: &str) -> Option<Keyword> {
+                $(
+                    if word.eq_ignore_ascii_case($spelling) {
+                        return Some(Keyword::$name);
+                    }
+                )+
+                None
+            }
+
+            /// Canonical (uppercase) spelling.
+            pub fn spelling(self) -> &'static str {
+                match self {
+                    $(Keyword::$name => $spelling,)+
+                }
+            }
+        }
+    };
+}
+
+keywords! {
+    Select => "SELECT", From => "FROM", Where => "WHERE", Group => "GROUP",
+    By => "BY", Having => "HAVING", Order => "ORDER", Limit => "LIMIT",
+    As => "AS", And => "AND", Or => "OR", Not => "NOT", Between => "BETWEEN",
+    Is => "IS", Null => "NULL", True => "TRUE", False => "FALSE",
+    Asc => "ASC", Desc => "DESC", Distinct => "DISTINCT",
+    Create => "CREATE", Table => "TABLE", Stream => "STREAM", Drop => "DROP",
+    Insert => "INSERT", Into => "INTO", Values => "VALUES",
+    Join => "JOIN", Inner => "INNER", On => "ON",
+    Rows => "ROWS", Range => "RANGE", Slide => "SLIDE",
+    Boolean => "BOOLEAN", Bigint => "BIGINT", Int => "INT",
+    Integer => "INTEGER", Double => "DOUBLE", Float => "FLOAT",
+    Varchar => "VARCHAR", TimestampKw => "TIMESTAMP", Text => "TEXT",
+    Count => "COUNT", Sum => "SUM", Avg => "AVG", Min => "MIN", Max => "MAX",
+}
+
+/// Tokenize `input` fully.
+pub fn lex(input: &str) -> Result<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                // line comment
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => push1(&mut tokens, TokenKind::LParen, &mut i),
+            ')' => push1(&mut tokens, TokenKind::RParen, &mut i),
+            '[' => push1(&mut tokens, TokenKind::LBracket, &mut i),
+            ']' => push1(&mut tokens, TokenKind::RBracket, &mut i),
+            ',' => push1(&mut tokens, TokenKind::Comma, &mut i),
+            '.' => push1(&mut tokens, TokenKind::Dot, &mut i),
+            ';' => push1(&mut tokens, TokenKind::Semi, &mut i),
+            '+' => push1(&mut tokens, TokenKind::Plus, &mut i),
+            '-' => push1(&mut tokens, TokenKind::Minus, &mut i),
+            '*' => push1(&mut tokens, TokenKind::Star, &mut i),
+            '/' => push1(&mut tokens, TokenKind::Slash, &mut i),
+            '%' => push1(&mut tokens, TokenKind::Percent, &mut i),
+            '=' => push1(&mut tokens, TokenKind::Eq, &mut i),
+            '<' => {
+                let start = i;
+                i += 1;
+                let kind = match bytes.get(i) {
+                    Some(b'=') => {
+                        i += 1;
+                        TokenKind::Le
+                    }
+                    Some(b'>') => {
+                        i += 1;
+                        TokenKind::Ne
+                    }
+                    _ => TokenKind::Lt,
+                };
+                tokens.push(Token { kind, offset: start });
+            }
+            '>' => {
+                let start = i;
+                i += 1;
+                let kind = if bytes.get(i) == Some(&b'=') {
+                    i += 1;
+                    TokenKind::Ge
+                } else {
+                    TokenKind::Gt
+                };
+                tokens.push(Token { kind, offset: start });
+            }
+            '!' => {
+                let start = i;
+                if bytes.get(i + 1) == Some(&b'=') {
+                    i += 2;
+                    tokens.push(Token { kind: TokenKind::Ne, offset: start });
+                } else {
+                    return Err(ParseError::new("unexpected '!'", i));
+                }
+            }
+            '\'' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => return Err(ParseError::new("unterminated string", start)),
+                        Some(b'\'') if bytes.get(i + 1) == Some(&b'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some(b'\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                tokens.push(Token { kind: TokenKind::Str(s), offset: start });
+            }
+            '0'..='9' => {
+                let start = i;
+                let mut is_float = false;
+                while i < bytes.len() && (bytes[i].is_ascii_digit()) {
+                    i += 1;
+                }
+                if i < bytes.len()
+                    && bytes[i] == b'.'
+                    && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)
+                {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                    let mut j = i + 1;
+                    if bytes.get(j) == Some(&b'+') || bytes.get(j) == Some(&b'-') {
+                        j += 1;
+                    }
+                    if bytes.get(j).is_some_and(u8::is_ascii_digit) {
+                        is_float = true;
+                        i = j;
+                        while i < bytes.len() && bytes[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                let text = &input[start..i];
+                let kind = if is_float {
+                    TokenKind::Float(text.parse().map_err(|_| {
+                        ParseError::new(format!("bad float literal {text}"), start)
+                    })?)
+                } else {
+                    TokenKind::Int(text.parse().map_err(|_| {
+                        ParseError::new(format!("bad int literal {text}"), start)
+                    })?)
+                };
+                tokens.push(Token { kind, offset: start });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &input[start..i];
+                let kind = match Keyword::from_word(word) {
+                    Some(k) => TokenKind::Keyword(k),
+                    None => TokenKind::Ident(word.to_owned()),
+                };
+                tokens.push(Token { kind, offset: start });
+            }
+            other => {
+                return Err(ParseError::new(format!("unexpected character {other:?}"), i));
+            }
+        }
+    }
+    tokens.push(Token { kind: TokenKind::Eof, offset: input.len() });
+    Ok(tokens)
+}
+
+fn push1(tokens: &mut Vec<Token>, kind: TokenKind, i: &mut usize) {
+    tokens.push(Token { kind, offset: *i });
+    *i += 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<TokenKind> {
+        lex(input).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert_eq!(
+            kinds("select FROM WhErE"),
+            vec![
+                TokenKind::Keyword(Keyword::Select),
+                TokenKind::Keyword(Keyword::From),
+                TokenKind::Keyword(Keyword::Where),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn identifiers_keep_spelling() {
+        assert_eq!(
+            kinds("MyTable _x1"),
+            vec![
+                TokenKind::Ident("MyTable".into()),
+                TokenKind::Ident("_x1".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            kinds("42 3.25 1e3 7.5e-2"),
+            vec![
+                TokenKind::Int(42),
+                TokenKind::Float(3.25),
+                TokenKind::Float(1000.0),
+                TokenKind::Float(0.075),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn dotted_access_is_not_float() {
+        assert_eq!(
+            kinds("t.c"),
+            vec![
+                TokenKind::Ident("t".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("c".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escape() {
+        assert_eq!(
+            kinds("'it''s'"),
+            vec![TokenKind::Str("it's".into()), TokenKind::Eof]
+        );
+        assert!(lex("'oops").is_err());
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            kinds("= <> != < <= > >= + - * / %"),
+            vec![
+                TokenKind::Eq,
+                TokenKind::Ne,
+                TokenKind::Ne,
+                TokenKind::Lt,
+                TokenKind::Le,
+                TokenKind::Gt,
+                TokenKind::Ge,
+                TokenKind::Plus,
+                TokenKind::Minus,
+                TokenKind::Star,
+                TokenKind::Slash,
+                TokenKind::Percent,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            kinds("1 -- the rest\n2"),
+            vec![TokenKind::Int(1), TokenKind::Int(2), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn window_brackets() {
+        assert_eq!(
+            kinds("[ROWS 10 SLIDE 2]"),
+            vec![
+                TokenKind::LBracket,
+                TokenKind::Keyword(Keyword::Rows),
+                TokenKind::Int(10),
+                TokenKind::Keyword(Keyword::Slide),
+                TokenKind::Int(2),
+                TokenKind::RBracket,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn error_offset_reported() {
+        let err = lex("a ? b").unwrap_err();
+        assert_eq!(err.offset, 2);
+    }
+}

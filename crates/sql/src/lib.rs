@@ -1,0 +1,28 @@
+//! # datacell-sql
+//!
+//! SQL'03-subset front-end with the DataCell stream extensions (paper §3:
+//! "The SQL compiler is extended with a few orthogonal language constructs
+//! to recognize and process continuous queries"):
+//!
+//! * `CREATE STREAM name (col TYPE, …)` declares a stream; queries reading
+//!   from it become continuous queries.
+//! * `FROM s [ROWS n SLIDE m]` — count-based sliding window.
+//! * `FROM s [RANGE n ON ts SLIDE m]` — time-based sliding window over a
+//!   timestamp column.
+//!
+//! The crate is self-contained (lexer → [`ast`] → parser); binding to the
+//! catalog and plan construction happen in `datacell-plan`.
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{
+    AggFunc, BinaryOp, ColumnSpec, Expr, Join, Literal, OrderItem, SelectItem, SelectStmt,
+    Statement, TableRef, TypeName, UnaryOp, WindowSpec,
+};
+pub use error::{ParseError, Result};
+pub use parser::{parse_expression, parse_script, parse_statement};

@@ -1,0 +1,805 @@
+//! Recursive-descent parser with precedence climbing for expressions.
+
+use crate::ast::*;
+use crate::error::{ParseError, Result};
+use crate::lexer::{lex, Keyword, Token, TokenKind};
+
+/// Parse a single SQL statement (an optional trailing `;` is accepted).
+pub fn parse_statement(input: &str) -> Result<Statement> {
+    let mut p = Parser::new(input)?;
+    let stmt = p.statement()?;
+    p.eat_if(&TokenKind::Semi);
+    p.expect_eof()?;
+    Ok(stmt)
+}
+
+/// Parse a `;`-separated script into statements.
+pub fn parse_script(input: &str) -> Result<Vec<Statement>> {
+    let mut p = Parser::new(input)?;
+    let mut out = Vec::new();
+    loop {
+        while p.eat_if(&TokenKind::Semi) {}
+        if p.at_eof() {
+            break;
+        }
+        out.push(p.statement()?);
+        if !p.eat_if(&TokenKind::Semi) {
+            break;
+        }
+    }
+    p.expect_eof()?;
+    Ok(out)
+}
+
+/// Parse just an expression (used by tests and the HAVING rewriter).
+pub fn parse_expression(input: &str) -> Result<Expr> {
+    let mut p = Parser::new(input)?;
+    let e = p.expr()?;
+    p.expect_eof()?;
+    Ok(e)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(input: &str) -> Result<Self> {
+        Ok(Parser { tokens: lex(input)?, pos: 0 })
+    }
+
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek_offset(&self) -> usize {
+        self.tokens[self.pos].offset
+    }
+
+    fn advance(&mut self) -> TokenKind {
+        let t = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.peek(), TokenKind::Eof)
+    }
+
+    fn eat_if(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_kw(&mut self, kw: Keyword) -> bool {
+        if matches!(self.peek(), TokenKind::Keyword(k) if *k == kw) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<()> {
+        if self.eat_if(kind) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {what}, found {:?}", self.peek())))
+        }
+    }
+
+    fn expect_kw(&mut self, kw: Keyword) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {}, found {:?}", kw.spelling(), self.peek())))
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<()> {
+        if self.at_eof() {
+            Ok(())
+        } else {
+            Err(self.err(format!("unexpected trailing input: {:?}", self.peek())))
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError::new(message, self.peek_offset())
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String> {
+        match self.peek().clone() {
+            TokenKind::Ident(name) => {
+                self.advance();
+                Ok(name)
+            }
+            other => Err(self.err(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    fn int_literal(&mut self, what: &str) -> Result<i64> {
+        match *self.peek() {
+            TokenKind::Int(v) => {
+                self.advance();
+                Ok(v)
+            }
+            _ => Err(self.err(format!("expected integer {what}"))),
+        }
+    }
+
+    // ----- statements -------------------------------------------------
+
+    fn statement(&mut self) -> Result<Statement> {
+        match self.peek() {
+            TokenKind::Keyword(Keyword::Create) => self.create(),
+            TokenKind::Keyword(Keyword::Drop) => self.drop(),
+            TokenKind::Keyword(Keyword::Insert) => self.insert(),
+            TokenKind::Keyword(Keyword::Select) => Ok(Statement::Select(self.select()?)),
+            other => Err(self.err(format!("expected statement, found {other:?}"))),
+        }
+    }
+
+    fn create(&mut self) -> Result<Statement> {
+        self.expect_kw(Keyword::Create)?;
+        let is_stream = if self.eat_kw(Keyword::Stream) {
+            true
+        } else {
+            self.expect_kw(Keyword::Table)?;
+            false
+        };
+        let name = self.ident("object name")?;
+        self.expect(&TokenKind::LParen, "'('")?;
+        let mut columns = Vec::new();
+        loop {
+            let col_name = self.ident("column name")?;
+            let ty = self.type_name()?;
+            let mut not_null = false;
+            if self.eat_kw(Keyword::Not) {
+                self.expect_kw(Keyword::Null)?;
+                not_null = true;
+            }
+            columns.push(ColumnSpec { name: col_name, ty, not_null });
+            if !self.eat_if(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect(&TokenKind::RParen, "')'")?;
+        Ok(if is_stream {
+            Statement::CreateStream { name, columns }
+        } else {
+            Statement::CreateTable { name, columns }
+        })
+    }
+
+    fn type_name(&mut self) -> Result<TypeName> {
+        let ty = match self.peek() {
+            TokenKind::Keyword(Keyword::Boolean) => TypeName::Bool,
+            TokenKind::Keyword(Keyword::Int)
+            | TokenKind::Keyword(Keyword::Integer)
+            | TokenKind::Keyword(Keyword::Bigint) => TypeName::Int,
+            TokenKind::Keyword(Keyword::Double) | TokenKind::Keyword(Keyword::Float) => {
+                TypeName::Float
+            }
+            TokenKind::Keyword(Keyword::Varchar) | TokenKind::Keyword(Keyword::Text) => {
+                TypeName::Str
+            }
+            TokenKind::Keyword(Keyword::TimestampKw) => TypeName::Timestamp,
+            other => return Err(self.err(format!("expected type name, found {other:?}"))),
+        };
+        self.advance();
+        // Optional parenthesized length, e.g. VARCHAR(32): parsed, ignored.
+        if self.eat_if(&TokenKind::LParen) {
+            self.int_literal("type length")?;
+            self.expect(&TokenKind::RParen, "')'")?;
+        }
+        Ok(ty)
+    }
+
+    fn drop(&mut self) -> Result<Statement> {
+        self.expect_kw(Keyword::Drop)?;
+        if !self.eat_kw(Keyword::Table) {
+            self.expect_kw(Keyword::Stream)?;
+        }
+        let name = self.ident("object name")?;
+        Ok(Statement::Drop { name })
+    }
+
+    fn insert(&mut self) -> Result<Statement> {
+        self.expect_kw(Keyword::Insert)?;
+        self.expect_kw(Keyword::Into)?;
+        let table = self.ident("table name")?;
+        self.expect_kw(Keyword::Values)?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect(&TokenKind::LParen, "'('")?;
+            let mut row = Vec::new();
+            loop {
+                row.push(self.expr()?);
+                if !self.eat_if(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(&TokenKind::RParen, "')'")?;
+            rows.push(row);
+            if !self.eat_if(&TokenKind::Comma) {
+                break;
+            }
+        }
+        Ok(Statement::Insert { table, rows })
+    }
+
+    fn select(&mut self) -> Result<SelectStmt> {
+        self.expect_kw(Keyword::Select)?;
+        let mut stmt = SelectStmt { distinct: self.eat_kw(Keyword::Distinct), ..Default::default() };
+
+        loop {
+            if self.eat_if(&TokenKind::Star) {
+                stmt.projection.push(SelectItem::Wildcard);
+            } else {
+                let expr = self.expr()?;
+                let alias = if self.eat_kw(Keyword::As) {
+                    Some(self.ident("alias")?)
+                } else if let TokenKind::Ident(_) = self.peek() {
+                    Some(self.ident("alias")?)
+                } else {
+                    None
+                };
+                stmt.projection.push(SelectItem::Expr { expr, alias });
+            }
+            if !self.eat_if(&TokenKind::Comma) {
+                break;
+            }
+        }
+
+        if self.eat_kw(Keyword::From) {
+            stmt.from = Some(self.table_ref()?);
+            loop {
+                if self.eat_kw(Keyword::Join) || {
+                    if self.eat_kw(Keyword::Inner) {
+                        self.expect_kw(Keyword::Join)?;
+                        true
+                    } else {
+                        false
+                    }
+                } {
+                    let table = self.table_ref()?;
+                    self.expect_kw(Keyword::On)?;
+                    let on = self.expr()?;
+                    stmt.joins.push(Join { table, on });
+                } else if self.eat_if(&TokenKind::Comma) {
+                    // comma join requires WHERE to hold the predicate
+                    let table = self.table_ref()?;
+                    stmt.joins.push(Join {
+                        table,
+                        on: Expr::Literal(Literal::Bool(true)),
+                    });
+                } else {
+                    break;
+                }
+            }
+        }
+
+        if self.eat_kw(Keyword::Where) {
+            stmt.where_clause = Some(self.expr()?);
+        }
+        if self.eat_kw(Keyword::Group) {
+            self.expect_kw(Keyword::By)?;
+            loop {
+                stmt.group_by.push(self.expr()?);
+                if !self.eat_if(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        if self.eat_kw(Keyword::Having) {
+            stmt.having = Some(self.expr()?);
+        }
+        if self.eat_kw(Keyword::Order) {
+            self.expect_kw(Keyword::By)?;
+            loop {
+                let expr = self.expr()?;
+                let desc = if self.eat_kw(Keyword::Desc) {
+                    true
+                } else {
+                    self.eat_kw(Keyword::Asc);
+                    false
+                };
+                stmt.order_by.push(OrderItem { expr, desc });
+                if !self.eat_if(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        if self.eat_kw(Keyword::Limit) {
+            let n = self.int_literal("LIMIT count")?;
+            if n < 0 {
+                return Err(self.err("LIMIT must be non-negative"));
+            }
+            stmt.limit = Some(n as u64);
+        }
+        Ok(stmt)
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef> {
+        let name = self.ident("table or stream name")?;
+        let alias = if self.eat_kw(Keyword::As) {
+            Some(self.ident("alias")?)
+        } else if let TokenKind::Ident(_) = self.peek() {
+            Some(self.ident("alias")?)
+        } else {
+            None
+        };
+        let window = if self.eat_if(&TokenKind::LBracket) {
+            let w = self.window_spec()?;
+            self.expect(&TokenKind::RBracket, "']'")?;
+            Some(w)
+        } else {
+            None
+        };
+        Ok(TableRef { name, alias, window })
+    }
+
+    fn window_spec(&mut self) -> Result<WindowSpec> {
+        if self.eat_kw(Keyword::Rows) {
+            let size = self.int_literal("window size")?;
+            if size <= 0 {
+                return Err(self.err("window size must be positive"));
+            }
+            let slide = if self.eat_kw(Keyword::Slide) {
+                let s = self.int_literal("slide step")?;
+                if s <= 0 {
+                    return Err(self.err("slide step must be positive"));
+                }
+                s as u64
+            } else {
+                size as u64 // no SLIDE ⇒ tumbling
+            };
+            Ok(WindowSpec::Rows { size: size as u64, slide })
+        } else if self.eat_kw(Keyword::Range) {
+            let size = self.int_literal("window range")?;
+            if size <= 0 {
+                return Err(self.err("window range must be positive"));
+            }
+            self.expect_kw(Keyword::On)?;
+            let on = self.ident("timestamp column")?;
+            let slide = if self.eat_kw(Keyword::Slide) {
+                let s = self.int_literal("slide step")?;
+                if s <= 0 {
+                    return Err(self.err("slide step must be positive"));
+                }
+                s
+            } else {
+                size
+            };
+            Ok(WindowSpec::Range { size, slide, on })
+        } else {
+            Err(self.err("expected ROWS or RANGE window"))
+        }
+    }
+
+    // ----- expressions (precedence climbing) ---------------------------
+
+    fn expr(&mut self) -> Result<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut left = self.and_expr()?;
+        while self.eat_kw(Keyword::Or) {
+            let right = self.and_expr()?;
+            left = Expr::Binary { left: Box::new(left), op: BinaryOp::Or, right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut left = self.not_expr()?;
+        while self.eat_kw(Keyword::And) {
+            let right = self.not_expr()?;
+            left = Expr::Binary { left: Box::new(left), op: BinaryOp::And, right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr> {
+        if self.eat_kw(Keyword::Not) {
+            let inner = self.not_expr()?;
+            Ok(Expr::Unary { op: UnaryOp::Not, expr: Box::new(inner) })
+        } else {
+            self.comparison()
+        }
+    }
+
+    fn comparison(&mut self) -> Result<Expr> {
+        let left = self.additive()?;
+
+        // IS [NOT] NULL
+        if self.eat_kw(Keyword::Is) {
+            let negated = self.eat_kw(Keyword::Not);
+            self.expect_kw(Keyword::Null)?;
+            return Ok(Expr::IsNull { expr: Box::new(left), negated });
+        }
+        // [NOT] BETWEEN low AND high
+        if self.eat_kw(Keyword::Not) {
+            self.expect_kw(Keyword::Between)?;
+            let low = self.additive()?;
+            self.expect_kw(Keyword::And)?;
+            let high = self.additive()?;
+            return Ok(Expr::Between {
+                expr: Box::new(left),
+                low: Box::new(low),
+                high: Box::new(high),
+                negated: true,
+            });
+        }
+        if let Some(between) = self.between_started(&left)? {
+            return Ok(between);
+        }
+
+        let op = match self.peek() {
+            TokenKind::Eq => BinaryOp::Eq,
+            TokenKind::Ne => BinaryOp::Ne,
+            TokenKind::Lt => BinaryOp::Lt,
+            TokenKind::Le => BinaryOp::Le,
+            TokenKind::Gt => BinaryOp::Gt,
+            TokenKind::Ge => BinaryOp::Ge,
+            _ => return Ok(left),
+        };
+        self.advance();
+        let right = self.additive()?;
+        Ok(Expr::Binary { left: Box::new(left), op, right: Box::new(right) })
+    }
+
+    /// Handle a plain `BETWEEN` (without NOT) if present.
+    fn between_started(&mut self, left: &Expr) -> Result<Option<Expr>> {
+        if self.eat_kw(Keyword::Between) {
+            let low = self.additive()?;
+            self.expect_kw(Keyword::And)?;
+            let high = self.additive()?;
+            Ok(Some(Expr::Between {
+                expr: Box::new(left.clone()),
+                low: Box::new(low),
+                high: Box::new(high),
+                negated: false,
+            }))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn additive(&mut self) -> Result<Expr> {
+        let mut left = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinaryOp::Add,
+                TokenKind::Minus => BinaryOp::Sub,
+                _ => break,
+            };
+            self.advance();
+            let right = self.multiplicative()?;
+            left = Expr::Binary { left: Box::new(left), op, right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr> {
+        let mut left = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => BinaryOp::Mul,
+                TokenKind::Slash => BinaryOp::Div,
+                TokenKind::Percent => BinaryOp::Mod,
+                _ => break,
+            };
+            self.advance();
+            let right = self.unary()?;
+            left = Expr::Binary { left: Box::new(left), op, right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn unary(&mut self) -> Result<Expr> {
+        if self.eat_if(&TokenKind::Minus) {
+            let inner = self.unary()?;
+            // Fold negative literals immediately.
+            return Ok(match inner {
+                Expr::Literal(Literal::Int(v)) => Expr::Literal(Literal::Int(-v)),
+                Expr::Literal(Literal::Float(v)) => Expr::Literal(Literal::Float(-v)),
+                other => Expr::Unary { op: UnaryOp::Neg, expr: Box::new(other) },
+            });
+        }
+        if self.eat_if(&TokenKind::Plus) {
+            return self.unary();
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        match self.peek().clone() {
+            TokenKind::Int(v) => {
+                self.advance();
+                Ok(Expr::Literal(Literal::Int(v)))
+            }
+            TokenKind::Float(v) => {
+                self.advance();
+                Ok(Expr::Literal(Literal::Float(v)))
+            }
+            TokenKind::Str(s) => {
+                self.advance();
+                Ok(Expr::Literal(Literal::Str(s)))
+            }
+            TokenKind::Keyword(Keyword::Null) => {
+                self.advance();
+                Ok(Expr::Literal(Literal::Null))
+            }
+            TokenKind::Keyword(Keyword::True) => {
+                self.advance();
+                Ok(Expr::Literal(Literal::Bool(true)))
+            }
+            TokenKind::Keyword(Keyword::False) => {
+                self.advance();
+                Ok(Expr::Literal(Literal::Bool(false)))
+            }
+            TokenKind::LParen => {
+                self.advance();
+                let e = self.expr()?;
+                self.expect(&TokenKind::RParen, "')'")?;
+                Ok(e)
+            }
+            TokenKind::Keyword(kw @ (Keyword::Count | Keyword::Sum | Keyword::Avg
+                | Keyword::Min | Keyword::Max)) => {
+                self.advance();
+                let func = match kw {
+                    Keyword::Count => AggFunc::Count,
+                    Keyword::Sum => AggFunc::Sum,
+                    Keyword::Avg => AggFunc::Avg,
+                    Keyword::Min => AggFunc::Min,
+                    _ => AggFunc::Max,
+                };
+                self.expect(&TokenKind::LParen, "'('")?;
+                let arg = if self.eat_if(&TokenKind::Star) {
+                    if func != AggFunc::Count {
+                        return Err(self.err("only COUNT may take '*'"));
+                    }
+                    None
+                } else {
+                    Some(Box::new(self.expr()?))
+                };
+                self.expect(&TokenKind::RParen, "')'")?;
+                Ok(Expr::Agg { func, arg })
+            }
+            TokenKind::Ident(name) => {
+                self.advance();
+                if self.eat_if(&TokenKind::Dot) {
+                    let col = self.ident("column name")?;
+                    Ok(Expr::Column { table: Some(name), name: col })
+                } else {
+                    Ok(Expr::Column { table: None, name })
+                }
+            }
+            other => Err(self.err(format!("expected expression, found {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sel(input: &str) -> SelectStmt {
+        match parse_statement(input).unwrap() {
+            Statement::Select(s) => s,
+            other => panic!("expected SELECT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn create_table() {
+        let s = parse_statement(
+            "CREATE TABLE t (id BIGINT NOT NULL, name VARCHAR(20), v DOUBLE)",
+        )
+        .unwrap();
+        match s {
+            Statement::CreateTable { name, columns } => {
+                assert_eq!(name, "t");
+                assert_eq!(columns.len(), 3);
+                assert!(columns[0].not_null);
+                assert_eq!(columns[1].ty, TypeName::Str);
+                assert_eq!(columns[2].ty, TypeName::Float);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn create_stream() {
+        let s = parse_statement("CREATE STREAM s (ts TIMESTAMP, val INT)").unwrap();
+        assert!(matches!(s, Statement::CreateStream { .. }));
+    }
+
+    #[test]
+    fn insert_rows() {
+        let s = parse_statement("INSERT INTO t VALUES (1, 'a'), (2, NULL)").unwrap();
+        match s {
+            Statement::Insert { table, rows } => {
+                assert_eq!(table, "t");
+                assert_eq!(rows.len(), 2);
+                assert_eq!(rows[1][1], Expr::Literal(Literal::Null));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn select_basics() {
+        let s = sel("SELECT a, b AS bee, * FROM t WHERE a > 3 LIMIT 5");
+        assert_eq!(s.projection.len(), 3);
+        assert!(matches!(s.projection[2], SelectItem::Wildcard));
+        assert_eq!(s.from.as_ref().unwrap().name, "t");
+        assert_eq!(s.limit, Some(5));
+        assert!(s.where_clause.is_some());
+    }
+
+    #[test]
+    fn implicit_alias() {
+        let s = sel("SELECT a x FROM t y");
+        match &s.projection[0] {
+            SelectItem::Expr { alias, .. } => assert_eq!(alias.as_deref(), Some("x")),
+            _ => panic!(),
+        }
+        assert_eq!(s.from.as_ref().unwrap().alias.as_deref(), Some("y"));
+    }
+
+    #[test]
+    fn group_having_order() {
+        let s = sel(
+            "SELECT k, SUM(v) FROM t GROUP BY k HAVING SUM(v) > 10 ORDER BY k DESC, v",
+        );
+        assert_eq!(s.group_by.len(), 1);
+        assert!(s.having.as_ref().unwrap().contains_aggregate());
+        assert_eq!(s.order_by.len(), 2);
+        assert!(s.order_by[0].desc);
+        assert!(!s.order_by[1].desc);
+    }
+
+    #[test]
+    fn rows_window() {
+        let s = sel("SELECT AVG(v) FROM s [ROWS 100 SLIDE 10]");
+        assert_eq!(
+            s.from.unwrap().window,
+            Some(WindowSpec::Rows { size: 100, slide: 10 })
+        );
+    }
+
+    #[test]
+    fn rows_window_defaults_to_tumbling() {
+        let s = sel("SELECT COUNT(*) FROM s [ROWS 50]");
+        assert_eq!(
+            s.from.unwrap().window,
+            Some(WindowSpec::Rows { size: 50, slide: 50 })
+        );
+    }
+
+    #[test]
+    fn range_window() {
+        let s = sel("SELECT MAX(v) FROM s [RANGE 60 ON ts SLIDE 5]");
+        assert_eq!(
+            s.from.unwrap().window,
+            Some(WindowSpec::Range { size: 60, slide: 5, on: "ts".into() })
+        );
+    }
+
+    #[test]
+    fn join_on() {
+        let s = sel("SELECT s.v, d.name FROM s JOIN d ON s.k = d.k WHERE s.v > 0");
+        assert_eq!(s.joins.len(), 1);
+        assert_eq!(s.joins[0].table.name, "d");
+        match &s.joins[0].on {
+            Expr::Binary { op: BinaryOp::Eq, .. } => {}
+            other => panic!("bad ON expr {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence() {
+        let e = parse_expression("a + b * c < 10 AND NOT d = 1 OR e = 2").unwrap();
+        // ((((a + (b*c)) < 10) AND (NOT (d = 1))) OR (e = 2))
+        assert_eq!(
+            e.to_string(),
+            "((((a + (b * c)) < 10) AND (NOT (d = 1))) OR (e = 2))"
+        );
+    }
+
+    #[test]
+    fn between_and_not_between() {
+        let e = parse_expression("x BETWEEN 1 AND 5").unwrap();
+        assert!(matches!(e, Expr::Between { negated: false, .. }));
+        let e = parse_expression("x NOT BETWEEN 1 AND 5").unwrap();
+        assert!(matches!(e, Expr::Between { negated: true, .. }));
+        // BETWEEN binds tighter than AND
+        let e = parse_expression("x BETWEEN 1 AND 5 AND y = 2").unwrap();
+        assert!(matches!(e, Expr::Binary { op: BinaryOp::And, .. }));
+    }
+
+    #[test]
+    fn is_null_forms() {
+        assert!(matches!(
+            parse_expression("x IS NULL").unwrap(),
+            Expr::IsNull { negated: false, .. }
+        ));
+        assert!(matches!(
+            parse_expression("x IS NOT NULL").unwrap(),
+            Expr::IsNull { negated: true, .. }
+        ));
+    }
+
+    #[test]
+    fn count_star_and_agg_args() {
+        let e = parse_expression("COUNT(*)").unwrap();
+        assert_eq!(e, Expr::Agg { func: AggFunc::Count, arg: None });
+        assert!(parse_expression("SUM(*)").is_err());
+        let e = parse_expression("SUM(a * 2)").unwrap();
+        assert!(e.contains_aggregate());
+    }
+
+    #[test]
+    fn negative_literals_folded() {
+        assert_eq!(parse_expression("-5").unwrap(), Expr::int(-5));
+        assert_eq!(
+            parse_expression("-2.5").unwrap(),
+            Expr::Literal(Literal::Float(-2.5))
+        );
+    }
+
+    #[test]
+    fn script_parsing() {
+        let stmts = parse_script(
+            "CREATE TABLE t (a INT); INSERT INTO t VALUES (1); SELECT a FROM t;",
+        )
+        .unwrap();
+        assert_eq!(stmts.len(), 3);
+    }
+
+    #[test]
+    fn errors_carry_position() {
+        let err = parse_statement("SELECT FROM").unwrap_err();
+        assert!(err.offset >= 7);
+        assert!(parse_statement("CREATE TABLE t ()").is_err());
+        assert!(parse_statement("SELECT a FROM s [ROWS 0]").is_err());
+        assert!(parse_statement("SELECT a FROM s [ROWS 10 SLIDE 0]").is_err());
+    }
+
+    #[test]
+    fn distinct_flag() {
+        assert!(sel("SELECT DISTINCT a FROM t").distinct);
+    }
+
+    #[test]
+    fn comma_join_produces_true_predicate() {
+        let s = sel("SELECT * FROM a, b WHERE a.x = b.x");
+        assert_eq!(s.joins.len(), 1);
+        assert_eq!(s.joins[0].on, Expr::Literal(Literal::Bool(true)));
+    }
+
+    #[test]
+    fn display_round_trip() {
+        for q in [
+            "SELECT a, SUM(b) AS s FROM t WHERE (a > 1) GROUP BY a HAVING (SUM(b) > 2) ORDER BY a ASC LIMIT 3",
+            "SELECT AVG(v) FROM s [ROWS 100 SLIDE 10]",
+            "SELECT s.v FROM s JOIN d ON (s.k = d.k)",
+        ] {
+            let stmt = parse_statement(q).unwrap();
+            let rendered = stmt.to_string();
+            let reparsed = parse_statement(&rendered).unwrap();
+            assert_eq!(stmt, reparsed, "round-trip failed for {q}");
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! The catalog: named persistent tables and stream (basket) declarations.
+//!
+//! Tables live here; baskets themselves are runtime objects owned by the
+//! DataCell engine (`datacell-core`), but their *declarations* — name plus
+//! schema, produced by `CREATE STREAM` — are catalog entries so that the
+//! binder can resolve both paradigms uniformly (paper §3, "the natural
+//! integration of baskets and tables within the same processing fabric").
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::error::{Result, StorageError};
+use crate::schema::Schema;
+use crate::table::Table;
+
+/// Shared, thread-safe handle to a table.
+pub type TableHandle = Arc<RwLock<Table>>;
+
+/// Declaration of a stream: name + schema. The engine materializes a basket
+/// for each declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamDef {
+    /// Stream name.
+    pub name: String,
+    /// Tuple schema of the stream.
+    pub schema: Schema,
+}
+
+/// What a name resolves to.
+#[derive(Debug, Clone)]
+pub enum CatalogEntry {
+    /// A persistent table.
+    Table(TableHandle),
+    /// A declared stream (backed by a basket at runtime).
+    Stream(StreamDef),
+}
+
+/// Thread-safe name → object map.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    entries: RwLock<HashMap<String, CatalogEntry>>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn key(name: &str) -> String {
+        name.to_ascii_lowercase()
+    }
+
+    /// Register a new table; fails if the name is taken.
+    pub fn create_table(&self, name: &str, schema: Schema) -> Result<TableHandle> {
+        let mut entries = self.entries.write();
+        let key = Self::key(name);
+        if entries.contains_key(&key) {
+            return Err(StorageError::DuplicateName(name.to_owned()));
+        }
+        let handle = Arc::new(RwLock::new(Table::new(name, schema)));
+        entries.insert(key, CatalogEntry::Table(handle.clone()));
+        Ok(handle)
+    }
+
+    /// Register a new stream declaration; fails if the name is taken.
+    pub fn create_stream(&self, name: &str, schema: Schema) -> Result<StreamDef> {
+        let mut entries = self.entries.write();
+        let key = Self::key(name);
+        if entries.contains_key(&key) {
+            return Err(StorageError::DuplicateName(name.to_owned()));
+        }
+        let def = StreamDef { name: name.to_owned(), schema };
+        entries.insert(key, CatalogEntry::Stream(def.clone()));
+        Ok(def)
+    }
+
+    /// Resolve a name to its entry.
+    pub fn get(&self, name: &str) -> Result<CatalogEntry> {
+        self.entries
+            .read()
+            .get(&Self::key(name))
+            .cloned()
+            .ok_or_else(|| StorageError::UnknownTable(name.to_owned()))
+    }
+
+    /// Resolve to a table handle, or error if missing / a stream.
+    pub fn table(&self, name: &str) -> Result<TableHandle> {
+        match self.get(name)? {
+            CatalogEntry::Table(t) => Ok(t),
+            CatalogEntry::Stream(_) => Err(StorageError::UnknownTable(format!(
+                "{name} is a stream, not a table"
+            ))),
+        }
+    }
+
+    /// Resolve to a stream declaration, or error if missing / a table.
+    pub fn stream(&self, name: &str) -> Result<StreamDef> {
+        match self.get(name)? {
+            CatalogEntry::Stream(s) => Ok(s),
+            CatalogEntry::Table(_) => Err(StorageError::UnknownTable(format!(
+                "{name} is a table, not a stream"
+            ))),
+        }
+    }
+
+    /// Schema of either kind of object.
+    pub fn schema_of(&self, name: &str) -> Result<Schema> {
+        match self.get(name)? {
+            CatalogEntry::Table(t) => Ok(t.read().schema().clone()),
+            CatalogEntry::Stream(s) => Ok(s.schema),
+        }
+    }
+
+    /// True iff `name` resolves to a stream.
+    pub fn is_stream(&self, name: &str) -> bool {
+        matches!(self.get(name), Ok(CatalogEntry::Stream(_)))
+    }
+
+    /// Remove an entry (DROP TABLE / DROP STREAM).
+    pub fn drop_entry(&self, name: &str) -> Result<()> {
+        self.entries
+            .write()
+            .remove(&Self::key(name))
+            .map(|_| ())
+            .ok_or_else(|| StorageError::UnknownTable(name.to_owned()))
+    }
+
+    /// Names of all registered objects, sorted (for the monitor pane).
+    pub fn names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.entries.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Names of all streams, sorted.
+    pub fn stream_names(&self) -> Vec<String> {
+        let entries = self.entries.read();
+        let mut v: Vec<String> = entries
+            .iter()
+            .filter(|(_, e)| matches!(e, CatalogEntry::Stream(_)))
+            .map(|(k, _)| k.clone())
+            .collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::DataType;
+    use crate::value::Value;
+
+    #[test]
+    fn create_and_resolve_table() {
+        let cat = Catalog::new();
+        let schema = Schema::of(&[("x", DataType::Int)]);
+        cat.create_table("T", schema.clone()).unwrap();
+        let t = cat.table("t").unwrap();
+        t.write().insert(&vec![Value::Int(1)]).unwrap();
+        assert_eq!(t.read().len(), 1);
+        assert_eq!(cat.schema_of("T").unwrap(), schema);
+    }
+
+    #[test]
+    fn duplicate_names_rejected_across_kinds() {
+        let cat = Catalog::new();
+        let schema = Schema::of(&[("x", DataType::Int)]);
+        cat.create_table("obj", schema.clone()).unwrap();
+        assert!(matches!(
+            cat.create_stream("OBJ", schema),
+            Err(StorageError::DuplicateName(_))
+        ));
+    }
+
+    #[test]
+    fn stream_vs_table_resolution() {
+        let cat = Catalog::new();
+        let schema = Schema::of(&[("x", DataType::Int)]);
+        cat.create_stream("s", schema.clone()).unwrap();
+        assert!(cat.is_stream("S"));
+        assert!(cat.table("s").is_err());
+        assert_eq!(cat.stream("s").unwrap().schema, schema);
+    }
+
+    #[test]
+    fn drop_removes_entry() {
+        let cat = Catalog::new();
+        cat.create_table("t", Schema::of(&[("x", DataType::Int)])).unwrap();
+        cat.drop_entry("t").unwrap();
+        assert!(cat.get("t").is_err());
+        assert!(cat.drop_entry("t").is_err());
+    }
+
+    #[test]
+    fn names_are_sorted() {
+        let cat = Catalog::new();
+        let s = Schema::of(&[("x", DataType::Int)]);
+        cat.create_table("zeta", s.clone()).unwrap();
+        cat.create_stream("alpha", s.clone()).unwrap();
+        cat.create_table("mid", s).unwrap();
+        assert_eq!(cat.names(), vec!["alpha", "mid", "zeta"]);
+        assert_eq!(cat.stream_names(), vec!["alpha"]);
+    }
+}

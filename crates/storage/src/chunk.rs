@@ -1,0 +1,212 @@
+//! [`Chunk`]: a batch of equal-length BATs — the unit of data flowing
+//! between operators, into factories and out of emitters.
+//!
+//! A chunk is schema-free by itself (names live in plans); it is just the
+//! columnar payload, mirroring how MonetDB's MAL programs pass sets of BATs.
+
+use crate::bat::Bat;
+use crate::error::{Result, StorageError};
+use crate::types::Oid;
+use crate::value::{Row, Value};
+
+/// A set of equal-length columns with aligned (virtual) heads.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Chunk {
+    columns: Vec<Bat>,
+}
+
+impl Chunk {
+    /// An empty, zero-column chunk.
+    pub fn empty() -> Self {
+        Chunk { columns: Vec::new() }
+    }
+
+    /// Build from columns, verifying equal lengths.
+    pub fn new(columns: Vec<Bat>) -> Result<Self> {
+        if let Some(first) = columns.first() {
+            for c in &columns[1..] {
+                if c.len() != first.len() {
+                    return Err(StorageError::ColumnLengthMismatch {
+                        expected: first.len(),
+                        found: c.len(),
+                    });
+                }
+            }
+        }
+        Ok(Chunk { columns })
+    }
+
+    /// Number of rows (0 for a zero-column chunk).
+    pub fn len(&self) -> usize {
+        self.columns.first().map_or(0, Bat::len)
+    }
+
+    /// True iff no rows (also true for zero columns).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Borrow column `i`.
+    pub fn column(&self, i: usize) -> &Bat {
+        &self.columns[i]
+    }
+
+    /// All columns.
+    pub fn columns(&self) -> &[Bat] {
+        &self.columns
+    }
+
+    /// Consume into the column vector.
+    pub fn into_columns(self) -> Vec<Bat> {
+        self.columns
+    }
+
+    /// Append another chunk row-wise (same arity and column types required).
+    pub fn append(&mut self, other: &Chunk) -> Result<()> {
+        if self.columns.is_empty() {
+            self.columns = other.columns.clone();
+            return Ok(());
+        }
+        if self.arity() != other.arity() {
+            return Err(StorageError::ArityMismatch {
+                expected: self.arity(),
+                found: other.arity(),
+            });
+        }
+        for (a, b) in self.columns.iter_mut().zip(&other.columns) {
+            a.append(b)?;
+        }
+        Ok(())
+    }
+
+    /// Extract row `i` as values.
+    pub fn row(&self, i: usize) -> Row {
+        self.columns.iter().map(|c| c.get_at(i)).collect()
+    }
+
+    /// Iterate all rows (boundary/debug use only — O(rows × cols) Values).
+    pub fn rows(&self) -> impl Iterator<Item = Row> + '_ {
+        (0..self.len()).map(move |i| self.row(i))
+    }
+
+    /// Gather physical positions across every column.
+    pub fn gather_positions(&self, positions: &[usize]) -> Chunk {
+        Chunk {
+            columns: self.columns.iter().map(|c| c.gather_positions(positions)).collect(),
+        }
+    }
+
+    /// Slice rows with OIDs in `[lo, hi)` across all columns (columns must
+    /// share a head base, which holds for table/basket scans).
+    pub fn slice_oids(&self, lo: Oid, hi: Oid) -> Chunk {
+        Chunk { columns: self.columns.iter().map(|c| c.slice_oids(lo, hi)).collect() }
+    }
+
+    /// Total approximate heap footprint.
+    pub fn byte_size(&self) -> usize {
+        self.columns.iter().map(Bat::byte_size).sum()
+    }
+
+    /// Render rows as an ASCII table (monitor/emitter output).
+    pub fn render(&self, headers: &[&str]) -> String {
+        let mut out = String::new();
+        if !headers.is_empty() {
+            out.push_str(&headers.join(" | "));
+            out.push('\n');
+            out.push_str(&"-".repeat(headers.join(" | ").len()));
+            out.push('\n');
+        }
+        for row in self.rows() {
+            let cells: Vec<String> = row.iter().map(Value::to_string).collect();
+            out.push_str(&cells.join(" | "));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl From<Vec<Bat>> for Chunk {
+    /// Panics if column lengths disagree — use [`Chunk::new`] for fallible
+    /// construction.
+    fn from(columns: Vec<Bat>) -> Self {
+        Chunk::new(columns).expect("column lengths must agree")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::DataType;
+
+    fn chunk() -> Chunk {
+        Chunk::new(vec![
+            Bat::from_ints(vec![1, 2, 3]),
+            Bat::from_floats(vec![0.5, 1.5, 2.5]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn length_checks() {
+        let c = chunk();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.arity(), 2);
+        let bad = Chunk::new(vec![Bat::from_ints(vec![1]), Bat::from_ints(vec![1, 2])]);
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn row_extraction() {
+        let c = chunk();
+        assert_eq!(c.row(1), vec![Value::Int(2), Value::Float(1.5)]);
+    }
+
+    #[test]
+    fn append_rows() {
+        let mut a = chunk();
+        let b = chunk();
+        a.append(&b).unwrap();
+        assert_eq!(a.len(), 6);
+        let empty_start = &mut Chunk::empty();
+        empty_start.append(&chunk()).unwrap();
+        assert_eq!(empty_start.len(), 3);
+    }
+
+    #[test]
+    fn append_arity_mismatch() {
+        let mut a = chunk();
+        let b = Chunk::new(vec![Bat::from_ints(vec![1])]).unwrap();
+        assert!(a.append(&b).is_err());
+    }
+
+    #[test]
+    fn gather_and_slice() {
+        let c = chunk();
+        let g = c.gather_positions(&[2, 0]);
+        assert_eq!(g.row(0), vec![Value::Int(3), Value::Float(2.5)]);
+        let s = c.slice_oids(1, 3);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.row(0), vec![Value::Int(2), Value::Float(1.5)]);
+    }
+
+    #[test]
+    fn render_contains_values() {
+        let c = chunk();
+        let txt = c.render(&["a", "b"]);
+        assert!(txt.contains("a | b"));
+        assert!(txt.contains("2 | 1.5"));
+    }
+
+    #[test]
+    fn zero_column_chunk_is_empty() {
+        let c = Chunk::empty();
+        assert!(c.is_empty());
+        assert_eq!(c.arity(), 0);
+        let _ = Chunk::new(vec![Bat::new(DataType::Int)]).unwrap();
+    }
+}

@@ -1,0 +1,78 @@
+//! Error type shared by the storage kernel.
+
+use std::fmt;
+
+use crate::types::DataType;
+
+/// Errors produced by the storage kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// An operation received a value whose type does not match the column type.
+    TypeMismatch {
+        /// Type the column or operator expected.
+        expected: DataType,
+        /// Type actually supplied.
+        found: DataType,
+    },
+    /// A row had a different number of fields than the schema.
+    ArityMismatch {
+        /// Number of columns in the schema.
+        expected: usize,
+        /// Number of fields supplied.
+        found: usize,
+    },
+    /// The named column does not exist in the schema.
+    UnknownColumn(String),
+    /// The named table or stream does not exist in the catalog.
+    UnknownTable(String),
+    /// An object with this name already exists in the catalog.
+    DuplicateName(String),
+    /// An OID was outside the BAT's `[oid_base, oid_base + len)` range.
+    OidOutOfRange {
+        /// The offending OID.
+        oid: u64,
+        /// First valid OID.
+        base: u64,
+        /// Number of valid OIDs.
+        len: usize,
+    },
+    /// Columns of one table disagreed on length (internal invariant violation).
+    ColumnLengthMismatch {
+        /// Length of the first column.
+        expected: usize,
+        /// Length of the offending column.
+        found: usize,
+    },
+    /// A NULL was supplied for a column declared NOT NULL.
+    NullViolation(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            StorageError::ArityMismatch { expected, found } => {
+                write!(f, "arity mismatch: schema has {expected} columns, row has {found}")
+            }
+            StorageError::UnknownColumn(name) => write!(f, "unknown column: {name}"),
+            StorageError::UnknownTable(name) => write!(f, "unknown table or stream: {name}"),
+            StorageError::DuplicateName(name) => write!(f, "name already exists: {name}"),
+            StorageError::OidOutOfRange { oid, base, len } => {
+                write!(f, "oid {oid} out of range [{base}, {})", base + *len as u64)
+            }
+            StorageError::ColumnLengthMismatch { expected, found } => {
+                write!(f, "column length mismatch: expected {expected}, found {found}")
+            }
+            StorageError::NullViolation(name) => {
+                write!(f, "NULL value for NOT NULL column: {name}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+/// Convenience alias used throughout the storage crate.
+pub type Result<T> = std::result::Result<T, StorageError>;

@@ -1,0 +1,37 @@
+//! # datacell-storage
+//!
+//! The columnar storage kernel underneath the DataCell engine: a from-scratch
+//! reproduction of the MonetDB storage layer the paper builds on (§3, "A
+//! Column-oriented DBMS").
+//!
+//! * [`Bat`] — Binary Association Table: virtual dense-OID head + typed tail.
+//! * [`Vector`] — the typed tail storage, processed one column at a time.
+//! * [`Chunk`] — a batch of aligned BATs, the currency between operators.
+//! * [`Table`] — persistent relation (one BAT per attribute).
+//! * [`Catalog`] — names for tables and stream declarations.
+//!
+//! Everything downstream (the bulk algebra, the baskets, the factories)
+//! manipulates these types only; there is no tuple-at-a-time path in the
+//! kernel.
+
+#![warn(missing_docs)]
+
+pub mod bat;
+pub mod catalog;
+pub mod chunk;
+pub mod error;
+pub mod schema;
+pub mod table;
+pub mod types;
+pub mod value;
+pub mod vector;
+
+pub use bat::Bat;
+pub use catalog::{Catalog, CatalogEntry, StreamDef, TableHandle};
+pub use chunk::Chunk;
+pub use error::{Result, StorageError};
+pub use schema::{ColumnDef, Schema};
+pub use table::Table;
+pub use types::{DataType, Oid};
+pub use value::{Row, Value};
+pub use vector::Vector;

@@ -1,0 +1,239 @@
+//! Persistent relational tables.
+//!
+//! A table is a named schema plus one BAT per attribute, all sharing one
+//! dense OID head. Tables are the "persistent data" side of the paper's two
+//! query paradigms; baskets (in `datacell-core`) reuse the same columnar
+//! layout but add windowed retirement.
+
+use crate::bat::Bat;
+use crate::chunk::Chunk;
+use crate::error::{Result, StorageError};
+use crate::schema::Schema;
+use crate::types::Oid;
+use crate::value::Row;
+
+/// A persistent, append-only columnar table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: String,
+    schema: Schema,
+    columns: Vec<Bat>,
+    /// Bumped on every mutation; lets readers cache scan snapshots.
+    version: u64,
+}
+
+impl Table {
+    /// Create an empty table.
+    pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        let columns = schema
+            .columns()
+            .iter()
+            .map(|c| Bat::new(c.ty))
+            .collect();
+        Table { name: name.into(), schema, columns, version: 0 }
+    }
+
+    /// Version counter: bumped on every mutation (insert/truncate).
+    /// Readers can cache `scan()` snapshots keyed by this value.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Table schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.columns.first().map_or(0, Bat::len)
+    }
+
+    /// True iff the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// OID that the next inserted row will receive.
+    pub fn next_oid(&self) -> Oid {
+        self.columns.first().map_or(0, Bat::oid_end)
+    }
+
+    /// Validate and append one row.
+    pub fn insert(&mut self, row: &Row) -> Result<Oid> {
+        self.schema.validate_row(row)?;
+        let oid = self.next_oid();
+        for (col, val) in self.columns.iter_mut().zip(row) {
+            col.push(val)?;
+        }
+        self.version += 1;
+        Ok(oid)
+    }
+
+    /// Validate and append many rows; all-or-nothing per row batch.
+    pub fn insert_rows(&mut self, rows: &[Row]) -> Result<usize> {
+        for row in rows {
+            self.schema.validate_row(row)?;
+        }
+        for row in rows {
+            for (col, val) in self.columns.iter_mut().zip(row) {
+                col.push(val)?;
+            }
+        }
+        self.version += 1;
+        Ok(rows.len())
+    }
+
+    /// Append a columnar chunk (arity and types must match the schema).
+    pub fn insert_chunk(&mut self, chunk: &Chunk) -> Result<usize> {
+        if chunk.arity() != self.schema.arity() {
+            return Err(StorageError::ArityMismatch {
+                expected: self.schema.arity(),
+                found: chunk.arity(),
+            });
+        }
+        for (col, inc) in self.columns.iter_mut().zip(chunk.columns()) {
+            col.append(inc)?;
+        }
+        self.version += 1;
+        Ok(chunk.len())
+    }
+
+    /// Borrow column `i`.
+    pub fn column(&self, i: usize) -> &Bat {
+        &self.columns[i]
+    }
+
+    /// Borrow a column by name.
+    pub fn column_by_name(&self, name: &str) -> Result<&Bat> {
+        self.schema.index_of(name).map(|i| &self.columns[i])
+    }
+
+    /// Full scan: clone all columns into a chunk. Columns share the table's
+    /// OID head, so positional alignment is preserved.
+    pub fn scan(&self) -> Chunk {
+        Chunk::new(self.columns.clone()).expect("table columns are aligned")
+    }
+
+    /// Scan a subset of columns by position.
+    pub fn scan_columns(&self, positions: &[usize]) -> Chunk {
+        Chunk::new(positions.iter().map(|&i| self.columns[i].clone()).collect())
+            .expect("table columns are aligned")
+    }
+
+    /// Remove all rows (OIDs keep advancing, as in a DBMS truncate that does
+    /// not reset identity).
+    pub fn truncate(&mut self) {
+        for c in &mut self.columns {
+            c.clear();
+        }
+        self.version += 1;
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn byte_size(&self) -> usize {
+        self.columns.iter().map(Bat::byte_size).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnDef;
+    use crate::types::DataType;
+    use crate::value::Value;
+
+    fn table() -> Table {
+        Table::new(
+            "sensors",
+            Schema::new(vec![
+                ColumnDef::not_null("id", DataType::Int),
+                ColumnDef::new("temp", DataType::Float),
+            ]),
+        )
+    }
+
+    #[test]
+    fn insert_assigns_dense_oids() {
+        let mut t = table();
+        let o1 = t.insert(&vec![Value::Int(1), Value::Float(20.0)]).unwrap();
+        let o2 = t.insert(&vec![Value::Int(2), Value::Float(21.0)]).unwrap();
+        assert_eq!((o1, o2), (0, 1));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn insert_validates() {
+        let mut t = table();
+        assert!(t.insert(&vec![Value::Null, Value::Null]).is_err());
+        assert!(t.insert(&vec![Value::Int(1)]).is_err());
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn batch_insert_validates_before_writing() {
+        let mut t = table();
+        let rows = vec![
+            vec![Value::Int(1), Value::Float(1.0)],
+            vec![Value::Null, Value::Null], // violates NOT NULL
+        ];
+        assert!(t.insert_rows(&rows).is_err());
+        assert_eq!(t.len(), 0, "failed batch must not partially apply");
+    }
+
+    #[test]
+    fn scan_returns_aligned_chunk() {
+        let mut t = table();
+        t.insert(&vec![Value::Int(1), Value::Float(5.0)]).unwrap();
+        t.insert(&vec![Value::Int(2), Value::Float(6.0)]).unwrap();
+        let c = t.scan();
+        assert_eq!(c.row(1), vec![Value::Int(2), Value::Float(6.0)]);
+    }
+
+    #[test]
+    fn scan_columns_projects() {
+        let mut t = table();
+        t.insert(&vec![Value::Int(7), Value::Float(5.0)]).unwrap();
+        let c = t.scan_columns(&[1]);
+        assert_eq!(c.arity(), 1);
+        assert_eq!(c.row(0), vec![Value::Float(5.0)]);
+    }
+
+    #[test]
+    fn truncate_keeps_oid_progression() {
+        let mut t = table();
+        t.insert(&vec![Value::Int(1), Value::Null]).unwrap();
+        t.truncate();
+        assert!(t.is_empty());
+        let oid = t.insert(&vec![Value::Int(2), Value::Null]).unwrap();
+        assert_eq!(oid, 1, "truncate must not reuse OIDs");
+    }
+
+    #[test]
+    fn insert_chunk_appends_columns() {
+        let mut t = table();
+        let chunk = Chunk::new(vec![
+            Bat::from_ints(vec![1, 2]),
+            Bat::from_floats(vec![0.1, 0.2]),
+        ])
+        .unwrap();
+        assert_eq!(t.insert_chunk(&chunk).unwrap(), 2);
+        assert_eq!(t.len(), 2);
+        assert!(t
+            .insert_chunk(&Chunk::new(vec![Bat::from_ints(vec![1])]).unwrap())
+            .is_err());
+    }
+
+    #[test]
+    fn column_by_name() {
+        let mut t = table();
+        t.insert(&vec![Value::Int(9), Value::Float(1.0)]).unwrap();
+        assert_eq!(t.column_by_name("TEMP").unwrap().get_at(0), Value::Float(1.0));
+        assert!(t.column_by_name("nope").is_err());
+    }
+}

@@ -1,0 +1,111 @@
+//! Logical data types of the DataCell kernel.
+//!
+//! MonetDB's kernel is typed at the column granularity; every BAT tail has
+//! exactly one of these types. We keep the set small but sufficient for the
+//! paper's workloads: 64-bit integers, doubles, booleans, strings and
+//! microsecond timestamps.
+
+use std::fmt;
+
+/// Object identifier: the (implicit) head of every BAT.
+///
+/// OIDs are dense and monotonically increasing per table/basket, exactly as
+/// in MonetDB where the head column is a void (virtual oid) sequence.
+pub type Oid = u64;
+
+/// Logical type of a column (BAT tail).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// Boolean.
+    Bool,
+    /// 64-bit signed integer (SQL `INT`/`BIGINT`).
+    Int,
+    /// 64-bit IEEE float (SQL `DOUBLE`/`FLOAT`).
+    Float,
+    /// Variable-length UTF-8 string (SQL `VARCHAR`).
+    Str,
+    /// Microseconds since the epoch (SQL `TIMESTAMP`).
+    Timestamp,
+}
+
+impl DataType {
+    /// Whether values of this type can be summed/averaged.
+    pub fn is_numeric(self) -> bool {
+        matches!(self, DataType::Int | DataType::Float | DataType::Timestamp)
+    }
+
+    /// Whether values of this type have a total order (all our types do).
+    pub fn is_ordered(self) -> bool {
+        true
+    }
+
+    /// The SQL spelling of the type, used by `EXPLAIN` and error messages.
+    pub fn sql_name(self) -> &'static str {
+        match self {
+            DataType::Bool => "BOOLEAN",
+            DataType::Int => "BIGINT",
+            DataType::Float => "DOUBLE",
+            DataType::Str => "VARCHAR",
+            DataType::Timestamp => "TIMESTAMP",
+        }
+    }
+
+    /// Result type of an arithmetic expression over `self` and `other`,
+    /// or `None` if the combination is not arithmetic.
+    pub fn arith_result(self, other: DataType) -> Option<DataType> {
+        use DataType::*;
+        match (self, other) {
+            (Int, Int) => Some(Int),
+            (Float, Float) | (Int, Float) | (Float, Int) => Some(Float),
+            (Timestamp, Int) | (Int, Timestamp) => Some(Timestamp),
+            (Timestamp, Timestamp) => Some(Int),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.sql_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_classification() {
+        assert!(DataType::Int.is_numeric());
+        assert!(DataType::Float.is_numeric());
+        assert!(DataType::Timestamp.is_numeric());
+        assert!(!DataType::Bool.is_numeric());
+        assert!(!DataType::Str.is_numeric());
+    }
+
+    #[test]
+    fn arithmetic_result_types() {
+        assert_eq!(DataType::Int.arith_result(DataType::Int), Some(DataType::Int));
+        assert_eq!(DataType::Int.arith_result(DataType::Float), Some(DataType::Float));
+        assert_eq!(DataType::Float.arith_result(DataType::Int), Some(DataType::Float));
+        assert_eq!(
+            DataType::Timestamp.arith_result(DataType::Timestamp),
+            Some(DataType::Int)
+        );
+        assert_eq!(DataType::Str.arith_result(DataType::Int), None);
+        assert_eq!(DataType::Bool.arith_result(DataType::Bool), None);
+    }
+
+    #[test]
+    fn sql_names_round_trip_display() {
+        for t in [
+            DataType::Bool,
+            DataType::Int,
+            DataType::Float,
+            DataType::Str,
+            DataType::Timestamp,
+        ] {
+            assert_eq!(format!("{t}"), t.sql_name());
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Scalar values exchanged at the system boundary.
+//!
+//! Inside the kernel everything is columnar; `Value` only appears when rows
+//! enter (receptors, `INSERT`) or leave (emitters, result sets) the engine,
+//! and in constant expressions of query plans.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::types::DataType;
+
+/// A single scalar value, possibly NULL.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// SQL NULL (untyped; adopts the column type on insert).
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Microseconds since epoch.
+    Timestamp(i64),
+}
+
+impl Value {
+    /// The type of this value, or `None` for NULL.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Bool(_) => Some(DataType::Bool),
+            Value::Int(_) => Some(DataType::Int),
+            Value::Float(_) => Some(DataType::Float),
+            Value::Str(_) => Some(DataType::Str),
+            Value::Timestamp(_) => Some(DataType::Timestamp),
+        }
+    }
+
+    /// True iff this is SQL NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Whether this value can be stored in a column of type `ty`
+    /// (NULL fits everywhere; Int coerces into Float and Timestamp).
+    pub fn fits(&self, ty: DataType) -> bool {
+        match (self, ty) {
+            (Value::Null, _) => true,
+            (Value::Bool(_), DataType::Bool) => true,
+            (Value::Int(_), DataType::Int) => true,
+            (Value::Int(_), DataType::Float) => true,
+            (Value::Int(_), DataType::Timestamp) => true,
+            (Value::Float(_), DataType::Float) => true,
+            (Value::Str(_), DataType::Str) => true,
+            (Value::Timestamp(_), DataType::Timestamp) => true,
+            _ => false,
+        }
+    }
+
+    /// Coerce this value to exactly `ty`, applying the implicit casts
+    /// accepted by [`Value::fits`]. Returns `None` when the cast is invalid.
+    pub fn coerce(&self, ty: DataType) -> Option<Value> {
+        match (self, ty) {
+            (Value::Null, _) => Some(Value::Null),
+            (Value::Bool(b), DataType::Bool) => Some(Value::Bool(*b)),
+            (Value::Int(i), DataType::Int) => Some(Value::Int(*i)),
+            (Value::Int(i), DataType::Float) => Some(Value::Float(*i as f64)),
+            (Value::Int(i), DataType::Timestamp) => Some(Value::Timestamp(*i)),
+            (Value::Float(x), DataType::Float) => Some(Value::Float(*x)),
+            (Value::Float(x), DataType::Int) => Some(Value::Int(*x as i64)),
+            (Value::Str(s), DataType::Str) => Some(Value::Str(s.clone())),
+            (Value::Timestamp(t), DataType::Timestamp) => Some(Value::Timestamp(*t)),
+            (Value::Timestamp(t), DataType::Int) => Some(Value::Int(*t)),
+            _ => None,
+        }
+    }
+
+    /// Extract an `i64`, if this is an Int or Timestamp.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) | Value::Timestamp(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Extract an `f64`, widening Int if necessary.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(x) => Some(*x),
+            Value::Int(i) | Value::Timestamp(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// Extract a `bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Extract a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// SQL comparison. NULL compares as `None` (unknown); mixed numeric
+    /// types compare by value; incompatible types also return `None`.
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        use Value::*;
+        match (self, other) {
+            (Null, _) | (_, Null) => None,
+            (Bool(a), Bool(b)) => Some(a.cmp(b)),
+            (Int(a), Int(b)) => Some(a.cmp(b)),
+            (Timestamp(a), Timestamp(b)) => Some(a.cmp(b)),
+            (Int(a), Timestamp(b)) | (Timestamp(a), Int(b)) => Some(a.cmp(b)),
+            (Float(a), Float(b)) => a.partial_cmp(b),
+            (Int(a), Float(b)) | (Timestamp(a), Float(b)) => (*a as f64).partial_cmp(b),
+            (Float(a), Int(b)) | (Float(a), Timestamp(b)) => a.partial_cmp(&(*b as f64)),
+            (Str(a), Str(b)) => Some(a.as_str().cmp(b.as_str())),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("NULL"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => {
+                if x.fract() == 0.0 && x.abs() < 1e15 {
+                    write!(f, "{x:.1}")
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Timestamp(t) => write!(f, "@{t}"),
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+/// A row of values, used at ingest/egress boundaries.
+pub type Row = Vec<Value>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_of_values() {
+        assert_eq!(Value::Int(3).data_type(), Some(DataType::Int));
+        assert_eq!(Value::Null.data_type(), None);
+        assert_eq!(Value::Str("x".into()).data_type(), Some(DataType::Str));
+    }
+
+    #[test]
+    fn coercions() {
+        assert_eq!(Value::Int(3).coerce(DataType::Float), Some(Value::Float(3.0)));
+        assert_eq!(Value::Int(3).coerce(DataType::Timestamp), Some(Value::Timestamp(3)));
+        assert_eq!(Value::Float(2.9).coerce(DataType::Int), Some(Value::Int(2)));
+        assert_eq!(Value::Str("a".into()).coerce(DataType::Int), None);
+        assert_eq!(Value::Null.coerce(DataType::Str), Some(Value::Null));
+    }
+
+    #[test]
+    fn null_comparisons_are_unknown() {
+        assert_eq!(Value::Null.sql_cmp(&Value::Int(1)), None);
+        assert_eq!(Value::Int(1).sql_cmp(&Value::Null), None);
+    }
+
+    #[test]
+    fn mixed_numeric_comparisons() {
+        assert_eq!(Value::Int(2).sql_cmp(&Value::Float(2.5)), Some(Ordering::Less));
+        assert_eq!(Value::Float(3.0).sql_cmp(&Value::Int(3)), Some(Ordering::Equal));
+        assert_eq!(
+            Value::Timestamp(10).sql_cmp(&Value::Int(9)),
+            Some(Ordering::Greater)
+        );
+    }
+
+    #[test]
+    fn incompatible_comparisons() {
+        assert_eq!(Value::Str("a".into()).sql_cmp(&Value::Int(1)), None);
+        assert_eq!(Value::Bool(true).sql_cmp(&Value::Int(1)), None);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::Float(2.0).to_string(), "2.0");
+        assert_eq!(Value::Int(7).to_string(), "7");
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Timestamp(5).to_string(), "@5");
+    }
+}

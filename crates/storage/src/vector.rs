@@ -1,0 +1,341 @@
+//! Typed, contiguous column vectors — the tails of BATs.
+//!
+//! A [`Vector`] is a homogeneous, densely packed array of one
+//! [`DataType`]. All kernel operators work directly on these arrays in a
+//! bulk, column-at-a-time fashion (MonetDB's "bulk processing model"):
+//! a whole vector is consumed per operator call, never one tuple at a time.
+
+use crate::error::{Result, StorageError};
+use crate::types::DataType;
+use crate::value::Value;
+
+/// A typed column of values without NULL information.
+///
+/// NULL-ness is tracked separately by [`crate::bat::Bat`] via an optional
+/// validity vector, so the common all-valid case pays nothing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Vector {
+    /// Boolean column.
+    Bool(Vec<bool>),
+    /// Integer column.
+    Int(Vec<i64>),
+    /// Float column.
+    Float(Vec<f64>),
+    /// String column.
+    Str(Vec<String>),
+    /// Timestamp column (microseconds).
+    Timestamp(Vec<i64>),
+}
+
+impl Vector {
+    /// An empty vector of type `ty`.
+    pub fn new(ty: DataType) -> Self {
+        Self::with_capacity(ty, 0)
+    }
+
+    /// An empty vector of type `ty` with pre-reserved capacity.
+    pub fn with_capacity(ty: DataType, cap: usize) -> Self {
+        match ty {
+            DataType::Bool => Vector::Bool(Vec::with_capacity(cap)),
+            DataType::Int => Vector::Int(Vec::with_capacity(cap)),
+            DataType::Float => Vector::Float(Vec::with_capacity(cap)),
+            DataType::Str => Vector::Str(Vec::with_capacity(cap)),
+            DataType::Timestamp => Vector::Timestamp(Vec::with_capacity(cap)),
+        }
+    }
+
+    /// The vector's data type.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Vector::Bool(_) => DataType::Bool,
+            Vector::Int(_) => DataType::Int,
+            Vector::Float(_) => DataType::Float,
+            Vector::Str(_) => DataType::Str,
+            Vector::Timestamp(_) => DataType::Timestamp,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        match self {
+            Vector::Bool(v) => v.len(),
+            Vector::Int(v) => v.len(),
+            Vector::Float(v) => v.len(),
+            Vector::Str(v) => v.len(),
+            Vector::Timestamp(v) => v.len(),
+        }
+    }
+
+    /// True iff the vector holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Fetch element `i` as a [`Value`] (ignores validity; see `Bat::get`).
+    ///
+    /// # Panics
+    /// Panics if `i >= self.len()`.
+    pub fn get(&self, i: usize) -> Value {
+        match self {
+            Vector::Bool(v) => Value::Bool(v[i]),
+            Vector::Int(v) => Value::Int(v[i]),
+            Vector::Float(v) => Value::Float(v[i]),
+            Vector::Str(v) => Value::Str(v[i].clone()),
+            Vector::Timestamp(v) => Value::Timestamp(v[i]),
+        }
+    }
+
+    /// Append a value, coercing per [`Value::coerce`]. NULLs are stored as
+    /// the type's zero value; the caller records validity separately.
+    pub fn push(&mut self, value: &Value) -> Result<()> {
+        let ty = self.data_type();
+        let coerced = value
+            .coerce(ty)
+            .ok_or_else(|| StorageError::TypeMismatch {
+                expected: ty,
+                found: value.data_type().unwrap_or(ty),
+            })?;
+        match (self, coerced) {
+            (Vector::Bool(v), Value::Bool(b)) => v.push(b),
+            (Vector::Bool(v), Value::Null) => v.push(false),
+            (Vector::Int(v), Value::Int(i)) => v.push(i),
+            (Vector::Int(v), Value::Null) => v.push(0),
+            (Vector::Float(v), Value::Float(x)) => v.push(x),
+            (Vector::Float(v), Value::Null) => v.push(0.0),
+            (Vector::Str(v), Value::Str(s)) => v.push(s),
+            (Vector::Str(v), Value::Null) => v.push(String::new()),
+            (Vector::Timestamp(v), Value::Timestamp(t)) => v.push(t),
+            (Vector::Timestamp(v), Value::Null) => v.push(0),
+            _ => unreachable!("coerce() returned a value of the wrong type"),
+        }
+        Ok(())
+    }
+
+    /// Append all elements of `other` (must have the same type).
+    pub fn append(&mut self, other: &Vector) -> Result<()> {
+        if self.data_type() != other.data_type() {
+            return Err(StorageError::TypeMismatch {
+                expected: self.data_type(),
+                found: other.data_type(),
+            });
+        }
+        match (self, other) {
+            (Vector::Bool(a), Vector::Bool(b)) => a.extend_from_slice(b),
+            (Vector::Int(a), Vector::Int(b)) => a.extend_from_slice(b),
+            (Vector::Float(a), Vector::Float(b)) => a.extend_from_slice(b),
+            (Vector::Str(a), Vector::Str(b)) => a.extend_from_slice(b),
+            (Vector::Timestamp(a), Vector::Timestamp(b)) => a.extend_from_slice(b),
+            _ => unreachable!(),
+        }
+        Ok(())
+    }
+
+    /// Gather elements at `indices` into a new vector (bulk fetch).
+    ///
+    /// # Panics
+    /// Panics if any index is out of bounds.
+    pub fn gather(&self, indices: &[usize]) -> Vector {
+        match self {
+            Vector::Bool(v) => Vector::Bool(indices.iter().map(|&i| v[i]).collect()),
+            Vector::Int(v) => Vector::Int(indices.iter().map(|&i| v[i]).collect()),
+            Vector::Float(v) => Vector::Float(indices.iter().map(|&i| v[i]).collect()),
+            Vector::Str(v) => Vector::Str(indices.iter().map(|&i| v[i].clone()).collect()),
+            Vector::Timestamp(v) => Vector::Timestamp(indices.iter().map(|&i| v[i]).collect()),
+        }
+    }
+
+    /// Copy the contiguous range `[lo, hi)` into a new vector.
+    ///
+    /// # Panics
+    /// Panics if `hi > len` or `lo > hi`.
+    pub fn slice(&self, lo: usize, hi: usize) -> Vector {
+        match self {
+            Vector::Bool(v) => Vector::Bool(v[lo..hi].to_vec()),
+            Vector::Int(v) => Vector::Int(v[lo..hi].to_vec()),
+            Vector::Float(v) => Vector::Float(v[lo..hi].to_vec()),
+            Vector::Str(v) => Vector::Str(v[lo..hi].to_vec()),
+            Vector::Timestamp(v) => Vector::Timestamp(v[lo..hi].to_vec()),
+        }
+    }
+
+    /// Drop the first `n` elements in place (basket retirement fast path).
+    pub fn drop_front(&mut self, n: usize) {
+        match self {
+            Vector::Bool(v) => {
+                v.drain(..n.min(v.len()));
+            }
+            Vector::Int(v) => {
+                v.drain(..n.min(v.len()));
+            }
+            Vector::Float(v) => {
+                v.drain(..n.min(v.len()));
+            }
+            Vector::Str(v) => {
+                v.drain(..n.min(v.len()));
+            }
+            Vector::Timestamp(v) => {
+                v.drain(..n.min(v.len()));
+            }
+        }
+    }
+
+    /// Remove all elements, keeping the allocation (workhorse reuse).
+    pub fn clear(&mut self) {
+        match self {
+            Vector::Bool(v) => v.clear(),
+            Vector::Int(v) => v.clear(),
+            Vector::Float(v) => v.clear(),
+            Vector::Str(v) => v.clear(),
+            Vector::Timestamp(v) => v.clear(),
+        }
+    }
+
+    /// Borrow as `&[i64]` (Int or Timestamp), or `None`.
+    pub fn as_ints(&self) -> Option<&[i64]> {
+        match self {
+            Vector::Int(v) | Vector::Timestamp(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Borrow as `&[f64]`, or `None`.
+    pub fn as_floats(&self) -> Option<&[f64]> {
+        match self {
+            Vector::Float(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Borrow as `&[bool]`, or `None`.
+    pub fn as_bools(&self) -> Option<&[bool]> {
+        match self {
+            Vector::Bool(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Borrow as `&[String]`, or `None`.
+    pub fn as_strs(&self) -> Option<&[String]> {
+        match self {
+            Vector::Str(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Approximate heap footprint in bytes (used by the monitoring pane).
+    pub fn byte_size(&self) -> usize {
+        match self {
+            Vector::Bool(v) => v.len(),
+            Vector::Int(v) | Vector::Timestamp(v) => v.len() * 8,
+            Vector::Float(v) => v.len() * 8,
+            Vector::Str(v) => v.iter().map(|s| s.len() + 24).sum(),
+        }
+    }
+}
+
+/// Build a Vector directly from typed Rust data (test/workload helper).
+impl From<Vec<i64>> for Vector {
+    fn from(v: Vec<i64>) -> Self {
+        Vector::Int(v)
+    }
+}
+impl From<Vec<f64>> for Vector {
+    fn from(v: Vec<f64>) -> Self {
+        Vector::Float(v)
+    }
+}
+impl From<Vec<bool>> for Vector {
+    fn from(v: Vec<bool>) -> Self {
+        Vector::Bool(v)
+    }
+}
+impl From<Vec<String>> for Vector {
+    fn from(v: Vec<String>) -> Self {
+        Vector::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_get_round_trip() {
+        let mut v = Vector::new(DataType::Int);
+        v.push(&Value::Int(1)).unwrap();
+        v.push(&Value::Int(-5)).unwrap();
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.get(0), Value::Int(1));
+        assert_eq!(v.get(1), Value::Int(-5));
+    }
+
+    #[test]
+    fn push_coerces_int_to_float() {
+        let mut v = Vector::new(DataType::Float);
+        v.push(&Value::Int(2)).unwrap();
+        assert_eq!(v.get(0), Value::Float(2.0));
+    }
+
+    #[test]
+    fn push_rejects_wrong_type() {
+        let mut v = Vector::new(DataType::Int);
+        let err = v.push(&Value::Str("x".into())).unwrap_err();
+        assert!(matches!(err, StorageError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn null_stored_as_zero_value() {
+        let mut v = Vector::new(DataType::Int);
+        v.push(&Value::Null).unwrap();
+        assert_eq!(v.get(0), Value::Int(0));
+    }
+
+    #[test]
+    fn gather_selects_by_index() {
+        let v: Vector = vec![10i64, 20, 30, 40].into();
+        let g = v.gather(&[3, 1]);
+        assert_eq!(g.get(0), Value::Int(40));
+        assert_eq!(g.get(1), Value::Int(20));
+    }
+
+    #[test]
+    fn slice_copies_range() {
+        let v: Vector = vec![1i64, 2, 3, 4, 5].into();
+        let s = v.slice(1, 4);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.get(0), Value::Int(2));
+        assert_eq!(s.get(2), Value::Int(4));
+    }
+
+    #[test]
+    fn drop_front_retires_prefix() {
+        let mut v: Vector = vec![1i64, 2, 3, 4].into();
+        v.drop_front(2);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.get(0), Value::Int(3));
+        // dropping more than len is a no-op beyond emptying
+        v.drop_front(10);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn append_same_type() {
+        let mut a: Vector = vec![1i64].into();
+        let b: Vector = vec![2i64, 3].into();
+        a.append(&b).unwrap();
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn append_type_mismatch_fails() {
+        let mut a: Vector = vec![1i64].into();
+        let b: Vector = vec![1.0f64].into();
+        assert!(a.append(&b).is_err());
+    }
+
+    #[test]
+    fn byte_size_scales_with_len() {
+        let v: Vector = vec![0i64; 100].into();
+        assert_eq!(v.byte_size(), 800);
+    }
+}

@@ -1,0 +1,66 @@
+//! # datacell-workload
+//!
+//! Deterministic, seedable stream generators for the paper's motivating
+//! applications (§1: mobile/traffic data, cloud monitoring, scientific
+//! streams, web logs) and the Linear Road-inspired benchmark input:
+//!
+//! * [`sensors`] — scientific sensor readings (the demo's default stream).
+//! * [`weblog`] — Zipf-skewed clickstream.
+//! * [`netmon`] — network flow records with heavy hitters and scans.
+//! * [`linear_road`] — multi-expressway traffic simulation (LRB substitute).
+//!
+//! All generators implement `Iterator<Item = Row>`, so they plug directly
+//! into `datacell_core::Receptor::spawn`.
+
+#![warn(missing_docs)]
+
+pub mod linear_road;
+pub mod netmon;
+pub mod sensors;
+pub mod weblog;
+
+pub use linear_road::{LinearRoadConfig, LinearRoadStream};
+pub use netmon::{NetmonConfig, NetmonStream};
+pub use sensors::{SensorConfig, SensorStream};
+pub use weblog::{WeblogConfig, WeblogStream};
+
+use datacell_storage::{Bat, Chunk, Row, Schema};
+
+/// Convert rows into a columnar chunk matching `schema` (bulk-ingest
+/// helper used by benchmarks to take row conversion off the hot path).
+pub fn rows_to_chunk(schema: &Schema, rows: &[Row]) -> datacell_storage::Result<Chunk> {
+    let mut columns: Vec<Bat> =
+        schema.columns().iter().map(|c| Bat::new(c.ty)).collect();
+    for row in rows {
+        schema.validate_row(row)?;
+        for (col, v) in columns.iter_mut().zip(row) {
+            col.push(v)?;
+        }
+    }
+    Chunk::new(columns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datacell_storage::{DataType, Value};
+
+    #[test]
+    fn rows_to_chunk_round_trip() {
+        let schema = Schema::of(&[("a", DataType::Int), ("b", DataType::Float)]);
+        let rows = vec![
+            vec![Value::Int(1), Value::Float(0.5)],
+            vec![Value::Int(2), Value::Float(1.5)],
+        ];
+        let chunk = rows_to_chunk(&schema, &rows).unwrap();
+        assert_eq!(chunk.len(), 2);
+        assert_eq!(chunk.row(1), rows[1]);
+    }
+
+    #[test]
+    fn rows_to_chunk_validates() {
+        let schema = Schema::of(&[("a", DataType::Int)]);
+        let rows = vec![vec![Value::Str("x".into())]];
+        assert!(rows_to_chunk(&schema, &rows).is_err());
+    }
+}

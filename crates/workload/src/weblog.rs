@@ -1,0 +1,167 @@
+//! Web-log (clickstream) workload — "web log analysis requires fast
+//! analysis of big streaming data for decision support" (paper §1).
+//!
+//! Zipf-skewed URL popularity and a small user population make this the
+//! grouping-heavy workload: top-k pages, per-user session volumes, error
+//! rate monitoring.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use datacell_storage::{DataType, Row, Schema, Value};
+
+/// Configuration for the clickstream.
+#[derive(Debug, Clone)]
+pub struct WeblogConfig {
+    /// Distinct users.
+    pub users: u32,
+    /// Distinct URLs.
+    pub urls: u32,
+    /// Zipf-like skew exponent for URL popularity (0 = uniform).
+    pub skew: f64,
+    /// Fraction of requests that fail (status 500).
+    pub error_rate: f64,
+    /// Microseconds between clicks.
+    pub tick_us: i64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WeblogConfig {
+    fn default() -> Self {
+        WeblogConfig {
+            users: 1000,
+            urls: 500,
+            skew: 1.0,
+            error_rate: 0.02,
+            tick_us: 200,
+            seed: 7,
+        }
+    }
+}
+
+/// Generator of `(ts, user, url, status, bytes)` rows.
+#[derive(Debug)]
+pub struct WeblogStream {
+    config: WeblogConfig,
+    rng: StdRng,
+    next_ts: i64,
+    /// Precomputed cumulative Zipf weights over URLs.
+    cumulative: Vec<f64>,
+}
+
+impl WeblogStream {
+    /// Create a generator.
+    pub fn new(config: WeblogConfig) -> Self {
+        let mut cumulative = Vec::with_capacity(config.urls as usize);
+        let mut total = 0.0;
+        for i in 1..=config.urls {
+            total += 1.0 / (i as f64).powf(config.skew.max(0.0));
+            cumulative.push(total);
+        }
+        WeblogStream {
+            rng: StdRng::seed_from_u64(config.seed),
+            config,
+            next_ts: 0,
+            cumulative,
+        }
+    }
+
+    /// The stream schema.
+    pub fn schema() -> Schema {
+        Schema::of(&[
+            ("ts", DataType::Timestamp),
+            ("user_id", DataType::Int),
+            ("url", DataType::Int),
+            ("status", DataType::Int),
+            ("bytes", DataType::Int),
+        ])
+    }
+
+    /// DDL creating the stream.
+    pub fn create_stream_sql(name: &str) -> String {
+        format!(
+            "CREATE STREAM {name} (ts TIMESTAMP, user_id BIGINT, url BIGINT, status BIGINT, bytes BIGINT)"
+        )
+    }
+
+    fn pick_url(&mut self) -> i64 {
+        let total = *self.cumulative.last().unwrap_or(&1.0);
+        let x = self.rng.gen::<f64>() * total;
+        self.cumulative.partition_point(|&c| c < x) as i64
+    }
+
+    /// Materialize the next `n` rows.
+    pub fn take_rows(&mut self, n: usize) -> Vec<Row> {
+        (0..n).map(|_| self.next_row()).collect()
+    }
+
+    fn next_row(&mut self) -> Row {
+        let ts = self.next_ts;
+        self.next_ts += self.config.tick_us;
+        let user = self.rng.gen_range(0..self.config.users) as i64;
+        let url = self.pick_url();
+        let status = if self.rng.gen::<f64>() < self.config.error_rate { 500 } else { 200 };
+        let bytes = self.rng.gen_range(200..50_000);
+        vec![
+            Value::Timestamp(ts),
+            Value::Int(user),
+            Value::Int(url),
+            Value::Int(status),
+            Value::Int(bytes),
+        ]
+    }
+}
+
+impl Iterator for WeblogStream {
+    type Item = Row;
+
+    fn next(&mut self) -> Option<Row> {
+        Some(self.next_row())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn skew_concentrates_popular_urls() {
+        let mut s = WeblogStream::new(WeblogConfig { skew: 1.2, ..Default::default() });
+        let mut counts: HashMap<i64, usize> = HashMap::new();
+        for row in s.take_rows(20_000) {
+            *counts.entry(row[2].as_int().unwrap()).or_default() += 1;
+        }
+        let top = counts.values().copied().max().unwrap();
+        let avg = 20_000 / counts.len().max(1);
+        assert!(top > avg * 5, "expected skew: top={top} avg={avg}");
+    }
+
+    #[test]
+    fn error_rate_approximate() {
+        let mut s = WeblogStream::new(WeblogConfig { error_rate: 0.1, ..Default::default() });
+        let errors = s
+            .take_rows(10_000)
+            .iter()
+            .filter(|r| r[3] == Value::Int(500))
+            .count();
+        assert!((500..2000).contains(&errors), "errors={errors}");
+    }
+
+    #[test]
+    fn rows_match_schema() {
+        let mut s = WeblogStream::new(WeblogConfig::default());
+        let schema = WeblogStream::schema();
+        for row in s.take_rows(20) {
+            schema.validate_row(&row).unwrap();
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = WeblogStream::new(WeblogConfig::default());
+        let mut b = WeblogStream::new(WeblogConfig::default());
+        assert_eq!(a.take_rows(100), b.take_rows(100));
+    }
+}

@@ -1,0 +1,53 @@
+//! Linear Road mini-demo: the benchmark workload the paper cites as
+//! DataCell's headline result, at laptop scale.
+//!
+//! Run with: `cargo run --release --example linear_road_demo`
+
+use datacell::engine::{DataCell, ExecutionMode};
+use datacell::workload::{LinearRoadConfig, LinearRoadStream};
+
+fn main() {
+    let mut cell = DataCell::default();
+    cell.execute(&LinearRoadStream::create_stream_sql("lr")).unwrap();
+
+    let queries = LinearRoadStream::standard_queries("lr");
+    let mut qids = Vec::new();
+    for (i, q) in queries.iter().enumerate() {
+        let id = cell.register_query_with_mode(q, ExecutionMode::Incremental).unwrap();
+        println!("q{i}: {q}");
+        qids.push(id);
+    }
+    println!("\n{}", cell.network().describe());
+
+    let config = LinearRoadConfig {
+        expressways: 2,
+        vehicles_per_xway: 300,
+        accident_rate: 0.003,
+        ..Default::default()
+    };
+    let mut gen = LinearRoadStream::new(config.clone());
+    let per_round = gen.vehicle_count();
+
+    // 10 simulated minutes of traffic, one report round per 30 s.
+    for round in 0..20 {
+        let rows = gen.take_rows(per_round);
+        cell.push_rows("lr", &rows).unwrap();
+        cell.run_until_idle().unwrap();
+
+        // accident detections (query 1 of the mix)
+        for chunk in cell.take_results(qids[1]).unwrap() {
+            if !chunk.is_empty() {
+                println!("t={:>4}s ACCIDENT segments:", (round + 1) * 30);
+                print!("{}", chunk.render(&["xway", "seg", "stopped_reports"]));
+            }
+        }
+        let _ = cell.take_results(qids[0]);
+        let _ = cell.take_results(qids[2]);
+    }
+
+    // Final segment statistics snapshot.
+    cell.run_until_idle().unwrap();
+    println!("\n{}", cell.stats().render());
+    println!("explain of the segment-statistics query:\n");
+    println!("{}", cell.explain(qids[0]).unwrap());
+}

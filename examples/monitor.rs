@@ -1,0 +1,92 @@
+//! The textual counterpart of the demo's GUI (paper §4, Figures 2–4):
+//! pose queries, inspect the query network and transformed plans, pause
+//! and resume queries and streams, and watch the analysis pane — all the
+//! interactions the VLDB demo offered, as terminal panes.
+//!
+//! Run with: `cargo run --example monitor`
+
+use datacell::engine::{DataCell, ExecutionMode};
+use datacell::workload::{SensorConfig, SensorStream};
+
+fn pane(title: &str) {
+    println!("\n╔══ {title} {}", "═".repeat(60usize.saturating_sub(title.len())));
+}
+
+fn main() {
+    let mut cell = DataCell::default();
+    cell.execute(&SensorStream::create_stream_sql("sensors")).unwrap();
+    cell.execute("CREATE STREAM events (ts TIMESTAMP, sensor BIGINT, kind BIGINT)")
+        .unwrap();
+    cell.execute("CREATE TABLE meta (sensor BIGINT, zone BIGINT)").unwrap();
+    let vals: Vec<String> = (0..100).map(|i| format!("({i}, {})", i % 4)).collect();
+    cell.execute(&format!("INSERT INTO meta VALUES {}", vals.join(", "))).unwrap();
+
+    // --- Figure 2 pane: posing queries -------------------------------
+    pane("posing continuous queries (Fig. 2)");
+    let q1 = cell
+        .register_query_with_mode(
+            "SELECT sensor, AVG(temp) FROM sensors [ROWS 512 SLIDE 128] GROUP BY sensor",
+            ExecutionMode::Incremental,
+        )
+        .unwrap();
+    let q2 = cell
+        .register_query_with_mode(
+            "SELECT meta.zone, MAX(sensors.temp) FROM sensors [ROWS 256 SLIDE 64] \
+             JOIN meta ON sensors.sensor = meta.sensor GROUP BY meta.zone",
+            ExecutionMode::Incremental,
+        )
+        .unwrap();
+    let q3 = cell.register_query("SELECT COUNT(*) FROM events").unwrap();
+    println!("registered q{q1}, q{q2}, q{q3}");
+
+    // --- plan transformation pane -------------------------------------
+    pane("plan transformation: one-time -> continuous -> incremental");
+    println!("{}", cell.explain(q1).unwrap());
+
+    // --- Figure 3 pane: the query network ------------------------------
+    pane("query network (Fig. 3)");
+    println!("{}", cell.network().describe());
+
+    // --- streaming + analysis pane (Fig. 4) ----------------------------
+    pane("analysis while streaming (Fig. 4)");
+    let mut gen = SensorStream::new(SensorConfig { sensors: 100, ..Default::default() });
+    for _ in 0..6 {
+        cell.push_rows("sensors", &gen.take_rows(256)).unwrap();
+        cell.run_until_idle().unwrap();
+    }
+    println!("{}", cell.stats().render());
+
+    // --- pause and resume ------------------------------------------------
+    pane("pause and resume (Fig. 3 controls)");
+    cell.set_query_paused(q1, true).unwrap();
+    cell.push_rows("sensors", &gen.take_rows(512)).unwrap();
+    cell.run_until_idle().unwrap();
+    println!("q{q1} paused: results pending = {}", cell.take_results(q1).unwrap().len());
+    cell.set_query_paused(q1, false).unwrap();
+    cell.run_until_idle().unwrap();
+    println!(
+        "q{q1} resumed: instantly caught up, {} result batches",
+        cell.take_results(q1).unwrap().len()
+    );
+
+    cell.set_stream_paused("sensors", true).unwrap();
+    let rejected = cell.push_rows("sensors", &gen.take_rows(100)).unwrap();
+    println!("stream paused: {rejected} of 100 tuples accepted");
+    cell.set_stream_paused("sensors", false).unwrap();
+
+    // --- detailed status: where do tuples live? --------------------------
+    pane("detailed status inspection");
+    let stats = cell.stats();
+    for b in &stats.baskets {
+        println!(
+            "basket {:<8} buffered={:<6} arrived={:<7} retired={:<7} ({} bytes)",
+            b.name, b.buffered, b.arrived, b.retired, b.bytes
+        );
+    }
+    for q in &stats.queries {
+        println!(
+            "query q{:<3} [{}] firings={:<5} in={:<7} out={:<6} touched(last)={}",
+            q.id, q.mode, q.firings, q.tuples_in, q.tuples_out, q.last_tuples_touched
+        );
+    }
+}

@@ -1,0 +1,61 @@
+//! Quickstart: create a stream, register continuous queries, push data,
+//! read results.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use datacell::engine::{DataCell, ExecutionMode};
+use datacell::Value;
+
+fn main() {
+    let mut cell = DataCell::default();
+
+    // DDL: a stream (basket-backed) and a persistent dimension table.
+    cell.execute("CREATE STREAM readings (ts TIMESTAMP, sensor BIGINT, temp DOUBLE)")
+        .unwrap();
+    cell.execute("CREATE TABLE sensors (sensor BIGINT, room VARCHAR)").unwrap();
+    cell.execute("INSERT INTO sensors VALUES (0, 'lab'), (1, 'office'), (2, 'server-room')")
+        .unwrap();
+
+    // A continuous query: sliding-window average per room, incremental mode.
+    let q = cell
+        .register_query_with_mode(
+            "SELECT sensors.room, AVG(readings.temp), COUNT(*) \
+             FROM readings [ROWS 6 SLIDE 3] \
+             JOIN sensors ON readings.sensor = sensors.sensor \
+             GROUP BY sensors.room",
+            ExecutionMode::Incremental,
+        )
+        .unwrap();
+
+    println!("== plan ==\n{}", cell.explain(q).unwrap());
+
+    // Stream some readings.
+    for i in 0..12i64 {
+        cell.push_rows(
+            "readings",
+            &[vec![
+                Value::Timestamp(i * 1000),
+                Value::Int(i % 3),
+                Value::Float(20.0 + (i % 7) as f64),
+            ]],
+        )
+        .unwrap();
+        // The Petri-net scheduler fires factories whose windows completed.
+        cell.run_until_idle().unwrap();
+        for chunk in cell.take_results(q).unwrap() {
+            println!(
+                "after tuple {i:2}: \n{}",
+                chunk.render(&["room", "avg_temp", "count"])
+            );
+        }
+    }
+
+    // A one-time query over the same engine (two query paradigms).
+    if let datacell::engine::ExecOutcome::Rows { chunk, .. } =
+        cell.execute("SELECT COUNT(*) FROM sensors").unwrap()
+    {
+        println!("sensors registered: {}", chunk.row(0)[0]);
+    }
+
+    println!("{}", cell.stats().render());
+}

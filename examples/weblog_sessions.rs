@@ -1,0 +1,95 @@
+//! Web-log analytics scenario (paper §1: "web log analysis requires fast
+//! analysis of big streaming data for decision support").
+//!
+//! Clickstream + a persistent URL dimension table: top pages per window,
+//! per-zone traffic via a stream⋈table join, and error-rate monitoring —
+//! and the log is *also* archived into the warehouse table so one-time
+//! analytics can run over history ("the new data may also enter the data
+//! warehouse and be stored as normal").
+//!
+//! Run with: `cargo run --release --example weblog_sessions`
+
+use datacell::engine::{DataCell, ExecOutcome, ExecutionMode};
+use datacell::workload::{WeblogConfig, WeblogStream};
+
+fn main() {
+    let mut cell = DataCell::default();
+    cell.execute(&WeblogStream::create_stream_sql("clicks")).unwrap();
+    cell.execute("CREATE TABLE url_dim (url BIGINT, section BIGINT)").unwrap();
+    cell.execute(
+        "CREATE TABLE clicks_archive (ts TIMESTAMP, user_id BIGINT, url BIGINT, \
+         status BIGINT, bytes BIGINT)",
+    )
+    .unwrap();
+    // Sections: urls hashed into 10 site sections.
+    let values: Vec<String> = (0..500).map(|u| format!("({u}, {})", u % 10)).collect();
+    cell.execute(&format!("INSERT INTO url_dim VALUES {}", values.join(", "))).unwrap();
+
+    let top_pages = cell
+        .register_query_with_mode(
+            "SELECT url, COUNT(*) FROM clicks [ROWS 4096 SLIDE 1024] \
+             GROUP BY url ORDER BY COUNT(*) DESC LIMIT 5",
+            ExecutionMode::Incremental,
+        )
+        .unwrap();
+    let by_section = cell
+        .register_query_with_mode(
+            "SELECT url_dim.section, SUM(clicks.bytes) \
+             FROM clicks [ROWS 4096 SLIDE 1024] \
+             JOIN url_dim ON clicks.url = url_dim.url \
+             GROUP BY url_dim.section ORDER BY url_dim.section",
+            ExecutionMode::Incremental,
+        )
+        .unwrap();
+    let errors = cell
+        .register_query(
+            "SELECT COUNT(*) FROM clicks [ROWS 2048] WHERE status = 500",
+        )
+        .unwrap();
+
+    let mut gen = WeblogStream::new(WeblogConfig::default());
+    for round in 0..8 {
+        let rows = gen.take_rows(2048);
+        // archive + stream: the "store as normal for further analysis" path
+        cell.push_rows("clicks", &rows).unwrap();
+        let archive_stmt = rows
+            .iter()
+            .map(|r| {
+                format!(
+                    "({}, {}, {}, {}, {})",
+                    r[0].as_int().unwrap(),
+                    r[1],
+                    r[2],
+                    r[3],
+                    r[4]
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
+        cell.execute(&format!("INSERT INTO clicks_archive VALUES {archive_stmt}"))
+            .unwrap();
+        cell.run_until_idle().unwrap();
+
+        if round >= 2 {
+            if let Some(chunk) = cell.take_results(top_pages).unwrap().last() {
+                println!("round {round}: top pages");
+                print!("{}", chunk.render(&["url", "hits"]));
+            }
+        }
+        let _ = cell.take_results(by_section);
+        let _ = cell.take_results(errors);
+    }
+
+    // One-time analytics over the archived history, same engine.
+    if let ExecOutcome::Rows { chunk, .. } = cell
+        .execute(
+            "SELECT status, COUNT(*), SUM(bytes) FROM clicks_archive \
+             GROUP BY status ORDER BY status",
+        )
+        .unwrap()
+    {
+        println!("\narchive summary (store-and-analyze path):");
+        print!("{}", chunk.render(&["status", "requests", "bytes"]));
+    }
+    println!("\n{}", cell.stats().render());
+}

@@ -1,0 +1,49 @@
+//! # datacell
+//!
+//! A from-scratch Rust reproduction of **MonetDB/DataCell: Online Analytics
+//! in a Streaming Column-Store** (Liarou, Idreos, Manegold, Kersten,
+//! VLDB 2012): continuous query processing built *inside* a columnar DBMS
+//! kernel, where stream processing "becomes primarily a query scheduling
+//! task".
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`storage`] — BATs, chunks, tables, catalog (the column-store kernel).
+//! * [`algebra`] — bulk columnar operators with candidate lists.
+//! * [`sql`] — SQL'03-subset parser with stream/window extensions.
+//! * [`plan`] — binder, optimizer, physical plans, continuous rewriting and
+//!   incremental basic-window splitting.
+//! * [`engine`] — the DataCell runtime: baskets, receptors, emitters,
+//!   factories and the Petri-net scheduler.
+//! * [`baseline`] — tuple-at-a-time Volcano and store-first-query-later
+//!   comparator engines.
+//! * [`workload`] — Linear Road-inspired, network-monitoring, web-log and
+//!   sensor stream generators.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use datacell::engine::DataCell;
+//!
+//! let mut cell = DataCell::default();
+//! cell.execute("CREATE STREAM s (ts TIMESTAMP, val BIGINT)").unwrap();
+//! let q = cell
+//!     .register_query("SELECT COUNT(*), SUM(val) FROM s")
+//!     .unwrap();
+//! cell.push_rows("s", &[vec![1i64.into(), 10i64.into()],
+//!                       vec![2i64.into(), 32i64.into()]]).unwrap();
+//! cell.run_until_idle().unwrap();
+//! let out = cell.take_results(q).unwrap();
+//! assert_eq!(out[0].row(0), vec![2i64.into(), 42i64.into()]);
+//! ```
+
+pub use datacell_algebra as algebra;
+pub use datacell_baseline as baseline;
+pub use datacell_core as engine;
+pub use datacell_plan as plan;
+pub use datacell_sql as sql;
+pub use datacell_storage as storage;
+pub use datacell_workload as workload;
+
+pub use datacell_core::DataCell;
+pub use datacell_storage::{DataType, Row, Schema, Value};

@@ -1,0 +1,159 @@
+//! Cross-crate end-to-end tests through the public `datacell` facade:
+//! SQL in, results out, across both query paradigms.
+
+use datacell::engine::{DataCell, ExecOutcome, ExecutionMode};
+use datacell::{Row, Value};
+
+fn outcome_rows(out: ExecOutcome) -> Vec<Row> {
+    match out {
+        ExecOutcome::Rows { chunk, .. } => chunk.rows().collect(),
+        other => panic!("expected rows, got {other:?}"),
+    }
+}
+
+#[test]
+fn full_lifecycle_script() {
+    let mut cell = DataCell::default();
+    let outcomes = cell
+        .execute_script(
+            "CREATE TABLE t (k BIGINT, v DOUBLE);\
+             INSERT INTO t VALUES (1, 1.5), (2, 2.5), (1, 3.5);\
+             SELECT k, SUM(v) FROM t GROUP BY k ORDER BY k;",
+        )
+        .unwrap();
+    assert_eq!(outcomes.len(), 3);
+    let rows = outcome_rows(outcomes.into_iter().last().unwrap());
+    assert_eq!(rows.len(), 2);
+    assert_eq!(rows[0], vec![Value::Int(1), Value::Float(5.0)]);
+    assert_eq!(rows[1], vec![Value::Int(2), Value::Float(2.5)]);
+}
+
+#[test]
+fn continuous_pipeline_with_join_and_post_processing() {
+    let mut cell = DataCell::default();
+    cell.execute("CREATE STREAM s (ts TIMESTAMP, item BIGINT, qty BIGINT)").unwrap();
+    cell.execute("CREATE TABLE items (item BIGINT, price DOUBLE)").unwrap();
+    cell.execute("INSERT INTO items VALUES (0, 2.0), (1, 3.0), (2, 5.0)").unwrap();
+
+    let q = cell
+        .register_query_with_mode(
+            "SELECT items.price, SUM(s.qty) AS total \
+             FROM s [ROWS 6 SLIDE 6] JOIN items ON s.item = items.item \
+             GROUP BY items.price HAVING SUM(s.qty) > 1 ORDER BY items.price DESC",
+            ExecutionMode::Incremental,
+        )
+        .unwrap();
+
+    let rows: Vec<Row> = (0..6i64)
+        .map(|i| vec![Value::Timestamp(i), Value::Int(i % 3), Value::Int(i + 1)])
+        .collect();
+    cell.push_rows("s", &rows).unwrap();
+    cell.run_until_idle().unwrap();
+    let out = cell.take_results(q).unwrap();
+    assert_eq!(out.len(), 1);
+    let result: Vec<Row> = out[0].rows().collect();
+    // item 0 → qty 1+4=5 @2.0; item 1 → 2+5=7 @3.0; item 2 → 3+6=9 @5.0
+    assert_eq!(
+        result,
+        vec![
+            vec![Value::Float(5.0), Value::Int(9)],
+            vec![Value::Float(3.0), Value::Int(7)],
+            vec![Value::Float(2.0), Value::Int(5)],
+        ]
+    );
+}
+
+#[test]
+fn insert_into_stream_via_sql() {
+    let mut cell = DataCell::default();
+    cell.execute("CREATE STREAM s (v BIGINT)").unwrap();
+    let q = cell.register_query("SELECT SUM(v) FROM s").unwrap();
+    match cell.execute("INSERT INTO s VALUES (1), (2), (3)").unwrap() {
+        ExecOutcome::Inserted(n) => assert_eq!(n, 3),
+        other => panic!("{other:?}"),
+    }
+    cell.run_until_idle().unwrap();
+    let out = cell.take_results(q).unwrap();
+    assert_eq!(out[0].row(0), vec![Value::Int(6)]);
+}
+
+#[test]
+fn drop_stream_removes_catalog_and_basket() {
+    let mut cell = DataCell::default();
+    cell.execute("CREATE STREAM s (v BIGINT)").unwrap();
+    cell.execute("DROP STREAM s").unwrap();
+    assert!(cell.push_rows("s", &[vec![Value::Int(1)]]).is_err());
+    // name is reusable
+    cell.execute("CREATE STREAM s (v BIGINT)").unwrap();
+    assert_eq!(cell.push_rows("s", &[vec![Value::Int(1)]]).unwrap(), 1);
+}
+
+#[test]
+fn errors_are_reported_not_panicked() {
+    let mut cell = DataCell::default();
+    assert!(cell.execute("SELECT * FROM missing").is_err());
+    assert!(cell.execute("CREATE TABLE t (v BOGUSTYPE)").is_err());
+    cell.execute("CREATE TABLE t (v BIGINT NOT NULL)").unwrap();
+    assert!(cell.execute("INSERT INTO t VALUES (NULL)").is_err());
+    assert!(cell.execute("INSERT INTO t VALUES ('text')").is_err());
+    assert!(cell.register_query("SELECT v FROM t").is_err(), "no stream → not continuous");
+    assert!(cell
+        .execute("SELECT v FROM t [ROWS 5]")
+        .is_err(), "window on table rejected");
+}
+
+#[test]
+fn output_schema_matches_results() {
+    let mut cell = DataCell::default();
+    cell.execute("CREATE STREAM s (a BIGINT, b DOUBLE)").unwrap();
+    let q = cell
+        .register_query("SELECT a AS key, AVG(b) AS mean FROM s GROUP BY a")
+        .unwrap();
+    assert_eq!(cell.output_names(q).unwrap(), vec!["key", "mean"]);
+    let schema = cell.output_schema(q).unwrap();
+    assert_eq!(schema.arity(), 2);
+    assert_eq!(schema.column_at(0).ty, datacell::DataType::Int);
+    assert_eq!(schema.column_at(1).ty, datacell::DataType::Float);
+}
+
+#[test]
+fn receptor_to_emitter_full_path() {
+    use datacell::engine::Receptor;
+    use std::time::Duration;
+
+    let mut cell = DataCell::default();
+    cell.execute("CREATE STREAM s (v BIGINT)").unwrap();
+    let q = cell.register_query("SELECT COUNT(*) FROM s").unwrap();
+    let emitter = cell.subscribe(q).unwrap();
+
+    let rows: Vec<Row> = (0..5000i64).map(|i| vec![Value::Int(i)]).collect();
+    let receptor = Receptor::spawn("s", cell.basket("s").unwrap(), rows, None);
+    let delivered = receptor.join();
+    assert_eq!(delivered, 5000);
+    cell.run_until_idle().unwrap();
+
+    let mut seen = 0i64;
+    while let Some(chunk) = emitter.next_timeout(Duration::from_millis(50)) {
+        seen += chunk.row(0)[0].as_int().unwrap();
+        if seen >= 5000 {
+            break;
+        }
+    }
+    assert_eq!(seen, 5000);
+}
+
+#[test]
+fn distinct_order_limit_on_stream() {
+    let mut cell = DataCell::default();
+    cell.execute("CREATE STREAM s (v BIGINT)").unwrap();
+    let q = cell
+        .register_query("SELECT DISTINCT v % 3 FROM s ORDER BY v LIMIT 20")
+        .unwrap();
+    let rows: Vec<Row> = (0..9i64).map(|i| vec![Value::Int(i)]).collect();
+    cell.push_rows("s", &rows).unwrap();
+    cell.run_until_idle().unwrap();
+    let out = cell.take_results(q).unwrap();
+    assert_eq!(out.len(), 1);
+    let vals: Vec<i64> = out[0].rows().map(|r| r[0].as_int().unwrap()).collect();
+    assert_eq!(vals, vec![0, 1, 2]);
+}

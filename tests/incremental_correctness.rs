@@ -1,0 +1,143 @@
+//! Property-based equivalence: the two execution modes (paper §4) and the
+//! tuple-at-a-time baseline must agree on randomized streams, and factory
+//! results must not depend on how arrivals are batched.
+
+use datacell::engine::{DataCell, ExecutionMode};
+use datacell::{Row, Value};
+use datacell_baseline::VolcanoEngine;
+use proptest::prelude::*;
+
+fn stream_rows(keys: &[i64], vals: &[i64]) -> Vec<Row> {
+    keys.iter()
+        .zip(vals)
+        .map(|(&k, &v)| vec![Value::Int(k), Value::Int(v)])
+        .collect()
+}
+
+fn run_datacell(
+    sql: &str,
+    rows: &[Row],
+    mode: ExecutionMode,
+    batch: usize,
+) -> Vec<Vec<String>> {
+    let mut cell = DataCell::default();
+    cell.execute("CREATE STREAM s (k BIGINT, v BIGINT)").unwrap();
+    let q = cell.register_query_with_mode(sql, mode).unwrap();
+    let mut out = Vec::new();
+    for chunk_rows in rows.chunks(batch.max(1)) {
+        cell.push_rows("s", chunk_rows).unwrap();
+        cell.run_until_idle().unwrap();
+        for c in cell.take_results(q).unwrap() {
+            let mut batch_rows: Vec<String> = c
+                .rows()
+                .map(|r| r.iter().map(Value::to_string).collect::<Vec<_>>().join("|"))
+                .collect();
+            batch_rows.sort();
+            out.push(batch_rows.join(";"));
+        }
+    }
+    vec![out]
+}
+
+fn run_volcano(sql: &str, rows: &[Row], batch: usize) -> Vec<Vec<String>> {
+    let mut engine = VolcanoEngine::new();
+    engine.execute("CREATE STREAM s (k BIGINT, v BIGINT)").unwrap();
+    let q = engine.register_query(sql).unwrap();
+    let mut out = Vec::new();
+    for chunk_rows in rows.chunks(batch.max(1)) {
+        engine.push_rows("s", chunk_rows).unwrap();
+        engine.run_until_idle().unwrap();
+        for batch_result in engine.take_results(q) {
+            let mut batch_rows: Vec<String> = batch_result
+                .iter()
+                .map(|r| r.iter().map(Value::to_string).collect::<Vec<_>>().join("|"))
+                .collect();
+            batch_rows.sort();
+            out.push(batch_rows.join(";"));
+        }
+    }
+    vec![out]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Incremental mode must equal full re-evaluation on random streams
+    /// (modulo the leading slides where the first window is still filling).
+    #[test]
+    fn modes_equivalent_on_random_streams(
+        keys in prop::collection::vec(0i64..5, 40..160),
+        seed in 0u64..1000,
+    ) {
+        let vals: Vec<i64> = keys.iter().enumerate()
+            .map(|(i, k)| (seed as i64).wrapping_mul(31).wrapping_add(i as i64 * 7 + k))
+            .collect();
+        let rows = stream_rows(&keys, &vals);
+        let sql = "SELECT k, SUM(v), COUNT(*), MIN(v), MAX(v) \
+                   FROM s [ROWS 16 SLIDE 4] GROUP BY k";
+        let reeval = run_datacell(sql, &rows, ExecutionMode::Reevaluate, 16);
+        let incr = run_datacell(sql, &rows, ExecutionMode::Incremental, 16);
+        let r = &reeval[0];
+        let i = &incr[0];
+        prop_assert!(r.len() >= i.len());
+        let offset = r.len() - i.len();
+        for (a, b) in r[offset..].iter().zip(i) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// Results must be independent of arrival batching (the scheduler may
+    /// fire after 1 tuple or after 50 — windows are defined by content).
+    #[test]
+    fn results_independent_of_batching(
+        keys in prop::collection::vec(0i64..4, 30..120),
+        batch_a in 1usize..8,
+        batch_b in 8usize..40,
+    ) {
+        let vals: Vec<i64> = keys.iter().map(|k| k * 10 + 1).collect();
+        let rows = stream_rows(&keys, &vals);
+        let sql = "SELECT COUNT(*), SUM(v) FROM s [ROWS 12 SLIDE 3]";
+        let a = run_datacell(sql, &rows, ExecutionMode::Incremental, batch_a);
+        let b = run_datacell(sql, &rows, ExecutionMode::Incremental, batch_b);
+        prop_assert_eq!(&a[0], &b[0]);
+    }
+
+    /// The tuple-at-a-time Volcano engine must agree with DataCell on the
+    /// same SQL and the same arrival order.
+    #[test]
+    fn volcano_baseline_agrees(
+        keys in prop::collection::vec(0i64..3, 24..96),
+    ) {
+        let vals: Vec<i64> = keys.iter().enumerate().map(|(i, k)| i as i64 + k).collect();
+        let rows = stream_rows(&keys, &vals);
+        let sql = "SELECT k, SUM(v), COUNT(*) FROM s [ROWS 8 SLIDE 2] GROUP BY k";
+        let dc = run_datacell(sql, &rows, ExecutionMode::Reevaluate, 8);
+        let vo = run_volcano(sql, &rows, 8);
+        prop_assert_eq!(&dc[0], &vo[0]);
+    }
+
+    /// Unwindowed consume-once semantics: concatenated outputs are a
+    /// partition of the input regardless of batching.
+    #[test]
+    fn consume_once_partitions_input(
+        vals in prop::collection::vec(-100i64..100, 1..200),
+        batch in 1usize..32,
+    ) {
+        let rows: Vec<Row> = vals.iter().map(|&v| vec![Value::Int(0), Value::Int(v)]).collect();
+        let mut cell = DataCell::default();
+        cell.execute("CREATE STREAM s (k BIGINT, v BIGINT)").unwrap();
+        let q = cell.register_query("SELECT COUNT(*), SUM(v) FROM s").unwrap();
+        let mut count = 0i64;
+        let mut sum = 0i64;
+        for chunk_rows in rows.chunks(batch) {
+            cell.push_rows("s", chunk_rows).unwrap();
+            cell.run_until_idle().unwrap();
+            for c in cell.take_results(q).unwrap() {
+                count += c.row(0)[0].as_int().unwrap();
+                sum += c.row(0)[1].as_int().unwrap_or(0);
+            }
+        }
+        prop_assert_eq!(count, vals.len() as i64);
+        prop_assert_eq!(sum, vals.iter().sum::<i64>());
+    }
+}

@@ -1,0 +1,155 @@
+//! SQL surface coverage through the facade: every construct the demo
+//! scenarios rely on must parse, bind, and execute.
+
+use datacell::engine::{DataCell, ExecOutcome};
+use datacell::{Row, Value};
+
+fn cell_with_data() -> DataCell {
+    let mut cell = DataCell::default();
+    cell.execute_script(
+        "CREATE TABLE t (k BIGINT, v DOUBLE, tag VARCHAR, flag BOOLEAN);\
+         INSERT INTO t VALUES (1, 1.5, 'a', TRUE), (2, 2.5, 'b', FALSE),\
+                              (3, NULL, 'a', TRUE), (4, 4.5, NULL, FALSE);",
+    )
+    .unwrap();
+    cell
+}
+
+fn rows_of(cell: &mut DataCell, sql: &str) -> Vec<Row> {
+    match cell.execute(sql).unwrap() {
+        ExecOutcome::Rows { chunk, .. } => chunk.rows().collect(),
+        other => panic!("expected rows for {sql}, got {other:?}"),
+    }
+}
+
+#[test]
+fn arithmetic_and_aliases() {
+    let mut cell = cell_with_data();
+    let rows = rows_of(&mut cell, "SELECT k * 2 + 1 AS x, v / 2 FROM t WHERE k <= 2");
+    assert_eq!(rows[0], vec![Value::Int(3), Value::Float(0.75)]);
+    assert_eq!(rows[1], vec![Value::Int(5), Value::Float(1.25)]);
+}
+
+#[test]
+fn null_handling_in_predicates_and_aggregates() {
+    let mut cell = cell_with_data();
+    let rows = rows_of(&mut cell, "SELECT COUNT(*), COUNT(v), SUM(v), AVG(v) FROM t");
+    // COUNT(*)=4, COUNT(v)=3 (one NULL), SUM skips NULL, AVG over 3
+    assert_eq!(rows[0][0], Value::Int(4));
+    assert_eq!(rows[0][1], Value::Int(3));
+    assert_eq!(rows[0][2], Value::Float(8.5));
+    let rows = rows_of(&mut cell, "SELECT k FROM t WHERE v IS NULL");
+    assert_eq!(rows, vec![vec![Value::Int(3)]]);
+    let rows = rows_of(&mut cell, "SELECT k FROM t WHERE tag IS NOT NULL ORDER BY k");
+    assert_eq!(rows.len(), 3);
+}
+
+#[test]
+fn between_and_boolean_logic() {
+    let mut cell = cell_with_data();
+    let rows = rows_of(&mut cell, "SELECT k FROM t WHERE k BETWEEN 2 AND 3 ORDER BY k");
+    assert_eq!(rows, vec![vec![Value::Int(2)], vec![Value::Int(3)]]);
+    let rows = rows_of(
+        &mut cell,
+        "SELECT k FROM t WHERE NOT (k = 2) AND (flag = TRUE OR v > 4.0) ORDER BY k",
+    );
+    assert_eq!(rows, vec![vec![Value::Int(1)], vec![Value::Int(3)], vec![Value::Int(4)]]);
+}
+
+#[test]
+fn string_predicates() {
+    let mut cell = cell_with_data();
+    let rows = rows_of(&mut cell, "SELECT k FROM t WHERE tag = 'a' ORDER BY k");
+    assert_eq!(rows, vec![vec![Value::Int(1)], vec![Value::Int(3)]]);
+    let rows = rows_of(&mut cell, "SELECT MIN(tag), MAX(tag) FROM t");
+    assert_eq!(rows[0], vec![Value::Str("a".into()), Value::Str("b".into())]);
+}
+
+#[test]
+fn group_by_expression_and_having() {
+    let mut cell = cell_with_data();
+    let rows = rows_of(
+        &mut cell,
+        "SELECT k % 2, COUNT(*) FROM t GROUP BY k % 2 HAVING COUNT(*) >= 2 ORDER BY k % 2",
+    );
+    assert_eq!(rows, vec![
+        vec![Value::Int(0), Value::Int(2)],
+        vec![Value::Int(1), Value::Int(2)],
+    ]);
+}
+
+#[test]
+fn order_by_multiple_keys_and_limit() {
+    let mut cell = cell_with_data();
+    let rows = rows_of(
+        &mut cell,
+        "SELECT flag, k FROM t ORDER BY flag DESC, k DESC LIMIT 3",
+    );
+    assert_eq!(rows[0], vec![Value::Bool(true), Value::Int(3)]);
+    assert_eq!(rows[1], vec![Value::Bool(true), Value::Int(1)]);
+    assert_eq!(rows[2], vec![Value::Bool(false), Value::Int(4)]);
+}
+
+#[test]
+fn distinct_rows() {
+    let mut cell = cell_with_data();
+    let rows = rows_of(&mut cell, "SELECT DISTINCT flag FROM t ORDER BY flag");
+    assert_eq!(rows, vec![vec![Value::Bool(false)], vec![Value::Bool(true)]]);
+}
+
+#[test]
+fn self_join_via_aliases() {
+    let mut cell = cell_with_data();
+    let rows = rows_of(
+        &mut cell,
+        "SELECT a.k, b.k FROM t AS a JOIN t AS b ON a.k = b.k WHERE a.flag = TRUE ORDER BY a.k",
+    );
+    assert_eq!(rows, vec![
+        vec![Value::Int(1), Value::Int(1)],
+        vec![Value::Int(3), Value::Int(3)],
+    ]);
+}
+
+#[test]
+fn aggregate_expression_post_processing() {
+    let mut cell = cell_with_data();
+    let rows = rows_of(&mut cell, "SELECT SUM(k) * 10, MAX(k) - MIN(k) FROM t");
+    assert_eq!(rows[0], vec![Value::Int(100), Value::Int(3)]);
+}
+
+#[test]
+fn varchar_length_and_type_synonyms() {
+    let mut cell = DataCell::default();
+    cell.execute("CREATE TABLE x (a INT, b INTEGER, c FLOAT, d TEXT, e VARCHAR(12))")
+        .unwrap();
+    cell.execute("INSERT INTO x VALUES (1, 2, 3.0, 'd', 'e')").unwrap();
+    let rows = rows_of(&mut cell, "SELECT a + b, c, d, e FROM x");
+    assert_eq!(rows[0][0], Value::Int(3));
+}
+
+#[test]
+fn comments_and_semicolons() {
+    let mut cell = DataCell::default();
+    cell.execute("CREATE TABLE c (v BIGINT) -- trailing comment").unwrap();
+    cell.execute("INSERT INTO c VALUES (7);").unwrap();
+    let rows = rows_of(&mut cell, "SELECT v FROM c;");
+    assert_eq!(rows[0][0], Value::Int(7));
+}
+
+#[test]
+fn division_by_zero_yields_null() {
+    let mut cell = cell_with_data();
+    let rows = rows_of(&mut cell, "SELECT k / (k - k) FROM t WHERE k = 1");
+    assert_eq!(rows[0][0], Value::Null);
+}
+
+#[test]
+fn explain_sql_without_registering() {
+    let mut cell = DataCell::default();
+    cell.execute("CREATE STREAM s (v BIGINT)").unwrap();
+    let text = cell
+        .explain_sql("SELECT COUNT(*) FROM s [ROWS 10 SLIDE 5]")
+        .unwrap();
+    assert!(text.contains("StreamScan"), "{text}");
+    assert!(text.contains("incremental split"), "{text}");
+}
