@@ -301,7 +301,7 @@ pub fn aggregate_groups(
 }
 
 /// Merge two aligned per-group state vectors (groups must correspond).
-pub fn merge_group_states(into: &mut Vec<AggState>, other: &[AggState]) {
+pub fn merge_group_states(into: &mut [AggState], other: &[AggState]) {
     debug_assert_eq!(into.len(), other.len());
     for (a, b) in into.iter_mut().zip(other) {
         a.merge(b);

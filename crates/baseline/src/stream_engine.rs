@@ -183,7 +183,9 @@ impl VolcanoEngine {
     }
 
     fn fire(&mut self, qi: usize) -> Result<(), PlanError> {
-        let (id, plan, tables, windows): (u64, _, _, Vec<(String, String, Option<WindowSpec>)>) = {
+        // (stream binding, lowercased object name, window spec) per cursor.
+        type WindowedBinding = (String, String, Option<WindowSpec>);
+        let (id, plan, tables, windows): (u64, _, _, Vec<WindowedBinding>) = {
             let q = &self.queries[qi];
             (
                 q.id,

@@ -329,10 +329,7 @@ fn eval_pred_row_3vl(expr: &BoundExpr, row: &[Value]) -> Result<Option<bool>, Pl
         BoundExpr::Cmp { left, op, right } => {
             let l = eval_expr_row(left, row)?;
             let r = eval_expr_row(right, row)?;
-            match l.sql_cmp(&r) {
-                None => None,
-                Some(ord) => Some(op.eval(Some(ord))),
-            }
+            l.sql_cmp(&r).map(|ord| op.eval(Some(ord)))
         }
         BoundExpr::And(a, b) => {
             match (eval_pred_row_3vl(a, row)?, eval_pred_row_3vl(b, row)?) {

@@ -12,7 +12,7 @@ use datacell_workload::{SensorConfig, SensorStream};
 
 const TOTAL_TUPLES: usize = 200_000;
 
-fn run_batch_size(batch: usize, threshold: usize) -> (f64, f64) {
+fn run_batch_size(total: usize, batch: usize, threshold: usize) -> (f64, f64) {
     let mut cell = DataCell::new(DataCellConfig {
         firing_threshold: threshold,
         ..Default::default()
@@ -27,8 +27,8 @@ fn run_batch_size(batch: usize, threshold: usize) -> (f64, f64) {
 
     let start = std::time::Instant::now();
     let mut fed = 0usize;
-    while fed < TOTAL_TUPLES {
-        let n = batch.min(TOTAL_TUPLES - fed);
+    while fed < total {
+        let n = batch.min(total - fed);
         let rows = gen.take_rows(n);
         cell.push_rows("sensors", &rows).unwrap();
         cell.run_until_idle().unwrap();
@@ -38,20 +38,24 @@ fn run_batch_size(batch: usize, threshold: usize) -> (f64, f64) {
     let _ = cell.take_results(q);
     let stats = cell.stats();
     let firings = stats.queries[0].firings.max(1);
-    let throughput = TOTAL_TUPLES as f64 / elapsed;
+    let throughput = total as f64 / elapsed;
     let latency_us = elapsed * 1e6 / firings as f64;
     (throughput, latency_us)
 }
 
 fn main() {
-    let sweep_threshold = std::env::args().any(|a| a == "--sweep-threshold");
+    let total = datacell_bench::cli::events(TOTAL_TUPLES);
+    let sweep_threshold = datacell_bench::cli::has_flag("--sweep-threshold");
 
-    println!("E1: full re-evaluation mode, SPA query over {TOTAL_TUPLES} sensor tuples");
+    println!("E1: full re-evaluation mode, SPA query over {total} sensor tuples");
     println!("query: SELECT sensor, COUNT(*), AVG(temp) FROM sensors WHERE temp > 18 GROUP BY sensor\n");
 
     let mut t = Table::new(&["batch", "tuples/s", "us/firing"]);
     for batch in [1usize, 8, 64, 512, 4096, 32_768] {
-        let (tps, lat) = run_batch_size(batch, 1);
+        if batch > total && batch != 1 {
+            continue;
+        }
+        let (tps, lat) = run_batch_size(total, batch, 1);
         t.row(&[batch.to_string(), f1(tps), f2(lat)]);
     }
     t.print();
@@ -61,7 +65,10 @@ fn main() {
         println!("A2: firing-threshold sweep (arrivals in batches of 8)");
         let mut t = Table::new(&["threshold", "tuples/s", "us/firing"]);
         for threshold in [1usize, 8, 64, 512, 4096] {
-            let (tps, lat) = run_batch_size(8, threshold);
+            if threshold > total && threshold != 1 {
+                continue;
+            }
+            let (tps, lat) = run_batch_size(total, 8, threshold);
             t.row(&[threshold.to_string(), f1(tps), f2(lat)]);
         }
         t.print();

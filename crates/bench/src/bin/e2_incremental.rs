@@ -46,7 +46,8 @@ fn run(size: usize, slide: usize, mode: ExecutionMode, cache: bool) -> (f64, u64
 }
 
 fn main() {
-    let no_cache = std::env::args().any(|a| a == "--no-cache");
+    let events = datacell_bench::cli::events(262_144);
+    let no_cache = datacell_bench::cli::has_flag("--no-cache");
 
     println!("E2: sliding-window aggregation, incremental vs full re-evaluation");
     println!("query: COUNT/SUM/AVG/MIN/MAX over [ROWS w SLIDE w/16]\n");
@@ -55,8 +56,8 @@ fn main() {
         "window", "slide", "reeval us/slide", "incr us/slide", "speedup",
         "reeval touched", "incr touched",
     ]);
-    for size in [1024usize, 4096, 16_384, 65_536, 262_144] {
-        let slide = size / 16;
+    for size in datacell_bench::cli::scaled_windows(events, &[1024, 4096, 16_384, 65_536, 262_144]) {
+        let slide = (size / 16).max(1);
         let (re_us, re_touched) = run(size, slide, ExecutionMode::Reevaluate, true);
         let (inc_us, inc_touched) = run(size, slide, ExecutionMode::Incremental, true);
         t.row(&[
@@ -77,8 +78,8 @@ fn main() {
     if no_cache {
         println!("A1: incremental with partial caching disabled (recompute every basic window)");
         let mut t = Table::new(&["window", "incr cached us", "incr no-cache us", "touched no-cache"]);
-        for size in [4096usize, 16_384, 65_536] {
-            let slide = size / 16;
+        for size in datacell_bench::cli::scaled_windows(events, &[4096, 16_384, 65_536]) {
+            let slide = (size / 16).max(1);
             let (cached_us, _) = run(size, slide, ExecutionMode::Incremental, true);
             let (nocache_us, touched) = run(size, slide, ExecutionMode::Incremental, false);
             t.row(&[

@@ -35,13 +35,14 @@ fn run(size: usize, slide: usize, mode: ExecutionMode) -> f64 {
 }
 
 fn main() {
+    let events = datacell_bench::cli::events(32_768);
     println!("E3: window/slide sweep, grouped aggregation [ROWS w SLIDE s] GROUP BY sensor\n");
     let mut t = Table::new(&[
         "window", "slide", "overlap", "reeval us/slide", "incr us/slide", "speedup",
     ]);
-    for &size in &[4096usize, 32_768] {
+    for size in datacell_bench::cli::scaled_windows(events, &[4096, 32_768]) {
         for &denom in &[64usize, 16, 4, 1] {
-            let slide = size / denom;
+            let slide = (size / denom).max(1);
             let re = run(size, slide, ExecutionMode::Reevaluate);
             let inc = run(size, slide, ExecutionMode::Incremental);
             t.row(&[

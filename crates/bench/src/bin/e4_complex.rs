@@ -14,8 +14,7 @@ use datacell_core::{DataCell, ExecutionMode};
 use datacell_storage::{Row, Value};
 use datacell_workload::{SensorConfig, SensorStream};
 
-const WINDOW: usize = 8192;
-const SLIDE: usize = WINDOW / 16;
+const FULL_WINDOW: usize = 8192;
 const SLIDES_MEASURED: usize = 12;
 
 fn setup(cell: &mut DataCell) {
@@ -46,7 +45,7 @@ fn alert_rows(gen: &mut SensorStream, n: usize) -> Vec<Row> {
         .collect()
 }
 
-fn run(sql: &str, mode: ExecutionMode, two_streams: bool) -> f64 {
+fn run(sql: &str, mode: ExecutionMode, two_streams: bool, window: usize, slide: usize) -> f64 {
     let mut cell = DataCell::default();
     setup(&mut cell);
     let q = cell.register_query_with_mode(sql, mode).unwrap();
@@ -61,13 +60,13 @@ fn run(sql: &str, mode: ExecutionMode, two_streams: bool) -> f64 {
         }
     };
 
-    feed(&mut cell, WINDOW, &mut gen, &mut gen2);
+    feed(&mut cell, window, &mut gen, &mut gen2);
     cell.run_until_idle().unwrap();
     let _ = cell.take_results(q);
 
     let mut samples = Vec::with_capacity(SLIDES_MEASURED);
     for _ in 0..SLIDES_MEASURED {
-        feed(&mut cell, SLIDE, &mut gen, &mut gen2);
+        feed(&mut cell, slide, &mut gen, &mut gen2);
         let start = std::time::Instant::now();
         cell.run_until_idle().unwrap();
         samples.push(start.elapsed().as_secs_f64() * 1e6);
@@ -77,22 +76,25 @@ fn run(sql: &str, mode: ExecutionMode, two_streams: bool) -> f64 {
 }
 
 fn main() {
+    let events = datacell_bench::cli::events(FULL_WINDOW * 2);
+    let window = datacell_bench::cli::scaled_window(events, FULL_WINDOW);
+    let slide = (window / 16).max(1);
     println!(
-        "E4: query complexity under sliding windows [ROWS {WINDOW} SLIDE {SLIDE}], both modes\n"
+        "E4: query complexity under sliding windows [ROWS {window} SLIDE {slide}], both modes\n"
     );
     let spa = format!(
-        "SELECT sensor, AVG(temp) FROM sensors [ROWS {WINDOW} SLIDE {SLIDE}] \
+        "SELECT sensor, AVG(temp) FROM sensors [ROWS {window} SLIDE {slide}] \
          WHERE temp > 18.0 GROUP BY sensor"
     );
     let st_join = format!(
         "SELECT dim.zone, AVG(sensors.temp), COUNT(*) \
-         FROM sensors [ROWS {WINDOW} SLIDE {SLIDE}] JOIN dim ON sensors.sensor = dim.sensor \
+         FROM sensors [ROWS {window} SLIDE {slide}] JOIN dim ON sensors.sensor = dim.sensor \
          GROUP BY dim.zone"
     );
     let ss_join = format!(
         "SELECT COUNT(*), AVG(sensors.temp) \
-         FROM sensors [ROWS {WINDOW} SLIDE {SLIDE}] \
-         JOIN alerts [ROWS {WINDOW} SLIDE {SLIDE}] ON sensors.sensor = alerts.sensor \
+         FROM sensors [ROWS {window} SLIDE {slide}] \
+         JOIN alerts [ROWS {window} SLIDE {slide}] ON sensors.sensor = alerts.sensor \
          WHERE alerts.level >= 3"
     );
 
@@ -102,8 +104,8 @@ fn main() {
         ("stream JOIN table", st_join.as_str(), false),
         ("stream JOIN stream", ss_join.as_str(), true),
     ] {
-        let re = run(sql, ExecutionMode::Reevaluate, two);
-        let inc = run(sql, ExecutionMode::Incremental, two);
+        let re = run(sql, ExecutionMode::Reevaluate, two, window, slide);
+        let inc = run(sql, ExecutionMode::Incremental, two, window, slide);
         t.row(&[
             label.to_string(),
             f1(re),

@@ -15,11 +15,13 @@ use datacell_core::{DataCell, ExecOutcome, ExecutionMode};
 use datacell_storage::Value;
 use datacell_workload::{SensorConfig, SensorStream};
 
-const WINDOW: usize = 8192;
-const SLIDE: usize = 512;
+const FULL_WINDOW: usize = 8192;
 const SLIDES_MEASURED: usize = 12;
 
 fn main() {
+    let events = datacell_bench::cli::events(FULL_WINDOW * 2);
+    let window = datacell_bench::cli::scaled_window(events, FULL_WINDOW);
+    let slide = (window / 16).max(1);
     let mut cell = DataCell::default();
     cell.execute(&SensorStream::create_stream_sql("sensors")).unwrap();
     cell.execute("CREATE TABLE dim (sensor BIGINT, zone BIGINT)").unwrap();
@@ -31,7 +33,7 @@ fn main() {
     // factories is exactly the dimension-table probe.
     let pure = cell
         .register_query_with_mode(
-            &format!("SELECT sensor, AVG(temp) FROM sensors [ROWS {WINDOW} SLIDE {SLIDE}] GROUP BY sensor"),
+            &format!("SELECT sensor, AVG(temp) FROM sensors [ROWS {window} SLIDE {slide}] GROUP BY sensor"),
             ExecutionMode::Incremental,
         )
         .unwrap();
@@ -39,7 +41,7 @@ fn main() {
         .register_query_with_mode(
             &format!(
                 "SELECT sensors.sensor, AVG(sensors.temp), MAX(dim.zone) \
-                 FROM sensors [ROWS {WINDOW} SLIDE {SLIDE}] \
+                 FROM sensors [ROWS {window} SLIDE {slide}] \
                  JOIN dim ON sensors.sensor = dim.sensor GROUP BY sensors.sensor"
             ),
             ExecutionMode::Incremental,
@@ -47,7 +49,7 @@ fn main() {
         .unwrap();
 
     let mut gen = SensorStream::new(SensorConfig { sensors: 100, ..Default::default() });
-    cell.push_rows("sensors", &gen.take_rows(WINDOW)).unwrap();
+    cell.push_rows("sensors", &gen.take_rows(window)).unwrap();
     cell.run_until_idle().unwrap();
 
     // Steady-state continuous work + interleaved one-time queries.
@@ -55,7 +57,7 @@ fn main() {
     let mut onetime_table_us = Vec::new();
     let mut onetime_basket_us = Vec::new();
     for i in 0..SLIDES_MEASURED {
-        cell.push_rows("sensors", &gen.take_rows(SLIDE)).unwrap();
+        cell.push_rows("sensors", &gen.take_rows(slide)).unwrap();
         let start = std::time::Instant::now();
         cell.run_until_idle().unwrap();
         slide_us.push(start.elapsed().as_secs_f64() * 1e6);

@@ -11,9 +11,11 @@ use datacell_core::{DataCell, ExecutionMode};
 use datacell_workload::{SensorConfig, SensorStream};
 
 const TUPLES: usize = 60_000;
-const BATCH: usize = 2000;
 
-fn run(nqueries: usize) -> (f64, f64, f64) {
+fn run(tuples: usize, nqueries: usize) -> (f64, f64, f64) {
+    let window = datacell_bench::cli::scaled_window(tuples, 2048);
+    let slide = (window / 4).max(1);
+    let batch = (tuples / 30).clamp(1, 2000);
     let mut cell = DataCell::default();
     cell.execute(&SensorStream::create_stream_sql("sensors")).unwrap();
     let mut qids = Vec::new();
@@ -23,7 +25,7 @@ fn run(nqueries: usize) -> (f64, f64, f64) {
         // metric (firing-count balance) is meaningful.
         let threshold = 14.0 + (i % 12) as f64;
         let sql = format!(
-            "SELECT sensor, COUNT(*), AVG(temp) FROM sensors [ROWS 2048 SLIDE 512] \
+            "SELECT sensor, COUNT(*), AVG(temp) FROM sensors [ROWS {window} SLIDE {slide}] \
              WHERE temp > {threshold:.1} GROUP BY sensor"
         );
         qids.push(cell.register_query_with_mode(&sql, ExecutionMode::Incremental).unwrap());
@@ -31,10 +33,10 @@ fn run(nqueries: usize) -> (f64, f64, f64) {
     let mut gen = SensorStream::new(SensorConfig { sensors: 32, ..Default::default() });
     let start = std::time::Instant::now();
     let mut fed = 0usize;
-    while fed < TUPLES {
-        cell.push_rows("sensors", &gen.take_rows(BATCH)).unwrap();
+    while fed < tuples {
+        cell.push_rows("sensors", &gen.take_rows(batch)).unwrap();
         cell.run_until_idle().unwrap();
-        fed += BATCH;
+        fed += batch;
         for q in &qids {
             let _ = cell.take_results(*q);
         }
@@ -51,16 +53,17 @@ fn run(nqueries: usize) -> (f64, f64, f64) {
         .map(|q| q.busy.as_secs_f64() * 1e6 / q.firings.max(1) as f64)
         .sum::<f64>()
         / stats.queries.len().max(1) as f64;
-    (TUPLES as f64 / elapsed, busy_us, fairness)
+    (tuples as f64 / elapsed, busy_us, fairness)
 }
 
 fn main() {
-    println!("E6: standing-query scaling over one shared stream ({TUPLES} tuples)\n");
+    let tuples = datacell_bench::cli::events(TUPLES);
+    println!("E6: standing-query scaling over one shared stream ({tuples} tuples)\n");
     let mut t = Table::new(&[
         "queries", "stream tuples/s", "avg us/firing", "fairness(min/max firings)",
     ]);
     for n in [1usize, 4, 16, 64, 256] {
-        let (tps, lat, fair) = run(n);
+        let (tps, lat, fair) = run(tuples, n);
         t.row(&[n.to_string(), f1(tps), f1(lat), format!("{fair:.2}")]);
     }
     t.print();

@@ -16,54 +16,72 @@ use datacell_core::{DataCell, ExecutionMode};
 use datacell_workload::{SensorConfig, SensorStream};
 
 const TUPLES: usize = 120_000;
-const BATCH: usize = 4000;
-const QUERY: &str = "SELECT sensor, COUNT(*), AVG(temp), MAX(temp) \
-                     FROM sensors [ROWS 8192 SLIDE 2048] WHERE temp > 16.0 GROUP BY sensor";
 
-fn feed(gen: &mut SensorStream) -> Vec<Vec<datacell_storage::Value>> {
-    gen.take_rows(BATCH)
+/// Workload scaled by `--events`: tuple budget, batch size, windowed query.
+struct Load {
+    tuples: usize,
+    batch: usize,
+    query: String,
 }
 
-fn run_datacell(mode: ExecutionMode) -> f64 {
+impl Load {
+    fn from_args() -> Self {
+        let tuples = datacell_bench::cli::events(TUPLES);
+        let batch = (tuples / 30).clamp(1, 4000);
+        let window = datacell_bench::cli::scaled_window(tuples, 8192);
+        let slide = (window / 4).max(1);
+        let query = format!(
+            "SELECT sensor, COUNT(*), AVG(temp), MAX(temp) \
+             FROM sensors [ROWS {window} SLIDE {slide}] WHERE temp > 16.0 GROUP BY sensor"
+        );
+        Load { tuples, batch, query }
+    }
+}
+
+fn run_datacell(load: &Load, mode: ExecutionMode) -> f64 {
     let mut cell = DataCell::default();
     cell.execute(&SensorStream::create_stream_sql("sensors")).unwrap();
-    let q = cell.register_query_with_mode(QUERY, mode).unwrap();
+    let q = cell.register_query_with_mode(&load.query, mode).unwrap();
     let mut gen = SensorStream::new(SensorConfig::default());
     let start = std::time::Instant::now();
     let mut fed = 0;
-    while fed < TUPLES {
-        let rows = feed(&mut gen);
+    while fed < load.tuples {
+        let rows = gen.take_rows(load.batch);
         cell.push_rows("sensors", &rows).unwrap();
         cell.run_until_idle().unwrap();
         let _ = cell.take_results(q);
-        fed += BATCH;
+        fed += load.batch;
     }
-    TUPLES as f64 / start.elapsed().as_secs_f64()
+    load.tuples as f64 / start.elapsed().as_secs_f64()
 }
 
-fn run_volcano() -> f64 {
+fn run_volcano(load: &Load) -> f64 {
     let mut engine = VolcanoEngine::new();
     engine.execute(&SensorStream::create_stream_sql("sensors")).unwrap();
-    let q = engine.register_query(QUERY).unwrap();
+    let q = engine.register_query(&load.query).unwrap();
     let mut gen = SensorStream::new(SensorConfig::default());
     let start = std::time::Instant::now();
     let mut fed = 0;
-    while fed < TUPLES {
-        let rows = feed(&mut gen);
+    while fed < load.tuples {
+        let rows = gen.take_rows(load.batch);
         engine.push_rows("sensors", &rows).unwrap();
         engine.run_until_idle().unwrap();
         let _ = engine.take_results(q);
-        fed += BATCH;
+        fed += load.batch;
     }
-    TUPLES as f64 / start.elapsed().as_secs_f64()
+    load.tuples as f64 / start.elapsed().as_secs_f64()
 }
 
 fn main() {
-    println!("E8a: execution model — {TUPLES} tuples, sliding grouped aggregate\nquery: {QUERY}\n");
+    let load = Load::from_args();
+    println!(
+        "E8a: execution model — {} tuples, sliding grouped aggregate\nquery: {}\n",
+        load.tuples, load.query
+    );
     let mut t = Table::new(&["engine", "tuples/s", "vs volcano"]);
-    let volcano = run_volcano();
-    let reeval = run_datacell(ExecutionMode::Reevaluate);
-    let incr = run_datacell(ExecutionMode::Incremental);
+    let volcano = run_volcano(&load);
+    let reeval = run_datacell(&load, ExecutionMode::Reevaluate);
+    let incr = run_datacell(&load, ExecutionMode::Incremental);
     t.row(&["volcano tuple-at-a-time".into(), f1(volcano), "1.0x".into()]);
     t.row(&[
         "DataCell bulk (re-evaluation)".into(),
@@ -104,9 +122,9 @@ fn main() {
     ]);
     let mut stored = 0usize;
     for step in 1..=10 {
-        let rows_a = gen_a.take_rows(BATCH);
-        let rows_b = gen_b.take_rows(BATCH);
-        stored += BATCH;
+        let rows_a = gen_a.take_rows(load.batch);
+        let rows_b = gen_b.take_rows(load.batch);
+        stored += load.batch;
         store.push_rows("sensors", &rows_a).unwrap();
         let (_, sf_us) = datacell_bench::time_once(|| store.evaluate(sq).unwrap());
         cell.push_rows("sensors", &rows_b).unwrap();

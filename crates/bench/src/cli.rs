@@ -1,0 +1,107 @@
+//! Minimal argument handling shared by the e1–e8 experiment binaries.
+//!
+//! Every binary accepts `--events N` (or `--events=N`) to scale its
+//! workload down from the paper-sized default — CI smoke tests run them
+//! with `--events 100` so a full experiment sweep stays out of the test
+//! path — plus per-binary flags checked with [`has_flag`].
+
+/// Parsed `--events N` / `--events=N`, or `default` when absent.
+///
+/// Panics with a usage message on a malformed value, so a typo fails
+/// loudly instead of silently running the full-size experiment.
+pub fn events(default: usize) -> usize {
+    events_from(std::env::args().skip(1), default)
+}
+
+/// `true` when `name` (e.g. `"--sweep-threshold"`) is among the args.
+pub fn has_flag(name: &str) -> bool {
+    std::env::args().skip(1).any(|a| a == name)
+}
+
+fn events_from(args: impl Iterator<Item = String>, default: usize) -> usize {
+    let mut args = args;
+    while let Some(arg) = args.next() {
+        let value = if arg == "--events" {
+            args.next()
+        } else if let Some(v) = arg.strip_prefix("--events=") {
+            Some(v.to_string())
+        } else {
+            continue;
+        };
+        let value = value.unwrap_or_else(|| panic!("--events requires a value"));
+        let parsed: usize = value
+            .parse()
+            .unwrap_or_else(|_| panic!("--events: expected a positive integer, got {value:?}"));
+        // 0 is rejected rather than parsed: several binaries use 0 internally
+        // as the "flag absent" sentinel (e7 would silently run full scale).
+        if parsed == 0 {
+            panic!("--events: expected a positive integer, got {value:?}");
+        }
+        return parsed;
+    }
+    default
+}
+
+/// Clamp an experiment's window size to what `events` can fill, with a
+/// small floor so tiny smoke runs still exercise real windows.
+pub fn scaled_window(events: usize, full: usize) -> usize {
+    full.min((events / 2).max(16))
+}
+
+/// The subset of `full_sizes` that `events` can fill; when none fits,
+/// one window scaled down from the smallest full size.
+pub fn scaled_windows(events: usize, full_sizes: &[usize]) -> Vec<usize> {
+    let fitting: Vec<usize> = full_sizes.iter().copied().filter(|&s| s <= events).collect();
+    if fitting.is_empty() {
+        vec![scaled_window(events, full_sizes[0])]
+    } else {
+        fitting
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str], default: usize) -> usize {
+        events_from(args.iter().map(|s| s.to_string()), default)
+    }
+
+    #[test]
+    fn default_when_absent() {
+        assert_eq!(parse(&[], 500), 500);
+        assert_eq!(parse(&["--other"], 500), 500);
+    }
+
+    #[test]
+    fn space_and_equals_forms() {
+        assert_eq!(parse(&["--events", "100"], 500), 100);
+        assert_eq!(parse(&["--events=250"], 500), 250);
+        assert_eq!(parse(&["--flag", "--events", "7"], 500), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive integer")]
+    fn malformed_value_panics() {
+        parse(&["--events", "lots"], 500);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive integer")]
+    fn zero_rejected() {
+        parse(&["--events", "0"], 500);
+    }
+
+    #[test]
+    fn window_scaling() {
+        assert_eq!(scaled_window(100, 8192), 50);
+        assert_eq!(scaled_window(10, 8192), 16);
+        assert_eq!(scaled_window(1_000_000, 8192), 8192);
+    }
+
+    #[test]
+    fn window_list_scaling() {
+        assert_eq!(scaled_windows(5000, &[1024, 4096, 16_384]), vec![1024, 4096]);
+        assert_eq!(scaled_windows(100, &[1024, 4096]), vec![50]);
+    }
+}

@@ -7,6 +7,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cli;
 pub mod report;
 
 pub use report::{median_micros, time_once, Table};

@@ -1,0 +1,48 @@
+//! Smoke tests for the eight experiment binaries: each must parse its
+//! arguments and complete a tiny (`--events 100`) workload without
+//! panicking. This keeps the full paper-sized sweeps out of the test path
+//! while still compiling and exercising every binary end to end.
+
+use std::process::Command;
+
+fn run_bin(exe: &str, args: &[&str]) {
+    let out = Command::new(exe)
+        .args(args)
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn {exe}: {e}"));
+    assert!(
+        out.status.success(),
+        "{exe} {args:?} exited with {:?}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+    assert!(
+        !out.stdout.is_empty(),
+        "{exe} printed nothing — the experiment report is its whole point"
+    );
+}
+
+macro_rules! smoke {
+    ($test:ident, $bin:literal $(, $extra:literal)*) => {
+        #[test]
+        fn $test() {
+            run_bin(env!(concat!("CARGO_BIN_EXE_", $bin)), &["--events", "100" $(, $extra)*]);
+        }
+    };
+}
+
+smoke!(e1_reeval_smoke, "e1_reeval", "--sweep-threshold");
+smoke!(e2_incremental_smoke, "e2_incremental", "--no-cache");
+smoke!(e3_window_sweep_smoke, "e3_window_sweep");
+smoke!(e4_complex_smoke, "e4_complex");
+smoke!(e5_hybrid_smoke, "e5_hybrid");
+smoke!(e6_multiquery_smoke, "e6_multiquery");
+smoke!(e7_linear_road_smoke, "e7_linear_road");
+smoke!(e8_baselines_smoke, "e8_baselines");
+
+/// The `--events=N` form must parse identically to the two-token form.
+#[test]
+fn equals_form_accepted() {
+    run_bin(env!("CARGO_BIN_EXE_e1_reeval"), &["--events=64"]);
+}

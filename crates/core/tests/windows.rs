@@ -90,7 +90,7 @@ fn tumbling_window_fires_per_window() {
     let out = cell.take_results(q).unwrap();
     // two complete windows of 4; the remaining 2 tuples wait
     assert_eq!(out.len(), 2);
-    assert_eq!(out[0].row(0), vec![Value::Int((0 + 1 + 2 + 3) * 10)]);
+    assert_eq!(out[0].row(0), vec![Value::Int((1 + 2 + 3) * 10)]);
     assert_eq!(out[1].row(0), vec![Value::Int((4 + 5 + 6 + 7) * 10)]);
 }
 

@@ -386,6 +386,9 @@ impl<'a> Binder<'a> {
 
         // Rewrite post-aggregate expressions (projection, HAVING, ORDER BY)
         // over the aggregate output schema [group keys..., agg slots...].
+        /// Maps an aggregate call (function + argument) to its output slot.
+        type SlotOf<'a> = dyn FnMut(AggFunc, &Option<Box<Expr>>) -> Result<usize> + 'a;
+
         struct Rewriter<'b, 'c> {
             binder: &'b Binder<'c>,
             ns: &'b Namespace,
@@ -395,7 +398,7 @@ impl<'a> Binder<'a> {
             fn rewrite(
                 &self,
                 expr: &Expr,
-                slot_of: &mut dyn FnMut(AggFunc, &Option<Box<Expr>>) -> Result<usize>,
+                slot_of: &mut SlotOf<'_>,
                 group_len: usize,
             ) -> Result<BoundExpr> {
                 // A whole sub-expression equal to a group key becomes a key ref.

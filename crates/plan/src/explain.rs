@@ -23,7 +23,7 @@ fn render(plan: &LogicalPlan, depth: usize, out: &mut String) {
         LogicalPlan::Scan(s) => {
             let kind = if s.is_stream { "StreamScan" } else { "TableScan" };
             out.push_str(&format!("{kind} {}", s.object));
-            if s.binding.to_ascii_lowercase() != s.object.to_ascii_lowercase() {
+            if !s.binding.eq_ignore_ascii_case(&s.object) {
                 out.push_str(&format!(" AS {}", s.binding));
             }
             if let Some(w) = &s.window {

@@ -49,6 +49,9 @@ pub struct StreamInput {
 }
 
 /// Incremental strategy chosen for a continuous plan.
+// One instance per registered query; the size gap between the variants
+// doesn't matter and boxing would complicate every factory match.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum IncrementalPlan {
     /// Single windowed stream → (scalar pipeline) → Aggregate → post.

@@ -167,7 +167,7 @@ impl Bat {
         self.data.append(&other.data)?;
         match (&mut self.validity, &other.validity) {
             (Some(a), Some(b)) => a.extend_from_slice(b),
-            (Some(a), None) => a.extend(std::iter::repeat(true).take(other.len())),
+            (Some(a), None) => a.extend(std::iter::repeat_n(true, other.len())),
             (None, Some(b)) => {
                 let mut v = vec![true; old_len];
                 v.extend_from_slice(b);

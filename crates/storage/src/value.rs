@@ -47,17 +47,17 @@ impl Value {
     /// Whether this value can be stored in a column of type `ty`
     /// (NULL fits everywhere; Int coerces into Float and Timestamp).
     pub fn fits(&self, ty: DataType) -> bool {
-        match (self, ty) {
-            (Value::Null, _) => true,
-            (Value::Bool(_), DataType::Bool) => true,
-            (Value::Int(_), DataType::Int) => true,
-            (Value::Int(_), DataType::Float) => true,
-            (Value::Int(_), DataType::Timestamp) => true,
-            (Value::Float(_), DataType::Float) => true,
-            (Value::Str(_), DataType::Str) => true,
-            (Value::Timestamp(_), DataType::Timestamp) => true,
-            _ => false,
-        }
+        matches!(
+            (self, ty),
+            (Value::Null, _)
+                | (Value::Bool(_), DataType::Bool)
+                | (Value::Int(_), DataType::Int)
+                | (Value::Int(_), DataType::Float)
+                | (Value::Int(_), DataType::Timestamp)
+                | (Value::Float(_), DataType::Float)
+                | (Value::Str(_), DataType::Str)
+                | (Value::Timestamp(_), DataType::Timestamp)
+        )
     }
 
     /// Coerce this value to exactly `ty`, applying the implicit casts

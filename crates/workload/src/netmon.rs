@@ -92,7 +92,7 @@ impl NetmonStream {
             self.rng.gen_range(1..65_536)
         } else {
             *[80i64, 443, 22, 53, 8080]
-                .get(self.rng.gen_range(0..5))
+                .get(self.rng.gen_range(0..5usize))
                 .expect("constant table")
         };
         let proto = if port == 53 { 17 } else { 6 };
