@@ -1,0 +1,90 @@
+//! Criterion companion to E9: steady-state cost of draining one ingest
+//! round across independent basket-partitions, serial vs worker pool.
+//!
+//! Eight streams each feed two standing queries (16 partitionable
+//! factories); per iteration we push one slide of tuples to every stream
+//! and run the scheduler to quiescence. With `workers = 1` partitions fire
+//! round-robin on the caller's thread; with `workers = 4` they fan out over
+//! the pool — on a multicore host the parallel variant's per-round time
+//! drops roughly with the worker count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datacell_core::{DataCell, DataCellConfig, ExecutionMode};
+use datacell_workload::{SensorConfig, SensorStream};
+
+const STREAMS: usize = 8;
+const WINDOW: usize = 2048;
+const SLIDE: usize = 512;
+
+struct Rig {
+    cell: DataCell,
+    gens: Vec<SensorStream>,
+    qids: Vec<u64>,
+}
+
+fn rig(workers: usize) -> Rig {
+    let mut cell = DataCell::new(DataCellConfig { workers, ..Default::default() });
+    let mut qids = Vec::new();
+    for s in 0..STREAMS {
+        cell.execute(&SensorStream::create_stream_sql(&format!("sensors{s}"))).unwrap();
+        for threshold in [16.0, 21.0] {
+            let sql = format!(
+                "SELECT sensor, SUM(temp), COUNT(*) FROM sensors{s} \
+                 [ROWS {WINDOW} SLIDE {SLIDE}] WHERE temp > {threshold:.1} GROUP BY sensor"
+            );
+            qids.push(
+                cell.register_query_with_mode(&sql, ExecutionMode::Incremental).unwrap(),
+            );
+        }
+    }
+    let mut gens: Vec<SensorStream> = (0..STREAMS)
+        .map(|s| {
+            SensorStream::new(SensorConfig {
+                sensors: 64,
+                seed: 7 + s as u64,
+                ..Default::default()
+            })
+        })
+        .collect();
+    // Fill the first full window everywhere so iterations measure the
+    // steady state.
+    for (s, gen) in gens.iter_mut().enumerate() {
+        cell.push_rows(&format!("sensors{s}"), &gen.take_rows(WINDOW)).unwrap();
+    }
+    cell.run_until_idle().unwrap();
+    for q in &qids {
+        let _ = cell.take_results(*q);
+    }
+    Rig { cell, gens, qids }
+}
+
+fn bench_executor_widths(c: &mut Criterion) {
+    let mut g = c.benchmark_group("partition_round");
+    for workers in [1usize, 4] {
+        let mut r = rig(workers);
+        g.bench_with_input(
+            BenchmarkId::new("workers", workers),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    for s in 0..STREAMS {
+                        let rows = r.gens[s].take_rows(SLIDE);
+                        r.cell.push_rows(&format!("sensors{s}"), &rows).unwrap();
+                    }
+                    r.cell.run_until_idle().unwrap();
+                    for q in &r.qids {
+                        r.cell.take_results(*q).unwrap();
+                    }
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = parallel;
+    config = Criterion::default().sample_size(20);
+    targets = bench_executor_widths
+);
+criterion_main!(parallel);

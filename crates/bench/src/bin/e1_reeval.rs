@@ -6,7 +6,7 @@
 //! throughput and per-firing latency; `--sweep-threshold` additionally
 //! sweeps the scheduler's firing threshold (ablation A2 in DESIGN.md).
 
-use datacell_bench::report::{f1, f2, Table};
+use datacell_bench::report::{f1, f2, snapshot, Table};
 use datacell_core::{DataCell, DataCellConfig};
 use datacell_workload::{SensorConfig, SensorStream};
 
@@ -51,14 +51,17 @@ fn main() {
     println!("query: SELECT sensor, COUNT(*), AVG(temp) FROM sensors WHERE temp > 18 GROUP BY sensor\n");
 
     let mut t = Table::new(&["batch", "tuples/s", "us/firing"]);
+    let mut best = 0.0f64;
     for batch in [1usize, 8, 64, 512, 4096, 32_768] {
         if batch > total && batch != 1 {
             continue;
         }
         let (tps, lat) = run_batch_size(total, batch, 1);
+        best = best.max(tps);
         t.row(&[batch.to_string(), f1(tps), f2(lat)]);
     }
     t.print();
+    snapshot("e1_reeval_best", best);
     println!("\nshape check: throughput rises with batch size (bulk processing\namortizes per-firing scheduling), latency per firing grows with batch.\n");
 
     if sweep_threshold {

@@ -6,7 +6,7 @@
 //! over one shared stream and report network throughput, per-query firing
 //! latency and scheduler fairness.
 
-use datacell_bench::report::{f1, Table};
+use datacell_bench::report::{f1, snapshot, Table};
 use datacell_core::{DataCell, ExecutionMode};
 use datacell_workload::{SensorConfig, SensorStream};
 
@@ -62,11 +62,16 @@ fn main() {
     let mut t = Table::new(&[
         "queries", "stream tuples/s", "avg us/firing", "fairness(min/max firings)",
     ]);
+    let mut tps16 = 0.0;
     for n in [1usize, 4, 16, 64, 256] {
         let (tps, lat, fair) = run(tuples, n);
+        if n == 16 {
+            tps16 = tps;
+        }
         t.row(&[n.to_string(), f1(tps), f1(lat), format!("{fair:.2}")]);
     }
     t.print();
+    snapshot("e6_multiquery_q16", tps16);
     println!(
         "\nshape check: ingest throughput decays roughly as 1/N (every tuple\nfeeds N factories) while per-query firing cost stays flat and the\nround-robin Petri-net scheduler keeps firing counts balanced (≈1.0)."
     );

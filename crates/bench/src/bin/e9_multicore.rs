@@ -1,0 +1,123 @@
+//! E9 — multicore scaling of the partition-aware executor.
+//!
+//! The e6 multi-query workload, spread over independent streams so the
+//! query network decomposes into several basket-partitions: each stream
+//! feeds its own group of standing queries, so partitions share no baskets
+//! and the scheduler's worker pool can fire them concurrently. We sweep the
+//! `workers` knob, report ingest throughput and speedup over serial, and —
+//! because parallelism must never change results — checksum every query's
+//! output and fail loudly if any worker count diverges.
+
+use datacell_bench::report::{f1, snapshot, Table};
+use datacell_core::{DataCell, DataCellConfig, ExecutionMode};
+use datacell_workload::{SensorConfig, SensorStream};
+
+const TUPLES: usize = 120_000;
+const STREAMS: usize = 8;
+const QUERIES: usize = 16;
+
+/// FNV-1a over every result row of every query, drained in query-id order.
+fn fold_results(cell: &mut DataCell, qids: &[u64], checksum: &mut u64) {
+    for q in qids {
+        for chunk in cell.take_results(*q).unwrap() {
+            for row in chunk.rows() {
+                for value in &row {
+                    for b in value.to_string().as_bytes() {
+                        *checksum ^= u64::from(*b);
+                        *checksum = checksum.wrapping_mul(0x100000001b3);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Run the full workload at one worker count. Returns
+/// `(tuples/s, result checksum, partitions)`.
+fn run(tuples: usize, workers: usize) -> (f64, u64, usize) {
+    let per_stream = tuples / STREAMS;
+    let window = datacell_bench::cli::scaled_window(per_stream, 1024);
+    let slide = (window / 4).max(1);
+    let mut cell = DataCell::new(DataCellConfig { workers, ..Default::default() });
+    for s in 0..STREAMS {
+        cell.execute(&SensorStream::create_stream_sql(&format!("sensors{s}"))).unwrap();
+    }
+    let mut qids = Vec::new();
+    for i in 0..QUERIES {
+        // Same varied query mix as e6 (distinct selection thresholds), but
+        // distributed round-robin over the streams: queries on different
+        // streams land in different partitions.
+        let threshold = 14.0 + (i % 12) as f64;
+        let sql = format!(
+            "SELECT sensor, COUNT(*), AVG(temp) FROM sensors{} [ROWS {window} SLIDE {slide}] \
+             WHERE temp > {threshold:.1} GROUP BY sensor",
+            i % STREAMS
+        );
+        qids.push(cell.register_query_with_mode(&sql, ExecutionMode::Incremental).unwrap());
+    }
+    let mut gens: Vec<SensorStream> = (0..STREAMS)
+        .map(|s| {
+            SensorStream::new(SensorConfig {
+                sensors: 32,
+                seed: 42 + s as u64,
+                ..Default::default()
+            })
+        })
+        .collect();
+    let batch = (per_stream / 30).clamp(1, 2000);
+    let mut checksum: u64 = 0xcbf29ce484222325;
+    let mut fed = 0usize;
+    let start = std::time::Instant::now();
+    while fed < tuples {
+        for (s, gen) in gens.iter_mut().enumerate() {
+            cell.push_rows(&format!("sensors{s}"), &gen.take_rows(batch)).unwrap();
+        }
+        fed += batch * STREAMS;
+        cell.run_until_idle().unwrap();
+        fold_results(&mut cell, &qids, &mut checksum);
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let partitions = cell.stats().partitions;
+    (fed as f64 / elapsed, checksum, partitions)
+}
+
+fn main() {
+    let tuples = datacell_bench::cli::events(TUPLES);
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    println!(
+        "E9: multicore executor scaling — {QUERIES} standing queries over \
+         {STREAMS} independent streams ({tuples} tuples, {cores} cores available)\n"
+    );
+    let mut t = Table::new(&["workers", "stream tuples/s", "speedup vs serial", "partitions"]);
+    let mut results = Vec::new();
+    for workers in [1usize, 2, 4] {
+        results.push((workers, run(tuples, workers)));
+    }
+    let serial_tps = results[0].1 .0;
+    for (workers, (tps, _, partitions)) in &results {
+        t.row(&[
+            workers.to_string(),
+            f1(*tps),
+            format!("{:.2}x", tps / serial_tps),
+            partitions.to_string(),
+        ]);
+    }
+    t.print();
+
+    let serial_sum = results[0].1 .1;
+    if results.iter().any(|(_, (_, sum, _))| *sum != serial_sum) {
+        eprintln!("FAIL: result checksums diverged across worker counts: {results:?}");
+        std::process::exit(1);
+    }
+    println!(
+        "\ndeterminism: ok (checksum {serial_sum:016x} identical across worker counts)"
+    );
+    println!(
+        "\nshape check: independent basket-partitions fire concurrently, so on a\n\
+         multicore host throughput scales with workers until partitions (or\n\
+         cores) run out; per-query results are bit-identical at every width."
+    );
+    snapshot("e9_multicore_w1", serial_tps);
+    let best = results.iter().map(|(_, (tps, _, _))| *tps).fold(serial_tps, f64::max);
+    snapshot("e9_multicore_best", best);
+}

@@ -1,4 +1,4 @@
-//! Minimal argument handling shared by the e1–e8 experiment binaries.
+//! Minimal argument handling shared by the e1–e9 experiment binaries.
 //!
 //! Every binary accepts `--events N` (or `--events=N`) to scale its
 //! workload down from the paper-sized default — CI smoke tests run them

@@ -81,6 +81,13 @@ impl Table {
     }
 }
 
+/// Emit a machine-readable snapshot line (`SNAPSHOT {json}`) that
+/// `scripts/bench_snapshot.sh` collects into `BENCH_PR<n>.json`, giving the
+/// perf trajectory one comparable events/sec data point per experiment.
+pub fn snapshot(experiment: &str, events_per_sec: f64) {
+    println!("SNAPSHOT {{\"experiment\":\"{experiment}\",\"events_per_sec\":{events_per_sec:.1}}}");
+}
+
 /// Format a float with 1 decimal.
 pub fn f1(v: f64) -> String {
     format!("{v:.1}")

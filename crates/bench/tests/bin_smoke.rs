@@ -1,11 +1,11 @@
-//! Smoke tests for the eight experiment binaries: each must parse its
+//! Smoke tests for the nine experiment binaries: each must parse its
 //! arguments and complete a tiny (`--events 100`) workload without
 //! panicking. This keeps the full paper-sized sweeps out of the test path
 //! while still compiling and exercising every binary end to end.
 
 use std::process::Command;
 
-fn run_bin(exe: &str, args: &[&str]) {
+fn run_bin(exe: &str, args: &[&str]) -> String {
     let out = Command::new(exe)
         .args(args)
         .output()
@@ -21,6 +21,7 @@ fn run_bin(exe: &str, args: &[&str]) {
         !out.stdout.is_empty(),
         "{exe} printed nothing — the experiment report is its whole point"
     );
+    String::from_utf8_lossy(&out.stdout).into_owned()
 }
 
 macro_rules! smoke {
@@ -40,6 +41,19 @@ smoke!(e5_hybrid_smoke, "e5_hybrid");
 smoke!(e6_multiquery_smoke, "e6_multiquery");
 smoke!(e7_linear_road_smoke, "e7_linear_road");
 smoke!(e8_baselines_smoke, "e8_baselines");
+smoke!(e9_multicore_smoke, "e9_multicore");
+
+/// e9 sweeps worker counts and checksums every query's output internally
+/// (exiting non-zero on divergence); the smoke run must certify that the
+/// parallel executor was deterministic.
+#[test]
+fn e9_multicore_determinism() {
+    let stdout = run_bin(env!("CARGO_BIN_EXE_e9_multicore"), &["--events", "2000"]);
+    assert!(
+        stdout.contains("determinism: ok"),
+        "e9 did not certify cross-worker determinism:\n{stdout}"
+    );
+}
 
 /// The `--events=N` form must parse identically to the two-token form.
 #[test]

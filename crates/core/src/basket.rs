@@ -10,18 +10,29 @@
 //! A basket is columnar like a table (one BAT per attribute, shared dense
 //! OID head) but supports *retirement*: dropping a consumed prefix while
 //! OIDs keep advancing, so factory cursors remain valid.
+//!
+//! Retirement is *amortized O(1)*: [`Basket::retire_before`] only advances a
+//! logical first-OID watermark. The dead prefix stays in the columns until it
+//! exceeds the live tail (i.e. more than half the buffer is dead), at which
+//! point one physical `drop_front` compacts it. Every accessor reads through
+//! the watermark, so the lazy state is observationally identical to eager
+//! dropping.
 
 use datacell_storage::{Bat, Chunk, Oid, Result as StorageResult, Row, Schema};
 
 /// A windowed, append-only columnar stream buffer.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Basket {
     name: String,
     schema: Schema,
     columns: Vec<Bat>,
+    /// Logical first OID. Tuples with OID below it are retired; the columns
+    /// may still physically hold a dead prefix `[column base, first)` that is
+    /// compacted lazily.
+    first: Oid,
     /// Total tuples ever appended.
     arrived: u64,
-    /// Total tuples retired (dropped from the front).
+    /// Total tuples retired (logically dropped from the front).
     retired: u64,
     /// Paused receptors stop appending (demo §4 "Pause and Resume").
     paused: bool,
@@ -31,7 +42,15 @@ impl Basket {
     /// Create an empty basket for `schema`.
     pub fn new(name: impl Into<String>, schema: Schema) -> Self {
         let columns = schema.columns().iter().map(|c| Bat::new(c.ty)).collect();
-        Basket { name: name.into(), schema, columns, arrived: 0, retired: 0, paused: false }
+        Basket {
+            name: name.into(),
+            schema,
+            columns,
+            first: 0,
+            arrived: 0,
+            retired: 0,
+            paused: false,
+        }
     }
 
     /// Basket name (= stream name).
@@ -44,19 +63,24 @@ impl Basket {
         &self.schema
     }
 
-    /// Tuples currently buffered.
+    /// Tuples currently buffered (live, i.e. not yet retired).
     pub fn len(&self) -> usize {
-        self.columns.first().map_or(0, Bat::len)
+        (self.high_water() - self.first) as usize
     }
 
-    /// True iff no tuples are buffered.
+    /// True iff no live tuples are buffered.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    /// OID of the oldest buffered tuple.
+    /// OID of the oldest live tuple (the retirement watermark).
     pub fn first_oid(&self) -> Oid {
-        self.columns.first().map_or(0, Bat::oid_base)
+        self.first
+    }
+
+    /// Tuples physically present but already retired (awaiting compaction).
+    fn dead(&self) -> usize {
+        (self.first - self.columns.first().map_or(self.first, Bat::oid_base)) as usize
     }
 
     /// One-past-the-newest OID (the high-water mark).
@@ -127,9 +151,12 @@ impl Basket {
         Ok(chunk.len())
     }
 
-    /// Copy the tuples with OIDs in `[lo, hi)` (clamped) as a chunk whose
-    /// columns keep their original OID heads.
+    /// Copy the tuples with OIDs in `[lo, hi)` (clamped to the live range)
+    /// as a chunk whose columns keep their original OID heads. Retired
+    /// tuples are never returned, even while they physically linger before
+    /// compaction.
     pub fn slice(&self, lo: Oid, hi: Oid) -> Chunk {
+        let lo = lo.max(self.first);
         Chunk::new(self.columns.iter().map(|c| c.slice_oids(lo, hi)).collect())
             .expect("basket columns aligned")
     }
@@ -139,26 +166,33 @@ impl Basket {
         self.slice(self.first_oid(), self.high_water())
     }
 
-    /// Drop all tuples with OID `< keep_from` — called by the scheduler once
-    /// every consumer's cursor has passed them.
+    /// Retire all tuples with OID `< keep_from` — called by the scheduler
+    /// once every consumer's cursor in the basket's partition has passed
+    /// them (the watermark protocol). Amortized O(1): only the logical
+    /// watermark advances; the columns are compacted when the dead prefix
+    /// outgrows the live tail.
     pub fn retire_before(&mut self, keep_from: Oid) {
-        let first = self.first_oid();
-        if keep_from <= first {
+        let keep_from = keep_from.min(self.high_water());
+        if keep_from <= self.first {
             return;
         }
-        let n = (keep_from.min(self.high_water()) - first) as usize;
-        for c in &mut self.columns {
-            c.drop_front(n);
+        self.retired += keep_from - self.first;
+        self.first = keep_from;
+        let dead = self.dead();
+        if dead > self.len() {
+            for c in &mut self.columns {
+                c.drop_front(dead);
+            }
         }
-        self.retired += n as u64;
     }
 
-    /// Timestamp value of the newest tuple in column `col` (RANGE windows).
+    /// Timestamp value of the newest live tuple in column `col`
+    /// (RANGE windows).
     pub fn last_value_int(&self, col: usize) -> Option<i64> {
-        let bat = self.columns.get(col)?;
-        if bat.is_empty() {
+        if self.is_empty() {
             return None;
         }
+        let bat = self.columns.get(col)?;
         bat.get_at(bat.len() - 1).as_int()
     }
 
@@ -239,6 +273,47 @@ mod tests {
         assert!(b.is_paused());
         b.set_paused(false);
         assert_eq!(b.push(&row(1, 1.0)).unwrap(), Some(0));
+    }
+
+    #[test]
+    fn retirement_is_lazy_until_half_dead() {
+        let mut b = basket();
+        for i in 0..10 {
+            b.push(&row(i, i as f64)).unwrap();
+        }
+        let full_bytes = b.byte_size();
+        // Retire less than half: watermark moves, columns stay untouched.
+        b.retire_before(3);
+        assert_eq!(b.first_oid(), 3);
+        assert_eq!(b.len(), 7);
+        assert_eq!(b.retired(), 3);
+        assert_eq!(b.byte_size(), full_bytes, "dead prefix not yet compacted");
+        // Dead tuples are invisible to slicing even while physically present.
+        let w = b.slice(0, 10);
+        assert_eq!(w.len(), 7);
+        assert_eq!(w.column(0).oid_base(), 3);
+        // Crossing the half-dead threshold compacts in one go.
+        b.retire_before(8);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.retired(), 8);
+        assert!(b.byte_size() < full_bytes, "compaction reclaimed the prefix");
+        assert_eq!(b.slice(0, 10).row(0)[0], Value::Int(8));
+    }
+
+    #[test]
+    fn fully_retired_basket_reads_as_empty() {
+        let mut b = basket();
+        b.push_rows(&[row(1, 1.0), row(2, 2.0), row(3, 3.0)]).unwrap();
+        b.retire_before(3);
+        assert!(b.is_empty());
+        assert_eq!(b.len(), 0);
+        // A logically empty basket must not leak retired values.
+        assert_eq!(b.last_value_int(0), None);
+        assert!(b.contents().is_empty());
+        // OIDs keep advancing across full retirement.
+        b.push(&row(9, 9.0)).unwrap();
+        assert_eq!(b.high_water(), 4);
+        assert_eq!(b.last_value_int(0), Some(9));
     }
 
     #[test]

@@ -18,6 +18,13 @@ pub struct DataCellConfig {
     pub firing_threshold: usize,
     /// Retire (drop) basket tuples once every consumer has passed them.
     pub retire_consumed: bool,
+    /// Scheduler worker threads. `1` (the default) is the classic serial
+    /// round-robin executor; larger values fire independent basket
+    /// partitions concurrently on a `std::thread` pool. Per-query output is
+    /// identical for every value — parallelism never changes results, only
+    /// throughput. Effective parallelism is capped by the number of
+    /// partitions in the query network.
+    pub workers: usize,
 }
 
 impl Default for DataCellConfig {
@@ -27,6 +34,7 @@ impl Default for DataCellConfig {
             cache_partials: true,
             firing_threshold: 1,
             retire_consumed: true,
+            workers: 1,
         }
     }
 }
@@ -35,6 +43,11 @@ impl DataCellConfig {
     /// Config with incremental mode as the default.
     pub fn incremental() -> Self {
         DataCellConfig { default_mode: ExecutionMode::Incremental, ..Default::default() }
+    }
+
+    /// Config with a parallel executor of `workers` threads.
+    pub fn parallel(workers: usize) -> Self {
+        DataCellConfig { workers: workers.max(1), ..Default::default() }
     }
 }
 
@@ -49,6 +62,13 @@ mod tests {
         assert!(c.cache_partials);
         assert_eq!(c.firing_threshold, 1);
         assert!(c.retire_consumed);
+        assert_eq!(c.workers, 1);
         assert_eq!(DataCellConfig::incremental().default_mode, ExecutionMode::Incremental);
+    }
+
+    #[test]
+    fn parallel_clamps_zero_workers() {
+        assert_eq!(DataCellConfig::parallel(0).workers, 1);
+        assert_eq!(DataCellConfig::parallel(4).workers, 4);
     }
 }

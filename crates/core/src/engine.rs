@@ -7,7 +7,7 @@
 //! and event-driven evaluation via [`DataCell::step`] /
 //! [`DataCell::run_until_idle`].
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 use crossbeam::channel::Sender;
@@ -22,7 +22,7 @@ use crate::emitter::{channel, Emitter};
 use crate::error::{EngineError, Result};
 use crate::factory::{BasketHandle, Factory, FireContext};
 use crate::network::QueryNetwork;
-use crate::scheduler::Scheduler;
+use crate::scheduler::{NetState, Scheduler};
 use crate::stats::{BasketStats, EngineStats, QueryStats};
 
 /// Outcome of [`DataCell::execute`].
@@ -50,9 +50,9 @@ pub type QueryId = u64;
 pub struct DataCell {
     catalog: Catalog,
     baskets: HashMap<String, BasketHandle>,
-    factories: BTreeMap<QueryId, Factory>,
     results: HashMap<QueryId, VecDeque<Chunk>>,
     subscribers: HashMap<QueryId, Vec<Sender<Chunk>>>,
+    /// Owns every factory, grouped into basket-partitions.
     scheduler: Scheduler,
     config: DataCellConfig,
     next_qid: QueryId,
@@ -70,7 +70,6 @@ impl DataCell {
         DataCell {
             catalog: Catalog::new(),
             baskets: HashMap::new(),
-            factories: BTreeMap::new(),
             results: HashMap::new(),
             subscribers: HashMap::new(),
             scheduler: Scheduler::new(),
@@ -210,15 +209,15 @@ impl DataCell {
         let id = self.next_qid;
         self.next_qid += 1;
         let factory = Factory::new(id, compiled, mode, &self.baskets, &self.catalog)?;
-        self.factories.insert(id, factory);
+        self.scheduler.insert(factory);
         self.results.insert(id, VecDeque::new());
         Ok(id)
     }
 
     /// Remove a continuous query from the network.
     pub fn deregister_query(&mut self, id: QueryId) -> Result<()> {
-        self.factories
-            .remove(&id)
+        self.scheduler
+            .remove(id)
             .map(|_| {
                 self.results.remove(&id);
                 self.subscribers.remove(&id);
@@ -228,8 +227,8 @@ impl DataCell {
 
     /// Pause / resume one query (paper §4, "Pause and Resume").
     pub fn set_query_paused(&mut self, id: QueryId, paused: bool) -> Result<()> {
-        self.factories
-            .get_mut(&id)
+        self.scheduler
+            .factory_mut(id)
             .map(|f| f.paused = paused)
             .ok_or(EngineError::UnknownQuery(id))
     }
@@ -244,8 +243,8 @@ impl DataCell {
 
     /// The effective execution mode of a query.
     pub fn query_mode(&self, id: QueryId) -> Result<ExecutionMode> {
-        self.factories
-            .get(&id)
+        self.scheduler
+            .factory(id)
             .map(|f| f.mode)
             .ok_or(EngineError::UnknownQuery(id))
     }
@@ -281,8 +280,17 @@ impl DataCell {
 
     // ---- scheduling ------------------------------------------------------
 
-    /// Fire every enabled factory once; returns how many fired.
-    pub fn step(&mut self) -> Result<usize> {
+    /// Split the engine into the three pieces every scheduling entry point
+    /// needs: the scheduler, a fire context over the shared state, and the
+    /// result-delivery sink (subscriber fan-out + pending-results queue).
+    fn with_executor<R>(
+        &mut self,
+        run: impl FnOnce(
+            &mut Scheduler,
+            &FireContext<'_>,
+            &mut dyn FnMut(QueryId, Chunk),
+        ) -> R,
+    ) -> R {
         let ctx = FireContext {
             baskets: &self.baskets,
             catalog: &self.catalog,
@@ -296,63 +304,29 @@ impl DataCell {
             }
             results.entry(qid).or_default().push_back(chunk);
         };
-        let mut factories: Vec<&mut Factory> = self.factories.values_mut().collect();
-        let fired = self.scheduler.step(&mut factories, &ctx, &mut sink)?;
-        self.scheduler.rounds += 1;
-        drop(factories);
-        if self.config.retire_consumed {
-            self.retire();
-        }
-        Ok(fired)
+        run(&mut self.scheduler, &ctx, &mut sink)
     }
 
-    /// Run the scheduler until quiescent; returns total firings.
+    /// Fire every enabled factory once; returns how many fired. Runs on the
+    /// scheduler's worker pool when `config.workers > 1` and the query
+    /// network has more than one partition. Consumed basket prefixes are
+    /// retired by the scheduler's per-partition watermark protocol.
+    pub fn step(&mut self) -> Result<usize> {
+        self.with_executor(|scheduler, ctx, sink| scheduler.step(ctx, sink))
+    }
+
+    /// Run the scheduler until quiescent; returns total firings. In
+    /// parallel mode each worker drives its basket partitions to quiescence
+    /// independently.
     pub fn run_until_idle(&mut self) -> Result<u64> {
-        let mut total = 0u64;
-        loop {
-            let fired = self.step()?;
-            if fired == 0 {
-                return Ok(total);
-            }
-            total += fired as u64;
-        }
-    }
-
-    /// Drop basket prefixes every consumer has passed.
-    fn retire(&mut self) {
-        // stream object (lowercase) → [(query id, binding)]
-        let mut consumers: HashMap<String, Vec<(QueryId, String)>> = HashMap::new();
-        for f in self.factories.values() {
-            for s in &f.query.streams {
-                consumers
-                    .entry(s.object.to_ascii_lowercase())
-                    .or_default()
-                    .push((f.id, s.binding.clone()));
-            }
-        }
-        for (object, basket) in &self.baskets {
-            let Some(users) = consumers.get(object) else {
-                continue; // no consumers: keep (a query may register later)
-            };
-            let mut min_needed: Option<u64> = None;
-            for (qid, binding) in users {
-                if let Some(f) = self.factories.get(qid) {
-                    if let Some(n) = f.needed_from(binding) {
-                        min_needed = Some(min_needed.map_or(n, |m| m.min(n)));
-                    }
-                }
-            }
-            if let Some(bound) = min_needed {
-                basket.write().retire_before(bound);
-            }
-        }
+        self.with_executor(|scheduler, ctx, sink| scheduler.run_until_idle(ctx, sink))
     }
 
     // ---- results ----------------------------------------------------------
 
     /// Take all pending result chunks of a query.
     pub fn take_results(&mut self, id: QueryId) -> Result<Vec<Chunk>> {
-        if !self.factories.contains_key(&id) && !self.results.contains_key(&id) {
+        if self.scheduler.factory(id).is_none() && !self.results.contains_key(&id) {
             return Err(EngineError::UnknownQuery(id));
         }
         Ok(self
@@ -369,7 +343,7 @@ impl DataCell {
 
     /// Subscribe an emitter to a query's future results.
     pub fn subscribe(&mut self, id: QueryId) -> Result<Emitter> {
-        if !self.factories.contains_key(&id) {
+        if self.scheduler.factory(id).is_none() {
             return Err(EngineError::UnknownQuery(id));
         }
         let (tx, emitter) = channel(id, None);
@@ -379,16 +353,16 @@ impl DataCell {
 
     /// Output column names of a query.
     pub fn output_names(&self, id: QueryId) -> Result<Vec<String>> {
-        self.factories
-            .get(&id)
+        self.scheduler
+            .factory(id)
             .map(|f| f.output_names().to_vec())
             .ok_or(EngineError::UnknownQuery(id))
     }
 
     /// Output schema of a query.
     pub fn output_schema(&self, id: QueryId) -> Result<Schema> {
-        self.factories
-            .get(&id)
+        self.scheduler
+            .factory(id)
             .map(|f| f.output_schema())
             .ok_or(EngineError::UnknownQuery(id))
     }
@@ -398,7 +372,7 @@ impl DataCell {
     /// Plan inspection for a registered query (one-time vs continuous vs
     /// incremental shapes).
     pub fn explain(&self, id: QueryId) -> Result<String> {
-        let f = self.factories.get(&id).ok_or(EngineError::UnknownQuery(id))?;
+        let f = self.scheduler.factory(id).ok_or(EngineError::UnknownQuery(id))?;
         let mut text = f.query.explain_modes();
         text.push_str(&format!(
             "effective mode: {}\n",
@@ -430,7 +404,18 @@ impl DataCell {
 
     /// The query network (demo's network pane).
     pub fn network(&self) -> QueryNetwork {
-        QueryNetwork::from_factories(self.factories.values())
+        QueryNetwork::from_factories(self.scheduler.factories().into_iter())
+    }
+
+    /// Petri-net snapshot: enabled transitions, place markings, and the
+    /// partition decomposition the parallel executor schedules over.
+    pub fn net_state(&self) -> NetState {
+        let ctx = FireContext {
+            baskets: &self.baskets,
+            catalog: &self.catalog,
+            config: &self.config,
+        };
+        self.scheduler.net_state(&ctx)
     }
 
     /// Whole-engine statistics snapshot (demo's analysis pane).
@@ -452,8 +437,9 @@ impl DataCell {
             .collect();
         baskets.sort_by(|a, b| a.name.cmp(&b.name));
         let queries = self
-            .factories
-            .values()
+            .scheduler
+            .factories()
+            .into_iter()
             .map(|f| QueryStats {
                 id: f.id,
                 sql: f.query.sql.clone(),
@@ -475,12 +461,14 @@ impl DataCell {
             queries,
             total_firings: self.scheduler.total_firings,
             scheduler_rounds: self.scheduler.rounds,
+            partitions: self.scheduler.partition_count(),
+            workers: self.config.workers,
         }
     }
 
     /// Ids of all registered queries.
     pub fn query_ids(&self) -> Vec<QueryId> {
-        self.factories.keys().copied().collect()
+        self.scheduler.factories().iter().map(|f| f.id).collect()
     }
 }
 

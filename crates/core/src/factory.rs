@@ -468,13 +468,12 @@ impl Factory {
         ctx: &FireContext<'_>,
         plan: &IncrementalAggPlan,
     ) -> Result<Option<Chunk>> {
-        let basket = ctx
+        let handle = ctx
             .baskets
             .get(&plan.stream.object.to_ascii_lowercase())
-            .ok_or_else(|| EngineError::UnknownStream(plan.stream.object.clone()))?
-            .read()
-            .clone();
-        let Some(delta) = self.next_basic_window(&plan.stream.binding, &basket)? else {
+            .ok_or_else(|| EngineError::UnknownStream(plan.stream.object.clone()))?;
+        let delta = self.next_basic_window(&plan.stream.binding, &handle.read())?;
+        let Some(delta) = delta else {
             return Ok(None);
         };
         self.stats.tuples_in += delta.len() as u64;
@@ -547,13 +546,12 @@ impl Factory {
         let mut new_left: Option<Chunk> = None;
         let mut new_right: Option<Chunk> = None;
         for (side, stream) in [(0, &plan.left_stream), (1, &plan.right_stream)] {
-            let basket = ctx
+            let handle = ctx
                 .baskets
                 .get(&stream.object.to_ascii_lowercase())
-                .ok_or_else(|| EngineError::UnknownStream(stream.object.clone()))?
-                .read()
-                .clone();
-            if let Some(delta) = self.next_basic_window(&stream.binding, &basket)? {
+                .ok_or_else(|| EngineError::UnknownStream(stream.object.clone()))?;
+            let delta = self.next_basic_window(&stream.binding, &handle.read())?;
+            if let Some(delta) = delta {
                 self.stats.tuples_in += delta.len() as u64;
                 let mut sources = ExecSources::new();
                 sources.bind(&stream.binding, delta);

@@ -6,6 +6,12 @@
 //! top of the columnar kernel, so "stream processing … becomes primarily a
 //! query scheduling task" (paper §1).
 //!
+//! The scheduler groups factories into basket-partitions (connected
+//! components under shared stream inputs) and can fire independent
+//! partitions concurrently on a worker pool — see
+//! [`DataCellConfig::workers`](config::DataCellConfig) and the module docs
+//! of [`scheduler`].
+//!
 //! The facade type is [`DataCell`]:
 //!
 //! ```
@@ -42,7 +48,7 @@ pub use error::{EngineError, Result};
 pub use factory::{BasketHandle, Factory, FactoryStats, FireContext};
 pub use network::{NetworkEdge, QueryNetwork};
 pub use receptor::Receptor;
-pub use scheduler::Scheduler;
+pub use scheduler::{NetState, Partition, Scheduler};
 pub use stats::{BasketStats, EngineStats, QueryStats};
 
 // Re-export the execution mode so engine users don't need datacell-plan.

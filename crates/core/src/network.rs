@@ -50,6 +50,53 @@ impl QueryNetwork {
         QueryNetwork { edges }
     }
 
+    /// Group queries into connected components by shared *stream* input:
+    /// two queries land in the same partition iff they are linked by a chain
+    /// of shared baskets. Table edges are ignored — tables are read-only at
+    /// fire time, so sharing one never forces serialization.
+    ///
+    /// Partitions are the parallel executor's unit of scheduling: distinct
+    /// partitions touch disjoint baskets and may fire concurrently.
+    /// Returned groups are sorted by their smallest query id; ids within a
+    /// group are ascending.
+    pub fn stream_partitions(&self) -> Vec<Vec<u64>> {
+        let mut qids: Vec<u64> = self.edges.iter().map(|e| e.query).collect();
+        qids.sort_unstable();
+        qids.dedup();
+        let index_of: std::collections::HashMap<u64, usize> =
+            qids.iter().enumerate().map(|(i, &q)| (q, i)).collect();
+        // Union-find over query indices.
+        let mut parent: Vec<usize> = (0..qids.len()).collect();
+        fn find(parent: &mut [usize], mut i: usize) -> usize {
+            while parent[i] != i {
+                parent[i] = parent[parent[i]];
+                i = parent[i];
+            }
+            i
+        }
+        let mut by_stream: std::collections::HashMap<String, usize> =
+            std::collections::HashMap::new();
+        for e in self.edges.iter().filter(|e| e.kind == "stream") {
+            let q = index_of[&e.query];
+            match by_stream.entry(e.source.to_ascii_lowercase()) {
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    slot.insert(q);
+                }
+                std::collections::hash_map::Entry::Occupied(slot) => {
+                    let (a, b) = (find(&mut parent, *slot.get()), find(&mut parent, q));
+                    parent[a.max(b)] = a.min(b);
+                }
+            }
+        }
+        let mut groups: std::collections::BTreeMap<usize, Vec<u64>> =
+            std::collections::BTreeMap::new();
+        for (i, &qid) in qids.iter().enumerate() {
+            let root = find(&mut parent, i);
+            groups.entry(root).or_default().push(qid);
+        }
+        groups.into_values().collect()
+    }
+
     /// Queries reading `source`.
     pub fn consumers_of(&self, source: &str) -> Vec<u64> {
         let mut v: Vec<u64> = self
@@ -97,6 +144,33 @@ mod tests {
         let n = QueryNetwork::default();
         assert!(n.describe().contains("no continuous queries"));
         assert!(n.consumers_of("s").is_empty());
+    }
+
+    #[test]
+    fn stream_partitions_group_by_shared_basket() {
+        let edge = |source: &str, kind, query| NetworkEdge {
+            source: source.into(),
+            kind,
+            query,
+            window: None,
+        };
+        let n = QueryNetwork {
+            edges: vec![
+                // q1 and q3 share stream a; q2 alone on b; q4 joins b and c;
+                // q5 on c → {q1,q3}, {q2,q4,q5}. Case differences must merge.
+                edge("a", "stream", 1),
+                edge("A", "stream", 3),
+                edge("b", "stream", 2),
+                edge("b", "stream", 4),
+                edge("c", "stream", 4),
+                edge("c", "stream", 5),
+                // A shared table must NOT merge partitions.
+                edge("dim", "table", 1),
+                edge("dim", "table", 2),
+            ],
+        };
+        assert_eq!(n.stream_partitions(), vec![vec![1, 3], vec![2, 4, 5]]);
+        assert!(QueryNetwork::default().stream_partitions().is_empty());
     }
 
     #[test]

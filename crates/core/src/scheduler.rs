@@ -1,4 +1,5 @@
-//! The DataCell scheduler: a Petri-net execution model.
+//! The DataCell scheduler: a Petri-net execution model over basket
+//! partitions, with an optional multicore worker pool.
 //!
 //! "The execution of the factories is orchestrated by the DataCell
 //! scheduler, which implements a Petri-net model. The firing condition is
@@ -10,103 +11,418 @@
 //! every input place holds a complete next slide; firing consumes the slide
 //! (advances cursors, possibly retires tuples) and deposits the result in
 //! the query's output buffer.
+//!
+//! # Partitions
+//!
+//! The scheduler owns every factory, grouped into [`Partition`]s — the
+//! connected components of the query network under the "shares an input
+//! basket" relation (see [`QueryNetwork::stream_partitions`]). Two factories
+//! in different partitions touch disjoint baskets by construction, so whole
+//! partitions can fire concurrently without coordination; factories *inside*
+//! a partition always fire in ascending query-id order, keeping execution
+//! deterministic per query.
+//!
+//! # Worker pool
+//!
+//! With `config.workers > 1`, [`Scheduler::step`] and
+//! [`Scheduler::run_until_idle`] fan the partitions out over a pool of
+//! `std::thread` workers; result chunks flow back over a crossbeam channel
+//! and are delivered to the sink in a deterministic per-query order. With
+//! `workers = 1` (the default) execution is exactly the classic serial
+//! round-robin: every enabled factory fires once per round in global
+//! query-id order.
+//!
+//! # Watermark retirement
+//!
+//! Basket retirement ("once a tuple has been seen by all relevant
+//! queries/operators, it is dropped from its basket") is per-partition: each
+//! partition retires its own baskets up to the minimum OID still needed by
+//! any of its factories. Because a basket belongs to exactly one partition,
+//! concurrent workers never race on retirement.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
-use datacell_storage::Oid;
+use datacell_storage::{Chunk, Oid};
 
 use crate::factory::{Factory, FireContext};
+use crate::network::QueryNetwork;
 
-/// A snapshot of the Petri net: which transitions are currently enabled.
+/// A snapshot of the Petri net: which transitions are currently enabled,
+/// how full the places are, and how the net decomposes into partitions.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NetState {
     /// `(query id, enabled)` for every registered factory.
     pub transitions: Vec<(u64, bool)>,
     /// `(basket name, buffered tuples)` for every place.
     pub places: Vec<(String, usize)>,
+    /// Query ids per partition (the parallel executor's scheduling units).
+    pub partitions: Vec<Vec<u64>>,
 }
 
-/// The scheduler: repeatedly fires enabled transitions.
-///
-/// The run loop is deterministic (round-robin over query ids) so results
-/// are reproducible — crucial for the equivalence tests between execution
-/// modes.
-#[derive(Debug, Default)]
-pub struct Scheduler {
-    /// Total transition firings performed.
-    pub total_firings: u64,
-    /// Rounds executed by `run_until_idle`.
-    pub rounds: u64,
+/// One connected component of the query network: a set of factories closed
+/// under basket sharing, plus the baskets they consume. The unit of
+/// parallel scheduling.
+pub struct Partition {
+    /// Factories in ascending query-id order (deterministic firing order).
+    factories: BTreeMap<u64, Factory>,
+    /// Lowercased stream objects consumed by this partition — the baskets
+    /// whose retirement watermark this partition owns.
+    baskets: Vec<String>,
 }
 
-impl Scheduler {
-    /// New idle scheduler.
-    pub fn new() -> Self {
-        Self::default()
+impl Partition {
+    fn from_factories(factories: BTreeMap<u64, Factory>) -> Self {
+        let mut baskets: Vec<String> = factories
+            .values()
+            .flat_map(|f| f.query.streams.iter().map(|s| s.object.to_ascii_lowercase()))
+            .collect();
+        baskets.sort_unstable();
+        baskets.dedup();
+        Partition { factories, baskets }
     }
 
-    /// Fire every enabled transition once, in query-id order. Returns how
-    /// many fired, pushing each produced chunk through `sink`.
-    pub fn step(
+    /// Query ids in this partition, ascending.
+    pub fn query_ids(&self) -> Vec<u64> {
+        self.factories.keys().copied().collect()
+    }
+
+    /// One deterministic round: fire every enabled factory once in
+    /// query-id order, then advance the retirement watermarks. Produced
+    /// chunks are appended to `out`; returns how many factories fired.
+    fn step_round(
         &mut self,
-        factories: &mut [&mut Factory],
         ctx: &FireContext<'_>,
-        sink: &mut dyn FnMut(u64, datacell_storage::Chunk),
+        out: &mut Vec<(u64, Chunk)>,
     ) -> crate::error::Result<usize> {
         let mut fired = 0;
-        for factory in factories.iter_mut() {
+        for factory in self.factories.values_mut() {
             if factory.enabled(ctx) {
                 if let Some(chunk) = factory.fire(ctx)? {
-                    sink(factory.id, chunk);
+                    out.push((factory.id, chunk));
                 }
                 fired += 1;
-                self.total_firings += 1;
             }
+        }
+        // Retire even on an idle round: the watermark can move without a
+        // firing (e.g. a lagging consumer was just deregistered), and the
+        // serial executor retires unconditionally every round.
+        if ctx.config.retire_consumed {
+            self.retire(ctx);
         }
         Ok(fired)
     }
 
-    /// Run until no transition is enabled (quiescence).
-    pub fn run_until_idle(
+    /// Fire rounds until no factory in this partition is enabled. Returns
+    /// `(total firings, rounds)`.
+    fn run_until_idle(
         &mut self,
-        factories: &mut [&mut Factory],
         ctx: &FireContext<'_>,
-        sink: &mut dyn FnMut(u64, datacell_storage::Chunk),
-    ) -> crate::error::Result<u64> {
-        let mut total = 0u64;
+        out: &mut Vec<(u64, Chunk)>,
+    ) -> crate::error::Result<(u64, u64)> {
+        let (mut total, mut rounds) = (0u64, 0u64);
         loop {
-            let fired = self.step(factories, ctx, sink)?;
-            self.rounds += 1;
+            let fired = self.step_round(ctx, out)?;
+            rounds += 1;
             if fired == 0 {
-                return Ok(total);
+                return Ok((total, rounds));
             }
             total += fired as u64;
         }
     }
 
-    /// Compute the retirement bound for each basket: the minimum OID still
-    /// needed by any consumer ("once a tuple has been seen by all relevant
-    /// queries/operators, it is dropped from its basket").
-    pub fn retirement_bounds(
-        factories: &[&mut Factory],
-        stream_objects: &HashMap<String, Vec<(u64, String)>>,
-    ) -> HashMap<String, Oid> {
-        let mut bounds: HashMap<String, Option<Oid>> = HashMap::new();
-        for (object, consumers) in stream_objects {
+    /// Watermark retirement: drop each consumed basket's prefix up to the
+    /// minimum OID any of this partition's factories still needs. The
+    /// partition is the only writer of its baskets' watermarks, so this is
+    /// race-free even when other partitions run concurrently.
+    fn retire(&self, ctx: &FireContext<'_>) {
+        for name in &self.baskets {
+            let Some(handle) = ctx.baskets.get(name) else {
+                continue;
+            };
             let mut min_needed: Option<Oid> = None;
-            for (qid, binding) in consumers {
-                if let Some(f) = factories.iter().find(|f| f.id == *qid) {
-                    if let Some(needed) = f.needed_from(binding) {
-                        min_needed =
-                            Some(min_needed.map_or(needed, |m: Oid| m.min(needed)));
+            for f in self.factories.values() {
+                for s in &f.query.streams {
+                    if s.object.eq_ignore_ascii_case(name) {
+                        if let Some(n) = f.needed_from(&s.binding) {
+                            min_needed = Some(min_needed.map_or(n, |m| m.min(n)));
+                        }
                     }
                 }
             }
-            bounds.insert(object.clone(), min_needed);
+            if let Some(bound) = min_needed {
+                handle.write().retire_before(bound);
+            }
         }
-        bounds
-            .into_iter()
-            .filter_map(|(k, v)| v.map(|b| (k, b)))
-            .collect()
+    }
+}
+
+/// The scheduler: owns the factories, partitions them by shared baskets,
+/// and repeatedly fires enabled transitions — serially or on a worker pool.
+#[derive(Default)]
+pub struct Scheduler {
+    partitions: Vec<Partition>,
+    /// Total transition firings performed.
+    pub total_firings: u64,
+    /// Rounds executed (in parallel mode: the longest partition's rounds).
+    pub rounds: u64,
+}
+
+impl std::fmt::Debug for Scheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scheduler")
+            .field("partitions", &self.partition_ids())
+            .field("total_firings", &self.total_firings)
+            .field("rounds", &self.rounds)
+            .finish()
+    }
+}
+
+impl Scheduler {
+    /// New idle scheduler with no factories.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    // ---- factory ownership -------------------------------------------
+
+    /// Register a factory and recompute the partitioning.
+    pub fn insert(&mut self, factory: Factory) {
+        let mut pool = self.drain_factories();
+        pool.insert(factory.id, factory);
+        self.rebuild(pool);
+    }
+
+    /// Deregister the factory of query `id`, recomputing the partitioning.
+    pub fn remove(&mut self, id: u64) -> Option<Factory> {
+        let mut pool = self.drain_factories();
+        let removed = pool.remove(&id);
+        self.rebuild(pool);
+        removed
+    }
+
+    /// The factory of query `id`.
+    pub fn factory(&self, id: u64) -> Option<&Factory> {
+        self.partitions.iter().find_map(|p| p.factories.get(&id))
+    }
+
+    /// Mutable access to the factory of query `id`.
+    pub fn factory_mut(&mut self, id: u64) -> Option<&mut Factory> {
+        self.partitions.iter_mut().find_map(|p| p.factories.get_mut(&id))
+    }
+
+    /// All factories in ascending query-id order.
+    pub fn factories(&self) -> Vec<&Factory> {
+        let mut v: Vec<&Factory> =
+            self.partitions.iter().flat_map(|p| p.factories.values()).collect();
+        v.sort_by_key(|f| f.id);
+        v
+    }
+
+    /// Number of registered factories.
+    pub fn factory_count(&self) -> usize {
+        self.partitions.iter().map(|p| p.factories.len()).sum()
+    }
+
+    /// Number of partitions (upper bound on usable parallelism).
+    pub fn partition_count(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Query ids per partition, in partition order.
+    pub fn partition_ids(&self) -> Vec<Vec<u64>> {
+        self.partitions.iter().map(Partition::query_ids).collect()
+    }
+
+    fn drain_factories(&mut self) -> BTreeMap<u64, Factory> {
+        let mut pool = BTreeMap::new();
+        for p in self.partitions.drain(..) {
+            pool.extend(p.factories);
+        }
+        pool
+    }
+
+    fn rebuild(&mut self, mut pool: BTreeMap<u64, Factory>) {
+        let groups =
+            QueryNetwork::from_factories(pool.values()).stream_partitions();
+        let mut partitions = Vec::with_capacity(groups.len());
+        for group in groups {
+            let mut factories = BTreeMap::new();
+            for qid in group {
+                if let Some(f) = pool.remove(&qid) {
+                    factories.insert(qid, f);
+                }
+            }
+            if !factories.is_empty() {
+                partitions.push(Partition::from_factories(factories));
+            }
+        }
+        // Defensive: anything the network analysis missed becomes its own
+        // partition (cannot happen for continuous queries, which always
+        // read at least one stream).
+        for (qid, f) in pool {
+            partitions.push(Partition::from_factories(BTreeMap::from([(qid, f)])));
+        }
+        self.partitions = partitions;
+    }
+
+    // ---- execution ---------------------------------------------------
+
+    /// Fire every enabled transition once, then retire consumed basket
+    /// prefixes. Returns how many fired, pushing each produced chunk
+    /// through `sink`. Serial with `config.workers <= 1`, otherwise one
+    /// parallel round across partitions.
+    pub fn step(
+        &mut self,
+        ctx: &FireContext<'_>,
+        sink: &mut dyn FnMut(u64, Chunk),
+    ) -> crate::error::Result<usize> {
+        let fired = if self.effective_workers(ctx) <= 1 {
+            self.step_serial(ctx, sink)?
+        } else {
+            self.dispatch_parallel(ctx, sink, false)?.0 as usize
+        };
+        self.rounds += 1;
+        self.total_firings += fired as u64;
+        Ok(fired)
+    }
+
+    /// Run until no transition is enabled (quiescence); returns total
+    /// firings. In parallel mode each worker drives its partitions to
+    /// quiescence independently — no cross-partition barrier.
+    pub fn run_until_idle(
+        &mut self,
+        ctx: &FireContext<'_>,
+        sink: &mut dyn FnMut(u64, Chunk),
+    ) -> crate::error::Result<u64> {
+        if self.effective_workers(ctx) <= 1 {
+            let mut total = 0u64;
+            loop {
+                let fired = self.step_serial(ctx, sink)?;
+                self.rounds += 1;
+                self.total_firings += fired as u64;
+                if fired == 0 {
+                    return Ok(total);
+                }
+                total += fired as u64;
+            }
+        }
+        let (fired, rounds) = self.dispatch_parallel(ctx, sink, true)?;
+        self.rounds += rounds;
+        self.total_firings += fired;
+        Ok(fired)
+    }
+
+    /// Introspection snapshot of the whole net.
+    pub fn net_state(&self, ctx: &FireContext<'_>) -> NetState {
+        let transitions =
+            self.factories().iter().map(|f| (f.id, f.enabled(ctx))).collect();
+        let mut places: Vec<(String, usize)> = ctx
+            .baskets
+            .iter()
+            .map(|(name, b)| (name.clone(), b.read().len()))
+            .collect();
+        places.sort();
+        NetState { transitions, places, partitions: self.partition_ids() }
+    }
+
+    fn effective_workers(&self, ctx: &FireContext<'_>) -> usize {
+        ctx.config.workers.max(1).min(self.partitions.len().max(1))
+    }
+
+    /// Classic serial semantics: all enabled factories fire once in global
+    /// query-id order, then every partition retires its baskets.
+    fn step_serial(
+        &mut self,
+        ctx: &FireContext<'_>,
+        sink: &mut dyn FnMut(u64, Chunk),
+    ) -> crate::error::Result<usize> {
+        let mut all: Vec<&mut Factory> = self
+            .partitions
+            .iter_mut()
+            .flat_map(|p| p.factories.values_mut())
+            .collect();
+        all.sort_by_key(|f| f.id);
+        let mut fired = 0;
+        for factory in all {
+            if factory.enabled(ctx) {
+                if let Some(chunk) = factory.fire(ctx)? {
+                    sink(factory.id, chunk);
+                }
+                fired += 1;
+            }
+        }
+        if ctx.config.retire_consumed {
+            for p in &self.partitions {
+                p.retire(ctx);
+            }
+        }
+        Ok(fired)
+    }
+
+    /// Worker-pool execution: partitions are split into contiguous slices,
+    /// one `std::thread` worker per slice; result chunks flow back over a
+    /// crossbeam channel and are re-ordered by query id before hitting the
+    /// sink, so per-query output is identical to serial execution
+    /// regardless of worker count.
+    ///
+    /// Workers are scoped to this call (spawned fresh each dispatch) —
+    /// that is what lets them borrow the partitions and context directly.
+    /// The spawn cost is amortized best by `run_until_idle`, where each
+    /// worker drives its partitions through many rounds per dispatch.
+    fn dispatch_parallel(
+        &mut self,
+        ctx: &FireContext<'_>,
+        sink: &mut dyn FnMut(u64, Chunk),
+        until_idle: bool,
+    ) -> crate::error::Result<(u64, u64)> {
+        let workers = self.effective_workers(ctx);
+        let per_worker = self.partitions.len().div_ceil(workers);
+        let (tx, rx) = crossbeam::channel::unbounded::<(u64, Chunk)>();
+        let counts: Vec<crate::error::Result<(u64, u64)>> =
+            std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(workers);
+                for slice in self.partitions.chunks_mut(per_worker) {
+                    let tx = tx.clone();
+                    handles.push(scope.spawn(move || -> crate::error::Result<(u64, u64)> {
+                        let mut out = Vec::new();
+                        let (mut fired, mut rounds) = (0u64, 0u64);
+                        for partition in slice {
+                            if until_idle {
+                                let (f, r) = partition.run_until_idle(ctx, &mut out)?;
+                                fired += f;
+                                rounds = rounds.max(r);
+                            } else {
+                                fired += partition.step_round(ctx, &mut out)? as u64;
+                                rounds = rounds.max(1);
+                            }
+                        }
+                        for item in out {
+                            // Receiver outlives the scope; send cannot fail.
+                            let _ = tx.send(item);
+                        }
+                        Ok((fired, rounds))
+                    }));
+                }
+                drop(tx);
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("scheduler worker panicked"))
+                    .collect()
+            });
+        // Deliver results grouped by query id. Each query lives in exactly
+        // one partition, so its chunks arrive already in firing order; the
+        // stable sort only normalizes the interleaving *across* queries.
+        let mut produced: Vec<(u64, Chunk)> = rx.try_iter().collect();
+        produced.sort_by_key(|(qid, _)| *qid);
+        for (qid, chunk) in produced {
+            sink(qid, chunk);
+        }
+        let (mut fired, mut rounds) = (0u64, 0u64);
+        for c in counts {
+            let (f, r) = c?;
+            fired += f;
+            rounds = rounds.max(r);
+        }
+        Ok((fired, rounds))
     }
 }

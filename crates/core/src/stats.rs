@@ -57,6 +57,10 @@ pub struct EngineStats {
     pub total_firings: u64,
     /// Scheduler rounds.
     pub scheduler_rounds: u64,
+    /// Basket-partitions in the query network (units of parallelism).
+    pub partitions: usize,
+    /// Configured scheduler worker threads.
+    pub workers: usize,
 }
 
 impl EngineStats {
@@ -94,8 +98,8 @@ impl EngineStats {
             ));
         }
         out.push_str(&format!(
-            "scheduler: {} firings over {} rounds\n",
-            self.total_firings, self.scheduler_rounds
+            "scheduler: {} firings over {} rounds ({} partitions, {} workers)\n",
+            self.total_firings, self.scheduler_rounds, self.partitions, self.workers
         ));
         out
     }
@@ -125,10 +129,12 @@ mod tests {
             }],
             total_firings: 5,
             scheduler_rounds: 3,
+            partitions: 2,
+            workers: 4,
         };
         let text = stats.render();
         assert!(text.contains("sensors"));
         assert!(text.contains("q1"));
-        assert!(text.contains("5 firings over 3 rounds"));
+        assert!(text.contains("5 firings over 3 rounds (2 partitions, 4 workers)"));
     }
 }

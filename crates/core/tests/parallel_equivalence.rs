@@ -1,0 +1,271 @@
+//! Serial-vs-parallel equivalence: the worker-pool executor must be
+//! invisible in the results. The same registered queries over the same
+//! (shuffled) ingest must produce byte-identical per-query chunk sequences
+//! for every worker count, and the watermark retirement protocol must
+//! retire exactly what the serial scheduler retires.
+
+use std::collections::BTreeMap;
+
+use datacell_core::{DataCell, DataCellConfig, ExecutionMode};
+use datacell_storage::{Row, Value};
+
+/// Tiny deterministic LCG so the "shuffled" ingest interleaving is
+/// reproducible without pulling in an RNG crate.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+}
+
+const STREAMS: [&str; 4] = ["s0", "s1", "s2", "s3"];
+
+/// A varied standing-query mix: windowed aggregation (both modes), an
+/// unwindowed consume-once count, a stream-table join and a stream-stream
+/// join (which fuses the partitions of its two inputs).
+fn register_queries(cell: &mut DataCell) -> Vec<u64> {
+    let mut qids = Vec::new();
+    for s in STREAMS {
+        cell.execute(&format!("CREATE STREAM {s} (ts BIGINT, k BIGINT, v BIGINT)"))
+            .unwrap();
+    }
+    cell.execute("CREATE TABLE dim (k BIGINT, w BIGINT)").unwrap();
+    cell.execute("INSERT INTO dim VALUES (0, 100), (1, 200), (2, 300)").unwrap();
+    let reg = |cell: &mut DataCell, sql: &str, mode| {
+        cell.register_query_with_mode(sql, mode).unwrap()
+    };
+    qids.push(reg(
+        cell,
+        "SELECT k, COUNT(*), SUM(v) FROM s0 [ROWS 8 SLIDE 4] GROUP BY k",
+        ExecutionMode::Incremental,
+    ));
+    qids.push(reg(
+        cell,
+        "SELECT k, SUM(v) FROM s1 [ROWS 6 SLIDE 2] GROUP BY k",
+        ExecutionMode::Reevaluate,
+    ));
+    qids.push(reg(cell, "SELECT COUNT(*), SUM(v) FROM s2", ExecutionMode::Reevaluate));
+    qids.push(reg(
+        cell,
+        "SELECT dim.w, SUM(s3.v) FROM s3 [ROWS 8 SLIDE 4] JOIN dim ON s3.k = dim.k \
+         GROUP BY dim.w",
+        ExecutionMode::Incremental,
+    ));
+    qids.push(reg(
+        cell,
+        "SELECT COUNT(*) FROM s0 [ROWS 6 SLIDE 3] JOIN s1 [ROWS 6 SLIDE 3] \
+         ON s0.k = s1.k",
+        ExecutionMode::Incremental,
+    ));
+    qids.push(reg(
+        cell,
+        "SELECT k, COUNT(*) FROM s2 [ROWS 10 SLIDE 5] GROUP BY k",
+        ExecutionMode::Incremental,
+    ));
+    qids
+}
+
+fn row(t: i64) -> Row {
+    vec![Value::Int(t), Value::Int(t % 3), Value::Int(t * 7 % 101)]
+}
+
+/// Run the whole workload at a given worker count; returns per-query chunk
+/// renderings plus (arrived, retired) per basket.
+#[allow(clippy::type_complexity)]
+fn run_workload(
+    workers: usize,
+) -> (BTreeMap<u64, Vec<Vec<String>>>, BTreeMap<String, (u64, u64)>) {
+    let mut cell = DataCell::new(DataCellConfig { workers, ..Default::default() });
+    let qids = register_queries(&mut cell);
+    let mut outputs: BTreeMap<u64, Vec<Vec<String>>> =
+        qids.iter().map(|q| (*q, Vec::new())).collect();
+
+    // Shuffled ingest: each round pushes a pseudo-random small batch to a
+    // pseudo-random stream, with periodic run_until_idle calls — the same
+    // sequence for every worker count.
+    let mut lcg = Lcg(0xDA7ACE11);
+    let mut next_t: [i64; STREAMS.len()] = [0; STREAMS.len()];
+    for round in 0..200 {
+        let si = (lcg.next() % STREAMS.len() as u64) as usize;
+        let n = 1 + (lcg.next() % 5) as usize;
+        let rows: Vec<Row> = (0..n as i64).map(|i| row(next_t[si] + i)).collect();
+        next_t[si] += n as i64;
+        cell.push_rows(STREAMS[si], &rows).unwrap();
+        if round % 3 == 0 {
+            cell.run_until_idle().unwrap();
+            for q in &qids {
+                for chunk in cell.take_results(*q).unwrap() {
+                    outputs.get_mut(q).unwrap().push(
+                        chunk
+                            .rows()
+                            .map(|r| {
+                                r.iter().map(Value::to_string).collect::<Vec<_>>().join(",")
+                            })
+                            .collect(),
+                    );
+                }
+            }
+        }
+    }
+    cell.run_until_idle().unwrap();
+    for q in &qids {
+        for chunk in cell.take_results(*q).unwrap() {
+            outputs.get_mut(q).unwrap().push(
+                chunk
+                    .rows()
+                    .map(|r| r.iter().map(Value::to_string).collect::<Vec<_>>().join(","))
+                    .collect(),
+            );
+        }
+    }
+    let baskets = cell
+        .stats()
+        .baskets
+        .iter()
+        .map(|b| (b.name.clone(), (b.arrived, b.retired)))
+        .collect();
+    (outputs, baskets)
+}
+
+/// The central claim: worker count never changes any query's output.
+#[test]
+fn workers_1_2_4_byte_identical() {
+    let (serial, serial_baskets) = run_workload(1);
+    assert!(
+        serial.values().all(|chunks| !chunks.is_empty()),
+        "every query must produce output for the comparison to mean anything"
+    );
+    for workers in [2, 4] {
+        let (parallel, parallel_baskets) = run_workload(workers);
+        assert_eq!(
+            serial, parallel,
+            "per-query output diverged between workers=1 and workers={workers}"
+        );
+        assert_eq!(
+            serial_baskets, parallel_baskets,
+            "watermark retirement diverged between workers=1 and workers={workers}"
+        );
+    }
+}
+
+/// Partition analysis: queries sharing a basket fuse; the stream-stream
+/// join over s0 and s1 must pull both baskets' consumers into one
+/// partition, while s2 and s3 stay independent.
+#[test]
+fn partitions_follow_shared_baskets() {
+    let mut cell = DataCell::default();
+    let qids = register_queries(&mut cell);
+    let state = cell.net_state();
+    // q1(s0), q2(s1) and q5(s0⋈s1) in one partition; q3(s2) + q6(s2);
+    // q4(s3) alone.
+    assert_eq!(
+        state.partitions,
+        vec![
+            vec![qids[0], qids[1], qids[4]],
+            vec![qids[2], qids[5]],
+            vec![qids[3]],
+        ]
+    );
+    assert_eq!(state.transitions.len(), qids.len());
+    assert!(state.transitions.iter().all(|(_, enabled)| !enabled));
+    assert_eq!(cell.stats().partitions, 3);
+
+    // Deregistering the join splits the fused partition back apart.
+    cell.deregister_query(qids[4]).unwrap();
+    assert_eq!(
+        cell.net_state().partitions,
+        vec![vec![qids[0]], vec![qids[1]], vec![qids[2], qids[5]], vec![qids[3]]]
+    );
+}
+
+/// More workers than partitions must degrade gracefully (extra workers
+/// idle), and a parallel engine with a single partition takes the serial
+/// path — results still identical.
+#[test]
+fn worker_surplus_is_harmless() {
+    let run = |workers: usize| {
+        let mut cell = DataCell::new(DataCellConfig { workers, ..Default::default() });
+        cell.execute("CREATE STREAM lone (ts BIGINT, k BIGINT, v BIGINT)").unwrap();
+        let q = cell
+            .register_query_with_mode(
+                "SELECT k, SUM(v) FROM lone [ROWS 4 SLIDE 2] GROUP BY k",
+                ExecutionMode::Incremental,
+            )
+            .unwrap();
+        let rows: Vec<Row> = (0..20).map(row).collect();
+        cell.push_rows("lone", &rows).unwrap();
+        cell.run_until_idle().unwrap();
+        cell.take_results(q)
+            .unwrap()
+            .iter()
+            .flat_map(|c| c.rows().map(|r| format!("{r:?}")).collect::<Vec<_>>())
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(1), run(8));
+}
+
+/// The watermark can move without any factory firing — e.g. when a lagging
+/// consumer is deregistered. An idle scheduling round must still retire,
+/// in parallel mode exactly like in serial mode.
+#[test]
+fn idle_rounds_retire_after_deregistration() {
+    let run = |workers: usize| {
+        let mut cell = DataCell::new(DataCellConfig { workers, ..Default::default() });
+        cell.execute("CREATE STREAM a (ts BIGINT, k BIGINT, v BIGINT)").unwrap();
+        cell.execute("CREATE STREAM b (ts BIGINT, k BIGINT, v BIGINT)").unwrap();
+        let lagging = cell.register_query("SELECT COUNT(*) FROM a").unwrap();
+        let _other = cell.register_query("SELECT COUNT(*) FROM b").unwrap();
+        // Windowed consumer whose cursor trails the unwindowed one.
+        let _windowed = cell
+            .register_query("SELECT k, COUNT(*) FROM a [ROWS 8 SLIDE 4] GROUP BY k")
+            .unwrap();
+        cell.set_query_paused(lagging, true).unwrap();
+        let rows: Vec<Row> = (0..10).map(row).collect();
+        cell.push_rows("a", &rows).unwrap();
+        cell.run_until_idle().unwrap();
+        let before = cell.stats();
+        let retired =
+            |s: &datacell_core::EngineStats, n: &str| {
+                s.baskets.iter().find(|b| b.name == n).unwrap().retired
+            };
+        // The paused query pins basket a's watermark at 0.
+        assert_eq!(retired(&before, "a"), 0, "workers={workers}");
+        // Dropping it frees the watermark; the next (idle) rounds must
+        // retire without any firing.
+        cell.deregister_query(lagging).unwrap();
+        cell.run_until_idle().unwrap();
+        retired(&cell.stats(), "a")
+    };
+    let serial = run(1);
+    assert!(serial > 0, "deregistration must unblock retirement");
+    assert_eq!(serial, run(4));
+}
+
+/// Pause/resume and paused-query retirement still behave under the
+/// parallel executor: a paused query pins its basket's watermark.
+#[test]
+fn paused_query_pins_watermark_in_parallel_mode() {
+    let mut cell = DataCell::new(DataCellConfig { workers: 4, ..Default::default() });
+    cell.execute("CREATE STREAM a (ts BIGINT, k BIGINT, v BIGINT)").unwrap();
+    cell.execute("CREATE STREAM b (ts BIGINT, k BIGINT, v BIGINT)").unwrap();
+    let qa = cell.register_query("SELECT COUNT(*) FROM a").unwrap();
+    let _qb = cell.register_query("SELECT COUNT(*) FROM b").unwrap();
+    cell.set_query_paused(qa, true).unwrap();
+    let rows: Vec<Row> = (0..10).map(row).collect();
+    cell.push_rows("a", &rows).unwrap();
+    cell.push_rows("b", &rows).unwrap();
+    cell.run_until_idle().unwrap();
+    let stats = cell.stats();
+    let get = |name: &str| stats.baskets.iter().find(|s| s.name == name).unwrap();
+    // b was consumed and retired; a is pinned by its paused consumer.
+    assert_eq!(get("b").retired, 10);
+    assert_eq!(get("a").retired, 0);
+    assert_eq!(get("a").buffered, 10);
+    // Resuming drains the backlog.
+    cell.set_query_paused(qa, false).unwrap();
+    cell.run_until_idle().unwrap();
+    assert_eq!(cell.take_results(qa).unwrap().len(), 1);
+    assert_eq!(cell.stats().baskets.iter().find(|s| s.name == "a").unwrap().retired, 10);
+}

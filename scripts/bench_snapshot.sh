@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Bench snapshot: run the e1 / e6 / e9 experiment binaries at a small,
+# fixed --events size and collect their SNAPSHOT lines (events/sec per
+# experiment) into BENCH_PR2.json, so every PR leaves a comparable perf
+# data point behind.
+#
+# Usage: scripts/bench_snapshot.sh [events]   (default 20000)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+events="${1:-20000}"
+out="BENCH_PR2.json"
+
+cargo build --release -p datacell-bench --bins
+
+lines=""
+run_log="$(mktemp)"
+trap 'rm -f "${run_log}"' EXIT
+for bin in e1_reeval e6_multiquery e9_multicore; do
+  # Run to a file first so a binary failure (e.g. e9's determinism check
+  # exiting non-zero) fails the script instead of being swallowed by a
+  # pipeline / process substitution.
+  "./target/release/${bin}" --events "${events}" > "${run_log}"
+  while IFS= read -r line; do
+    lines="${lines}${lines:+,$'\n'}    ${line}"
+  done < <(sed -n 's/^SNAPSHOT //p' "${run_log}")
+done
+
+cores=$(nproc 2>/dev/null || echo 1)
+{
+  echo '{'
+  echo "  \"events\": ${events},"
+  echo "  \"cores\": ${cores},"
+  echo '  "experiments": ['
+  printf '%s\n' "${lines}"
+  echo '  ]'
+  echo '}'
+} > "${out}"
+
+echo "wrote ${out}:"
+cat "${out}"

@@ -82,6 +82,12 @@ pub mod channel {
                 mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
             })
         }
+
+        /// Iterator draining every message currently buffered, without
+        /// blocking (crossbeam's `try_iter`).
+        pub fn try_iter(&self) -> impl Iterator<Item = T> + '_ {
+            std::iter::from_fn(|| self.try_recv().ok())
+        }
     }
 
     /// Create an unbounded channel: sends never block.
@@ -110,6 +116,15 @@ pub mod channel {
             assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
             drop(tx);
             assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        }
+
+        #[test]
+        fn try_iter_drains_buffered() {
+            let (tx, rx) = unbounded();
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx.try_iter().collect::<Vec<_>>(), vec![1, 2]);
+            assert_eq!(rx.try_iter().count(), 0);
         }
 
         #[test]
