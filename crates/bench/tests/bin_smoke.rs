@@ -1,4 +1,4 @@
-//! Smoke tests for the nine experiment binaries: each must parse its
+//! Smoke tests for the ten experiment binaries: each must parse its
 //! arguments and complete a tiny (`--events 100`) workload without
 //! panicking. This keeps the full paper-sized sweeps out of the test path
 //! while still compiling and exercising every binary end to end.
@@ -42,6 +42,7 @@ smoke!(e6_multiquery_smoke, "e6_multiquery");
 smoke!(e7_linear_road_smoke, "e7_linear_road");
 smoke!(e8_baselines_smoke, "e8_baselines");
 smoke!(e9_multicore_smoke, "e9_multicore");
+smoke!(e10_server_smoke, "e10_server");
 
 /// e9 sweeps worker counts and checksums every query's output internally
 /// (exiting non-zero on divergence); the smoke run must certify that the

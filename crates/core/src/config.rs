@@ -25,6 +25,21 @@ pub struct DataCellConfig {
     /// throughput. Effective parallelism is capped by the number of
     /// partitions in the query network.
     pub workers: usize,
+    /// Capacity (in chunks) of each subscriber queue created by
+    /// [`DataCell::subscribe`](crate::DataCell). When a slow client falls
+    /// more than this many chunks behind, the **oldest** buffered chunks
+    /// are dropped to make room (drop-oldest overflow policy); every drop
+    /// is counted in [`EngineStats::dropped_chunks`](crate::EngineStats).
+    /// `None` = unbounded (OOM hazard with slow clients — opt-in only).
+    pub emitter_capacity: Option<usize>,
+    /// Capacity (in chunks) of each query's **engine-internal**
+    /// pending-results queue (the one [`DataCell::take_results`]
+    /// drains). Embedders that poll `take_results` want the default
+    /// `None` (keep everything); a server frontend that delivers results
+    /// only through subscriptions should bound it, since nothing ever
+    /// drains the internal queue there. Overflow discards the oldest
+    /// pending chunk.
+    pub results_capacity: Option<usize>,
 }
 
 impl Default for DataCellConfig {
@@ -35,6 +50,8 @@ impl Default for DataCellConfig {
             firing_threshold: 1,
             retire_consumed: true,
             workers: 1,
+            emitter_capacity: Some(1024),
+            results_capacity: None,
         }
     }
 }
@@ -63,6 +80,8 @@ mod tests {
         assert_eq!(c.firing_threshold, 1);
         assert!(c.retire_consumed);
         assert_eq!(c.workers, 1);
+        assert_eq!(c.emitter_capacity, Some(1024));
+        assert_eq!(c.results_capacity, None);
         assert_eq!(DataCellConfig::incremental().default_mode, ExecutionMode::Incremental);
     }
 

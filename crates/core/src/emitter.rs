@@ -2,27 +2,129 @@
 //!
 //! The counterpart of receptors on the output edge (paper §3, Figure 1):
 //! each continuous query's result chunks are pushed into subscriber
-//! channels; an [`Emitter`] wraps one such channel and gives clients
-//! blocking, polling and draining access.
+//! queues; an [`Emitter`] wraps one such queue and gives clients
+//! blocking, polling and draining access, while the engine keeps the
+//! matching [`EmitterSender`].
+//!
+//! # Overflow policy
+//!
+//! A subscriber queue is **bounded** (see
+//! [`DataCellConfig::emitter_capacity`](crate::config::DataCellConfig)):
+//! when a slow client falls more than `capacity` chunks behind, the
+//! **oldest** buffered chunks are dropped to make room — streaming clients
+//! care about fresh results, and an unbounded queue is an OOM hazard. Every
+//! drop is counted; the engine surfaces the total as
+//! [`EngineStats::dropped_chunks`](crate::stats::EngineStats). A capacity
+//! of `None` keeps the historical unbounded behaviour.
 
-use std::time::Duration;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::{Receiver, RecvTimeoutError, Sender, TryRecvError};
 use datacell_storage::Chunk;
 
+/// Error returned by [`EmitterSender::send`] when the [`Emitter`] was
+/// dropped: the client is gone, so the chunk is handed back.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Disconnected(pub Chunk);
+
+struct Shared {
+    queue: Mutex<VecDeque<Chunk>>,
+    avail: Condvar,
+    /// `None` = unbounded (historical behaviour).
+    capacity: Option<usize>,
+    /// Chunks dropped to make room (overflow policy: drop-oldest).
+    dropped: AtomicU64,
+    /// Sender side gone: no more chunks will ever arrive.
+    closed: AtomicBool,
+    /// Receiver side gone: sends fail.
+    receiver_gone: AtomicBool,
+}
+
 /// Create a connected (sender, emitter) pair for one query's results.
-pub fn channel(query: u64, capacity: Option<usize>) -> (Sender<Chunk>, Emitter) {
-    let (tx, rx) = match capacity {
-        Some(n) => crossbeam::channel::bounded(n),
-        None => crossbeam::channel::unbounded(),
-    };
-    (tx, Emitter { query, rx })
+///
+/// `capacity` bounds the queue; overflow drops the oldest chunk (counted).
+/// `None` = unbounded.
+pub fn channel(query: u64, capacity: Option<usize>) -> (EmitterSender, Emitter) {
+    let shared = Arc::new(Shared {
+        queue: Mutex::new(VecDeque::new()),
+        avail: Condvar::new(),
+        capacity,
+        dropped: AtomicU64::new(0),
+        closed: AtomicBool::new(false),
+        receiver_gone: AtomicBool::new(false),
+    });
+    (
+        EmitterSender { query, shared: shared.clone() },
+        Emitter { query, shared },
+    )
+}
+
+/// Engine-side handle delivering one subscriber's result chunks.
+pub struct EmitterSender {
+    query: u64,
+    shared: Arc<Shared>,
+}
+
+impl EmitterSender {
+    /// The query this sender delivers for.
+    pub fn query(&self) -> u64 {
+        self.query
+    }
+
+    /// Enqueue a chunk for the client. Returns how many old chunks were
+    /// dropped to stay within capacity (0 when the queue had room), or
+    /// [`Disconnected`] when the emitter side is gone.
+    pub fn send(&self, chunk: Chunk) -> Result<usize, Disconnected> {
+        if self.shared.receiver_gone.load(Ordering::Acquire) {
+            return Err(Disconnected(chunk));
+        }
+        let mut q = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+        q.push_back(chunk);
+        let mut dropped = 0usize;
+        if let Some(cap) = self.shared.capacity {
+            while q.len() > cap.max(1) {
+                q.pop_front();
+                dropped += 1;
+            }
+        }
+        drop(q);
+        if dropped > 0 {
+            self.shared.dropped.fetch_add(dropped as u64, Ordering::Relaxed);
+        }
+        self.shared.avail.notify_one();
+        Ok(dropped)
+    }
+
+    /// Total chunks this subscriber has lost to overflow.
+    pub fn dropped(&self) -> u64 {
+        self.shared.dropped.load(Ordering::Relaxed)
+    }
+
+    /// True once the matching [`Emitter`] was dropped.
+    pub fn is_disconnected(&self) -> bool {
+        self.shared.receiver_gone.load(Ordering::Acquire)
+    }
+
+    /// Mark the stream finished: the emitter drains what is buffered and
+    /// then observes disconnection (engine shutdown hook).
+    pub fn close(&self) {
+        self.shared.closed.store(true, Ordering::Release);
+        self.shared.avail.notify_all();
+    }
+}
+
+impl Drop for EmitterSender {
+    fn drop(&mut self) {
+        self.close();
+    }
 }
 
 /// Client-side handle receiving one query's result chunks.
 pub struct Emitter {
     query: u64,
-    rx: Receiver<Chunk>,
+    shared: Arc<Shared>,
 }
 
 impl Emitter {
@@ -33,18 +135,50 @@ impl Emitter {
 
     /// Non-blocking poll for the next result chunk.
     pub fn try_next(&self) -> Option<Chunk> {
-        match self.rx.try_recv() {
-            Ok(c) => Some(c),
-            Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => None,
+        self.shared
+            .queue
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop_front()
+    }
+
+    /// Block up to `timeout` for the next result chunk. Returns `None` on
+    /// timeout or once the sender is gone and the queue is drained.
+    pub fn next_timeout(&self, timeout: Duration) -> Option<Chunk> {
+        let deadline = Instant::now() + timeout;
+        let mut q = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(c) = q.pop_front() {
+                return Some(c);
+            }
+            if self.shared.closed.load(Ordering::Acquire) {
+                return None;
+            }
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return None;
+            }
+            let (guard, res) = self
+                .shared
+                .avail
+                .wait_timeout(q, left)
+                .unwrap_or_else(|e| e.into_inner());
+            q = guard;
+            if res.timed_out() {
+                return q.pop_front();
+            }
         }
     }
 
-    /// Block up to `timeout` for the next result chunk.
-    pub fn next_timeout(&self, timeout: Duration) -> Option<Chunk> {
-        match self.rx.recv_timeout(timeout) {
-            Ok(c) => Some(c),
-            Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => None,
-        }
+    /// True once the sender is gone (no more chunks will ever arrive;
+    /// buffered chunks remain readable).
+    pub fn is_closed(&self) -> bool {
+        self.shared.closed.load(Ordering::Acquire)
+    }
+
+    /// Chunks this subscription lost to overflow (drop-oldest policy).
+    pub fn dropped(&self) -> u64 {
+        self.shared.dropped.load(Ordering::Relaxed)
     }
 
     /// Drain everything currently buffered.
@@ -62,18 +196,29 @@ impl Emitter {
     }
 }
 
+impl Drop for Emitter {
+    fn drop(&mut self) {
+        self.shared.receiver_gone.store(true, Ordering::Release);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use datacell_storage::Bat;
 
+    fn chunk(vals: Vec<i64>) -> Chunk {
+        Chunk::new(vec![Bat::from_ints(vals)]).unwrap()
+    }
+
     #[test]
     fn try_next_and_drain() {
         let (tx, em) = channel(7, None);
         assert_eq!(em.query(), 7);
+        assert_eq!(tx.query(), 7);
         assert!(em.try_next().is_none());
-        tx.send(Chunk::new(vec![Bat::from_ints(vec![1, 2])]).unwrap()).unwrap();
-        tx.send(Chunk::new(vec![Bat::from_ints(vec![3])]).unwrap()).unwrap();
+        tx.send(chunk(vec![1, 2])).unwrap();
+        tx.send(chunk(vec![3])).unwrap();
         assert_eq!(em.drain_rows(), 3);
         assert!(em.try_next().is_none());
     }
@@ -82,6 +227,47 @@ mod tests {
     fn timeout_returns_none_on_disconnect() {
         let (tx, em) = channel(1, Some(4));
         drop(tx);
+        assert!(em.is_closed());
         assert!(em.next_timeout(Duration::from_millis(5)).is_none());
+    }
+
+    #[test]
+    fn bounded_overflow_drops_oldest() {
+        let (tx, em) = channel(1, Some(2));
+        assert_eq!(tx.send(chunk(vec![1])).unwrap(), 0);
+        assert_eq!(tx.send(chunk(vec![2])).unwrap(), 0);
+        // Third chunk evicts the oldest (1).
+        assert_eq!(tx.send(chunk(vec![3])).unwrap(), 1);
+        assert_eq!(tx.dropped(), 1);
+        assert_eq!(em.dropped(), 1);
+        let got = em.drain();
+        assert_eq!(got, vec![chunk(vec![2]), chunk(vec![3])]);
+    }
+
+    #[test]
+    fn send_fails_after_receiver_drop() {
+        let (tx, em) = channel(1, None);
+        drop(em);
+        assert!(tx.is_disconnected());
+        assert_eq!(tx.send(chunk(vec![1])), Err(Disconnected(chunk(vec![1]))));
+    }
+
+    #[test]
+    fn close_drains_then_disconnects() {
+        let (tx, em) = channel(1, None);
+        tx.send(chunk(vec![9])).unwrap();
+        tx.close();
+        // Buffered chunk still readable, then end-of-stream.
+        assert_eq!(em.next_timeout(Duration::from_millis(50)), Some(chunk(vec![9])));
+        assert!(em.next_timeout(Duration::from_millis(5)).is_none());
+    }
+
+    #[test]
+    fn blocking_receive_wakes_on_send() {
+        let (tx, em) = channel(1, Some(8));
+        let t = std::thread::spawn(move || em.next_timeout(Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(10));
+        tx.send(chunk(vec![42])).unwrap();
+        assert_eq!(t.join().unwrap(), Some(chunk(vec![42])));
     }
 }

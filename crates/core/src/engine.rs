@@ -10,7 +10,6 @@
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
-use crossbeam::channel::Sender;
 use datacell_plan::{compile, execute, Binder, ExecSources, ExecutionMode};
 use datacell_sql::{parse_statement, Statement};
 use datacell_storage::{Catalog, Chunk, Row, Schema};
@@ -18,7 +17,7 @@ use parking_lot::RwLock;
 
 use crate::basket::Basket;
 use crate::config::DataCellConfig;
-use crate::emitter::{channel, Emitter};
+use crate::emitter::{channel, Emitter, EmitterSender};
 use crate::error::{EngineError, Result};
 use crate::factory::{BasketHandle, Factory, FireContext};
 use crate::network::QueryNetwork;
@@ -51,7 +50,9 @@ pub struct DataCell {
     catalog: Catalog,
     baskets: HashMap<String, BasketHandle>,
     results: HashMap<QueryId, VecDeque<Chunk>>,
-    subscribers: HashMap<QueryId, Vec<Sender<Chunk>>>,
+    subscribers: HashMap<QueryId, Vec<EmitterSender>>,
+    /// Chunks dropped by bounded subscriber queues (drop-oldest overflow).
+    dropped_chunks: u64,
     /// Owns every factory, grouped into basket-partitions.
     scheduler: Scheduler,
     config: DataCellConfig,
@@ -72,6 +73,7 @@ impl DataCell {
             baskets: HashMap::new(),
             results: HashMap::new(),
             subscribers: HashMap::new(),
+            dropped_chunks: 0,
             scheduler: Scheduler::new(),
             config,
             next_qid: 1,
@@ -297,12 +299,26 @@ impl DataCell {
             config: &self.config,
         };
         let results = &mut self.results;
+        let results_cap = self.config.results_capacity;
         let subscribers = &mut self.subscribers;
+        let dropped_chunks = &mut self.dropped_chunks;
         let mut sink = |qid: QueryId, chunk: Chunk| {
             if let Some(subs) = subscribers.get_mut(&qid) {
-                subs.retain(|tx| tx.send(chunk.clone()).is_ok());
+                subs.retain(|tx| match tx.send(chunk.clone()) {
+                    Ok(dropped) => {
+                        *dropped_chunks += dropped as u64;
+                        true
+                    }
+                    Err(_) => false,
+                });
             }
-            results.entry(qid).or_default().push_back(chunk);
+            let pending = results.entry(qid).or_default();
+            pending.push_back(chunk);
+            if let Some(cap) = results_cap {
+                while pending.len() > cap.max(1) {
+                    pending.pop_front();
+                }
+            }
         };
         run(&mut self.scheduler, &ctx, &mut sink)
     }
@@ -341,14 +357,25 @@ impl DataCell {
         Ok(self.take_results(id)?.pop())
     }
 
-    /// Subscribe an emitter to a query's future results.
+    /// Subscribe an emitter to a query's future results. The subscriber
+    /// queue is bounded by [`DataCellConfig::emitter_capacity`]; overflow
+    /// drops the oldest chunks (counted in
+    /// [`EngineStats::dropped_chunks`]).
     pub fn subscribe(&mut self, id: QueryId) -> Result<Emitter> {
         if self.scheduler.factory(id).is_none() {
             return Err(EngineError::UnknownQuery(id));
         }
-        let (tx, emitter) = channel(id, None);
+        let (tx, emitter) = channel(id, self.config.emitter_capacity);
         self.subscribers.entry(id).or_default().push(tx);
         Ok(emitter)
+    }
+
+    /// Disconnect every subscriber: each live [`Emitter`] drains what it
+    /// has buffered and then observes end-of-stream. The shutdown hook a
+    /// server frontend calls before dropping the engine, so blocked
+    /// clients wake up instead of hanging on a dead queue.
+    pub fn shutdown(&mut self) {
+        self.subscribers.clear();
     }
 
     /// Output column names of a query.
@@ -463,6 +490,7 @@ impl DataCell {
             scheduler_rounds: self.scheduler.rounds,
             partitions: self.scheduler.partition_count(),
             workers: self.config.workers,
+            dropped_chunks: self.dropped_chunks,
         }
     }
 

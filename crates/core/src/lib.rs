@@ -42,7 +42,7 @@ pub mod stats;
 
 pub use basket::Basket;
 pub use config::DataCellConfig;
-pub use emitter::Emitter;
+pub use emitter::{Emitter, EmitterSender};
 pub use engine::{DataCell, ExecOutcome, QueryId};
 pub use error::{EngineError, Result};
 pub use factory::{BasketHandle, Factory, FactoryStats, FireContext};

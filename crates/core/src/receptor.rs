@@ -161,6 +161,52 @@ mod tests {
     }
 
     #[test]
+    fn stop_after_exhaustion_returns_full_count() {
+        let b = basket();
+        let rows: Vec<Row> = (0..300).map(|i| vec![Value::Int(i)]).collect();
+        let r = Receptor::spawn("s", b.clone(), rows, None);
+        // Wait for the iterator to drain, then stop() — the thread has
+        // already finished; stop() must still join cleanly and report
+        // everything that was delivered.
+        while b.read().arrived() < 300 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(r.stop(), 300);
+    }
+
+    #[test]
+    fn request_stop_then_join_returns_delivered_count() {
+        let b = basket();
+        let rows = (0..).map(|i| vec![Value::Int(i)]);
+        let r = Receptor::spawn("s", b.clone(), IterAdapter(rows), None);
+        while b.read().arrived() == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        r.request_stop();
+        let delivered = r.join();
+        assert!(delivered > 0);
+        assert_eq!(b.read().arrived(), delivered);
+    }
+
+    #[test]
+    fn name_is_preserved() {
+        let b = basket();
+        let r = Receptor::spawn("trades", b, Vec::<Row>::new(), None);
+        assert_eq!(r.name(), "trades");
+        assert_eq!(r.join(), 0);
+    }
+
+    #[test]
+    fn paused_basket_accepts_nothing() {
+        let b = basket();
+        b.write().set_paused(true);
+        let rows: Vec<Row> = (0..512).map(|i| vec![Value::Int(i)]).collect();
+        let r = Receptor::spawn("s", b.clone(), rows, None);
+        assert_eq!(r.join(), 0, "a paused basket drops every batch");
+        assert_eq!(b.read().len(), 0);
+    }
+
+    #[test]
     fn rate_limiting_slows_ingestion() {
         let b = basket();
         let rows: Vec<Row> = (0..600).map(|i| vec![Value::Int(i)]).collect();

@@ -61,6 +61,9 @@ pub struct EngineStats {
     pub partitions: usize,
     /// Configured scheduler worker threads.
     pub workers: usize,
+    /// Result chunks dropped by bounded subscriber queues (drop-oldest
+    /// overflow policy — see `DataCellConfig::emitter_capacity`).
+    pub dropped_chunks: u64,
 }
 
 impl EngineStats {
@@ -101,6 +104,10 @@ impl EngineStats {
             "scheduler: {} firings over {} rounds ({} partitions, {} workers)\n",
             self.total_firings, self.scheduler_rounds, self.partitions, self.workers
         ));
+        out.push_str(&format!(
+            "emitters: {} chunks dropped (overflow)\n",
+            self.dropped_chunks
+        ));
         out
     }
 }
@@ -131,10 +138,12 @@ mod tests {
             scheduler_rounds: 3,
             partitions: 2,
             workers: 4,
+            dropped_chunks: 9,
         };
         let text = stats.render();
         assert!(text.contains("sensors"));
         assert!(text.contains("q1"));
         assert!(text.contains("5 firings over 3 rounds (2 partitions, 4 workers)"));
+        assert!(text.contains("emitters: 9 chunks dropped (overflow)"));
     }
 }

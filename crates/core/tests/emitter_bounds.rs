@@ -1,0 +1,93 @@
+//! Engine-level tests of the bounded-emitter overflow policy and the
+//! shutdown hook: slow subscribers must never grow an unbounded queue
+//! (drop-oldest, counted in `EngineStats::dropped_chunks`), and
+//! `DataCell::shutdown` must wake blocked emitters with end-of-stream.
+
+use std::time::Duration;
+
+use datacell_core::{DataCell, DataCellConfig};
+
+fn tiny_capacity_cell(capacity: Option<usize>) -> DataCell {
+    let mut cell = DataCell::new(DataCellConfig {
+        emitter_capacity: capacity,
+        ..Default::default()
+    });
+    cell.execute("CREATE STREAM s (v BIGINT)").unwrap();
+    cell
+}
+
+/// Push `batches` single-row batches, firing after each one so every batch
+/// produces exactly one result chunk.
+fn feed(cell: &mut DataCell, batches: i64) {
+    for i in 0..batches {
+        cell.push_rows("s", &[vec![i.into()]]).unwrap();
+        cell.run_until_idle().unwrap();
+    }
+}
+
+#[test]
+fn slow_subscriber_drops_oldest_chunks() {
+    let mut cell = tiny_capacity_cell(Some(3));
+    let q = cell.register_query("SELECT COUNT(*) FROM s").unwrap();
+    let em = cell.subscribe(q).unwrap();
+    feed(&mut cell, 10);
+    // 10 chunks produced, queue bounded at 3 → 7 dropped, newest retained.
+    let got = em.drain();
+    assert_eq!(got.len(), 3);
+    assert_eq!(em.dropped(), 7);
+    assert_eq!(cell.stats().dropped_chunks, 7);
+    // The engine-side pending-results queue is unaffected.
+    assert_eq!(cell.take_results(q).unwrap().len(), 10);
+}
+
+#[test]
+fn unbounded_capacity_keeps_everything() {
+    let mut cell = tiny_capacity_cell(None);
+    let q = cell.register_query("SELECT COUNT(*) FROM s").unwrap();
+    let em = cell.subscribe(q).unwrap();
+    feed(&mut cell, 10);
+    assert_eq!(em.drain().len(), 10);
+    assert_eq!(cell.stats().dropped_chunks, 0);
+}
+
+#[test]
+fn dropped_subscriber_is_pruned_not_counted() {
+    let mut cell = tiny_capacity_cell(Some(2));
+    let q = cell.register_query("SELECT COUNT(*) FROM s").unwrap();
+    let em = cell.subscribe(q).unwrap();
+    drop(em);
+    feed(&mut cell, 5);
+    // The disconnected subscriber is pruned on first send; nothing counts
+    // as overflow because nothing was queued.
+    assert_eq!(cell.stats().dropped_chunks, 0);
+}
+
+#[test]
+fn shutdown_wakes_subscribers_with_end_of_stream() {
+    let mut cell = tiny_capacity_cell(Some(8));
+    let q = cell.register_query("SELECT COUNT(*) FROM s").unwrap();
+    let em = cell.subscribe(q).unwrap();
+    feed(&mut cell, 2);
+    cell.shutdown();
+    assert!(em.is_closed());
+    // Buffered chunks still drain, then the emitter reports closure
+    // immediately instead of blocking out the full timeout.
+    assert!(em.next_timeout(Duration::from_secs(5)).is_some());
+    assert!(em.next_timeout(Duration::from_secs(5)).is_some());
+    let start = std::time::Instant::now();
+    assert!(em.next_timeout(Duration::from_secs(5)).is_none());
+    assert!(start.elapsed() < Duration::from_secs(1));
+}
+
+#[test]
+fn fan_out_delivers_to_every_subscriber() {
+    let mut cell = tiny_capacity_cell(Some(16));
+    let q = cell.register_query("SELECT COUNT(*) FROM s").unwrap();
+    let a = cell.subscribe(q).unwrap();
+    let b = cell.subscribe(q).unwrap();
+    feed(&mut cell, 4);
+    let ca = a.drain();
+    let cb = b.drain();
+    assert_eq!(ca.len(), 4);
+    assert_eq!(ca, cb, "fan-out must deliver identical chunk streams");
+}

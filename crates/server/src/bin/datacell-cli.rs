@@ -1,0 +1,102 @@
+//! `datacell-cli` — interactive / scripted wire-protocol session.
+//!
+//! ```text
+//! datacell-cli [--addr HOST:PORT] [--fail-on-err]
+//! ```
+//!
+//! Reads protocol lines from stdin and forwards them verbatim; prints
+//! every server line to stdout. Blank lines and `#` comments are skipped,
+//! so a scripted session can be a readable heredoc. On stdin EOF a `QUIT`
+//! is sent automatically (unless the script already quit). With
+//! `--fail-on-err` the exit status is 1 if the server ever answered
+//! `ERR`.
+
+use std::io::{BufRead, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use datacell_server::session::{LineReader, ReadLine};
+
+fn main() {
+    let mut addr = "127.0.0.1:4321".to_string();
+    let mut fail_on_err = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => match args.next() {
+                Some(a) => addr = a,
+                None => {
+                    eprintln!("--addr requires a value");
+                    std::process::exit(2);
+                }
+            },
+            "--fail-on-err" => fail_on_err = true,
+            other => {
+                eprintln!("usage: datacell-cli [--addr HOST:PORT] [--fail-on-err]");
+                eprintln!("unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let stream = match TcpStream::connect(&addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("connect {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    stream.set_nodelay(true).ok();
+    let saw_err = Arc::new(AtomicBool::new(false));
+
+    // Reader thread: print every server line until the connection closes.
+    let printer = {
+        let stream = stream.try_clone().expect("clone socket");
+        let saw_err = saw_err.clone();
+        std::thread::spawn(move || {
+            let mut reader = LineReader::new(stream);
+            loop {
+                match reader.poll_line() {
+                    Ok(ReadLine::Line(l)) => {
+                        if l.starts_with("ERR ") {
+                            saw_err.store(true, Ordering::Relaxed);
+                        }
+                        println!("{l}");
+                    }
+                    Ok(ReadLine::Idle) => {}
+                    Ok(ReadLine::Eof) | Err(_) => break,
+                }
+            }
+            std::io::stdout().flush().ok();
+        })
+    };
+
+    let mut writer = stream;
+    let stdin = std::io::stdin();
+    let mut sent_quit = false;
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let upper = trimmed.to_ascii_uppercase();
+        if upper == "QUIT" || upper == "SHUTDOWN" {
+            sent_quit = true;
+        }
+        if writer.write_all(format!("{line}\n").as_bytes()).is_err() {
+            break;
+        }
+    }
+    if !sent_quit {
+        let _ = writer.write_all(b"QUIT\n");
+    }
+    // The server closes the connection after QUIT/SHUTDOWN; the printer
+    // thread drains the remaining replies and exits on EOF.
+    printer.join().ok();
+
+    if fail_on_err && saw_err.load(Ordering::Relaxed) {
+        std::process::exit(1);
+    }
+}

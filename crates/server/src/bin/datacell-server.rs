@@ -1,0 +1,87 @@
+//! `datacell-server` — the DataCell daemon.
+//!
+//! ```text
+//! datacell-server [--addr HOST:PORT] [--workers N] [--emitter-capacity N]
+//!                 [--incremental] [--init FILE]
+//! ```
+//!
+//! Prints `LISTENING <addr>` once the socket is bound (port 0 picks an
+//! ephemeral port — scripts scrape the line to learn it), then serves
+//! until a session issues `SHUTDOWN`.
+
+use std::io::Write;
+use std::time::Duration;
+
+use datacell_core::DataCellConfig;
+use datacell_server::{Server, ServerConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: datacell-server [--addr HOST:PORT] [--workers N] \
+         [--emitter-capacity N] [--incremental] [--init FILE]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut config = ServerConfig { addr: "127.0.0.1:4321".into(), ..Default::default() };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} requires a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--addr" => config.addr = value("--addr"),
+            "--workers" => {
+                config.engine.workers =
+                    value("--workers").parse().unwrap_or_else(|_| usage())
+            }
+            "--emitter-capacity" => {
+                // 0 = unbounded (matches DataCellConfig's None).
+                let n: usize = value("--emitter-capacity").parse().unwrap_or_else(|_| usage());
+                config.engine.emitter_capacity = if n == 0 { None } else { Some(n) };
+            }
+            "--incremental" => {
+                config.engine.default_mode = DataCellConfig::incremental().default_mode
+            }
+            "--init" => {
+                let path = value("--init");
+                match std::fs::read_to_string(&path) {
+                    Ok(script) => config.init_script = Some(script),
+                    Err(e) => {
+                        eprintln!("--init {path}: {e}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                usage();
+            }
+        }
+    }
+
+    let server = match Server::start(config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("failed to start: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("LISTENING {}", server.local_addr());
+    std::io::stdout().flush().ok();
+
+    // Serve until some session issues SHUTDOWN.
+    while !server.shutdown_requested() {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    let stats = server.shutdown();
+    println!(
+        "shutdown: {} sessions, {} commands, {} rows in, {} chunks out",
+        stats.sessions_opened, stats.commands, stats.rows_pushed, stats.chunks_delivered
+    );
+}

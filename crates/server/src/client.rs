@@ -1,0 +1,375 @@
+//! Blocking wire-protocol client — used by the integration tests, the
+//! `datacell-cli` binary and the `e10_server` load generator.
+
+use std::fmt;
+use std::io::{self, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use datacell_core::ExecutionMode;
+use datacell_storage::Row;
+
+use crate::protocol::{decode_row, encode_row, split_fields, PUSH_END};
+use crate::session::{LineReader, ReadLine};
+
+/// Client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(io::Error),
+    /// The server sent something outside the protocol grammar.
+    Protocol(String),
+    /// The server answered `ERR <message>`.
+    Server(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::Server(m) => write!(f, "server error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// Convenience alias for client calls.
+pub type Result<T> = std::result::Result<T, ClientError>;
+
+/// Decoded reply of [`Client::exec`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecReply {
+    /// `OK CREATED <name>`.
+    Created(String),
+    /// `OK DROPPED <name>`.
+    Dropped(String),
+    /// `OK INSERTED <n>`.
+    Inserted(usize),
+    /// `ROWS <n> <names>` + rows.
+    Rows {
+        /// Output column names.
+        names: Vec<String>,
+        /// Decoded result rows.
+        rows: Vec<Row>,
+    },
+}
+
+/// A blocking connection to a DataCell server.
+pub struct Client {
+    stream: TcpStream,
+    reader: LineReader<TcpStream>,
+}
+
+impl Client {
+    /// Connect to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let reader = LineReader::new(stream.try_clone()?);
+        Ok(Client { stream, reader })
+    }
+
+    fn send_line(&mut self, line: &str) -> Result<()> {
+        self.stream.write_all(line.as_bytes())?;
+        self.stream.write_all(b"\n")?;
+        Ok(())
+    }
+
+    /// Read one reply line, blocking indefinitely.
+    fn read_line(&mut self) -> Result<String> {
+        self.stream.set_read_timeout(None)?;
+        match self.reader.poll_line()? {
+            ReadLine::Line(l) => Ok(l),
+            ReadLine::Eof => Err(ClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ))),
+            ReadLine::Idle => Err(ClientError::Protocol("idle on blocking read".into())),
+        }
+    }
+
+    /// Read one reply line, surfacing `ERR` as [`ClientError::Server`].
+    fn read_reply(&mut self) -> Result<String> {
+        let line = self.read_line()?;
+        match line.strip_prefix("ERR ") {
+            Some(msg) => Err(ClientError::Server(msg.to_owned())),
+            None => Ok(line),
+        }
+    }
+
+    fn expect(&mut self, prefix: &str) -> Result<String> {
+        let line = self.read_reply()?;
+        line.strip_prefix(prefix)
+            .map(|rest| rest.trim().to_owned())
+            .ok_or_else(|| {
+                ClientError::Protocol(format!("expected {prefix:?}, got {line:?}"))
+            })
+    }
+
+    /// `PING` → `PONG`.
+    pub fn ping(&mut self) -> Result<()> {
+        self.send_line("PING")?;
+        let line = self.read_reply()?;
+        if line == "PONG" {
+            Ok(())
+        } else {
+            Err(ClientError::Protocol(format!("expected PONG, got {line:?}")))
+        }
+    }
+
+    /// Run one SQL statement.
+    pub fn exec(&mut self, sql: &str) -> Result<ExecReply> {
+        self.send_line(&format!("EXEC {sql}"))?;
+        let line = self.read_reply()?;
+        if let Some(rest) = line.strip_prefix("OK CREATED ") {
+            return Ok(ExecReply::Created(rest.to_owned()));
+        }
+        if let Some(rest) = line.strip_prefix("OK DROPPED ") {
+            return Ok(ExecReply::Dropped(rest.to_owned()));
+        }
+        if let Some(rest) = line.strip_prefix("OK INSERTED ") {
+            let n = rest
+                .parse()
+                .map_err(|_| ClientError::Protocol(format!("bad count {rest:?}")))?;
+            return Ok(ExecReply::Inserted(n));
+        }
+        if let Some(rest) = line.strip_prefix("ROWS ") {
+            let (count, names) = rest
+                .split_once(' ')
+                .map(|(c, n)| (c, n.to_owned()))
+                .unwrap_or((rest, String::new()));
+            let count: usize = count
+                .parse()
+                .map_err(|_| ClientError::Protocol(format!("bad row count in {line:?}")))?;
+            let names = decode_names(&names)?;
+            let mut rows = Vec::with_capacity(count);
+            for _ in 0..count {
+                let row_line = self.read_line()?;
+                rows.push(
+                    decode_row(&row_line).map_err(|e| ClientError::Protocol(e.0))?,
+                );
+            }
+            return Ok(ExecReply::Rows { names, rows });
+        }
+        Err(ClientError::Protocol(format!("unexpected EXEC reply {line:?}")))
+    }
+
+    /// Register a continuous query, returning its id.
+    pub fn register(&mut self, sql: &str) -> Result<u64> {
+        self.send_line(&format!("REGISTER {sql}"))?;
+        self.read_query_id()
+    }
+
+    /// Register with an explicit execution mode.
+    pub fn register_with_mode(&mut self, sql: &str, mode: ExecutionMode) -> Result<u64> {
+        let kw = match mode {
+            ExecutionMode::Incremental => "INCREMENTAL",
+            ExecutionMode::Reevaluate => "REEVAL",
+        };
+        self.send_line(&format!("REGISTER {kw} {sql}"))?;
+        self.read_query_id()
+    }
+
+    fn read_query_id(&mut self) -> Result<u64> {
+        let rest = self.expect("OK QUERY ")?;
+        rest.parse()
+            .map_err(|_| ClientError::Protocol(format!("bad query id {rest:?}")))
+    }
+
+    /// Deregister a continuous query.
+    pub fn deregister(&mut self, id: u64) -> Result<()> {
+        self.send_line(&format!("DEREGISTER {id}"))?;
+        self.expect("OK DEREGISTERED ").map(|_| ())
+    }
+
+    /// Bulk-ingest rows into a stream (the socket-receptor path). Returns
+    /// how many rows the basket accepted.
+    pub fn push_rows(&mut self, stream: &str, rows: &[Row]) -> Result<usize> {
+        let mut block = format!("PUSH {stream}\n");
+        for row in rows {
+            block.push_str(&encode_row(row));
+            block.push('\n');
+        }
+        block.push_str(PUSH_END);
+        block.push('\n');
+        self.stream.write_all(block.as_bytes())?;
+        let rest = self.expect("OK PUSHED ")?;
+        rest.parse()
+            .map_err(|_| ClientError::Protocol(format!("bad push count {rest:?}")))
+    }
+
+    /// Full `STATS` report text.
+    pub fn stats(&mut self) -> Result<String> {
+        self.send_line("STATS")?;
+        let rest = self.expect("STATS ")?;
+        let lines: usize = rest
+            .parse()
+            .map_err(|_| ClientError::Protocol(format!("bad stats length {rest:?}")))?;
+        let mut out = String::new();
+        for _ in 0..lines {
+            out.push_str(&self.read_line()?);
+            out.push('\n');
+        }
+        Ok(out)
+    }
+
+    /// Enter streaming mode for `query`. With a limit the server ends the
+    /// stream by itself after that many chunks.
+    pub fn subscribe(&mut self, query: u64, limit: Option<u64>) -> Result<Subscription<'_>> {
+        match limit {
+            Some(n) => self.send_line(&format!("SUBSCRIBE {query} LIMIT {n}"))?,
+            None => self.send_line(&format!("SUBSCRIBE {query}"))?,
+        }
+        let rest = self.expect("OK SUBSCRIBED ")?;
+        let names = match rest.split_once(' ') {
+            Some((_id, names)) => decode_names(names)?,
+            None => Vec::new(),
+        };
+        Ok(Subscription { client: self, names, finished: false })
+    }
+
+    /// Ask the server to shut down gracefully.
+    pub fn shutdown_server(&mut self) -> Result<()> {
+        self.send_line("SHUTDOWN")?;
+        self.expect("OK SHUTDOWN").map(|_| ())
+    }
+
+    /// Close the session politely.
+    pub fn quit(mut self) -> Result<()> {
+        self.send_line("QUIT")?;
+        self.expect("OK BYE").map(|_| ())
+    }
+}
+
+fn decode_names(csv: &str) -> Result<Vec<String>> {
+    if csv.is_empty() {
+        return Ok(Vec::new());
+    }
+    Ok(split_fields(csv)
+        .map_err(|e| ClientError::Protocol(e.0))?
+        .into_iter()
+        .map(|f| f.text)
+        .collect())
+}
+
+/// An active subscription: the connection is in streaming mode until
+/// [`Subscription::stop`] or the server ends the stream (`LIMIT`,
+/// deregistration, shutdown).
+///
+/// Leave streaming mode with [`Subscription::stop`] (or by observing
+/// [`Subscription::finished`]) before reusing the [`Client`] for other
+/// commands — merely dropping an unfinished subscription leaves the
+/// server streaming on this connection, and subsequent commands would
+/// read `CHUNK` frames as their replies.
+pub struct Subscription<'a> {
+    client: &'a mut Client,
+    names: Vec<String>,
+    finished: bool,
+}
+
+impl Subscription<'_> {
+    /// Output column names of the subscribed query.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// True once the server ended the stream (`OK STOPPED` seen).
+    pub fn finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Wait up to `timeout` for the next chunk. `Ok(None)` means either
+    /// the timeout elapsed or the stream ended — check
+    /// [`Subscription::finished`] to tell them apart.
+    pub fn next_chunk(&mut self, timeout: Duration) -> Result<Option<Vec<Row>>> {
+        if self.finished {
+            return Ok(None);
+        }
+        self.client.stream.set_read_timeout(Some(timeout))?;
+        let header = match self.client.reader.poll_line()? {
+            ReadLine::Idle => return Ok(None),
+            ReadLine::Eof => {
+                self.finished = true;
+                return Ok(None);
+            }
+            ReadLine::Line(l) => l,
+        };
+        self.read_frame_body(&header)
+    }
+
+    /// Parse one frame starting at `header`, reading its rows (blocking —
+    /// the server writes a frame contiguously).
+    fn read_frame_body(&mut self, header: &str) -> Result<Option<Vec<Row>>> {
+        if header.starts_with("OK STOPPED") {
+            self.finished = true;
+            return Ok(None);
+        }
+        let Some(rest) = header.strip_prefix("CHUNK ") else {
+            return Err(ClientError::Protocol(format!(
+                "expected CHUNK frame, got {header:?}"
+            )));
+        };
+        let count: usize = rest
+            .split_whitespace()
+            .nth(1)
+            .and_then(|n| n.parse().ok())
+            .ok_or_else(|| ClientError::Protocol(format!("bad CHUNK header {header:?}")))?;
+        let mut rows = Vec::with_capacity(count);
+        self.client.stream.set_read_timeout(None)?;
+        for _ in 0..count {
+            let line = self.client.read_line()?;
+            rows.push(decode_row(&line).map_err(|e| ClientError::Protocol(e.0))?);
+        }
+        Ok(Some(rows))
+    }
+
+    /// Leave streaming mode: send `STOP`, drain in-flight chunks, return
+    /// them together with the final `(chunks, rows)` totals the server
+    /// reported.
+    pub fn stop(mut self) -> Result<(Vec<Vec<Row>>, u64, u64)> {
+        if self.finished {
+            return Ok((Vec::new(), 0, 0));
+        }
+        self.client.send_line("STOP")?;
+        let mut tail = Vec::new();
+        let (chunks, rows) = loop {
+            self.client.stream.set_read_timeout(None)?;
+            let line = self.client.read_line()?;
+            if let Some(rest) = line.strip_prefix("OK STOPPED ") {
+                self.finished = true;
+                let mut it = rest.split_whitespace();
+                let chunks = it.next().and_then(|n| n.parse().ok()).unwrap_or(0);
+                let rows = it.next().and_then(|n| n.parse().ok()).unwrap_or(0);
+                break (chunks, rows);
+            }
+            // A CHUNK frame raced with our STOP; keep it.
+            if let Some(rows) = self.read_frame_body(&line)? {
+                tail.push(rows);
+            }
+        };
+        // Resync: if the server ended the stream on its own (LIMIT,
+        // deregistration) in the instant before our STOP arrived, the
+        // STOP was answered with an ERR in command mode that is still in
+        // flight. A PING round-trip flushes it deterministically.
+        self.client.send_line("PING")?;
+        loop {
+            let line = self.client.read_line()?;
+            if line == "PONG" {
+                return Ok((tail, chunks, rows));
+            }
+            if !line.starts_with("ERR ") {
+                return Err(ClientError::Protocol(format!(
+                    "unexpected line while resyncing after STOP: {line:?}"
+                )));
+            }
+        }
+    }
+}

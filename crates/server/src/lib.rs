@@ -1,0 +1,56 @@
+//! # datacell-server
+//!
+//! The TCP frontend of the DataCell engine: the paper's "bridges to the
+//! outside world" (§3) made real. Receptors and emitters stop being
+//! in-process iterator/channel adapters and become **sockets**:
+//!
+//! * a `PUSH` block is a **socket receptor** — CSV rows flow off the wire
+//!   into a stream's basket in one batch;
+//! * a `SUBSCRIBE`d connection is an **emitter** — result chunks stream
+//!   back to the client with bounded-queue backpressure (drop-oldest, see
+//!   `DataCellConfig::emitter_capacity`).
+//!
+//! Layering (each unit-testable below the sockets):
+//!
+//! * [`protocol`] — line-oriented wire grammar: framing, CSV value
+//!   encoding, command parsing. No I/O.
+//! * [`session`] — one thread per connection: command dispatch and the
+//!   streaming (subscription) mode.
+//! * [`server`] — the listener, the shared engine behind a mutex, the
+//!   scheduler pump thread, graceful shutdown, server-wide stats.
+//! * [`client`] — a blocking client for tests, the CLI and load
+//!   generators.
+//!
+//! Binaries: `datacell-server` (the daemon) and `datacell-cli`
+//! (interactive/scripted session).
+//!
+//! ```
+//! use datacell_server::{Client, Server, ServerConfig};
+//!
+//! let server = Server::start(ServerConfig::default()).unwrap();
+//! // Subscriptions deliver *future* results, so subscribe (connection A)
+//! // before pushing (connection B).
+//! let mut a = Client::connect(server.local_addr()).unwrap();
+//! a.exec("CREATE STREAM s (v BIGINT)").unwrap();
+//! let q = a.register("SELECT COUNT(*) FROM s").unwrap();
+//! let mut sub = a.subscribe(q, Some(1)).unwrap();
+//!
+//! let mut b = Client::connect(server.local_addr()).unwrap();
+//! b.push_rows("s", &[vec![1i64.into()], vec![2i64.into()]]).unwrap();
+//!
+//! let chunk = sub.next_chunk(std::time::Duration::from_secs(10)).unwrap();
+//! assert_eq!(chunk.unwrap()[0], vec![2i64.into()]);
+//! server.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+pub mod session;
+
+pub use client::{Client, ClientError, ExecReply, Subscription};
+pub use protocol::{Command, ProtocolError};
+pub use server::{Server, ServerConfig, ServerStats};
+pub use session::SessionStats;

@@ -1,0 +1,566 @@
+//! Wire protocol: framing, parsing and serialization — no sockets here,
+//! so every rule is unit-testable.
+//!
+//! The protocol is line-oriented text (`\n`-terminated, `\r` tolerated):
+//!
+//! ```text
+//! client → server                       server → client
+//! ---------------------------------------------------------------------
+//! PING                                  PONG
+//! EXEC <sql>                            OK CREATED <name> | OK DROPPED <name>
+//!                                       | OK INSERTED <n>
+//!                                       | ROWS <n> <csv-names> + n CSV rows
+//! REGISTER [INCREMENTAL|REEVAL] <sql>   OK QUERY <id>
+//! DEREGISTER <id>                       OK DEREGISTERED <id>
+//! PUSH <stream>                         OK PUSHED <n>
+//!   <csv row> … END                       (socket-receptor bulk ingest)
+//! SUBSCRIBE <id> [LIMIT <n>]            OK SUBSCRIBED <id> <csv-names>
+//!                                       then CHUNK <id> <n> + n CSV rows …
+//! STOP          (while subscribed)      OK STOPPED <chunks> <rows>
+//! STATS                                 STATS <n> + n report lines
+//! SHUTDOWN                              OK SHUTDOWN
+//! QUIT                                  OK BYE
+//! any error                             ERR <message>
+//! ```
+//!
+//! Multi-line replies carry an exact line count up front, so a client
+//! never needs a terminator scan. Values are CSV-encoded per
+//! [`encode_value`]: strings are always double-quoted (`""` escaping),
+//! `NULL` / `true` / `false` / integers / floats are bare, timestamps are
+//! `@<micros>` — the same rendering `Value`'s `Display` uses, so a wire
+//! chunk is byte-identical to encoding the in-process chunk.
+
+use std::fmt;
+
+use datacell_core::ExecutionMode;
+use datacell_storage::{Chunk, DataType, Row, Schema, Value};
+
+/// Terminator line for a `PUSH` row block.
+pub const PUSH_END: &str = "END";
+
+/// A protocol violation (malformed command, field or frame).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtocolError(pub String);
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "protocol error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+fn err(msg: impl Into<String>) -> ProtocolError {
+    ProtocolError(msg.into())
+}
+
+/// One client command, parsed from its first line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Liveness probe.
+    Ping,
+    /// Run one SQL statement.
+    Exec(String),
+    /// Register a continuous query (`mode` = None → engine default).
+    Register {
+        /// The SELECT text.
+        sql: String,
+        /// Explicit execution mode, if any.
+        mode: Option<ExecutionMode>,
+    },
+    /// Remove a continuous query.
+    Deregister(u64),
+    /// Bulk-ingest CSV rows into a stream (rows follow, then [`PUSH_END`]).
+    Push(String),
+    /// Stream a query's result chunks to this connection.
+    Subscribe {
+        /// Query id.
+        query: u64,
+        /// Auto-stop after this many chunks (None = until STOP/close).
+        limit: Option<u64>,
+    },
+    /// Leave streaming mode (only meaningful while subscribed).
+    Stop,
+    /// Engine + server statistics report.
+    Stats,
+    /// Ask the server to shut down gracefully.
+    Shutdown,
+    /// Close this session.
+    Quit,
+}
+
+/// Parse one command line.
+pub fn parse_command(line: &str) -> Result<Command, ProtocolError> {
+    let line = line.trim();
+    let (word, rest) = match line.split_once(char::is_whitespace) {
+        Some((w, r)) => (w, r.trim()),
+        None => (line, ""),
+    };
+    let expect_empty = |cmd: &str| {
+        if rest.is_empty() {
+            Ok(())
+        } else {
+            Err(err(format!("{cmd} takes no arguments")))
+        }
+    };
+    match word.to_ascii_uppercase().as_str() {
+        "PING" => expect_empty("PING").map(|()| Command::Ping),
+        "EXEC" => {
+            if rest.is_empty() {
+                return Err(err("EXEC requires a SQL statement"));
+            }
+            Ok(Command::Exec(rest.to_owned()))
+        }
+        "REGISTER" => {
+            if rest.is_empty() {
+                return Err(err("REGISTER requires a SELECT statement"));
+            }
+            let (head, tail) = match rest.split_once(char::is_whitespace) {
+                Some((h, t)) => (h, t.trim()),
+                None => (rest, ""),
+            };
+            let (mode, sql) = match head.to_ascii_uppercase().as_str() {
+                "INCREMENTAL" => (Some(ExecutionMode::Incremental), tail),
+                "REEVAL" => (Some(ExecutionMode::Reevaluate), tail),
+                _ => (None, rest),
+            };
+            if sql.is_empty() {
+                return Err(err("REGISTER requires a SELECT statement"));
+            }
+            Ok(Command::Register { sql: sql.to_owned(), mode })
+        }
+        "DEREGISTER" => rest
+            .parse::<u64>()
+            .map(Command::Deregister)
+            .map_err(|_| err(format!("DEREGISTER requires a query id, got {rest:?}"))),
+        "PUSH" => {
+            if rest.is_empty() || rest.contains(char::is_whitespace) {
+                return Err(err("PUSH requires exactly one stream name"));
+            }
+            Ok(Command::Push(rest.to_owned()))
+        }
+        "SUBSCRIBE" => {
+            let mut parts = rest.split_whitespace();
+            let id = parts
+                .next()
+                .and_then(|t| t.parse::<u64>().ok())
+                .ok_or_else(|| err(format!("SUBSCRIBE requires a query id, got {rest:?}")))?;
+            let limit = match (parts.next().map(str::to_ascii_uppercase), parts.next()) {
+                (None, _) => None,
+                (Some(kw), Some(n)) if kw == "LIMIT" => Some(
+                    n.parse::<u64>()
+                        .map_err(|_| err(format!("LIMIT requires a count, got {n:?}")))?,
+                ),
+                _ => return Err(err("SUBSCRIBE syntax: SUBSCRIBE <id> [LIMIT <n>]")),
+            };
+            if parts.next().is_some() {
+                return Err(err("SUBSCRIBE syntax: SUBSCRIBE <id> [LIMIT <n>]"));
+            }
+            Ok(Command::Subscribe { query: id, limit })
+        }
+        "STOP" => expect_empty("STOP").map(|()| Command::Stop),
+        "STATS" => expect_empty("STATS").map(|()| Command::Stats),
+        "SHUTDOWN" => expect_empty("SHUTDOWN").map(|()| Command::Shutdown),
+        "QUIT" => expect_empty("QUIT").map(|()| Command::Quit),
+        other => Err(err(format!("unknown command {other:?}"))),
+    }
+}
+
+// ---- value / row CSV encoding ----------------------------------------
+
+/// Encode one value as a CSV field. Strings are always quoted (with `""`
+/// escaping), everything else uses `Value`'s `Display` rendering — which
+/// makes `NULL`, booleans, numbers and `@micros` timestamps unambiguous.
+///
+/// Because the framing is line-oriented, newlines (and backslashes)
+/// inside quoted strings are backslash-escaped: `\n`, `\r`, `\\`. A raw
+/// newline must never reach the wire inside a field, or it would split
+/// the frame — and, on the `PUSH` path, let data inject protocol
+/// commands.
+pub fn encode_value(v: &Value) -> String {
+    match v {
+        Value::Str(s) => {
+            let mut out = String::with_capacity(s.len() + 2);
+            out.push('"');
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\"\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\r' => out.push_str("\\r"),
+                    _ => out.push(c),
+                }
+            }
+            out.push('"');
+            out
+        }
+        other => other.to_string(),
+    }
+}
+
+/// Encode a row as one CSV line (no trailing newline).
+pub fn encode_row(row: &[Value]) -> String {
+    row.iter().map(encode_value).collect::<Vec<_>>().join(",")
+}
+
+/// Encode a column-name list as one CSV line (names are quoted only when
+/// they contain a delimiter or quote).
+pub fn encode_names(names: &[String]) -> String {
+    names
+        .iter()
+        .map(|n| {
+            if n.contains([',', '"']) {
+                encode_value(&Value::Str(n.clone()))
+            } else {
+                n.clone()
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Encode one result chunk as a `CHUNK` frame (header + rows, each line
+/// `\n`-terminated).
+pub fn encode_chunk(query: u64, chunk: &Chunk) -> String {
+    let mut out = format!("CHUNK {query} {}\n", chunk.len());
+    for row in chunk.rows() {
+        out.push_str(&encode_row(&row));
+        out.push('\n');
+    }
+    out
+}
+
+/// One CSV field plus whether it was quoted (quoted ⇒ always a string).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Unescaped field text.
+    pub text: String,
+    /// Whether the field was written in double quotes.
+    pub quoted: bool,
+}
+
+/// Split one CSV line into fields, honouring double-quote escaping.
+pub fn split_fields(line: &str) -> Result<Vec<Field>, ProtocolError> {
+    let mut fields = Vec::new();
+    let mut chars = line.chars().peekable();
+    loop {
+        let mut text = String::new();
+        let mut quoted = false;
+        if chars.peek() == Some(&'"') {
+            quoted = true;
+            chars.next();
+            loop {
+                match chars.next() {
+                    Some('"') => {
+                        if chars.peek() == Some(&'"') {
+                            chars.next();
+                            text.push('"');
+                        } else {
+                            break;
+                        }
+                    }
+                    Some('\\') => match chars.next() {
+                        Some('n') => text.push('\n'),
+                        Some('r') => text.push('\r'),
+                        Some('\\') => text.push('\\'),
+                        other => {
+                            return Err(err(format!(
+                                "bad escape \\{} in quoted field",
+                                other.map(String::from).unwrap_or_default()
+                            )))
+                        }
+                    },
+                    Some(c) => text.push(c),
+                    None => return Err(err("unterminated quoted field")),
+                }
+            }
+            match chars.next() {
+                None => {
+                    fields.push(Field { text, quoted });
+                    return Ok(fields);
+                }
+                Some(',') => {
+                    fields.push(Field { text, quoted });
+                    continue;
+                }
+                Some(c) => return Err(err(format!("unexpected {c:?} after quoted field"))),
+            }
+        }
+        loop {
+            match chars.next() {
+                None => {
+                    fields.push(Field { text, quoted });
+                    return Ok(fields);
+                }
+                Some(',') => {
+                    fields.push(Field { text, quoted });
+                    break;
+                }
+                Some('"') => return Err(err("quote inside unquoted field")),
+                Some(c) => text.push(c),
+            }
+        }
+    }
+}
+
+/// Decode one field without schema knowledge (result rows): quoted →
+/// string; otherwise `NULL`, booleans, `@micros`, integers and floats.
+pub fn decode_value(field: &Field) -> Result<Value, ProtocolError> {
+    if field.quoted {
+        return Ok(Value::Str(field.text.clone()));
+    }
+    let t = field.text.as_str();
+    match t {
+        "NULL" => return Ok(Value::Null),
+        "true" => return Ok(Value::Bool(true)),
+        "false" => return Ok(Value::Bool(false)),
+        _ => {}
+    }
+    if let Some(ts) = t.strip_prefix('@') {
+        return ts
+            .parse::<i64>()
+            .map(Value::Timestamp)
+            .map_err(|_| err(format!("bad timestamp field {t:?}")));
+    }
+    if let Ok(i) = t.parse::<i64>() {
+        return Ok(Value::Int(i));
+    }
+    if let Ok(x) = t.parse::<f64>() {
+        return Ok(Value::Float(x));
+    }
+    Err(err(format!("undecodable field {t:?}")))
+}
+
+/// Decode a result row (schema-less: the encoding is self-describing).
+pub fn decode_row(line: &str) -> Result<Row, ProtocolError> {
+    split_fields(line)?.iter().map(decode_value).collect()
+}
+
+/// Decode one ingest row against a stream schema (`PUSH` path): each field
+/// is coerced to its column's type; empty or `NULL` bare fields are NULL.
+pub fn decode_typed_row(line: &str, schema: &Schema) -> Result<Row, ProtocolError> {
+    let fields = split_fields(line)?;
+    if fields.len() != schema.arity() {
+        return Err(err(format!(
+            "row has {} fields, stream has {} columns",
+            fields.len(),
+            schema.arity()
+        )));
+    }
+    fields
+        .iter()
+        .zip(schema.columns())
+        .map(|(f, col)| {
+            if !f.quoted && (f.text.is_empty() || f.text == "NULL") {
+                return Ok(Value::Null);
+            }
+            let t = f.text.as_str();
+            let parsed = match col.ty {
+                DataType::Str => Some(Value::Str(t.to_owned())),
+                _ if f.quoted => None,
+                DataType::Bool => t.parse::<bool>().ok().map(Value::Bool),
+                DataType::Int => t.parse::<i64>().ok().map(Value::Int),
+                DataType::Float => t.parse::<f64>().ok().map(Value::Float),
+                DataType::Timestamp => t
+                    .strip_prefix('@')
+                    .unwrap_or(t)
+                    .parse::<i64>()
+                    .ok()
+                    .map(Value::Timestamp),
+            };
+            parsed.ok_or_else(|| {
+                err(format!("column {:?} ({:?}): bad field {t:?}", col.name, col.ty))
+            })
+        })
+        .collect()
+}
+
+/// Render an error reply line (newlines folded so the frame stays one line).
+pub fn err_line(msg: &str) -> String {
+    format!("ERR {}\n", msg.replace(['\n', '\r'], "; "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datacell_storage::Bat;
+
+    #[test]
+    fn parse_basic_commands() {
+        assert_eq!(parse_command("PING").unwrap(), Command::Ping);
+        assert_eq!(parse_command("  quit  ").unwrap(), Command::Quit);
+        assert_eq!(parse_command("STATS").unwrap(), Command::Stats);
+        assert_eq!(parse_command("SHUTDOWN").unwrap(), Command::Shutdown);
+        assert_eq!(parse_command("STOP").unwrap(), Command::Stop);
+        assert_eq!(
+            parse_command("EXEC SELECT * FROM t").unwrap(),
+            Command::Exec("SELECT * FROM t".into())
+        );
+        assert_eq!(parse_command("push trades").unwrap(), Command::Push("trades".into()));
+        assert_eq!(parse_command("DEREGISTER 12").unwrap(), Command::Deregister(12));
+    }
+
+    #[test]
+    fn parse_register_modes() {
+        assert_eq!(
+            parse_command("REGISTER SELECT COUNT(*) FROM s").unwrap(),
+            Command::Register { sql: "SELECT COUNT(*) FROM s".into(), mode: None }
+        );
+        assert_eq!(
+            parse_command("REGISTER INCREMENTAL SELECT 1 FROM s").unwrap(),
+            Command::Register {
+                sql: "SELECT 1 FROM s".into(),
+                mode: Some(ExecutionMode::Incremental)
+            }
+        );
+        assert_eq!(
+            parse_command("REGISTER REEVAL SELECT 1 FROM s").unwrap(),
+            Command::Register {
+                sql: "SELECT 1 FROM s".into(),
+                mode: Some(ExecutionMode::Reevaluate)
+            }
+        );
+    }
+
+    #[test]
+    fn parse_subscribe_forms() {
+        assert_eq!(
+            parse_command("SUBSCRIBE 3").unwrap(),
+            Command::Subscribe { query: 3, limit: None }
+        );
+        assert_eq!(
+            parse_command("SUBSCRIBE 3 LIMIT 10").unwrap(),
+            Command::Subscribe { query: 3, limit: Some(10) }
+        );
+        assert!(parse_command("SUBSCRIBE").is_err());
+        assert!(parse_command("SUBSCRIBE x").is_err());
+        assert!(parse_command("SUBSCRIBE 3 LIMIT").is_err());
+        assert!(parse_command("SUBSCRIBE 3 LIMIT 1 junk").is_err());
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(parse_command("").is_err());
+        assert!(parse_command("FROB").is_err());
+        assert!(parse_command("PING now").is_err());
+        assert!(parse_command("EXEC").is_err());
+        assert!(parse_command("REGISTER").is_err());
+        assert!(parse_command("REGISTER INCREMENTAL").is_err());
+        assert!(parse_command("PUSH a b").is_err());
+        assert!(parse_command("DEREGISTER one").is_err());
+    }
+
+    #[test]
+    fn value_roundtrip() {
+        let row: Row = vec![
+            Value::Null,
+            Value::Bool(true),
+            Value::Int(-7),
+            Value::Float(2.5),
+            Value::Float(3.0),
+            Value::Str("plain".into()),
+            Value::Str("with,comma and \"quotes\"".into()),
+            Value::Str("NULL".into()), // literal string, stays a string
+            Value::Str("multi\nline\r\\slash".into()),
+            Value::Timestamp(99),
+        ];
+        let line = encode_row(&row);
+        assert_eq!(decode_row(&line).unwrap(), row);
+    }
+
+    #[test]
+    fn encoding_is_stable() {
+        assert_eq!(encode_value(&Value::Float(2.0)), "2.0");
+        assert_eq!(encode_value(&Value::Timestamp(5)), "@5");
+        assert_eq!(encode_value(&Value::Str("a\"b".into())), "\"a\"\"b\"");
+        assert_eq!(
+            encode_row(&[Value::Int(1), Value::Str("x,y".into())]),
+            "1,\"x,y\""
+        );
+    }
+
+    #[test]
+    fn newlines_never_reach_the_wire_raw() {
+        // A newline inside a value must not split the line frame (it
+        // would desync the protocol — or inject commands via PUSH).
+        let v = Value::Str("a\nEND\nSHUTDOWN".into());
+        let encoded = encode_value(&v);
+        assert!(!encoded.contains('\n'), "raw newline leaked: {encoded:?}");
+        assert_eq!(encoded, "\"a\\nEND\\nSHUTDOWN\"");
+        assert_eq!(decode_row(&encoded).unwrap(), vec![v]);
+        assert!(split_fields("\"bad\\x\"").is_err());
+    }
+
+    #[test]
+    fn split_fields_errors() {
+        assert!(split_fields("\"open").is_err());
+        assert!(split_fields("\"a\"junk").is_err());
+        assert!(split_fields("a\"b").is_err());
+        assert_eq!(
+            split_fields("a,,\"\"").unwrap(),
+            vec![
+                Field { text: "a".into(), quoted: false },
+                Field { text: String::new(), quoted: false },
+                Field { text: String::new(), quoted: true },
+            ]
+        );
+    }
+
+    #[test]
+    fn typed_rows_follow_schema() {
+        let schema = Schema::of(&[
+            ("id", DataType::Int),
+            ("temp", DataType::Float),
+            ("tag", DataType::Str),
+            ("ok", DataType::Bool),
+            ("ts", DataType::Timestamp),
+        ]);
+        let row = decode_typed_row("4,19.5,\"a,b\",true,@77", &schema).unwrap();
+        assert_eq!(
+            row,
+            vec![
+                Value::Int(4),
+                Value::Float(19.5),
+                Value::Str("a,b".into()),
+                Value::Bool(true),
+                Value::Timestamp(77),
+            ]
+        );
+        // Bare timestamps (no @) and unquoted strings are accepted too.
+        let row = decode_typed_row("4,19,plain,false,77", &schema).unwrap();
+        assert_eq!(row[1], Value::Float(19.0));
+        assert_eq!(row[2], Value::Str("plain".into()));
+        assert_eq!(row[4], Value::Timestamp(77));
+        // NULLs.
+        let row = decode_typed_row("NULL,,NULL,,", &schema).unwrap();
+        assert!(row.iter().all(Value::is_null));
+        // Errors: arity and type.
+        assert!(decode_typed_row("1,2", &schema).is_err());
+        assert!(decode_typed_row("x,1,a,true,1", &schema).is_err());
+    }
+
+    #[test]
+    fn chunk_frame_has_exact_row_count() {
+        let chunk = Chunk::new(vec![
+            Bat::from_ints(vec![1, 2]),
+            Bat::from_floats(vec![0.5, 1.5]),
+        ])
+        .unwrap();
+        let frame = encode_chunk(9, &chunk);
+        assert_eq!(frame, "CHUNK 9 2\n1,0.5\n2,1.5\n");
+    }
+
+    #[test]
+    fn err_line_is_single_line() {
+        assert_eq!(err_line("boom\nline2"), "ERR boom; line2\n");
+    }
+
+    #[test]
+    fn names_quoted_only_when_needed() {
+        assert_eq!(
+            encode_names(&["a".into(), "count_star".into()]),
+            "a,count_star"
+        );
+        assert_eq!(encode_names(&["a,b".into()]), "\"a,b\"");
+    }
+}

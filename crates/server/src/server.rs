@@ -1,0 +1,322 @@
+//! The server: a TCP listener hosting one shared [`DataCell`] engine.
+//!
+//! Threading model (no async runtime — plain `std::net` + `std::thread`,
+//! the build environment is offline):
+//!
+//! * the **listener thread** accepts connections and spawns one
+//!   [`session`](crate::session) thread per client;
+//! * the **pump thread** is the scheduler's heartbeat: it waits on a
+//!   condvar-with-timeout over the engine mutex and drives
+//!   [`DataCell::run_until_idle`] whenever a session signals new work (or
+//!   every `pump_interval` as a safety net). Ingest commands (`PUSH`,
+//!   `EXEC INSERT`) also evaluate synchronously before acknowledging, so
+//!   the pump only matters for out-of-band enabling events (e.g. a query
+//!   registered after data already arrived);
+//! * **graceful shutdown** raises a flag every blocking point polls,
+//!   closes all subscriber queues via [`DataCell::shutdown`] so streaming
+//!   sessions end their `CHUNK` streams, unblocks `accept` with a
+//!   self-connection, and joins every thread.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use datacell_core::{DataCell, DataCellConfig};
+
+use crate::session::{run_session, SessionStats};
+
+/// Server construction parameters.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port (see
+    /// [`Server::local_addr`]).
+    pub addr: String,
+    /// Engine configuration.
+    pub engine: DataCellConfig,
+    /// SQL script (`;`-separated) run against the engine before the
+    /// listener opens — typically `CREATE STREAM`s.
+    pub init_script: Option<String>,
+    /// Fallback interval at which the pump thread fires the scheduler
+    /// even without an explicit work signal.
+    pub pump_interval: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            // Results are delivered through subscriptions only; nothing in
+            // the server ever calls `take_results`, so the engine-internal
+            // pending queue must be bounded or a long-running server leaks
+            // one chunk per firing per query.
+            engine: DataCellConfig {
+                results_capacity: Some(64),
+                ..DataCellConfig::default()
+            },
+            init_script: None,
+            pump_interval: Duration::from_millis(50),
+        }
+    }
+}
+
+/// Server-wide counters, aggregated across all sessions (atomics so
+/// sessions never contend on the engine mutex just to count).
+#[derive(Debug, Default)]
+pub(crate) struct StatCounters {
+    pub sessions_opened: AtomicU64,
+    pub sessions_closed: AtomicU64,
+    pub commands: AtomicU64,
+    pub rows_pushed: AtomicU64,
+    pub chunks_delivered: AtomicU64,
+    pub rows_delivered: AtomicU64,
+    pub errors: AtomicU64,
+}
+
+impl StatCounters {
+    /// Sessions bump the shared counters live (so `STATS` and monitoring
+    /// see in-flight sessions); closing only records the teardown.
+    pub(crate) fn fold_session(&self, _s: &SessionStats) {
+        self.sessions_closed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> ServerStats {
+        ServerStats {
+            sessions_opened: self.sessions_opened.load(Ordering::Relaxed),
+            sessions_closed: self.sessions_closed.load(Ordering::Relaxed),
+            commands: self.commands.load(Ordering::Relaxed),
+            rows_pushed: self.rows_pushed.load(Ordering::Relaxed),
+            chunks_delivered: self.chunks_delivered.load(Ordering::Relaxed),
+            rows_delivered: self.rows_delivered.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Render the server section of the `STATS` report.
+    pub(crate) fn render(&self) -> String {
+        let s = self.snapshot();
+        format!(
+            "== server ==\n\
+             sessions: {} opened, {} closed\n\
+             commands: {} ({} errors)\n\
+             ingest: {} rows pushed\n\
+             egress: {} chunks / {} rows delivered\n",
+            s.sessions_opened,
+            s.sessions_closed,
+            s.commands,
+            s.errors,
+            s.rows_pushed,
+            s.chunks_delivered,
+            s.rows_delivered,
+        )
+    }
+}
+
+/// Point-in-time snapshot of the server-wide counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Connections accepted.
+    pub sessions_opened: u64,
+    /// Sessions fully torn down (counters folded in).
+    pub sessions_closed: u64,
+    /// Commands dispatched across all sessions.
+    pub commands: u64,
+    /// Stream tuples ingested over sockets.
+    pub rows_pushed: u64,
+    /// Result chunks streamed to subscribers.
+    pub chunks_delivered: u64,
+    /// Result rows streamed to subscribers.
+    pub rows_delivered: u64,
+    /// Commands answered with `ERR`.
+    pub errors: u64,
+}
+
+/// State shared by the listener, pump and every session thread.
+pub(crate) struct SharedState {
+    engine: Mutex<DataCell>,
+    work: Condvar,
+    shutdown: AtomicBool,
+    pub(crate) stats: StatCounters,
+}
+
+impl SharedState {
+    /// Lock the engine, transparently recovering from poisoning (a
+    /// panicked session must not wedge the whole server).
+    pub(crate) fn lock_engine(&self) -> MutexGuard<'_, DataCell> {
+        self.engine.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Signal the pump thread that new work may be pending.
+    pub(crate) fn notify_work(&self) {
+        self.work.notify_all();
+    }
+
+    pub(crate) fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        self.work.notify_all();
+    }
+}
+
+/// A running DataCell TCP server.
+pub struct Server {
+    shared: Arc<SharedState>,
+    addr: SocketAddr,
+    listener: Option<JoinHandle<()>>,
+    pump: Option<JoinHandle<()>>,
+    sessions: Arc<Mutex<Vec<JoinHandle<SessionStats>>>>,
+}
+
+impl Server {
+    /// Build the engine, run the init script, bind the listener and start
+    /// the pump + accept threads.
+    pub fn start(config: ServerConfig) -> io::Result<Server> {
+        let mut engine = DataCell::new(config.engine.clone());
+        if let Some(script) = &config.init_script {
+            engine
+                .execute_script(script)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+        }
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(SharedState {
+            engine: Mutex::new(engine),
+            work: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            stats: StatCounters::default(),
+        });
+        let sessions: Arc<Mutex<Vec<JoinHandle<SessionStats>>>> =
+            Arc::new(Mutex::new(Vec::new()));
+
+        let pump = {
+            let shared = shared.clone();
+            let interval = config.pump_interval;
+            std::thread::Builder::new()
+                .name("datacell-pump".into())
+                .spawn(move || pump_loop(&shared, interval))?
+        };
+        let listener_thread = {
+            let shared = shared.clone();
+            let sessions = sessions.clone();
+            std::thread::Builder::new()
+                .name("datacell-listener".into())
+                .spawn(move || accept_loop(listener, &shared, &sessions))?
+        };
+        Ok(Server {
+            shared,
+            addr,
+            listener: Some(listener_thread),
+            pump: Some(pump),
+            sessions,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Whether some session issued `SHUTDOWN` (or [`Server::shutdown`]
+    /// already ran). The embedding binary polls this to know when to tear
+    /// the server down.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shared.is_shutdown()
+    }
+
+    /// Current server-wide counters.
+    pub fn stats(&self) -> ServerStats {
+        self.shared.stats.snapshot()
+    }
+
+    /// Run `f` against the engine under the server's mutex (test and
+    /// embedding hook — e.g. seed data or inspect `EngineStats`).
+    pub fn with_engine<R>(&self, f: impl FnOnce(&mut DataCell) -> R) -> R {
+        f(&mut self.shared.lock_engine())
+    }
+
+    /// Graceful shutdown: close subscriber queues (ending every `CHUNK`
+    /// stream), stop accepting, join all threads. Returns the final
+    /// counter snapshot.
+    pub fn shutdown(mut self) -> ServerStats {
+        self.shared.request_shutdown();
+        self.shared.lock_engine().shutdown();
+        // Unblock accept() with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.listener.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.pump.take() {
+            let _ = h.join();
+        }
+        let handles: Vec<_> = {
+            let mut guard =
+                self.sessions.lock().unwrap_or_else(PoisonError::into_inner);
+            guard.drain(..).collect()
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+        self.shared.stats.snapshot()
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        // Belt and braces for tests that forget to call shutdown(): raise
+        // the flag so detached threads exit; they are not joined here.
+        self.shared.request_shutdown();
+        self.shared.lock_engine().shutdown();
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    shared: &Arc<SharedState>,
+    sessions: &Arc<Mutex<Vec<JoinHandle<SessionStats>>>>,
+) {
+    for stream in listener.incoming() {
+        if shared.is_shutdown() {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        shared.stats.sessions_opened.fetch_add(1, Ordering::Relaxed);
+        let shared = shared.clone();
+        let handle = std::thread::Builder::new()
+            .name("datacell-session".into())
+            .spawn(move || run_session(stream, shared));
+        if let Ok(handle) = handle {
+            let mut guard = sessions.lock().unwrap_or_else(PoisonError::into_inner);
+            // Reap finished sessions so the handle list doesn't grow with
+            // every short-lived connection over the server's lifetime.
+            for done in std::mem::take(&mut *guard) {
+                if done.is_finished() {
+                    let _ = done.join();
+                } else {
+                    guard.push(done);
+                }
+            }
+            guard.push(handle);
+        }
+    }
+}
+
+fn pump_loop(shared: &Arc<SharedState>, interval: Duration) {
+    let mut engine = shared.lock_engine();
+    while !shared.is_shutdown() {
+        let (guard, _timeout) = shared
+            .work
+            .wait_timeout(engine, interval)
+            .unwrap_or_else(PoisonError::into_inner);
+        engine = guard;
+        if shared.is_shutdown() {
+            break;
+        }
+        let _ = engine.run_until_idle();
+    }
+}

@@ -1,0 +1,513 @@
+//! Per-connection sessions: one thread per client, command dispatch over
+//! the shared engine, and the streaming (subscription) mode.
+//!
+//! A session alternates between two modes:
+//!
+//! * **command mode** — read a line, parse a [`Command`], dispatch it
+//!   against the engine (held behind the server's mutex only for the
+//!   duration of the command), write the reply;
+//! * **streaming mode** — after `SUBSCRIBE`, the connection becomes an
+//!   *emitter* (paper §3): result chunks are pumped from the query's
+//!   bounded subscriber queue to the socket as `CHUNK` frames until the
+//!   client sends `STOP`, the chunk limit is reached, the subscription is
+//!   closed engine-side, or the connection drops.
+//!
+//! All socket reads go through [`LineReader`] with a short read timeout,
+//! so every blocking point periodically rechecks the server's shutdown
+//! flag and streaming sessions can poll the socket and the emitter from a
+//! single thread.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+use datacell_core::{EngineError, ExecOutcome};
+use datacell_storage::Row;
+
+use crate::protocol::{
+    decode_typed_row, encode_chunk, encode_names, encode_row, err_line, parse_command,
+    Command, PUSH_END,
+};
+use crate::server::SharedState;
+
+/// Upper bound on one protocol line; longer input is a framing error.
+const MAX_LINE: usize = 1 << 20;
+
+/// Read timeout while waiting for the next command.
+const COMMAND_POLL: Duration = Duration::from_millis(100);
+
+/// Read/emitter poll interval while streaming.
+const STREAM_POLL: Duration = Duration::from_millis(5);
+
+/// Outcome of one [`LineReader::poll_line`] call.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ReadLine {
+    /// A complete line (terminator stripped).
+    Line(String),
+    /// Peer closed the connection.
+    Eof,
+    /// Nothing available within the read timeout.
+    Idle,
+}
+
+/// Incremental line reader that survives read timeouts: bytes of a
+/// partial line stay buffered across [`ReadLine::Idle`] returns, unlike
+/// `BufRead::read_line` which can lose them into the caller's buffer.
+pub struct LineReader<R: Read> {
+    inner: R,
+    buf: Vec<u8>,
+    scanned: usize,
+}
+
+impl<R: Read> LineReader<R> {
+    /// Wrap a byte stream.
+    pub fn new(inner: R) -> Self {
+        LineReader { inner, buf: Vec::new(), scanned: 0 }
+    }
+
+    fn take_line(&mut self, newline_at: usize) -> String {
+        let mut line: Vec<u8> = self.buf.drain(..=newline_at).collect();
+        line.pop(); // '\n'
+        if line.last() == Some(&b'\r') {
+            line.pop();
+        }
+        self.scanned = 0;
+        String::from_utf8_lossy(&line).into_owned()
+    }
+
+    /// Try to produce the next line. A read timeout on the underlying
+    /// stream yields [`ReadLine::Idle`]; call again later.
+    pub fn poll_line(&mut self) -> io::Result<ReadLine> {
+        loop {
+            if let Some(pos) = self.buf[self.scanned..].iter().position(|&b| b == b'\n') {
+                return Ok(ReadLine::Line(self.take_line(self.scanned + pos)));
+            }
+            self.scanned = self.buf.len();
+            if self.buf.len() > MAX_LINE {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "protocol line exceeds 1 MiB",
+                ));
+            }
+            let mut tmp = [0u8; 8192];
+            match self.inner.read(&mut tmp) {
+                Ok(0) => {
+                    if self.buf.is_empty() {
+                        return Ok(ReadLine::Eof);
+                    }
+                    // Final unterminated line.
+                    let line = String::from_utf8_lossy(&self.buf).into_owned();
+                    self.buf.clear();
+                    self.scanned = 0;
+                    return Ok(ReadLine::Line(line));
+                }
+                Ok(n) => self.buf.extend_from_slice(&tmp[..n]),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(ReadLine::Idle),
+                Err(e) if e.kind() == io::ErrorKind::TimedOut => return Ok(ReadLine::Idle),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// Statistics of one finished session (also aggregated server-wide).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Commands dispatched.
+    pub commands: u64,
+    /// Stream tuples ingested via `PUSH` / `EXEC INSERT`.
+    pub rows_pushed: u64,
+    /// Result chunks streamed out while subscribed.
+    pub chunks_delivered: u64,
+    /// Result rows streamed out while subscribed.
+    pub rows_delivered: u64,
+    /// Commands that answered `ERR`.
+    pub errors: u64,
+}
+
+/// Why the session loop ended.
+enum Exit {
+    /// Client sent QUIT, closed the socket, or an I/O error occurred.
+    Closed,
+    /// The server is shutting down.
+    Shutdown,
+}
+
+/// Drive one client connection to completion. Returns the session's
+/// final statistics (already folded into the server-wide counters).
+pub(crate) fn run_session(stream: TcpStream, shared: Arc<SharedState>) -> SessionStats {
+    let mut session = match Session::new(stream, shared) {
+        Ok(s) => s,
+        Err(_) => return SessionStats::default(),
+    };
+    let _ = session.run();
+    session.finish()
+}
+
+struct Session {
+    reader: LineReader<TcpStream>,
+    writer: TcpStream,
+    shared: Arc<SharedState>,
+    stats: SessionStats,
+}
+
+impl Session {
+    fn new(stream: TcpStream, shared: Arc<SharedState>) -> io::Result<Session> {
+        stream.set_read_timeout(Some(COMMAND_POLL))?;
+        stream.set_nodelay(true).ok();
+        let reader = LineReader::new(stream.try_clone()?);
+        Ok(Session { reader, writer: stream, shared, stats: SessionStats::default() })
+    }
+
+    fn finish(self) -> SessionStats {
+        self.shared.stats.fold_session(&self.stats);
+        self.stats
+    }
+
+    fn send(&mut self, text: &str) -> io::Result<()> {
+        self.writer.write_all(text.as_bytes())
+    }
+
+    fn send_err(&mut self, msg: &str) -> io::Result<()> {
+        self.stats.errors += 1;
+        self.shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+        let line = err_line(msg);
+        self.send(&line)
+    }
+
+    fn count_pushed(&mut self, n: u64) {
+        self.stats.rows_pushed += n;
+        self.shared.stats.rows_pushed.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Block for the next full line, honouring the shutdown flag at every
+    /// read-timeout tick.
+    fn next_line(&mut self) -> io::Result<Option<String>> {
+        loop {
+            match self.reader.poll_line()? {
+                ReadLine::Line(l) => return Ok(Some(l)),
+                ReadLine::Eof => return Ok(None),
+                ReadLine::Idle => {
+                    if self.shared.is_shutdown() {
+                        return Ok(None);
+                    }
+                }
+            }
+        }
+    }
+
+    fn run(&mut self) -> io::Result<()> {
+        while let Some(line) = self.next_line()? {
+            if line.trim().is_empty() {
+                continue;
+            }
+            self.stats.commands += 1;
+            self.shared.stats.commands.fetch_add(1, Ordering::Relaxed);
+            let cmd = match parse_command(&line) {
+                Ok(c) => c,
+                Err(e) => {
+                    self.send_err(&e.0)?;
+                    continue;
+                }
+            };
+            match self.dispatch(cmd)? {
+                None => {}
+                Some(Exit::Closed) | Some(Exit::Shutdown) => break,
+            }
+        }
+        Ok(())
+    }
+
+    fn dispatch(&mut self, cmd: Command) -> io::Result<Option<Exit>> {
+        match cmd {
+            Command::Ping => self.send("PONG\n")?,
+            Command::Quit => {
+                self.send("OK BYE\n")?;
+                return Ok(Some(Exit::Closed));
+            }
+            Command::Shutdown => {
+                self.send("OK SHUTDOWN\n")?;
+                self.shared.request_shutdown();
+                return Ok(Some(Exit::Shutdown));
+            }
+            Command::Stop => self.send_err("STOP is only valid while subscribed")?,
+            Command::Exec(sql) => self.exec(&sql)?,
+            Command::Register { sql, mode } => {
+                let registered = {
+                    let mut engine = self.shared.lock_engine();
+                    match mode {
+                        Some(m) => engine.register_query_with_mode(&sql, m),
+                        None => engine.register_query(&sql),
+                    }
+                };
+                match registered {
+                    Ok(id) => {
+                        self.shared.notify_work();
+                        self.send(&format!("OK QUERY {id}\n"))?;
+                    }
+                    Err(e) => self.send_err(&e.to_string())?,
+                }
+            }
+            Command::Deregister(id) => {
+                let res = self.shared.lock_engine().deregister_query(id);
+                match res {
+                    Ok(()) => self.send(&format!("OK DEREGISTERED {id}\n"))?,
+                    Err(e) => self.send_err(&e.to_string())?,
+                }
+            }
+            Command::Push(stream) => self.push(&stream)?,
+            Command::Subscribe { query, limit } => return self.subscribe(query, limit),
+            Command::Stats => self.stats_report()?,
+        }
+        Ok(None)
+    }
+
+    fn exec(&mut self, sql: &str) -> io::Result<()> {
+        let outcome = {
+            let mut engine = self.shared.lock_engine();
+            let outcome = engine.execute(sql);
+            // INSERT into a stream can enable factories: evaluate
+            // synchronously so results are on subscriber queues before the
+            // client sees the reply (ingest-synchronous semantics).
+            if matches!(outcome, Ok(ExecOutcome::Inserted(_))) {
+                engine.run_until_idle().ok();
+            }
+            outcome
+        };
+        match outcome {
+            Ok(ExecOutcome::Created(name)) => self.send(&format!("OK CREATED {name}\n")),
+            Ok(ExecOutcome::Dropped(name)) => self.send(&format!("OK DROPPED {name}\n")),
+            Ok(ExecOutcome::Inserted(n)) => {
+                self.count_pushed(n as u64);
+                self.shared.notify_work();
+                self.send(&format!("OK INSERTED {n}\n"))
+            }
+            Ok(ExecOutcome::Rows { names, chunk }) => {
+                let mut reply =
+                    format!("ROWS {} {}\n", chunk.len(), encode_names(&names));
+                for row in chunk.rows() {
+                    reply.push_str(&encode_row(&row));
+                    reply.push('\n');
+                }
+                self.send(&reply)
+            }
+            Err(e) => self.send_err(&e.to_string()),
+        }
+    }
+
+    /// The socket receptor: read CSV rows until [`PUSH_END`], then append
+    /// them to the stream's basket in one batch and evaluate to quiescence
+    /// before acknowledging — so a subsequent `SUBSCRIBE` read on another
+    /// connection observes everything this batch produced.
+    fn push(&mut self, stream: &str) -> io::Result<()> {
+        let schema = self.shared.lock_engine().catalog().schema_of(stream);
+        let mut rows: Vec<Row> = Vec::new();
+        let mut bad: Option<String> = None;
+        loop {
+            let Some(line) = self.next_line()? else {
+                // Connection died mid-batch: nothing was applied.
+                return Ok(());
+            };
+            if line.trim().eq_ignore_ascii_case(PUSH_END) {
+                break;
+            }
+            if bad.is_some() {
+                continue; // keep consuming the block to stay in sync
+            }
+            match &schema {
+                Ok(s) => match decode_typed_row(&line, s) {
+                    Ok(r) => rows.push(r),
+                    Err(e) => bad = Some(format!("row {}: {}", rows.len() + 1, e.0)),
+                },
+                Err(_) => bad = Some(String::new()), // reported below
+            }
+        }
+        if let Err(e) = schema {
+            return self.send_err(&EngineError::from(e).to_string());
+        }
+        if let Some(msg) = bad {
+            return self.send_err(&msg);
+        }
+        let pushed = {
+            let mut engine = self.shared.lock_engine();
+            match engine.push_rows(stream, &rows) {
+                Ok(n) => {
+                    engine.run_until_idle().ok();
+                    Ok(n)
+                }
+                Err(e) => Err(e),
+            }
+        };
+        match pushed {
+            Ok(n) => {
+                self.count_pushed(n as u64);
+                self.shared.notify_work();
+                self.send(&format!("OK PUSHED {n}\n"))
+            }
+            Err(e) => self.send_err(&e.to_string()),
+        }
+    }
+
+    /// Streaming mode: the connection becomes this query's emitter.
+    fn subscribe(&mut self, query: u64, limit: Option<u64>) -> io::Result<Option<Exit>> {
+        let subscribed = {
+            let mut engine = self.shared.lock_engine();
+            engine
+                .output_names(query)
+                .and_then(|names| engine.subscribe(query).map(|em| (names, em)))
+        };
+        let (names, emitter) = match subscribed {
+            Ok(pair) => pair,
+            Err(e) => {
+                self.send_err(&e.to_string())?;
+                return Ok(None);
+            }
+        };
+        self.send(&format!("OK SUBSCRIBED {query} {}\n", encode_names(&names)))?;
+
+        self.writer.set_read_timeout(Some(STREAM_POLL))?;
+        let mut counters = (0u64, 0u64); // (chunks, rows)
+        let exit = loop {
+            if self.shared.is_shutdown() {
+                // Final drain: chunks of already-acknowledged batches must
+                // still reach the client before the stream ends.
+                self.forward_buffered(&emitter, query, limit, &mut counters)?;
+                break Some(Exit::Shutdown);
+            }
+            // 1. Client input: STOP, connection close, or garbage.
+            match self.reader.poll_line()? {
+                ReadLine::Eof => break Some(Exit::Closed),
+                ReadLine::Line(l) => match parse_command(&l) {
+                    Ok(Command::Stop) => {
+                        self.forward_buffered(&emitter, query, limit, &mut counters)?;
+                        break None;
+                    }
+                    _ => self.send_err("only STOP is accepted while subscribed")?,
+                },
+                ReadLine::Idle => {}
+            }
+            // 2. Emitter output: forward everything buffered.
+            if self.forward_buffered(&emitter, query, limit, &mut counters)? {
+                break None;
+            }
+            if emitter.is_closed() {
+                // Deregistered or engine shutdown: drain what is left and
+                // end the stream politely.
+                self.forward_buffered(&emitter, query, limit, &mut counters)?;
+                break None;
+            }
+            // 3. Idle: wait for the next chunk (bounded so step 1 reruns).
+            if let Some(chunk) = emitter.next_timeout(STREAM_POLL) {
+                self.send(&encode_chunk(query, &chunk))?;
+                counters.0 += 1;
+                counters.1 += chunk.len() as u64;
+                if limit.is_some_and(|l| counters.0 >= l) {
+                    break None;
+                }
+            }
+        };
+        let (chunks, rows) = counters;
+        self.stats.chunks_delivered += chunks;
+        self.stats.rows_delivered += rows;
+        self.shared.stats.chunks_delivered.fetch_add(chunks, Ordering::Relaxed);
+        self.shared.stats.rows_delivered.fetch_add(rows, Ordering::Relaxed);
+        self.writer.set_read_timeout(Some(COMMAND_POLL))?;
+        // Every stream end — including server shutdown — is announced with
+        // OK STOPPED so a blocked client sees a clean end-of-stream rather
+        // than a bare EOF.
+        self.send(&format!("OK STOPPED {chunks} {rows}\n"))?;
+        Ok(exit)
+        // Dropping the emitter deregisters this subscriber: the engine
+        // prunes the matching sender on its next delivery.
+    }
+
+    /// Forward everything currently buffered on the emitter, updating
+    /// `(chunks, rows)` counters. Returns true once the chunk limit is
+    /// reached.
+    fn forward_buffered(
+        &mut self,
+        emitter: &datacell_core::Emitter,
+        query: u64,
+        limit: Option<u64>,
+        counters: &mut (u64, u64),
+    ) -> io::Result<bool> {
+        while limit.is_none_or(|l| counters.0 < l) {
+            let Some(chunk) = emitter.try_next() else { return Ok(false) };
+            self.send(&encode_chunk(query, &chunk))?;
+            counters.0 += 1;
+            counters.1 += chunk.len() as u64;
+        }
+        Ok(true)
+    }
+
+    fn stats_report(&mut self) -> io::Result<()> {
+        let engine_report = self.shared.lock_engine().stats().render();
+        let mut report = engine_report;
+        report.push_str(&self.shared.stats.render());
+        let lines = report.lines().count();
+        let framed = format!("STATS {lines}\n{report}");
+        self.send(&framed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_reader_splits_and_survives_partials() {
+        // A reader that yields data in awkward slices with interspersed
+        // timeouts, to prove partial lines are never lost.
+        struct Chunked {
+            parts: Vec<io::Result<Vec<u8>>>,
+        }
+        impl Read for Chunked {
+            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+                if self.parts.is_empty() {
+                    return Ok(0);
+                }
+                match self.parts.remove(0) {
+                    Ok(bytes) => {
+                        buf[..bytes.len()].copy_from_slice(&bytes);
+                        Ok(bytes.len())
+                    }
+                    Err(e) => Err(e),
+                }
+            }
+        }
+        let timeout = || Err(io::Error::new(io::ErrorKind::WouldBlock, "t"));
+        let mut r = LineReader::new(Chunked {
+            parts: vec![
+                Ok(b"PI".to_vec()),
+                timeout(),
+                Ok(b"NG\r\nEX".to_vec()),
+                timeout(),
+                Ok(b"EC 1\ntail".to_vec()),
+            ],
+        });
+        assert_eq!(r.poll_line().unwrap(), ReadLine::Idle);
+        assert_eq!(r.poll_line().unwrap(), ReadLine::Line("PING".into()));
+        assert_eq!(r.poll_line().unwrap(), ReadLine::Idle);
+        assert_eq!(r.poll_line().unwrap(), ReadLine::Line("EXEC 1".into()));
+        // EOF flushes the unterminated tail as a final line.
+        assert_eq!(r.poll_line().unwrap(), ReadLine::Line("tail".into()));
+        assert_eq!(r.poll_line().unwrap(), ReadLine::Eof);
+    }
+
+    #[test]
+    fn line_reader_rejects_unbounded_lines() {
+        struct Infinite;
+        impl Read for Infinite {
+            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+                buf.fill(b'x');
+                Ok(buf.len())
+            }
+        }
+        let mut r = LineReader::new(Infinite);
+        let e = r.poll_line().unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::InvalidData);
+    }
+}

@@ -1,0 +1,442 @@
+//! Integration tests over real TCP sockets: the full receptor → engine →
+//! emitter loop, including the acceptance check that the wire-delivered
+//! subscription stream is **byte-identical** to encoding the chunks an
+//! in-process `Engine::subscribe` emitter produces for the same inputs.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use datacell_core::{DataCell, DataCellConfig};
+use datacell_server::protocol::encode_chunk;
+use datacell_server::{Client, ClientError, ExecReply, Server, ServerConfig};
+use datacell_storage::{Row, Value};
+
+fn start_server() -> Server {
+    Server::start(ServerConfig::default()).expect("server start")
+}
+
+fn rows_int(values: &[i64]) -> Vec<Row> {
+    values.iter().map(|&v| vec![Value::Int(v)]).collect()
+}
+
+/// Read from `stream` until `want` bytes arrived (or panic at deadline).
+fn read_exact_bytes(stream: &mut TcpStream, want: usize) -> Vec<u8> {
+    stream
+        .set_read_timeout(Some(Duration::from_millis(50)))
+        .unwrap();
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let mut got = Vec::new();
+    let mut buf = [0u8; 4096];
+    while got.len() < want {
+        assert!(
+            Instant::now() < deadline,
+            "timed out with {} of {} bytes:\n{}",
+            got.len(),
+            want,
+            String::from_utf8_lossy(&got)
+        );
+        match stream.read(&mut buf) {
+            Ok(0) => panic!("server closed early after {} bytes", got.len()),
+            Ok(n) => got.extend_from_slice(&buf[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(e) => panic!("read error: {e}"),
+        }
+    }
+    got
+}
+
+fn read_line_blocking(stream: &mut TcpStream) -> String {
+    stream.set_read_timeout(Some(Duration::from_secs(20))).unwrap();
+    let mut line = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        match stream.read(&mut byte) {
+            Ok(1) => {
+                if byte[0] == b'\n' {
+                    return String::from_utf8_lossy(&line).into_owned();
+                }
+                line.push(byte[0]);
+            }
+            Ok(_) => panic!("connection closed mid-line"),
+            Err(e) => panic!("read error: {e}"),
+        }
+    }
+}
+
+/// The acceptance loop: client A creates the stream and the continuous
+/// query and subscribes; client B pushes tuples over `PUSH`; the `CHUNK`
+/// stream A receives must be byte-identical to encoding the chunks of an
+/// in-process subscription fed the same batches.
+#[test]
+fn full_loop_byte_identical_to_in_process_windowed() {
+    let ddl = "CREATE STREAM s (v BIGINT)";
+    let sql = "SELECT COUNT(*), SUM(v) FROM s [ROWS 8 SLIDE 4]";
+    let batches: Vec<Vec<i64>> = vec![
+        (0..5).collect(),
+        (5..12).collect(),
+        vec![100],
+        (200..220).collect(),
+    ];
+
+    // Reference: the same inputs through the in-process emitter path.
+    let mut cell = DataCell::new(DataCellConfig::default());
+    cell.execute(ddl).unwrap();
+    let ref_q = cell.register_query(sql).unwrap();
+    let emitter = cell.subscribe(ref_q).unwrap();
+    for batch in &batches {
+        cell.push_rows("s", &rows_int(batch)).unwrap();
+        cell.run_until_idle().unwrap();
+    }
+    let expected: String = emitter
+        .drain()
+        .iter()
+        .map(|chunk| encode_chunk(ref_q, chunk))
+        .collect();
+    assert!(!expected.is_empty(), "reference produced no chunks");
+
+    // The same inputs over sockets.
+    let server = start_server();
+    let mut a = Client::connect(server.local_addr()).unwrap();
+    assert_eq!(a.exec(ddl).unwrap(), ExecReply::Created("s".into()));
+    let q = a.register(sql).unwrap();
+    assert_eq!(q, ref_q, "fresh engines must assign the same first id");
+
+    // Client A becomes the emitter over a raw socket so we can assert on
+    // the exact bytes.
+    let mut raw = TcpStream::connect(server.local_addr()).unwrap();
+    raw.write_all(format!("SUBSCRIBE {q}\n").as_bytes()).unwrap();
+    let header = read_line_blocking(&mut raw);
+    assert!(
+        header.starts_with(&format!("OK SUBSCRIBED {q} ")),
+        "unexpected subscribe reply: {header:?}"
+    );
+
+    let mut b = Client::connect(server.local_addr()).unwrap();
+    for batch in &batches {
+        let pushed = b.push_rows("s", &rows_int(batch)).unwrap();
+        assert_eq!(pushed, batch.len());
+    }
+
+    let got = read_exact_bytes(&mut raw, expected.len());
+    assert_eq!(
+        String::from_utf8_lossy(&got),
+        expected,
+        "wire chunk stream diverged from the in-process emitter"
+    );
+
+    // Clean exit from streaming mode.
+    raw.write_all(b"STOP\n").unwrap();
+    let stopped = read_line_blocking(&mut raw);
+    assert!(stopped.starts_with("OK STOPPED "), "got {stopped:?}");
+
+    server.shutdown();
+}
+
+/// Same acceptance loop for an unwindowed echo query with strings, NULLs,
+/// floats and timestamps — stressing CSV encoding both directions.
+#[test]
+fn full_loop_byte_identical_echo_with_mixed_types() {
+    let ddl = "CREATE STREAM t (v BIGINT, tag VARCHAR, x DOUBLE, ts TIMESTAMP)";
+    let sql = "SELECT v, tag, x, ts FROM t";
+    let batches: Vec<Vec<Row>> = vec![
+        vec![
+            vec![Value::Int(1), Value::Str("plain".into()), Value::Float(1.5), Value::Timestamp(10)],
+            vec![Value::Int(2), Value::Str("with,comma".into()), Value::Float(2.0), Value::Timestamp(20)],
+        ],
+        vec![
+            vec![Value::Null, Value::Str("quo\"te".into()), Value::Null, Value::Timestamp(30)],
+            vec![Value::Int(4), Value::Str("NULL".into()), Value::Float(-0.25), Value::Null],
+            // A newline in a value must not split the line framing (nor
+            // inject protocol commands on the PUSH path).
+            vec![Value::Int(5), Value::Str("multi\nEND\nline".into()), Value::Float(9.0), Value::Timestamp(40)],
+        ],
+    ];
+
+    let mut cell = DataCell::default();
+    cell.execute(ddl).unwrap();
+    let ref_q = cell.register_query(sql).unwrap();
+    let emitter = cell.subscribe(ref_q).unwrap();
+    for batch in &batches {
+        cell.push_rows("t", batch).unwrap();
+        cell.run_until_idle().unwrap();
+    }
+    let expected: String = emitter
+        .drain()
+        .iter()
+        .map(|chunk| encode_chunk(ref_q, chunk))
+        .collect();
+
+    let server = start_server();
+    let mut a = Client::connect(server.local_addr()).unwrap();
+    a.exec(ddl).unwrap();
+    let q = a.register(sql).unwrap();
+    let mut raw = TcpStream::connect(server.local_addr()).unwrap();
+    raw.write_all(format!("SUBSCRIBE {q}\n").as_bytes()).unwrap();
+    read_line_blocking(&mut raw);
+
+    let mut b = Client::connect(server.local_addr()).unwrap();
+    for batch in &batches {
+        assert_eq!(b.push_rows("t", batch).unwrap(), batch.len());
+    }
+    let got = read_exact_bytes(&mut raw, expected.len());
+    assert_eq!(String::from_utf8_lossy(&got), expected);
+    server.shutdown();
+}
+
+#[test]
+fn exec_one_time_queries_and_ddl() {
+    let server = start_server();
+    let mut c = Client::connect(server.local_addr()).unwrap();
+    c.ping().unwrap();
+    assert_eq!(
+        c.exec("CREATE TABLE prices (sym VARCHAR, p DOUBLE)").unwrap(),
+        ExecReply::Created("prices".into())
+    );
+    assert_eq!(
+        c.exec("INSERT INTO prices VALUES ('a', 1.5), ('b', 2.5)").unwrap(),
+        ExecReply::Inserted(2)
+    );
+    let reply = c.exec("SELECT sym, p FROM prices WHERE p > 2.0").unwrap();
+    match reply {
+        ExecReply::Rows { names, rows } => {
+            assert_eq!(names, vec!["sym", "p"]);
+            assert_eq!(rows, vec![vec![Value::Str("b".into()), Value::Float(2.5)]]);
+        }
+        other => panic!("expected rows, got {other:?}"),
+    }
+    assert_eq!(
+        c.exec("DROP TABLE prices").unwrap(),
+        ExecReply::Dropped("prices".into())
+    );
+    c.quit().unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn errors_are_reported_not_fatal() {
+    let server = start_server();
+    let mut c = Client::connect(server.local_addr()).unwrap();
+    // SQL error.
+    match c.exec("SELEKT 1") {
+        Err(ClientError::Server(_)) => {}
+        other => panic!("expected server error, got {other:?}"),
+    }
+    // Unknown stream push: the row block is consumed, the session lives.
+    match c.push_rows("nosuch", &rows_int(&[1])) {
+        Err(ClientError::Server(msg)) => assert!(msg.contains("nosuch"), "{msg}"),
+        other => panic!("expected server error, got {other:?}"),
+    }
+    // Unknown query ids.
+    assert!(matches!(c.deregister(99), Err(ClientError::Server(_))));
+    assert!(matches!(c.subscribe(99, None), Err(ClientError::Server(_))));
+    // The session is still usable afterwards.
+    c.ping().unwrap();
+    let stats = server.stats();
+    assert!(stats.errors >= 4, "errors not counted: {stats:?}");
+    server.shutdown();
+}
+
+#[test]
+fn push_with_bad_row_applies_nothing() {
+    let server = start_server();
+    let mut c = Client::connect(server.local_addr()).unwrap();
+    c.exec("CREATE STREAM s (v BIGINT)").unwrap();
+    // Raw block with a malformed second row: must ERR and apply nothing.
+    let mut raw = TcpStream::connect(server.local_addr()).unwrap();
+    raw.write_all(b"PUSH s\n1\nnot-a-number\n3\nEND\n").unwrap();
+    let reply = read_line_blocking(&mut raw);
+    assert!(reply.starts_with("ERR "), "got {reply:?}");
+    assert!(reply.contains("row 2"), "got {reply:?}");
+    // Nothing was ingested: the first clean push is the first firing, and
+    // its COUNT(*) must be exactly the clean batch.
+    let q = c.register("SELECT COUNT(*) FROM s").unwrap();
+    let mut pusher = Client::connect(server.local_addr()).unwrap();
+    let mut sub = c.subscribe(q, Some(1)).unwrap();
+    assert_eq!(pusher.push_rows("s", &rows_int(&[7])).unwrap(), 1);
+    let first = sub.next_chunk(Duration::from_secs(10)).unwrap().unwrap();
+    assert_eq!(first, vec![vec![Value::Int(1)]], "bad batch must not count");
+    server.shutdown();
+}
+
+#[test]
+fn subscribe_limit_ends_stream_automatically() {
+    let server = start_server();
+    let mut c = Client::connect(server.local_addr()).unwrap();
+    c.exec("CREATE STREAM s (v BIGINT)").unwrap();
+    let q = c.register("SELECT SUM(v) FROM s").unwrap();
+
+    let mut pusher = Client::connect(server.local_addr()).unwrap();
+    let mut sub = c.subscribe(q, Some(2)).unwrap();
+    assert_eq!(sub.names(), ["SUM(v)"]);
+    for i in 0..3 {
+        pusher.push_rows("s", &rows_int(&[i, i + 1])).unwrap();
+    }
+    let first = sub.next_chunk(Duration::from_secs(10)).unwrap().unwrap();
+    assert_eq!(first, vec![vec![Value::Int(1)]]);
+    let second = sub.next_chunk(Duration::from_secs(10)).unwrap().unwrap();
+    assert_eq!(second, vec![vec![Value::Int(3)]]);
+    // Limit reached: the server ends the stream on its own.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !sub.finished() {
+        assert!(Instant::now() < deadline, "no OK STOPPED after limit");
+        assert!(sub.next_chunk(Duration::from_millis(100)).unwrap().is_none());
+    }
+    // Back in command mode.
+    drop(sub);
+    c.ping().unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn stop_returns_to_command_mode() {
+    let server = start_server();
+    let mut c = Client::connect(server.local_addr()).unwrap();
+    c.exec("CREATE STREAM s (v BIGINT)").unwrap();
+    let q = c.register("SELECT COUNT(*) FROM s").unwrap();
+    let mut pusher = Client::connect(server.local_addr()).unwrap();
+
+    let mut sub = c.subscribe(q, None).unwrap();
+    pusher.push_rows("s", &rows_int(&[1, 2, 3])).unwrap();
+    let chunk = sub.next_chunk(Duration::from_secs(10)).unwrap().unwrap();
+    assert_eq!(chunk, vec![vec![Value::Int(3)]]);
+    let (_tail, chunks, rows) = sub.stop().unwrap();
+    assert_eq!((chunks, rows), (1, 1));
+    // The connection is a normal command session again.
+    c.ping().unwrap();
+    assert!(matches!(
+        c.exec("SELECT COUNT(*) FROM nosuch"),
+        Err(ClientError::Server(_))
+    ));
+    server.shutdown();
+}
+
+#[test]
+fn deregister_closes_live_subscriptions() {
+    let server = start_server();
+    let mut c = Client::connect(server.local_addr()).unwrap();
+    c.exec("CREATE STREAM s (v BIGINT)").unwrap();
+    let q = c.register("SELECT COUNT(*) FROM s").unwrap();
+    let mut sub_client = Client::connect(server.local_addr()).unwrap();
+    let mut sub = sub_client.subscribe(q, None).unwrap();
+    c.deregister(q).unwrap();
+    // The emitter closes; the server ends the stream with OK STOPPED.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !sub.finished() {
+        assert!(Instant::now() < deadline, "stream did not end on deregister");
+        assert!(sub.next_chunk(Duration::from_millis(100)).unwrap().is_none());
+    }
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_pushers_fan_in_completely() {
+    let server = start_server();
+    let mut c = Client::connect(server.local_addr()).unwrap();
+    c.exec("CREATE STREAM s (v BIGINT)").unwrap();
+    let q = c.register("SELECT COUNT(*) FROM s").unwrap();
+    let mut sub = c.subscribe(q, None).unwrap();
+
+    const PUSHERS: usize = 4;
+    const BATCHES: usize = 10;
+    const BATCH: usize = 25;
+    let addr = server.local_addr();
+    let handles: Vec<_> = (0..PUSHERS)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut p = Client::connect(addr).unwrap();
+                for b in 0..BATCHES {
+                    let vals: Vec<i64> = (0..BATCH as i64).map(|i| i + b as i64).collect();
+                    assert_eq!(p.push_rows("s", &rows_int(&vals)).unwrap(), BATCH);
+                }
+            })
+        })
+        .collect();
+
+    // COUNT(*) consumes what arrived per firing; the counts across all
+    // chunks must sum to every pushed row exactly once.
+    let expected = (PUSHERS * BATCHES * BATCH) as i64;
+    let mut seen = 0i64;
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while seen < expected {
+        assert!(Instant::now() < deadline, "saw only {seen} of {expected} rows");
+        if let Some(rows) = sub.next_chunk(Duration::from_millis(200)).unwrap() {
+            for row in rows {
+                seen += row[0].as_int().unwrap();
+            }
+        }
+    }
+    assert_eq!(seen, expected, "fan-in lost or duplicated tuples");
+    for h in handles {
+        h.join().unwrap();
+    }
+    let stats = server.stats();
+    assert_eq!(stats.rows_pushed, expected as u64);
+    server.shutdown();
+}
+
+#[test]
+fn stats_command_reports_engine_and_server_sections() {
+    let server = start_server();
+    let mut c = Client::connect(server.local_addr()).unwrap();
+    c.exec("CREATE STREAM s (v BIGINT)").unwrap();
+    c.register("SELECT COUNT(*) FROM s").unwrap();
+    c.push_rows("s", &rows_int(&[1, 2])).unwrap();
+    let report = c.stats().unwrap();
+    assert!(report.contains("== baskets =="), "{report}");
+    assert!(report.contains("== queries =="), "{report}");
+    assert!(report.contains("== server =="), "{report}");
+    assert!(report.contains("rows pushed"), "{report}");
+    server.shutdown();
+}
+
+#[test]
+fn init_script_prepares_engine_before_listening() {
+    let server = Server::start(ServerConfig {
+        init_script: Some(
+            "CREATE STREAM boot (v BIGINT); CREATE TABLE dim (k BIGINT)".into(),
+        ),
+        ..Default::default()
+    })
+    .unwrap();
+    let mut c = Client::connect(server.local_addr()).unwrap();
+    assert_eq!(c.push_rows("boot", &rows_int(&[1])).unwrap(), 1);
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_command_requests_server_teardown() {
+    let server = start_server();
+    let mut c = Client::connect(server.local_addr()).unwrap();
+    c.exec("CREATE STREAM s (v BIGINT)").unwrap();
+    let q = c.register("SELECT COUNT(*) FROM s").unwrap();
+    // A live subscription on another connection must be released too.
+    let mut sub_client = Client::connect(server.local_addr()).unwrap();
+    let sub = sub_client.subscribe(q, None).unwrap();
+    assert!(!server.shutdown_requested());
+    c.shutdown_server().unwrap();
+    assert!(server.shutdown_requested());
+    let stats = server.shutdown();
+    assert!(stats.sessions_opened >= 2);
+    drop(sub);
+}
+
+#[test]
+fn quit_and_reconnect_cycle() {
+    let server = start_server();
+    for _ in 0..3 {
+        let mut c = Client::connect(server.local_addr()).unwrap();
+        c.ping().unwrap();
+        c.quit().unwrap();
+    }
+    // Sessions are torn down and counted.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.stats().sessions_closed < 3 {
+        assert!(Instant::now() < deadline, "sessions not reaped: {:?}", server.stats());
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(server.stats().sessions_opened, 3);
+    server.shutdown();
+}

@@ -1,22 +1,23 @@
 #!/usr/bin/env bash
-# Bench snapshot: run the e1 / e6 / e9 experiment binaries at a small,
-# fixed --events size and collect their SNAPSHOT lines (events/sec per
-# experiment) into BENCH_PR2.json, so every PR leaves a comparable perf
-# data point behind.
+# Bench snapshot: run the e1 / e6 / e9 / e10 experiment binaries at a
+# small, fixed --events size and collect their SNAPSHOT lines (events/sec
+# per experiment) into BENCH_PR3.json, so every PR leaves a comparable
+# perf data point behind. e1/e6/e9 are kept from earlier PRs for
+# trajectory comparison; e10 adds the client/server loop over loopback.
 #
 # Usage: scripts/bench_snapshot.sh [events]   (default 20000)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 events="${1:-20000}"
-out="BENCH_PR2.json"
+out="BENCH_PR3.json"
 
 cargo build --release -p datacell-bench --bins
 
 lines=""
 run_log="$(mktemp)"
 trap 'rm -f "${run_log}"' EXIT
-for bin in e1_reeval e6_multiquery e9_multicore; do
+for bin in e1_reeval e6_multiquery e9_multicore e10_server; do
   # Run to a file first so a binary failure (e.g. e9's determinism check
   # exiting non-zero) fails the script instead of being swallowed by a
   # pipeline / process substitution.

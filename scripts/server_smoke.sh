@@ -1,0 +1,100 @@
+#!/usr/bin/env bash
+# Server smoke test: start `datacell-server` on an ephemeral port, drive a
+# scripted `datacell-cli` session through the full client/server loop —
+# create a stream, register a continuous query, subscribe on one
+# connection, push rows from another — assert the subscriber saw the
+# correct result chunks, and shut the server down cleanly via the wire
+# protocol (no signals).
+#
+# Usage: scripts/server_smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p datacell-server --bins
+
+workdir="$(mktemp -d)"
+server_log="${workdir}/server.log"
+sub_out="${workdir}/subscriber.out"
+sub_in="${workdir}/subscriber.in"
+
+cleanup() {
+  # Best-effort teardown if an assertion fails mid-run.
+  exec 3>&- 2>/dev/null || true
+  [[ -n "${server_pid:-}" ]] && kill "${server_pid}" 2>/dev/null || true
+  [[ -n "${sub_pid:-}" ]] && kill "${sub_pid}" 2>/dev/null || true
+  rm -rf "${workdir}"
+}
+trap cleanup EXIT
+
+wait_for() { # wait_for <pattern> <file> <what>
+  for _ in $(seq 1 100); do
+    grep -q "$1" "$2" 2>/dev/null && return 0
+    sleep 0.1
+  done
+  echo "FAIL: timed out waiting for $3" >&2
+  echo "--- $2 ---" >&2; cat "$2" >&2 || true
+  echo "--- server log ---" >&2; cat "${server_log}" >&2 || true
+  exit 1
+}
+
+cli=./target/release/datacell-cli
+
+# 1. Server on an ephemeral port; scrape the bound address.
+./target/release/datacell-server --addr 127.0.0.1:0 > "${server_log}" &
+server_pid=$!
+wait_for '^LISTENING ' "${server_log}" "server to bind"
+addr="$(sed -n 's/^LISTENING //p' "${server_log}" | head -1)"
+echo "server listening on ${addr}"
+
+# 2. Setup session: stream + continuous query.
+"${cli}" --addr "${addr}" --fail-on-err <<'EOF' | tee "${workdir}/setup.out"
+# smoke-test schema
+EXEC CREATE STREAM s (ts TIMESTAMP, v BIGINT)
+REGISTER SELECT COUNT(*), SUM(v) FROM s
+EOF
+grep -q '^OK CREATED s$' "${workdir}/setup.out"
+grep -q '^OK QUERY 1$' "${workdir}/setup.out"
+
+# 3. Subscriber session on its own connection, fed through a FIFO so we
+#    can hold it open while another session pushes.
+mkfifo "${sub_in}"
+"${cli}" --addr "${addr}" < "${sub_in}" > "${sub_out}" &
+sub_pid=$!
+exec 3> "${sub_in}"
+echo "SUBSCRIBE 1 LIMIT 2" >&3
+wait_for '^OK SUBSCRIBED 1 ' "${sub_out}" "subscription handshake"
+
+# 4. Pusher session: two PUSH batches → exactly two result chunks.
+"${cli}" --addr "${addr}" --fail-on-err <<'EOF' > "${workdir}/push.out"
+PUSH s
+@1,10
+@2,32
+END
+PUSH s
+@3,5
+@4,7
+END
+EOF
+[[ "$(grep -c '^OK PUSHED 2$' "${workdir}/push.out")" -eq 2 ]]
+
+# 5. The subscriber must receive both chunks, then the server auto-stops
+#    the stream at the LIMIT.
+wait_for '^OK STOPPED 2 2$' "${sub_out}" "both chunks + stream end"
+echo "QUIT" >&3
+exec 3>&-
+wait "${sub_pid}"; sub_pid=""
+grep -q '^CHUNK 1 1$' "${sub_out}"
+grep -q '^2,42$' "${sub_out}"   # COUNT=2, SUM=10+32
+grep -q '^2,12$' "${sub_out}"   # COUNT=2, SUM=5+7
+
+# 6. Stats + clean wire-protocol shutdown.
+"${cli}" --addr "${addr}" --fail-on-err <<'EOF' > "${workdir}/teardown.out"
+STATS
+SHUTDOWN
+EOF
+grep -q 'rows pushed' "${workdir}/teardown.out"
+grep -q '^OK SHUTDOWN$' "${workdir}/teardown.out"
+wait "${server_pid}"; server_pid=""
+grep -q '^shutdown:' "${server_log}"
+
+echo "server smoke test: ok"

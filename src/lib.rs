@@ -15,6 +15,9 @@
 //!   incremental basic-window splitting.
 //! * [`engine`] — the DataCell runtime: baskets, receptors, emitters,
 //!   factories and the Petri-net scheduler.
+//! * [`server`] — the TCP frontend: wire-protocol sessions, socket
+//!   receptors (`PUSH`), subscription emitters (`SUBSCRIBE`), and the
+//!   `datacell-server` / `datacell-cli` binaries.
 //! * [`baseline`] — tuple-at-a-time Volcano and store-first-query-later
 //!   comparator engines.
 //! * [`workload`] — Linear Road-inspired, network-monitoring, web-log and
@@ -41,6 +44,7 @@ pub use datacell_algebra as algebra;
 pub use datacell_baseline as baseline;
 pub use datacell_core as engine;
 pub use datacell_plan as plan;
+pub use datacell_server as server;
 pub use datacell_sql as sql;
 pub use datacell_storage as storage;
 pub use datacell_workload as workload;
