@@ -447,7 +447,7 @@ mod tests {
 
     #[test]
     fn timestamp_min_max_wrap() {
-        let b = Bat::from_vector(Vector::Timestamp(vec![30, 10, 20]), 0);
+        let b = Bat::from_vector(Vector::Timestamp(vec![30, 10, 20].into()), 0);
         assert_eq!(
             aggregate_all(AggKind::Min, &b, None).finalize(),
             Value::Timestamp(10)

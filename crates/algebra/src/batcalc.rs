@@ -163,9 +163,9 @@ fn arith(op: ArithOp, left: Operand<'_>, right: Operand<'_>) -> Result<Bat> {
                 }
             }
             if out_ty == DataType::Timestamp {
-                Vector::Timestamp(out)
+                Vector::Timestamp(out.into())
             } else {
-                Vector::Int(out)
+                Vector::Int(out.into())
             }
         }
         DataType::Float => {
@@ -177,7 +177,7 @@ fn arith(op: ArithOp, left: Operand<'_>, right: Operand<'_>) -> Result<Bat> {
                 }
                 *slot = op.apply_float(left.float_at(i), right.float_at(i));
             }
-            Vector::Float(out)
+            Vector::Float(out.into())
         }
         other => {
             return Err(AlgebraError::UnsupportedType { op: op.sql(), ty: other });
@@ -316,7 +316,7 @@ mod tests {
 
     #[test]
     fn timestamp_arithmetic() {
-        let ts = Bat::from_vector(Vector::Timestamp(vec![100, 200]), 0);
+        let ts = Bat::from_vector(Vector::Timestamp(vec![100, 200].into()), 0);
         let r = arith_const(ArithOp::Add, &ts, &Value::Int(5)).unwrap();
         assert_eq!(r.data_type(), DataType::Timestamp);
         assert_eq!(r.data().as_ints().unwrap(), &[105, 205]);

@@ -13,16 +13,14 @@ use crate::candidates::Candidates;
 /// Gather the values of `bat` at the candidate OIDs into a new dense BAT
 /// (based at 0). Candidates outside the BAT are skipped.
 pub fn fetch(bat: &Bat, cand: &Candidates) -> Bat {
-    // Dense whole-BAT fast path: a plain copy with rebasing.
+    // Dense fast path: an O(1) view rebased to 0 for operator-local
+    // alignment — no element is copied. Normalizing validity here (a bool
+    // scan, matching the old deep-copy path) keeps a null-free window of a
+    // historically nullable column on the typed fast paths downstream.
     if let Candidates::Range(lo, hi) = cand {
-        let s = bat.slice_oids(*lo, *hi);
-        // Rebase to 0 for operator-local alignment.
-        return Bat::from_parts(
-            s.data().clone(),
-            0,
-            s.validity().map(|v| v.to_vec()),
-        )
-        .expect("slice validity aligned");
+        let mut view = bat.slice_oids(*lo, *hi).rebased(0);
+        view.normalize_validity();
+        return view;
     }
     let positions = cand.positions_in(bat);
     bat.gather_positions(&positions)
@@ -84,6 +82,22 @@ mod tests {
         let f = fetch_chunk(&chunk, &Candidates::List(vec![0, 2]));
         assert_eq!(f.len(), 2);
         assert_eq!(f.row(1), vec![Value::Int(3), Value::Float(0.3)]);
+    }
+
+    #[test]
+    fn dense_fetch_of_null_free_window_drops_spurious_validity() {
+        let mut b = Bat::new(DataType::Int);
+        b.push(&Value::Null).unwrap();
+        b.push(&Value::Int(2)).unwrap();
+        b.push(&Value::Int(3)).unwrap();
+        assert!(b.has_nulls());
+        // The [1, 3) window is null-free: the fetched view must report no
+        // NULLs so downstream typed fast paths stay enabled.
+        let f = fetch(&b, &Candidates::range(1, 3));
+        assert!(!f.has_nulls());
+        assert_eq!(f.get_at(0), Value::Int(2));
+        // It is still a zero-copy view of the source tail.
+        assert!(f.shares_buffer_with(&b));
     }
 
     #[test]

@@ -56,6 +56,20 @@ pub fn group_by(keys: &[&Bat], cand: Option<&Candidates>) -> Result<GroupMap> {
     let cand = cand.unwrap_or(&full);
     let positions = cand.positions_in(first);
 
+    // Typed single-key fast paths: no Value materialization, no per-row
+    // RowKey allocation. These carry the windowed-aggregation hot path
+    // (every sliding-window GROUP BY fire lands here).
+    if let [key] = keys {
+        if !key.has_nulls() {
+            if let Some(ints) = key.data().as_ints() {
+                return Ok(group_typed(&positions, |p| ints[p]));
+            }
+            if let Some(strs) = key.data().as_strs() {
+                return Ok(group_typed(&positions, |p| strs[p].as_str()));
+            }
+        }
+    }
+
     let mut ids = Vec::with_capacity(positions.len());
     let mut representatives = Vec::new();
     let mut seen: HashMap<RowKey, u32> = HashMap::new();
@@ -73,6 +87,25 @@ pub fn group_by(keys: &[&Bat], cand: Option<&Candidates>) -> Result<GroupMap> {
         ids.push(id);
     }
     Ok(GroupMap { ids, representatives })
+}
+
+/// Grouping driven by a borrowed typed key extractor (fast path helper).
+fn group_typed<K: std::hash::Hash + Eq>(
+    positions: &[usize],
+    key_at: impl Fn(usize) -> K,
+) -> GroupMap {
+    let mut ids = Vec::with_capacity(positions.len());
+    let mut representatives = Vec::new();
+    let mut seen: HashMap<K, u32> = HashMap::with_capacity(16);
+    for &pos in positions {
+        let next = seen.len() as u32;
+        let id = *seen.entry(key_at(pos)).or_insert_with(|| {
+            representatives.push(pos);
+            next
+        });
+        ids.push(id);
+    }
+    GroupMap { ids, representatives }
 }
 
 /// Materialize the group-key columns: one row per group, in group-id order.

@@ -123,17 +123,20 @@ impl Basket {
     }
 
     /// Append many rows (all validated first); returns how many entered.
+    ///
+    /// The append is column-at-a-time: each column BAT folds in its cells
+    /// for the whole batch in one bulk pass (one ownership acquisition and
+    /// one reservation per column, instead of one per cell). This is the
+    /// receptor and server PUSH hot path.
     pub fn push_rows(&mut self, rows: &[Row]) -> StorageResult<usize> {
-        if self.paused {
+        if self.paused || rows.is_empty() {
             return Ok(0);
         }
         for row in rows {
             self.schema.validate_row(row)?;
         }
-        for row in rows {
-            for (col, val) in self.columns.iter_mut().zip(row) {
-                col.push(val)?;
-            }
+        for (j, col) in self.columns.iter_mut().enumerate() {
+            col.extend_from_rows(rows, j)?;
         }
         self.arrived += rows.len() as u64;
         Ok(rows.len())
@@ -196,9 +199,18 @@ impl Basket {
         bat.get_at(bat.len() - 1).as_int()
     }
 
-    /// Approximate buffered bytes (monitor pane).
+    /// Approximate buffered bytes (monitor pane): the columns' windows.
+    /// Factory/emitter views sharing these buffers are not double-counted —
+    /// a view reports only its own window (see `Bat::byte_size`).
     pub fn byte_size(&self) -> usize {
         self.columns.iter().map(Bat::byte_size).sum()
+    }
+
+    /// Bytes physically pinned by the backing buffers, including the
+    /// retired-but-uncompacted prefix and anything kept alive by live
+    /// views (≥ `byte_size`).
+    pub fn buffer_byte_size(&self) -> usize {
+        self.columns.iter().map(Bat::buffer_byte_size).sum()
     }
 }
 
@@ -322,6 +334,73 @@ mod tests {
         assert_eq!(b.last_value_int(0), None);
         b.push(&row(42, 0.0)).unwrap();
         assert_eq!(b.last_value_int(0), Some(42));
+    }
+
+    #[test]
+    fn live_window_views_survive_retirement_compaction() {
+        let mut b = basket();
+        for i in 0..10 {
+            b.push(&row(i, i as f64)).unwrap();
+        }
+        // A factory-style window view over tuples [2, 8).
+        let window = b.slice(2, 8);
+        assert!(window.column(0).shares_buffer_with(b.contents().column(0)));
+        let frozen: Vec<Row> = window.rows().collect();
+        // Retire past the view's start and cross the half-dead compaction
+        // threshold while the view is alive.
+        b.retire_before(6);
+        b.retire_before(9);
+        assert_eq!(b.len(), 1);
+        // The view still reads its original window, byte for byte.
+        assert_eq!(window.rows().collect::<Vec<Row>>(), frozen);
+        assert_eq!(window.column(0).oid_base(), 2);
+        // New arrivals after compaction are invisible to the view.
+        b.push(&row(99, 99.0)).unwrap();
+        assert_eq!(window.len(), 6);
+        assert_eq!(b.slice(0, 100).row(0)[0], Value::Int(9));
+    }
+
+    #[test]
+    fn push_rows_appends_column_at_a_time() {
+        let mut b = basket();
+        // A bulk batch lands identically to cell-wise pushes, including
+        // NULL tracking, and still validates every row up front.
+        let rows = vec![
+            vec![Value::Int(1), Value::Float(0.5)],
+            vec![Value::Int(2), Value::Null],
+            vec![Value::Int(3), Value::Float(2.5)],
+        ];
+        assert_eq!(b.push_rows(&rows).unwrap(), 3);
+        let c = b.contents();
+        assert_eq!(c.row(1), vec![Value::Int(2), Value::Null]);
+        assert_eq!(c.column(1).valid_count(), 2);
+        // A batch with a bad row is rejected whole.
+        let bad = vec![vec![Value::Int(4), Value::Float(1.0)], vec![Value::Str("x".into()), Value::Null]];
+        assert!(b.push_rows(&bad).is_err());
+        assert_eq!(b.len(), 3, "failed batch must not partially land");
+        assert_eq!(b.arrived(), 3);
+    }
+
+    #[test]
+    fn buffer_bytes_track_pinned_prefix_under_live_views() {
+        let mut b = basket();
+        for i in 0..8 {
+            b.push(&row(i, i as f64)).unwrap();
+        }
+        let window = b.slice(0, 8); // pins the buffers
+        let full = b.byte_size();
+        assert_eq!(b.buffer_byte_size(), full);
+        // Retire everything: compaction wants to drop the prefix but the
+        // live view pins the physical buffer.
+        b.retire_before(8);
+        assert_eq!(b.len(), 0);
+        assert_eq!(b.byte_size(), 0, "window bytes report the live window");
+        assert_eq!(b.buffer_byte_size(), full, "pinned bytes report the buffer");
+        drop(window);
+        // With the view gone the next retirement-compaction reclaims.
+        b.push(&row(9, 9.0)).unwrap();
+        b.retire_before(9);
+        assert_eq!(b.buffer_byte_size(), 0);
     }
 
     #[test]

@@ -302,7 +302,14 @@ impl DataCell {
         let results_cap = self.config.results_capacity;
         let subscribers = &mut self.subscribers;
         let dropped_chunks = &mut self.dropped_chunks;
-        let mut sink = |qid: QueryId, chunk: Chunk| {
+        let mut sink = |qid: QueryId, mut chunk: Chunk| {
+            // Result chunks sit in subscriber queues / the pending buffer
+            // indefinitely; detach pass-through views from the basket
+            // buffers once (no-op for the usual fresh aggregation output)
+            // so a slow consumer pins one window, not whole buffer
+            // generations, and ingestion keeps its in-place append path.
+            // The per-subscriber clones below stay O(1) buffer shares.
+            chunk.compact();
             if let Some(subs) = subscribers.get_mut(&qid) {
                 subs.retain(|tx| match tx.send(chunk.clone()) {
                     Ok(dropped) => {
@@ -458,6 +465,7 @@ impl DataCell {
                     retired: b.retired(),
                     buffered: b.len(),
                     bytes: b.byte_size(),
+                    buffer_bytes: b.buffer_byte_size(),
                     paused: b.is_paused(),
                 }
             })

@@ -512,7 +512,11 @@ impl Factory {
             self.run_post(ctx, &plan.post_plan, AGG_BINDING, agg_chunk).map(Some)
         } else {
             // Ablation: no partial caching — keep raw deltas and recompute
-            // every basic window per slide.
+            // every basic window per slide. Compact first: a ring-held view
+            // of the basket would force every future append to copy the
+            // whole basket buffer.
+            let mut pre = pre;
+            pre.compact();
             rings.raw_ring.push_back(pre);
             if rings.raw_ring.len() > ring_len {
                 rings.raw_ring.pop_front();
@@ -562,6 +566,11 @@ impl Factory {
                     execute(&plan.right_pre, &sources)
                 }
                 .map_err(EngineError::Plan)?;
+                // The pre-chunk lives in the join rings for ring_len slides;
+                // detach it from the basket buffers so ingestion keeps its
+                // in-place append fast path.
+                let mut pre = pre;
+                pre.compact();
                 if side == 0 {
                     new_left = Some(pre);
                 } else {

@@ -15,8 +15,12 @@ pub struct BasketStats {
     pub retired: u64,
     /// Tuples currently buffered.
     pub buffered: usize,
-    /// Approximate buffered bytes.
+    /// Approximate buffered bytes (column windows; shared segments are
+    /// counted once — views report their window, owners the buffer).
     pub bytes: usize,
+    /// Bytes physically pinned by the backing buffers, including the
+    /// retired-but-uncompacted prefix kept alive by live views.
+    pub buffer_bytes: usize,
     /// Whether ingestion is paused.
     pub paused: bool,
 }
@@ -71,15 +75,18 @@ impl EngineStats {
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str("== baskets ==\n");
-        out.push_str("name            arrived   retired  buffered     bytes  state\n");
+        out.push_str(
+            "name            arrived   retired  buffered     bytes    pinned  state\n",
+        );
         for b in &self.baskets {
             out.push_str(&format!(
-                "{:<15} {:>8} {:>9} {:>9} {:>9}  {}\n",
+                "{:<15} {:>8} {:>9} {:>9} {:>9} {:>9}  {}\n",
                 b.name,
                 b.arrived,
                 b.retired,
                 b.buffered,
                 b.bytes,
+                b.buffer_bytes,
                 if b.paused { "paused" } else { "live" }
             ));
         }
@@ -125,6 +132,7 @@ mod tests {
                 retired: 40,
                 buffered: 60,
                 bytes: 960,
+                buffer_bytes: 1024,
                 paused: false,
             }],
             queries: vec![QueryStats {

@@ -250,7 +250,7 @@ pub fn eval_expr(expr: &BoundExpr, chunk: &Chunk, cand: &Candidates) -> Result<B
                     out[row] = true;
                 }
             }
-            Ok(Bat::from_vector(Vector::Bool(out), 0))
+            Ok(Bat::from_vector(Vector::Bool(out.into()), 0))
         }
     }
 }

@@ -229,8 +229,10 @@ impl Session {
                 return Ok(Some(Exit::Closed));
             }
             Command::Shutdown => {
-                self.send("OK SHUTDOWN\n")?;
+                // Flag first, ack second: a client that saw `OK SHUTDOWN`
+                // must observe `shutdown_requested()` as true.
                 self.shared.request_shutdown();
+                self.send("OK SHUTDOWN\n")?;
                 return Ok(Some(Exit::Shutdown));
             }
             Command::Stop => self.send_err("STOP is only valid while subscribed")?,

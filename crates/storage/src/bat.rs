@@ -10,11 +10,15 @@
 
 use crate::error::{Result, StorageError};
 use crate::types::{DataType, Oid};
-use crate::value::Value;
-use crate::vector::Vector;
+use crate::value::{Row, Value};
+use crate::vector::{Segment, Vector};
 
 /// A BAT: dense virtual-OID head plus typed tail, with optional validity
 /// (NULL) information.
+///
+/// Both the tail and the validity bits are Arc-shared [`Segment`]s, so
+/// cloning a BAT and [`Bat::slice_oids`] are O(1) view operations; appends
+/// are copy-on-write (see [`crate::vector`]).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Bat {
     /// OID of the first tuple; tuple `i` has OID `oid_base + i`.
@@ -22,7 +26,7 @@ pub struct Bat {
     /// Tail values.
     data: Vector,
     /// `Some(v)` iff at least one value is NULL; `v[i] == false` means NULL.
-    validity: Option<Vec<bool>>,
+    validity: Option<Segment<bool>>,
 }
 
 impl Bat {
@@ -53,18 +57,20 @@ impl Bat {
             }
         }
         // Normalize: an all-true validity vector is dropped.
-        let validity = validity.filter(|v| v.iter().any(|&b| !b));
+        let validity = validity
+            .filter(|v| v.iter().any(|&b| !b))
+            .map(Segment::from_vec);
         Ok(Bat { oid_base, data, validity })
     }
 
     /// Convenience: BAT of ints based at 0 (tests/workloads).
     pub fn from_ints(values: Vec<i64>) -> Self {
-        Bat::from_vector(Vector::Int(values), 0)
+        Bat::from_vector(Vector::Int(values.into()), 0)
     }
 
     /// Convenience: BAT of floats based at 0.
     pub fn from_floats(values: Vec<f64>) -> Self {
-        Bat::from_vector(Vector::Float(values), 0)
+        Bat::from_vector(Vector::Float(values.into()), 0)
     }
 
     /// Tail type.
@@ -153,9 +159,29 @@ impl Bat {
             (None, true) => {
                 let mut v = vec![true; self.data.len() - 1];
                 v.push(false);
-                self.validity = Some(v);
+                self.validity = Some(Segment::from_vec(v));
             }
             (None, false) => {}
+        }
+        Ok(())
+    }
+
+    /// Bulk columnar append: fold column `col` of every row in, in one
+    /// pass (one buffer-ownership acquisition per column instead of one
+    /// per cell — the receptor/server PUSH hot path).
+    pub fn extend_from_rows(&mut self, rows: &[Row], col: usize) -> Result<()> {
+        let old_len = self.data.len();
+        self.data.extend_from_rows(rows, col)?;
+        let any_null = rows.iter().any(|r| r[col].is_null());
+        match (&mut self.validity, any_null) {
+            (None, false) => {}
+            (Some(v), _) => v.extend_with(rows.len(), |i| !rows[i][col].is_null()),
+            (None, true) => {
+                let mut v = Segment::with_capacity(old_len + rows.len());
+                v.extend_with(old_len, |_| true);
+                v.extend_with(rows.len(), |i| !rows[i][col].is_null());
+                self.validity = Some(v);
+            }
         }
         Ok(())
     }
@@ -167,9 +193,10 @@ impl Bat {
         self.data.append(&other.data)?;
         match (&mut self.validity, &other.validity) {
             (Some(a), Some(b)) => a.extend_from_slice(b),
-            (Some(a), None) => a.extend(std::iter::repeat_n(true, other.len())),
+            (Some(a), None) => a.extend_with(other.len(), |_| true),
             (None, Some(b)) => {
-                let mut v = vec![true; old_len];
+                let mut v = Segment::with_capacity(old_len + b.len());
+                v.extend_with(old_len, |_| true);
                 v.extend_from_slice(b);
                 self.validity = Some(v);
             }
@@ -178,8 +205,9 @@ impl Bat {
         Ok(())
     }
 
-    /// Copy the tuples with OIDs in `[lo, hi)` into a new BAT whose head
-    /// starts at `lo`. OIDs outside the BAT are clamped.
+    /// The view of the tuples with OIDs in `[lo, hi)` as a new BAT whose
+    /// head starts at `lo`. OIDs outside the BAT are clamped. O(1): tail
+    /// and validity share the original buffers — no element is copied.
     pub fn slice_oids(&self, lo: Oid, hi: Oid) -> Bat {
         let lo = lo.clamp(self.oid_base, self.oid_end());
         let hi = hi.clamp(lo, self.oid_end());
@@ -188,7 +216,24 @@ impl Bat {
         Bat {
             oid_base: lo,
             data: self.data.slice(a, b),
-            validity: self.validity.as_ref().map(|v| v[a..b].to_vec()),
+            validity: self.validity.as_ref().map(|v| v.slice(a, b)),
+        }
+    }
+
+    /// The same view rebased to a new head start (O(1); operator-local
+    /// realignment after a dense fetch).
+    pub fn rebased(&self, oid_base: Oid) -> Bat {
+        Bat { oid_base, data: self.data.clone(), validity: self.validity.clone() }
+    }
+
+    /// Drop the validity segment if the window holds no NULL (an O(window)
+    /// bool scan). Slicing never scans, so a null-free view of a column
+    /// that held a NULL elsewhere carries a spurious all-true validity;
+    /// operators call this at a materialization boundary to re-enable the
+    /// `has_nulls() == false` typed fast paths downstream.
+    pub fn normalize_validity(&mut self) {
+        if self.validity.as_ref().is_some_and(|v| v.iter().all(|&b| b)) {
+            self.validity = None;
         }
     }
 
@@ -200,7 +245,8 @@ impl Bat {
             .validity
             .as_ref()
             .map(|v| positions.iter().map(|&i| v[i]).collect::<Vec<bool>>())
-            .filter(|v| v.iter().any(|&b| !b));
+            .filter(|v| v.iter().any(|&b| !b))
+            .map(Segment::from_vec);
         Bat { oid_base: 0, data, validity }
     }
 
@@ -211,7 +257,7 @@ impl Bat {
         let n = n.min(self.len());
         self.data.drop_front(n);
         if let Some(v) = &mut self.validity {
-            v.drain(..n);
+            v.drop_front(n);
             if v.iter().all(|&b| b) {
                 self.validity = None;
             }
@@ -231,9 +277,37 @@ impl Bat {
         (0..self.len()).map(move |i| (self.oid_base + i as u64, self.get_at(i)))
     }
 
-    /// Approximate heap footprint in bytes.
+    /// Approximate heap footprint of this BAT's *window* in bytes. Views
+    /// report only their window; a whole-buffer owner's window is the
+    /// buffer, so shared segments are counted once.
     pub fn byte_size(&self) -> usize {
         self.data.byte_size() + self.validity.as_ref().map_or(0, |v| v.len())
+    }
+
+    /// Approximate heap footprint of the backing buffers, including any
+    /// retired prefix still pinned by live views.
+    pub fn buffer_byte_size(&self) -> usize {
+        self.data.buffer_byte_size() + self.validity.as_ref().map_or(0, |v| v.buffer_len())
+    }
+
+    /// True iff tail or validity windows only part of its backing buffer.
+    pub fn is_view(&self) -> bool {
+        self.data.is_view() || self.validity.as_ref().is_some_and(|v| v.is_view())
+    }
+
+    /// True iff `self` and `other` window the same physical tail buffer.
+    pub fn shares_buffer_with(&self, other: &Bat) -> bool {
+        self.data.shares_buffer_with(&other.data)
+    }
+
+    /// Detach from shared storage: copy tail and validity windows into
+    /// fresh, uniquely owned buffers. Call before retaining a BAT across
+    /// scheduler passes so the source basket keeps its append fast path.
+    pub fn compact(&mut self) {
+        self.data.compact();
+        if let Some(v) = &mut self.validity {
+            v.compact();
+        }
     }
 
     /// Count of non-NULL values.

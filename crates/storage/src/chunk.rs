@@ -101,15 +101,29 @@ impl Chunk {
         }
     }
 
-    /// Slice rows with OIDs in `[lo, hi)` across all columns (columns must
-    /// share a head base, which holds for table/basket scans).
+    /// View of the rows with OIDs in `[lo, hi)` across all columns (columns
+    /// must share a head base, which holds for table/basket scans). O(1):
+    /// every column slice shares its source buffer.
     pub fn slice_oids(&self, lo: Oid, hi: Oid) -> Chunk {
         Chunk { columns: self.columns.iter().map(|c| c.slice_oids(lo, hi)).collect() }
     }
 
-    /// Total approximate heap footprint.
+    /// Detach every column from shared storage (see [`Bat::compact`]).
+    /// Call before retaining a chunk across scheduler passes.
+    pub fn compact(&mut self) {
+        for c in &mut self.columns {
+            c.compact();
+        }
+    }
+
+    /// Total approximate heap footprint of the column windows.
     pub fn byte_size(&self) -> usize {
         self.columns.iter().map(Bat::byte_size).sum()
+    }
+
+    /// Total approximate heap footprint of the backing buffers.
+    pub fn buffer_byte_size(&self) -> usize {
+        self.columns.iter().map(Bat::buffer_byte_size).sum()
     }
 
     /// Render rows as an ASCII table (monitor/emitter output).

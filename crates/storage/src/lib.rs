@@ -34,4 +34,4 @@ pub use schema::{ColumnDef, Schema};
 pub use table::Table;
 pub use types::{DataType, Oid};
 pub use value::{Row, Value};
-pub use vector::Vector;
+pub use vector::{Segment, Vector};

@@ -76,14 +76,13 @@ impl Table {
     }
 
     /// Validate and append many rows; all-or-nothing per row batch.
+    /// Column-at-a-time: one bulk append per column, not one per cell.
     pub fn insert_rows(&mut self, rows: &[Row]) -> Result<usize> {
         for row in rows {
             self.schema.validate_row(row)?;
         }
-        for row in rows {
-            for (col, val) in self.columns.iter_mut().zip(row) {
-                col.push(val)?;
-            }
+        for (j, col) in self.columns.iter_mut().enumerate() {
+            col.extend_from_rows(rows, j)?;
         }
         self.version += 1;
         Ok(rows.len())

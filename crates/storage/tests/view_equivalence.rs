@@ -1,0 +1,251 @@
+//! Equivalence suite for zero-copy BAT views: random interleavings of
+//! `push` / `append` / `slice` / `drop_front` must leave view-backed BATs
+//! observationally identical to the old deep-copy semantics, while live
+//! views taken at any point stay frozen at their capture contents.
+//!
+//! The reference model is the obvious deep-copy implementation: a
+//! `Vec<Value>` plus a base OID. Every step compares the real BAT (and
+//! every live view) against the model via the full `Value` read surface.
+
+use datacell_storage::{Bat, Chunk, DataType, Oid, Value, Vector};
+use proptest::prelude::*;
+
+/// Deep-copy reference: the tuples a BAT should hold, plus its head base.
+#[derive(Clone, Debug)]
+struct Model {
+    base: Oid,
+    vals: Vec<Value>,
+}
+
+impl Model {
+    fn new(base: Oid) -> Self {
+        Model { base, vals: Vec::new() }
+    }
+
+    fn slice(&self, lo: Oid, hi: Oid) -> Model {
+        let end = self.base + self.vals.len() as u64;
+        let lo = lo.clamp(self.base, end);
+        let hi = hi.clamp(lo, end);
+        Model {
+            base: lo,
+            vals: self.vals[(lo - self.base) as usize..(hi - self.base) as usize].to_vec(),
+        }
+    }
+
+    fn drop_front(&mut self, n: usize) {
+        let n = n.min(self.vals.len());
+        self.vals.drain(..n);
+        self.base += n as u64;
+    }
+}
+
+/// Assert a BAT reads exactly like its model: length, base, per-position
+/// values, per-OID lookups, validity count, and iteration order.
+fn assert_matches(bat: &Bat, model: &Model, ctx: &str) {
+    assert_eq!(bat.len(), model.vals.len(), "{ctx}: len");
+    if !model.vals.is_empty() {
+        assert_eq!(bat.oid_base(), model.base, "{ctx}: base");
+    }
+    for (i, want) in model.vals.iter().enumerate() {
+        assert_eq!(&bat.get_at(i), want, "{ctx}: get_at({i})");
+        let oid = model.base + i as u64;
+        assert_eq!(&bat.get(oid).unwrap(), want, "{ctx}: get({oid})");
+    }
+    let want_valid = model.vals.iter().filter(|v| !v.is_null()).count();
+    assert_eq!(bat.valid_count(), want_valid, "{ctx}: valid_count");
+    let pairs: Vec<(Oid, Value)> = bat.iter().collect();
+    let want_pairs: Vec<(Oid, Value)> = model
+        .vals
+        .iter()
+        .enumerate()
+        .map(|(i, v)| (model.base + i as u64, v.clone()))
+        .collect();
+    assert_eq!(pairs, want_pairs, "{ctx}: iter");
+}
+
+/// One step of the interleaving.
+#[derive(Clone, Debug)]
+enum Op {
+    /// Append one value (NULL with some probability).
+    Push(Value),
+    /// Append a batch through `Bat::append`.
+    Append(Vec<Value>),
+    /// Take a view `[lo_frac, hi_frac]` of the current OID span and hold it.
+    Slice(u8, u8),
+    /// Retire a prefix of the current length.
+    DropFront(u8),
+    /// Drop the oldest held view (releases its buffer reference).
+    ReleaseView,
+    /// Detach the newest held view from shared storage.
+    CompactView,
+}
+
+fn arb_value(ty: DataType) -> impl Strategy<Value = Value> {
+    (0i64..64, 0u8..8).prop_map(move |(x, null)| {
+        if null == 0 {
+            return Value::Null;
+        }
+        match ty {
+            DataType::Int => Value::Int(x),
+            DataType::Str => Value::Str(format!("s{x}")),
+            DataType::Float => Value::Float(x as f64 / 2.0),
+            DataType::Bool => Value::Bool(x % 2 == 0),
+            DataType::Timestamp => Value::Timestamp(x),
+        }
+    })
+}
+
+fn arb_op(ty: DataType) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        arb_value(ty).prop_map(Op::Push),
+        prop::collection::vec(arb_value(ty), 0..6).prop_map(Op::Append),
+        (0u8..101, 0u8..101).prop_map(|(a, b)| Op::Slice(a.min(b), a.max(b))),
+        (0u8..101).prop_map(Op::DropFront),
+        Just(Op::ReleaseView),
+        Just(Op::CompactView),
+    ]
+}
+
+/// Run one interleaving against one tail type.
+fn check_interleaving(ty: DataType, ops: &[Op]) {
+    let mut bat = Bat::new(ty);
+    let mut model = Model::new(0);
+    // Live views and the frozen model contents they must keep reading.
+    let mut views: Vec<(Bat, Model)> = Vec::new();
+
+    for (step, op) in ops.iter().enumerate() {
+        match op {
+            Op::Push(v) => {
+                bat.push(v).unwrap();
+                model.vals.push(v.clone());
+            }
+            Op::Append(vals) => {
+                let mut delta = Bat::new(ty);
+                for v in vals {
+                    delta.push(v).unwrap();
+                }
+                bat.append(&delta).unwrap();
+                model.vals.extend(vals.iter().cloned());
+            }
+            Op::Slice(lo_pct, hi_pct) => {
+                let span = bat.len() as u64;
+                let lo = bat.oid_base() + span * (*lo_pct as u64) / 100;
+                let hi = bat.oid_base() + span * (*hi_pct as u64) / 100;
+                let view = bat.slice_oids(lo, hi);
+                let view_model = model.slice(lo, hi);
+                assert_matches(&view, &view_model, &format!("step {step}: fresh slice"));
+                views.push((view, view_model));
+            }
+            Op::DropFront(pct) => {
+                let n = bat.len() * (*pct as usize) / 100;
+                bat.drop_front(n);
+                model.drop_front(n);
+            }
+            Op::ReleaseView => {
+                if !views.is_empty() {
+                    views.remove(0);
+                }
+            }
+            Op::CompactView => {
+                if let Some((view, _)) = views.last_mut() {
+                    view.compact();
+                }
+            }
+        }
+        assert_matches(&bat, &model, &format!("step {step}: owner after {op:?}"));
+        for (i, (view, view_model)) in views.iter().enumerate() {
+            assert_matches(view, view_model, &format!("step {step}: held view {i}"));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn int_bats_with_views_match_deep_copy_semantics(
+        ops in prop::collection::vec(arb_op(DataType::Int), 1..40)
+    ) {
+        check_interleaving(DataType::Int, &ops);
+    }
+
+    #[test]
+    fn str_bats_with_views_match_deep_copy_semantics(
+        ops in prop::collection::vec(arb_op(DataType::Str), 1..40)
+    ) {
+        check_interleaving(DataType::Str, &ops);
+    }
+
+    #[test]
+    fn float_bats_with_views_match_deep_copy_semantics(
+        ops in prop::collection::vec(arb_op(DataType::Float), 1..40)
+    ) {
+        check_interleaving(DataType::Float, &ops);
+    }
+}
+
+/// The O(1) claim itself: slicing any of the five tail types aliases the
+/// source buffer instead of copying elements, at every layer (`Vector`,
+/// `Bat`, `Chunk`).
+#[test]
+fn slices_alias_for_all_five_types_at_every_layer() {
+    let vectors: Vec<Vector> = vec![
+        vec![1i64, 2, 3, 4].into(),
+        vec![1.0f64, 2.0, 3.0, 4.0].into(),
+        vec![true, false, true, false].into(),
+        vec!["a".to_string(), "b".into(), "c".into(), "d".into()].into(),
+        Vector::Timestamp(vec![10i64, 20, 30, 40].into()),
+    ];
+    for data in vectors {
+        let ty = data.data_type();
+        // Vector layer.
+        let vs = data.slice(1, 3);
+        assert!(vs.shares_buffer_with(&data), "{ty:?}: Vector::slice must alias");
+        // Bat layer.
+        let bat = Bat::from_vector(data, 100);
+        let bs = bat.slice_oids(101, 103);
+        assert!(bs.shares_buffer_with(&bat), "{ty:?}: Bat::slice_oids must alias");
+        assert_eq!(bs.oid_base(), 101);
+        assert_eq!(bs.get_at(0), bat.get_at(1), "{ty:?}: view reads through offset");
+        // Chunk layer.
+        let chunk = Chunk::new(vec![bat.clone()]).unwrap();
+        let cs = chunk.slice_oids(101, 103);
+        assert!(
+            cs.column(0).shares_buffer_with(&bat),
+            "{ty:?}: Chunk::slice_oids must alias"
+        );
+    }
+}
+
+/// Validity is a shared segment too: slicing a nullable BAT copies no
+/// validity bits and the view reports NULLs at view-relative positions.
+#[test]
+fn validity_views_read_through_offset() {
+    let mut bat = Bat::new(DataType::Int);
+    bat.push(&Value::Int(1)).unwrap();
+    bat.push(&Value::Null).unwrap();
+    bat.push(&Value::Int(3)).unwrap();
+    bat.push(&Value::Null).unwrap();
+    let view = bat.slice_oids(1, 4);
+    assert_eq!(view.get_at(0), Value::Null);
+    assert_eq!(view.get_at(1), Value::Int(3));
+    assert_eq!(view.get_at(2), Value::Null);
+    assert_eq!(view.valid_count(), 1);
+    assert_eq!(view.validity().unwrap(), &[false, true, false]);
+}
+
+/// Appending to a BAT whose buffer is shared with a live view must leave
+/// the view frozen (copy-on-write), and an unshared BAT must keep its
+/// buffer (fast path) — the CoW contract at the Bat layer.
+#[test]
+fn bat_append_is_cow_under_sharing() {
+    let mut bat = Bat::from_ints(vec![1, 2, 3]);
+    let view = bat.slice_oids(0, 3);
+    bat.push(&Value::Int(4)).unwrap();
+    assert_eq!(view.len(), 3, "live view must not grow");
+    assert_eq!(bat.len(), 4);
+    assert!(!bat.shares_buffer_with(&view), "append under sharing detaches");
+    // A fresh slice of the detached BAT aliases its new buffer again.
+    let snapshot = bat.slice_oids(0, 4);
+    assert!(snapshot.shares_buffer_with(&bat));
+}
