@@ -18,7 +18,8 @@
 //! the watermark, so the lazy state is observationally identical to eager
 //! dropping.
 
-use datacell_storage::{Bat, Chunk, Oid, Result as StorageResult, Row, Schema};
+use datacell_storage::{binio, Bat, Chunk, Oid, Result as StorageResult, Row, Schema, StorageError};
+use datacell_wal::StreamLog;
 
 /// A windowed, append-only columnar stream buffer.
 #[derive(Debug)]
@@ -36,6 +37,9 @@ pub struct Basket {
     retired: u64,
     /// Paused receptors stop appending (demo §4 "Pause and Resume").
     paused: bool,
+    /// Durability: when attached, every append is logged (write-ahead)
+    /// and retirement truncates the log. `None` = in-memory basket.
+    wal: Option<StreamLog>,
 }
 
 impl Basket {
@@ -50,7 +54,59 @@ impl Basket {
             arrived: 0,
             retired: 0,
             paused: false,
+            wal: None,
         }
+    }
+
+    /// Recreate a basket whose tuples below `base` were already retired
+    /// before a restart (recovery path): OIDs continue from `base`, the
+    /// lifetime counters account for the retired prefix, and the replayed
+    /// live tail is appended afterwards via [`Basket::push_rows`].
+    pub fn restore(name: impl Into<String>, schema: Schema, base: Oid) -> Self {
+        let columns = schema.columns().iter().map(|c| Bat::with_base(c.ty, base)).collect();
+        Basket {
+            name: name.into(),
+            schema,
+            columns,
+            first: base,
+            arrived: base,
+            retired: base,
+            paused: false,
+            wal: None,
+        }
+    }
+
+    /// Attach the write-ahead log. Appends from here on are logged before
+    /// they land; recovery replay must happen *before* attaching (replayed
+    /// rows must not be re-logged).
+    pub fn attach_wal(&mut self, log: StreamLog) {
+        self.wal = Some(log);
+    }
+
+    /// Whether a write-ahead log is attached.
+    pub fn is_durable(&self) -> bool {
+        self.wal.is_some()
+    }
+
+    /// Fsync the attached log (checkpoint path). No-op when in-memory.
+    pub fn sync_wal(&mut self) -> StorageResult<()> {
+        match &mut self.wal {
+            Some(log) => log.sync().map_err(|e| StorageError::Io(e.to_string())),
+            None => Ok(()),
+        }
+    }
+
+    /// Write-ahead: log `rows` as one batch starting at the current
+    /// high-water mark. Called after validation, before the append lands.
+    fn log_rows(&mut self, rows: &[Row]) -> StorageResult<()> {
+        let Some(log) = &mut self.wal else {
+            return Ok(());
+        };
+        let mut buf = Vec::new();
+        binio::encode_batch(&mut buf, &self.schema, rows);
+        let first = self.columns.first().map_or(0, Bat::oid_end);
+        log.append_batch(first, rows.len() as u32, &buf)
+            .map_err(|e| StorageError::Io(e.to_string()))
     }
 
     /// Basket name (= stream name).
@@ -114,6 +170,7 @@ impl Basket {
             return Ok(None);
         }
         self.schema.validate_row(row)?;
+        self.log_rows(std::slice::from_ref(row))?;
         let oid = self.high_water();
         for (col, val) in self.columns.iter_mut().zip(row) {
             col.push(val)?;
@@ -135,6 +192,7 @@ impl Basket {
         for row in rows {
             self.schema.validate_row(row)?;
         }
+        self.log_rows(rows)?;
         for (j, col) in self.columns.iter_mut().enumerate() {
             col.extend_from_rows(rows, j)?;
         }
@@ -146,6 +204,18 @@ impl Basket {
     pub fn push_chunk(&mut self, chunk: &Chunk) -> StorageResult<usize> {
         if self.paused {
             return Ok(0);
+        }
+        if self.wal.is_some() {
+            // The durable path pays a row conversion here; the columnar
+            // fast path below is untouched when no log is attached. The
+            // rows must validate *before* they are logged — a batch that
+            // then failed to apply would leave a phantom record whose
+            // advanced OID chain truncates every later batch at recovery.
+            let rows: Vec<Row> = chunk.rows().collect();
+            for row in &rows {
+                self.schema.validate_row(row)?;
+            }
+            self.log_rows(&rows)?;
         }
         for (col, inc) in self.columns.iter_mut().zip(chunk.columns()) {
             col.append(inc)?;
@@ -186,6 +256,11 @@ impl Basket {
             for c in &mut self.columns {
                 c.drop_front(dead);
             }
+        }
+        // Retirement doubles as the log-truncation point: whole segments
+        // below the watermark are deleted (cheap no-op otherwise).
+        if let Some(log) = &mut self.wal {
+            log.truncate_below(self.first);
         }
     }
 

@@ -2,6 +2,7 @@
 //! vary (paper §4).
 
 use datacell_plan::ExecutionMode;
+use datacell_wal::WalConfig;
 
 /// Tunable engine parameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -40,6 +41,14 @@ pub struct DataCellConfig {
     /// drains the internal queue there. Overflow discards the oldest
     /// pending chunk.
     pub results_capacity: Option<usize>,
+    /// Durability: `Some` attaches a write-ahead log under
+    /// [`WalConfig::dir`] — ingest batches, DDL, query registration and
+    /// per-fire factory state are logged, and
+    /// [`DataCell::open`](crate::DataCell::open) recovers the whole engine
+    /// from disk. The fsync policy ([`WalConfig::sync`]) trades ingest
+    /// latency for the durability window; see the `datacell-wal` crate
+    /// docs. `None` (the default) is the classic in-memory engine.
+    pub wal: Option<WalConfig>,
 }
 
 impl Default for DataCellConfig {
@@ -52,6 +61,7 @@ impl Default for DataCellConfig {
             workers: 1,
             emitter_capacity: Some(1024),
             results_capacity: None,
+            wal: None,
         }
     }
 }
@@ -65,6 +75,12 @@ impl DataCellConfig {
     /// Config with a parallel executor of `workers` threads.
     pub fn parallel(workers: usize) -> Self {
         DataCellConfig { workers: workers.max(1), ..Default::default() }
+    }
+
+    /// Config with durability under `dir` (default fsync policy; see
+    /// [`WalConfig::at`]).
+    pub fn durable(dir: impl Into<std::path::PathBuf>) -> Self {
+        DataCellConfig { wal: Some(WalConfig::at(dir)), ..Default::default() }
     }
 }
 
@@ -82,6 +98,8 @@ mod tests {
         assert_eq!(c.workers, 1);
         assert_eq!(c.emitter_capacity, Some(1024));
         assert_eq!(c.results_capacity, None);
+        assert_eq!(c.wal, None);
+        assert!(DataCellConfig::durable("/tmp/x").wal.is_some());
         assert_eq!(DataCellConfig::incremental().default_mode, ExecutionMode::Incremental);
     }
 

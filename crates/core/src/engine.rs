@@ -17,6 +17,7 @@ use parking_lot::RwLock;
 
 use crate::basket::Basket;
 use crate::config::DataCellConfig;
+use crate::durability::{EngineWal, MetaRecord, QuerySnapshot, SnapshotData};
 use crate::emitter::{channel, Emitter, EmitterSender};
 use crate::error::{EngineError, Result};
 use crate::factory::{BasketHandle, Factory, FireContext};
@@ -55,6 +56,13 @@ pub struct DataCell {
     dropped_chunks: u64,
     /// Owns every factory, grouped into basket-partitions.
     scheduler: Scheduler,
+    /// The write-ahead log, when `config.wal` is set.
+    wal: Option<EngineWal>,
+    /// Checkpoint epoch counter (pairs snapshots with their meta-log
+    /// markers; see `MetaRecord::Checkpoint`).
+    wal_epoch: u64,
+    /// Whether [`DataCell::open`] found (and recovered) prior state.
+    recovered: bool,
     config: DataCellConfig,
     next_qid: QueryId,
 }
@@ -66,8 +74,14 @@ impl Default for DataCell {
 }
 
 impl DataCell {
-    /// Create an engine with the given configuration.
+    /// Create an engine with the given configuration. With durability
+    /// configured this delegates to [`DataCell::open`] and panics on an
+    /// I/O failure; fallible embedders should call `open` directly.
     pub fn new(config: DataCellConfig) -> Self {
+        DataCell::open(config).expect("failed to open durable DataCell")
+    }
+
+    fn fresh(config: DataCellConfig) -> Self {
         DataCell {
             catalog: Catalog::new(),
             baskets: HashMap::new(),
@@ -75,9 +89,287 @@ impl DataCell {
             subscribers: HashMap::new(),
             dropped_chunks: 0,
             scheduler: Scheduler::new(),
+            wal: None,
+            wal_epoch: 0,
+            recovered: false,
             config,
             next_qid: 1,
         }
+    }
+
+    /// Open an engine. Without `config.wal` this is a fresh in-memory
+    /// engine; with it, the WAL directory is created or — if it already
+    /// holds state — fully recovered: catalog, tables (with contents),
+    /// baskets (replayed from the stream logs through the bulk
+    /// `Bat::extend_from_rows` path), registered queries and their
+    /// factories at their exact pre-crash positions, so emission resumes
+    /// without duplicating or skipping a window fire.
+    pub fn open(config: DataCellConfig) -> Result<DataCell> {
+        let mut cell = DataCell::fresh(config);
+        let Some(wal_config) = cell.config.wal.clone() else {
+            return Ok(cell);
+        };
+        let (wal, snapshot, records) = EngineWal::open(wal_config)?;
+        cell.recovered = snapshot.is_some() || !records.is_empty();
+        cell.recover(&wal, snapshot, records)?;
+        cell.wal = Some(wal);
+        Ok(cell)
+    }
+
+    /// Whether [`DataCell::open`] recovered prior on-disk state (as
+    /// opposed to initializing an empty WAL directory).
+    pub fn recovered(&self) -> bool {
+        self.recovered
+    }
+
+    /// Rebuild the whole engine from a snapshot plus the meta records
+    /// appended after it.
+    fn recover(
+        &mut self,
+        wal: &EngineWal,
+        snapshot: Option<SnapshotData>,
+        mut records: Vec<MetaRecord>,
+    ) -> Result<()> {
+        // Skip the stale meta prefix, if any: a crash between the
+        // snapshot rename and the meta-log reset leaves pre-snapshot
+        // records behind, terminated by the checkpoint marker of the
+        // snapshot's epoch. Everything through that marker is already
+        // inside the snapshot; re-applying it would collide (duplicate
+        // DDL, double table inserts).
+        let snapshot = match snapshot {
+            Some(snap) => {
+                self.wal_epoch = snap.epoch;
+                if let Some(i) = records.iter().rposition(
+                    |r| matches!(r, MetaRecord::Checkpoint { epoch } if *epoch == snap.epoch),
+                ) {
+                    records.drain(..=i);
+                }
+                snap
+            }
+            None => SnapshotData::default(),
+        };
+
+        // 1. Catalog + query list: snapshot first, then the meta log.
+        let mut queries: std::collections::BTreeMap<QueryId, QuerySnapshot> =
+            std::collections::BTreeMap::new();
+        let mut stream_paused: HashMap<String, bool> = HashMap::new();
+        self.next_qid = snapshot.next_qid.max(1);
+        for (name, schema, paused) in snapshot.streams {
+            self.catalog.create_stream(&name, schema)?;
+            stream_paused.insert(name.to_ascii_lowercase(), paused);
+        }
+        for (name, schema, contents) in snapshot.tables {
+            let handle = self.catalog.create_table(&name, schema)?;
+            handle.write().insert_chunk(&contents)?;
+        }
+        for q in snapshot.queries {
+            queries.insert(q.qid, q);
+        }
+        for record in records {
+            match record {
+                MetaRecord::CreateStream { name, schema } => {
+                    self.catalog.create_stream(&name, schema)?;
+                    stream_paused.insert(name.to_ascii_lowercase(), false);
+                }
+                MetaRecord::CreateTable { name, schema } => {
+                    self.catalog.create_table(&name, schema)?;
+                }
+                MetaRecord::Drop { name } => {
+                    self.catalog.drop_entry(&name)?;
+                    stream_paused.remove(&name.to_ascii_lowercase());
+                }
+                MetaRecord::TableInsert { name, rows } => {
+                    self.catalog.table(&name)?.write().insert_rows(&rows)?;
+                }
+                MetaRecord::Register { qid, sql, mode, state } => {
+                    self.next_qid = self.next_qid.max(qid + 1);
+                    queries.insert(
+                        qid,
+                        QuerySnapshot { qid, sql, mode, paused: false, state },
+                    );
+                }
+                MetaRecord::Deregister { qid } => {
+                    queries.remove(&qid);
+                }
+                MetaRecord::QueryPaused { qid, paused } => {
+                    if let Some(q) = queries.get_mut(&qid) {
+                        q.paused = paused;
+                    }
+                }
+                MetaRecord::StreamPaused { name, paused } => {
+                    stream_paused.insert(name.to_ascii_lowercase(), paused);
+                }
+                MetaRecord::FireState { qid, state } => {
+                    if let Some(q) = queries.get_mut(&qid) {
+                        q.state = state;
+                    }
+                }
+                MetaRecord::Checkpoint { epoch } => {
+                    // A marker whose snapshot never landed (crash before
+                    // the rename). Remember the epoch so it is never
+                    // reused — the skip rule above keys on it.
+                    self.wal_epoch = self.wal_epoch.max(epoch);
+                }
+            }
+        }
+
+        // 2. Baskets: replay each stream's log tail through the bulk
+        // row-append path, then attach the log for future appends.
+        for name in self.catalog.stream_names() {
+            let schema = self.catalog.schema_of(&name)?;
+            let (log, batches) = wal.stream_log(&name)?;
+            let base = batches.first().map_or(log.end_oid(), |b| b.first_oid);
+            let mut basket = Basket::restore(&name, schema, base);
+            for batch in &batches {
+                let mut r = datacell_storage::binio::ByteReader::new(&batch.payload);
+                let rows = datacell_storage::binio::decode_batch(&mut r)
+                    .map_err(|e| EngineError::Wal(format!("stream {name}: {e}")))?;
+                basket.push_rows(&rows)?;
+            }
+            basket.attach_wal(log);
+            if stream_paused.get(&name.to_ascii_lowercase()).copied().unwrap_or(false) {
+                basket.set_paused(true);
+            }
+            self.baskets.insert(name.to_ascii_lowercase(), Arc::new(RwLock::new(basket)));
+        }
+
+        // 3. Factories: recompile each query and restore its saved
+        // position (cursors + incremental ring rebuild from the retained
+        // basket tail).
+        for (qid, q) in queries {
+            self.next_qid = self.next_qid.max(qid + 1);
+            let compiled = self.compile_continuous(&q.sql)?;
+            let mut factory =
+                Factory::new(qid, compiled, q.mode, &self.baskets, &self.catalog)?;
+            let ctx = FireContext {
+                baskets: &self.baskets,
+                catalog: &self.catalog,
+                config: &self.config,
+                wal: None, // recovery itself is never re-logged
+            };
+            factory.restore(&q.state, &ctx)?;
+            factory.paused = q.paused;
+            self.scheduler.insert(factory);
+            self.results.insert(qid, VecDeque::new());
+        }
+
+        // 4. Re-trim: replayed segments may hold a prefix that was already
+        // retired before the crash; one watermark pass drops it again.
+        let ctx = FireContext {
+            baskets: &self.baskets,
+            catalog: &self.catalog,
+            config: &self.config,
+            wal: Some(wal),
+        };
+        self.scheduler.retire_all(&ctx);
+        Ok(())
+    }
+
+    /// Parse, bind and compile a continuous SELECT (shared by
+    /// registration and recovery).
+    fn compile_continuous(&self, sql: &str) -> Result<datacell_plan::CompiledQuery> {
+        let stmt = match parse_statement(sql)? {
+            Statement::Select(s) => s,
+            other => {
+                return Err(EngineError::InvalidStatement(format!(
+                    "only SELECT can be registered as a continuous query, got {other}"
+                )))
+            }
+        };
+        let bound = Binder::new(&self.catalog).bind_select(&stmt)?;
+        let compiled = compile(sql, bound)?;
+        if !compiled.is_continuous() {
+            return Err(EngineError::InvalidStatement(
+                "query reads no stream; run it with execute() instead".into(),
+            ));
+        }
+        Ok(compiled)
+    }
+
+    /// Append one meta record to the WAL, if durability is on.
+    fn log_meta(&self, record: MetaRecord) -> Result<()> {
+        match &self.wal {
+            Some(wal) => wal.append(&record),
+            None => Ok(()),
+        }
+    }
+
+    /// Write a catalog snapshot (streams, tables with contents, queries
+    /// with their exact factory states) and compact the meta log — the
+    /// graceful-shutdown checkpoint; also triggered automatically when
+    /// the meta log outgrows `WalConfig::checkpoint_meta_bytes`. Also
+    /// fsyncs every log, whatever the configured policy. Crash-atomic: a
+    /// checkpoint marker is made durable in the meta log *before* the
+    /// snapshot rename, so recovery can tell pre-snapshot records from
+    /// post-snapshot ones whatever instant the process dies. No-op
+    /// without durability.
+    pub fn checkpoint(&mut self) -> Result<()> {
+        let Some(wal) = &self.wal else {
+            return Ok(());
+        };
+        let epoch = self.wal_epoch + 1;
+        let mut streams = Vec::new();
+        for name in self.catalog.stream_names() {
+            let schema = self.catalog.schema_of(&name)?;
+            let paused = self
+                .baskets
+                .get(&name)
+                .map(|b| b.read().is_paused())
+                .unwrap_or(false);
+            // Preserve the original (case-preserved) stream name.
+            let name = self.catalog.stream(&name)?.name;
+            streams.push((name, schema, paused));
+        }
+        let mut tables = Vec::new();
+        for name in self.catalog.names() {
+            if let Ok(handle) = self.catalog.table(&name) {
+                let table = handle.read();
+                tables.push((table.name().to_owned(), table.schema().clone(), table.scan()));
+            }
+        }
+        let queries = self
+            .scheduler
+            .factories()
+            .into_iter()
+            .map(|f| QuerySnapshot {
+                qid: f.id,
+                sql: f.query.sql.clone(),
+                mode: f.mode,
+                paused: f.paused,
+                state: f.state(),
+            })
+            .collect();
+        let snap = SnapshotData { epoch, next_qid: self.next_qid, streams, tables, queries };
+        // Marker first (durable), then the atomic snapshot rename + meta
+        // reset — see the method docs.
+        wal.append(&MetaRecord::Checkpoint { epoch })?;
+        wal.sync_meta()?;
+        wal.write_snapshot(&snap)?;
+        self.wal_epoch = epoch;
+        for basket in self.baskets.values() {
+            basket.write().sync_wal()?;
+        }
+        wal.sync_meta()
+    }
+
+    /// Checkpoint automatically once the meta log (fire records, mostly)
+    /// outgrows the configured bound — keeps recovery replay bounded on
+    /// long-running durable engines.
+    fn maybe_auto_checkpoint(&mut self) -> Result<()> {
+        let due = self.wal.as_ref().is_some_and(|w| {
+            w.config()
+                .checkpoint_meta_bytes
+                .is_some_and(|limit| w.meta_bytes() >= limit)
+        });
+        if due {
+            self.checkpoint()?;
+        }
+        Ok(())
+    }
+
+    /// WAL counters, when durability is on.
+    pub fn wal_stats(&self) -> Option<datacell_wal::WalStats> {
+        self.wal.as_ref().map(EngineWal::stats)
     }
 
     /// The engine's catalog.
@@ -100,24 +392,52 @@ impl DataCell {
     /// Execute a single SQL statement: `CREATE TABLE`, `CREATE STREAM`,
     /// `DROP`, `INSERT`, or a one-time `SELECT`.
     pub fn execute(&mut self, sql: &str) -> Result<ExecOutcome> {
+        let outcome = self.execute_inner(sql)?;
+        // DDL / table inserts append meta records too; keep the log
+        // bounded even for workloads that never run the scheduler.
+        self.maybe_auto_checkpoint()?;
+        Ok(outcome)
+    }
+
+    fn execute_inner(&mut self, sql: &str) -> Result<ExecOutcome> {
         match parse_statement(sql)? {
             Statement::CreateTable { name, columns } => {
                 let schema = spec_schema(&columns);
-                self.catalog.create_table(&name, schema)?;
+                self.catalog.create_table(&name, schema.clone())?;
+                self.log_meta(MetaRecord::CreateTable { name: name.clone(), schema })?;
                 Ok(ExecOutcome::Created(name))
             }
             Statement::CreateStream { name, columns } => {
                 let schema = spec_schema(&columns);
                 self.catalog.create_stream(&name, schema.clone())?;
-                self.baskets.insert(
-                    name.to_ascii_lowercase(),
-                    Arc::new(RwLock::new(Basket::new(&name, schema))),
-                );
+                let mut basket = Basket::new(&name, schema.clone());
+                if let Some(wal) = &self.wal {
+                    // A genuinely new stream: clear any stale log files a
+                    // crashed earlier incarnation of the name left behind,
+                    // then open its (empty) log.
+                    let key = name.to_ascii_lowercase();
+                    wal.drop_stream_log(&key);
+                    let (log, _) = wal.stream_log(&key)?;
+                    basket.attach_wal(log);
+                }
+                self.baskets
+                    .insert(name.to_ascii_lowercase(), Arc::new(RwLock::new(basket)));
+                self.log_meta(MetaRecord::CreateStream { name: name.clone(), schema })?;
                 Ok(ExecOutcome::Created(name))
             }
             Statement::Drop { name } => {
+                let was_stream = self.catalog.is_stream(&name);
                 self.catalog.drop_entry(&name)?;
                 self.baskets.remove(&name.to_ascii_lowercase());
+                // Write-ahead: the Drop record must be durable before the
+                // stream's log files vanish, or a crash in between would
+                // resurrect the stream empty, with its OID space reset.
+                self.log_meta(MetaRecord::Drop { name: name.clone() })?;
+                if was_stream {
+                    if let Some(wal) = &self.wal {
+                        wal.drop_stream_log(&name.to_ascii_lowercase());
+                    }
+                }
                 Ok(ExecOutcome::Dropped(name))
             }
             Statement::Insert { table, rows } => {
@@ -130,10 +450,12 @@ impl DataCell {
                     );
                 }
                 if self.catalog.is_stream(&table) {
+                    // Stream inserts are logged by the basket itself.
                     Ok(ExecOutcome::Inserted(self.push_rows(&table, &converted)?))
                 } else {
                     let handle = self.catalog.table(&table)?;
                     let n = handle.write().insert_rows(&converted)?;
+                    self.log_meta(MetaRecord::TableInsert { name: table, rows: converted })?;
                     Ok(ExecOutcome::Inserted(n))
                 }
             }
@@ -193,24 +515,16 @@ impl DataCell {
         sql: &str,
         mode: ExecutionMode,
     ) -> Result<QueryId> {
-        let stmt = match parse_statement(sql)? {
-            Statement::Select(s) => s,
-            other => {
-                return Err(EngineError::InvalidStatement(format!(
-                    "only SELECT can be registered as a continuous query, got {other}"
-                )))
-            }
-        };
-        let bound = Binder::new(&self.catalog).bind_select(&stmt)?;
-        let compiled = compile(sql, bound)?;
-        if !compiled.is_continuous() {
-            return Err(EngineError::InvalidStatement(
-                "query reads no stream; run it with execute() instead".into(),
-            ));
-        }
+        let compiled = self.compile_continuous(sql)?;
         let id = self.next_qid;
         self.next_qid += 1;
         let factory = Factory::new(id, compiled, mode, &self.baskets, &self.catalog)?;
+        self.log_meta(MetaRecord::Register {
+            qid: id,
+            sql: sql.to_owned(),
+            mode,
+            state: factory.state(),
+        })?;
         self.scheduler.insert(factory);
         self.results.insert(id, VecDeque::new());
         Ok(id)
@@ -224,7 +538,8 @@ impl DataCell {
                 self.results.remove(&id);
                 self.subscribers.remove(&id);
             })
-            .ok_or(EngineError::UnknownQuery(id))
+            .ok_or(EngineError::UnknownQuery(id))?;
+        self.log_meta(MetaRecord::Deregister { qid: id })
     }
 
     /// Pause / resume one query (paper §4, "Pause and Resume").
@@ -232,7 +547,8 @@ impl DataCell {
         self.scheduler
             .factory_mut(id)
             .map(|f| f.paused = paused)
-            .ok_or(EngineError::UnknownQuery(id))
+            .ok_or(EngineError::UnknownQuery(id))?;
+        self.log_meta(MetaRecord::QueryPaused { qid: id, paused })
     }
 
     /// Pause / resume one stream's ingestion.
@@ -240,7 +556,8 @@ impl DataCell {
         self.baskets
             .get(&stream.to_ascii_lowercase())
             .map(|b| b.write().set_paused(paused))
-            .ok_or_else(|| EngineError::UnknownStream(stream.to_owned()))
+            .ok_or_else(|| EngineError::UnknownStream(stream.to_owned()))?;
+        self.log_meta(MetaRecord::StreamPaused { name: stream.to_owned(), paused })
     }
 
     /// The effective execution mode of a query.
@@ -297,6 +614,7 @@ impl DataCell {
             baskets: &self.baskets,
             catalog: &self.catalog,
             config: &self.config,
+            wal: self.wal.as_ref(),
         };
         let results = &mut self.results;
         let results_cap = self.config.results_capacity;
@@ -335,14 +653,19 @@ impl DataCell {
     /// network has more than one partition. Consumed basket prefixes are
     /// retired by the scheduler's per-partition watermark protocol.
     pub fn step(&mut self) -> Result<usize> {
-        self.with_executor(|scheduler, ctx, sink| scheduler.step(ctx, sink))
+        let fired = self.with_executor(|scheduler, ctx, sink| scheduler.step(ctx, sink))?;
+        self.maybe_auto_checkpoint()?;
+        Ok(fired)
     }
 
     /// Run the scheduler until quiescent; returns total firings. In
     /// parallel mode each worker drives its basket partitions to quiescence
     /// independently.
     pub fn run_until_idle(&mut self) -> Result<u64> {
-        self.with_executor(|scheduler, ctx, sink| scheduler.run_until_idle(ctx, sink))
+        let fired =
+            self.with_executor(|scheduler, ctx, sink| scheduler.run_until_idle(ctx, sink))?;
+        self.maybe_auto_checkpoint()?;
+        Ok(fired)
     }
 
     // ---- results ----------------------------------------------------------
@@ -448,6 +771,7 @@ impl DataCell {
             baskets: &self.baskets,
             catalog: &self.catalog,
             config: &self.config,
+            wal: self.wal.as_ref(),
         };
         self.scheduler.net_state(&ctx)
     }
@@ -499,6 +823,7 @@ impl DataCell {
             partitions: self.scheduler.partition_count(),
             workers: self.config.workers,
             dropped_chunks: self.dropped_chunks,
+            wal: self.wal_stats(),
         }
     }
 

@@ -21,6 +21,8 @@ pub enum EngineError {
     UnknownStream(String),
     /// Statement kind not valid in this API (e.g. SELECT via `execute`).
     InvalidStatement(String),
+    /// Durability-layer failure (WAL append, snapshot or recovery).
+    Wal(String),
 }
 
 impl fmt::Display for EngineError {
@@ -32,6 +34,7 @@ impl fmt::Display for EngineError {
             EngineError::UnknownQuery(id) => write!(f, "unknown continuous query: q{id}"),
             EngineError::UnknownStream(s) => write!(f, "unknown stream: {s}"),
             EngineError::InvalidStatement(m) => write!(f, "invalid statement: {m}"),
+            EngineError::Wal(m) => write!(f, "durability error: {m}"),
         }
     }
 }

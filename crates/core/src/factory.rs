@@ -39,6 +39,10 @@ pub struct FireContext<'a> {
     pub catalog: &'a Catalog,
     /// Engine knobs.
     pub config: &'a DataCellConfig,
+    /// The engine's WAL, when durability is on: the scheduler writes a
+    /// fire record after every firing and retires baskets against the
+    /// replay-aware bound ([`Factory::durable_needed_from`]).
+    pub wal: Option<&'a crate::durability::EngineWal>,
 }
 
 /// Window cursor over one stream input.
@@ -71,6 +75,12 @@ pub struct FactoryStats {
     pub last_tuples_touched: u64,
 }
 
+/// The OID range `[start, end)` of one consumed basic window — the
+/// replay coordinates of incremental ring state. Persisted in fire
+/// records so recovery can recompute ring entries from the retained
+/// basket tail.
+pub type WindowSpan = (Oid, Oid);
+
 /// Incremental runtime state.
 enum IncrState {
     Agg(AggRings),
@@ -82,12 +92,15 @@ struct AggRings {
     ring: VecDeque<PartialAgg>,
     /// Delta chunks kept only when partial caching is disabled (ablation).
     raw_ring: VecDeque<Chunk>,
+    /// OID spans of the ring entries (durability metadata; same length
+    /// and order as whichever ring is in use).
+    spans: VecDeque<WindowSpan>,
 }
 
 /// Pairwise basic-window join caches.
 struct JoinRings {
-    left: VecDeque<(u64, Chunk)>,
-    right: VecDeque<(u64, Chunk, JoinHashTable)>,
+    left: VecDeque<(u64, WindowSpan, Chunk)>,
+    right: VecDeque<(u64, WindowSpan, Chunk, JoinHashTable)>,
     next_epoch: u64,
     /// `(left_epoch, right_epoch)` → cached pair result.
     pairs: HashMap<(u64, u64), PairCache>,
@@ -96,6 +109,68 @@ struct JoinRings {
 enum PairCache {
     Agg(PartialAgg),
     Rows(Chunk),
+}
+
+/// Serializable position of one stream cursor (durability metadata; the
+/// static parts — slide, ring length, timestamp column — are re-derived
+/// from the compiled plan at recovery).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CursorState {
+    /// Consume-once position.
+    Unwindowed {
+        /// Next unconsumed OID.
+        next: Oid,
+    },
+    /// Count-window position.
+    Rows {
+        /// One past the end of the next basic window.
+        next_bw_end: Oid,
+    },
+    /// Time-window position.
+    Range {
+        /// Value boundary of the next basic window (None before the
+        /// first tuple fixed it).
+        next_bw_end: Option<i64>,
+        /// OID where the next basic window starts.
+        low_oid: Oid,
+    },
+}
+
+/// Serializable incremental-ring metadata: which basic windows the rings
+/// currently cover. The ring *contents* are never serialized — recovery
+/// recomputes them from the retained basket tuples, which
+/// [`Factory::durable_needed_from`] guarantees are still there.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IncrMeta {
+    /// Re-evaluation mode (or no incremental plan): cursors suffice.
+    None,
+    /// Aggregate ring: spans of the cached basic windows, oldest first.
+    Agg {
+        /// Basic-window spans in ring order.
+        spans: Vec<WindowSpan>,
+    },
+    /// Join rings: `(epoch, start, end)` per side plus the epoch counter
+    /// (epoch order fixes the deterministic pair-emission order).
+    Join {
+        /// Left ring windows, oldest first.
+        left: Vec<(u64, Oid, Oid)>,
+        /// Right ring windows, oldest first.
+        right: Vec<(u64, Oid, Oid)>,
+        /// Next epoch to assign.
+        next_epoch: u64,
+    },
+}
+
+/// The complete resumable position of one factory — what a WAL fire
+/// record carries. Restoring this (plus the basket tuples retained by the
+/// durable retention bound) reproduces the factory exactly: the next fire
+/// emits the same chunk it would have emitted without the restart.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FactoryState {
+    /// Per-binding cursor positions (sorted by binding).
+    pub cursors: Vec<(String, CursorState)>,
+    /// Incremental ring coverage.
+    pub incr: IncrMeta,
 }
 
 /// A factory: one continuous query instance.
@@ -184,6 +259,7 @@ impl Factory {
                     incr = Some(IncrState::Agg(AggRings {
                         ring: VecDeque::new(),
                         raw_ring: VecDeque::new(),
+                        spans: VecDeque::new(),
                     }));
                 }
                 (Some(IncrementalPlan::Join(_)), true) => {
@@ -395,8 +471,14 @@ impl Factory {
         }
     }
 
-    /// Slice the *next basic window* (one slide of tuples) of `binding`.
-    fn next_basic_window(&mut self, binding: &str, basket: &Basket) -> Result<Option<Chunk>> {
+    /// Slice the *next basic window* (one slide of tuples) of `binding`,
+    /// returning it together with its OID span (the ring's durability
+    /// coordinates).
+    fn next_basic_window(
+        &mut self,
+        binding: &str,
+        basket: &Basket,
+    ) -> Result<Option<(Chunk, WindowSpan)>> {
         let key = binding.to_ascii_lowercase();
         let cursor = self
             .cursors
@@ -409,16 +491,18 @@ impl Factory {
                     return Ok(None);
                 }
                 let chunk = basket.slice(*next, hi);
+                let span = (*next, hi);
                 *next = hi;
-                Ok(Some(chunk))
+                Ok(Some((chunk, span)))
             }
             Cursor::Rows { slide, next_bw_end, .. } => {
                 if basket.high_water() < *next_bw_end {
                     return Ok(None);
                 }
-                let chunk = basket.slice(*next_bw_end - *slide, *next_bw_end);
+                let span = (next_bw_end.saturating_sub(*slide), *next_bw_end);
+                let chunk = basket.slice(span.0, span.1);
                 *next_bw_end += *slide;
-                Ok(Some(chunk))
+                Ok(Some((chunk, span)))
             }
             Cursor::Range { slide, col, next_bw_end, low_oid, .. } => {
                 let contents = basket.slice(*low_oid, basket.high_water());
@@ -446,10 +530,11 @@ impl Factory {
                     end_pos += 1;
                 }
                 let base = ts.oid_base();
-                let chunk = contents.slice_oids(base, base + end_pos as u64);
+                let span = (base, base + end_pos as u64);
+                let chunk = contents.slice_oids(span.0, span.1);
                 *next_bw_end = Some(end + *slide);
-                *low_oid = base + end_pos as u64;
-                Ok(Some(chunk))
+                *low_oid = span.1;
+                Ok(Some((chunk, span)))
             }
         }
     }
@@ -473,7 +558,7 @@ impl Factory {
             .get(&plan.stream.object.to_ascii_lowercase())
             .ok_or_else(|| EngineError::UnknownStream(plan.stream.object.clone()))?;
         let delta = self.next_basic_window(&plan.stream.binding, &handle.read())?;
-        let Some(delta) = delta else {
+        let Some((delta, span)) = delta else {
             return Ok(None);
         };
         self.stats.tuples_in += delta.len() as u64;
@@ -491,6 +576,10 @@ impl Factory {
                 "incremental state missing".into(),
             )));
         };
+        rings.spans.push_back(span);
+        if rings.spans.len() > ring_len {
+            rings.spans.pop_front();
+        }
 
         if ctx.config.cache_partials {
             let partial = PartialAgg::compute(&pre, &plan.group_exprs, &plan.aggs)
@@ -545,17 +634,16 @@ impl Factory {
         ctx: &FireContext<'_>,
         plan: &IncrementalJoinPlan,
     ) -> Result<Option<Chunk>> {
-        use datacell_plan::eval_predicate;
         // Pull at most one new basic window per side.
-        let mut new_left: Option<Chunk> = None;
-        let mut new_right: Option<Chunk> = None;
+        let mut new_left: Option<(Chunk, WindowSpan)> = None;
+        let mut new_right: Option<(Chunk, WindowSpan)> = None;
         for (side, stream) in [(0, &plan.left_stream), (1, &plan.right_stream)] {
             let handle = ctx
                 .baskets
                 .get(&stream.object.to_ascii_lowercase())
                 .ok_or_else(|| EngineError::UnknownStream(stream.object.clone()))?;
             let delta = self.next_basic_window(&stream.binding, &handle.read())?;
-            if let Some(delta) = delta {
+            if let Some((delta, span)) = delta {
                 self.stats.tuples_in += delta.len() as u64;
                 let mut sources = ExecSources::new();
                 sources.bind(&stream.binding, delta);
@@ -572,9 +660,9 @@ impl Factory {
                 let mut pre = pre;
                 pre.compact();
                 if side == 0 {
-                    new_left = Some(pre);
+                    new_left = Some((pre, span));
                 } else {
-                    new_right = Some(pre);
+                    new_right = Some((pre, span));
                 }
             }
         }
@@ -591,66 +679,31 @@ impl Factory {
         };
 
         let mut touched = 0u64;
-        // Helper: join one left chunk with one right (chunk, table) pair.
-        let compute_pair = |lc: &Chunk,
-                            rc: &Chunk,
-                            table: &JoinHashTable|
-         -> Result<PairCache> {
-            let probe = lc.column(plan.left_key);
-            let (lp, roids) = table.probe(probe, None);
-            let rbase = rc.column(plan.right_key).oid_base();
-            let rp: Vec<usize> = roids.into_iter().map(|o| (o - rbase) as usize).collect();
-            let mut cols = Vec::with_capacity(lc.arity() + rc.arity());
-            for c in lc.columns() {
-                cols.push(c.gather_positions(&lp));
-            }
-            for c in rc.columns() {
-                cols.push(c.gather_positions(&rp));
-            }
-            let mut pairs = Chunk::new(cols).map_err(|e| EngineError::Plan(e.into()))?;
-            if let Some(f) = &plan.pair_filter {
-                let cand = if pairs.arity() == 0 {
-                    datacell_algebra::Candidates::empty()
-                } else {
-                    datacell_algebra::Candidates::all(pairs.column(0))
-                };
-                let hits = eval_predicate(f, &pairs, &cand).map_err(EngineError::Plan)?;
-                pairs = datacell_algebra::fetch_chunk(&pairs, &hits);
-            }
-            match &plan.agg {
-                Some(agg) => Ok(PairCache::Agg(
-                    PartialAgg::compute(&pairs, &agg.group_exprs, &agg.aggs)
-                        .map_err(EngineError::Plan)?,
-                )),
-                None => Ok(PairCache::Rows(pairs)),
-            }
-        };
-
         // Insert new epochs and compute the new pairs only.
-        if let Some(lc) = new_left {
+        if let Some((lc, span)) = new_left {
             let epoch = rings.next_epoch;
             rings.next_epoch += 1;
             touched += lc.len() as u64;
-            for (re, rc, table) in rings.right.iter() {
-                rings.pairs.insert((epoch, *re), compute_pair(&lc, rc, table)?);
+            for (re, _, rc, table) in rings.right.iter() {
+                rings.pairs.insert((epoch, *re), compute_pair(plan, &lc, rc, table)?);
             }
-            rings.left.push_back((epoch, lc));
+            rings.left.push_back((epoch, span, lc));
             if rings.left.len() > nl {
-                let (old, _) = rings.left.pop_front().expect("nonempty");
+                let (old, _, _) = rings.left.pop_front().expect("nonempty");
                 rings.pairs.retain(|(l, _), _| *l != old);
             }
         }
-        if let Some(rc) = new_right {
+        if let Some((rc, span)) = new_right {
             let epoch = rings.next_epoch;
             rings.next_epoch += 1;
             touched += rc.len() as u64;
             let table = JoinHashTable::build(rc.column(plan.right_key), None);
-            for (le, lc) in rings.left.iter() {
-                rings.pairs.insert((*le, epoch), compute_pair(lc, &rc, &table)?);
+            for (le, _, lc) in rings.left.iter() {
+                rings.pairs.insert((*le, epoch), compute_pair(plan, lc, &rc, &table)?);
             }
-            rings.right.push_back((epoch, rc, table));
+            rings.right.push_back((epoch, span, rc, table));
             if rings.right.len() > nr {
-                let (old, _, _) = rings.right.pop_front().expect("nonempty");
+                let (old, _, _, _) = rings.right.pop_front().expect("nonempty");
                 rings.pairs.retain(|(_, r), _| *r != old);
             }
         }
@@ -729,6 +782,232 @@ impl Factory {
         Ok(())
     }
 
+    // ---- durability: resumable factory state --------------------------
+
+    /// Capture the factory's complete resumable position (cursor
+    /// positions + incremental ring coverage). Written to the WAL after
+    /// every fire; see [`FactoryState`].
+    pub fn state(&self) -> FactoryState {
+        let mut cursors: Vec<(String, CursorState)> = self
+            .cursors
+            .iter()
+            .map(|(binding, c)| {
+                let cs = match c {
+                    Cursor::Unwindowed { next } => CursorState::Unwindowed { next: *next },
+                    Cursor::Rows { next_bw_end, .. } => {
+                        CursorState::Rows { next_bw_end: *next_bw_end }
+                    }
+                    Cursor::Range { next_bw_end, low_oid, .. } => {
+                        CursorState::Range { next_bw_end: *next_bw_end, low_oid: *low_oid }
+                    }
+                };
+                (binding.clone(), cs)
+            })
+            .collect();
+        cursors.sort_by(|a, b| a.0.cmp(&b.0));
+        let incr = match &self.incr {
+            None => IncrMeta::None,
+            Some(IncrState::Agg(r)) => IncrMeta::Agg { spans: r.spans.iter().copied().collect() },
+            Some(IncrState::Join(r)) => IncrMeta::Join {
+                left: r.left.iter().map(|(e, s, _)| (*e, s.0, s.1)).collect(),
+                right: r.right.iter().map(|(e, s, _, _)| (*e, s.0, s.1)).collect(),
+                next_epoch: r.next_epoch,
+            },
+        };
+        FactoryState { cursors, incr }
+    }
+
+    /// The oldest OID of `binding` recovery would need to rebuild this
+    /// factory's state by replay: the normal retirement bound, lowered to
+    /// the start of the oldest incremental ring window. Durable engines
+    /// retire (and truncate the log) against this bound, so a restart can
+    /// always recompute the rings from the retained basket tail.
+    pub fn durable_needed_from(&self, binding: &str) -> Option<Oid> {
+        let base = self.needed_from(binding)?;
+        let ring_min = match (&self.incr, &self.query.incremental) {
+            (Some(IncrState::Agg(r)), Some(IncrementalPlan::Aggregate(p)))
+                if p.stream.binding.eq_ignore_ascii_case(binding) =>
+            {
+                r.spans.iter().map(|(s, _)| *s).min()
+            }
+            (Some(IncrState::Join(r)), Some(IncrementalPlan::Join(p))) => {
+                if p.left_stream.binding.eq_ignore_ascii_case(binding) {
+                    r.left.iter().map(|(_, s, _)| s.0).min()
+                } else if p.right_stream.binding.eq_ignore_ascii_case(binding) {
+                    r.right.iter().map(|(_, s, _, _)| s.0).min()
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        };
+        Some(ring_min.map_or(base, |m| m.min(base)))
+    }
+
+    /// Restore a freshly built factory to a saved position: set every
+    /// cursor, then recompute the incremental rings by re-running each
+    /// saved basic-window span through the pre-plan over the recovered
+    /// baskets. For a full aggregate ring only the newest `ring_len - 1`
+    /// entries are rebuilt — the oldest is popped unused by the very next
+    /// fire, and its tuples are already retired.
+    pub fn restore(&mut self, state: &FactoryState, ctx: &FireContext<'_>) -> Result<()> {
+        let id = self.id;
+        let corrupt =
+            move |msg: &str| EngineError::Wal(format!("factory q{id} state mismatch: {msg}"));
+        for (binding, cs) in &state.cursors {
+            let Some(cursor) = self.cursors.get_mut(&binding.to_ascii_lowercase()) else {
+                return Err(corrupt(&format!("unknown binding {binding}")));
+            };
+            match (cursor, cs) {
+                (Cursor::Unwindowed { next }, CursorState::Unwindowed { next: n }) => {
+                    *next = *n;
+                }
+                (Cursor::Rows { next_bw_end, .. }, CursorState::Rows { next_bw_end: n }) => {
+                    *next_bw_end = *n;
+                }
+                (
+                    Cursor::Range { next_bw_end, low_oid, .. },
+                    CursorState::Range { next_bw_end: n, low_oid: l },
+                ) => {
+                    *next_bw_end = *n;
+                    *low_oid = *l;
+                }
+                _ => return Err(corrupt(&format!("cursor kind changed for {binding}"))),
+            }
+        }
+        // The saved position must be covered by the recovered basket: a
+        // damaged stream-log tail can leave fire records pointing past
+        // the surviving tuples, and `Basket::slice` would silently clamp
+        // — wrong windows are worse than a loud recovery failure.
+        for s in &self.query.streams {
+            let Some(handle) = ctx.baskets.get(&s.object.to_ascii_lowercase()) else {
+                continue;
+            };
+            let hw = handle.read().high_water();
+            let consumed = match self.cursors.get(&s.binding.to_ascii_lowercase()) {
+                Some(Cursor::Unwindowed { next }) => *next,
+                Some(Cursor::Rows { slide, next_bw_end, .. }) => {
+                    next_bw_end.saturating_sub(*slide)
+                }
+                Some(Cursor::Range { low_oid, .. }) => *low_oid,
+                None => continue,
+            };
+            if consumed > hw {
+                return Err(corrupt(&format!(
+                    "stream {} lost its log tail: cursor consumed through oid \
+                     {consumed} but only {hw} tuples survive",
+                    s.object
+                )));
+            }
+        }
+        match (&state.incr, self.query.incremental.clone()) {
+            (IncrMeta::None, _) => Ok(()),
+            (IncrMeta::Agg { spans }, Some(IncrementalPlan::Aggregate(plan)))
+                if self.mode == ExecutionMode::Incremental =>
+            {
+                let ring_len = self.ring_len_for(&plan.stream.binding);
+                let skip = if spans.len() >= ring_len { spans.len() + 1 - ring_len } else { 0 };
+                for &span in &spans[skip..] {
+                    let pre = self.pre_of(ctx, &plan.stream, &plan.pre_plan, span)?;
+                    let Some(IncrState::Agg(rings)) = &mut self.incr else {
+                        return Err(corrupt("aggregate ring state missing"));
+                    };
+                    if ctx.config.cache_partials {
+                        let partial =
+                            PartialAgg::compute(&pre, &plan.group_exprs, &plan.aggs)
+                                .map_err(EngineError::Plan)?;
+                        rings.ring.push_back(partial);
+                    } else {
+                        let mut pre = pre;
+                        pre.compact();
+                        rings.raw_ring.push_back(pre);
+                    }
+                    rings.spans.push_back(span);
+                }
+                Ok(())
+            }
+            (IncrMeta::Join { left, right, next_epoch }, Some(IncrementalPlan::Join(plan)))
+                if self.mode == ExecutionMode::Incremental =>
+            {
+                for &(epoch, s, e) in left {
+                    let mut pre = self.pre_of(ctx, &plan.left_stream, &plan.left_pre, (s, e))?;
+                    pre.compact();
+                    let Some(IncrState::Join(rings)) = &mut self.incr else {
+                        return Err(corrupt("join ring state missing"));
+                    };
+                    rings.left.push_back((epoch, (s, e), pre));
+                }
+                for &(epoch, s, e) in right {
+                    let mut pre =
+                        self.pre_of(ctx, &plan.right_stream, &plan.right_pre, (s, e))?;
+                    pre.compact();
+                    let table = JoinHashTable::build(pre.column(plan.right_key), None);
+                    let Some(IncrState::Join(rings)) = &mut self.incr else {
+                        return Err(corrupt("join ring state missing"));
+                    };
+                    rings.right.push_back((epoch, (s, e), pre, table));
+                }
+                let Some(IncrState::Join(rings)) = &mut self.incr else {
+                    return Err(corrupt("join ring state missing"));
+                };
+                rings.next_epoch = *next_epoch;
+                // Recompute every cached pair (deterministic from the ring
+                // chunks; epoch keys preserve the emission order).
+                let mut pairs = HashMap::new();
+                for (le, _, lc) in rings.left.iter() {
+                    for (re, _, rc, table) in rings.right.iter() {
+                        pairs.insert((*le, *re), compute_pair(&plan, lc, rc, table)?);
+                    }
+                }
+                rings.pairs = pairs;
+                Ok(())
+            }
+            // A factory that fell back to re-evaluation carries no ring
+            // state; cursors were enough.
+            (_, _) if self.mode == ExecutionMode::Reevaluate => Ok(()),
+            _ => Err(corrupt("incremental plan shape changed")),
+        }
+    }
+
+    /// Recovery helper: re-run one saved basic-window span through a
+    /// pre-plan over the recovered basket.
+    fn pre_of(
+        &mut self,
+        ctx: &FireContext<'_>,
+        stream: &datacell_plan::StreamInput,
+        pre_plan: &datacell_plan::LogicalPlan,
+        span: WindowSpan,
+    ) -> Result<Chunk> {
+        let handle = ctx
+            .baskets
+            .get(&stream.object.to_ascii_lowercase())
+            .ok_or_else(|| EngineError::UnknownStream(stream.object.clone()))?;
+        let delta = {
+            let basket = handle.read();
+            // Refuse to rebuild from a clamped slice — the saved window
+            // must still be fully present (see the cursor check in
+            // `restore`; ring spans can additionally fall below the
+            // retained base if retention metadata was lost).
+            if span.1 > basket.high_water() || span.0 < basket.first_oid() {
+                return Err(EngineError::Wal(format!(
+                    "factory q{} ring window [{}, {}) outside recovered stream {} \
+                     range [{}, {})",
+                    self.id,
+                    span.0,
+                    span.1,
+                    stream.object,
+                    basket.first_oid(),
+                    basket.high_water()
+                )));
+            }
+            basket.slice(span.0, span.1)
+        };
+        let mut sources = ExecSources::new();
+        sources.bind(&stream.binding, delta);
+        self.bind_tables(ctx, &mut sources)?;
+        execute(pre_plan, &sources).map_err(EngineError::Plan)
+    }
+
     /// Output schema (names) of the query.
     pub fn output_names(&self) -> &[String] {
         &self.query.output_names
@@ -745,5 +1024,45 @@ impl Factory {
                 .map(|(n, t)| datacell_storage::ColumnDef::new(n, t))
                 .collect(),
         )
+    }
+}
+
+/// Join one left ring chunk with one right ring (chunk, hash table) pair:
+/// probe, gather, residual filter, optional partial aggregation. Shared by
+/// live firing and recovery (which recomputes every cached pair).
+fn compute_pair(
+    plan: &IncrementalJoinPlan,
+    lc: &Chunk,
+    rc: &Chunk,
+    table: &JoinHashTable,
+) -> Result<PairCache> {
+    use datacell_plan::eval_predicate;
+    let probe = lc.column(plan.left_key);
+    let (lp, roids) = table.probe(probe, None);
+    let rbase = rc.column(plan.right_key).oid_base();
+    let rp: Vec<usize> = roids.into_iter().map(|o| (o - rbase) as usize).collect();
+    let mut cols = Vec::with_capacity(lc.arity() + rc.arity());
+    for c in lc.columns() {
+        cols.push(c.gather_positions(&lp));
+    }
+    for c in rc.columns() {
+        cols.push(c.gather_positions(&rp));
+    }
+    let mut pairs = Chunk::new(cols).map_err(|e| EngineError::Plan(e.into()))?;
+    if let Some(f) = &plan.pair_filter {
+        let cand = if pairs.arity() == 0 {
+            datacell_algebra::Candidates::empty()
+        } else {
+            datacell_algebra::Candidates::all(pairs.column(0))
+        };
+        let hits = eval_predicate(f, &pairs, &cand).map_err(EngineError::Plan)?;
+        pairs = datacell_algebra::fetch_chunk(&pairs, &hits);
+    }
+    match &plan.agg {
+        Some(agg) => Ok(PairCache::Agg(
+            PartialAgg::compute(&pairs, &agg.group_exprs, &agg.aggs)
+                .map_err(EngineError::Plan)?,
+        )),
+        None => Ok(PairCache::Rows(pairs)),
     }
 }

@@ -31,6 +31,7 @@
 
 pub mod basket;
 pub mod config;
+pub mod durability;
 pub mod emitter;
 pub mod engine;
 pub mod error;
@@ -42,10 +43,13 @@ pub mod stats;
 
 pub use basket::Basket;
 pub use config::DataCellConfig;
+pub use durability::EngineWal;
 pub use emitter::{Emitter, EmitterSender};
 pub use engine::{DataCell, ExecOutcome, QueryId};
 pub use error::{EngineError, Result};
-pub use factory::{BasketHandle, Factory, FactoryStats, FireContext};
+pub use factory::{
+    BasketHandle, CursorState, Factory, FactoryState, FactoryStats, FireContext, IncrMeta,
+};
 pub use network::{NetworkEdge, QueryNetwork};
 pub use receptor::Receptor;
 pub use scheduler::{NetState, Partition, Scheduler};
@@ -53,3 +57,6 @@ pub use stats::{BasketStats, EngineStats, QueryStats};
 
 // Re-export the execution mode so engine users don't need datacell-plan.
 pub use datacell_plan::ExecutionMode;
+// Re-export the durability configuration so engine users don't need
+// datacell-wal.
+pub use datacell_wal::{SyncPolicy, WalConfig, WalStats};

@@ -97,7 +97,14 @@ impl Partition {
         let mut fired = 0;
         for factory in self.factories.values_mut() {
             if factory.enabled(ctx) {
-                if let Some(chunk) = factory.fire(ctx)? {
+                let chunk = factory.fire(ctx)?;
+                // Durable engines make the post-fire position durable
+                // *before* the chunk reaches any subscriber: a restart
+                // neither re-fires this window nor skips the next.
+                if let Some(wal) = ctx.wal {
+                    wal.log_fire(factory.id, &factory.state())?;
+                }
+                if let Some(chunk) = chunk {
                     out.push((factory.id, chunk));
                 }
                 fired += 1;
@@ -143,7 +150,15 @@ impl Partition {
             for f in self.factories.values() {
                 for s in &f.query.streams {
                     if s.object.eq_ignore_ascii_case(name) {
-                        if let Some(n) = f.needed_from(&s.binding) {
+                        // Durable engines retire against the replay-aware
+                        // bound so recovery can rebuild incremental rings
+                        // from the retained (and still-logged) tail.
+                        let needed = if ctx.wal.is_some() {
+                            f.durable_needed_from(&s.binding)
+                        } else {
+                            f.needed_from(&s.binding)
+                        };
+                        if let Some(n) = needed {
                             min_needed = Some(min_needed.map_or(n, |m| m.min(n)));
                         }
                     }
@@ -312,6 +327,17 @@ impl Scheduler {
         Ok(fired)
     }
 
+    /// One retirement pass over every partition (recovery housekeeping:
+    /// re-trims replayed basket prefixes that were already retired before
+    /// the restart).
+    pub(crate) fn retire_all(&self, ctx: &FireContext<'_>) {
+        if ctx.config.retire_consumed {
+            for p in &self.partitions {
+                p.retire(ctx);
+            }
+        }
+    }
+
     /// Introspection snapshot of the whole net.
     pub fn net_state(&self, ctx: &FireContext<'_>) -> NetState {
         let transitions =
@@ -345,7 +371,12 @@ impl Scheduler {
         let mut fired = 0;
         for factory in all {
             if factory.enabled(ctx) {
-                if let Some(chunk) = factory.fire(ctx)? {
+                let chunk = factory.fire(ctx)?;
+                // Fire record before delivery — see Partition::step_round.
+                if let Some(wal) = ctx.wal {
+                    wal.log_fire(factory.id, &factory.state())?;
+                }
+                if let Some(chunk) = chunk {
                     sink(factory.id, chunk);
                 }
                 fired += 1;

@@ -4,6 +4,8 @@
 
 use std::time::Duration;
 
+use datacell_wal::WalStats;
+
 /// Statistics for one basket.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct BasketStats {
@@ -68,6 +70,8 @@ pub struct EngineStats {
     /// Result chunks dropped by bounded subscriber queues (drop-oldest
     /// overflow policy — see `DataCellConfig::emitter_capacity`).
     pub dropped_chunks: u64,
+    /// Durability counters, when a WAL is attached (`None` = in-memory).
+    pub wal: Option<WalStats>,
 }
 
 impl EngineStats {
@@ -115,6 +119,18 @@ impl EngineStats {
             "emitters: {} chunks dropped (overflow)\n",
             self.dropped_chunks
         ));
+        if let Some(w) = &self.wal {
+            out.push_str(&format!(
+                "wal: {} bytes, {} batches appended ({} synced), {} meta records, \
+                 {} snapshots\n",
+                w.wal_bytes, w.appended_batches, w.synced_batches, w.meta_records, w.snapshots
+            ));
+            out.push_str(&format!(
+                "wal recovery: {} batches / {} rows replayed, {} bytes dropped, \
+                 {} bytes reclaimed\n",
+                w.recovered_batches, w.recovered_rows, w.dropped_bytes, w.reclaimed_bytes
+            ));
+        }
         out
     }
 }
@@ -147,11 +163,34 @@ mod tests {
             partitions: 2,
             workers: 4,
             dropped_chunks: 9,
+            wal: None,
         };
         let text = stats.render();
         assert!(text.contains("sensors"));
         assert!(text.contains("q1"));
         assert!(text.contains("5 firings over 3 rounds (2 partitions, 4 workers)"));
         assert!(text.contains("emitters: 9 chunks dropped (overflow)"));
+        assert!(!text.contains("wal:"));
+    }
+
+    #[test]
+    fn render_includes_wal_section_when_durable() {
+        let stats = EngineStats {
+            wal: Some(WalStats {
+                wal_bytes: 4096,
+                appended_batches: 12,
+                synced_batches: 8,
+                meta_records: 30,
+                recovered_batches: 2,
+                recovered_rows: 100,
+                dropped_bytes: 0,
+                reclaimed_bytes: 512,
+                snapshots: 1,
+            }),
+            ..Default::default()
+        };
+        let text = stats.render();
+        assert!(text.contains("wal: 4096 bytes, 12 batches appended (8 synced)"));
+        assert!(text.contains("wal recovery: 2 batches / 100 rows replayed"));
     }
 }

@@ -64,6 +64,10 @@ fn main() {
                         }
                         println!("{l}");
                     }
+                    Ok(ReadLine::Overlong) => {
+                        saw_err.store(true, Ordering::Relaxed);
+                        eprintln!("datacell-cli: server line exceeded 1 MiB, skipped");
+                    }
                     Ok(ReadLine::Idle) => {}
                     Ok(ReadLine::Eof) | Err(_) => break,
                 }

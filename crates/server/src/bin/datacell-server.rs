@@ -3,22 +3,30 @@
 //! ```text
 //! datacell-server [--addr HOST:PORT] [--workers N] [--emitter-capacity N]
 //!                 [--incremental] [--init FILE]
+//!                 [--wal-dir DIR] [--fsync always|never|every=N]
 //! ```
 //!
 //! Prints `LISTENING <addr>` once the socket is bound (port 0 picks an
 //! ephemeral port — scripts scrape the line to learn it), then serves
 //! until a session issues `SHUTDOWN`.
+//!
+//! With `--wal-dir` the engine is durable: DDL, continuous queries,
+//! ingested batches and per-fire positions are write-ahead logged; on
+//! restart over the same directory the server recovers everything (the
+//! `--init` script is then skipped) and subscriptions continue exactly.
+//! A graceful `SHUTDOWN` checkpoints (catalog snapshot + fsync).
 
 use std::io::Write;
 use std::time::Duration;
 
-use datacell_core::DataCellConfig;
+use datacell_core::{DataCellConfig, SyncPolicy, WalConfig};
 use datacell_server::{Server, ServerConfig};
 
 fn usage() -> ! {
     eprintln!(
         "usage: datacell-server [--addr HOST:PORT] [--workers N] \
-         [--emitter-capacity N] [--incremental] [--init FILE]"
+         [--emitter-capacity N] [--incremental] [--init FILE] \
+         [--wal-dir DIR] [--fsync always|never|every=N]"
     );
     std::process::exit(2);
 }
@@ -47,6 +55,31 @@ fn main() {
             "--incremental" => {
                 config.engine.default_mode = DataCellConfig::incremental().default_mode
             }
+            "--wal-dir" => {
+                let dir = value("--wal-dir");
+                let sync = config.engine.wal.as_ref().map(|w| w.sync);
+                let mut wal = WalConfig::at(dir);
+                if let Some(sync) = sync {
+                    wal.sync = sync; // --fsync may precede --wal-dir
+                }
+                config.engine.wal = Some(wal);
+            }
+            "--fsync" => {
+                let policy: SyncPolicy = value("--fsync").parse().unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    usage()
+                });
+                match &mut config.engine.wal {
+                    Some(wal) => wal.sync = policy,
+                    // Remember the policy until --wal-dir arrives.
+                    None => {
+                        config.engine.wal = Some(WalConfig {
+                            sync: policy,
+                            ..WalConfig::at(std::path::PathBuf::new())
+                        })
+                    }
+                }
+            }
             "--init" => {
                 let path = value("--init");
                 match std::fs::read_to_string(&path) {
@@ -63,6 +96,11 @@ fn main() {
                 usage();
             }
         }
+    }
+
+    if config.engine.wal.as_ref().is_some_and(|w| w.dir.as_os_str().is_empty()) {
+        eprintln!("--fsync requires --wal-dir");
+        usage();
     }
 
     let server = match Server::start(config) {

@@ -92,6 +92,9 @@ impl Client {
                 io::ErrorKind::UnexpectedEof,
                 "server closed the connection",
             ))),
+            ReadLine::Overlong => {
+                Err(ClientError::Protocol("server reply line exceeds 1 MiB".into()))
+            }
             ReadLine::Idle => Err(ClientError::Protocol("idle on blocking read".into())),
         }
     }
@@ -299,6 +302,11 @@ impl Subscription<'_> {
             ReadLine::Eof => {
                 self.finished = true;
                 return Ok(None);
+            }
+            ReadLine::Overlong => {
+                return Err(ClientError::Protocol(
+                    "server frame line exceeds 1 MiB".into(),
+                ))
             }
             ReadLine::Line(l) => l,
         };

@@ -173,11 +173,17 @@ pub struct Server {
 }
 
 impl Server {
-    /// Build the engine, run the init script, bind the listener and start
-    /// the pump + accept threads.
+    /// Build the engine (recovering it from the WAL when durability is
+    /// configured and the directory holds state), run the init script,
+    /// bind the listener and start the pump + accept threads.
     pub fn start(config: ServerConfig) -> io::Result<Server> {
-        let mut engine = DataCell::new(config.engine.clone());
-        if let Some(script) = &config.init_script {
+        let mut engine = DataCell::open(config.engine.clone())
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        if engine.recovered() {
+            // The catalog and query network came back from disk; replaying
+            // the init script would collide with the recovered DDL.
+            eprintln!("datacell-server: recovered engine state; skipping init script");
+        } else if let Some(script) = &config.init_script {
             engine
                 .execute_script(script)
                 .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
@@ -240,8 +246,10 @@ impl Server {
     }
 
     /// Graceful shutdown: close subscriber queues (ending every `CHUNK`
-    /// stream), stop accepting, join all threads. Returns the final
-    /// counter snapshot.
+    /// stream), stop accepting, join all threads, then checkpoint the
+    /// engine (catalog snapshot + log fsync) when durability is on — so a
+    /// restart recovers from a compact snapshot instead of a long meta-log
+    /// replay. Returns the final counter snapshot.
     pub fn shutdown(mut self) -> ServerStats {
         self.shared.request_shutdown();
         self.shared.lock_engine().shutdown();
@@ -260,6 +268,10 @@ impl Server {
         };
         for h in handles {
             let _ = h.join();
+        }
+        // Every session is gone: the engine is quiescent — checkpoint.
+        if let Err(e) = self.shared.lock_engine().checkpoint() {
+            eprintln!("datacell-server: shutdown checkpoint failed: {e}");
         }
         self.shared.stats.snapshot()
     }

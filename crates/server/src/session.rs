@@ -46,6 +46,10 @@ const STREAM_POLL: Duration = Duration::from_millis(5);
 pub enum ReadLine {
     /// A complete line (terminator stripped).
     Line(String),
+    /// A line longer than the protocol limit. Its bytes were discarded
+    /// (through the terminating newline), the stream stays in sync, and
+    /// the session answers `ERR` instead of tearing the connection down.
+    Overlong,
     /// Peer closed the connection.
     Eof,
     /// Nothing available within the read timeout.
@@ -59,12 +63,15 @@ pub struct LineReader<R: Read> {
     inner: R,
     buf: Vec<u8>,
     scanned: usize,
+    /// An oversize line is being skipped: drop bytes until its newline,
+    /// then report [`ReadLine::Overlong`].
+    discarding: bool,
 }
 
 impl<R: Read> LineReader<R> {
     /// Wrap a byte stream.
     pub fn new(inner: R) -> Self {
-        LineReader { inner, buf: Vec::new(), scanned: 0 }
+        LineReader { inner, buf: Vec::new(), scanned: 0, discarding: false }
     }
 
     fn take_line(&mut self, newline_at: usize) -> String {
@@ -78,22 +85,39 @@ impl<R: Read> LineReader<R> {
     }
 
     /// Try to produce the next line. A read timeout on the underlying
-    /// stream yields [`ReadLine::Idle`]; call again later.
+    /// stream yields [`ReadLine::Idle`]; a line over [`MAX_LINE`] is
+    /// discarded (through its newline) and reported as
+    /// [`ReadLine::Overlong`] — the framing stays intact, so the session
+    /// can answer `ERR` and keep serving.
     pub fn poll_line(&mut self) -> io::Result<ReadLine> {
         loop {
             if let Some(pos) = self.buf[self.scanned..].iter().position(|&b| b == b'\n') {
+                if self.discarding {
+                    self.buf.drain(..=self.scanned + pos);
+                    self.scanned = 0;
+                    self.discarding = false;
+                    return Ok(ReadLine::Overlong);
+                }
                 return Ok(ReadLine::Line(self.take_line(self.scanned + pos)));
             }
             self.scanned = self.buf.len();
-            if self.buf.len() > MAX_LINE {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    "protocol line exceeds 1 MiB",
-                ));
+            if self.discarding {
+                // Nothing before a newline matters; drop what is buffered.
+                self.buf.clear();
+                self.scanned = 0;
+            } else if self.buf.len() > MAX_LINE {
+                self.buf.clear();
+                self.scanned = 0;
+                self.discarding = true;
             }
             let mut tmp = [0u8; 8192];
             match self.inner.read(&mut tmp) {
                 Ok(0) => {
+                    if self.discarding {
+                        // Oversize final line, never terminated.
+                        self.discarding = false;
+                        return Ok(ReadLine::Overlong);
+                    }
                     if self.buf.is_empty() {
                         return Ok(ReadLine::Eof);
                     }
@@ -126,6 +150,19 @@ pub struct SessionStats {
     pub rows_delivered: u64,
     /// Commands that answered `ERR`.
     pub errors: u64,
+}
+
+/// Reply sent when a line exceeds [`MAX_LINE`].
+const OVERLONG_MSG: &str = "protocol line exceeds 1 MiB";
+
+/// One blocking read's outcome at the session level.
+enum Input {
+    /// A complete protocol line.
+    Line(String),
+    /// An oversize line was discarded; answer `ERR`, stay alive.
+    Overlong,
+    /// Connection closed (or server shutting down).
+    Closed,
 }
 
 /// Why the session loop ended.
@@ -183,16 +220,17 @@ impl Session {
         self.shared.stats.rows_pushed.fetch_add(n, Ordering::Relaxed);
     }
 
-    /// Block for the next full line, honouring the shutdown flag at every
-    /// read-timeout tick.
-    fn next_line(&mut self) -> io::Result<Option<String>> {
+    /// Block for the next input event, honouring the shutdown flag at
+    /// every read-timeout tick.
+    fn next_input(&mut self) -> io::Result<Input> {
         loop {
             match self.reader.poll_line()? {
-                ReadLine::Line(l) => return Ok(Some(l)),
-                ReadLine::Eof => return Ok(None),
+                ReadLine::Line(l) => return Ok(Input::Line(l)),
+                ReadLine::Overlong => return Ok(Input::Overlong),
+                ReadLine::Eof => return Ok(Input::Closed),
                 ReadLine::Idle => {
                     if self.shared.is_shutdown() {
-                        return Ok(None);
+                        return Ok(Input::Closed);
                     }
                 }
             }
@@ -200,7 +238,20 @@ impl Session {
     }
 
     fn run(&mut self) -> io::Result<()> {
-        while let Some(line) = self.next_line()? {
+        loop {
+            let line = match self.next_input()? {
+                Input::Line(l) => l,
+                Input::Overlong => {
+                    // A framing error, not a fatal one: answer ERR and
+                    // keep the session alive (the reader resynced at the
+                    // newline).
+                    self.stats.commands += 1;
+                    self.shared.stats.commands.fetch_add(1, Ordering::Relaxed);
+                    self.send_err(OVERLONG_MSG)?;
+                    continue;
+                }
+                Input::Closed => break,
+            };
             if line.trim().is_empty() {
                 continue;
             }
@@ -309,9 +360,18 @@ impl Session {
         let mut rows: Vec<Row> = Vec::new();
         let mut bad: Option<String> = None;
         loop {
-            let Some(line) = self.next_line()? else {
+            let line = match self.next_input()? {
+                Input::Line(l) => l,
+                Input::Overlong => {
+                    // An oversize row poisons the batch but not the
+                    // session: keep consuming through END, then ERR.
+                    if bad.is_none() {
+                        bad = Some(format!("row {}: {OVERLONG_MSG}", rows.len() + 1));
+                    }
+                    continue;
+                }
                 // Connection died mid-batch: nothing was applied.
-                return Ok(());
+                Input::Closed => return Ok(()),
             };
             if line.trim().eq_ignore_ascii_case(PUSH_END) {
                 break;
@@ -382,6 +442,7 @@ impl Session {
             // 1. Client input: STOP, connection close, or garbage.
             match self.reader.poll_line()? {
                 ReadLine::Eof => break Some(Exit::Closed),
+                ReadLine::Overlong => self.send_err(OVERLONG_MSG)?,
                 ReadLine::Line(l) => match parse_command(&l) {
                     Ok(Command::Stop) => {
                         self.forward_buffered(&emitter, query, limit, &mut counters)?;
@@ -500,16 +561,51 @@ mod tests {
     }
 
     #[test]
-    fn line_reader_rejects_unbounded_lines() {
-        struct Infinite;
-        impl Read for Infinite {
+    fn line_reader_skips_unbounded_lines_and_resyncs() {
+        // An oversize line followed by a normal one: the reader reports
+        // Overlong once, discards through the newline, and produces the
+        // next line intact — bounded memory throughout.
+        struct Oversize {
+            sent: usize,
+            total: usize,
+        }
+        impl Read for Oversize {
             fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+                if self.sent >= self.total {
+                    let tail = b"\nPING\n";
+                    buf[..tail.len()].copy_from_slice(tail);
+                    self.sent = usize::MAX;
+                    return Ok(tail.len());
+                }
                 buf.fill(b'x');
+                self.sent += buf.len();
                 Ok(buf.len())
             }
         }
-        let mut r = LineReader::new(Infinite);
-        let e = r.poll_line().unwrap_err();
-        assert_eq!(e.kind(), io::ErrorKind::InvalidData);
+        let mut r = LineReader::new(Oversize { sent: 0, total: 3 << 20 });
+        assert_eq!(r.poll_line().unwrap(), ReadLine::Overlong);
+        assert_eq!(r.poll_line().unwrap(), ReadLine::Line("PING".into()));
+    }
+
+    #[test]
+    fn line_reader_reports_overlong_final_line_on_eof() {
+        // Feed > MAX_LINE then EOF: one Overlong, then Eof.
+        struct Limited {
+            remaining: usize,
+        }
+        impl Read for Limited {
+            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+                if self.remaining == 0 {
+                    return Ok(0);
+                }
+                let n = buf.len().min(self.remaining);
+                buf[..n].fill(b'y');
+                self.remaining -= n;
+                Ok(n)
+            }
+        }
+        let mut r = LineReader::new(Limited { remaining: 2 << 20 });
+        assert_eq!(r.poll_line().unwrap(), ReadLine::Overlong);
+        assert_eq!(r.poll_line().unwrap(), ReadLine::Eof);
     }
 }

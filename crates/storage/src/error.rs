@@ -45,6 +45,11 @@ pub enum StorageError {
     },
     /// A NULL was supplied for a column declared NOT NULL.
     NullViolation(String),
+    /// Serialized data failed to decode (truncated or damaged bytes).
+    Corrupt(String),
+    /// An I/O error from the durability layer (message-only so the enum
+    /// stays `Clone`/`PartialEq`).
+    Io(String),
 }
 
 impl fmt::Display for StorageError {
@@ -68,6 +73,8 @@ impl fmt::Display for StorageError {
             StorageError::NullViolation(name) => {
                 write!(f, "NULL value for NOT NULL column: {name}")
             }
+            StorageError::Corrupt(msg) => write!(f, "corrupt data: {msg}"),
+            StorageError::Io(msg) => write!(f, "i/o error: {msg}"),
         }
     }
 }

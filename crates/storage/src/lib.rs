@@ -17,6 +17,7 @@
 #![warn(missing_docs)]
 
 pub mod bat;
+pub mod binio;
 pub mod catalog;
 pub mod chunk;
 pub mod error;

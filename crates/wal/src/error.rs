@@ -1,0 +1,42 @@
+//! Error type of the durability layer.
+
+use std::fmt;
+use std::io;
+
+/// Errors surfaced by the WAL.
+#[derive(Debug)]
+pub enum WalError {
+    /// Underlying file-system error.
+    Io(io::Error),
+    /// A file that must be intact (e.g. the catalog snapshot) failed its
+    /// integrity check. Log *tails* never produce this — damaged tails are
+    /// dropped and reported through [`WalStats`](crate::WalStats) instead.
+    Corrupt(String),
+}
+
+impl fmt::Display for WalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WalError::Io(e) => write!(f, "wal i/o error: {e}"),
+            WalError::Corrupt(msg) => write!(f, "wal corrupt: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WalError::Io(e) => Some(e),
+            WalError::Corrupt(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for WalError {
+    fn from(e: io::Error) -> Self {
+        WalError::Io(e)
+    }
+}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, WalError>;

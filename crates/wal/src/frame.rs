@@ -1,0 +1,162 @@
+//! Record framing: every log record is `[len: u32 LE][crc32: u32 LE][payload]`.
+//!
+//! The CRC covers the payload only; the length is cross-checked against the
+//! remaining file size (and a sanity ceiling) before any allocation, so a
+//! bit-flip in the header cannot trigger a huge read. Scanning stops at the
+//! first frame that fails either check — everything before it is the
+//! *longest valid prefix*, everything after is a damaged tail the caller
+//! truncates and reports.
+
+use std::io::{self, Write};
+
+use crate::crc::crc32;
+
+/// Frame header size in bytes.
+pub const HEADER_BYTES: usize = 8;
+
+/// Sanity ceiling on one record's payload (a corrupt length field must not
+/// cause a multi-GiB allocation).
+pub const MAX_RECORD_BYTES: u32 = 64 << 20;
+
+/// Append one framed record; returns the bytes written.
+pub fn write_record(w: &mut impl Write, payload: &[u8]) -> io::Result<u64> {
+    debug_assert!(payload.len() as u64 <= MAX_RECORD_BYTES as u64);
+    let mut head = [0u8; HEADER_BYTES];
+    head[..4].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    head[4..].copy_from_slice(&crc32(payload).to_le_bytes());
+    w.write_all(&head)?;
+    w.write_all(payload)?;
+    Ok((HEADER_BYTES + payload.len()) as u64)
+}
+
+/// Iterator over the valid frame prefix of an in-memory log image.
+pub struct FrameScanner<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    damaged: bool,
+}
+
+impl<'a> FrameScanner<'a> {
+    /// Scan `buf` from the start.
+    pub fn new(buf: &'a [u8]) -> Self {
+        FrameScanner { buf, pos: 0, damaged: false }
+    }
+
+    /// Byte length of the valid prefix scanned so far.
+    pub fn valid_bytes(&self) -> u64 {
+        self.pos as u64
+    }
+
+    /// Bytes past the valid prefix (partial or corrupt tail). Only final
+    /// once the iterator has returned `None`.
+    pub fn dropped_bytes(&self) -> u64 {
+        (self.buf.len() - self.pos) as u64
+    }
+
+    /// Whether scanning stopped because of a damaged frame (as opposed to
+    /// a clean end of input).
+    pub fn is_damaged(&self) -> bool {
+        self.damaged
+    }
+}
+
+impl<'a> Iterator for FrameScanner<'a> {
+    type Item = &'a [u8];
+
+    fn next(&mut self) -> Option<&'a [u8]> {
+        if self.damaged || self.buf.len() - self.pos < HEADER_BYTES {
+            if self.pos < self.buf.len() && !self.damaged {
+                self.damaged = true; // trailing partial header
+            }
+            return None;
+        }
+        let len = u32::from_le_bytes(self.buf[self.pos..self.pos + 4].try_into().expect("4"));
+        let crc = u32::from_le_bytes(self.buf[self.pos + 4..self.pos + 8].try_into().expect("4"));
+        let start = self.pos + HEADER_BYTES;
+        if len > MAX_RECORD_BYTES || start + len as usize > self.buf.len() {
+            self.damaged = true;
+            return None;
+        }
+        let payload = &self.buf[start..start + len as usize];
+        if crc32(payload) != crc {
+            self.damaged = true;
+            return None;
+        }
+        self.pos = start + len as usize;
+        Some(payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn log_of(payloads: &[&[u8]]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        for p in payloads {
+            write_record(&mut buf, p).unwrap();
+        }
+        buf
+    }
+
+    #[test]
+    fn roundtrip_multiple_records() {
+        let buf = log_of(&[b"alpha", b"", b"gamma gamma"]);
+        let mut s = FrameScanner::new(&buf);
+        assert_eq!(s.next(), Some(&b"alpha"[..]));
+        assert_eq!(s.next(), Some(&b""[..]));
+        assert_eq!(s.next(), Some(&b"gamma gamma"[..]));
+        assert_eq!(s.next(), None);
+        assert!(!s.is_damaged());
+        assert_eq!(s.valid_bytes(), buf.len() as u64);
+        assert_eq!(s.dropped_bytes(), 0);
+    }
+
+    #[test]
+    fn truncation_keeps_valid_prefix() {
+        let buf = log_of(&[b"one", b"two", b"three"]);
+        // Cut in the middle of the last record.
+        let cut = buf.len() - 2;
+        let mut s = FrameScanner::new(&buf[..cut]);
+        assert_eq!(s.by_ref().count(), 2);
+        assert!(s.is_damaged());
+        assert!(s.dropped_bytes() > 0);
+        assert_eq!(s.valid_bytes() + s.dropped_bytes(), cut as u64);
+    }
+
+    #[test]
+    fn bitflip_stops_at_damaged_record() {
+        let mut buf = log_of(&[b"one", b"two", b"three"]);
+        // Flip a payload byte of the second record.
+        let off = HEADER_BYTES + 3 + HEADER_BYTES + 1;
+        buf[off] ^= 0x40;
+        let mut s = FrameScanner::new(&buf);
+        assert_eq!(s.next(), Some(&b"one"[..]));
+        assert_eq!(s.next(), None);
+        assert!(s.is_damaged());
+    }
+
+    #[test]
+    fn absurd_length_field_is_damage_not_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&[0u8; 32]);
+        let mut s = FrameScanner::new(&buf);
+        assert_eq!(s.next(), None);
+        assert!(s.is_damaged());
+        assert_eq!(s.dropped_bytes(), buf.len() as u64);
+    }
+
+    #[test]
+    fn partial_header_is_damage() {
+        let buf = log_of(&[b"x"]);
+        let mut cut = buf.clone();
+        cut.extend_from_slice(&[1, 2, 3]); // 3 stray bytes, not a header
+        let mut s = FrameScanner::new(&cut);
+        assert_eq!(s.next(), Some(&b"x"[..]));
+        assert_eq!(s.next(), None);
+        assert!(s.is_damaged());
+        assert_eq!(s.dropped_bytes(), 3);
+    }
+}

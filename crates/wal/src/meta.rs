@@ -1,0 +1,219 @@
+//! The meta log and the catalog snapshot.
+//!
+//! The **meta log** (`meta.log`) records everything that is not stream
+//! data: DDL, table inserts, continuous-query registration, pause flags and
+//! per-fire factory state. It is a single CRC-framed append file, replayed
+//! in order at recovery; a damaged tail is truncated to the longest valid
+//! prefix (counted in [`WalStats`](crate::WalStats)). Writing a **catalog
+//! snapshot** (`snapshot.bin`, one framed record, written atomically via
+//! tmp-file + rename) compacts the meta log: the snapshot captures the
+//! whole catalog + query state, so the meta log restarts empty.
+//!
+//! Payload layouts are owned by the engine (`datacell-core`); this module
+//! moves opaque byte records durably and honestly.
+
+use std::fs::{self, File, OpenOptions};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use crate::error::{Result, WalError};
+use crate::frame::{write_record, FrameScanner};
+use crate::stats::SharedStats;
+use crate::SyncPolicy;
+
+/// Fsync a directory so a rename / create / unlink inside it survives a
+/// power failure (POSIX: the directory entry is separate from the file
+/// data). Platforms where directories cannot be opened report the error
+/// to the caller, which treats it as best-effort where appropriate.
+pub(crate) fn sync_dir(dir: &Path) -> io::Result<()> {
+    File::open(dir)?.sync_all()
+}
+
+/// The append-only meta log.
+pub struct MetaLog {
+    path: PathBuf,
+    file: File,
+    sync: SyncPolicy,
+    stats: Arc<SharedStats>,
+    unsynced: u64,
+    /// Bytes in the log since the last reset (the engine's automatic
+    /// checkpoint trigger reads this to keep recovery cost bounded).
+    bytes: u64,
+}
+
+impl MetaLog {
+    /// Open (or create) the meta log, replaying its surviving records. A
+    /// damaged tail is truncated in place and counted as dropped bytes.
+    pub fn open(
+        path: impl Into<PathBuf>,
+        sync: SyncPolicy,
+        stats: Arc<SharedStats>,
+    ) -> Result<(MetaLog, Vec<Vec<u8>>)> {
+        let path = path.into();
+        let mut records = Vec::new();
+        if path.exists() {
+            let image = fs::read(&path)?;
+            let mut scanner = FrameScanner::new(&image);
+            for payload in scanner.by_ref() {
+                records.push(payload.to_vec());
+            }
+            if scanner.dropped_bytes() > 0 {
+                stats.add_dropped(scanner.dropped_bytes());
+                OpenOptions::new()
+                    .write(true)
+                    .open(&path)?
+                    .set_len(scanner.valid_bytes())?;
+            }
+        }
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        let bytes = file.metadata()?.len();
+        Ok((MetaLog { path, file, sync, stats, unsynced: 0, bytes }, records))
+    }
+
+    /// Bytes appended since the last [`MetaLog::reset`].
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Append one record.
+    pub fn append(&mut self, payload: &[u8]) -> Result<()> {
+        let written = write_record(&mut self.file, payload)?;
+        self.stats.add_meta(written);
+        self.bytes += written;
+        self.unsynced += 1;
+        match self.sync {
+            SyncPolicy::Always => self.sync()?,
+            SyncPolicy::EveryN(n) => {
+                if self.unsynced >= n as u64 {
+                    self.sync()?;
+                }
+            }
+            SyncPolicy::Never => {}
+        }
+        Ok(())
+    }
+
+    /// Fsync pending records.
+    pub fn sync(&mut self) -> Result<()> {
+        self.file.sync_data()?;
+        self.unsynced = 0;
+        Ok(())
+    }
+
+    /// Restart the log empty (called after a snapshot captured its state).
+    pub fn reset(&mut self) -> Result<()> {
+        self.file = OpenOptions::new().write(true).truncate(true).open(&self.path)?;
+        self.file.sync_data()?;
+        self.unsynced = 0;
+        self.bytes = 0;
+        Ok(())
+    }
+}
+
+/// Atomically write a snapshot record: frame into `<path>.tmp`, fsync,
+/// rename over `path`, fsync the directory (so the rename itself is
+/// durable, not just the file data).
+pub fn write_snapshot(path: &Path, payload: &[u8]) -> Result<()> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = File::create(&tmp)?;
+        write_record(&mut f, payload)?;
+        f.sync_data()?;
+    }
+    fs::rename(&tmp, path)?;
+    if let Some(dir) = path.parent() {
+        sync_dir(dir)?;
+    }
+    Ok(())
+}
+
+/// Read a snapshot written by [`write_snapshot`]. `Ok(None)` when the file
+/// does not exist; `Err(Corrupt)` when it exists but fails its CRC — a
+/// snapshot is written atomically, so damage here is not a torn tail and
+/// must not be silently ignored.
+pub fn read_snapshot(path: &Path) -> Result<Option<Vec<u8>>> {
+    if !path.exists() {
+        return Ok(None);
+    }
+    let image = fs::read(path)?;
+    let mut scanner = FrameScanner::new(&image);
+    match scanner.next() {
+        Some(payload) => Ok(Some(payload.to_vec())),
+        None => Err(WalError::Corrupt(format!(
+            "snapshot {} failed its integrity check",
+            path.display()
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::tmpdir;
+
+    #[test]
+    fn meta_log_roundtrip_and_reset() {
+        let dir = tmpdir("meta");
+        let path = dir.join("meta.log");
+        let stats = Arc::new(SharedStats::default());
+        {
+            let (mut log, replayed) =
+                MetaLog::open(&path, SyncPolicy::Never, stats.clone()).unwrap();
+            assert!(replayed.is_empty());
+            log.append(b"one").unwrap();
+            log.append(b"two").unwrap();
+        }
+        let (mut log, replayed) = MetaLog::open(&path, SyncPolicy::Never, stats.clone()).unwrap();
+        assert_eq!(replayed, vec![b"one".to_vec(), b"two".to_vec()]);
+        log.reset().unwrap();
+        log.append(b"three").unwrap();
+        drop(log);
+        let (_, replayed) = MetaLog::open(&path, SyncPolicy::Never, stats).unwrap();
+        assert_eq!(replayed, vec![b"three".to_vec()]);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn meta_log_truncates_damaged_tail() {
+        let dir = tmpdir("meta");
+        let path = dir.join("meta.log");
+        let stats = Arc::new(SharedStats::default());
+        {
+            let (mut log, _) = MetaLog::open(&path, SyncPolicy::Never, stats.clone()).unwrap();
+            log.append(b"keep").unwrap();
+            log.append(b"torn").unwrap();
+        }
+        let mut bytes = fs::read(&path).unwrap();
+        bytes.truncate(bytes.len() - 1); // torn final record
+        fs::write(&path, &bytes).unwrap();
+        let (mut log, replayed) = MetaLog::open(&path, SyncPolicy::Never, stats.clone()).unwrap();
+        assert_eq!(replayed, vec![b"keep".to_vec()]);
+        assert!(stats.snapshot().dropped_bytes > 0);
+        // The truncated log accepts appends again.
+        log.append(b"after").unwrap();
+        drop(log);
+        let (_, replayed) = MetaLog::open(&path, SyncPolicy::Never, stats).unwrap();
+        assert_eq!(replayed, vec![b"keep".to_vec(), b"after".to_vec()]);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_write_read_and_corruption() {
+        let dir = tmpdir("snap");
+        let path = dir.join("snapshot.bin");
+        assert_eq!(read_snapshot(&path).unwrap(), None);
+        write_snapshot(&path, b"catalog state").unwrap();
+        assert_eq!(read_snapshot(&path).unwrap(), Some(b"catalog state".to_vec()));
+        // Overwrite is atomic: a second snapshot replaces the first.
+        write_snapshot(&path, b"newer").unwrap();
+        assert_eq!(read_snapshot(&path).unwrap(), Some(b"newer".to_vec()));
+        // A corrupt snapshot is an error, not a silent None.
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+        assert!(matches!(read_snapshot(&path), Err(WalError::Corrupt(_))));
+        fs::remove_dir_all(&dir).ok();
+    }
+}

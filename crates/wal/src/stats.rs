@@ -1,0 +1,89 @@
+//! WAL counters, shared between the engine's meta log and every stream
+//! log (atomics — appenders on different threads never contend).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Live atomic counters (shared via `Arc`).
+#[derive(Debug, Default)]
+pub struct SharedStats {
+    wal_bytes: AtomicU64,
+    appended_batches: AtomicU64,
+    synced_batches: AtomicU64,
+    meta_records: AtomicU64,
+    recovered_batches: AtomicU64,
+    recovered_rows: AtomicU64,
+    dropped_bytes: AtomicU64,
+    reclaimed_bytes: AtomicU64,
+    snapshots: AtomicU64,
+}
+
+impl SharedStats {
+    pub(crate) fn add_appended(&self, bytes: u64) {
+        self.wal_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.appended_batches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_synced(&self, batches: u64) {
+        self.synced_batches.fetch_add(batches, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_meta(&self, bytes: u64) {
+        self.wal_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.meta_records.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_recovered(&self, batches: u64, rows: u64) {
+        self.recovered_batches.fetch_add(batches, Ordering::Relaxed);
+        self.recovered_rows.fetch_add(rows, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_dropped(&self, bytes: u64) {
+        self.dropped_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_reclaimed(&self, bytes: u64) {
+        self.reclaimed_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_snapshot(&self) {
+        self.snapshots.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Point-in-time snapshot of every counter.
+    pub fn snapshot(&self) -> WalStats {
+        WalStats {
+            wal_bytes: self.wal_bytes.load(Ordering::Relaxed),
+            appended_batches: self.appended_batches.load(Ordering::Relaxed),
+            synced_batches: self.synced_batches.load(Ordering::Relaxed),
+            meta_records: self.meta_records.load(Ordering::Relaxed),
+            recovered_batches: self.recovered_batches.load(Ordering::Relaxed),
+            recovered_rows: self.recovered_rows.load(Ordering::Relaxed),
+            dropped_bytes: self.dropped_bytes.load(Ordering::Relaxed),
+            reclaimed_bytes: self.reclaimed_bytes.load(Ordering::Relaxed),
+            snapshots: self.snapshots.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time WAL statistics (this engine incarnation).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WalStats {
+    /// Bytes appended to logs (stream batches + meta records + framing).
+    pub wal_bytes: u64,
+    /// Ingest batches appended to stream logs.
+    pub appended_batches: u64,
+    /// Appended batches already covered by an fsync.
+    pub synced_batches: u64,
+    /// Records appended to the meta (DDL / query / fire-state) log.
+    pub meta_records: u64,
+    /// Ingest batches replayed at recovery.
+    pub recovered_batches: u64,
+    /// Stream tuples replayed at recovery.
+    pub recovered_rows: u64,
+    /// Bytes of damaged log tail dropped at recovery.
+    pub dropped_bytes: u64,
+    /// Bytes of retired segments deleted by truncation.
+    pub reclaimed_bytes: u64,
+    /// Catalog snapshots written.
+    pub snapshots: u64,
+}

@@ -1,0 +1,18 @@
+//! Unique temporary directories for WAL unit tests.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A fresh, unique directory under the system temp dir. Tests clean up
+/// after themselves; leftovers from a crashed test run are harmless.
+pub fn tmpdir(tag: &str) -> PathBuf {
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "datacell-wal-{tag}-{}-{n}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).expect("create test tmpdir");
+    dir
+}

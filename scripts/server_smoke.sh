@@ -6,6 +6,11 @@
 # correct result chunks, and shut the server down cleanly via the wire
 # protocol (no signals).
 #
+# A second leg exercises durability the hard way: a server with --wal-dir
+# is killed with SIGKILL mid-stream, restarted over the same directory,
+# and must come back with its catalog, query, lifetime STATS counters and
+# an exactly-continuing windowed subscription.
+#
 # Usage: scripts/server_smoke.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -98,3 +103,82 @@ wait "${server_pid}"; server_pid=""
 grep -q '^shutdown:' "${server_log}"
 
 echo "server smoke test: ok"
+
+# ---------------------------------------------------------------------
+# 7. Durability leg: kill -9 mid-stream, restart over the same WAL dir.
+wal_dir="${workdir}/wal"
+durable_log="${workdir}/durable.log"
+
+./target/release/datacell-server --addr 127.0.0.1:0 \
+  --wal-dir "${wal_dir}" --fsync always > "${durable_log}" &
+server_pid=$!
+wait_for '^LISTENING ' "${durable_log}" "durable server to bind"
+addr="$(sed -n 's/^LISTENING //p' "${durable_log}" | head -1)"
+echo "durable server listening on ${addr} (wal: ${wal_dir})"
+
+"${cli}" --addr "${addr}" --fail-on-err <<'EOF' > "${workdir}/durable-setup.out"
+EXEC CREATE STREAM s (ts TIMESTAMP, v BIGINT)
+REGISTER SELECT COUNT(*), SUM(v) FROM s [ROWS 4 SLIDE 2]
+PUSH s
+@1,10
+@2,20
+END
+PUSH s
+@3,30
+@4,40
+END
+EOF
+grep -q '^OK QUERY 1$' "${workdir}/durable-setup.out"
+[[ "$(grep -c '^OK PUSHED 2$' "${workdir}/durable-setup.out")" -eq 2 ]]
+
+# The crash: no SHUTDOWN, no checkpoint — only the WAL survives.
+kill -9 "${server_pid}"
+wait "${server_pid}" 2>/dev/null || true
+server_pid=""
+
+# Restart over the same directory: no --init, everything from the WAL.
+./target/release/datacell-server --addr 127.0.0.1:0 \
+  --wal-dir "${wal_dir}" --fsync always > "${durable_log}.2" 2>&1 &
+server_pid=$!
+wait_for '^LISTENING ' "${durable_log}.2" "recovered server to bind"
+addr="$(sed -n 's/^LISTENING //p' "${durable_log}.2" | head -1)"
+grep -q 'recovered engine state' "${durable_log}.2"
+
+# Recovered STATS: the lifetime arrived counter and WAL recovery section.
+"${cli}" --addr "${addr}" --fail-on-err <<'EOF' > "${workdir}/durable-stats.out"
+STATS
+EOF
+grep -Eq '^s +4 ' "${workdir}/durable-stats.out"   # arrived = 4 survived
+grep -q 'wal recovery: ' "${workdir}/durable-stats.out"
+
+# Subscription continuation: the next slide must cover tuples 3..6
+# (30+40+50+60 = 180) — the recovered factory resumed mid-window.
+mkfifo "${sub_in}.2"
+"${cli}" --addr "${addr}" < "${sub_in}.2" > "${workdir}/durable-sub.out" &
+sub_pid=$!
+exec 3> "${sub_in}.2"
+echo "SUBSCRIBE 1 LIMIT 1" >&3
+wait_for '^OK SUBSCRIBED 1 ' "${workdir}/durable-sub.out" "recovered subscription"
+
+"${cli}" --addr "${addr}" --fail-on-err <<'EOF' > "${workdir}/durable-push.out"
+PUSH s
+@5,50
+@6,60
+END
+EOF
+grep -q '^OK PUSHED 2$' "${workdir}/durable-push.out"
+wait_for '^4,180$' "${workdir}/durable-sub.out" "continued window chunk"
+echo "QUIT" >&3
+exec 3>&-
+wait "${sub_pid}"; sub_pid=""
+
+# Graceful shutdown checkpoints; a third start must recover from it.
+"${cli}" --addr "${addr}" --fail-on-err <<'EOF' > /dev/null
+SHUTDOWN
+EOF
+wait "${server_pid}"; server_pid=""
+[[ -f "${wal_dir}/snapshot.bin" ]] || {
+  echo "FAIL: graceful shutdown left no snapshot" >&2; exit 1;
+}
+
+echo "server smoke test (durable kill -9 + restart): ok"

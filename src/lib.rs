@@ -9,6 +9,8 @@
 //! This facade crate re-exports the whole workspace:
 //!
 //! * [`storage`] — BATs, chunks, tables, catalog (the column-store kernel).
+//! * [`wal`] — durability: CRC-framed segment logs, catalog snapshots and
+//!   crash recovery (per-fire exactly-once restart).
 //! * [`algebra`] — bulk columnar operators with candidate lists.
 //! * [`sql`] — SQL'03-subset parser with stream/window extensions.
 //! * [`plan`] — binder, optimizer, physical plans, continuous rewriting and
@@ -47,6 +49,7 @@ pub use datacell_plan as plan;
 pub use datacell_server as server;
 pub use datacell_sql as sql;
 pub use datacell_storage as storage;
+pub use datacell_wal as wal;
 pub use datacell_workload as workload;
 
 pub use datacell_core::DataCell;

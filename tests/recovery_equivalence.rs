@@ -1,0 +1,531 @@
+//! Restart-equivalence: killing a durable engine mid-stream and reopening
+//! it from disk must leave the emitted chunk stream a **byte-identical
+//! continuation** of an uninterrupted run — exactly-once across restart,
+//! no window fire duplicated or skipped.
+//!
+//! Method: one scenario (DDL + continuous queries + a batch schedule) is
+//! executed twice. The reference run feeds every batch into one engine.
+//! The crash run feeds `cut` batches, *drops* the engine without a
+//! checkpoint (process-crash semantics: the WAL tail is all that
+//! survives), reopens from the same directory, subscribes afresh and
+//! feeds the rest. Per query, `pre-crash chunks ++ post-crash chunks`
+//! must equal the reference chunks — compared both structurally and by
+//! their wire (`CHUNK` frame) encoding.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use datacell::engine::{DataCell, DataCellConfig, QueryId, SyncPolicy, WalConfig};
+use datacell::server::protocol::encode_chunk;
+use datacell::storage::{Chunk, Row, Value};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+fn tmpdir() -> PathBuf {
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("datacell-recovery-{}-{n}", std::process::id()))
+}
+
+fn durable_config(dir: &PathBuf) -> DataCellConfig {
+    DataCellConfig {
+        wal: Some(WalConfig { dir: dir.clone(), sync: SyncPolicy::Never, ..WalConfig::at(dir) }),
+        ..DataCellConfig::default()
+    }
+}
+
+/// One test scenario: setup DDL, continuous queries, and a batch schedule
+/// of `(stream, rows)` pushes.
+struct Scenario {
+    setup: Vec<&'static str>,
+    queries: Vec<&'static str>,
+    batches: Vec<(&'static str, Vec<Row>)>,
+}
+
+fn row2(a: i64, b: i64) -> Row {
+    vec![Value::Int(a), Value::Int(b)]
+}
+
+fn row3(a: i64, b: i64, c: i64) -> Row {
+    vec![Value::Int(a), Value::Int(b), Value::Int(c)]
+}
+
+/// Feed `batches[from..to]`, draining each query's chunks after every
+/// batch (subscription-order delivery).
+fn feed(
+    cell: &mut DataCell,
+    qids: &[QueryId],
+    batches: &[(&str, Vec<Row>)],
+    out: &mut [Vec<Chunk>],
+) {
+    for (stream, rows) in batches {
+        cell.push_rows(stream, rows).unwrap();
+        cell.run_until_idle().unwrap();
+        for (qi, qid) in qids.iter().enumerate() {
+            out[qi].extend(cell.take_results(*qid).unwrap());
+        }
+    }
+}
+
+/// Run the scenario uninterrupted (in-memory engine) → reference chunks.
+fn reference_run(s: &Scenario, mode: datacell::engine::ExecutionMode) -> Vec<Vec<Chunk>> {
+    let mut cell = DataCell::new(DataCellConfig { default_mode: mode, ..Default::default() });
+    for ddl in &s.setup {
+        cell.execute(ddl).unwrap();
+    }
+    let qids: Vec<QueryId> =
+        s.queries.iter().map(|q| cell.register_query(q).unwrap()).collect();
+    let mut out = vec![Vec::new(); qids.len()];
+    feed(&mut cell, &qids, &s.batches, &mut out);
+    out
+}
+
+/// Run the scenario with a crash after `cut` batches → concatenated
+/// pre/post chunks per query.
+fn crash_run(
+    s: &Scenario,
+    mode: datacell::engine::ExecutionMode,
+    cut: usize,
+) -> Vec<Vec<Chunk>> {
+    let dir = tmpdir();
+    let config =
+        DataCellConfig { default_mode: mode, ..durable_config(&dir) };
+
+    let mut out;
+    let qids: Vec<QueryId>;
+    {
+        let mut cell = DataCell::open(config.clone()).unwrap();
+        assert!(!cell.recovered(), "fresh WAL dir must not report recovery");
+        for ddl in &s.setup {
+            cell.execute(ddl).unwrap();
+        }
+        qids = s.queries.iter().map(|q| cell.register_query(q).unwrap()).collect();
+        out = vec![Vec::new(); qids.len()];
+        feed(&mut cell, &qids, &s.batches[..cut], &mut out);
+        // Crash: drop without checkpoint. Only the WAL tail survives.
+        drop(cell);
+    }
+    {
+        let mut cell = DataCell::open(config).unwrap();
+        assert!(cell.recovered(), "reopen must recover prior state");
+        // Query ids survive the restart.
+        assert_eq!(cell.query_ids(), qids);
+        feed(&mut cell, &qids, &s.batches[cut..], &mut out);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+    out
+}
+
+/// Assert byte-identical chunk streams (structural + wire encoding).
+fn assert_continuation(reference: &[Vec<Chunk>], crashed: &[Vec<Chunk>], ctx: &str) {
+    for (qi, (want, got)) in reference.iter().zip(crashed).enumerate() {
+        assert_eq!(
+            want.len(),
+            got.len(),
+            "{ctx}: query #{qi} chunk count (reference {} vs restart {})",
+            want.len(),
+            got.len()
+        );
+        for (ci, (w, g)) in want.iter().zip(got).enumerate() {
+            assert_eq!(w, g, "{ctx}: query #{qi} chunk {ci} differs structurally");
+            assert_eq!(
+                encode_chunk(qi as u64 + 1, w),
+                encode_chunk(qi as u64 + 1, g),
+                "{ctx}: query #{qi} chunk {ci} differs on the wire"
+            );
+        }
+    }
+}
+
+/// Crash at every possible batch boundary; both execution modes.
+fn check_all_cuts(s: &Scenario) {
+    for mode in [
+        datacell::engine::ExecutionMode::Reevaluate,
+        datacell::engine::ExecutionMode::Incremental,
+    ] {
+        let reference = reference_run(s, mode);
+        for cut in 1..s.batches.len() {
+            let crashed = crash_run(s, mode, cut);
+            assert_continuation(&reference, &crashed, &format!("{mode:?} cut={cut}"));
+        }
+    }
+}
+
+#[test]
+fn windowed_aggregate_survives_restart_at_every_cut() {
+    let batches = (0..8)
+        .map(|i| {
+            let base = i * 3;
+            ("s", (0..3).map(|j| row2(base + j, (base + j) * 10)).collect())
+        })
+        .collect();
+    check_all_cuts(&Scenario {
+        setup: vec!["CREATE STREAM s (ts BIGINT, v BIGINT)"],
+        queries: vec!["SELECT COUNT(*), SUM(v), AVG(v) FROM s [ROWS 6 SLIDE 2]"],
+        batches,
+    });
+}
+
+#[test]
+fn grouped_window_with_dimension_table_survives_restart() {
+    let batches = (0..6)
+        .map(|i| {
+            let base = i * 4;
+            ("s", (0..4).map(|j| row3(base + j, (base + j) % 3, (base + j) * 2)).collect())
+        })
+        .collect();
+    check_all_cuts(&Scenario {
+        setup: vec![
+            "CREATE STREAM s (ts BIGINT, k BIGINT, v BIGINT)",
+            "CREATE TABLE dim (k BIGINT, w BIGINT)",
+            "INSERT INTO dim VALUES (0, 100), (1, 200), (2, 300)",
+        ],
+        queries: vec![
+            "SELECT k, COUNT(*), SUM(v) FROM s [ROWS 8 SLIDE 4] GROUP BY k",
+            "SELECT COUNT(*) FROM s",
+        ],
+        batches,
+    });
+}
+
+#[test]
+fn range_window_survives_restart() {
+    // Timestamps advance 2 per tuple so RANGE boundaries land mid-batch.
+    let batches = (0..6)
+        .map(|i| {
+            let base = i * 3;
+            ("s", (0..3).map(|j| row2((base + j) * 2, base + j)).collect())
+        })
+        .collect();
+    check_all_cuts(&Scenario {
+        setup: vec!["CREATE STREAM s (ts BIGINT, v BIGINT)"],
+        queries: vec!["SELECT COUNT(*), SUM(v) FROM s [RANGE 8 ON ts SLIDE 4]"],
+        batches,
+    });
+}
+
+#[test]
+fn windowed_stream_join_survives_restart() {
+    let mut batches: Vec<(&str, Vec<Row>)> = Vec::new();
+    for i in 0..5i64 {
+        let base = i * 2;
+        batches.push(("l", (0..2).map(|j| row2(base + j, base + j)).collect()));
+        batches.push(("r", (0..2).map(|j| row2(base + j, (base + j) * 7)).collect()));
+    }
+    check_all_cuts(&Scenario {
+        setup: vec![
+            "CREATE STREAM l (k BIGINT, a BIGINT)",
+            "CREATE STREAM r (k BIGINT, b BIGINT)",
+        ],
+        queries: vec![
+            "SELECT COUNT(*), SUM(l.a + r.b) FROM l [ROWS 4 SLIDE 2], r [ROWS 4 SLIDE 2] \
+             WHERE l.k = r.k",
+        ],
+        batches,
+    });
+}
+
+#[test]
+fn double_crash_still_continues_exactly() {
+    // Two consecutive crashes (recover → run → crash again → recover).
+    let s = Scenario {
+        setup: vec!["CREATE STREAM s (ts BIGINT, v BIGINT)"],
+        queries: vec!["SELECT COUNT(*), SUM(v) FROM s [ROWS 4 SLIDE 2]"],
+        batches: (0..9).map(|i| ("s", vec![row2(i, i * 5), row2(i + 100, i)])).collect(),
+    };
+    let mode = datacell::engine::ExecutionMode::Incremental;
+    let reference = reference_run(&s, mode);
+
+    let dir = tmpdir();
+    let config = DataCellConfig { default_mode: mode, ..durable_config(&dir) };
+    let mut out = vec![Vec::new()];
+    let qids: Vec<QueryId> = {
+        let mut cell = DataCell::open(config.clone()).unwrap();
+        for ddl in &s.setup {
+            cell.execute(ddl).unwrap();
+        }
+        let qids: Vec<QueryId> =
+            s.queries.iter().map(|q| cell.register_query(q).unwrap()).collect();
+        feed(&mut cell, &qids, &s.batches[..3], &mut out);
+        qids
+    };
+    {
+        let mut cell = DataCell::open(config.clone()).unwrap();
+        assert!(cell.recovered());
+        feed(&mut cell, &qids, &s.batches[3..6], &mut out);
+    }
+    {
+        let mut cell = DataCell::open(config).unwrap();
+        assert!(cell.recovered());
+        feed(&mut cell, &qids, &s.batches[6..], &mut out);
+    }
+    assert_continuation(&reference, &out, "double crash");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn checkpoint_then_crash_recovers_from_snapshot_plus_tail() {
+    // A graceful checkpoint mid-run compacts the meta log; subsequent
+    // batches land only in the logs. Recovery must stitch both together.
+    let s = Scenario {
+        setup: vec!["CREATE STREAM s (ts BIGINT, v BIGINT)"],
+        queries: vec!["SELECT COUNT(*), SUM(v) FROM s [ROWS 4 SLIDE 2]"],
+        batches: (0..8).map(|i| ("s", vec![row2(i, i * 3), row2(i + 50, i)])).collect(),
+    };
+    let mode = datacell::engine::ExecutionMode::Incremental;
+    let reference = reference_run(&s, mode);
+
+    let dir = tmpdir();
+    let config = DataCellConfig { default_mode: mode, ..durable_config(&dir) };
+    let mut out = vec![Vec::new()];
+    let qids: Vec<QueryId> = {
+        let mut cell = DataCell::open(config.clone()).unwrap();
+        for ddl in &s.setup {
+            cell.execute(ddl).unwrap();
+        }
+        let qids: Vec<QueryId> =
+            s.queries.iter().map(|q| cell.register_query(q).unwrap()).collect();
+        feed(&mut cell, &qids, &s.batches[..2], &mut out);
+        cell.checkpoint().unwrap();
+        assert_eq!(cell.wal_stats().unwrap().snapshots, 1);
+        feed(&mut cell, &qids, &s.batches[2..5], &mut out);
+        qids
+    };
+    {
+        let mut cell = DataCell::open(config).unwrap();
+        assert!(cell.recovered());
+        feed(&mut cell, &qids, &s.batches[5..], &mut out);
+    }
+    assert_continuation(&reference, &out, "checkpoint + tail");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn torn_checkpoint_between_rename_and_reset_is_recoverable() {
+    // The nastiest checkpoint crash window: snapshot.bin was renamed into
+    // place but the meta log was NOT yet reset — the stale pre-snapshot
+    // records (DDL included) are still there, terminated by the
+    // checkpoint marker. Recovery must skip through the marker instead of
+    // re-applying the DDL (which would collide with the snapshot's
+    // catalog and brick the directory).
+    let dir = tmpdir();
+    let config = durable_config(&dir);
+    {
+        let mut cell = DataCell::open(config.clone()).unwrap();
+        cell.execute("CREATE STREAM s (ts BIGINT, v BIGINT)").unwrap();
+        cell.execute("CREATE TABLE dim (k BIGINT)").unwrap();
+        cell.execute("INSERT INTO dim VALUES (7)").unwrap();
+        cell.register_query("SELECT COUNT(*) FROM s [ROWS 2 SLIDE 2]").unwrap();
+        cell.push_rows("s", &[row2(1, 1), row2(2, 2)]).unwrap();
+        cell.run_until_idle().unwrap();
+    }
+    // Capture the pre-checkpoint meta log, then checkpoint (epoch 1).
+    let meta_path = dir.join("meta.log");
+    let stale = std::fs::read(&meta_path).unwrap();
+    {
+        let mut cell = DataCell::open(config.clone()).unwrap();
+        cell.checkpoint().unwrap();
+    }
+    // Rebuild the torn state: stale records + the epoch-1 marker, with
+    // the epoch-1 snapshot in place (exactly what a crash between the
+    // rename and the reset leaves behind).
+    let mut torn = stale;
+    let mut marker = vec![10u8]; // MetaRecord::Checkpoint tag
+    marker.extend_from_slice(&1u64.to_le_bytes());
+    datacell::wal::frame::write_record(&mut torn, &marker).unwrap();
+    std::fs::write(&meta_path, &torn).unwrap();
+
+    let mut cell = DataCell::open(config).unwrap();
+    assert!(cell.recovered());
+    let stats = cell.stats();
+    assert_eq!(stats.baskets.len(), 1, "stream must exist exactly once");
+    assert_eq!(stats.baskets[0].arrived, 2);
+    assert_eq!(cell.query_ids().len(), 1);
+    // The table insert was not double-applied.
+    if let datacell::engine::ExecOutcome::Rows { chunk, .. } =
+        cell.execute("SELECT COUNT(*) FROM dim").unwrap()
+    {
+        assert_eq!(chunk.row(0), vec![Value::Int(1)]);
+    } else {
+        panic!("expected rows");
+    }
+    // And the engine keeps working (next checkpoint uses a fresh epoch).
+    cell.push_rows("s", &[row2(3, 3), row2(4, 4)]).unwrap();
+    cell.run_until_idle().unwrap();
+    cell.checkpoint().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn auto_checkpoint_bounds_the_meta_log_and_stays_exact() {
+    // A tiny checkpoint threshold forces a snapshot on virtually every
+    // scheduler pass; the emitted stream must remain byte-identical and
+    // the meta log must keep shrinking back (bounded recovery).
+    let s = Scenario {
+        setup: vec!["CREATE STREAM s (ts BIGINT, v BIGINT)"],
+        queries: vec!["SELECT COUNT(*), SUM(v) FROM s [ROWS 4 SLIDE 2]"],
+        batches: (0..8).map(|i| ("s", vec![row2(i, i * 2), row2(i + 9, i)])).collect(),
+    };
+    let mode = datacell::engine::ExecutionMode::Incremental;
+    let reference = reference_run(&s, mode);
+
+    let dir = tmpdir();
+    let mut config = DataCellConfig { default_mode: mode, ..durable_config(&dir) };
+    if let Some(wal) = &mut config.wal {
+        wal.checkpoint_meta_bytes = Some(1);
+    }
+    let mut out = vec![Vec::new()];
+    let qids: Vec<QueryId> = {
+        let mut cell = DataCell::open(config.clone()).unwrap();
+        for ddl in &s.setup {
+            cell.execute(ddl).unwrap();
+        }
+        let qids: Vec<QueryId> =
+            s.queries.iter().map(|q| cell.register_query(q).unwrap()).collect();
+        feed(&mut cell, &qids, &s.batches[..5], &mut out);
+        assert!(
+            cell.wal_stats().unwrap().snapshots >= 4,
+            "tiny threshold must have auto-checkpointed repeatedly"
+        );
+        qids
+    };
+    {
+        let mut cell = DataCell::open(config).unwrap();
+        assert!(cell.recovered());
+        feed(&mut cell, &qids, &s.batches[5..], &mut out);
+    }
+    assert_continuation(&reference, &out, "auto checkpoint");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn lost_stream_log_tail_fails_loudly_instead_of_emitting_wrong_windows() {
+    // If the stream log loses batches that fire records already consumed
+    // (e.g. a damaged tail under the WAL's truncate-to-valid-prefix
+    // policy), recovery must refuse — silently rebuilding windows from
+    // clamped slices would emit wrong results with no error.
+    let dir = tmpdir();
+    let config = DataCellConfig {
+        default_mode: datacell::engine::ExecutionMode::Incremental,
+        ..durable_config(&dir)
+    };
+    {
+        let mut cell = DataCell::open(config.clone()).unwrap();
+        cell.execute("CREATE STREAM s (ts BIGINT, v BIGINT)").unwrap();
+        cell.register_query("SELECT COUNT(*), SUM(v) FROM s [ROWS 2 SLIDE 2]").unwrap();
+        for i in 0..4 {
+            cell.push_rows("s", &[row2(i, i)]).unwrap();
+            cell.run_until_idle().unwrap();
+        }
+    }
+    // Drop the newest stream-log batches (keep the meta log intact): the
+    // recovered basket now ends before the cursor's consumed position.
+    let seg_dir = dir.join("streams/s");
+    let mut segs: Vec<_> = std::fs::read_dir(&seg_dir)
+        .unwrap()
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    segs.sort();
+    let seg = segs.last().unwrap();
+    let len = std::fs::metadata(seg).unwrap().len();
+    std::fs::OpenOptions::new()
+        .write(true)
+        .open(seg)
+        .unwrap()
+        .set_len(len / 2)
+        .unwrap();
+
+    let msg = match DataCell::open(config) {
+        Ok(_) => panic!("recovery over a lost log tail must fail"),
+        Err(e) => e.to_string(),
+    };
+    assert!(
+        msg.contains("lost its log tail") || msg.contains("outside recovered stream"),
+        "expected a loud recovery refusal, got: {msg}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn recovered_stats_continue_lifetime_counters() {
+    let dir = tmpdir();
+    let config = durable_config(&dir);
+    {
+        let mut cell = DataCell::open(config.clone()).unwrap();
+        cell.execute("CREATE STREAM s (ts BIGINT, v BIGINT)").unwrap();
+        cell.register_query("SELECT COUNT(*) FROM s [ROWS 4 SLIDE 4]").unwrap();
+        for i in 0..10 {
+            cell.push_rows("s", &[row2(i, i)]).unwrap();
+            cell.run_until_idle().unwrap();
+        }
+        let stats = cell.stats();
+        assert_eq!(stats.baskets[0].arrived, 10);
+        assert!(stats.wal.as_ref().unwrap().appended_batches >= 10);
+    }
+    let cell = DataCell::open(config).unwrap();
+    let stats = cell.stats();
+    assert_eq!(stats.baskets[0].arrived, 10, "arrived counter must survive restart");
+    assert!(stats.wal.as_ref().unwrap().recovered_rows > 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn rejected_push_chunk_leaves_no_phantom_wal_batch() {
+    // A mistyped chunk on the bulk path must fail *before* it is logged:
+    // a phantom record would advance the log's OID chain and truncate
+    // every later (real) batch at recovery.
+    use datacell::storage::{Bat, Chunk};
+    let dir = tmpdir();
+    let config = durable_config(&dir);
+    {
+        let mut cell = DataCell::open(config.clone()).unwrap();
+        cell.execute("CREATE STREAM s (ts BIGINT, v BIGINT)").unwrap();
+        let bad = Chunk::new(vec![
+            Bat::from_ints(vec![1]),
+            Bat::from_vector(vec![Value::Str("not an int".into())].into_iter().fold(
+                datacell::storage::Vector::new(datacell::storage::DataType::Str),
+                |mut v, x| {
+                    v.push(&x).unwrap();
+                    v
+                },
+            ), 0),
+        ])
+        .unwrap();
+        assert!(cell.push_chunk("s", &bad).is_err(), "mistyped chunk must be rejected");
+        // Real data before and after still lands and survives restart.
+        cell.push_rows("s", &[row2(1, 10), row2(2, 20)]).unwrap();
+        let good = Chunk::new(vec![Bat::from_ints(vec![3]), Bat::from_ints(vec![30])]).unwrap();
+        assert_eq!(cell.push_chunk("s", &good).unwrap(), 1);
+    }
+    let cell = DataCell::open(config).unwrap();
+    assert_eq!(cell.stats().baskets[0].arrived, 3, "no batch lost to a phantom record");
+    assert_eq!(cell.stats().wal.as_ref().unwrap().dropped_bytes, 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn pause_flags_and_deregistration_survive_restart() {
+    let dir = tmpdir();
+    let config = durable_config(&dir);
+    let (_q1, q2) = {
+        let mut cell = DataCell::open(config.clone()).unwrap();
+        cell.execute("CREATE STREAM s (ts BIGINT, v BIGINT)").unwrap();
+        cell.execute("CREATE STREAM dead (x BIGINT)").unwrap();
+        cell.execute("DROP STREAM dead").unwrap();
+        let q1 = cell.register_query("SELECT COUNT(*) FROM s").unwrap();
+        let q2 = cell.register_query("SELECT SUM(v) FROM s").unwrap();
+        cell.deregister_query(q1).unwrap();
+        cell.set_query_paused(q2, true).unwrap();
+        cell.set_stream_paused("s", true).unwrap();
+        (q1, q2)
+    };
+    let mut cell = DataCell::open(config).unwrap();
+    assert!(cell.recovered());
+    assert_eq!(cell.query_ids(), vec![q2]);
+    assert!(cell.stats().queries[0].paused);
+    assert!(cell.stats().baskets[0].paused);
+    assert!(cell.basket("dead").is_err());
+    // A new registration continues the qid sequence past the dead q1.
+    let q3 = cell.register_query("SELECT COUNT(*) FROM s").unwrap();
+    assert!(q3 > q2);
+    std::fs::remove_dir_all(&dir).ok();
+}
