@@ -183,6 +183,7 @@ fn arith(op: ArithOp, left: Operand<'_>, right: Operand<'_>) -> Result<Bat> {
             return Err(AlgebraError::UnsupportedType { op: op.sql(), ty: other });
         }
     };
+    // lint:allow(panic-freedom): validity was built against data.len() in every arm above
     Ok(Bat::from_parts(data, 0, validity).expect("validity sized to len"))
 }
 

@@ -216,6 +216,7 @@ impl VolcanoEngine {
                     self.queries[qi].cursors[ci].2 = win_end + slide;
                     rows
                 }
+                // lint:allow(panic-freedom): register() rejects RANGE windows before any query reaches this loop
                 Some(WindowSpec::Range { .. }) => unreachable!("rejected at register"),
             };
             sources.insert(binding.to_ascii_lowercase(), rows);

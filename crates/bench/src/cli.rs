@@ -7,10 +7,16 @@
 
 /// Parsed `--events N` / `--events=N`, or `default` when absent.
 ///
-/// Panics with a usage message on a malformed value, so a typo fails
+/// Exits with a usage message on a malformed value, so a typo fails
 /// loudly instead of silently running the full-size experiment.
 pub fn events(default: usize) -> usize {
-    events_from(std::env::args().skip(1), default)
+    match events_from(std::env::args().skip(1), default) {
+        Ok(n) => n,
+        Err(msg) => {
+            eprintln!("datacell-bench: {msg}");
+            std::process::exit(2)
+        }
+    }
 }
 
 /// `true` when `name` (e.g. `"--sweep-threshold"`) is among the args.
@@ -18,7 +24,7 @@ pub fn has_flag(name: &str) -> bool {
     std::env::args().skip(1).any(|a| a == name)
 }
 
-fn events_from(args: impl Iterator<Item = String>, default: usize) -> usize {
+fn events_from(args: impl Iterator<Item = String>, default: usize) -> Result<usize, String> {
     let mut args = args;
     while let Some(arg) = args.next() {
         let value = if arg == "--events" {
@@ -28,18 +34,17 @@ fn events_from(args: impl Iterator<Item = String>, default: usize) -> usize {
         } else {
             continue;
         };
-        let value = value.unwrap_or_else(|| panic!("--events requires a value"));
-        let parsed: usize = value
-            .parse()
-            .unwrap_or_else(|_| panic!("--events: expected a positive integer, got {value:?}"));
+        let Some(value) = value else {
+            return Err("--events requires a value".into());
+        };
         // 0 is rejected rather than parsed: several binaries use 0 internally
         // as the "flag absent" sentinel (e7 would silently run full scale).
-        if parsed == 0 {
-            panic!("--events: expected a positive integer, got {value:?}");
-        }
-        return parsed;
+        return match value.parse::<usize>() {
+            Ok(parsed) if parsed > 0 => Ok(parsed),
+            _ => Err(format!("--events: expected a positive integer, got {value:?}")),
+        };
     }
-    default
+    Ok(default)
 }
 
 /// Clamp an experiment's window size to what `events` can fill, with a
@@ -63,33 +68,39 @@ pub fn scaled_windows(events: usize, full_sizes: &[usize]) -> Vec<usize> {
 mod tests {
     use super::*;
 
-    fn parse(args: &[&str], default: usize) -> usize {
+    fn parse(args: &[&str], default: usize) -> Result<usize, String> {
         events_from(args.iter().map(|s| s.to_string()), default)
     }
 
     #[test]
     fn default_when_absent() {
-        assert_eq!(parse(&[], 500), 500);
-        assert_eq!(parse(&["--other"], 500), 500);
+        assert_eq!(parse(&[], 500), Ok(500));
+        assert_eq!(parse(&["--other"], 500), Ok(500));
     }
 
     #[test]
     fn space_and_equals_forms() {
-        assert_eq!(parse(&["--events", "100"], 500), 100);
-        assert_eq!(parse(&["--events=250"], 500), 250);
-        assert_eq!(parse(&["--flag", "--events", "7"], 500), 7);
+        assert_eq!(parse(&["--events", "100"], 500), Ok(100));
+        assert_eq!(parse(&["--events=250"], 500), Ok(250));
+        assert_eq!(parse(&["--flag", "--events", "7"], 500), Ok(7));
     }
 
     #[test]
-    #[should_panic(expected = "positive integer")]
-    fn malformed_value_panics() {
-        parse(&["--events", "lots"], 500);
+    fn malformed_value_rejected() {
+        let err = parse(&["--events", "lots"], 500).unwrap_err();
+        assert!(err.contains("positive integer"), "{err}");
     }
 
     #[test]
-    #[should_panic(expected = "positive integer")]
     fn zero_rejected() {
-        parse(&["--events", "0"], 500);
+        let err = parse(&["--events", "0"], 500).unwrap_err();
+        assert!(err.contains("positive integer"), "{err}");
+    }
+
+    #[test]
+    fn missing_value_rejected() {
+        let err = parse(&["--events"], 500).unwrap_err();
+        assert!(err.contains("requires a value"), "{err}");
     }
 
     #[test]

@@ -231,6 +231,7 @@ impl Basket {
     pub fn slice(&self, lo: Oid, hi: Oid) -> Chunk {
         let lo = lo.max(self.first);
         Chunk::new(self.columns.iter().map(|c| c.slice_oids(lo, hi)).collect())
+            // lint:allow(panic-freedom): all basket columns share one OID range, so equal-length slices
             .expect("basket columns aligned")
     }
 

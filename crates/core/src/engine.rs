@@ -78,6 +78,7 @@ impl DataCell {
     /// configured this delegates to [`DataCell::open`] and panics on an
     /// I/O failure; fallible embedders should call `open` directly.
     pub fn new(config: DataCellConfig) -> Self {
+        // lint:allow(panic-freedom): new() is the documented panicking convenience; open() is the fallible API
         DataCell::open(config).expect("failed to open durable DataCell")
     }
 

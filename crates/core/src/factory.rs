@@ -225,17 +225,17 @@ impl Factory {
             let hw = basket.read().high_water();
             let cursor = match &s.window {
                 None => Cursor::Unwindowed { next: hw },
-                Some(WindowSpec::Rows { slide, .. }) => Cursor::Rows {
+                Some(w @ WindowSpec::Rows { slide, .. }) => Cursor::Rows {
                     slide: *slide,
-                    ring_len: ring_len_of(s.window.as_ref().expect("window")).unwrap_or(1),
+                    ring_len: ring_len_of(w).unwrap_or(1),
                     next_bw_end: hw + slide,
                 },
-                Some(WindowSpec::Range { slide, on, .. }) => {
+                Some(w @ WindowSpec::Range { slide, on, .. }) => {
                     let schema = catalog.schema_of(&s.object).map_err(EngineError::Storage)?;
                     let col = schema.index_of(on).map_err(EngineError::Storage)?;
                     Cursor::Range {
                         slide: *slide,
-                        ring_len: ring_len_of(s.window.as_ref().expect("window")).unwrap_or(1),
+                        ring_len: ring_len_of(w).unwrap_or(1),
                         col,
                         next_bw_end: None,
                         low_oid: hw,
@@ -688,8 +688,10 @@ impl Factory {
                 rings.pairs.insert((epoch, *re), compute_pair(plan, &lc, rc, table)?);
             }
             rings.left.push_back((epoch, span, lc));
-            if rings.left.len() > nl {
-                let (old, _, _) = rings.left.pop_front().expect("nonempty");
+            if let Some((old, _, _)) = (rings.left.len() > nl)
+                .then(|| rings.left.pop_front())
+                .flatten()
+            {
                 rings.pairs.retain(|(l, _), _| *l != old);
             }
         }
@@ -702,8 +704,10 @@ impl Factory {
                 rings.pairs.insert((*le, epoch), compute_pair(plan, lc, &rc, &table)?);
             }
             rings.right.push_back((epoch, span, rc, table));
-            if rings.right.len() > nr {
-                let (old, _, _, _) = rings.right.pop_front().expect("nonempty");
+            if let Some((old, _, _, _)) = (rings.right.len() > nr)
+                .then(|| rings.right.pop_front())
+                .flatten()
+            {
                 rings.pairs.retain(|(_, r), _| *r != old);
             }
         }

@@ -87,6 +87,7 @@ impl Receptor {
                 }
                 delivered
             })
+            // lint:allow(panic-freedom): thread spawn fails only on resource exhaustion at startup; no stream exists yet to lose
             .expect("spawn receptor thread");
         Receptor { name, stop, handle }
     }

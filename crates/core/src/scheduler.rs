@@ -26,8 +26,8 @@
 //!
 //! With `config.workers > 1`, [`Scheduler::step`] and
 //! [`Scheduler::run_until_idle`] fan the partitions out over a pool of
-//! `std::thread` workers; result chunks flow back over a crossbeam channel
-//! and are delivered to the sink in a deterministic per-query order. With
+//! `std::thread` workers; result chunks return through the workers' join
+//! handles and are delivered to the sink in a deterministic per-query order. With
 //! `workers = 1` (the default) execution is exactly the classic serial
 //! round-robin: every enabled factory fires once per round in global
 //! query-id order.
@@ -391,10 +391,10 @@ impl Scheduler {
     }
 
     /// Worker-pool execution: partitions are split into contiguous slices,
-    /// one `std::thread` worker per slice; result chunks flow back over a
-    /// crossbeam channel and are re-ordered by query id before hitting the
-    /// sink, so per-query output is identical to serial execution
-    /// regardless of worker count.
+    /// one `std::thread` worker per slice; each worker returns its result
+    /// chunks through its join handle and they are re-ordered by query id
+    /// before hitting the sink, so per-query output is identical to serial
+    /// execution regardless of worker count.
     ///
     /// Workers are scoped to this call (spawned fresh each dispatch) —
     /// that is what lets them borrow the partitions and context directly.
@@ -408,51 +408,46 @@ impl Scheduler {
     ) -> crate::error::Result<(u64, u64)> {
         let workers = self.effective_workers(ctx);
         let per_worker = self.partitions.len().div_ceil(workers);
-        let (tx, rx) = crossbeam::channel::unbounded::<(u64, Chunk)>();
-        let counts: Vec<crate::error::Result<(u64, u64)>> =
-            std::thread::scope(|scope| {
-                let mut handles = Vec::with_capacity(workers);
-                for slice in self.partitions.chunks_mut(per_worker) {
-                    let tx = tx.clone();
-                    handles.push(scope.spawn(move || -> crate::error::Result<(u64, u64)> {
-                        let mut out = Vec::new();
-                        let (mut fired, mut rounds) = (0u64, 0u64);
-                        for partition in slice {
-                            if until_idle {
-                                let (f, r) = partition.run_until_idle(ctx, &mut out)?;
-                                fired += f;
-                                rounds = rounds.max(r);
-                            } else {
-                                fired += partition.step_round(ctx, &mut out)? as u64;
-                                rounds = rounds.max(1);
-                            }
+        type WorkerOut = crate::error::Result<(u64, u64, Vec<(u64, Chunk)>)>;
+        let results: Vec<WorkerOut> = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for slice in self.partitions.chunks_mut(per_worker) {
+                handles.push(scope.spawn(move || -> WorkerOut {
+                    let mut out = Vec::new();
+                    let (mut fired, mut rounds) = (0u64, 0u64);
+                    for partition in slice {
+                        if until_idle {
+                            let (f, r) = partition.run_until_idle(ctx, &mut out)?;
+                            fired += f;
+                            rounds = rounds.max(r);
+                        } else {
+                            fired += partition.step_round(ctx, &mut out)? as u64;
+                            rounds = rounds.max(1);
                         }
-                        for item in out {
-                            // Receiver outlives the scope; send cannot fail.
-                            let _ = tx.send(item);
-                        }
-                        Ok((fired, rounds))
-                    }));
-                }
-                drop(tx);
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("scheduler worker panicked"))
-                    .collect()
-            });
+                    }
+                    Ok((fired, rounds, out))
+                }));
+            }
+            handles
+                .into_iter()
+                // lint:allow(panic-freedom): a worker panic is a scheduler bug; propagating it beats silently losing the slice
+                .map(|h| h.join().expect("scheduler worker panicked"))
+                .collect()
+        });
         // Deliver results grouped by query id. Each query lives in exactly
         // one partition, so its chunks arrive already in firing order; the
-        // stable sort only normalizes the interleaving *across* queries.
-        let mut produced: Vec<(u64, Chunk)> = rx.try_iter().collect();
+        // stable sort only normalizes the interleaving *across* workers.
+        let (mut fired, mut rounds) = (0u64, 0u64);
+        let mut produced: Vec<(u64, Chunk)> = Vec::new();
+        for res in results {
+            let (f, r, out) = res?;
+            fired += f;
+            rounds = rounds.max(r);
+            produced.extend(out);
+        }
         produced.sort_by_key(|(qid, _)| *qid);
         for (qid, chunk) in produced {
             sink(qid, chunk);
-        }
-        let (mut fired, mut rounds) = (0u64, 0u64);
-        for c in counts {
-            let (f, r) = c?;
-            fired += f;
-            rounds = rounds.max(r);
         }
         Ok((fired, rounds))
     }

@@ -1,0 +1,102 @@
+//! Diagnostics, `lint:allow` suppression, and reporting.
+
+use crate::source::SourceFile;
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule that produced the finding (`panic-freedom`, …).
+    pub rule: &'static str,
+    /// Workspace-relative file path.
+    pub rel: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable message.
+    pub msg: String,
+}
+
+impl Diagnostic {
+    /// Render as `path:line: [rule] message`.
+    pub fn render(&self) -> String {
+        format!("{}:{}: [{}] {}", self.rel, self.line, self.rule, self.msg)
+    }
+}
+
+/// Names of every shipped rule (used to validate `--rule` and allows).
+pub const RULES: &[&str] = &[
+    "panic-freedom",
+    "crate-layering",
+    "lock-order",
+    "bounded-decode",
+    "codec-exhaustiveness",
+    "allow-syntax",
+];
+
+/// Apply `lint:allow` suppression to `diags` for one file. A directive
+/// covers its own line; a directive alone on a line covers the next line.
+/// Returns the surviving diagnostics and appends `allow-syntax` findings
+/// for malformed directives (unknown rule, missing reason). Unused-allow
+/// detection runs only when `check_unused` (i.e. when every rule ran — a
+/// `--rule` subset would see its own suppressions as unused).
+pub fn filter_allows(
+    file: &SourceFile,
+    diags: Vec<Diagnostic>,
+    check_unused: bool,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut used = vec![false; file.allows.len()];
+    for d in diags {
+        let suppressed = file.allows.iter().enumerate().any(|(i, a)| {
+            let covers = a.line == d.line || (a.own_line && a.line + 1 == d.line);
+            let matches = a.rules.iter().any(|r| r == d.rule);
+            if covers && matches {
+                used[i] = true;
+            }
+            covers && matches
+        });
+        if !suppressed {
+            out.push(d);
+        }
+    }
+    for (i, a) in file.allows.iter().enumerate() {
+        if !a.has_reason {
+            out.push(Diagnostic {
+                rule: "allow-syntax",
+                rel: file.rel.clone(),
+                line: a.line,
+                msg: format!(
+                    "lint:allow({}) needs a justification: `// lint:allow(rule): <reason>`",
+                    a.rules.join(", ")
+                ),
+            });
+        }
+        for r in &a.rules {
+            if !RULES.contains(&r.as_str()) {
+                out.push(Diagnostic {
+                    rule: "allow-syntax",
+                    rel: file.rel.clone(),
+                    line: a.line,
+                    msg: format!("lint:allow names unknown rule {r:?}"),
+                });
+            }
+        }
+        // An allow that suppressed nothing is rot: the hazard it excused
+        // is gone (or the directive is on the wrong line).
+        if check_unused
+            && !used[i]
+            && a.has_reason
+            && a.rules.iter().all(|r| RULES.contains(&r.as_str()))
+        {
+            out.push(Diagnostic {
+                rule: "allow-syntax",
+                rel: file.rel.clone(),
+                line: a.line,
+                msg: format!(
+                    "unused lint:allow({}): nothing on this line triggers the rule",
+                    a.rules.join(", ")
+                ),
+            });
+        }
+    }
+    out
+}

@@ -1,0 +1,332 @@
+//! A minimal token-level lexer for Rust source.
+//!
+//! The build environment is offline/vendored-only, so there is no `syn`;
+//! the rules in this crate only need a faithful token stream with line
+//! numbers, with comments, strings and char literals stripped (so an
+//! `unwrap` inside a doc example or a format string is never a finding).
+//! The lexer also extracts `// lint:allow(<rule>): <reason>` directives
+//! from the comments it strips.
+
+/// Kind of one lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `unwrap`, `MetaRecord`, …).
+    Ident,
+    /// Numeric literal (`42`, `0xFF`, `1.5`, `1_000u64`).
+    Num,
+    /// String, byte-string or char literal (content dropped).
+    Str,
+    /// Lifetime (`'a`; content dropped).
+    Lifetime,
+    /// Single punctuation character (`.`, `(`, `!`, …).
+    Punct,
+}
+
+/// One token with its source line (1-based).
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokKind,
+    /// Token text; for [`TokKind::Str`]/[`TokKind::Lifetime`] this is empty.
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// True iff the token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True iff the token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.as_bytes().first() == Some(&(c as u8))
+    }
+}
+
+/// One `// lint:allow(rule, …): reason` directive found in a comment.
+#[derive(Debug, Clone)]
+pub struct AllowDirective {
+    /// Rule names the directive suppresses.
+    pub rules: Vec<String>,
+    /// 1-based line the comment sits on.
+    pub line: u32,
+    /// Whether the comment is alone on its line (then it covers the next
+    /// line); a trailing comment covers its own line.
+    pub own_line: bool,
+    /// Whether a non-empty `: reason` followed the rule list.
+    pub has_reason: bool,
+}
+
+/// Lexer output: the token stream plus extracted allow directives.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Allow directives in source order.
+    pub allows: Vec<AllowDirective>,
+}
+
+/// Parse the body of a line comment for a `lint:allow` directive.
+fn parse_allow(comment: &str, line: u32, own_line: bool) -> Option<AllowDirective> {
+    let rest = comment.trim_start_matches('/').trim_start_matches('!').trim_start();
+    let rest = rest.strip_prefix("lint:allow")?;
+    let rest = rest.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let close = rest.find(')')?;
+    let rules: Vec<String> = rest[..close]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    if rules.is_empty() {
+        return None;
+    }
+    let tail = rest[close + 1..].trim_start();
+    let has_reason = tail.strip_prefix(':').is_some_and(|r| !r.trim().is_empty());
+    Some(AllowDirective { rules, line, own_line, has_reason })
+}
+
+/// Lex one file. Total: arbitrary input produces a token stream, never a
+/// panic (unterminated constructs simply run to end of input).
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    // Whether only whitespace has been seen since the last newline (to
+    // decide whether an allow comment is alone on its line).
+    let mut line_blank = true;
+
+    let bump_lines = |s: &[u8]| s.iter().filter(|&&c| c == b'\n').count() as u32;
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                line_blank = true;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => {
+                i += 1;
+            }
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                let end = b[i..].iter().position(|&c| c == b'\n').map_or(b.len(), |p| i + p);
+                let comment = &src[i..end];
+                if let Some(d) = parse_allow(&comment[2..], line, line_blank) {
+                    out.allows.push(d);
+                }
+                i = end;
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                // Block comment, nesting honoured.
+                let mut depth = 1;
+                let start = i;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                line += bump_lines(&b[start..i]);
+            }
+            b'"' => {
+                let (end, lines) = skip_string(b, i);
+                out.tokens.push(Token { kind: TokKind::Str, text: String::new(), line });
+                line += lines;
+                i = end;
+                line_blank = false;
+            }
+            b'r' | b'b' if is_raw_or_byte_string(b, i) => {
+                let (end, lines) = skip_raw_or_byte(b, i);
+                out.tokens.push(Token { kind: TokKind::Str, text: String::new(), line });
+                line += lines;
+                i = end;
+                line_blank = false;
+            }
+            b'\'' => {
+                // Lifetime vs char literal.
+                let next = b.get(i + 1).copied().unwrap_or(0);
+                let after = b.get(i + 2).copied().unwrap_or(0);
+                if (next.is_ascii_alphabetic() || next == b'_') && after != b'\'' {
+                    // Lifetime: consume ident.
+                    i += 1;
+                    while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                        i += 1;
+                    }
+                    out.tokens.push(Token {
+                        kind: TokKind::Lifetime,
+                        text: String::new(),
+                        line,
+                    });
+                } else {
+                    // Char literal: skip to the closing quote, honouring
+                    // a single backslash escape.
+                    let start = i;
+                    i += 1;
+                    if i < b.len() && b[i] == b'\\' {
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                    while i < b.len() && b[i] != b'\'' {
+                        i += 1;
+                    }
+                    i = (i + 1).min(b.len());
+                    line += bump_lines(&b[start..i.min(b.len())]);
+                    out.tokens.push(Token { kind: TokKind::Str, text: String::new(), line });
+                }
+                line_blank = false;
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Ident,
+                    text: src[start..i].to_string(),
+                    line,
+                });
+                line_blank = false;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < b.len() {
+                    let d = b[i];
+                    if d.is_ascii_alphanumeric() || d == b'_' {
+                        i += 1;
+                    } else if d == b'.' && b.get(i + 1).is_some_and(u8::is_ascii_digit) {
+                        i += 1; // decimal point of a float, not `..` / method
+                    } else {
+                        break;
+                    }
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Num,
+                    text: src[start..i].to_string(),
+                    line,
+                });
+                line_blank = false;
+            }
+            c => {
+                out.tokens.push(Token {
+                    kind: TokKind::Punct,
+                    text: (c as char).to_string(),
+                    line,
+                });
+                i += 1;
+                line_blank = false;
+            }
+        }
+    }
+    out
+}
+
+/// Does `b[i..]` start a raw (`r"`, `r#"`) or byte (`b"`, `br#"`, `b'`)
+/// literal rather than a plain identifier?
+fn is_raw_or_byte_string(b: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+        if b.get(j) == Some(&b'\'') {
+            return true; // byte char b'x'
+        }
+    }
+    if b.get(j) == Some(&b'r') {
+        j += 1;
+    }
+    while b.get(j) == Some(&b'#') {
+        j += 1;
+    }
+    // `r#ident` (raw identifier) has an ident char after exactly one `#`
+    // and no quote; only treat as string when a quote follows.
+    b.get(j) == Some(&b'"') && j > i
+}
+
+/// Skip a plain `"…"` string starting at `i`; returns (end index, newlines).
+fn skip_string(b: &[u8], i: usize) -> (usize, u32) {
+    let start = i;
+    let mut i = i + 1;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => {
+                i += 1;
+                break;
+            }
+            _ => i += 1,
+        }
+    }
+    let i = i.min(b.len());
+    let lines = b[start..i].iter().filter(|&&c| c == b'\n').count() as u32;
+    (i, lines)
+}
+
+/// Skip a raw/byte string (`r"…"`, `r#"…"#`, `b"…"`, `br##"…"##`, `b'x'`)
+/// starting at `i`; returns (end index, newlines).
+fn skip_raw_or_byte(b: &[u8], i: usize) -> (usize, u32) {
+    let start = i;
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+        if b.get(j) == Some(&b'\'') {
+            // byte char literal
+            j += 1;
+            if b.get(j) == Some(&b'\\') {
+                j += 2;
+            } else {
+                j += 1;
+            }
+            while j < b.len() && b[j] != b'\'' {
+                j += 1;
+            }
+            let end = (j + 1).min(b.len());
+            return (end, 0);
+        }
+    }
+    let raw = b.get(j) == Some(&b'r');
+    if raw {
+        j += 1;
+    }
+    let mut hashes = 0;
+    while b.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    // Opening quote.
+    j += 1;
+    if raw {
+        // Scan for `"` followed by `hashes` hashes; no escapes in raw strings.
+        while j < b.len() {
+            if b[j] == b'"' && b[j + 1..].iter().take(hashes).filter(|&&c| c == b'#').count() == hashes {
+                j += 1 + hashes;
+                break;
+            }
+            j += 1;
+        }
+    } else {
+        // Plain byte string: escapes apply.
+        while j < b.len() {
+            match b[j] {
+                b'\\' => j += 2,
+                b'"' => {
+                    j += 1;
+                    break;
+                }
+                _ => j += 1,
+            }
+        }
+    }
+    let j = j.min(b.len());
+    let lines = b[start..j].iter().filter(|&&c| c == b'\n').count() as u32;
+    (j, lines)
+}

@@ -1,0 +1,193 @@
+//! datacell-lint: workspace static analysis for the DataCell engine.
+//!
+//! Four invariants the type system cannot express, enforced at the token
+//! level (the build environment is offline, so no `syn`):
+//!
+//! * **panic-freedom** — durability and wire paths return `Result`, never
+//!   abort; `#[cfg(test)]` code is exempt.
+//! * **crate-layering** — the dependency DAG in the README is checked
+//!   against both `Cargo.toml` and source references; `protocol` and
+//!   `storage` stay I/O-free.
+//! * **lock-order** — `.lock()`/`.read()`/`.write()` acquisition sites
+//!   form a held-while-acquiring graph; cycles are reported.
+//! * **bounded-decode** — decode-side allocations must bound their length
+//!   operand before calling the allocator.
+//! * **codec-exhaustiveness** — every WAL/wire enum variant appears in
+//!   both its encode and decode function.
+//!
+//! Deny-by-default: findings are errors. The escape hatch is a justified
+//! `// lint:allow(<rule>): <reason>` comment on (or directly above) the
+//! offending line; unjustified or unused allows are themselves findings.
+
+pub mod config;
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+pub mod source;
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use config::Config;
+use diag::{filter_allows, Diagnostic, RULES};
+use source::SourceFile;
+
+/// A loaded workspace: lexed sources plus crate manifests.
+pub struct Workspace {
+    /// The policy the workspace was loaded under.
+    pub config: Config,
+    files: Vec<SourceFile>,
+    /// `(crate index, manifest text)` for each crate with a `Cargo.toml`.
+    manifests: Vec<(usize, String)>,
+}
+
+impl Workspace {
+    /// Read and lex every `.rs` file under the configured crate `src/`
+    /// dirs and extra source dirs.
+    pub fn load(config: Config) -> io::Result<Workspace> {
+        let mut files = Vec::new();
+        let mut manifests = Vec::new();
+        for (idx, spec) in config.crates.iter().enumerate() {
+            let dir = config.root.join(&spec.dir);
+            let src = dir.join("src");
+            if src.is_dir() {
+                load_dir(&config.root, &src, &mut files)?;
+            }
+            let manifest = dir.join("Cargo.toml");
+            if manifest.is_file() {
+                manifests.push((idx, fs::read_to_string(&manifest)?));
+            }
+        }
+        for extra in &config.extra_src {
+            let dir = config.root.join(extra);
+            if dir.is_dir() {
+                load_dir(&config.root, &dir, &mut files)?;
+            }
+        }
+        files.sort_by(|a, b| a.rel.cmp(&b.rel));
+        files.dedup_by(|a, b| a.rel == b.rel);
+        Ok(Workspace { config, files, manifests })
+    }
+
+    /// Lexed files, sorted by path.
+    pub fn files(&self) -> &[SourceFile] {
+        &self.files
+    }
+}
+
+fn load_dir(root: &Path, dir: &Path, out: &mut Vec<SourceFile>) -> io::Result<()> {
+    let mut entries: Vec<_> = fs::read_dir(dir)?.collect::<Result<_, _>>()?;
+    entries.sort_by_key(|e| e.path());
+    for e in entries {
+        let path = e.path();
+        if path.is_dir() {
+            load_dir(root, &path, out)?;
+        } else if path.extension().is_some_and(|x| x == "rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let text = fs::read_to_string(&path)?;
+            out.push(SourceFile::parse(rel, &text));
+        }
+    }
+    Ok(())
+}
+
+fn matches_any(rel: &str, prefixes: &[String]) -> bool {
+    prefixes.iter().any(|p| rel.starts_with(p.as_str()))
+}
+
+/// Run `active` rules over the workspace; returns sorted diagnostics
+/// after `lint:allow` filtering.
+pub fn run(ws: &Workspace, active: &[String]) -> Vec<Diagnostic> {
+    let on = |r: &str| active.iter().any(|a| a == r);
+    // Unused-allow detection needs every rule's findings to be present.
+    let full = RULES.iter().filter(|r| **r != "allow-syntax").all(|r| on(r));
+
+    let mut buckets: BTreeMap<String, Vec<Diagnostic>> = BTreeMap::new();
+    // Manifest/codec findings land on files that may hold no allows
+    // (Cargo.toml) — they bypass the allow filter.
+    let mut passthrough: Vec<Diagnostic> = Vec::new();
+    let push = |buckets: &mut BTreeMap<String, Vec<Diagnostic>>,
+                passthrough: &mut Vec<Diagnostic>,
+                files: &[SourceFile],
+                d: Diagnostic| {
+        if files.iter().any(|f| f.rel == d.rel) {
+            buckets.entry(d.rel.clone()).or_default().push(d);
+        } else {
+            passthrough.push(d);
+        }
+    };
+
+    for f in &ws.files {
+        let owner = ws
+            .config
+            .crates
+            .iter()
+            .find(|c| f.rel.starts_with(&format!("{}/", c.dir)));
+        if on("panic-freedom") && matches_any(&f.rel, &ws.config.deny_panic_paths) {
+            for d in rules::panic_freedom::check(f, &ws.config) {
+                push(&mut buckets, &mut passthrough, &ws.files, d);
+            }
+        }
+        if on("bounded-decode") && matches_any(&f.rel, &ws.config.decode_paths) {
+            for d in rules::bounded_decode::check(f, &ws.config) {
+                push(&mut buckets, &mut passthrough, &ws.files, d);
+            }
+        }
+        if on("crate-layering") {
+            if let Some(spec) = owner {
+                for d in rules::layering::check_source(spec, f) {
+                    push(&mut buckets, &mut passthrough, &ws.files, d);
+                }
+            }
+            if matches_any(&f.rel, &ws.config.no_io_paths) {
+                for d in rules::layering::check_no_io(f, &ws.config) {
+                    push(&mut buckets, &mut passthrough, &ws.files, d);
+                }
+            }
+        }
+    }
+
+    if on("crate-layering") {
+        for (idx, toml) in &ws.manifests {
+            passthrough.extend(rules::layering::check_manifest(&ws.config.crates[*idx], toml));
+        }
+    }
+
+    if on("lock-order") {
+        let lock_files: Vec<&SourceFile> = ws
+            .files
+            .iter()
+            .filter(|f| matches_any(&f.rel, &ws.config.lock_paths))
+            .collect();
+        for d in rules::lock_order::check(&lock_files, &ws.config) {
+            push(&mut buckets, &mut passthrough, &ws.files, d);
+        }
+    }
+
+    if on("codec-exhaustiveness") {
+        let lookup = |rel: &str| ws.files.iter().find(|f| f.rel == rel);
+        for spec in &ws.config.codecs {
+            for d in rules::codec::check(spec, lookup) {
+                push(&mut buckets, &mut passthrough, &ws.files, d);
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    for f in &ws.files {
+        let diags = buckets.remove(&f.rel).unwrap_or_default();
+        if diags.is_empty() && f.allows.is_empty() {
+            continue;
+        }
+        out.extend(filter_allows(f, diags, full));
+    }
+    out.extend(passthrough);
+    out.sort_by(|a, b| (&a.rel, a.line, a.rule, &a.msg).cmp(&(&b.rel, b.line, b.rule, &b.msg)));
+    out
+}

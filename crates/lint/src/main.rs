@@ -1,0 +1,100 @@
+//! CLI for datacell-lint.
+//!
+//! ```text
+//! cargo run -p datacell-lint --release -- --deny
+//! ```
+//!
+//! Exit codes: 0 = clean (or advisory mode), 1 = findings under `--deny`,
+//! 2 = usage or I/O error.
+
+use std::process::exit;
+
+use datacell_lint::config::Config;
+use datacell_lint::diag::RULES;
+use datacell_lint::{run, Workspace};
+
+const USAGE: &str = "\
+datacell-lint — workspace static analysis for the DataCell engine
+
+USAGE:
+    datacell-lint [--deny] [--root <dir>] [--rule <name>]... [--list-rules]
+
+OPTIONS:
+    --deny          exit 1 when any finding survives (CI mode); without it
+                    findings are printed but the exit code stays 0
+    --root <dir>    workspace root (default: current directory)
+    --rule <name>   run only the named rule (repeatable); default: all
+    --list-rules    print the rule names and exit
+";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut deny = false;
+    let mut root = String::from(".");
+    let mut only: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--deny" => deny = true,
+            "--root" => match it.next() {
+                Some(v) => root = v.clone(),
+                None => usage_error("--root needs a directory"),
+            },
+            "--rule" => match it.next() {
+                Some(v) if RULES.contains(&v.as_str()) => only.push(v.clone()),
+                Some(v) => usage_error(&format!("unknown rule {v:?} (see --list-rules)")),
+                None => usage_error("--rule needs a rule name"),
+            },
+            "--list-rules" => {
+                for r in RULES {
+                    println!("{r}");
+                }
+                return;
+            }
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return;
+            }
+            other => usage_error(&format!("unknown argument {other:?}")),
+        }
+    }
+    let active: Vec<String> = if only.is_empty() {
+        RULES.iter().map(|r| r.to_string()).collect()
+    } else {
+        only
+    };
+
+    let ws = match Workspace::load(Config::datacell(&root)) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!("datacell-lint: cannot load workspace at {root:?}: {e}");
+            exit(2);
+        }
+    };
+    let diags = run(&ws, &active);
+    for d in &diags {
+        println!("{}", d.render());
+    }
+    if diags.is_empty() {
+        eprintln!(
+            "datacell-lint: clean — {} files, {} rule(s)",
+            ws.files().len(),
+            active.len()
+        );
+    } else {
+        eprintln!(
+            "datacell-lint: {} finding(s) across {} files{}",
+            diags.len(),
+            ws.files().len(),
+            if deny { "" } else { " (advisory; pass --deny to fail)" }
+        );
+        if deny {
+            exit(1);
+        }
+    }
+}
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("datacell-lint: {msg}\n\n{USAGE}");
+    exit(2)
+}

@@ -1,0 +1,237 @@
+//! Rule `bounded-decode`: a decoder must not size an allocation from an
+//! attacker-controlled length it has not bounded first.
+//!
+//! Finds `with_capacity(n)` / `.reserve(n)` / `.resize(n, …)` /
+//! `vec![x; n]` in decode paths and classifies the length operand `n`:
+//!
+//! * **bounded** — all tokens are numeric literals or `UPPER_CASE`
+//!   constants; or the operand itself derives from known data
+//!   (`.len()`, `remaining(…)`, `.min(…)`); or an earlier `if` guard in
+//!   the same function compares the operand's identifier against a bound
+//!   source (`len`/`remaining`/`min`/`MAX_*` or a literal).
+//! * **unbounded** — everything else: a `u32` read straight off the wire
+//!   handed to the allocator is exactly the crash PR 5 fixed in
+//!   `decode_batch`; this rule keeps the whole family fixed.
+
+use crate::config::Config;
+use crate::diag::Diagnostic;
+use crate::lexer::{TokKind, Token};
+use crate::source::{fn_bodies, match_delim, SourceFile};
+
+/// Allocation-site method/fn names whose first argument is a length.
+const ALLOC_FNS: &[&str] = &["with_capacity", "reserve", "reserve_exact", "resize", "resize_with"];
+
+/// Run the rule over one file (the caller has matched the decode path).
+pub fn check(file: &SourceFile, _config: &Config) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let toks = &file.tokens;
+    let bodies = fn_bodies(toks);
+    for (i, t) in toks.iter().enumerate() {
+        if file.is_test_line(t.line) {
+            continue;
+        }
+        // `with_capacity(cap)` etc: ident + `(`, first top-level argument.
+        if t.kind == TokKind::Ident
+            && ALLOC_FNS.contains(&t.text.as_str())
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+        {
+            let close = match_delim(toks, i + 1);
+            let arg = first_arg(&toks[i + 2..close]);
+            report_if_unbounded(file, &bodies, i, arg, &t.text, &mut out);
+        }
+        // `vec![elem; len]`: the length is after the top-level `;`.
+        if t.is_ident("vec")
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('!'))
+            && toks.get(i + 2).is_some_and(|n| n.is_punct('['))
+        {
+            let close = match_delim(toks, i + 2);
+            let inner = &toks[i + 3..close.min(toks.len())];
+            if let Some(semi) = top_level_semi(inner) {
+                report_if_unbounded(file, &bodies, i, &inner[semi + 1..], "vec![_; n]", &mut out);
+            }
+        }
+    }
+    out
+}
+
+/// The first top-level comma-separated argument of a call.
+fn first_arg(inner: &[Token]) -> &[Token] {
+    let mut depth = 0i64;
+    for (i, t) in inner.iter().enumerate() {
+        match t.text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => depth -= 1,
+            "," if depth == 0 => return &inner[..i],
+            _ => {}
+        }
+    }
+    inner
+}
+
+/// Index of the top-level `;` in a `vec![elem; len]` body.
+fn top_level_semi(inner: &[Token]) -> Option<usize> {
+    let mut depth = 0i64;
+    for (i, t) in inner.iter().enumerate() {
+        match t.text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => depth -= 1,
+            ";" if depth == 0 => return Some(i),
+            _ => {}
+        }
+    }
+    None
+}
+
+fn report_if_unbounded(
+    file: &SourceFile,
+    bodies: &[crate::source::FnBody],
+    site: usize,
+    arg: &[Token],
+    what: &str,
+    out: &mut Vec<Diagnostic>,
+) {
+    if arg.is_empty() || is_bounded_expr(arg) {
+        return;
+    }
+    let Some(key) = key_ident(arg) else {
+        return; // no variable in the operand — nothing wire-controlled
+    };
+    if guarded_earlier(file, bodies, site, &key) || bound_at_binding(file, bodies, site, &key) {
+        return;
+    }
+    out.push(Diagnostic {
+        rule: "bounded-decode",
+        rel: file.rel.clone(),
+        line: file.tokens[site].line,
+        msg: format!(
+            "{what} sized by `{key}` with no bound check — clamp against the \
+             remaining input (or a protocol maximum) before allocating"
+        ),
+    });
+}
+
+/// Is the operand expression inherently bounded?
+fn is_bounded_expr(arg: &[Token]) -> bool {
+    // All literals / UPPER_CASE constants (and operators between them).
+    let all_const = arg.iter().all(|t| match t.kind {
+        TokKind::Num | TokKind::Punct => true,
+        TokKind::Ident => is_const_ident(&t.text),
+        _ => false,
+    });
+    if all_const {
+        return true;
+    }
+    // Derived from known data.
+    for (i, t) in arg.iter().enumerate() {
+        let prev_dot = i > 0 && arg[i - 1].is_punct('.');
+        if (t.is_ident("len") || t.is_ident("min")) && prev_dot {
+            return true;
+        }
+        if t.is_ident("remaining") && arg.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+            return true;
+        }
+    }
+    false
+}
+
+fn is_const_ident(s: &str) -> bool {
+    !s.is_empty() && !s.chars().any(|c| c.is_ascii_lowercase())
+}
+
+/// First lower-case identifier in the operand — the variable whose bound
+/// we then go looking for.
+fn key_ident(arg: &[Token]) -> Option<String> {
+    arg.iter()
+        .find(|t| t.kind == TokKind::Ident && !is_const_ident(&t.text) && t.text != "as")
+        .map(|t| t.text.clone())
+}
+
+/// Does an earlier `if` condition in the same function mention `key`
+/// together with a bound source?
+fn guarded_earlier(
+    file: &SourceFile,
+    bodies: &[crate::source::FnBody],
+    site: usize,
+    key: &str,
+) -> bool {
+    let toks = &file.tokens;
+    let Some(body) = bodies.iter().find(|b| b.open < site && site < b.close) else {
+        return false;
+    };
+    let mut i = body.open + 1;
+    while i < site {
+        if toks[i].is_ident("if") {
+            // Condition: every token up to the `{` at depth 0 (grouping
+            // parens and call arguments both count as condition text).
+            let mut j = i + 1;
+            let mut depth = 0i64;
+            let mut mentions_key = false;
+            let mut has_bound = false;
+            while j < site {
+                let t = &toks[j];
+                match t.text.as_str() {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    "{" if depth == 0 => break,
+                    "{" => depth += 1,
+                    "}" => depth -= 1,
+                    _ => {
+                        if t.is_ident(key) {
+                            mentions_key = true;
+                        }
+                        if t.kind == TokKind::Num
+                            || t.is_ident("len")
+                            || t.is_ident("remaining")
+                            || t.is_ident("min")
+                            || (t.kind == TokKind::Ident && t.text.starts_with("MAX"))
+                        {
+                            has_bound = true;
+                        }
+                    }
+                }
+                j += 1;
+            }
+            if mentions_key && has_bound {
+                return true;
+            }
+            i = j;
+        }
+        i += 1;
+    }
+    false
+}
+
+/// Was `key` itself bound at its `let` binding (`let n = (…).min(…)`,
+/// `let n = hdr.len()`, `let n = 4`)?
+fn bound_at_binding(
+    file: &SourceFile,
+    bodies: &[crate::source::FnBody],
+    site: usize,
+    key: &str,
+) -> bool {
+    let toks = &file.tokens;
+    let Some(body) = bodies.iter().find(|b| b.open < site && site < b.close) else {
+        return false;
+    };
+    let mut i = body.open + 1;
+    while i + 1 < site {
+        if toks[i].is_ident("let") && toks[i + 1].is_ident(key) {
+            let mut j = i + 2;
+            while j < site && !toks[j].is_punct(';') {
+                let t = &toks[j];
+                if t.kind == TokKind::Num
+                    || t.is_ident("len")
+                    || t.is_ident("remaining")
+                    || t.is_ident("min")
+                    || (t.kind == TokKind::Ident && t.text.starts_with("MAX"))
+                {
+                    return true;
+                }
+                j += 1;
+            }
+            i = j;
+        }
+        i += 1;
+    }
+    false
+}

@@ -1,0 +1,137 @@
+//! Rule `codec-exhaustiveness`: every variant of a wire/WAL enum must be
+//! named in both its encode and its decode function.
+//!
+//! A `match` makes the *encode* side exhaustive for free, but the decode
+//! side is a tag dispatch — adding `MetaRecord::NewThing` and forgetting
+//! the decode arm silently turns recovery into data loss. The rule pins
+//! the pairing in [`crate::config::CodecSpec`] and checks that each
+//! variant identifier appears in both function bodies.
+
+use crate::config::CodecSpec;
+use crate::diag::Diagnostic;
+use crate::lexer::{TokKind, Token};
+use crate::source::{fn_bodies, match_delim, SourceFile};
+
+/// Extract the variant names of `enum_name` from a lexed file. Returns
+/// `None` when the enum is not declared there (spec drift — reported by
+/// the caller).
+pub fn enum_variants(file: &SourceFile, enum_name: &str) -> Option<(u32, Vec<String>)> {
+    let toks = &file.tokens;
+    let mut i = 0;
+    while i + 2 < toks.len() {
+        if toks[i].is_ident("enum") && toks[i + 1].is_ident(enum_name) {
+            // Skip generics/derive-free header to the body `{`.
+            let mut j = i + 2;
+            while j < toks.len() && !toks[j].is_punct('{') {
+                j += 1;
+            }
+            if j >= toks.len() {
+                return None;
+            }
+            let close = match_delim(toks, j);
+            return Some((toks[i].line, variants_in(&toks[j + 1..close])));
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Variant identifiers at depth 0 of an enum body: the first ident of
+/// each comma-separated entry, with `#[…]` attributes and payloads
+/// (`(…)`, `{…}`, `= disc`) skipped.
+fn variants_in(body: &[Token]) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    let mut expect_variant = true;
+    while i < body.len() {
+        let t = &body[i];
+        match t.text.as_str() {
+            "#" if body.get(i + 1).is_some_and(|n| n.is_punct('[')) => {
+                let close = match_delim(body, i + 1);
+                i = close + 1;
+                continue;
+            }
+            "(" | "{" | "[" => {
+                i = match_delim(body, i) + 1;
+                continue;
+            }
+            "," => expect_variant = true,
+            _ => {
+                if expect_variant && t.kind == TokKind::Ident {
+                    out.push(t.text.clone());
+                    expect_variant = false;
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Idents mentioned in all bodies of fns named `fn_name` within `file`
+/// (several same-named methods merge — presence in any body counts).
+fn fn_mentions(file: &SourceFile, fn_name: &str) -> Option<Vec<String>> {
+    let toks = &file.tokens;
+    let mut found = false;
+    let mut out = Vec::new();
+    for body in fn_bodies(toks) {
+        if body.name != fn_name {
+            continue;
+        }
+        found = true;
+        for t in &toks[body.open + 1..body.close] {
+            if t.kind == TokKind::Ident {
+                out.push(t.text.clone());
+            }
+        }
+    }
+    found.then_some(out)
+}
+
+/// Check one codec pairing. `lookup` resolves a workspace-relative path
+/// to its lexed file.
+pub fn check<'a>(
+    spec: &CodecSpec,
+    lookup: impl Fn(&str) -> Option<&'a SourceFile>,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let Some(enum_src) = lookup(&spec.enum_file) else {
+        return vec![drift(spec, &spec.enum_file, "file not found")];
+    };
+    let Some((enum_line, variants)) = enum_variants(enum_src, &spec.enum_name) else {
+        return vec![drift(spec, &spec.enum_file, "enum not found")];
+    };
+    for (side, (file, fn_name)) in [("encode", &spec.encode), ("decode", &spec.decode)] {
+        let Some(src) = lookup(file) else {
+            out.push(drift(spec, file, "file not found"));
+            continue;
+        };
+        let Some(mentions) = fn_mentions(src, fn_name) else {
+            out.push(drift(spec, file, &format!("fn {fn_name} not found")));
+            continue;
+        };
+        for v in &variants {
+            if !mentions.contains(v) {
+                out.push(Diagnostic {
+                    rule: "codec-exhaustiveness",
+                    rel: spec.enum_file.clone(),
+                    line: enum_line,
+                    msg: format!(
+                        "{}::{} has no {} arm in {} ({})",
+                        spec.enum_name, v, side, fn_name, file
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+fn drift(spec: &CodecSpec, file: &str, what: &str) -> Diagnostic {
+    Diagnostic {
+        rule: "codec-exhaustiveness",
+        rel: file.to_string(),
+        line: 1,
+        msg: format!("codec spec for {} is stale: {what}", spec.enum_name),
+    }
+}

@@ -1,0 +1,145 @@
+//! Rule `crate-layering`: the dependency DAG is policy, not accident.
+//!
+//! Three checks per crate:
+//! 1. `[dependencies]` in `Cargo.toml` ⊆ the allowed internal + external
+//!    lists (a hand-rolled section scanner — the build env has no TOML
+//!    crate, and manifests here are simple).
+//! 2. Source references to `datacell_*` crates ⊆ the allowed internal
+//!    list (catches a path dependency smuggled through an already-declared
+//!    transitive crate).
+//! 3. No-I/O paths never name `std::{io, fs, net, process}` — `protocol`
+//!    stays a pure framing layer, `storage` delegates durability to `wal`.
+
+use crate::config::{Config, CrateSpec};
+use crate::diag::Diagnostic;
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+
+/// Dependency names declared in the `[dependencies]` section of a
+/// manifest (handles `name = …`, `name.workspace = true`, and
+/// `[dependencies.name]` headers).
+pub fn manifest_deps(toml: &str) -> Vec<String> {
+    let mut deps = Vec::new();
+    let mut in_deps = false;
+    for line in toml.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix('[') {
+            let section = rest.trim_end_matches(']');
+            if let Some(name) = section.strip_prefix("dependencies.") {
+                deps.push(name.trim().to_string());
+                in_deps = false;
+            } else {
+                in_deps = section == "dependencies";
+            }
+            continue;
+        }
+        if !in_deps || line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(eq) = line.find('=') {
+            let key = line[..eq].trim();
+            let name = key.split('.').next().unwrap_or(key).trim();
+            if !name.is_empty() {
+                deps.push(name.to_string());
+            }
+        }
+    }
+    deps
+}
+
+/// Check one crate's manifest against its spec.
+pub fn check_manifest(spec: &CrateSpec, toml: &str) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let rel = format!("{}/Cargo.toml", spec.dir);
+    for dep in manifest_deps(toml) {
+        let allowed = if dep.starts_with("datacell-") {
+            spec.internal_deps.contains(&dep)
+        } else {
+            spec.external_deps.contains(&dep)
+        };
+        if !allowed {
+            out.push(Diagnostic {
+                rule: "crate-layering",
+                rel: rel.clone(),
+                line: 1,
+                msg: format!(
+                    "{} must not depend on {} (allowed: {})",
+                    spec.name,
+                    dep,
+                    allowed_list(spec)
+                ),
+            });
+        }
+    }
+    out
+}
+
+fn allowed_list(spec: &CrateSpec) -> String {
+    let all: Vec<&str> = spec
+        .internal_deps
+        .iter()
+        .chain(spec.external_deps.iter())
+        .map(String::as_str)
+        .collect();
+    if all.is_empty() { "none".into() } else { all.join(", ") }
+}
+
+/// Check one source file of `spec` for references to other workspace
+/// crates (idents shaped `datacell_x`).
+pub fn check_source(spec: &CrateSpec, file: &SourceFile) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let self_ident = spec.name.replace('-', "_");
+    for t in &file.tokens {
+        if t.kind != TokKind::Ident || !t.text.starts_with("datacell_") {
+            continue;
+        }
+        if t.text == self_ident || file.is_test_line(t.line) {
+            continue;
+        }
+        let as_dep = t.text.replace('_', "-");
+        if !spec.internal_deps.contains(&as_dep) {
+            out.push(Diagnostic {
+                rule: "crate-layering",
+                rel: file.rel.clone(),
+                line: t.line,
+                msg: format!(
+                    "{} references {} outside its layer (allowed: {})",
+                    spec.name,
+                    as_dep,
+                    allowed_list(spec)
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Check a no-I/O file for `std::{io, fs, net, process}` references.
+pub fn check_no_io(file: &SourceFile, _config: &Config) -> Vec<Diagnostic> {
+    const BANNED: &[&str] = &["io", "fs", "net", "process"];
+    let mut out = Vec::new();
+    let toks = &file.tokens;
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("std") || file.is_test_line(toks[i].line) {
+            continue;
+        }
+        if i + 3 < toks.len()
+            && toks[i + 1].is_punct(':')
+            && toks[i + 2].is_punct(':')
+            && toks[i + 3].kind == TokKind::Ident
+            && BANNED.contains(&toks[i + 3].text.as_str())
+        {
+            out.push(Diagnostic {
+                rule: "crate-layering",
+                rel: file.rel.clone(),
+                line: toks[i].line,
+                msg: format!(
+                    "std::{} in an I/O-free layer — move the side effect behind the \
+                     owning subsystem",
+                    toks[i + 3].text
+                ),
+            });
+        }
+    }
+    out
+}

@@ -1,0 +1,255 @@
+//! Rule `lock-order`: build the held-while-acquiring graph and report
+//! cycles.
+//!
+//! Token-level approximation: an acquisition is a `.lock()` / `.read()` /
+//! `.write()` call with empty parens (the std/parking_lot shapes; I/O
+//! `read`/`write` always take a buffer argument and never match). The
+//! *lock class* is the last identifier of the receiver chain
+//! (`self.engine.lock()` → `engine`), optionally normalized through
+//! [`Config::lock_classes`]. A guard is *held* from its acquisition to
+//! the end of the enclosing block when `let`-bound, or to the end of the
+//! statement when temporary. Every acquisition B inside the hold range of
+//! an earlier acquisition A (of a different class) adds the edge A → B;
+//! a cycle in the resulting graph is a potential deadlock.
+//!
+//! Same-class pairs (two baskets locked in sequence) are skipped: ordering
+//! within a class needs runtime information a lexer does not have.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::config::Config;
+use crate::diag::Diagnostic;
+use crate::source::{fn_bodies, match_delim, SourceFile};
+
+const ACQUIRE: &[&str] = &["lock", "read", "write"];
+
+/// One lock acquisition site.
+#[derive(Debug, Clone)]
+struct Acq {
+    class: String,
+    line: u32,
+    tok: usize,
+    live_end: usize,
+}
+
+/// One directed edge with an example site.
+#[derive(Debug, Clone)]
+pub struct Edge {
+    /// Lock class held.
+    pub from: String,
+    /// Lock class acquired while holding `from`.
+    pub to: String,
+    /// File of the example.
+    pub rel: String,
+    /// Line of the held acquisition.
+    pub from_line: u32,
+    /// Line of the nested acquisition.
+    pub to_line: u32,
+    /// Enclosing function.
+    pub in_fn: String,
+}
+
+/// Collect held-while-acquiring edges from one file.
+pub fn collect_edges(file: &SourceFile, config: &Config) -> Vec<Edge> {
+    let toks = &file.tokens;
+    let mut edges = Vec::new();
+    for body in fn_bodies(toks) {
+        let mut acqs: Vec<Acq> = Vec::new();
+        let mut i = body.open + 1;
+        while i + 3 <= body.close {
+            let is_acquire = toks[i].is_punct('.')
+                && ACQUIRE.contains(&toks[i + 1].text.as_str())
+                && toks[i + 2].is_punct('(')
+                && toks[i + 3].is_punct(')');
+            if !is_acquire {
+                i += 1;
+                continue;
+            }
+            if let Some(name) = receiver_name(file, i) {
+                let class = config
+                    .lock_classes
+                    .iter()
+                    .find(|(n, _)| *n == name)
+                    .map(|(_, c)| c.clone())
+                    .unwrap_or(name);
+                let bound = is_let_bound(file, i);
+                let live_end = if bound {
+                    enclosing_block_close(toks, body.open, i)
+                } else {
+                    statement_end(file, i, body.close)
+                };
+                acqs.push(Acq { class, line: toks[i].line, tok: i, live_end });
+            }
+            i += 4;
+        }
+        for a in 0..acqs.len() {
+            for b in a + 1..acqs.len() {
+                if acqs[b].tok <= acqs[a].live_end && acqs[a].class != acqs[b].class {
+                    edges.push(Edge {
+                        from: acqs[a].class.clone(),
+                        to: acqs[b].class.clone(),
+                        rel: file.rel.clone(),
+                        from_line: acqs[a].line,
+                        to_line: acqs[b].line,
+                        in_fn: body.name.clone(),
+                    });
+                }
+            }
+        }
+    }
+    edges
+}
+
+/// Last identifier of the receiver chain ending at the `.` token `dot`.
+fn receiver_name(file: &SourceFile, dot: usize) -> Option<String> {
+    let toks = &file.tokens;
+    let mut j = dot.checked_sub(1)?;
+    // Skip `?` propagation between the receiver and the call.
+    while toks[j].is_punct('?') {
+        j = j.checked_sub(1)?;
+    }
+    if toks[j].is_punct(')') || toks[j].is_punct(']') {
+        // Method call / index: scan back to the matching opener, then take
+        // the identifier before it (the method name).
+        let close_ch = toks[j].text.as_bytes()[0];
+        let open_ch = if close_ch == b')' { '(' } else { '[' };
+        let mut depth = 0i64;
+        loop {
+            let t = &toks[j];
+            if t.is_punct(close_ch as char) {
+                depth += 1;
+            } else if t.is_punct(open_ch) {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            j = j.checked_sub(1)?;
+        }
+        j = j.checked_sub(1)?;
+    }
+    let t = &toks[j];
+    if t.kind == crate::lexer::TokKind::Ident && t.text != "self" {
+        Some(t.text.clone())
+    } else if t.is_ident("self") {
+        Some("self".into())
+    } else {
+        None
+    }
+}
+
+/// Is the statement containing token `i` a `let` binding?
+fn is_let_bound(file: &SourceFile, i: usize) -> bool {
+    let toks = &file.tokens;
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        match toks[j].text.as_str() {
+            ";" | "{" | "}" => {
+                return toks.get(j + 1).is_some_and(|t| t.is_ident("let"));
+            }
+            _ => {}
+        }
+    }
+    false
+}
+
+/// Token index of the `}` closing the innermost block containing `i`.
+fn enclosing_block_close(toks: &[crate::lexer::Token], body_open: usize, i: usize) -> usize {
+    let mut stack = vec![body_open];
+    let mut j = body_open + 1;
+    while j < i {
+        if toks[j].is_punct('{') {
+            stack.push(j);
+        } else if toks[j].is_punct('}') {
+            stack.pop();
+        }
+        j += 1;
+    }
+    stack.last().map_or(toks.len(), |&open| match_delim(toks, open))
+}
+
+/// Token index ending the statement containing `i` (next `;`, or the end
+/// of the function body).
+fn statement_end(file: &SourceFile, i: usize, body_close: usize) -> usize {
+    let toks = &file.tokens;
+    let mut j = i;
+    while j < body_close {
+        if toks[j].is_punct(';') {
+            return j;
+        }
+        j += 1;
+    }
+    body_close
+}
+
+/// Find cycles in the merged edge set and render diagnostics.
+pub fn cycles(edges: &[Edge]) -> Vec<Diagnostic> {
+    // Adjacency with one example edge per (from, to).
+    let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    let mut example: BTreeMap<(&str, &str), &Edge> = BTreeMap::new();
+    for e in edges {
+        adj.entry(&e.from).or_default().insert(&e.to);
+        example.entry((&e.from, &e.to)).or_insert(e);
+    }
+    let nodes: Vec<&str> = adj.keys().copied().collect();
+    let mut out = Vec::new();
+    let mut reported: BTreeSet<Vec<&str>> = BTreeSet::new();
+    // DFS from each node looking for a path back to it (graphs here are
+    // tiny: a handful of lock classes).
+    for &start in &nodes {
+        let mut stack = vec![(start, vec![start])];
+        while let Some((node, path)) = stack.pop() {
+            for &next in adj.get(node).into_iter().flatten() {
+                if next == start {
+                    let mut canon = path.clone();
+                    let min = canon
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, n)| **n)
+                        .map(|(i, _)| i)
+                        .unwrap_or(0);
+                    canon.rotate_left(min);
+                    if !reported.insert(canon) {
+                        continue;
+                    }
+                    let mut msg = String::from("lock-order cycle: ");
+                    for w in 0..path.len() {
+                        let from = path[w];
+                        let to = if w + 1 < path.len() { path[w + 1] } else { start };
+                        let e = example[&(from, to)];
+                        msg.push_str(&format!(
+                            "{} → {} ({}:{} in {}), ",
+                            from, to, e.rel, e.from_line, e.in_fn
+                        ));
+                    }
+                    msg.truncate(msg.len() - 2);
+                    let e = example[&(start, *adj[&start].iter().next().unwrap_or(&start))];
+                    let first = example
+                        .get(&(start, path.get(1).copied().unwrap_or(start)))
+                        .unwrap_or(&e);
+                    out.push(Diagnostic {
+                        rule: "lock-order",
+                        rel: first.rel.clone(),
+                        line: first.from_line,
+                        msg,
+                    });
+                } else if !path.contains(&next) {
+                    let mut p = path.clone();
+                    p.push(next);
+                    stack.push((next, p));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Run the rule over a set of files.
+pub fn check(files: &[&SourceFile], config: &Config) -> Vec<Diagnostic> {
+    let mut edges = Vec::new();
+    for f in files {
+        edges.extend(collect_edges(f, config));
+    }
+    cycles(&edges)
+}

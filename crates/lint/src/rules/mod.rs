@@ -1,0 +1,9 @@
+//! The five shipped rules. Each module exposes `check(…) -> Vec<Diagnostic>`
+//! over lexed sources; wiring (path policy, allow filtering) lives in
+//! [`crate::run`].
+
+pub mod bounded_decode;
+pub mod codec;
+pub mod layering;
+pub mod lock_order;
+pub mod panic_freedom;

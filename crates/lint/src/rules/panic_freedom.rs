@@ -1,0 +1,58 @@
+//! Rule `panic-freedom`: no `unwrap`/`expect`/`panic!`/`unreachable!`/
+//! `todo!`/`unimplemented!` in deny-path live code. `#[cfg(test)]` items
+//! are exempt — tests may assert as loudly as they like; the engine's
+//! durability and wire paths must degrade to `Result`, never abort.
+
+use crate::config::Config;
+use crate::diag::Diagnostic;
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+
+const PANIC_METHODS: &[&str] = &["unwrap", "expect"];
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Run the rule over one file (the caller has matched the deny path).
+pub fn check(file: &SourceFile, _config: &Config) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let toks = &file.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || file.is_test_line(t.line) {
+            continue;
+        }
+        let prev_dot = i > 0 && toks[i - 1].is_punct('.');
+        let next = toks.get(i + 1);
+        if PANIC_METHODS.contains(&t.text.as_str())
+            && prev_dot
+            && next.is_some_and(|n| n.is_punct('('))
+        {
+            out.push(Diagnostic {
+                rule: "panic-freedom",
+                rel: file.rel.clone(),
+                line: t.line,
+                msg: format!(
+                    ".{}() can panic in a deny path — propagate a Result or add \
+                     `// lint:allow(panic-freedom): <reason>`",
+                    t.text
+                ),
+            });
+        }
+        if PANIC_MACROS.contains(&t.text.as_str())
+            && !prev_dot
+            && next.is_some_and(|n| n.is_punct('!'))
+        {
+            // `debug_assert!`-style macros lex as one ident and never get
+            // here; `write!`/`vec!` are not in the list.
+            out.push(Diagnostic {
+                rule: "panic-freedom",
+                rel: file.rel.clone(),
+                line: t.line,
+                msg: format!(
+                    "{}! aborts the engine in a deny path — return an error or add \
+                     `// lint:allow(panic-freedom): <reason>`",
+                    t.text
+                ),
+            });
+        }
+    }
+    out
+}

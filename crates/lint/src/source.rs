@@ -1,0 +1,146 @@
+//! A lexed source file plus the structural facts the rules share:
+//! `#[cfg(test)]` regions, function bodies, and brace matching.
+
+use crate::lexer::{lex, AllowDirective, Token};
+
+/// One lexed workspace file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path relative to the workspace root, `/`-separated.
+    pub rel: String,
+    /// Token stream (comments/strings stripped).
+    pub tokens: Vec<Token>,
+    /// `lint:allow` directives found in comments.
+    pub allows: Vec<AllowDirective>,
+    /// Line spans (inclusive) covered by `#[cfg(test)]` items.
+    test_spans: Vec<(u32, u32)>,
+}
+
+impl SourceFile {
+    /// Lex `text` and compute structural facts.
+    pub fn parse(rel: impl Into<String>, text: &str) -> SourceFile {
+        let lexed = lex(text);
+        let test_spans = find_cfg_test_spans(&lexed.tokens);
+        SourceFile { rel: rel.into(), tokens: lexed.tokens, allows: lexed.allows, test_spans }
+    }
+
+    /// Is `line` inside a `#[cfg(test)]` item?
+    pub fn is_test_line(&self, line: u32) -> bool {
+        self.test_spans.iter().any(|&(a, b)| a <= line && line <= b)
+    }
+}
+
+/// Index of the matching close for the open delimiter at `open` (`{`/`(`/
+/// `[`), or `tokens.len()` when unterminated. Counts all three delimiter
+/// kinds together, which is exact for well-formed Rust.
+pub fn match_delim(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0i64;
+    for (off, t) in tokens[open..].iter().enumerate() {
+        match t.text.as_str() {
+            "{" | "(" | "[" => depth += 1,
+            "}" | ")" | "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    return open + off;
+                }
+            }
+            _ => {}
+        }
+    }
+    tokens.len()
+}
+
+/// Line spans covered by items annotated `#[cfg(test)]`.
+fn find_cfg_test_spans(tokens: &[Token]) -> Vec<(u32, u32)> {
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i + 6 < tokens.len() {
+        let is_cfg_test = tokens[i].is_punct('#')
+            && tokens[i + 1].is_punct('[')
+            && tokens[i + 2].is_ident("cfg")
+            && tokens[i + 3].is_punct('(')
+            && tokens[i + 4].is_ident("test")
+            && tokens[i + 5].is_punct(')')
+            && tokens[i + 6].is_punct(']');
+        if !is_cfg_test {
+            i += 1;
+            continue;
+        }
+        let start_line = tokens[i].line;
+        // Skip this and any further attributes, then find the item's end:
+        // the matching `}` of its first brace, or a `;` (e.g. `mod m;`).
+        let mut j = i + 7;
+        while j + 1 < tokens.len() && tokens[j].is_punct('#') && tokens[j + 1].is_punct('[') {
+            j = match_delim(tokens, j + 1) + 1;
+        }
+        let mut end = tokens.len().saturating_sub(1);
+        while j < tokens.len() {
+            if tokens[j].is_punct('{') {
+                end = match_delim(tokens, j).min(tokens.len() - 1);
+                break;
+            }
+            if tokens[j].is_punct(';') {
+                end = j;
+                break;
+            }
+            j += 1;
+        }
+        let end_line = tokens.get(end).map_or(start_line, |t| t.line);
+        spans.push((start_line, end_line));
+        i = end.max(i) + 1;
+    }
+    spans
+}
+
+/// One `fn` item: its name and body token range (exclusive of braces).
+#[derive(Debug)]
+pub struct FnBody {
+    /// Function name.
+    pub name: String,
+    /// Line of the `fn` keyword.
+    pub line: u32,
+    /// Token index of the body's `{`.
+    pub open: usize,
+    /// Token index of the body's matching `}`.
+    pub close: usize,
+}
+
+/// Extract every `fn` item body in the file (methods included).
+pub fn fn_bodies(tokens: &[Token]) -> Vec<FnBody> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].is_ident("fn") && i + 1 < tokens.len() {
+            let name = tokens[i + 1].text.clone();
+            let line = tokens[i].line;
+            // The body `{` is the first `{` at delimiter depth 0 after the
+            // signature (skipping parens/brackets of params, generics are
+            // `<`/`>` puncts which we can ignore, and where-clauses hold
+            // no braces).
+            let mut j = i + 2;
+            let mut open = None;
+            while j < tokens.len() {
+                match tokens[j].text.as_str() {
+                    "(" | "[" => j = match_delim(tokens, j),
+                    "{" => {
+                        open = Some(j);
+                        break;
+                    }
+                    ";" => break, // trait method declaration, no body
+                    _ => {}
+                }
+                j += 1;
+            }
+            if let Some(open) = open {
+                let close = match_delim(tokens, open);
+                out.push(FnBody { name, line, open, close });
+                // Continue *inside* the body too: nested fns are rare but
+                // closures are not fn items, so just advance past `fn name`.
+            }
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}

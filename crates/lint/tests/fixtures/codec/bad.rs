@@ -1,0 +1,22 @@
+// Fixture: `Checkpoint` encodes but never decodes — replay would drop it.
+pub enum RecordKind {
+    Insert,
+    Delete,
+    Checkpoint,
+}
+
+pub fn encode(k: &RecordKind) -> u8 {
+    match k {
+        RecordKind::Insert => 1,
+        RecordKind::Delete => 2,
+        RecordKind::Checkpoint => 3,
+    }
+}
+
+pub fn decode(tag: u8) -> Option<RecordKind> {
+    match tag {
+        1 => Some(RecordKind::Insert),
+        2 => Some(RecordKind::Delete),
+        _ => None,
+    }
+}

@@ -1,0 +1,25 @@
+// Fixture: every variant appears on both sides (attrs and payloads are
+// skipped when extracting variants).
+pub enum RecordKind {
+    Insert { rows: u32 },
+    Delete(u64),
+    #[doc = "full snapshot marker"]
+    Checkpoint,
+}
+
+pub fn encode(k: &RecordKind) -> u8 {
+    match k {
+        RecordKind::Insert { .. } => 1,
+        RecordKind::Delete(_) => 2,
+        RecordKind::Checkpoint => 3,
+    }
+}
+
+pub fn decode(tag: u8) -> Option<RecordKind> {
+    match tag {
+        1 => Some(RecordKind::Insert { rows: 0 }),
+        2 => Some(RecordKind::Delete(0)),
+        3 => Some(RecordKind::Checkpoint),
+        _ => None,
+    }
+}

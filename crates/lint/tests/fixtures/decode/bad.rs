@@ -1,0 +1,15 @@
+// Fixture: wire-controlled lengths reach the allocator unchecked.
+pub fn decode(r: &mut Reader) -> Result<Vec<u8>, Error> {
+    let n = r.u32()? as usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(r.u8()?);
+    }
+    Ok(out)
+}
+
+pub fn decode_rows(r: &mut Reader) -> Result<Vec<u64>, Error> {
+    let count = r.u32()? as usize;
+    let rows = vec![0u64; count];
+    Ok(rows)
+}

@@ -1,0 +1,28 @@
+// Fixture: the same allocations, bounded first.
+pub fn decode(r: &mut Reader) -> Result<Vec<u8>, Error> {
+    let n = r.u32()? as usize;
+    if n > r.remaining() {
+        return Err(Error::Corrupt);
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(r.u8()?);
+    }
+    Ok(out)
+}
+
+pub fn decode_rows(r: &mut Reader) -> Result<Vec<u64>, Error> {
+    let count = (r.u32()? as usize).min(r.remaining() / 8);
+    let rows = vec![0u64; count];
+    Ok(rows)
+}
+
+pub fn header() -> Vec<u8> {
+    Vec::with_capacity(HEADER_BYTES * 2)
+}
+
+pub fn copy_of(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len());
+    out.extend_from_slice(payload);
+    out
+}

@@ -1,0 +1,8 @@
+// Fixture: a "storage-layer" file reaching up into the engine and doing
+// file I/O.
+use datacell_core::Engine;
+use std::fs::File;
+
+pub fn peek(engine: &Engine) -> File {
+    engine.open_data_file()
+}

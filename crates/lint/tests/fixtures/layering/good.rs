@@ -1,0 +1,7 @@
+// Fixture: a storage-layer file staying in its layer — only allowed
+// internal deps, no I/O.
+use datacell_storage::Bat;
+
+pub fn width(bat: &Bat) -> usize {
+    bat.len()
+}

@@ -1,0 +1,13 @@
+// Fixture: a seeded lock-order cycle. `transfer` holds catalog while
+// taking sessions; `report` holds sessions while taking catalog.
+pub fn transfer(engine: &Engine) {
+    let cat = engine.catalog.lock();
+    let sess = engine.sessions.lock();
+    cat.apply(&sess);
+}
+
+pub fn report(engine: &Engine) {
+    let sess = engine.sessions.lock();
+    let cat = engine.catalog.lock();
+    sess.render(&cat);
+}

@@ -1,0 +1,19 @@
+// Fixture: consistent ordering — catalog before sessions everywhere —
+// plus a temporary guard whose hold ends at the statement.
+pub fn transfer(engine: &Engine) {
+    let cat = engine.catalog.lock();
+    let sess = engine.sessions.lock();
+    cat.apply(&sess);
+}
+
+pub fn report(engine: &Engine) {
+    let cat = engine.catalog.lock();
+    let sess = engine.sessions.lock();
+    sess.render(&cat);
+}
+
+pub fn tick(engine: &Engine) {
+    engine.sessions.lock().bump();
+    let cat = engine.catalog.lock();
+    cat.flush();
+}

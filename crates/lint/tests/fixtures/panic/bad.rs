@@ -1,0 +1,17 @@
+// Fixture: panic-freedom violations in live code.
+pub fn read_len(buf: &[u8]) -> u32 {
+    let raw: [u8; 4] = buf[..4].try_into().unwrap();
+    u32::from_le_bytes(raw)
+}
+
+pub fn route(tag: u8) -> &'static str {
+    match tag {
+        1 => "meta",
+        2 => "stream",
+        _ => unreachable!("bad tag"),
+    }
+}
+
+pub fn checked(v: Option<u32>) -> u32 {
+    v.expect("caller validated")
+}

@@ -1,0 +1,26 @@
+// Fixture: the same shapes, panic-free or justified.
+pub fn read_len(buf: &[u8]) -> Option<u32> {
+    let raw: [u8; 4] = buf.get(..4)?.try_into().ok()?;
+    Some(u32::from_le_bytes(raw))
+}
+
+pub fn checked(v: Option<u32>) -> u32 {
+    // lint:allow(panic-freedom): fixture demonstrating a justified own-line allow
+    v.unwrap()
+}
+
+pub fn trailing(v: Option<u32>) -> u32 {
+    v.expect("validated") // lint:allow(panic-freedom): fixture demonstrating a trailing allow
+}
+
+// A string mentioning .unwrap() and a doc example are not findings:
+pub const HINT: &str = "never call .unwrap() here";
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn asserts_freely() {
+        assert_eq!(Some(1).unwrap(), 1);
+        Option::<u32>::None.map(|v| v).unwrap_or_else(|| panic!("fine in tests"));
+    }
+}

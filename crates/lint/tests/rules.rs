@@ -1,0 +1,191 @@
+//! Rule-level fixture tests plus the live-workspace self-check.
+//!
+//! Each rule gets a bad fixture (exact diagnostics asserted) and a good
+//! fixture (must stay clean); the final test lints the real workspace
+//! under the shipped policy and requires zero findings — the same gate CI
+//! runs via `scripts/lint.sh`.
+
+use std::fs;
+use std::path::Path;
+
+use datacell_lint::config::{CodecSpec, Config, CrateSpec};
+use datacell_lint::diag::{filter_allows, RULES};
+use datacell_lint::rules;
+use datacell_lint::source::SourceFile;
+use datacell_lint::{run, Workspace};
+
+fn fixture(rel: &str) -> SourceFile {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(rel);
+    SourceFile::parse(rel, &fs::read_to_string(path).unwrap())
+}
+
+fn storage_spec() -> CrateSpec {
+    CrateSpec {
+        name: "datacell-storage".into(),
+        dir: "crates/storage".into(),
+        internal_deps: vec![],
+        external_deps: vec!["parking_lot".into()],
+    }
+}
+
+#[test]
+fn panic_freedom_fires_on_bad() {
+    let f = fixture("panic/bad.rs");
+    let diags = rules::panic_freedom::check(&f, &Config::bare("."));
+    let hits: Vec<(u32, &str)> = diags.iter().map(|d| (d.line, d.rule)).collect();
+    assert_eq!(
+        hits,
+        vec![(3, "panic-freedom"), (11, "panic-freedom"), (16, "panic-freedom")]
+    );
+    assert!(diags[0].msg.contains(".unwrap()"));
+    assert!(diags[1].msg.contains("unreachable!"));
+    assert!(diags[2].msg.contains(".expect()"));
+}
+
+#[test]
+fn panic_freedom_clean_on_good() {
+    let f = fixture("panic/good.rs");
+    let diags = filter_allows(&f, rules::panic_freedom::check(&f, &Config::bare(".")), true);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn lock_order_reports_seeded_cycle() {
+    let f = fixture("lock/bad.rs");
+    let diags = rules::lock_order::check(&[&f], &Config::bare("."));
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    let msg = &diags[0].msg;
+    assert!(msg.contains("cycle"), "{msg}");
+    assert!(msg.contains("catalog") && msg.contains("sessions"), "{msg}");
+    assert!(msg.contains("transfer") && msg.contains("report"), "{msg}");
+}
+
+#[test]
+fn lock_order_clean_on_consistent_order() {
+    let f = fixture("lock/good.rs");
+    let diags = rules::lock_order::check(&[&f], &Config::bare("."));
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn bounded_decode_fires_on_unguarded_allocs() {
+    let f = fixture("decode/bad.rs");
+    let diags = rules::bounded_decode::check(&f, &Config::bare("."));
+    let hits: Vec<(u32, &str)> = diags.iter().map(|d| (d.line, d.rule)).collect();
+    assert_eq!(hits, vec![(4, "bounded-decode"), (13, "bounded-decode")]);
+    assert!(diags[0].msg.contains("`n`"), "{}", diags[0].msg);
+    assert!(diags[1].msg.contains("`count`"), "{}", diags[1].msg);
+}
+
+#[test]
+fn bounded_decode_clean_on_guarded_allocs() {
+    let f = fixture("decode/good.rs");
+    let diags = rules::bounded_decode::check(&f, &Config::bare("."));
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn codec_flags_missing_decode_arm() {
+    let f = fixture("codec/bad.rs");
+    let spec = CodecSpec {
+        enum_file: "codec/bad.rs".into(),
+        enum_name: "RecordKind".into(),
+        encode: ("codec/bad.rs".into(), "encode".into()),
+        decode: ("codec/bad.rs".into(), "decode".into()),
+    };
+    let diags = rules::codec::check(&spec, |rel| (rel == f.rel).then_some(&f));
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert!(diags[0].msg.contains("Checkpoint"), "{}", diags[0].msg);
+    assert!(diags[0].msg.contains("decode"), "{}", diags[0].msg);
+}
+
+#[test]
+fn codec_clean_when_exhaustive() {
+    let f = fixture("codec/good.rs");
+    let spec = CodecSpec {
+        enum_file: "codec/good.rs".into(),
+        enum_name: "RecordKind".into(),
+        encode: ("codec/good.rs".into(), "encode".into()),
+        decode: ("codec/good.rs".into(), "decode".into()),
+    };
+    let diags = rules::codec::check(&spec, |rel| (rel == f.rel).then_some(&f));
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn layering_flags_cross_layer_reference_and_io() {
+    let spec = storage_spec();
+    let bad = fixture("layering/bad.rs");
+    let cfg = Config::bare(".");
+
+    let diags = rules::layering::check_source(&spec, &bad);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].line, 3);
+    assert!(diags[0].msg.contains("datacell-core"), "{}", diags[0].msg);
+
+    let io = rules::layering::check_no_io(&bad, &cfg);
+    assert_eq!(io.len(), 1, "{io:?}");
+    assert_eq!(io[0].line, 4);
+    assert!(io[0].msg.contains("std::fs"), "{}", io[0].msg);
+
+    let good = fixture("layering/good.rs");
+    assert!(rules::layering::check_source(&spec, &good).is_empty());
+    assert!(rules::layering::check_no_io(&good, &cfg).is_empty());
+}
+
+#[test]
+fn layering_flags_undeclared_manifest_dep() {
+    let toml = "[package]\nname = \"datacell-storage\"\n\n[dependencies]\n\
+                datacell-core = { workspace = true }\nparking_lot = { workspace = true }\n";
+    let diags = rules::layering::check_manifest(&storage_spec(), toml);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert!(diags[0].msg.contains("datacell-core"), "{}", diags[0].msg);
+}
+
+#[test]
+fn allow_without_reason_is_a_finding() {
+    let src = "fn f(v: Option<u32>) -> u32 {\n    // lint:allow(panic-freedom)\n    v.unwrap()\n}\n";
+    let f = SourceFile::parse("inline.rs", src);
+    let diags = filter_allows(&f, rules::panic_freedom::check(&f, &Config::bare(".")), true);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].rule, "allow-syntax");
+    assert!(diags[0].msg.contains("justification"), "{}", diags[0].msg);
+}
+
+#[test]
+fn allow_with_unknown_rule_is_a_finding() {
+    let src = "// lint:allow(made-up): because\nfn g() {}\n";
+    let f = SourceFile::parse("inline.rs", src);
+    let diags = filter_allows(&f, Vec::new(), true);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert!(diags[0].msg.contains("unknown rule"), "{}", diags[0].msg);
+}
+
+#[test]
+fn unused_allow_is_a_finding() {
+    let src = "fn h() -> u32 {\n    // lint:allow(panic-freedom): stale excuse\n    4\n}\n";
+    let f = SourceFile::parse("inline.rs", src);
+    let diags = filter_allows(&f, Vec::new(), true);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert!(diags[0].msg.contains("unused"), "{}", diags[0].msg);
+}
+
+#[test]
+fn unused_allow_not_checked_under_rule_subset() {
+    let src = "fn h() -> u32 {\n    // lint:allow(panic-freedom): held for the full run\n    4\n}\n";
+    let f = SourceFile::parse("inline.rs", src);
+    assert!(filter_allows(&f, Vec::new(), false).is_empty());
+}
+
+#[test]
+fn live_workspace_lints_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let ws = Workspace::load(Config::datacell(root)).unwrap();
+    let active: Vec<String> = RULES.iter().map(|r| r.to_string()).collect();
+    let diags = run(&ws, &active);
+    assert!(
+        diags.is_empty(),
+        "live workspace must lint clean:\n{}",
+        diags.iter().map(|d| d.render()).collect::<Vec<_>>().join("\n")
+    );
+}

@@ -21,6 +21,7 @@
 //!   `datacell-core`'s factory; this module is purely the plan transform
 //!   plus the partial-state algebra.
 
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 
 use datacell_algebra::{AggState, JoinKey};
@@ -199,11 +200,14 @@ impl PartialAgg {
                 .iter()
                 .map(|k| JoinKey::from_value(&k.get_at(row)))
                 .collect();
-            if !self.groups.contains_key(&key) {
-                let values: Vec<Value> = keys.iter().map(|k| k.get_at(row)).collect();
-                self.entry(key.clone(), values, aggs);
-            }
-            let states = &mut self.groups.get_mut(&key).expect("just inserted").1;
+            // `entry` ignores `values` for an existing group, so only
+            // materialize them when the key is new.
+            let values: Vec<Value> = if self.groups.contains_key(&key) {
+                Vec::new()
+            } else {
+                keys.iter().map(|k| k.get_at(row)).collect()
+            };
+            let states = self.entry(key, values, aggs);
             for (slot, _spec) in aggs.iter().enumerate() {
                 match &args[slot] {
                     Some(vals) => states[slot].update(&vals.get_at(row)),
@@ -220,12 +224,14 @@ impl PartialAgg {
         values: Vec<Value>,
         aggs: &[AggSpec],
     ) -> &mut Vec<AggState> {
-        if !self.groups.contains_key(&key) {
-            let states = aggs.iter().map(|a| AggState::new(a.kind)).collect();
-            self.groups.insert(key.clone(), (values, states));
-            self.order.push(key.clone());
+        match self.groups.entry(key) {
+            Entry::Occupied(e) => &mut e.into_mut().1,
+            Entry::Vacant(e) => {
+                self.order.push(e.key().clone());
+                let states = aggs.iter().map(|a| AggState::new(a.kind)).collect();
+                &mut e.insert((values, states)).1
+            }
         }
-        &mut self.groups.get_mut(&key).expect("present").1
     }
 
     /// Merge another partial in (associative, commutative per group).

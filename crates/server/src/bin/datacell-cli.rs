@@ -52,7 +52,13 @@ fn main() {
 
     // Reader thread: print every server line until the connection closes.
     let printer = {
-        let stream = stream.try_clone().expect("clone socket");
+        let stream = match stream.try_clone() {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("datacell-cli: cannot clone socket: {e}");
+                std::process::exit(1);
+            }
+        };
         let saw_err = saw_err.clone();
         std::thread::spawn(move || {
             let mut reader = LineReader::new(stream);

@@ -108,7 +108,7 @@ impl Client {
         }
     }
 
-    fn expect(&mut self, prefix: &str) -> Result<String> {
+    fn expect_reply(&mut self, prefix: &str) -> Result<String> {
         let line = self.read_reply()?;
         line.strip_prefix(prefix)
             .map(|rest| rest.trim().to_owned())
@@ -182,7 +182,7 @@ impl Client {
     }
 
     fn read_query_id(&mut self) -> Result<u64> {
-        let rest = self.expect("OK QUERY ")?;
+        let rest = self.expect_reply("OK QUERY ")?;
         rest.parse()
             .map_err(|_| ClientError::Protocol(format!("bad query id {rest:?}")))
     }
@@ -190,7 +190,7 @@ impl Client {
     /// Deregister a continuous query.
     pub fn deregister(&mut self, id: u64) -> Result<()> {
         self.send_line(&format!("DEREGISTER {id}"))?;
-        self.expect("OK DEREGISTERED ").map(|_| ())
+        self.expect_reply("OK DEREGISTERED ").map(|_| ())
     }
 
     /// Bulk-ingest rows into a stream (the socket-receptor path). Returns
@@ -204,7 +204,7 @@ impl Client {
         block.push_str(PUSH_END);
         block.push('\n');
         self.stream.write_all(block.as_bytes())?;
-        let rest = self.expect("OK PUSHED ")?;
+        let rest = self.expect_reply("OK PUSHED ")?;
         rest.parse()
             .map_err(|_| ClientError::Protocol(format!("bad push count {rest:?}")))
     }
@@ -212,7 +212,7 @@ impl Client {
     /// Full `STATS` report text.
     pub fn stats(&mut self) -> Result<String> {
         self.send_line("STATS")?;
-        let rest = self.expect("STATS ")?;
+        let rest = self.expect_reply("STATS ")?;
         let lines: usize = rest
             .parse()
             .map_err(|_| ClientError::Protocol(format!("bad stats length {rest:?}")))?;
@@ -231,7 +231,7 @@ impl Client {
             Some(n) => self.send_line(&format!("SUBSCRIBE {query} LIMIT {n}"))?,
             None => self.send_line(&format!("SUBSCRIBE {query}"))?,
         }
-        let rest = self.expect("OK SUBSCRIBED ")?;
+        let rest = self.expect_reply("OK SUBSCRIBED ")?;
         let names = match rest.split_once(' ') {
             Some((_id, names)) => decode_names(names)?,
             None => Vec::new(),
@@ -242,13 +242,13 @@ impl Client {
     /// Ask the server to shut down gracefully.
     pub fn shutdown_server(&mut self) -> Result<()> {
         self.send_line("SHUTDOWN")?;
-        self.expect("OK SHUTDOWN").map(|_| ())
+        self.expect_reply("OK SHUTDOWN").map(|_| ())
     }
 
     /// Close the session politely.
     pub fn quit(mut self) -> Result<()> {
         self.send_line("QUIT")?;
-        self.expect("OK BYE").map(|_| ())
+        self.expect_reply("OK BYE").map(|_| ())
     }
 }
 

@@ -87,7 +87,7 @@ impl Parser {
         }
     }
 
-    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<()> {
+    fn expect_token(&mut self, kind: &TokenKind, what: &str) -> Result<()> {
         if self.eat_if(kind) {
             Ok(())
         } else {
@@ -156,7 +156,7 @@ impl Parser {
             false
         };
         let name = self.ident("object name")?;
-        self.expect(&TokenKind::LParen, "'('")?;
+        self.expect_token(&TokenKind::LParen, "'('")?;
         let mut columns = Vec::new();
         loop {
             let col_name = self.ident("column name")?;
@@ -171,7 +171,7 @@ impl Parser {
                 break;
             }
         }
-        self.expect(&TokenKind::RParen, "')'")?;
+        self.expect_token(&TokenKind::RParen, "')'")?;
         Ok(if is_stream {
             Statement::CreateStream { name, columns }
         } else {
@@ -198,7 +198,7 @@ impl Parser {
         // Optional parenthesized length, e.g. VARCHAR(32): parsed, ignored.
         if self.eat_if(&TokenKind::LParen) {
             self.int_literal("type length")?;
-            self.expect(&TokenKind::RParen, "')'")?;
+            self.expect_token(&TokenKind::RParen, "')'")?;
         }
         Ok(ty)
     }
@@ -219,7 +219,7 @@ impl Parser {
         self.expect_kw(Keyword::Values)?;
         let mut rows = Vec::new();
         loop {
-            self.expect(&TokenKind::LParen, "'('")?;
+            self.expect_token(&TokenKind::LParen, "'('")?;
             let mut row = Vec::new();
             loop {
                 row.push(self.expr()?);
@@ -227,7 +227,7 @@ impl Parser {
                     break;
                 }
             }
-            self.expect(&TokenKind::RParen, "')'")?;
+            self.expect_token(&TokenKind::RParen, "')'")?;
             rows.push(row);
             if !self.eat_if(&TokenKind::Comma) {
                 break;
@@ -339,7 +339,7 @@ impl Parser {
         };
         let window = if self.eat_if(&TokenKind::LBracket) {
             let w = self.window_spec()?;
-            self.expect(&TokenKind::RBracket, "']'")?;
+            self.expect_token(&TokenKind::RBracket, "']'")?;
             Some(w)
         } else {
             None
@@ -551,7 +551,7 @@ impl Parser {
             TokenKind::LParen => {
                 self.advance();
                 let e = self.expr()?;
-                self.expect(&TokenKind::RParen, "')'")?;
+                self.expect_token(&TokenKind::RParen, "')'")?;
                 Ok(e)
             }
             TokenKind::Keyword(kw @ (Keyword::Count | Keyword::Sum | Keyword::Avg
@@ -564,7 +564,7 @@ impl Parser {
                     Keyword::Min => AggFunc::Min,
                     _ => AggFunc::Max,
                 };
-                self.expect(&TokenKind::LParen, "'('")?;
+                self.expect_token(&TokenKind::LParen, "'('")?;
                 let arg = if self.eat_if(&TokenKind::Star) {
                     if func != AggFunc::Count {
                         return Err(self.err("only COUNT may take '*'"));
@@ -573,7 +573,7 @@ impl Parser {
                 } else {
                     Some(Box::new(self.expr()?))
                 };
-                self.expect(&TokenKind::RParen, "')'")?;
+                self.expect_token(&TokenKind::RParen, "')'")?;
                 Ok(Expr::Agg { func, arg })
             }
             TokenKind::Ident(name) => {

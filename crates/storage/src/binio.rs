@@ -119,29 +119,36 @@ impl<'a> ByteReader<'a> {
         Ok(out)
     }
 
+    /// Take the next `N` bytes as a fixed-size array.
+    pub fn array<const N: usize>(&mut self) -> Result<[u8; N]> {
+        self.bytes(N)?
+            .try_into()
+            .map_err(|_| corrupt("internal length mismatch"))
+    }
+
     /// Read a `u8`.
     pub fn u8(&mut self) -> Result<u8> {
-        Ok(self.bytes(1)?[0])
+        Ok(self.array::<1>()?[0])
     }
 
     /// Read a little-endian `u32`.
     pub fn u32(&mut self) -> Result<u32> {
-        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(self.array()?))
     }
 
     /// Read a little-endian `u64`.
     pub fn u64(&mut self) -> Result<u64> {
-        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(self.array()?))
     }
 
     /// Read a little-endian `i64`.
     pub fn i64(&mut self) -> Result<i64> {
-        Ok(i64::from_le_bytes(self.bytes(8)?.try_into().expect("8 bytes")))
+        Ok(i64::from_le_bytes(self.array()?))
     }
 
     /// Read a little-endian `f64`.
     pub fn f64(&mut self) -> Result<f64> {
-        Ok(f64::from_le_bytes(self.bytes(8)?.try_into().expect("8 bytes")))
+        Ok(f64::from_le_bytes(self.array()?))
     }
 
     /// Read a length-prefixed UTF-8 string.
@@ -189,15 +196,22 @@ pub fn encode_batch(buf: &mut Vec<u8>, schema: &Schema, rows: &[Row]) {
     put_u32(buf, rows.len() as u32);
     for (j, col) in schema.columns().iter().enumerate() {
         put_u8(buf, type_tag(col.ty));
-        let any_null = rows.iter().any(|r| r[j].is_null());
+        // `row.get(j)` instead of `row[j]`: a ragged row (shorter than the
+        // schema arity) encodes its missing cells as NULL instead of
+        // aborting mid-WAL-append.
+        let any_null = rows.iter().any(|r| r.get(j).is_none_or(Value::is_null));
         put_u8(buf, any_null as u8);
         if any_null {
             for row in rows {
-                put_u8(buf, !row[j].is_null() as u8);
+                let valid = row.get(j).is_some_and(|v| !v.is_null());
+                put_u8(buf, valid as u8);
             }
         }
         for row in rows {
-            let v = row[j].coerce(col.ty).unwrap_or(Value::Null);
+            let v = row
+                .get(j)
+                .and_then(|v| v.coerce(col.ty))
+                .unwrap_or(Value::Null);
             encode_cell(buf, col.ty, &v);
         }
     }

@@ -148,6 +148,7 @@ impl From<Vec<Bat>> for Chunk {
     /// Panics if column lengths disagree — use [`Chunk::new`] for fallible
     /// construction.
     fn from(columns: Vec<Bat>) -> Self {
+        // lint:allow(panic-freedom): From is the documented panicking conversion; Chunk::new is the fallible API
         Chunk::new(columns).expect("column lengths must agree")
     }
 }

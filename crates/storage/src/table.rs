@@ -116,12 +116,14 @@ impl Table {
     /// Full scan: clone all columns into a chunk. Columns share the table's
     /// OID head, so positional alignment is preserved.
     pub fn scan(&self) -> Chunk {
+        // lint:allow(panic-freedom): insert() appends to every column in lockstep, so lengths agree
         Chunk::new(self.columns.clone()).expect("table columns are aligned")
     }
 
     /// Scan a subset of columns by position.
     pub fn scan_columns(&self, positions: &[usize]) -> Chunk {
         Chunk::new(positions.iter().map(|&i| self.columns[i].clone()).collect())
+            // lint:allow(panic-freedom): insert() appends to every column in lockstep, so lengths agree
             .expect("table columns are aligned")
     }
 

@@ -150,7 +150,10 @@ impl<T: Clone> Segment<T> {
             self.buf = Arc::new(v);
             self.off = 0;
         }
-        let v = Arc::get_mut(&mut self.buf).expect("buffer uniquely owned after copy-on-write");
+        // The branch above guaranteed unique ownership, so make_mut never
+        // actually clones; if that invariant ever broke, cloning is the
+        // correct recovery rather than aborting the engine.
+        let v = Arc::make_mut(&mut self.buf);
         v.reserve(reserve);
         v
     }
@@ -323,7 +326,14 @@ impl Vector {
             (Vector::Str(v), Value::Null) => v.push(String::new()),
             (Vector::Timestamp(v), Value::Timestamp(t)) => v.push(t),
             (Vector::Timestamp(v), Value::Null) => v.push(0),
-            _ => unreachable!("coerce() returned a value of the wrong type"),
+            // coerce() returning a foreign variant would be a bug in
+            // Value::coerce — degrade to an error, not an abort.
+            (_, other) => {
+                return Err(StorageError::TypeMismatch {
+                    expected: ty,
+                    found: other.data_type().unwrap_or(ty),
+                })
+            }
         }
         Ok(())
     }
@@ -391,7 +401,14 @@ impl Vector {
             (Vector::Float(a), Vector::Float(b)) => a.extend_from_slice(b),
             (Vector::Str(a), Vector::Str(b)) => a.extend_from_slice(b),
             (Vector::Timestamp(a), Vector::Timestamp(b)) => a.extend_from_slice(b),
-            _ => unreachable!(),
+            // The data_type() guard above makes this arm unreachable, but
+            // an error beats an abort if the variants ever diverge.
+            (a, b) => {
+                return Err(StorageError::TypeMismatch {
+                    expected: a.data_type(),
+                    found: b.data_type(),
+                })
+            }
         }
         Ok(())
     }

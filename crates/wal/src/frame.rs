@@ -70,14 +70,22 @@ impl<'a> Iterator for FrameScanner<'a> {
             }
             return None;
         }
-        let len = u32::from_le_bytes(self.buf[self.pos..self.pos + 4].try_into().expect("4"));
-        let crc = u32::from_le_bytes(self.buf[self.pos + 4..self.pos + 8].try_into().expect("4"));
+        let (Some(len), Some(crc)) = (
+            read_u32(self.buf, self.pos),
+            read_u32(self.buf, self.pos + 4),
+        ) else {
+            self.damaged = true;
+            return None;
+        };
         let start = self.pos + HEADER_BYTES;
         if len > MAX_RECORD_BYTES || start + len as usize > self.buf.len() {
             self.damaged = true;
             return None;
         }
-        let payload = &self.buf[start..start + len as usize];
+        let Some(payload) = self.buf.get(start..start + len as usize) else {
+            self.damaged = true;
+            return None;
+        };
         if crc32(payload) != crc {
             self.damaged = true;
             return None;
@@ -85,6 +93,12 @@ impl<'a> Iterator for FrameScanner<'a> {
         self.pos = start + len as usize;
         Some(payload)
     }
+}
+
+/// Little-endian `u32` at `pos`, or `None` when the buffer is too short.
+fn read_u32(buf: &[u8], pos: usize) -> Option<u32> {
+    let raw: [u8; 4] = buf.get(pos..pos + 4)?.try_into().ok()?;
+    Some(u32::from_le_bytes(raw))
 }
 
 #[cfg(test)]

@@ -251,15 +251,14 @@ impl StreamLog {
 /// start at (None for the first record). Returns None on any malformation
 /// — the caller treats that as tail damage.
 fn decode_stream_record(payload: &[u8], expected: Option<u64>) -> Option<StreamBatch> {
-    if payload.len() < 12 {
-        return None;
-    }
-    let first_oid = u64::from_le_bytes(payload[..8].try_into().expect("8"));
-    let rows = u32::from_le_bytes(payload[8..12].try_into().expect("4"));
+    let oid_raw: [u8; 8] = payload.get(..8)?.try_into().ok()?;
+    let rows_raw: [u8; 4] = payload.get(8..12)?.try_into().ok()?;
+    let first_oid = u64::from_le_bytes(oid_raw);
+    let rows = u32::from_le_bytes(rows_raw);
     if expected.is_some_and(|e| first_oid != e) {
         return None;
     }
-    Some(StreamBatch { first_oid, rows, payload: payload[12..].to_vec() })
+    Some(StreamBatch { first_oid, rows, payload: payload.get(12..)?.to_vec() })
 }
 
 #[cfg(test)]

@@ -13,6 +13,7 @@ pub fn tmpdir(tag: &str) -> PathBuf {
         "datacell-wal-{tag}-{}-{n}",
         std::process::id()
     ));
+    // lint:allow(panic-freedom): test-only helper (the module is cfg(test)-gated in lib.rs)
     std::fs::create_dir_all(&dir).expect("create test tmpdir");
     dir
 }

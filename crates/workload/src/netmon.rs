@@ -91,9 +91,10 @@ impl NetmonStream {
             // scans walk the port space
             self.rng.gen_range(1..65_536)
         } else {
-            *[80i64, 443, 22, 53, 8080]
+            [80i64, 443, 22, 53, 8080]
                 .get(self.rng.gen_range(0..5usize))
-                .expect("constant table")
+                .copied()
+                .unwrap_or(80)
         };
         let proto = if port == 53 { 17 } else { 6 };
         let len = if scanning { 60 } else { self.rng.gen_range(60..1500) };

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Workspace static analysis — the same gate CI runs.
+#
+# Builds and runs datacell-lint in deny mode: any finding (or any
+# malformed/stale `lint:allow` directive) exits non-zero. See the
+# "Static analysis" section of README.md for the rule set.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo run -p datacell-lint --release -- --deny "$@"
