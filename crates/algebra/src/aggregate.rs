@@ -87,6 +87,28 @@ pub struct AggState {
     max: Option<Value>,
 }
 
+/// Raw accumulator filled by the fused filter+aggregate kernels in
+/// [`crate::batcalc`]; converted into an [`AggState`] without per-row
+/// `Value` boxing. Field semantics mirror [`AggState`] exactly, with
+/// min/max kept as raw ordinals.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct FusedAcc {
+    pub rows: u64,
+    pub count: u64,
+    pub sum_int: i64,
+    pub sum_float: f64,
+    pub float: bool,
+    pub min: Option<i64>,
+    pub max: Option<i64>,
+}
+
+impl FusedAcc {
+    /// Accumulator for pure row counting (COUNT(*) / COUNT over no-NULL).
+    pub fn counted(n: u64) -> Self {
+        FusedAcc { rows: n, count: n, ..FusedAcc::default() }
+    }
+}
+
 impl AggState {
     /// Fresh empty state.
     pub fn new(kind: AggKind) -> Self {
@@ -99,6 +121,29 @@ impl AggState {
             float: false,
             min: None,
             max: None,
+        }
+    }
+
+    /// Build a state from a fused-kernel accumulator. `ord_ty` selects how
+    /// min/max ordinals are wrapped (Int vs Timestamp), matching what the
+    /// per-row path would have produced for the same column.
+    pub(crate) fn from_fused(kind: AggKind, acc: FusedAcc, ord_ty: DataType) -> Self {
+        let wrap = |v: i64| {
+            if ord_ty == DataType::Timestamp {
+                Value::Timestamp(v)
+            } else {
+                Value::Int(v)
+            }
+        };
+        AggState {
+            kind,
+            rows: acc.rows,
+            count: acc.count,
+            sum_int: acc.sum_int,
+            sum_float: acc.sum_float,
+            float: acc.float,
+            min: acc.min.map(wrap),
+            max: acc.max.map(wrap),
         }
     }
 

@@ -1,13 +1,25 @@
-//! Element-wise bulk arithmetic over BATs (MonetDB's `batcalc` module).
+//! Element-wise bulk arithmetic over BATs (MonetDB's `batcalc` module),
+//! plus the selection-vector-aware **fused filter+aggregate kernels** used
+//! by shared multi-query execution.
 //!
-//! Used by projection expressions (`SELECT a * b + 1 …`). NULLs propagate:
-//! if either operand is NULL the result is NULL. Integer division by zero
-//! yields NULL (matching MonetDB's permissive bulk semantics) rather than
-//! aborting a whole vectorised batch.
+//! Arithmetic is used by projection expressions (`SELECT a * b + 1 …`).
+//! NULLs propagate: if either operand is NULL the result is NULL. Integer
+//! division by zero yields NULL (matching MonetDB's permissive bulk
+//! semantics) rather than aborting a whole vectorised batch.
+//!
+//! The fused kernels ([`fused_grouped_states`], [`fused_global_state`])
+//! consume a raw stream column together with the `Candidates` produced by a
+//! selection and accumulate aggregate partials directly — no filtered-chunk
+//! materialization and no per-row `Value` boxing. When the candidate set is
+//! a dense range the inner loops run over one contiguous slice, which LLVM
+//! autovectorizes.
 
 use datacell_storage::{Bat, DataType, Value, Vector};
 
+use crate::aggregate::{AggKind, AggState, FusedAcc};
+use crate::candidates::Candidates;
 use crate::error::{AlgebraError, Result};
+use crate::group::GroupMap;
 
 /// Arithmetic operators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -237,6 +249,285 @@ pub fn cast(bat: &Bat, target: DataType) -> Result<Bat> {
     Ok(out)
 }
 
+// ---------------------------------------------------------------------
+// Fused filter+aggregate kernels
+// ---------------------------------------------------------------------
+
+/// When `positions` is one contiguous ascending run, its first position.
+/// Candidate lists are strictly ascending by invariant, so checking the
+/// span length against the element count suffices.
+fn contiguous_start(positions: &[usize]) -> Option<usize> {
+    let first = *positions.first()?;
+    let last = *positions.last()?;
+    if last.checked_sub(first)? + 1 == positions.len() {
+        Some(first)
+    } else {
+        None
+    }
+}
+
+/// How min/max ordinals of `bat` should be wrapped back into `Value`s.
+fn ord_type(bat: &Bat) -> DataType {
+    if bat.data_type() == DataType::Timestamp {
+        DataType::Timestamp
+    } else {
+        DataType::Int
+    }
+}
+
+fn count_states(kind: AggKind, rows: Vec<u64>) -> Vec<AggState> {
+    rows.into_iter()
+        .map(|r| AggState::from_fused(kind, FusedAcc::counted(r), DataType::Int))
+        .collect()
+}
+
+/// Per-group sum of an `i64` slice steered by group ids, in scan order.
+fn grouped_int_sums(ints: &[i64], positions: &[usize], ids: &[u32], ng: usize) -> Option<Vec<i64>> {
+    let mut sums = vec![0i64; ng];
+    match contiguous_start(positions) {
+        Some(start) => {
+            let vals = ints.get(start..start + positions.len())?;
+            for (i, &x) in vals.iter().enumerate() {
+                let g = *ids.get(i)? as usize;
+                let s = sums.get_mut(g)?;
+                *s = s.wrapping_add(x);
+            }
+        }
+        None => {
+            for (i, &p) in positions.iter().enumerate() {
+                let g = *ids.get(i)? as usize;
+                let s = sums.get_mut(g)?;
+                *s = s.wrapping_add(*ints.get(p)?);
+            }
+        }
+    }
+    Some(sums)
+}
+
+/// Per-group sum of an `f64` slice steered by group ids, in scan order —
+/// the same order the scalar per-row path folds in, so results are
+/// bit-identical.
+fn grouped_float_sums(
+    floats: &[f64],
+    positions: &[usize],
+    ids: &[u32],
+    ng: usize,
+) -> Option<Vec<f64>> {
+    let mut sums = vec![0.0f64; ng];
+    match contiguous_start(positions) {
+        Some(start) => {
+            let vals = floats.get(start..start + positions.len())?;
+            for (i, &x) in vals.iter().enumerate() {
+                *sums.get_mut(*ids.get(i)? as usize)? += x;
+            }
+        }
+        None => {
+            for (i, &p) in positions.iter().enumerate() {
+                *sums.get_mut(*ids.get(i)? as usize)? += *floats.get(p)?;
+            }
+        }
+    }
+    Some(sums)
+}
+
+fn grouped_int_extrema(
+    kind: AggKind,
+    ints: &[i64],
+    positions: &[usize],
+    ids: &[u32],
+    ng: usize,
+) -> Option<Vec<Option<i64>>> {
+    let mut best: Vec<Option<i64>> = vec![None; ng];
+    for (i, &p) in positions.iter().enumerate() {
+        let x = *ints.get(p)?;
+        let slot = best.get_mut(*ids.get(i)? as usize)?;
+        *slot = Some(match *slot {
+            None => x,
+            Some(cur) if kind == AggKind::Min => cur.min(x),
+            Some(cur) => cur.max(x),
+        });
+    }
+    Some(best)
+}
+
+/// Grouped fused aggregation: accumulate one [`AggState`] per group of
+/// `map`, reading `values` through `cand` (the selection vector) without
+/// materializing the filtered column. `values` is the *raw* column the
+/// grouping candidates refer to; `map` must have been built with the same
+/// candidate list (`map.len() == cand.len()`).
+///
+/// Returns `None` whenever the shape falls outside the typed fast paths —
+/// NULLs present, non-numeric input, float MIN/MAX (NaN ordering lives in
+/// the scalar path), or misaligned inputs — so callers fall back to the
+/// general materialize-then-aggregate path. When `Some`, every state is
+/// field-identical to what the scalar path produces (same accumulation
+/// order, so float sums match bit-for-bit).
+pub fn fused_grouped_states(
+    kind: AggKind,
+    values: Option<&Bat>,
+    map: &GroupMap,
+    cand: Option<&Candidates>,
+) -> Option<Vec<AggState>> {
+    let ng = map.ngroups();
+    let mut rows = vec![0u64; ng];
+    for &g in &map.ids {
+        *rows.get_mut(g as usize)? += 1;
+    }
+
+    if kind == AggKind::CountStar {
+        return Some(count_states(kind, rows));
+    }
+    let v = values?;
+    if v.has_nulls() {
+        return None;
+    }
+    let full;
+    let cand = match cand {
+        Some(c) => c,
+        None => {
+            full = Candidates::all(v);
+            &full
+        }
+    };
+    let positions = cand.positions_in(v);
+    if positions.len() != map.len() {
+        return None;
+    }
+
+    match kind {
+        AggKind::CountStar | AggKind::Count => Some(count_states(kind, rows)),
+        AggKind::Sum | AggKind::Avg => {
+            if let Some(ints) = v.data().as_ints() {
+                let sums = grouped_int_sums(ints, &positions, &map.ids, ng)?;
+                return Some(
+                    rows.iter()
+                        .zip(&sums)
+                        .map(|(&r, &s)| {
+                            let acc = FusedAcc { sum_int: s, ..FusedAcc::counted(r) };
+                            AggState::from_fused(kind, acc, DataType::Int)
+                        })
+                        .collect(),
+                );
+            }
+            if let Some(floats) = v.data().as_floats() {
+                let sums = grouped_float_sums(floats, &positions, &map.ids, ng)?;
+                return Some(
+                    rows.iter()
+                        .zip(&sums)
+                        .map(|(&r, &s)| {
+                            let acc =
+                                FusedAcc { sum_float: s, float: true, ..FusedAcc::counted(r) };
+                            AggState::from_fused(kind, acc, DataType::Float)
+                        })
+                        .collect(),
+                );
+            }
+            None
+        }
+        AggKind::Min | AggKind::Max => {
+            let ints = v.data().as_ints()?;
+            let best = grouped_int_extrema(kind, ints, &positions, &map.ids, ng)?;
+            let ty = ord_type(v);
+            Some(
+                rows.iter()
+                    .zip(&best)
+                    .map(|(&r, &b)| {
+                        let mut acc = FusedAcc::counted(r);
+                        if kind == AggKind::Min {
+                            acc.min = b;
+                        } else {
+                            acc.max = b;
+                        }
+                        AggState::from_fused(kind, acc, ty)
+                    })
+                    .collect(),
+            )
+        }
+    }
+}
+
+/// Global (ungrouped) fused aggregation: one [`AggState`] over the rows of
+/// `values` selected by `cand`, with contiguous-slice fast paths for dense
+/// candidate ranges. Same fallback contract as [`fused_grouped_states`].
+pub fn fused_global_state(
+    kind: AggKind,
+    values: Option<&Bat>,
+    cand: &Candidates,
+) -> Option<AggState> {
+    if kind == AggKind::CountStar {
+        let acc = FusedAcc::counted(cand.len() as u64);
+        return Some(AggState::from_fused(kind, acc, DataType::Int));
+    }
+    let v = values?;
+    if v.has_nulls() {
+        return None;
+    }
+    let positions = cand.positions_in(v);
+    let n = positions.len() as u64;
+
+    match kind {
+        AggKind::CountStar | AggKind::Count => {
+            Some(AggState::from_fused(kind, FusedAcc::counted(n), DataType::Int))
+        }
+        AggKind::Sum | AggKind::Avg => {
+            if let Some(ints) = v.data().as_ints() {
+                let mut s = 0i64;
+                match contiguous_start(&positions) {
+                    Some(start) => {
+                        for &x in ints.get(start..start + positions.len())? {
+                            s = s.wrapping_add(x);
+                        }
+                    }
+                    None => {
+                        for &p in &positions {
+                            s = s.wrapping_add(*ints.get(p)?);
+                        }
+                    }
+                }
+                let acc = FusedAcc { sum_int: s, ..FusedAcc::counted(n) };
+                return Some(AggState::from_fused(kind, acc, DataType::Int));
+            }
+            if let Some(floats) = v.data().as_floats() {
+                let mut s = 0.0f64;
+                match contiguous_start(&positions) {
+                    Some(start) => {
+                        for &x in floats.get(start..start + positions.len())? {
+                            s += x;
+                        }
+                    }
+                    None => {
+                        for &p in &positions {
+                            s += *floats.get(p)?;
+                        }
+                    }
+                }
+                let acc = FusedAcc { sum_float: s, float: true, ..FusedAcc::counted(n) };
+                return Some(AggState::from_fused(kind, acc, DataType::Float));
+            }
+            None
+        }
+        AggKind::Min | AggKind::Max => {
+            let ints = v.data().as_ints()?;
+            let mut best: Option<i64> = None;
+            for &p in &positions {
+                let x = *ints.get(p)?;
+                best = Some(match best {
+                    None => x,
+                    Some(cur) if kind == AggKind::Min => cur.min(x),
+                    Some(cur) => cur.max(x),
+                });
+            }
+            let mut acc = FusedAcc::counted(n);
+            if kind == AggKind::Min {
+                acc.min = best;
+            } else {
+                acc.max = best;
+            }
+            Some(AggState::from_fused(kind, acc, ord_type(v)))
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -342,5 +633,114 @@ mod tests {
         let a = Bat::from_ints(vec![7, -7]);
         let r = arith_const(ArithOp::Mod, &a, &Value::Int(3)).unwrap();
         assert_eq!(r.data().as_ints().unwrap(), &[1, -1]);
+    }
+
+    use crate::aggregate::{aggregate_all, aggregate_groups};
+    use crate::group::group_by;
+
+    fn all_kinds() -> [AggKind; 6] {
+        [
+            AggKind::CountStar,
+            AggKind::Count,
+            AggKind::Sum,
+            AggKind::Avg,
+            AggKind::Min,
+            AggKind::Max,
+        ]
+    }
+
+    #[test]
+    fn fused_grouped_matches_scalar_int() {
+        let keys = Bat::from_ints(vec![1, 2, 1, 3, 2, 1]);
+        let vals = Bat::from_ints(vec![10, 20, 30, 40, 50, 60]);
+        for cand in [None, Some(Candidates::range(1, 5)), Some(Candidates::List(vec![0, 2, 5]))] {
+            let map = group_by(&[&keys], cand.as_ref()).unwrap();
+            for kind in all_kinds() {
+                let fused =
+                    fused_grouped_states(kind, Some(&vals), &map, cand.as_ref()).unwrap();
+                let scalar = aggregate_groups(kind, &vals, &map, cand.as_ref()).unwrap();
+                assert_eq!(fused, scalar, "kind {kind:?} cand {cand:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_grouped_matches_scalar_float() {
+        let keys = Bat::from_ints(vec![7, 8, 7, 8]);
+        let vals = Bat::from_floats(vec![0.1, 0.2, 0.3, 0.4]);
+        let map = group_by(&[&keys], None).unwrap();
+        for kind in [AggKind::Sum, AggKind::Avg] {
+            let fused = fused_grouped_states(kind, Some(&vals), &map, None).unwrap();
+            let scalar = aggregate_groups(kind, &vals, &map, None).unwrap();
+            assert_eq!(fused, scalar, "kind {kind:?}");
+        }
+        // Float MIN/MAX stays on the scalar path (NaN ordering).
+        assert!(fused_grouped_states(AggKind::Min, Some(&vals), &map, None).is_none());
+    }
+
+    #[test]
+    fn fused_grouped_count_star_without_values() {
+        let keys = Bat::from_ints(vec![1, 1, 2]);
+        let map = group_by(&[&keys], None).unwrap();
+        let fused = fused_grouped_states(AggKind::CountStar, None, &map, None).unwrap();
+        assert_eq!(fused[0].finalize(), Value::Int(2));
+        assert_eq!(fused[1].finalize(), Value::Int(1));
+    }
+
+    #[test]
+    fn fused_falls_back_on_nulls() {
+        let mut vals = Bat::new(DataType::Int);
+        vals.push(&Value::Int(1)).unwrap();
+        vals.push(&Value::Null).unwrap();
+        let keys = Bat::from_ints(vec![1, 1]);
+        let map = group_by(&[&keys], None).unwrap();
+        assert!(fused_grouped_states(AggKind::Sum, Some(&vals), &map, None).is_none());
+        assert!(fused_global_state(AggKind::Sum, Some(&vals), &Candidates::all(&vals)).is_none());
+        // CountStar never needs the values column, so it stays fused.
+        assert!(fused_grouped_states(AggKind::CountStar, Some(&vals), &map, None).is_some());
+    }
+
+    #[test]
+    fn fused_global_matches_scalar() {
+        let vals = Bat::from_vector(vec![5i64, -2, 9, 4].into(), 100);
+        for cand in [
+            Candidates::all(&vals),
+            Candidates::range(101, 103),
+            Candidates::List(vec![100, 103]),
+            Candidates::empty(),
+        ] {
+            for kind in all_kinds() {
+                let fused = fused_global_state(kind, Some(&vals), &cand).unwrap();
+                let scalar = aggregate_all(kind, &vals, Some(&cand));
+                assert_eq!(fused.finalize(), scalar.finalize(), "kind {kind:?} cand {cand:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_global_float_bit_identical() {
+        // Same accumulation order as the scalar path ⇒ bit-identical sums.
+        let vals = Bat::from_floats(vec![0.1, 0.7, 1e-9, 3.3, -0.5]);
+        let cand = Candidates::range(1, 4);
+        for kind in [AggKind::Sum, AggKind::Avg] {
+            let fused = fused_global_state(kind, Some(&vals), &cand).unwrap();
+            let scalar = aggregate_all(kind, &vals, Some(&cand));
+            assert_eq!(fused, scalar);
+        }
+    }
+
+    #[test]
+    fn fused_timestamp_extrema_wrap() {
+        let vals = Bat::from_vector(Vector::Timestamp(vec![30, 10, 20].into()), 0);
+        let fused = fused_global_state(AggKind::Min, Some(&vals), &Candidates::all(&vals));
+        assert_eq!(fused.unwrap().finalize(), Value::Timestamp(10));
+    }
+
+    #[test]
+    fn contiguity_detection() {
+        assert_eq!(contiguous_start(&[3, 4, 5]), Some(3));
+        assert_eq!(contiguous_start(&[2]), Some(2));
+        assert_eq!(contiguous_start(&[]), None);
+        assert_eq!(contiguous_start(&[1, 3, 4]), None);
     }
 }

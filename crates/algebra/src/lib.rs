@@ -30,7 +30,10 @@ pub mod sort;
 pub use aggregate::{
     aggregate_all, aggregate_groups, merge_group_states, states_to_bat, AggKind, AggState,
 };
-pub use batcalc::{arith_cols, arith_const, arith_const_left, cast, negate, ArithOp};
+pub use batcalc::{
+    arith_cols, arith_const, arith_const_left, cast, fused_global_state, fused_grouped_states,
+    negate, ArithOp,
+};
 pub use candidates::Candidates;
 pub use error::{AlgebraError, Result};
 pub use fetch::{fetch, fetch_chunk};

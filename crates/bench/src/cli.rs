@@ -24,6 +24,24 @@ pub fn has_flag(name: &str) -> bool {
     std::env::args().skip(1).any(|a| a == name)
 }
 
+/// Parsed `--name value` / `--name=value`, or `None` when absent.
+pub fn arg_value(name: &str) -> Option<String> {
+    arg_value_from(std::env::args().skip(1), name)
+}
+
+fn arg_value_from(args: impl Iterator<Item = String>, name: &str) -> Option<String> {
+    let mut args = args;
+    while let Some(arg) = args.next() {
+        if arg == name {
+            return args.next();
+        }
+        if let Some(v) = arg.strip_prefix(name).and_then(|r| r.strip_prefix('=')) {
+            return Some(v.to_string());
+        }
+    }
+    None
+}
+
 fn events_from(args: impl Iterator<Item = String>, default: usize) -> Result<usize, String> {
     let mut args = args;
     while let Some(arg) = args.next() {
@@ -101,6 +119,18 @@ mod tests {
     fn missing_value_rejected() {
         let err = parse(&["--events"], 500).unwrap_err();
         assert!(err.contains("requires a value"), "{err}");
+    }
+
+    #[test]
+    fn arg_value_forms() {
+        let get = |args: &[&str]| {
+            arg_value_from(args.iter().map(|s| s.to_string()), "--overlap")
+        };
+        assert_eq!(get(&[]), None);
+        assert_eq!(get(&["--overlap", "identical"]), Some("identical".into()));
+        assert_eq!(get(&["--overlap=disjoint"]), Some("disjoint".into()));
+        assert_eq!(get(&["--events", "5", "--overlap", "mixed"]), Some("mixed".into()));
+        assert_eq!(get(&["--overlapping"]), None, "prefix must not false-match");
     }
 
     #[test]

@@ -39,6 +39,9 @@ smoke!(e3_window_sweep_smoke, "e3_window_sweep");
 smoke!(e4_complex_smoke, "e4_complex");
 smoke!(e5_hybrid_smoke, "e5_hybrid");
 smoke!(e6_multiquery_smoke, "e6_multiquery");
+smoke!(e6_overlap_identical_smoke, "e6_multiquery", "--overlap", "identical");
+smoke!(e6_overlap_shared_predicate_smoke, "e6_multiquery", "--overlap", "shared-predicate");
+smoke!(e6_overlap_disjoint_smoke, "e6_multiquery", "--overlap", "disjoint");
 smoke!(e7_linear_road_smoke, "e7_linear_road");
 smoke!(e8_baselines_smoke, "e8_baselines");
 smoke!(e9_multicore_smoke, "e9_multicore");
@@ -60,4 +63,18 @@ fn e9_multicore_determinism() {
 #[test]
 fn equals_form_accepted() {
     run_bin(env!("CARGO_BIN_EXE_e1_reeval"), &["--events=64"]);
+}
+
+/// Each overlap mix must emit its own snapshot key so the bench snapshot
+/// records the sweep under distinct experiment names.
+#[test]
+fn e6_overlap_snapshot_keys() {
+    let stdout = run_bin(
+        env!("CARGO_BIN_EXE_e6_multiquery"),
+        &["--events", "200", "--overlap=shared-predicate"],
+    );
+    assert!(
+        stdout.contains("\"experiment\":\"e6_overlap_shared_predicate_q16\""),
+        "missing overlap snapshot key:\n{stdout}"
+    );
 }

@@ -19,6 +19,13 @@ pub struct DataCellConfig {
     pub firing_threshold: usize,
     /// Retire (drop) basket tuples once every consumer has passed them.
     pub retire_consumed: bool,
+    /// Shared multi-query execution: queries whose leading operators
+    /// (window → WHERE → GROUP/aggregates) have the same structural
+    /// fingerprint evaluate them **once per scheduler pass**, fanning the
+    /// result out to every dependent factory. Sharing never changes
+    /// results — subscriber streams are byte-identical either way; this
+    /// knob exists for ablation and debugging.
+    pub shared_execution: bool,
     /// Scheduler worker threads. `1` (the default) is the classic serial
     /// round-robin executor; larger values fire independent basket
     /// partitions concurrently on a `std::thread` pool. Per-query output is
@@ -58,6 +65,7 @@ impl Default for DataCellConfig {
             cache_partials: true,
             firing_threshold: 1,
             retire_consumed: true,
+            shared_execution: true,
             workers: 1,
             emitter_capacity: Some(1024),
             results_capacity: None,
@@ -95,6 +103,7 @@ mod tests {
         assert!(c.cache_partials);
         assert_eq!(c.firing_threshold, 1);
         assert!(c.retire_consumed);
+        assert!(c.shared_execution);
         assert_eq!(c.workers, 1);
         assert_eq!(c.emitter_capacity, Some(1024));
         assert_eq!(c.results_capacity, None);

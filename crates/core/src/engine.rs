@@ -742,6 +742,7 @@ impl DataCell {
         if let Some(note) = &f.mode_note {
             text.push_str(&format!("note: {note}\n"));
         }
+        text.push_str(&datacell_plan::sharing_section(&self.scheduler.sharing_of(id)));
         Ok(text)
     }
 
@@ -816,6 +817,8 @@ impl DataCell {
                 paused: f.paused,
             })
             .collect();
+        let (shared_nodes, shared_nodes_active, shared_hits, shared_misses) =
+            self.scheduler.shared_stats();
         EngineStats {
             baskets,
             queries,
@@ -824,6 +827,10 @@ impl DataCell {
             partitions: self.scheduler.partition_count(),
             workers: self.config.workers,
             dropped_chunks: self.dropped_chunks,
+            shared_nodes,
+            shared_nodes_active,
+            shared_hits,
+            shared_misses,
             wal: self.wal_stats(),
         }
     }

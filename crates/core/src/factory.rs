@@ -15,10 +15,11 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use datacell_algebra::JoinHashTable;
+use datacell_algebra::{Candidates, JoinHashTable};
 use datacell_plan::{
-    execute, CompiledQuery, ExecSources, ExecutionMode, IncrementalAggPlan,
-    IncrementalJoinPlan, IncrementalPlan, PartialAgg, PlanError, AGG_BINDING, JOIN_BINDING,
+    execute, shared_shape, BoundExpr, CompiledQuery, ExecSources, ExecutionMode,
+    IncrementalAggPlan, IncrementalJoinPlan, IncrementalPlan, PartialAgg, PlanError,
+    SharedShape, AGG_BINDING, JOIN_BINDING,
 };
 use datacell_sql::WindowSpec;
 use datacell_storage::{Catalog, Chunk, Oid, Schema};
@@ -27,6 +28,7 @@ use parking_lot::RwLock;
 use crate::basket::Basket;
 use crate::config::DataCellConfig;
 use crate::error::{EngineError, Result};
+use crate::shared::PassCache;
 
 /// Shared handle to a basket.
 pub type BasketHandle = Arc<RwLock<Basket>>;
@@ -186,6 +188,16 @@ pub struct Factory {
     pub mode_note: Option<String>,
     /// Paused factories are never enabled (demo §4 "Pause and Resume").
     pub paused: bool,
+    /// Structural fingerprints of the query's shareable subplan prefix
+    /// (window → select → group-agg); folded into the scheduler's shared
+    /// DAG at REGISTER time.
+    pub shape: SharedShape,
+    /// How many registered queries share this factory's select
+    /// fingerprint (stamped by the scheduler; 1 = unshared).
+    pub sharing_select: usize,
+    /// How many registered queries share this factory's group-agg
+    /// fingerprint (stamped by the scheduler; 1 = unshared).
+    pub sharing_agg: usize,
     cursors: HashMap<String, Cursor>,
     incr: Option<IncrState>,
     table_cache: HashMap<String, (u64, Chunk)>,
@@ -285,12 +297,16 @@ impl Factory {
             }
         }
 
+        let shape = shared_shape(&query);
         Ok(Factory {
             id,
             query,
             mode,
             mode_note,
             paused: false,
+            shape,
+            sharing_select: 1,
+            sharing_agg: 1,
             cursors,
             incr,
             table_cache: HashMap::new(),
@@ -341,12 +357,18 @@ impl Factory {
 
     /// Consume one slide step: evaluate and return the result chunk (None
     /// when the slide completed but no output is due yet, e.g. the first
-    /// window is still filling in incremental mode).
-    pub fn fire(&mut self, ctx: &FireContext<'_>) -> Result<Option<Chunk>> {
+    /// window is still filling in incremental mode). `cache` is the
+    /// scheduler's per-pass shared-subplan memo; pass `None` to evaluate
+    /// standalone (tests, recovery).
+    pub fn fire(
+        &mut self,
+        ctx: &FireContext<'_>,
+        cache: Option<&mut PassCache>,
+    ) -> Result<Option<Chunk>> {
         let start = Instant::now();
         let result = match self.mode {
             ExecutionMode::Reevaluate => self.fire_reevaluate(ctx),
-            ExecutionMode::Incremental => self.fire_incremental(ctx),
+            ExecutionMode::Incremental => self.fire_incremental(ctx, cache),
         };
         self.stats.busy += start.elapsed();
         self.stats.firings += 1;
@@ -463,9 +485,13 @@ impl Factory {
 
     // ---- incremental mode ---------------------------------------------
 
-    fn fire_incremental(&mut self, ctx: &FireContext<'_>) -> Result<Option<Chunk>> {
+    fn fire_incremental(
+        &mut self,
+        ctx: &FireContext<'_>,
+        cache: Option<&mut PassCache>,
+    ) -> Result<Option<Chunk>> {
         match self.query.incremental.clone() {
-            Some(IncrementalPlan::Aggregate(plan)) => self.fire_incr_agg(ctx, &plan),
+            Some(IncrementalPlan::Aggregate(plan)) => self.fire_incr_agg(ctx, &plan, cache),
             Some(IncrementalPlan::Join(plan)) => self.fire_incr_join(ctx, &plan),
             None => self.fire_reevaluate(ctx),
         }
@@ -552,6 +578,7 @@ impl Factory {
         &mut self,
         ctx: &FireContext<'_>,
         plan: &IncrementalAggPlan,
+        mut cache: Option<&mut PassCache>,
     ) -> Result<Option<Chunk>> {
         let handle = ctx
             .baskets
@@ -564,26 +591,19 @@ impl Factory {
         self.stats.tuples_in += delta.len() as u64;
         self.stats.last_tuples_touched = delta.len() as u64;
 
-        // Per-delta pre-plan (filters, table joins) then partial aggregate.
-        let mut sources = ExecSources::new();
-        sources.bind(&plan.stream.binding, delta);
-        self.bind_tables(ctx, &mut sources)?;
-        let pre = execute(&plan.pre_plan, &sources).map_err(EngineError::Plan)?;
-
         let ring_len = self.ring_len_for(&plan.stream.binding);
-        let Some(IncrState::Agg(rings)) = &mut self.incr else {
-            return Err(EngineError::Plan(PlanError::Internal(
-                "incremental state missing".into(),
-            )));
-        };
-        rings.spans.push_back(span);
-        if rings.spans.len() > ring_len {
-            rings.spans.pop_front();
-        }
 
         if ctx.config.cache_partials {
-            let partial = PartialAgg::compute(&pre, &plan.group_exprs, &plan.aggs)
-                .map_err(EngineError::Plan)?;
+            let partial = self.partial_of(ctx, plan, &delta, span, cache.as_deref_mut())?;
+            let Some(IncrState::Agg(rings)) = &mut self.incr else {
+                return Err(EngineError::Plan(PlanError::Internal(
+                    "incremental state missing".into(),
+                )));
+            };
+            rings.spans.push_back(span);
+            if rings.spans.len() > ring_len {
+                rings.spans.pop_front();
+            }
             rings.ring.push_back(partial);
             if rings.ring.len() > ring_len {
                 rings.ring.pop_front();
@@ -591,21 +611,58 @@ impl Factory {
             if rings.ring.len() < ring_len {
                 return Ok(None); // window still filling
             }
-            let mut merged = PartialAgg::default();
-            for p in &rings.ring {
-                merged.merge(p);
-            }
-            let agg_chunk = merged
-                .finalize(&plan.group_exprs, &plan.group_types, &plan.aggs)
-                .map_err(EngineError::Plan)?;
+            // Queries with the same agg fingerprint hold identical rings
+            // (built from the same shared partials), so the merge +
+            // finalize of the full window is itself shared work: the first
+            // factory to complete a span computes it, the rest reuse it.
+            // Only the per-query post plan (projection/rename) runs per
+            // factory.
+            let full_span = (
+                rings.spans.front().map_or(span.0, |s| s.0),
+                rings.spans.back().map_or(span.1, |s| s.1),
+            );
+            let share_merged = ctx.config.shared_execution && self.sharing_agg >= 2;
+            let agg_key = self.shape.agg.as_ref();
+            let reused = match (share_merged, agg_key, cache.as_deref_mut()) {
+                (true, Some(k), Some(c)) => c.get_merged(k, full_span),
+                _ => None,
+            };
+            let agg_chunk = match reused {
+                Some(chunk) => chunk,
+                None => {
+                    let mut merged = PartialAgg::default();
+                    for p in &rings.ring {
+                        merged.merge(p);
+                    }
+                    let agg_chunk = merged
+                        .finalize(&plan.group_exprs, &plan.group_types, &plan.aggs)
+                        .map_err(EngineError::Plan)?;
+                    if let (true, Some(k), Some(c)) = (share_merged, agg_key, cache) {
+                        c.put_merged(k, full_span, agg_chunk.clone());
+                    }
+                    agg_chunk
+                }
+            };
             self.run_post(ctx, &plan.post_plan, AGG_BINDING, agg_chunk).map(Some)
         } else {
             // Ablation: no partial caching — keep raw deltas and recompute
             // every basic window per slide. Compact first: a ring-held view
             // of the basket would force every future append to copy the
             // whole basket buffer.
-            let mut pre = pre;
+            let mut sources = ExecSources::new();
+            sources.bind(&plan.stream.binding, delta);
+            self.bind_tables(ctx, &mut sources)?;
+            let mut pre = execute(&plan.pre_plan, &sources).map_err(EngineError::Plan)?;
             pre.compact();
+            let Some(IncrState::Agg(rings)) = &mut self.incr else {
+                return Err(EngineError::Plan(PlanError::Internal(
+                    "incremental state missing".into(),
+                )));
+            };
+            rings.spans.push_back(span);
+            if rings.spans.len() > ring_len {
+                rings.spans.pop_front();
+            }
             rings.raw_ring.push_back(pre);
             if rings.raw_ring.len() > ring_len {
                 rings.raw_ring.pop_front();
@@ -627,6 +684,100 @@ impl Factory {
                 .map_err(EngineError::Plan)?;
             self.run_post(ctx, &plan.post_plan, AGG_BINDING, agg_chunk).map(Some)
         }
+    }
+
+    /// The partial aggregate of one basic window, through the shared
+    /// per-pass cache: when ≥2 registered queries share this factory's
+    /// group-agg fingerprint, the first one to reach a `(fingerprint,
+    /// span)` this round computes it and the rest reuse the result.
+    fn partial_of(
+        &mut self,
+        ctx: &FireContext<'_>,
+        plan: &IncrementalAggPlan,
+        delta: &Chunk,
+        span: WindowSpan,
+        mut cache: Option<&mut PassCache>,
+    ) -> Result<PartialAgg> {
+        let share_agg = ctx.config.shared_execution && self.sharing_agg >= 2;
+        if share_agg {
+            if let (Some(key), Some(c)) = (&self.shape.agg, cache.as_deref_mut()) {
+                if let Some(p) = c.get_partial(key, span) {
+                    return Ok(p);
+                }
+            }
+        }
+        let partial = self.compute_partial(ctx, plan, delta, span, cache.as_deref_mut())?;
+        if share_agg {
+            if let (Some(key), Some(c)) = (&self.shape.agg, cache) {
+                c.put_partial(key, span, partial.clone());
+            }
+        }
+        Ok(partial)
+    }
+
+    /// Evaluate one basic window's partial aggregate. Takes the fused
+    /// filter+aggregate kernel path when the pre-plan is a bare
+    /// (optionally filtered) stream scan over plain columns, else the
+    /// general execute-then-fold path. Both are field-identical (same
+    /// group order, same accumulation order, bit-identical float sums) —
+    /// the shared cache and WAL recovery rely on that.
+    fn compute_partial(
+        &mut self,
+        ctx: &FireContext<'_>,
+        plan: &IncrementalAggPlan,
+        delta: &Chunk,
+        span: WindowSpan,
+        cache: Option<&mut PassCache>,
+    ) -> Result<PartialAgg> {
+        if self.query.tables.is_empty() && delta.arity() > 0 {
+            if let Some(pred) = datacell_plan::shared::fused_filter(&plan.pre_plan) {
+                let cand = match pred {
+                    None => Candidates::all(delta.column(0)),
+                    Some(p) => self.candidates_of(ctx, p, delta, span, cache)?,
+                };
+                if let Some(partial) =
+                    PartialAgg::compute_fused(delta, &cand, &plan.group_exprs, &plan.aggs)
+                        .map_err(EngineError::Plan)?
+                {
+                    return Ok(partial);
+                }
+            }
+        }
+        let mut sources = ExecSources::new();
+        sources.bind(&plan.stream.binding, delta.clone());
+        self.bind_tables(ctx, &mut sources)?;
+        let pre = execute(&plan.pre_plan, &sources).map_err(EngineError::Plan)?;
+        PartialAgg::compute(&pre, &plan.group_exprs, &plan.aggs).map_err(EngineError::Plan)
+    }
+
+    /// The selection vector of this factory's WHERE over one basic
+    /// window, shared across queries whose window+predicate fingerprints
+    /// match when ≥2 of them are registered.
+    fn candidates_of(
+        &mut self,
+        ctx: &FireContext<'_>,
+        pred: &BoundExpr,
+        delta: &Chunk,
+        span: WindowSpan,
+        mut cache: Option<&mut PassCache>,
+    ) -> Result<Candidates> {
+        let share = ctx.config.shared_execution && self.sharing_select >= 2;
+        if share {
+            if let (Some(key), Some(c)) = (&self.shape.select, cache.as_deref_mut()) {
+                if let Some(cand) = c.get_select(key, span) {
+                    return Ok(cand);
+                }
+            }
+        }
+        let all = Candidates::all(delta.column(0));
+        let cand =
+            datacell_plan::eval_predicate(pred, delta, &all).map_err(EngineError::Plan)?;
+        if share {
+            if let (Some(key), Some(c)) = (&self.shape.select, cache) {
+                c.put_select(key, span, cand.clone());
+            }
+        }
+        Ok(cand)
     }
 
     fn fire_incr_join(
@@ -912,21 +1063,26 @@ impl Factory {
                 let ring_len = self.ring_len_for(&plan.stream.binding);
                 let skip = if spans.len() >= ring_len { spans.len() + 1 - ring_len } else { 0 };
                 for &span in &spans[skip..] {
-                    let pre = self.pre_of(ctx, &plan.stream, &plan.pre_plan, span)?;
-                    let Some(IncrState::Agg(rings)) = &mut self.incr else {
-                        return Err(corrupt("aggregate ring state missing"));
-                    };
                     if ctx.config.cache_partials {
-                        let partial =
-                            PartialAgg::compute(&pre, &plan.group_exprs, &plan.aggs)
-                                .map_err(EngineError::Plan)?;
+                        // Same compute path as a live fire (fused kernels
+                        // included), so recovered ring partials are
+                        // bit-identical to the ones the crash wiped out.
+                        let delta = self.delta_of(ctx, &plan.stream, span)?;
+                        let partial = self.compute_partial(ctx, &plan, &delta, span, None)?;
+                        let Some(IncrState::Agg(rings)) = &mut self.incr else {
+                            return Err(corrupt("aggregate ring state missing"));
+                        };
                         rings.ring.push_back(partial);
+                        rings.spans.push_back(span);
                     } else {
-                        let mut pre = pre;
+                        let mut pre = self.pre_of(ctx, &plan.stream, &plan.pre_plan, span)?;
                         pre.compact();
+                        let Some(IncrState::Agg(rings)) = &mut self.incr else {
+                            return Err(corrupt("aggregate ring state missing"));
+                        };
                         rings.raw_ring.push_back(pre);
+                        rings.spans.push_back(span);
                     }
-                    rings.spans.push_back(span);
                 }
                 Ok(())
             }
@@ -973,6 +1129,37 @@ impl Factory {
         }
     }
 
+    /// Recovery helper: slice one saved basic-window span out of the
+    /// recovered basket, refusing clamped slices — the saved window must
+    /// still be fully present (see the cursor check in `restore`; ring
+    /// spans can additionally fall below the retained base if retention
+    /// metadata was lost).
+    fn delta_of(
+        &self,
+        ctx: &FireContext<'_>,
+        stream: &datacell_plan::StreamInput,
+        span: WindowSpan,
+    ) -> Result<Chunk> {
+        let handle = ctx
+            .baskets
+            .get(&stream.object.to_ascii_lowercase())
+            .ok_or_else(|| EngineError::UnknownStream(stream.object.clone()))?;
+        let basket = handle.read();
+        if span.1 > basket.high_water() || span.0 < basket.first_oid() {
+            return Err(EngineError::Wal(format!(
+                "factory q{} ring window [{}, {}) outside recovered stream {} \
+                 range [{}, {})",
+                self.id,
+                span.0,
+                span.1,
+                stream.object,
+                basket.first_oid(),
+                basket.high_water()
+            )));
+        }
+        Ok(basket.slice(span.0, span.1))
+    }
+
     /// Recovery helper: re-run one saved basic-window span through a
     /// pre-plan over the recovered basket.
     fn pre_of(
@@ -982,30 +1169,7 @@ impl Factory {
         pre_plan: &datacell_plan::LogicalPlan,
         span: WindowSpan,
     ) -> Result<Chunk> {
-        let handle = ctx
-            .baskets
-            .get(&stream.object.to_ascii_lowercase())
-            .ok_or_else(|| EngineError::UnknownStream(stream.object.clone()))?;
-        let delta = {
-            let basket = handle.read();
-            // Refuse to rebuild from a clamped slice — the saved window
-            // must still be fully present (see the cursor check in
-            // `restore`; ring spans can additionally fall below the
-            // retained base if retention metadata was lost).
-            if span.1 > basket.high_water() || span.0 < basket.first_oid() {
-                return Err(EngineError::Wal(format!(
-                    "factory q{} ring window [{}, {}) outside recovered stream {} \
-                     range [{}, {})",
-                    self.id,
-                    span.0,
-                    span.1,
-                    stream.object,
-                    basket.first_oid(),
-                    basket.high_water()
-                )));
-            }
-            basket.slice(span.0, span.1)
-        };
+        let delta = self.delta_of(ctx, stream, span)?;
         let mut sources = ExecSources::new();
         sources.bind(&stream.binding, delta);
         self.bind_tables(ctx, &mut sources)?;

@@ -39,6 +39,7 @@ pub mod factory;
 pub mod network;
 pub mod receptor;
 pub mod scheduler;
+pub mod shared;
 pub mod stats;
 
 pub use basket::Basket;
@@ -53,6 +54,7 @@ pub use factory::{
 pub use network::{NetworkEdge, QueryNetwork};
 pub use receptor::Receptor;
 pub use scheduler::{NetState, Partition, Scheduler};
+pub use shared::{PassCache, SharedNode, SharedPlanDag};
 pub use stats::{BasketStats, EngineStats, QueryStats};
 
 // Re-export the execution mode so engine users don't need datacell-plan.
@@ -60,3 +62,4 @@ pub use datacell_plan::ExecutionMode;
 // Re-export the durability configuration so engine users don't need
 // datacell-wal.
 pub use datacell_wal::{SyncPolicy, WalConfig, WalStats};
+

@@ -42,10 +42,12 @@
 
 use std::collections::BTreeMap;
 
+use datacell_plan::SharedNodeKind;
 use datacell_storage::{Chunk, Oid};
 
 use crate::factory::{Factory, FireContext};
 use crate::network::QueryNetwork;
+use crate::shared::{PassCache, SharedPlanDag};
 
 /// A snapshot of the Petri net: which transitions are currently enabled,
 /// how full the places are, and how the net decomposes into partitions.
@@ -68,6 +70,10 @@ pub struct Partition {
     /// Lowercased stream objects consumed by this partition — the baskets
     /// whose retirement watermark this partition owns.
     baskets: Vec<String>,
+    /// Per-pass shared-subplan memo: within one round, factories sharing a
+    /// subplan fingerprint evaluate it once. Partition-local, so parallel
+    /// workers never contend on it.
+    cache: PassCache,
 }
 
 impl Partition {
@@ -78,7 +84,7 @@ impl Partition {
             .collect();
         baskets.sort_unstable();
         baskets.dedup();
-        Partition { factories, baskets }
+        Partition { factories, baskets, cache: PassCache::default() }
     }
 
     /// Query ids in this partition, ascending.
@@ -95,9 +101,11 @@ impl Partition {
         out: &mut Vec<(u64, Chunk)>,
     ) -> crate::error::Result<usize> {
         let mut fired = 0;
-        for factory in self.factories.values_mut() {
+        self.cache.begin_round();
+        let Partition { factories, cache, .. } = self;
+        for factory in factories.values_mut() {
             if factory.enabled(ctx) {
-                let chunk = factory.fire(ctx)?;
+                let chunk = factory.fire(ctx, Some(&mut *cache))?;
                 // Durable engines make the post-fire position durable
                 // *before* the chunk reaches any subscriber: a restart
                 // neither re-fires this window nor skips the next.
@@ -176,6 +184,13 @@ impl Partition {
 #[derive(Default)]
 pub struct Scheduler {
     partitions: Vec<Partition>,
+    /// Refcounted DAG of common subplan prefixes across all registered
+    /// queries; REGISTER inserts, DEREGISTER reclaims.
+    dag: SharedPlanDag,
+    /// Per-pass memo for serial execution (one round spans every
+    /// partition; fingerprints embed the stream, so entries never
+    /// cross-wire streams).
+    serial_cache: PassCache,
     /// Total transition firings performed.
     pub total_firings: u64,
     /// Rounds executed (in parallel mode: the longest partition's rounds).
@@ -200,15 +215,20 @@ impl Scheduler {
 
     // ---- factory ownership -------------------------------------------
 
-    /// Register a factory and recompute the partitioning.
+    /// Register a factory and recompute the partitioning. The factory's
+    /// shareable subplan prefix is folded into the shared DAG, and every
+    /// factory's sharing fan-out is re-stamped.
     pub fn insert(&mut self, factory: Factory) {
+        self.dag.insert_query(factory.id, &factory.shape);
         let mut pool = self.drain_factories();
         pool.insert(factory.id, factory);
         self.rebuild(pool);
     }
 
     /// Deregister the factory of query `id`, recomputing the partitioning.
+    /// Shared DAG nodes whose refcount drops to zero are reclaimed.
     pub fn remove(&mut self, id: u64) -> Option<Factory> {
+        self.dag.remove_query(id);
         let mut pool = self.drain_factories();
         let removed = pool.remove(&id);
         self.rebuild(pool);
@@ -278,6 +298,38 @@ impl Scheduler {
             partitions.push(Partition::from_factories(BTreeMap::from([(qid, f)])));
         }
         self.partitions = partitions;
+        // Stamp every factory with its current sharing fan-out: the cache
+        // is consulted only for fingerprints at least two live queries
+        // share, so unshared queries keep their direct path.
+        for p in &mut self.partitions {
+            for f in p.factories.values_mut() {
+                f.sharing_select =
+                    f.shape.select.as_ref().map_or(0, |k| self.dag.refs(&k.text)).max(1);
+                f.sharing_agg =
+                    f.shape.agg.as_ref().map_or(0, |k| self.dag.refs(&k.text)).max(1);
+            }
+        }
+    }
+
+    // ---- shared-subplan introspection --------------------------------
+
+    /// `(total nodes, shared nodes, cache hits, cache misses)` of the
+    /// shared-subplan layer. Hits are evaluations saved by sharing.
+    pub fn shared_stats(&self) -> (usize, usize, u64, u64) {
+        let mut hits = self.serial_cache.hits;
+        let mut misses = self.serial_cache.misses;
+        for p in &self.partitions {
+            hits += p.cache.hits;
+            misses += p.cache.misses;
+        }
+        (self.dag.node_count(), self.dag.shared_node_count(), hits, misses)
+    }
+
+    /// The `(kind, canonical text, refcount)` rows of the shared nodes
+    /// query `qid` participates in (the EXPLAIN "shared subplans"
+    /// section) — window, then select, then group-agg.
+    pub fn sharing_of(&self, qid: u64) -> Vec<(SharedNodeKind, String, usize)> {
+        self.dag.nodes_of(qid)
     }
 
     // ---- execution ---------------------------------------------------
@@ -362,8 +414,9 @@ impl Scheduler {
         ctx: &FireContext<'_>,
         sink: &mut dyn FnMut(u64, Chunk),
     ) -> crate::error::Result<usize> {
-        let mut all: Vec<&mut Factory> = self
-            .partitions
+        self.serial_cache.begin_round();
+        let Scheduler { partitions, serial_cache, .. } = self;
+        let mut all: Vec<&mut Factory> = partitions
             .iter_mut()
             .flat_map(|p| p.factories.values_mut())
             .collect();
@@ -371,7 +424,7 @@ impl Scheduler {
         let mut fired = 0;
         for factory in all {
             if factory.enabled(ctx) {
-                let chunk = factory.fire(ctx)?;
+                let chunk = factory.fire(ctx, Some(&mut *serial_cache))?;
                 // Fire record before delivery — see Partition::step_round.
                 if let Some(wal) = ctx.wal {
                     wal.log_fire(factory.id, &factory.state())?;

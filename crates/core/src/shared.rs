@@ -1,0 +1,293 @@
+//! Shared multi-query execution runtime: the refcounted DAG of common
+//! subplans and the per-pass evaluation cache.
+//!
+//! At REGISTER time the engine canonicalizes each query's leading operators
+//! into structural fingerprints ([`datacell_plan::shared`]); the scheduler
+//! folds them into a [`SharedPlanDag`] whose nodes are refcounted by the
+//! queries that use them, and stamps every factory with its fan-out. Per
+//! scheduler pass, the first factory to reach a shared node evaluates it
+//! once — a `Candidates` selection vector, or a whole basic-window
+//! [`PartialAgg`] — and parks the result in a [`PassCache`]; the other
+//! factories sharing the fingerprint reuse it for the same window span.
+//! DEREGISTER decrements the refcounts and reclaims orphaned nodes.
+//!
+//! The cache is keyed by `(structural hash, window span)` and verified
+//! against the canonical key *text* on every hit, so a hash collision
+//! degrades to a miss instead of cross-wiring two queries.
+
+use std::collections::{BTreeSet, HashMap};
+
+use datacell_algebra::Candidates;
+use datacell_plan::{PartialAgg, SharedNodeKind, SharedShape, SubplanKey};
+use datacell_storage::Chunk;
+
+use crate::factory::WindowSpan;
+
+/// One refcounted node of the shared-subplan DAG.
+#[derive(Debug, Clone)]
+pub struct SharedNode {
+    /// Which stage this node caches.
+    pub kind: SharedNodeKind,
+    /// Structural hash of the canonical text (the cache key).
+    pub hash: u64,
+    /// Queries referencing this node (the refcount is `qids.len()`).
+    pub qids: BTreeSet<u64>,
+}
+
+/// The DAG of shared subplan nodes across all registered queries, keyed by
+/// canonical text. Maintained incrementally: REGISTER inserts, DEREGISTER
+/// removes and reclaims nodes whose refcount drops to zero.
+#[derive(Debug, Default)]
+pub struct SharedPlanDag {
+    nodes: HashMap<String, SharedNode>,
+}
+
+impl SharedPlanDag {
+    /// Fold one query's shareable prefix into the DAG.
+    pub fn insert_query(&mut self, qid: u64, shape: &SharedShape) {
+        for (kind, key) in shape.nodes() {
+            let node = self.nodes.entry(key.text.clone()).or_insert_with(|| SharedNode {
+                kind,
+                hash: key.hash,
+                qids: BTreeSet::new(),
+            });
+            node.qids.insert(qid);
+        }
+    }
+
+    /// Drop one query from every node it references; nodes with no
+    /// remaining references are reclaimed.
+    pub fn remove_query(&mut self, qid: u64) {
+        self.nodes.retain(|_, node| {
+            node.qids.remove(&qid);
+            !node.qids.is_empty()
+        });
+    }
+
+    /// Reference count of the node with this canonical text (0 = absent).
+    pub fn refs(&self, text: &str) -> usize {
+        self.nodes.get(text).map_or(0, |n| n.qids.len())
+    }
+
+    /// Total nodes currently in the DAG.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Nodes referenced by more than one query.
+    pub fn shared_node_count(&self) -> usize {
+        self.nodes.values().filter(|n| n.qids.len() >= 2).count()
+    }
+
+    /// The `(kind, canonical text, refcount)` rows of the nodes query
+    /// `qid` participates in — window first, then select, then agg (the
+    /// EXPLAIN "shared subplans" section).
+    pub fn nodes_of(&self, qid: u64) -> Vec<(SharedNodeKind, String, usize)> {
+        let mut rows: Vec<(SharedNodeKind, String, usize)> = self
+            .nodes
+            .iter()
+            .filter(|(_, n)| n.qids.contains(&qid))
+            .map(|(text, n)| (n.kind, text.clone(), n.qids.len()))
+            .collect();
+        let rank = |k: SharedNodeKind| match k {
+            SharedNodeKind::Window => 0,
+            SharedNodeKind::Select => 1,
+            SharedNodeKind::GroupAgg => 2,
+        };
+        rows.sort_by(|a, b| rank(a.0).cmp(&rank(b.0)).then_with(|| a.1.cmp(&b.1)));
+        rows
+    }
+
+    /// True iff the DAG holds no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+/// Per-pass memo of shared-node evaluations: each entry is one shared node
+/// evaluated over one basic-window span this round. Cleared at the start
+/// of every scheduler round (`begin_round`); the hit/miss counters are
+/// cumulative for stats.
+#[derive(Debug, Default)]
+pub struct PassCache {
+    selects: HashMap<(u64, WindowSpan), (String, Candidates)>,
+    partials: HashMap<(u64, WindowSpan), (String, PartialAgg)>,
+    merged: HashMap<(u64, WindowSpan), (String, Chunk)>,
+    /// Shared evaluations reused (evaluations saved).
+    pub hits: u64,
+    /// Shared evaluations that had to run (first query to arrive).
+    pub misses: u64,
+}
+
+impl PassCache {
+    /// Start a new scheduler round: entries from the previous round refer
+    /// to already-consumed window spans and are dropped; counters persist.
+    pub fn begin_round(&mut self) {
+        self.selects.clear();
+        self.partials.clear();
+        self.merged.clear();
+    }
+
+    /// Look up a shared selection result, verifying the canonical text.
+    pub fn get_select(&mut self, key: &SubplanKey, span: WindowSpan) -> Option<Candidates> {
+        match self.selects.get(&(key.hash, span)) {
+            Some((text, cand)) if *text == key.text => {
+                self.hits += 1;
+                Some(cand.clone())
+            }
+            _ => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Park a selection result for the rest of the round.
+    pub fn put_select(&mut self, key: &SubplanKey, span: WindowSpan, cand: Candidates) {
+        self.selects
+            .entry((key.hash, span))
+            .or_insert_with(|| (key.text.clone(), cand));
+    }
+
+    /// Look up a shared basic-window partial, verifying the canonical text.
+    pub fn get_partial(&mut self, key: &SubplanKey, span: WindowSpan) -> Option<PartialAgg> {
+        match self.partials.get(&(key.hash, span)) {
+            Some((text, p)) if *text == key.text => {
+                self.hits += 1;
+                Some(p.clone())
+            }
+            _ => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Park a basic-window partial for the rest of the round.
+    pub fn put_partial(&mut self, key: &SubplanKey, span: WindowSpan, partial: PartialAgg) {
+        self.partials
+            .entry((key.hash, span))
+            .or_insert_with(|| (key.text.clone(), partial));
+    }
+
+    /// Look up a shared *finalized full-window* aggregate chunk: queries
+    /// with the same agg fingerprint merge identical rings into identical
+    /// results, so the merge + finalize runs once per span per round.
+    pub fn get_merged(&mut self, key: &SubplanKey, span: WindowSpan) -> Option<Chunk> {
+        match self.merged.get(&(key.hash, span)) {
+            Some((text, chunk)) if *text == key.text => {
+                self.hits += 1;
+                Some(chunk.clone())
+            }
+            _ => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Park a finalized full-window aggregate for the rest of the round.
+    pub fn put_merged(&mut self, key: &SubplanKey, span: WindowSpan, chunk: Chunk) {
+        self.merged
+            .entry((key.hash, span))
+            .or_insert_with(|| (key.text.clone(), chunk));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datacell_plan::shared::fnv1a;
+
+    fn key(text: &str) -> SubplanKey {
+        SubplanKey { text: text.into(), hash: fnv1a(text.as_bytes()) }
+    }
+
+    fn shape(window: &str, select: Option<&str>, agg: Option<&str>) -> SharedShape {
+        SharedShape {
+            window: Some(key(window)),
+            select: select.map(key),
+            agg: agg.map(key),
+        }
+    }
+
+    #[test]
+    fn dag_refcounts_and_reclaims() {
+        let mut dag = SharedPlanDag::default();
+        let a = shape("w", Some("w|p"), Some("w|p|a"));
+        let b = shape("w", Some("w|p"), Some("w|p|b"));
+        dag.insert_query(1, &a);
+        dag.insert_query(2, &b);
+        assert_eq!(dag.node_count(), 4); // w, w|p, w|p|a, w|p|b
+        assert_eq!(dag.refs("w"), 2);
+        assert_eq!(dag.refs("w|p|a"), 1);
+        assert_eq!(dag.shared_node_count(), 2);
+
+        dag.remove_query(1);
+        assert_eq!(dag.refs("w"), 1);
+        assert_eq!(dag.refs("w|p|a"), 0, "orphaned node reclaimed");
+        assert_eq!(dag.node_count(), 3);
+        dag.remove_query(2);
+        assert!(dag.is_empty());
+    }
+
+    #[test]
+    fn dag_nodes_of_orders_stages() {
+        let mut dag = SharedPlanDag::default();
+        dag.insert_query(7, &shape("w", Some("w|p"), Some("w|p|a")));
+        let rows = dag.nodes_of(7);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].0, SharedNodeKind::Window);
+        assert_eq!(rows[1].0, SharedNodeKind::Select);
+        assert_eq!(rows[2].0, SharedNodeKind::GroupAgg);
+        assert!(dag.nodes_of(8).is_empty());
+    }
+
+    #[test]
+    fn cache_round_trip_and_round_boundary() {
+        let mut cache = PassCache::default();
+        let k = key("w|p");
+        let span = (10, 20);
+        assert!(cache.get_select(&k, span).is_none());
+        cache.put_select(&k, span, Candidates::range(12, 15));
+        assert_eq!(cache.get_select(&k, span), Some(Candidates::range(12, 15)));
+        assert!(cache.get_select(&k, (20, 30)).is_none(), "different span");
+        assert_eq!((cache.hits, cache.misses), (1, 2));
+
+        cache.begin_round();
+        assert!(cache.get_select(&k, span).is_none(), "entries die with the round");
+        assert_eq!((cache.hits, cache.misses), (1, 3), "counters survive");
+    }
+
+    #[test]
+    fn cache_detects_hash_collisions() {
+        let mut cache = PassCache::default();
+        let real = key("w|p");
+        // Forge a different node with the same hash.
+        let forged = SubplanKey { text: "other".into(), hash: real.hash };
+        cache.put_select(&real, (0, 5), Candidates::range(0, 1));
+        assert!(cache.get_select(&forged, (0, 5)).is_none(), "text mismatch is a miss");
+    }
+
+    #[test]
+    fn cache_merged_round_trip() {
+        let mut cache = PassCache::default();
+        let k = key("w|p|agg");
+        assert!(cache.get_merged(&k, (0, 20)).is_none());
+        cache.put_merged(&k, (0, 20), Chunk::default());
+        let got = cache.get_merged(&k, (0, 20)).expect("entry present");
+        assert_eq!(got.len(), 0);
+        assert!(cache.get_merged(&k, (5, 25)).is_none(), "different full span");
+        cache.begin_round();
+        assert!(cache.get_merged(&k, (0, 20)).is_none(), "entries die with the round");
+    }
+
+    #[test]
+    fn cache_partials_keep_first_entry() {
+        let mut cache = PassCache::default();
+        let k = key("agg");
+        cache.put_partial(&k, (0, 5), PartialAgg::default());
+        let got = cache.get_partial(&k, (0, 5)).expect("entry present");
+        assert_eq!(got.rows_in, 0);
+    }
+}

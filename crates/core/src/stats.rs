@@ -70,6 +70,16 @@ pub struct EngineStats {
     /// Result chunks dropped by bounded subscriber queues (drop-oldest
     /// overflow policy — see `DataCellConfig::emitter_capacity`).
     pub dropped_chunks: u64,
+    /// Subplan nodes in the shared-execution DAG.
+    pub shared_nodes: usize,
+    /// DAG nodes referenced by ≥2 registered queries.
+    pub shared_nodes_active: usize,
+    /// Shared evaluations reused from the per-pass cache (evaluations
+    /// saved by common-subplan factoring).
+    pub shared_hits: u64,
+    /// Shared evaluations that had to run (first query of the pass to
+    /// reach the node).
+    pub shared_misses: u64,
     /// Durability counters, when a WAL is attached (`None` = in-memory).
     pub wal: Option<WalStats>,
 }
@@ -119,6 +129,10 @@ impl EngineStats {
             "emitters: {} chunks dropped (overflow)\n",
             self.dropped_chunks
         ));
+        out.push_str(&format!(
+            "shared: {} subplan nodes ({} shared), {} evaluations saved / {} computed\n",
+            self.shared_nodes, self.shared_nodes_active, self.shared_hits, self.shared_misses
+        ));
         if let Some(w) = &self.wal {
             out.push_str(&format!(
                 "wal: {} bytes, {} batches appended ({} synced), {} meta records, \
@@ -163,6 +177,10 @@ mod tests {
             partitions: 2,
             workers: 4,
             dropped_chunks: 9,
+            shared_nodes: 3,
+            shared_nodes_active: 2,
+            shared_hits: 30,
+            shared_misses: 10,
             wal: None,
         };
         let text = stats.render();
@@ -170,6 +188,7 @@ mod tests {
         assert!(text.contains("q1"));
         assert!(text.contains("5 firings over 3 rounds (2 partitions, 4 workers)"));
         assert!(text.contains("emitters: 9 chunks dropped (overflow)"));
+        assert!(text.contains("shared: 3 subplan nodes (2 shared), 30 evaluations saved / 10 computed"));
         assert!(!text.contains("wal:"));
     }
 

@@ -1,0 +1,293 @@
+//! Shared-execution equivalence: common-subplan factoring must be
+//! invisible in the results. The same overlapping query mix over the same
+//! ingest must produce byte-identical per-query chunk sequences with
+//! `shared_execution` on and off, at every worker count, and across a WAL
+//! crash/recovery boundary. A randomized REGISTER/DEREGISTER churn test
+//! checks that refcounted shared nodes never leak and never disturb
+//! surviving queries.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use datacell_core::{DataCell, DataCellConfig, ExecutionMode, SyncPolicy, WalConfig};
+use datacell_storage::{Row, Value};
+use proptest::prelude::*;
+
+/// Deterministic LCG (same generator as the parallel-equivalence suite) so
+/// the ingest interleaving is reproducible without an RNG crate at runtime.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+}
+
+fn row(t: i64) -> Row {
+    vec![Value::Int(t), Value::Int(t % 5), Value::Int(t * 7 % 101)]
+}
+
+/// An overlapping standing-query mix over one stream: two *identical*
+/// queries (share window+select+agg), two sharing only the predicate
+/// (different aggregates), one sharing only the window (different
+/// threshold), and one disjoint re-evaluation query as a control.
+fn register_overlapping(cell: &mut DataCell) -> Vec<u64> {
+    cell.execute("CREATE STREAM t (ts BIGINT, k BIGINT, v BIGINT)").unwrap();
+    let inc = |cell: &mut DataCell, sql: &str| {
+        cell.register_query_with_mode(sql, ExecutionMode::Incremental).unwrap()
+    };
+    let mut qids = Vec::new();
+    // Identical pair: full window → select → group-agg sharing.
+    for _ in 0..2 {
+        qids.push(inc(
+            cell,
+            "SELECT k, COUNT(*), SUM(v) FROM t [ROWS 8 SLIDE 4] WHERE v > 40 GROUP BY k",
+        ));
+    }
+    // Shared-predicate pair: same window + WHERE, different aggregates.
+    qids.push(inc(cell, "SELECT k, MIN(v) FROM t [ROWS 8 SLIDE 4] WHERE v > 40 GROUP BY k"));
+    qids.push(inc(cell, "SELECT k, MAX(v) FROM t [ROWS 8 SLIDE 4] WHERE v > 40 GROUP BY k"));
+    // Window-only sharing: different threshold.
+    qids.push(inc(cell, "SELECT COUNT(*), SUM(v) FROM t [ROWS 8 SLIDE 4] WHERE v > 70"));
+    // Disjoint control on its own window shape, re-evaluation mode.
+    qids.push(
+        cell.register_query_with_mode(
+            "SELECT k, SUM(v) FROM t [ROWS 6 SLIDE 3] GROUP BY k",
+            ExecutionMode::Reevaluate,
+        )
+        .unwrap(),
+    );
+    qids
+}
+
+fn drain(cell: &mut DataCell, qids: &[u64], outputs: &mut BTreeMap<u64, Vec<String>>) {
+    for q in qids {
+        for chunk in cell.take_results(*q).unwrap() {
+            for r in chunk.rows() {
+                outputs
+                    .get_mut(q)
+                    .unwrap()
+                    .push(r.iter().map(Value::to_string).collect::<Vec<_>>().join(","));
+            }
+        }
+    }
+}
+
+fn run_workload(shared: bool, workers: usize) -> (BTreeMap<u64, Vec<String>>, u64) {
+    let mut cell = DataCell::new(DataCellConfig {
+        shared_execution: shared,
+        workers,
+        ..Default::default()
+    });
+    let qids = register_overlapping(&mut cell);
+    let mut outputs: BTreeMap<u64, Vec<String>> =
+        qids.iter().map(|q| (*q, Vec::new())).collect();
+    let mut lcg = Lcg(0x5EED);
+    let mut t = 0i64;
+    for round in 0..120 {
+        let n = 1 + (lcg.next() % 6) as i64;
+        let rows: Vec<Row> = (0..n).map(|i| row(t + i)).collect();
+        t += n;
+        cell.push_rows("t", &rows).unwrap();
+        if round % 4 == 0 {
+            cell.run_until_idle().unwrap();
+            drain(&mut cell, &qids, &mut outputs);
+        }
+    }
+    cell.run_until_idle().unwrap();
+    drain(&mut cell, &qids, &mut outputs);
+    (outputs, cell.stats().shared_hits)
+}
+
+/// The central claim: sharing never changes any query's output, at any
+/// worker count — and with sharing on, evaluations are actually saved.
+#[test]
+fn sharing_on_off_byte_identical_at_workers_1_2_4() {
+    let (baseline, _) = run_workload(false, 1);
+    assert!(
+        baseline.values().all(|rows| !rows.is_empty()),
+        "every query must produce output for the comparison to mean anything"
+    );
+    for workers in [1, 2, 4] {
+        let (off, off_hits) = run_workload(false, workers);
+        let (on, on_hits) = run_workload(true, workers);
+        assert_eq!(baseline, off, "sharing-off diverged at workers={workers}");
+        assert_eq!(baseline, on, "sharing-on diverged at workers={workers}");
+        assert_eq!(off_hits, 0, "sharing off must never consult the cache");
+        assert!(on_hits > 0, "sharing on must save evaluations at workers={workers}");
+    }
+}
+
+/// Sharing shows up in stats and EXPLAIN, and DEREGISTER reclaims nodes.
+#[test]
+fn sharing_is_observable_and_reclaimed() {
+    let mut cell = DataCell::default();
+    let qids = register_overlapping(&mut cell);
+    let stats = cell.stats();
+    assert!(stats.shared_nodes > 0);
+    assert!(stats.shared_nodes_active > 0);
+
+    let text = cell.explain(qids[0]).unwrap();
+    assert!(text.contains("== shared subplans =="), "explain:\n{text}");
+    assert!(text.contains("-> shared by 4 queries"), "explain:\n{text}"); // the WHERE v > 40 select
+    assert!(text.contains("-> shared by 2 queries"), "explain:\n{text}"); // the identical agg pair
+
+    // Deregister everything: the DAG must drain completely.
+    for q in &qids {
+        cell.deregister_query(*q).unwrap();
+    }
+    let stats = cell.stats();
+    assert_eq!(stats.shared_nodes, 0, "orphaned shared nodes leaked");
+    assert_eq!(stats.shared_nodes_active, 0);
+}
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+fn tmpdir() -> PathBuf {
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("datacell-shared-wal-{}-{n}", std::process::id()))
+}
+
+fn durable_config(dir: &PathBuf, shared: bool) -> DataCellConfig {
+    DataCellConfig {
+        wal: Some(WalConfig { sync: SyncPolicy::Never, ..WalConfig::at(dir) }),
+        shared_execution: shared,
+        ..Default::default()
+    }
+}
+
+/// Run the overlapping mix with a restart after `crash_after` ingest
+/// rounds (`None` = uninterrupted), returning per-query row streams.
+fn run_durable(
+    dir: &PathBuf,
+    shared: bool,
+    crash_after: Option<usize>,
+) -> BTreeMap<u64, Vec<String>> {
+    let mut cell = DataCell::open(durable_config(dir, shared)).unwrap();
+    let qids = register_overlapping(&mut cell);
+    let mut outputs: BTreeMap<u64, Vec<String>> =
+        qids.iter().map(|q| (*q, Vec::new())).collect();
+    let mut lcg = Lcg(0xC0FFEE);
+    let mut t = 0i64;
+    let mut cell = Some(cell);
+    for round in 0..60 {
+        if crash_after == Some(round) {
+            // Crash: drop the engine (releases the WAL dir), then recover.
+            drop(cell.take());
+            cell = Some(DataCell::open(durable_config(dir, shared)).unwrap());
+        }
+        let engine = cell.as_mut().unwrap();
+        let n = 1 + (lcg.next() % 6) as i64;
+        let rows: Vec<Row> = (0..n).map(|i| row(t + i)).collect();
+        t += n;
+        engine.push_rows("t", &rows).unwrap();
+        engine.run_until_idle().unwrap();
+        drain(engine, &qids, &mut outputs);
+    }
+    outputs
+}
+
+/// Sharing must also be invisible across a WAL crash/recovery boundary:
+/// recovered ring partials are rebuilt through the same fused compute
+/// path, so the post-restart chunk stream matches the uninterrupted run
+/// bit for bit — with sharing on and off.
+#[test]
+fn sharing_survives_wal_crash_recovery() {
+    let reference = {
+        let dir = tmpdir();
+        let out = run_durable(&dir, false, None);
+        std::fs::remove_dir_all(&dir).ok();
+        out
+    };
+    assert!(reference.values().all(|rows| !rows.is_empty()));
+    for (shared, crash) in [(false, Some(23)), (true, None), (true, Some(23))] {
+        let dir = tmpdir();
+        let out = run_durable(&dir, shared, crash);
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(
+            reference, out,
+            "diverged with shared={shared} crash_after={crash:?}"
+        );
+    }
+}
+
+/// One churn step: register one of the candidate queries or deregister a
+/// live one, driven by the proptest-generated script.
+const CANDIDATES: [&str; 5] = [
+    "SELECT k, COUNT(*), SUM(v) FROM t [ROWS 8 SLIDE 4] WHERE v > 40 GROUP BY k",
+    "SELECT k, MIN(v) FROM t [ROWS 8 SLIDE 4] WHERE v > 40 GROUP BY k",
+    "SELECT COUNT(*), SUM(v) FROM t [ROWS 8 SLIDE 4] WHERE v > 70",
+    "SELECT k, SUM(v) FROM t [ROWS 6 SLIDE 3] GROUP BY k",
+    "SELECT AVG(v) FROM t [ROWS 8 SLIDE 4] WHERE v > 40",
+];
+
+/// Replay one churn script on a fresh engine. Engine-assigned query ids
+/// are deterministic for a fixed script, so outputs keyed by qid align
+/// between the sharing-on and sharing-off runs. Returns every query's
+/// full output stream (victims included — drained before deregistration)
+/// plus the final engine for DAG inspection.
+fn run_churn(
+    script: &[(usize, bool, u64)],
+    seed: u64,
+    shared: bool,
+) -> (BTreeMap<u64, Vec<String>>, Vec<u64>, DataCell) {
+    let mut cell =
+        DataCell::new(DataCellConfig { shared_execution: shared, ..Default::default() });
+    cell.execute("CREATE STREAM t (ts BIGINT, k BIGINT, v BIGINT)").unwrap();
+    let mut live: Vec<u64> = Vec::new();
+    let mut outputs: BTreeMap<u64, Vec<String>> = BTreeMap::new();
+    let mut lcg = Lcg(seed | 1);
+    let mut t = 0i64;
+    for &(ci, dereg, n) in script {
+        if dereg && !live.is_empty() {
+            let victim = (lcg.next() % live.len() as u64) as usize;
+            let qid = live.swap_remove(victim);
+            drain(&mut cell, &[qid], &mut outputs);
+            cell.deregister_query(qid).unwrap();
+        } else {
+            let qid = cell
+                .register_query_with_mode(CANDIDATES[ci], ExecutionMode::Incremental)
+                .unwrap();
+            outputs.insert(qid, Vec::new());
+            live.push(qid);
+        }
+        let rows: Vec<Row> = (0..n as i64).map(|i| row(t + i)).collect();
+        t += n as i64;
+        cell.push_rows("t", &rows).unwrap();
+        cell.run_until_idle().unwrap();
+        drain(&mut cell, &live, &mut outputs);
+    }
+    (outputs, live, cell)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// REGISTER/DEREGISTER churn under sharing: for an arbitrary
+    /// register/deregister/ingest script, (a) every query's output —
+    /// survivors and deregistered victims alike — is identical with
+    /// sharing on and off (churn of *other* queries never disturbs a
+    /// live one), and (b) deregistering the survivors drains the shared
+    /// DAG to empty: refcounted nodes never leak.
+    #[test]
+    fn churn_never_leaks_or_disturbs_survivors(
+        script in collection::vec(
+            (0usize..5, (0u8..2).prop_map(|b| b == 1), 1u64..6),
+            1..30,
+        ),
+        seed in 0u64..u64::MAX,
+    ) {
+        let (off, _, _) = run_churn(&script, seed, false);
+        let (on, live, mut cell) = run_churn(&script, seed, true);
+        prop_assert_eq!(off, on, "churned output diverged between sharing off/on");
+
+        for qid in live {
+            cell.deregister_query(qid).unwrap();
+        }
+        let stats = cell.stats();
+        prop_assert_eq!(stats.shared_nodes, 0, "orphaned shared nodes leaked");
+        prop_assert_eq!(stats.shared_nodes_active, 0);
+    }
+}

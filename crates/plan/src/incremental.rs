@@ -24,7 +24,9 @@
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 
-use datacell_algebra::{AggState, JoinKey};
+use datacell_algebra::{
+    fused_global_state, fused_grouped_states, group_by, AggState, Candidates, JoinKey,
+};
 use datacell_sql::WindowSpec;
 use datacell_storage::{Bat, Chunk, DataType, Value};
 
@@ -216,6 +218,83 @@ impl PartialAgg {
             }
         }
         Ok(())
+    }
+
+    /// Fused filter+aggregate fast path: compute the partial directly from
+    /// the **raw** basic-window delta and a selection vector, without
+    /// materializing the filtered chunk ([`crate::physical::execute`] of
+    /// the pre-plan) first.
+    ///
+    /// Applies when every group key and aggregate argument is a plain
+    /// column reference into `chunk` and the fused kernels accept the
+    /// column shapes; returns `Ok(None)` otherwise so the caller falls back
+    /// to the general path. A `Some` result is field-identical to
+    /// `execute(pre_plan)` + [`PartialAgg::compute`] — same group order
+    /// (first appearance), same accumulation order (so float sums match
+    /// bit-for-bit) — which the shared-execution equivalence and WAL
+    /// recovery tests rely on.
+    pub fn compute_fused(
+        chunk: &Chunk,
+        cand: &Candidates,
+        group_exprs: &[BoundExpr],
+        aggs: &[AggSpec],
+    ) -> Result<Option<Self>> {
+        let col_of = |e: &BoundExpr| -> Option<usize> {
+            match e {
+                BoundExpr::Col(k) if *k < chunk.arity() => Some(*k),
+                _ => None,
+            }
+        };
+        let mut arg_cols: Vec<Option<&Bat>> = Vec::with_capacity(aggs.len());
+        for a in aggs {
+            match &a.arg {
+                None => arg_cols.push(None),
+                Some(e) => match col_of(e) {
+                    Some(k) => arg_cols.push(Some(chunk.column(k))),
+                    None => return Ok(None),
+                },
+            }
+        }
+        let mut key_cols: Vec<&Bat> = Vec::with_capacity(group_exprs.len());
+        for e in group_exprs {
+            match col_of(e) {
+                Some(k) => key_cols.push(chunk.column(k)),
+                None => return Ok(None),
+            }
+        }
+
+        let mut out = PartialAgg { rows_in: cand.len(), ..Default::default() };
+
+        if group_exprs.is_empty() {
+            let mut states = Vec::with_capacity(aggs.len());
+            for (spec, col) in aggs.iter().zip(&arg_cols) {
+                match fused_global_state(spec.kind, *col, cand) {
+                    Some(s) => states.push(s),
+                    None => return Ok(None),
+                }
+            }
+            out.order.push(GroupKey::new());
+            out.groups.insert(GroupKey::new(), (Vec::new(), states));
+            return Ok(Some(out));
+        }
+
+        let map = group_by(&key_cols, Some(cand))?;
+        let mut per_agg: Vec<Vec<AggState>> = Vec::with_capacity(aggs.len());
+        for (spec, col) in aggs.iter().zip(&arg_cols) {
+            match fused_grouped_states(spec.kind, *col, &map, Some(cand)) {
+                Some(states) => per_agg.push(states),
+                None => return Ok(None),
+            }
+        }
+        for (g, &rep) in map.representatives.iter().enumerate() {
+            let key: GroupKey =
+                key_cols.iter().map(|k| JoinKey::from_value(&k.get_at(rep))).collect();
+            let values: Vec<Value> = key_cols.iter().map(|k| k.get_at(rep)).collect();
+            let states: Vec<AggState> = per_agg.iter().map(|s| s[g].clone()).collect();
+            out.order.push(key.clone());
+            out.groups.insert(key, (values, states));
+        }
+        Ok(Some(out))
     }
 
     fn entry(
@@ -595,6 +674,51 @@ mod tests {
         ra.sort_by_key(key);
         rb.sort_by_key(key);
         assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn fused_compute_matches_general_path() {
+        let group = vec![BoundExpr::Col(0)];
+        let aggs = agg_specs();
+        let data = chunk(vec![1, 2, 1, 2, 3], vec![10, 20, 30, 40, 50]);
+        for cand in [
+            Candidates::all(data.column(0)),
+            Candidates::range(1, 4),
+            Candidates::List(vec![0, 2, 4]),
+        ] {
+            // General path: materialize the selected rows, then compute.
+            let filtered = datacell_algebra::fetch_chunk(&data, &cand);
+            let general = PartialAgg::compute(&filtered, &group, &aggs).unwrap();
+            let fused = PartialAgg::compute_fused(&data, &cand, &group, &aggs)
+                .unwrap()
+                .expect("shape is fusible");
+            let a = general.finalize(&group, &[DataType::Int], &aggs).unwrap();
+            let b = fused.finalize(&group, &[DataType::Int], &aggs).unwrap();
+            assert_eq!(a, b, "cand {cand:?}");
+            assert_eq!(general.rows_in, fused.rows_in);
+
+            // Global aggregation too.
+            let general = PartialAgg::compute(&filtered, &[], &aggs).unwrap();
+            let fused = PartialAgg::compute_fused(&data, &cand, &[], &aggs)
+                .unwrap()
+                .expect("global shape is fusible");
+            let a = general.finalize(&[], &[], &aggs).unwrap();
+            let b = fused.finalize(&[], &[], &aggs).unwrap();
+            assert_eq!(a, b, "global cand {cand:?}");
+        }
+    }
+
+    #[test]
+    fn fused_compute_rejects_non_column_shapes() {
+        let aggs = vec![AggSpec {
+            kind: AggKind::Sum,
+            arg: Some(BoundExpr::Col(9)), // out of range
+            name: "s".into(),
+            ty: DataType::Int,
+        }];
+        let data = chunk(vec![1], vec![2]);
+        let cand = Candidates::all(data.column(0));
+        assert!(PartialAgg::compute_fused(&data, &cand, &[], &aggs).unwrap().is_none());
     }
 
     #[test]

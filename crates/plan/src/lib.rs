@@ -13,6 +13,7 @@
 //! * [`continuous`] — compilation of continuous plans and execution modes.
 //! * [`incremental`] — basic-window splitting and mergeable partials.
 //! * [`explain`] — plan rendering (the demo's plan inspection pane).
+//! * [`shared`] — structural fingerprints of shareable subplan prefixes.
 
 #![warn(missing_docs)]
 
@@ -25,6 +26,7 @@ pub mod incremental;
 pub mod logical;
 pub mod optimizer;
 pub mod physical;
+pub mod shared;
 
 pub use binder::{literal_to_value, type_of, Binder, BoundQuery};
 pub use continuous::{compile, CompiledQuery, ExecutionMode};
@@ -38,3 +40,4 @@ pub use incremental::{
 pub use logical::{AggSpec, LogicalPlan, ScanNode};
 pub use optimizer::optimize;
 pub use physical::{execute, execute_traced, ExecSources, OpTrace};
+pub use shared::{shared_shape, sharing_section, SharedNodeKind, SharedShape, SubplanKey};

@@ -1,0 +1,342 @@
+//! Shared-subplan canonicalization: structural fingerprints of the leading
+//! operators of continuous plans.
+//!
+//! DataCell's design point is that many standing queries share the same
+//! baskets ("multi-query processing", paper abstract) — yet a naive engine
+//! evaluates every query's window extraction, selection, and grouped
+//! aggregation independently. This module turns the *leading* operators of
+//! a compiled continuous plan into canonical strings with stable structural
+//! hashes so the runtime can factor common work:
+//!
+//! * a **window node** — the stream object plus its window clause (two
+//!   queries with the same key slice the same zero-copy basket window);
+//! * a **select node** — the window plus the canonical selection predicate
+//!   (same key ⇒ the same `Candidates` vector per basic window);
+//! * a **group-agg node** — the select/window plus group keys and aggregate
+//!   list (same key ⇒ the same per-basic-window partial aggregate).
+//!
+//! The keys are purely structural: column references render as positions
+//! (`#i`), never names, and stream objects are lowercased, so two queries
+//! compiled from differently-spelled but structurally identical SQL collide
+//! (which is exactly what we want). The scheduler keys its refcounted
+//! shared-node DAG and its per-pass evaluation cache on these fingerprints;
+//! `EXPLAIN` renders them via [`sharing_section`].
+
+use crate::continuous::CompiledQuery;
+use crate::expr::BoundExpr;
+use crate::incremental::IncrementalPlan;
+use crate::logical::{AggSpec, LogicalPlan};
+use datacell_storage::DataType;
+
+/// A canonical fingerprint of one shareable subplan stage: the canonical
+/// text (collision-proof equality key) plus its FNV-1a hash (cheap map key).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubplanKey {
+    /// Canonical structural rendering (also the EXPLAIN description).
+    pub text: String,
+    /// 64-bit FNV-1a hash of `text`.
+    pub hash: u64,
+}
+
+impl SubplanKey {
+    fn new(text: String) -> Self {
+        let hash = fnv1a(text.as_bytes());
+        SubplanKey { text, hash }
+    }
+}
+
+/// Which stage of the shared DAG a node represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SharedNodeKind {
+    /// Stream + window clause (zero-copy basket slice).
+    Window,
+    /// Window + selection predicate (shared `Candidates` vector).
+    Select,
+    /// Select/window + group keys + aggregates (shared partial aggregate).
+    GroupAgg,
+}
+
+impl SharedNodeKind {
+    /// Label used in EXPLAIN / stats output.
+    pub fn label(self) -> &'static str {
+        match self {
+            SharedNodeKind::Window => "window",
+            SharedNodeKind::Select => "select",
+            SharedNodeKind::GroupAgg => "group-agg",
+        }
+    }
+}
+
+/// The shareable prefix of one compiled continuous query. Stages nest:
+/// `agg` implies the query also has the `window` (and `select`, when a
+/// predicate exists) fingerprints it extends.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SharedShape {
+    /// Window-extraction stage (any single-stream continuous query).
+    pub window: Option<SubplanKey>,
+    /// Selection stage (incremental aggregate plans whose pre-plan is
+    /// `Filter(StreamScan)`).
+    pub select: Option<SubplanKey>,
+    /// Grouped-partial-aggregate stage (incremental aggregate plans whose
+    /// pre-plan is `StreamScan` or `Filter(StreamScan)`, no table joins).
+    pub agg: Option<SubplanKey>,
+}
+
+impl SharedShape {
+    /// The `(kind, key)` pairs this shape contributes to the shared DAG.
+    pub fn nodes(&self) -> Vec<(SharedNodeKind, &SubplanKey)> {
+        let mut out = Vec::new();
+        if let Some(k) = &self.window {
+            out.push((SharedNodeKind::Window, k));
+        }
+        if let Some(k) = &self.select {
+            out.push((SharedNodeKind::Select, k));
+        }
+        if let Some(k) = &self.agg {
+            out.push((SharedNodeKind::GroupAgg, k));
+        }
+        out
+    }
+}
+
+/// FNV-1a 64-bit — hand-rolled so fingerprints are stable across runs and
+/// platforms (no `RandomState`), with zero dependencies.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Canonical rendering of an expression: positional column refs, no names.
+fn canon_expr(e: &BoundExpr) -> String {
+    e.render(&[])
+}
+
+fn canon_aggs(aggs: &[AggSpec]) -> String {
+    let parts: Vec<String> = aggs
+        .iter()
+        .map(|a| match &a.arg {
+            Some(arg) => format!("{}({}):{}", a.kind.sql(), canon_expr(arg), a.ty),
+            None => format!("{}:{}", a.kind.sql(), a.ty),
+        })
+        .collect();
+    parts.join(",")
+}
+
+fn canon_groups(group_exprs: &[BoundExpr], group_types: &[DataType]) -> String {
+    let parts: Vec<String> = group_exprs
+        .iter()
+        .zip(group_types)
+        .map(|(e, t)| format!("{}:{t}", canon_expr(e)))
+        .collect();
+    parts.join(",")
+}
+
+/// When `pre` is a bare stream scan or a single filter over one, return the
+/// (optional) selection predicate — the shape the fused filter+aggregate
+/// kernels and the shared select node both require. Column indices in the
+/// predicate refer to the stream scan's output, i.e. directly to the delta
+/// chunk's columns.
+pub fn fused_filter(pre: &LogicalPlan) -> Option<Option<&BoundExpr>> {
+    match pre {
+        LogicalPlan::Scan(s) if s.is_stream => Some(None),
+        LogicalPlan::Filter { input, predicate } => match input.as_ref() {
+            LogicalPlan::Scan(s) if s.is_stream => Some(Some(predicate)),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Compute the shareable-prefix fingerprints of a compiled query.
+///
+/// Only single-stream queries produce fingerprints (two-stream joins fire
+/// on either input and never align spans with other queries); select/agg
+/// stages additionally require an incremental aggregate split whose
+/// pre-plan is `StreamScan` or `Filter(StreamScan)` with no table joins —
+/// the shapes whose per-basic-window results are position-independent and
+/// therefore safe to share between factories.
+pub fn shared_shape(q: &CompiledQuery) -> SharedShape {
+    let [stream] = q.streams.as_slice() else {
+        return SharedShape::default();
+    };
+    let window_text = match &stream.window {
+        Some(w) => format!("stream={}|window={w}", stream.object.to_ascii_lowercase()),
+        None => format!("stream={}|window=none", stream.object.to_ascii_lowercase()),
+    };
+    let mut shape = SharedShape {
+        window: Some(SubplanKey::new(window_text.clone())),
+        select: None,
+        agg: None,
+    };
+
+    let Some(IncrementalPlan::Aggregate(p)) = &q.incremental else {
+        return shape;
+    };
+    if !q.tables.is_empty() {
+        return shape;
+    }
+    let Some(pred) = fused_filter(&p.pre_plan) else {
+        return shape;
+    };
+    let base = match pred {
+        Some(pred) => {
+            let select_text = format!("{window_text}|where={}", canon_expr(pred));
+            shape.select = Some(SubplanKey::new(select_text.clone()));
+            select_text
+        }
+        None => window_text,
+    };
+    shape.agg = Some(SubplanKey::new(format!(
+        "{base}|group=[{}]|aggs=[{}]",
+        canon_groups(&p.group_exprs, &p.group_types),
+        canon_aggs(&p.aggs)
+    )));
+    shape
+}
+
+/// Render the EXPLAIN "shared subplans" section: one line per DAG node the
+/// query participates in, with its fan-out (how many registered queries
+/// share it).
+pub fn sharing_section(entries: &[(SharedNodeKind, String, usize)]) -> String {
+    let mut out = String::from("== shared subplans ==\n");
+    if entries.is_empty() {
+        out.push_str("  (no shareable prefix)\n");
+        return out;
+    }
+    for (kind, text, refs) in entries {
+        let status = match refs {
+            0 | 1 => "not shared".to_owned(),
+            n => format!("shared by {n} queries"),
+        };
+        out.push_str(&format!("  {} {} -> {}\n", kind.label(), text, status));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binder::Binder;
+    use datacell_sql::parse_statement;
+    use datacell_storage::{Catalog, Schema};
+
+    fn catalog() -> Catalog {
+        let cat = Catalog::new();
+        cat.create_stream(
+            "s",
+            Schema::of(&[
+                ("ts", DataType::Timestamp),
+                ("k", DataType::Int),
+                ("v", DataType::Float),
+            ]),
+        )
+        .unwrap();
+        cat.create_table("dim", Schema::of(&[("k", DataType::Int), ("w", DataType::Int)]))
+            .unwrap();
+        cat
+    }
+
+    fn compile_sql(sql: &str) -> CompiledQuery {
+        let cat = catalog();
+        let stmt = match parse_statement(sql).unwrap() {
+            datacell_sql::Statement::Select(s) => s,
+            _ => panic!("not a select"),
+        };
+        let bound = Binder::new(&cat).bind_select(&stmt).unwrap();
+        crate::continuous::compile(sql, bound).unwrap()
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), fnv1a(b"a"));
+        assert_ne!(fnv1a(b"a"), fnv1a(b"b"));
+    }
+
+    #[test]
+    fn identical_queries_share_all_stages() {
+        let sql = "SELECT k, COUNT(*), AVG(v) FROM s [ROWS 100 SLIDE 10] \
+                   WHERE v > 5.0 GROUP BY k";
+        let a = shared_shape(&compile_sql(sql));
+        let b = shared_shape(&compile_sql(sql));
+        assert!(a.window.is_some() && a.select.is_some() && a.agg.is_some());
+        assert_eq!(a, b);
+        assert_eq!(a.nodes().len(), 3);
+    }
+
+    #[test]
+    fn different_threshold_shares_window_only() {
+        let a = shared_shape(&compile_sql(
+            "SELECT k, AVG(v) FROM s [ROWS 100 SLIDE 10] WHERE v > 5.0 GROUP BY k",
+        ));
+        let b = shared_shape(&compile_sql(
+            "SELECT k, AVG(v) FROM s [ROWS 100 SLIDE 10] WHERE v > 6.0 GROUP BY k",
+        ));
+        assert_eq!(a.window, b.window);
+        assert_ne!(a.select, b.select);
+        assert_ne!(a.agg, b.agg);
+    }
+
+    #[test]
+    fn different_window_shares_nothing() {
+        let a = shared_shape(&compile_sql(
+            "SELECT k, AVG(v) FROM s [ROWS 100 SLIDE 10] GROUP BY k",
+        ));
+        let b = shared_shape(&compile_sql(
+            "SELECT k, AVG(v) FROM s [ROWS 100 SLIDE 20] GROUP BY k",
+        ));
+        assert_ne!(a.window, b.window);
+        assert_ne!(a.agg, b.agg);
+    }
+
+    #[test]
+    fn unfiltered_aggregate_has_agg_but_no_select() {
+        let shape = shared_shape(&compile_sql(
+            "SELECT k, SUM(v) FROM s [ROWS 100 SLIDE 10] GROUP BY k",
+        ));
+        assert!(shape.window.is_some());
+        assert!(shape.select.is_none());
+        assert!(shape.agg.is_some());
+    }
+
+    #[test]
+    fn table_join_disables_select_and_agg_stages() {
+        let shape = shared_shape(&compile_sql(
+            "SELECT dim.w, SUM(v) FROM s [ROWS 64 SLIDE 8] JOIN dim ON s.k = dim.k \
+             GROUP BY dim.w",
+        ));
+        assert!(shape.window.is_some());
+        assert!(shape.select.is_none());
+        assert!(shape.agg.is_none());
+    }
+
+    #[test]
+    fn projection_only_query_has_window_stage_only() {
+        let shape = shared_shape(&compile_sql(
+            "SELECT v FROM s [ROWS 10 SLIDE 5] WHERE v > 1.0",
+        ));
+        assert!(shape.window.is_some());
+        assert!(shape.agg.is_none());
+    }
+
+    #[test]
+    fn sharing_section_renders_counts() {
+        let shape = shared_shape(&compile_sql(
+            "SELECT k, AVG(v) FROM s [ROWS 100 SLIDE 10] WHERE v > 5.0 GROUP BY k",
+        ));
+        let entries: Vec<(SharedNodeKind, String, usize)> = shape
+            .nodes()
+            .into_iter()
+            .enumerate()
+            .map(|(i, (kind, key))| (kind, key.text.clone(), i + 1))
+            .collect();
+        let text = sharing_section(&entries);
+        assert!(text.contains("window stream=s|window=[ROWS 100 SLIDE 10] -> not shared"), "{text}");
+        assert!(text.contains("shared by 3 queries"), "{text}");
+        assert!(sharing_section(&[]).contains("no shareable prefix"));
+    }
+}

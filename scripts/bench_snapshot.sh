@@ -1,32 +1,41 @@
 #!/usr/bin/env bash
-# Bench snapshot: run the e1 / e3 / e9 / e10 / e11 experiment binaries at
-# a small, fixed --events size and collect their SNAPSHOT lines
-# (events/sec per experiment) into BENCH_PR5.json, so every PR leaves a
-# comparable perf data point behind. e1/e3/e9/e10 are kept from earlier
-# PRs for trajectory comparison; e11 (added with the durability
+# Bench snapshot: run the e1 / e3 / e6 / e9 / e10 / e11 experiment
+# binaries at a small, fixed --events size and collect their SNAPSHOT
+# lines (events/sec per experiment) into BENCH_PR7.json, so every PR
+# leaves a comparable perf data point behind. e1/e3/e9/e10 are kept from
+# earlier PRs for trajectory comparison; e11 (added with the durability
 # subsystem) tracks WAL ingest overhead and crash-recovery replay
-# throughput.
+# throughput; e6 (added with the shared-execution layer) is swept over
+# its --overlap mixes to track what common-subplan factoring buys at 16
+# standing queries.
 #
 # Usage: scripts/bench_snapshot.sh [events]   (default 20000)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 events="${1:-20000}"
-out="BENCH_PR5.json"
+out="BENCH_PR7.json"
 
 cargo build --release -p datacell-bench --bins
 
 lines=""
 run_log="$(mktemp)"
 trap 'rm -f "${run_log}"' EXIT
-for bin in e1_reeval e3_window_sweep e9_multicore e10_server e11_recovery; do
+collect() {
   # Run to a file first so a binary failure (e.g. e9's determinism check
   # exiting non-zero) fails the script instead of being swallowed by a
   # pipeline / process substitution.
-  "./target/release/${bin}" --events "${events}" > "${run_log}"
+  "$@" > "${run_log}"
   while IFS= read -r line; do
     lines="${lines}${lines:+,$'\n'}    ${line}"
   done < <(sed -n 's/^SNAPSHOT //p' "${run_log}")
+}
+
+for bin in e1_reeval e3_window_sweep e6_multiquery e9_multicore e10_server e11_recovery; do
+  collect "./target/release/${bin}" --events "${events}"
+done
+for mix in identical shared-predicate disjoint; do
+  collect ./target/release/e6_multiquery --events "${events}" --overlap "${mix}"
 done
 
 cores=$(nproc 2>/dev/null || echo 1)
