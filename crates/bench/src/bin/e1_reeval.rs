@@ -4,17 +4,28 @@
 //! tuples arrive, the standing select-project-aggregate query fires over
 //! exactly the new tuples. We sweep the arrival batch size and report
 //! throughput and per-firing latency; `--sweep-threshold` additionally
-//! sweeps the scheduler's firing threshold (ablation A2 in DESIGN.md).
+//! sweeps the scheduler's firing threshold (ablation A2 in DESIGN.md);
+//! `--obs-compare` runs the best batch size with observability off and on
+//! and snapshots both, bounding the tracing overhead (<2% budget).
 
-use datacell_bench::report::{f1, f2, snapshot, Table};
+use datacell_bench::report::{f1, f2, snapshot, snapshot_latency, Table};
 use datacell_core::{DataCell, DataCellConfig};
 use datacell_workload::{SensorConfig, SensorStream};
 
 const TOTAL_TUPLES: usize = 200_000;
 
-fn run_batch_size(total: usize, batch: usize, threshold: usize) -> (f64, f64) {
+struct RunOut {
+    throughput: f64,
+    latency_us: f64,
+    /// End-to-end (arrival → result) latency percentiles from the e2e
+    /// histogram — zeros when observability is off.
+    e2e: (f64, f64, f64),
+}
+
+fn run_batch_size(total: usize, batch: usize, threshold: usize, observability: bool) -> RunOut {
     let mut cell = DataCell::new(DataCellConfig {
         firing_threshold: threshold,
+        observability,
         ..Default::default()
     });
     cell.execute(&SensorStream::create_stream_sql("sensors")).unwrap();
@@ -38,31 +49,66 @@ fn run_batch_size(total: usize, batch: usize, threshold: usize) -> (f64, f64) {
     let _ = cell.take_results(q);
     let stats = cell.stats();
     let firings = stats.queries[0].firings.max(1);
-    let throughput = total as f64 / elapsed;
-    let latency_us = elapsed * 1e6 / firings as f64;
-    (throughput, latency_us)
+    let e2e = cell
+        .metrics_snapshot()
+        .histogram("datacell_e2e_latency_us")
+        .map(|h| h.p50_p95_p99())
+        .unwrap_or((0.0, 0.0, 0.0));
+    RunOut {
+        throughput: total as f64 / elapsed,
+        latency_us: elapsed * 1e6 / firings as f64,
+        e2e,
+    }
 }
 
 fn main() {
     let total = datacell_bench::cli::events(TOTAL_TUPLES);
     let sweep_threshold = datacell_bench::cli::has_flag("--sweep-threshold");
+    let obs_compare = datacell_bench::cli::has_flag("--obs-compare");
 
     println!("E1: full re-evaluation mode, SPA query over {total} sensor tuples");
     println!("query: SELECT sensor, COUNT(*), AVG(temp) FROM sensors WHERE temp > 18 GROUP BY sensor\n");
 
-    let mut t = Table::new(&["batch", "tuples/s", "us/firing"]);
+    let mut t = Table::new(&["batch", "tuples/s", "us/firing", "e2e p50", "e2e p95", "e2e p99"]);
     let mut best = 0.0f64;
+    let mut best_batch = 1usize;
+    let mut best_e2e = (0.0, 0.0, 0.0);
     for batch in [1usize, 8, 64, 512, 4096, 32_768] {
         if batch > total && batch != 1 {
             continue;
         }
-        let (tps, lat) = run_batch_size(total, batch, 1);
-        best = best.max(tps);
-        t.row(&[batch.to_string(), f1(tps), f2(lat)]);
+        let r = run_batch_size(total, batch, 1, true);
+        if r.throughput > best {
+            best = r.throughput;
+            best_batch = batch;
+            best_e2e = r.e2e;
+        }
+        t.row(&[
+            batch.to_string(),
+            f1(r.throughput),
+            f2(r.latency_us),
+            f1(r.e2e.0),
+            f1(r.e2e.1),
+            f1(r.e2e.2),
+        ]);
     }
     t.print();
-    snapshot("e1_reeval_best", best);
+    snapshot_latency("e1_reeval_best", best, best_e2e);
     println!("\nshape check: throughput rises with batch size (bulk processing\namortizes per-firing scheduling), latency per firing grows with batch.\n");
+
+    if obs_compare {
+        println!("observability overhead: best batch ({best_batch}) with tracing off vs on");
+        let off = run_batch_size(total, best_batch, 1, false);
+        let on = run_batch_size(total, best_batch, 1, true);
+        let overhead = 100.0 * (1.0 - on.throughput / off.throughput.max(1.0));
+        let mut t = Table::new(&["observability", "tuples/s", "overhead %"]);
+        t.row(&["off".into(), f1(off.throughput), "-".into()]);
+        t.row(&["on".into(), f1(on.throughput), f2(overhead)]);
+        t.print();
+        snapshot("e1_obs_off", off.throughput);
+        snapshot_latency("e1_obs_on", on.throughput, on.e2e);
+        println!("\nbudget: tracing must stay within ~2% of the untraced engine\n(per-batch arrival ticks + histogram records, no per-tuple work).\n");
+    }
 
     if sweep_threshold {
         println!("A2: firing-threshold sweep (arrivals in batches of 8)");
@@ -71,8 +117,8 @@ fn main() {
             if threshold > total && threshold != 1 {
                 continue;
             }
-            let (tps, lat) = run_batch_size(total, 8, threshold);
-            t.row(&[threshold.to_string(), f1(tps), f2(lat)]);
+            let r = run_batch_size(total, 8, threshold, true);
+            t.row(&[threshold.to_string(), f1(r.throughput), f2(r.latency_us)]);
         }
         t.print();
         println!("\nshape check: higher thresholds batch small arrivals into fewer,\nlarger firings — throughput up, per-event latency up.");

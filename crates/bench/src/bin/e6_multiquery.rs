@@ -18,7 +18,7 @@
 //! * default (no flag) — the historical mix (thresholds cycle over 12
 //!   values), kept comparable with earlier PRs.
 
-use datacell_bench::report::{f1, snapshot, Table};
+use datacell_bench::report::{f1, snapshot_latency, Table};
 use datacell_core::{DataCell, ExecutionMode};
 use datacell_workload::{SensorConfig, SensorStream};
 
@@ -63,6 +63,9 @@ struct RunStats {
     busy_us: f64,
     fairness: f64,
     saved: u64,
+    /// End-to-end (arrival → result) latency percentiles across the
+    /// whole query network, from the engine's e2e histogram.
+    e2e: (f64, f64, f64),
 }
 
 fn run(tuples: usize, nqueries: usize, mix: &str) -> RunStats {
@@ -99,7 +102,12 @@ fn run(tuples: usize, nqueries: usize, mix: &str) -> RunStats {
         .map(|q| q.busy.as_secs_f64() * 1e6 / q.firings.max(1) as f64)
         .sum::<f64>()
         / stats.queries.len().max(1) as f64;
-    RunStats { tps: tuples as f64 / elapsed, busy_us, fairness, saved: stats.shared_hits }
+    let e2e = cell
+        .metrics_snapshot()
+        .histogram("datacell_e2e_latency_us")
+        .map(|h| h.p50_p95_p99())
+        .unwrap_or((0.0, 0.0, 0.0));
+    RunStats { tps: tuples as f64 / elapsed, busy_us, fairness, saved: stats.shared_hits, e2e }
 }
 
 fn main() {
@@ -116,8 +124,10 @@ fn main() {
         "avg us/firing",
         "fairness(min/max firings)",
         "shared evals saved",
+        "e2e p95 us",
     ]);
     let mut tps16 = 0.0;
+    let mut e2e16 = (0.0, 0.0, 0.0);
     // The overlap sweeps focus on the q16 point the snapshot tracks; the
     // historical default keeps the full scaling curve.
     let counts: &[usize] =
@@ -126,6 +136,7 @@ fn main() {
         let r = run(tuples, n, &mix);
         if n == 16 {
             tps16 = r.tps;
+            e2e16 = r.e2e;
         }
         t.row(&[
             n.to_string(),
@@ -133,13 +144,14 @@ fn main() {
             f1(r.busy_us),
             format!("{:.2}", r.fairness),
             r.saved.to_string(),
+            f1(r.e2e.1),
         ]);
     }
     t.print();
     if mix.is_empty() {
-        snapshot("e6_multiquery_q16", tps16);
+        snapshot_latency("e6_multiquery_q16", tps16, e2e16);
     } else {
-        snapshot(&format!("e6_overlap_{}_q16", mix.replace('-', "_")), tps16);
+        snapshot_latency(&format!("e6_overlap_{}_q16", mix.replace('-', "_")), tps16, e2e16);
     }
     println!(
         "\nshape check: ingest throughput decays roughly as 1/N (every tuple\nfeeds N factories) while per-query firing cost stays flat and the\nround-robin Petri-net scheduler keeps firing counts balanced (≈1.0).\nOverlapping mixes recover throughput: shared subplans evaluate once\nper pass and fan out to every dependent factory."

@@ -88,6 +88,17 @@ pub fn snapshot(experiment: &str, events_per_sec: f64) {
     println!("SNAPSHOT {{\"experiment\":\"{experiment}\",\"events_per_sec\":{events_per_sec:.1}}}");
 }
 
+/// Extended snapshot line: throughput plus end-to-end latency percentiles
+/// (microseconds) from the engine's `datacell_e2e_latency_us` histogram —
+/// the arrival-tick → result-delivery distribution observability traces.
+pub fn snapshot_latency(experiment: &str, events_per_sec: f64, p: (f64, f64, f64)) {
+    let (p50, p95, p99) = p;
+    println!(
+        "SNAPSHOT {{\"experiment\":\"{experiment}\",\"events_per_sec\":{events_per_sec:.1},\
+         \"p50_us\":{p50:.1},\"p95_us\":{p95:.1},\"p99_us\":{p99:.1}}}"
+    );
+}
+
 /// Format a float with 1 decimal.
 pub fn f1(v: f64) -> String {
     format!("{v:.1}")

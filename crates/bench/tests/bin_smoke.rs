@@ -65,6 +65,40 @@ fn equals_form_accepted() {
     run_bin(env!("CARGO_BIN_EXE_e1_reeval"), &["--events=64"]);
 }
 
+/// `--obs-compare` runs the observability on/off pair and must snapshot
+/// both keys — the off point plain, the on point with e2e latency
+/// percentiles — so `BENCH_PR8.json` records the overhead acceptance pair.
+#[test]
+fn e1_obs_compare_snapshots_both_sides() {
+    let stdout = run_bin(
+        env!("CARGO_BIN_EXE_e1_reeval"),
+        &["--events", "200", "--obs-compare"],
+    );
+    assert!(
+        stdout.contains("\"experiment\":\"e1_obs_off\""),
+        "missing obs-off snapshot:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("\"experiment\":\"e1_obs_on\""),
+        "missing obs-on snapshot:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("\"p95_us\":"),
+        "obs-on snapshot must carry latency percentiles:\n{stdout}"
+    );
+}
+
+/// The e1/e6/e10 snapshot lines now carry end-to-end latency percentiles
+/// alongside events/sec.
+#[test]
+fn e1_snapshot_carries_latency_percentiles() {
+    let stdout = run_bin(env!("CARGO_BIN_EXE_e1_reeval"), &["--events", "200"]);
+    assert!(
+        stdout.contains("\"p50_us\":") && stdout.contains("\"p99_us\":"),
+        "e1 snapshot missing latency fields:\n{stdout}"
+    );
+}
+
 /// Each overlap mix must emit its own snapshot key so the bench snapshot
 /// records the sweep under distinct experiment names.
 #[test]

@@ -18,8 +18,20 @@
 //! the watermark, so the lazy state is observationally identical to eager
 //! dropping.
 
-use datacell_storage::{binio, Bat, Chunk, Oid, Result as StorageResult, Row, Schema, StorageError};
+use std::collections::VecDeque;
+use std::time::Instant;
+
+use datacell_storage::{
+    binio, Bat, Chunk, IngestStamp, Oid, Result as StorageResult, Row, Schema, StorageError,
+};
 use datacell_wal::StreamLog;
+
+/// Arrival-tick ring capacity. One entry per ingest batch; at the default
+/// per-tuple firing threshold a factory consumes ticks as fast as they
+/// arrive, so this bound only matters for bursty ingest — when it
+/// overflows the oldest ticks are dropped and the affected tuples simply
+/// go unstamped (latency histograms lose samples, never correctness).
+const TICKS_CAP: usize = 4096;
 
 /// A windowed, append-only columnar stream buffer.
 #[derive(Debug)]
@@ -40,6 +52,16 @@ pub struct Basket {
     /// Durability: when attached, every append is logged (write-ahead)
     /// and retirement truncates the log. `None` = in-memory basket.
     wal: Option<StreamLog>,
+    /// Observability: when on, each ingest batch records an arrival tick
+    /// so window slices can be stamped for latency tracing.
+    trace: bool,
+    /// OIDs below this have no tick (retired, or evicted by the bounded
+    /// ring) — lookups must miss rather than borrow the next batch's tick.
+    tick_floor: Oid,
+    /// Arrival ticks, one per traced batch: `(end_oid, arrived_at)` where
+    /// the batch covers OIDs `[previous end_oid, end_oid)`. Bounded ring;
+    /// entries are pruned as the retirement watermark passes them.
+    ticks: VecDeque<(Oid, Instant)>,
 }
 
 impl Basket {
@@ -55,6 +77,9 @@ impl Basket {
             retired: 0,
             paused: false,
             wal: None,
+            trace: false,
+            tick_floor: 0,
+            ticks: VecDeque::new(),
         }
     }
 
@@ -73,7 +98,44 @@ impl Basket {
             retired: base,
             paused: false,
             wal: None,
+            trace: false,
+            tick_floor: base,
+            ticks: VecDeque::new(),
         }
+    }
+
+    /// Enable/disable arrival-tick tracing (set by the engine from
+    /// [`DataCellConfig::observability`](crate::DataCellConfig)).
+    pub fn set_trace(&mut self, trace: bool) {
+        self.trace = trace;
+        if !trace {
+            self.ticks.clear();
+        }
+    }
+
+    /// Record an arrival tick covering all tuples appended since the last
+    /// tick (i.e. up to the current high-water mark).
+    fn record_arrival(&mut self) {
+        if !self.trace {
+            return;
+        }
+        if self.ticks.len() == TICKS_CAP {
+            if let Some((end, _)) = self.ticks.pop_front() {
+                self.tick_floor = self.tick_floor.max(end);
+            }
+        }
+        self.ticks.push_back((self.high_water(), Instant::now()));
+    }
+
+    /// Arrival tick of the batch that delivered `oid`, if still tracked.
+    pub fn arrival_tick(&self, oid: Oid) -> Option<Instant> {
+        if oid < self.tick_floor {
+            return None;
+        }
+        // First tick whose covered range `[prev_end, end)` reaches past
+        // `oid` — ticks are sorted by end OID, so partition_point works.
+        let idx = self.ticks.partition_point(|&(end, _)| end <= oid);
+        self.ticks.get(idx).map(|&(_, at)| at)
     }
 
     /// Attach the write-ahead log. Appends from here on are logged before
@@ -176,6 +238,7 @@ impl Basket {
             col.push(val)?;
         }
         self.arrived += 1;
+        self.record_arrival();
         Ok(Some(oid))
     }
 
@@ -197,6 +260,7 @@ impl Basket {
             col.extend_from_rows(rows, j)?;
         }
         self.arrived += rows.len() as u64;
+        self.record_arrival();
         Ok(rows.len())
     }
 
@@ -221,6 +285,9 @@ impl Basket {
             col.append(inc)?;
         }
         self.arrived += chunk.len() as u64;
+        if !chunk.is_empty() {
+            self.record_arrival();
+        }
         Ok(chunk.len())
     }
 
@@ -230,9 +297,19 @@ impl Basket {
     /// compaction.
     pub fn slice(&self, lo: Oid, hi: Oid) -> Chunk {
         let lo = lo.max(self.first);
-        Chunk::new(self.columns.iter().map(|c| c.slice_oids(lo, hi)).collect())
+        let mut chunk = Chunk::new(self.columns.iter().map(|c| c.slice_oids(lo, hi)).collect())
             // lint:allow(panic-freedom): all basket columns share one OID range, so equal-length slices
-            .expect("basket columns aligned")
+            .expect("basket columns aligned");
+        if self.trace && !chunk.is_empty() {
+            // Stamp with the *newest* covered tuple's arrival: latency
+            // then measures "last contributing event → result", the
+            // DataCell notion of response time.
+            let newest = hi.min(self.high_water()).saturating_sub(1);
+            if let Some(at) = self.arrival_tick(newest) {
+                chunk.set_stamp(IngestStamp::at(at));
+            }
+        }
+        chunk
     }
 
     /// The whole buffered contents.
@@ -263,6 +340,11 @@ impl Basket {
         if let Some(log) = &mut self.wal {
             log.truncate_below(self.first);
         }
+        // Ticks whose whole covered range is retired can never be queried.
+        while self.ticks.front().is_some_and(|&(end, _)| end <= self.first) {
+            self.ticks.pop_front();
+        }
+        self.tick_floor = self.tick_floor.max(self.first);
     }
 
     /// Timestamp value of the newest live tuple in column `col`
@@ -477,6 +559,30 @@ mod tests {
         b.push(&row(9, 9.0)).unwrap();
         b.retire_before(9);
         assert_eq!(b.buffer_byte_size(), 0);
+    }
+
+    #[test]
+    fn arrival_ticks_stamp_slices_and_prune_on_retire() {
+        let mut b = basket();
+        assert!(b.slice(0, 10).stamp().instant().is_none(), "no trace, no stamp");
+        b.set_trace(true);
+        b.push_rows(&[row(1, 1.0), row(2, 2.0)]).unwrap();
+        let before = Instant::now();
+        b.push(&row(3, 3.0)).unwrap();
+        // The slice stamp is the arrival tick of its *newest* tuple.
+        let stamp = b.slice(0, 3).stamp().instant().expect("traced slice is stamped");
+        assert!(stamp >= before);
+        let older = b.slice(0, 2).stamp().instant().expect("older window stamped too");
+        assert!(older <= before);
+        // Retirement prunes ticks; fully retired ranges lose their stamp,
+        // live ones keep it.
+        b.retire_before(2);
+        assert!(b.arrival_tick(0).is_none());
+        assert!(b.arrival_tick(2).is_some());
+        // Disabling tracing drops the ring and stops stamping.
+        b.set_trace(false);
+        b.push(&row(4, 4.0)).unwrap();
+        assert!(b.slice(0, 10).stamp().instant().is_none());
     }
 
     #[test]

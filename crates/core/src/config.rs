@@ -48,6 +48,18 @@ pub struct DataCellConfig {
     /// drains the internal queue there. Overflow discards the oldest
     /// pending chunk.
     pub results_capacity: Option<usize>,
+    /// Observability: when `true` (the default) the engine stamps each
+    /// ingest batch with an arrival tick and records chunk-lifecycle
+    /// latency histograms (basket-wait, factory-fire, end-to-end,
+    /// emitter-queue), scheduler pass durations, and lifecycle events into
+    /// the [`datacell_obs`] registry + flight recorder exposed by
+    /// [`DataCell::obs`](crate::DataCell::obs) and the server's `METRICS`
+    /// / `EXPLAIN ANALYZE` / `TRACE DUMP` commands. The instrumentation is
+    /// relaxed-atomic and budgeted under 2% of e1 throughput; disabling it
+    /// turns every record into a no-op for benchmarking the floor.
+    /// Tracing never changes results — subscriber streams are
+    /// byte-identical either way.
+    pub observability: bool,
     /// Durability: `Some` attaches a write-ahead log under
     /// [`WalConfig::dir`] — ingest batches, DDL, query registration and
     /// per-fire factory state are logged, and
@@ -69,6 +81,7 @@ impl Default for DataCellConfig {
             workers: 1,
             emitter_capacity: Some(1024),
             results_capacity: None,
+            observability: true,
             wal: None,
         }
     }
@@ -107,6 +120,7 @@ mod tests {
         assert_eq!(c.workers, 1);
         assert_eq!(c.emitter_capacity, Some(1024));
         assert_eq!(c.results_capacity, None);
+        assert!(c.observability);
         assert_eq!(c.wal, None);
         assert!(DataCellConfig::durable("/tmp/x").wal.is_some());
         assert_eq!(DataCellConfig::incremental().default_mode, ExecutionMode::Incremental);

@@ -22,6 +22,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use datacell_obs::Histogram;
 use datacell_storage::Chunk;
 
 /// Error returned by [`EmitterSender::send`] when the [`Emitter`] was
@@ -30,7 +31,9 @@ use datacell_storage::Chunk;
 pub struct Disconnected(pub Chunk);
 
 struct Shared {
-    queue: Mutex<VecDeque<Chunk>>,
+    /// Buffered chunks, each with its enqueue tick (for queue-latency
+    /// observability; the tick costs one `Instant::now` per send).
+    queue: Mutex<VecDeque<(Instant, Chunk)>>,
     avail: Condvar,
     /// `None` = unbounded (historical behaviour).
     capacity: Option<usize>,
@@ -40,6 +43,19 @@ struct Shared {
     closed: AtomicBool,
     /// Receiver side gone: sends fail.
     receiver_gone: AtomicBool,
+    /// Observability: enqueue→dequeue latency sink (engine registry's
+    /// `datacell_emitter_queue_us`). `None` = don't record.
+    queue_us: Option<Arc<Histogram>>,
+}
+
+impl Shared {
+    /// Unwrap a popped entry, recording its queue dwell time.
+    fn dequeued(&self, (enqueued, chunk): (Instant, Chunk)) -> Chunk {
+        if let Some(h) = &self.queue_us {
+            h.record_duration(enqueued.elapsed());
+        }
+        chunk
+    }
 }
 
 /// Create a connected (sender, emitter) pair for one query's results.
@@ -47,6 +63,17 @@ struct Shared {
 /// `capacity` bounds the queue; overflow drops the oldest chunk (counted).
 /// `None` = unbounded.
 pub fn channel(query: u64, capacity: Option<usize>) -> (EmitterSender, Emitter) {
+    channel_obs(query, capacity, None)
+}
+
+/// [`channel`], plus an optional histogram receiving each chunk's
+/// enqueue→dequeue dwell time in microseconds (the engine wires the
+/// registry's `datacell_emitter_queue_us` here when observability is on).
+pub fn channel_obs(
+    query: u64,
+    capacity: Option<usize>,
+    queue_us: Option<Arc<Histogram>>,
+) -> (EmitterSender, Emitter) {
     let shared = Arc::new(Shared {
         queue: Mutex::new(VecDeque::new()),
         avail: Condvar::new(),
@@ -54,6 +81,7 @@ pub fn channel(query: u64, capacity: Option<usize>) -> (EmitterSender, Emitter) 
         dropped: AtomicU64::new(0),
         closed: AtomicBool::new(false),
         receiver_gone: AtomicBool::new(false),
+        queue_us,
     });
     (
         EmitterSender { query, shared: shared.clone() },
@@ -81,7 +109,7 @@ impl EmitterSender {
             return Err(Disconnected(chunk));
         }
         let mut q = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
-        q.push_back(chunk);
+        q.push_back((Instant::now(), chunk));
         let mut dropped = 0usize;
         if let Some(cap) = self.shared.capacity {
             while q.len() > cap.max(1) {
@@ -105,6 +133,11 @@ impl EmitterSender {
     /// True once the matching [`Emitter`] was dropped.
     pub fn is_disconnected(&self) -> bool {
         self.shared.receiver_gone.load(Ordering::Acquire)
+    }
+
+    /// Chunks currently buffered (queue occupancy gauge).
+    pub fn queued(&self) -> usize {
+        self.shared.queue.lock().unwrap_or_else(|e| e.into_inner()).len()
     }
 
     /// Mark the stream finished: the emitter drains what is buffered and
@@ -140,6 +173,7 @@ impl Emitter {
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .pop_front()
+            .map(|entry| self.shared.dequeued(entry))
     }
 
     /// Block up to `timeout` for the next result chunk. Returns `None` on
@@ -148,8 +182,8 @@ impl Emitter {
         let deadline = Instant::now() + timeout;
         let mut q = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
         loop {
-            if let Some(c) = q.pop_front() {
-                return Some(c);
+            if let Some(entry) = q.pop_front() {
+                return Some(self.shared.dequeued(entry));
             }
             if self.shared.closed.load(Ordering::Acquire) {
                 return None;
@@ -165,7 +199,7 @@ impl Emitter {
                 .unwrap_or_else(|e| e.into_inner());
             q = guard;
             if res.timed_out() {
-                return q.pop_front();
+                return q.pop_front().map(|entry| self.shared.dequeued(entry));
             }
         }
     }
@@ -260,6 +294,20 @@ mod tests {
         // Buffered chunk still readable, then end-of-stream.
         assert_eq!(em.next_timeout(Duration::from_millis(50)), Some(chunk(vec![9])));
         assert!(em.next_timeout(Duration::from_millis(5)).is_none());
+    }
+
+    #[test]
+    fn queue_dwell_time_is_recorded() {
+        let h = Arc::new(Histogram::new());
+        let (tx, em) = channel_obs(1, None, Some(h.clone()));
+        tx.send(chunk(vec![1])).unwrap();
+        tx.send(chunk(vec![2])).unwrap();
+        assert_eq!(tx.queued(), 2);
+        assert!(em.try_next().is_some());
+        assert_eq!(em.next_timeout(Duration::from_millis(50)), Some(chunk(vec![2])));
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 2, "one dwell sample per dequeued chunk");
+        assert_eq!(tx.queued(), 0);
     }
 
     #[test]

@@ -9,8 +9,10 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use datacell_plan::{compile, execute, Binder, ExecSources, ExecutionMode};
+use datacell_obs::{MetricValue, MetricsSnapshot, TraceEvent};
+use datacell_plan::{compile, execute, AnalyzeRow, Binder, ExecSources, ExecutionMode};
 use datacell_sql::{parse_statement, Statement};
 use datacell_storage::{Catalog, Chunk, Row, Schema};
 use parking_lot::RwLock;
@@ -18,10 +20,11 @@ use parking_lot::RwLock;
 use crate::basket::Basket;
 use crate::config::DataCellConfig;
 use crate::durability::{EngineWal, MetaRecord, QuerySnapshot, SnapshotData};
-use crate::emitter::{channel, Emitter, EmitterSender};
+use crate::emitter::{channel_obs, Emitter, EmitterSender};
 use crate::error::{EngineError, Result};
 use crate::factory::{BasketHandle, Factory, FireContext};
 use crate::network::QueryNetwork;
+use crate::obs::EngineObs;
 use crate::scheduler::{NetState, Scheduler};
 use crate::stats::{BasketStats, EngineStats, QueryStats};
 
@@ -54,6 +57,13 @@ pub struct DataCell {
     subscribers: HashMap<QueryId, Vec<EmitterSender>>,
     /// Chunks dropped by bounded subscriber queues (drop-oldest overflow).
     dropped_chunks: u64,
+    /// Per-query attribution of those drops (`STATS DETAIL` table).
+    dropped_by_query: HashMap<QueryId, u64>,
+    /// Observability hub: metrics registry + flight recorder. Always
+    /// present; recording is a no-op when `config.observability` is off.
+    obs: Arc<EngineObs>,
+    /// Engine start tick (uptime reporting).
+    started: Instant,
     /// Owns every factory, grouped into basket-partitions.
     scheduler: Scheduler,
     /// The write-ahead log, when `config.wal` is set.
@@ -89,6 +99,9 @@ impl DataCell {
             results: HashMap::new(),
             subscribers: HashMap::new(),
             dropped_chunks: 0,
+            dropped_by_query: HashMap::new(),
+            obs: Arc::new(EngineObs::new(config.observability)),
+            started: Instant::now(),
             scheduler: Scheduler::new(),
             wal: None,
             wal_epoch: 0,
@@ -114,6 +127,16 @@ impl DataCell {
         cell.recovered = snapshot.is_some() || !records.is_empty();
         cell.recover(&wal, snapshot, records)?;
         cell.wal = Some(wal);
+        if cell.recovered {
+            let stats = cell.wal.as_ref().map(EngineWal::stats).unwrap_or_default();
+            cell.obs.event(
+                "recovery",
+                format!(
+                    "replayed {} batches / {} rows, dropped {} damaged bytes",
+                    stats.recovered_batches, stats.recovered_rows, stats.dropped_bytes
+                ),
+            );
+        }
         Ok(cell)
     }
 
@@ -228,6 +251,7 @@ impl DataCell {
                 basket.push_rows(&rows)?;
             }
             basket.attach_wal(log);
+            basket.set_trace(self.config.observability);
             if stream_paused.get(&name.to_ascii_lowercase()).copied().unwrap_or(false) {
                 basket.set_paused(true);
             }
@@ -246,7 +270,8 @@ impl DataCell {
                 baskets: &self.baskets,
                 catalog: &self.catalog,
                 config: &self.config,
-                wal: None, // recovery itself is never re-logged
+                wal: None,  // recovery itself is never re-logged
+                obs: None, // replayed firings must not pollute live latency series
             };
             factory.restore(&q.state, &ctx)?;
             factory.paused = q.paused;
@@ -261,6 +286,7 @@ impl DataCell {
             catalog: &self.catalog,
             config: &self.config,
             wal: Some(wal),
+            obs: None,
         };
         self.scheduler.retire_all(&ctx);
         Ok(())
@@ -347,6 +373,7 @@ impl DataCell {
         wal.sync_meta()?;
         wal.write_snapshot(&snap)?;
         self.wal_epoch = epoch;
+        self.obs.event("checkpoint", format!("epoch {epoch}"));
         for basket in self.baskets.values() {
             basket.write().sync_wal()?;
         }
@@ -406,12 +433,14 @@ impl DataCell {
                 let schema = spec_schema(&columns);
                 self.catalog.create_table(&name, schema.clone())?;
                 self.log_meta(MetaRecord::CreateTable { name: name.clone(), schema })?;
+                self.obs.event("create_table", name.clone());
                 Ok(ExecOutcome::Created(name))
             }
             Statement::CreateStream { name, columns } => {
                 let schema = spec_schema(&columns);
                 self.catalog.create_stream(&name, schema.clone())?;
                 let mut basket = Basket::new(&name, schema.clone());
+                basket.set_trace(self.config.observability);
                 if let Some(wal) = &self.wal {
                     // A genuinely new stream: clear any stale log files a
                     // crashed earlier incarnation of the name left behind,
@@ -424,6 +453,7 @@ impl DataCell {
                 self.baskets
                     .insert(name.to_ascii_lowercase(), Arc::new(RwLock::new(basket)));
                 self.log_meta(MetaRecord::CreateStream { name: name.clone(), schema })?;
+                self.obs.event("create_stream", name.clone());
                 Ok(ExecOutcome::Created(name))
             }
             Statement::Drop { name } => {
@@ -439,6 +469,7 @@ impl DataCell {
                         wal.drop_stream_log(&name.to_ascii_lowercase());
                     }
                 }
+                self.obs.event("drop", name.clone());
                 Ok(ExecOutcome::Dropped(name))
             }
             Statement::Insert { table, rows } => {
@@ -528,6 +559,7 @@ impl DataCell {
         })?;
         self.scheduler.insert(factory);
         self.results.insert(id, VecDeque::new());
+        self.obs.event("register", format!("q{id}: {sql}"));
         Ok(id)
     }
 
@@ -540,6 +572,7 @@ impl DataCell {
                 self.subscribers.remove(&id);
             })
             .ok_or(EngineError::UnknownQuery(id))?;
+        self.obs.event("deregister", format!("q{id}"));
         self.log_meta(MetaRecord::Deregister { qid: id })
     }
 
@@ -549,6 +582,7 @@ impl DataCell {
             .factory_mut(id)
             .map(|f| f.paused = paused)
             .ok_or(EngineError::UnknownQuery(id))?;
+        self.obs.event("pause", format!("q{id} paused={paused}"));
         self.log_meta(MetaRecord::QueryPaused { qid: id, paused })
     }
 
@@ -558,6 +592,7 @@ impl DataCell {
             .get(&stream.to_ascii_lowercase())
             .map(|b| b.write().set_paused(paused))
             .ok_or_else(|| EngineError::UnknownStream(stream.to_owned()))?;
+        self.obs.event("pause", format!("stream {stream} paused={paused}"));
         self.log_meta(MetaRecord::StreamPaused { name: stream.to_owned(), paused })
     }
 
@@ -578,7 +613,9 @@ impl DataCell {
             .baskets
             .get(&stream.to_ascii_lowercase())
             .ok_or_else(|| EngineError::UnknownStream(stream.to_owned()))?;
-        Ok(basket.write().push_rows(rows)?)
+        let n = basket.write().push_rows(rows)?;
+        self.obs.record_ingest(n);
+        Ok(n)
     }
 
     /// Append a columnar chunk to a stream's basket (bulk receptor path).
@@ -587,7 +624,9 @@ impl DataCell {
             .baskets
             .get(&stream.to_ascii_lowercase())
             .ok_or_else(|| EngineError::UnknownStream(stream.to_owned()))?;
-        Ok(basket.write().push_chunk(chunk)?)
+        let n = basket.write().push_chunk(chunk)?;
+        self.obs.record_ingest(n);
+        Ok(n)
     }
 
     /// Shared handle to a stream's basket (for receptor threads).
@@ -611,16 +650,19 @@ impl DataCell {
             &mut dyn FnMut(QueryId, Chunk),
         ) -> R,
     ) -> R {
+        let obs = &self.obs;
         let ctx = FireContext {
             baskets: &self.baskets,
             catalog: &self.catalog,
             config: &self.config,
             wal: self.wal.as_ref(),
+            obs: Some(obs),
         };
         let results = &mut self.results;
         let results_cap = self.config.results_capacity;
         let subscribers = &mut self.subscribers;
         let dropped_chunks = &mut self.dropped_chunks;
+        let dropped_by_query = &mut self.dropped_by_query;
         let mut sink = |qid: QueryId, mut chunk: Chunk| {
             // Result chunks sit in subscriber queues / the pending buffer
             // indefinitely; detach pass-through views from the basket
@@ -629,10 +671,19 @@ impl DataCell {
             // generations, and ingestion keeps its in-place append path.
             // The per-subscriber clones below stay O(1) buffer shares.
             chunk.compact();
+            // End-to-end latency: newest contributing arrival → result
+            // handed to subscribers (the paper's response-time notion).
+            if let Some(arrived) = chunk.stamp().instant() {
+                obs.record_e2e(arrived.elapsed());
+            }
             if let Some(subs) = subscribers.get_mut(&qid) {
                 subs.retain(|tx| match tx.send(chunk.clone()) {
                     Ok(dropped) => {
                         *dropped_chunks += dropped as u64;
+                        if dropped > 0 {
+                            *dropped_by_query.entry(qid).or_default() += dropped as u64;
+                            obs.record_emitter_drops(dropped as u64);
+                        }
                         true
                     }
                     Err(_) => false,
@@ -654,7 +705,13 @@ impl DataCell {
     /// network has more than one partition. Consumed basket prefixes are
     /// retired by the scheduler's per-partition watermark protocol.
     pub fn step(&mut self) -> Result<usize> {
+        let start = Instant::now();
         let fired = self.with_executor(|scheduler, ctx, sink| scheduler.step(ctx, sink))?;
+        if fired > 0 {
+            // Idle polls are excluded: a tight caller loop would otherwise
+            // bury real pass durations under nanosecond no-op samples.
+            self.obs.record_pass(start.elapsed());
+        }
         self.maybe_auto_checkpoint()?;
         Ok(fired)
     }
@@ -663,8 +720,12 @@ impl DataCell {
     /// parallel mode each worker drives its basket partitions to quiescence
     /// independently.
     pub fn run_until_idle(&mut self) -> Result<u64> {
+        let start = Instant::now();
         let fired =
             self.with_executor(|scheduler, ctx, sink| scheduler.run_until_idle(ctx, sink))?;
+        if fired > 0 {
+            self.obs.record_pass(start.elapsed());
+        }
         self.maybe_auto_checkpoint()?;
         Ok(fired)
     }
@@ -696,8 +757,10 @@ impl DataCell {
         if self.scheduler.factory(id).is_none() {
             return Err(EngineError::UnknownQuery(id));
         }
-        let (tx, emitter) = channel(id, self.config.emitter_capacity);
+        let (tx, emitter) =
+            channel_obs(id, self.config.emitter_capacity, self.obs.emitter_queue_handle());
         self.subscribers.entry(id).or_default().push(tx);
+        self.obs.event("subscribe", format!("q{id}"));
         Ok(emitter)
     }
 
@@ -706,6 +769,9 @@ impl DataCell {
     /// server frontend calls before dropping the engine, so blocked
     /// clients wake up instead of hanging on a dead queue.
     pub fn shutdown(&mut self) {
+        self.obs.event("shutdown", format!("{} subscriber(s) disconnected", {
+            self.subscribers.values().map(Vec::len).sum::<usize>()
+        }));
         self.subscribers.clear();
     }
 
@@ -774,6 +840,7 @@ impl DataCell {
             catalog: &self.catalog,
             config: &self.config,
             wal: self.wal.as_ref(),
+            obs: None,
         };
         self.scheduler.net_state(&ctx)
     }
@@ -814,6 +881,7 @@ impl DataCell {
                 busy: f.stats.busy,
                 last_tuples_touched: f.stats.last_tuples_touched,
                 pending_results: self.results.get(&f.id).map_or(0, VecDeque::len),
+                dropped: self.dropped_by_query.get(&f.id).copied().unwrap_or(0),
                 paused: f.paused,
             })
             .collect();
@@ -838,6 +906,197 @@ impl DataCell {
     /// Ids of all registered queries.
     pub fn query_ids(&self) -> Vec<QueryId> {
         self.scheduler.factories().iter().map(|f| f.id).collect()
+    }
+
+    // ---- observability -----------------------------------------------------
+
+    /// The engine's observability hub (metrics registry + flight
+    /// recorder). Share the `Arc` with frontends that record their own
+    /// series (e.g. the server's wire-delivery latency).
+    pub fn obs(&self) -> &Arc<EngineObs> {
+        &self.obs
+    }
+
+    /// Time since this engine incarnation was opened.
+    pub fn uptime(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Snapshot every metric series: the live registry (latency
+    /// histograms, ingest/firing counters) refreshed with point-in-time
+    /// gauges, plus derived series from the engine and WAL stats
+    /// (scheduler totals, shared-subplan cache, WAL append/fsync latency).
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        if self.obs.enabled() {
+            let (buffered, pinned) = self.baskets.values().fold((0i64, 0i64), |acc, b| {
+                let b = b.read();
+                (acc.0 + b.len() as i64, acc.1 + b.buffer_byte_size() as i64)
+            });
+            self.obs.basket_buffered.set(buffered);
+            self.obs.basket_pinned_bytes.set(pinned);
+            let queued: usize =
+                self.subscribers.values().flatten().map(EmitterSender::queued).sum();
+            self.obs.emitter_queued.set(queued as i64);
+        }
+        let mut snap = self.obs.snapshot();
+        let mut put = |name: &str, help: &str, value: MetricValue| {
+            snap.help.insert(name.to_string(), help.to_string());
+            snap.values.insert(name.to_string(), value);
+        };
+        put(
+            "datacell_uptime_seconds",
+            "seconds since this engine incarnation opened",
+            MetricValue::Gauge(self.started.elapsed().as_secs() as i64),
+        );
+        put(
+            "datacell_queries",
+            "registered continuous queries",
+            MetricValue::Gauge(self.scheduler.factories().len() as i64),
+        );
+        put(
+            "datacell_partitions",
+            "basket partitions in the query network",
+            MetricValue::Gauge(self.scheduler.partition_count() as i64),
+        );
+        put(
+            "datacell_scheduler_rounds_total",
+            "scheduler rounds executed",
+            MetricValue::Counter(self.scheduler.rounds),
+        );
+        let (nodes, active, hits, misses) = self.scheduler.shared_stats();
+        put(
+            "datacell_shared_nodes",
+            "nodes in the shared-subplan DAG",
+            MetricValue::Gauge(nodes as i64),
+        );
+        put(
+            "datacell_shared_nodes_active",
+            "shared-subplan nodes referenced by 2+ queries",
+            MetricValue::Gauge(active as i64),
+        );
+        put(
+            "datacell_shared_cache_hits_total",
+            "per-pass shared-subplan cache hits",
+            MetricValue::Counter(hits),
+        );
+        put(
+            "datacell_shared_cache_misses_total",
+            "per-pass shared-subplan cache misses",
+            MetricValue::Counter(misses),
+        );
+        if let Some(wal) = self.wal_stats() {
+            put(
+                "datacell_wal_bytes_total",
+                "bytes appended to the write-ahead logs",
+                MetricValue::Counter(wal.wal_bytes),
+            );
+            put(
+                "datacell_wal_appended_batches_total",
+                "ingest batches appended to stream logs",
+                MetricValue::Counter(wal.appended_batches),
+            );
+            put(
+                "datacell_wal_append_us",
+                "stream-log batch append latency (us)",
+                MetricValue::Histogram(Box::new(wal.append_us)),
+            );
+            put(
+                "datacell_wal_fsync_us",
+                "explicit fsync latency (us)",
+                MetricValue::Histogram(Box::new(wal.fsync_us)),
+            );
+        }
+        snap
+    }
+
+    /// The `METRICS` page: every series in Prometheus text exposition
+    /// format (round-trips through [`datacell_obs::parse_prometheus`]).
+    pub fn metrics_text(&self) -> String {
+        self.metrics_snapshot().render_prometheus()
+    }
+
+    /// Drain up to `n` most-recent flight-recorder events (all when
+    /// `None`), oldest first — the `TRACE DUMP [N]` surface.
+    pub fn trace_events(&self, n: Option<usize>) -> Vec<TraceEvent> {
+        self.obs.drain_events(n)
+    }
+
+    /// `EXPLAIN ANALYZE` for one registered query: the plan inspection of
+    /// [`DataCell::explain`] plus the factory's observed runtime — firing
+    /// counts, rows in/out, busy time, and fire-latency percentiles.
+    pub fn explain_analyze(&self, id: QueryId) -> Result<String> {
+        let mut text = self.explain(id)?;
+        let f = self.scheduler.factory(id).ok_or(EngineError::UnknownQuery(id))?;
+        text.push('\n');
+        text.push_str(&datacell_plan::render_analyze(&[analyze_row(
+            f,
+            self.dropped_by_query.get(&id).copied().unwrap_or(0),
+        )]));
+        Ok(text)
+    }
+
+    /// `STATS DETAIL`: the [`EngineStats`] render plus the per-factory
+    /// timing table and the chunk-lifecycle latency summary.
+    pub fn stats_detail(&self) -> String {
+        let mut text = self.stats().render();
+        let factories = self.scheduler.factories();
+        if !factories.is_empty() {
+            let rows: Vec<AnalyzeRow> = factories
+                .iter()
+                .map(|f| {
+                    analyze_row(f, self.dropped_by_query.get(&f.id).copied().unwrap_or(0))
+                })
+                .collect();
+            text.push('\n');
+            text.push_str(&datacell_plan::render_analyze(&rows));
+        }
+        let snap = self.metrics_snapshot();
+        let mut latency = String::new();
+        for (name, label) in [
+            ("datacell_basket_wait_us", "basket wait"),
+            ("datacell_factory_fire_us", "factory fire"),
+            ("datacell_scheduler_pass_us", "scheduler pass"),
+            ("datacell_e2e_latency_us", "end-to-end"),
+            ("datacell_emitter_queue_us", "emitter queue"),
+            ("datacell_wire_delivery_us", "wire delivery"),
+            ("datacell_wal_append_us", "wal append"),
+            ("datacell_wal_fsync_us", "wal fsync"),
+        ] {
+            let Some(h) = snap.histogram(name) else { continue };
+            if h.is_empty() {
+                continue;
+            }
+            let (p50, p95, p99) = h.p50_p95_p99();
+            latency.push_str(&format!(
+                "  {label:<14} n={:<9} p50={p50:.0}us p95={p95:.0}us p99={p99:.0}us\n",
+                h.count
+            ));
+        }
+        if !latency.is_empty() {
+            text.push_str("\n== latency ==\n");
+            text.push_str(&latency);
+        }
+        text
+    }
+}
+
+/// One factory's `EXPLAIN ANALYZE` table row.
+fn analyze_row(f: &Factory, dropped: u64) -> AnalyzeRow {
+    let (p50, p95, p99) = f.stats.fire_us.p50_p95_p99();
+    AnalyzeRow {
+        qid: f.id,
+        mode: match f.mode {
+            ExecutionMode::Reevaluate => "reeval".into(),
+            ExecutionMode::Incremental => "incr".into(),
+        },
+        firings: f.stats.firings,
+        rows_in: f.stats.tuples_in,
+        rows_out: f.stats.tuples_out,
+        busy_us: f.stats.busy.as_micros().min(u64::MAX as u128) as u64,
+        p50_us: p50,
+        p95_us: p95,
+        p99_us: p99,
+        dropped,
     }
 }
 

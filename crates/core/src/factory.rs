@@ -21,13 +21,15 @@ use datacell_plan::{
     IncrementalAggPlan, IncrementalJoinPlan, IncrementalPlan, PartialAgg, PlanError,
     SharedShape, AGG_BINDING, JOIN_BINDING,
 };
+use datacell_obs::HistogramSnapshot;
 use datacell_sql::WindowSpec;
-use datacell_storage::{Catalog, Chunk, Oid, Schema};
+use datacell_storage::{Catalog, Chunk, IngestStamp, Oid, Schema};
 use parking_lot::RwLock;
 
 use crate::basket::Basket;
 use crate::config::DataCellConfig;
 use crate::error::{EngineError, Result};
+use crate::obs::EngineObs;
 use crate::shared::PassCache;
 
 /// Shared handle to a basket.
@@ -45,6 +47,10 @@ pub struct FireContext<'a> {
     /// fire record after every firing and retires baskets against the
     /// replay-aware bound ([`Factory::durable_needed_from`]).
     pub wal: Option<&'a crate::durability::EngineWal>,
+    /// Observability hub: firings record their duration, rows in/out and
+    /// basket-wait latency here. `None` = don't record (tests, recovery
+    /// replay — replayed firings would pollute live latency series).
+    pub obs: Option<&'a EngineObs>,
 }
 
 /// Window cursor over one stream input.
@@ -75,6 +81,10 @@ pub struct FactoryStats {
     /// Tuples touched by plan evaluation in the last firing (intermediate
     /// volume — what incremental mode shrinks).
     pub last_tuples_touched: u64,
+    /// Per-factory firing-duration histogram (microseconds) — the
+    /// `EXPLAIN ANALYZE` percentile source. Plain (non-atomic): the
+    /// factory records under its own `&mut`.
+    pub fire_us: HistogramSnapshot,
 }
 
 /// The OID range `[start, end)` of one consumed basic window — the
@@ -203,6 +213,10 @@ pub struct Factory {
     table_cache: HashMap<String, (u64, Chunk)>,
     /// Tuples consumed by the most recent window advance (stats detail).
     last_delta_len: u64,
+    /// Newest arrival tick among the windows consumed by the current
+    /// firing — reset per fire, merged by every basket slice, stamped
+    /// onto the result chunk (the end-to-end latency thread).
+    fire_input_stamp: IngestStamp,
     /// Runtime counters.
     pub stats: FactoryStats,
 }
@@ -311,6 +325,7 @@ impl Factory {
             incr,
             table_cache: HashMap::new(),
             last_delta_len: 0,
+            fire_input_stamp: IngestStamp::default(),
             stats: FactoryStats::default(),
         })
     }
@@ -366,15 +381,31 @@ impl Factory {
         cache: Option<&mut PassCache>,
     ) -> Result<Option<Chunk>> {
         let start = Instant::now();
-        let result = match self.mode {
+        self.fire_input_stamp = IngestStamp::default();
+        let tuples_in_before = self.stats.tuples_in;
+        let mut result = match self.mode {
             ExecutionMode::Reevaluate => self.fire_reevaluate(ctx),
             ExecutionMode::Incremental => self.fire_incremental(ctx, cache),
         };
-        self.stats.busy += start.elapsed();
+        let elapsed = start.elapsed();
+        self.stats.busy += elapsed;
         self.stats.firings += 1;
-        if let Ok(Some(chunk)) = &result {
-            self.stats.tuples_out += chunk.len() as u64;
+        self.stats.fire_us.record(elapsed.as_micros().min(u64::MAX as u128) as u64);
+        let mut rows_out = 0u64;
+        if let Ok(Some(chunk)) = &mut result {
+            rows_out = chunk.len() as u64;
+            self.stats.tuples_out += rows_out;
             self.stats.last_result_rows = chunk.len();
+            // Thread the newest consumed arrival tick through to the
+            // emitted chunk — downstream stages (engine sink, emitter,
+            // server) measure their latency against it.
+            chunk.set_stamp(self.fire_input_stamp);
+        }
+        if let Some(obs) = ctx.obs {
+            obs.record_fire(elapsed, self.stats.tuples_in - tuples_in_before, rows_out);
+            if let Some(arrived) = self.fire_input_stamp.instant() {
+                obs.record_basket_wait(start.saturating_duration_since(arrived));
+            }
         }
         result
     }
@@ -405,6 +436,12 @@ impl Factory {
     /// Slice the current full window of `binding` and advance its cursor by
     /// one slide.
     fn advance_window(&mut self, binding: &str, basket: &Basket) -> Result<Chunk> {
+        let chunk = self.advance_window_inner(binding, basket)?;
+        self.fire_input_stamp = self.fire_input_stamp.merged(chunk.stamp());
+        Ok(chunk)
+    }
+
+    fn advance_window_inner(&mut self, binding: &str, basket: &Basket) -> Result<Chunk> {
         let key = binding.to_ascii_lowercase();
         let _spec = self.query.window_of(binding).cloned();
         let cursor = self
@@ -501,6 +538,18 @@ impl Factory {
     /// returning it together with its OID span (the ring's durability
     /// coordinates).
     fn next_basic_window(
+        &mut self,
+        binding: &str,
+        basket: &Basket,
+    ) -> Result<Option<(Chunk, WindowSpan)>> {
+        let out = self.next_basic_window_inner(binding, basket)?;
+        if let Some((chunk, _)) = &out {
+            self.fire_input_stamp = self.fire_input_stamp.merged(chunk.stamp());
+        }
+        Ok(out)
+    }
+
+    fn next_basic_window_inner(
         &mut self,
         binding: &str,
         basket: &Basket,

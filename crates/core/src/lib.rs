@@ -37,6 +37,7 @@ pub mod engine;
 pub mod error;
 pub mod factory;
 pub mod network;
+pub mod obs;
 pub mod receptor;
 pub mod scheduler;
 pub mod shared;
@@ -52,6 +53,7 @@ pub use factory::{
     BasketHandle, CursorState, Factory, FactoryState, FactoryStats, FireContext, IncrMeta,
 };
 pub use network::{NetworkEdge, QueryNetwork};
+pub use obs::EngineObs;
 pub use receptor::Receptor;
 pub use scheduler::{NetState, Partition, Scheduler};
 pub use shared::{PassCache, SharedNode, SharedPlanDag};
@@ -62,4 +64,7 @@ pub use datacell_plan::ExecutionMode;
 // Re-export the durability configuration so engine users don't need
 // datacell-wal.
 pub use datacell_wal::{SyncPolicy, WalConfig, WalStats};
+// Re-export the observability snapshot types (and the exposition-format
+// validator) so engine users don't need datacell-obs.
+pub use datacell_obs::{parse_prometheus, HistogramSnapshot, MetricsSnapshot, TraceEvent};
 

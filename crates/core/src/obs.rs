@@ -1,0 +1,248 @@
+//! Engine observability: the signal plane over the metrics registry and
+//! flight recorder of `datacell-obs`.
+//!
+//! [`EngineObs`] owns one [`Registry`] plus pre-registered handles for
+//! every hot-path series, so recording is a relaxed atomic bump with no
+//! name lookup, and one [`FlightRecorder`] holding the last few hundred
+//! lifecycle events (DDL, registration, checkpoints, per-pass summaries,
+//! drops). Everything is gated on
+//! [`DataCellConfig::observability`](crate::DataCellConfig): when off,
+//! every record method returns immediately and the engine skips arrival
+//! stamping entirely.
+//!
+//! ## The chunk lifecycle, as latency series
+//!
+//! ```text
+//! receptor ─▶ basket ─▶ factory fire ─▶ emitter queue ─▶ wire
+//!    │ arrival tick │        │               │             │
+//!    └─ basket_wait_us ──────┘               │             │
+//!    └─ e2e_latency_us ──────────────────────┘             │
+//!    └─ wire_delivery_us ──────────────────────────────────┘
+//! ```
+//!
+//! * `basket_wait_us` — newest consumed tuple's arrival → factory fire.
+//! * `factory_fire_us` — plan evaluation time of one firing.
+//! * `e2e_latency_us` — arrival → result chunk handed to subscribers.
+//! * `emitter_queue_us` — result enqueue → client dequeue.
+//! * `wire_delivery_us` — arrival → bytes written to the client socket
+//!   (recorded by the server frontend through
+//!   [`EngineObs::record_wire_delivery_us`]).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use datacell_obs::{Counter, FlightRecorder, Gauge, Histogram, MetricsSnapshot, Registry, TraceEvent};
+
+/// How many lifecycle events the flight recorder retains.
+const FLIGHT_RECORDER_CAPACITY: usize = 512;
+
+/// The engine's observability hub: registry + flight recorder + cached
+/// metric handles. Shared as `Arc<EngineObs>` between the engine, its
+/// emitters, and the server frontend.
+#[derive(Debug)]
+pub struct EngineObs {
+    enabled: bool,
+    registry: Registry,
+    recorder: FlightRecorder,
+
+    pub(crate) ingest_batches: Arc<Counter>,
+    pub(crate) ingest_rows: Arc<Counter>,
+    pub(crate) firings: Arc<Counter>,
+    pub(crate) fire_rows_in: Arc<Counter>,
+    pub(crate) fire_rows_out: Arc<Counter>,
+    pub(crate) emitter_dropped: Arc<Counter>,
+
+    pub(crate) basket_buffered: Arc<Gauge>,
+    pub(crate) basket_pinned_bytes: Arc<Gauge>,
+    pub(crate) emitter_queued: Arc<Gauge>,
+
+    pub(crate) pass_us: Arc<Histogram>,
+    pub(crate) fire_us: Arc<Histogram>,
+    pub(crate) basket_wait_us: Arc<Histogram>,
+    pub(crate) e2e_us: Arc<Histogram>,
+    pub(crate) emitter_queue_us: Arc<Histogram>,
+    wire_delivery_us: Arc<Histogram>,
+}
+
+impl EngineObs {
+    /// Build the hub, registering every engine series. `enabled = false`
+    /// turns all recording into no-ops (the registry still renders, all
+    /// zeros).
+    pub fn new(enabled: bool) -> Self {
+        let registry = Registry::new();
+        let c = |name: &str, help: &str| registry.counter(name, help);
+        let g = |name: &str, help: &str| registry.gauge(name, help);
+        let h = |name: &str, help: &str| registry.histogram(name, help);
+        EngineObs {
+            ingest_batches: c("datacell_ingest_batches_total", "ingest batches accepted"),
+            ingest_rows: c("datacell_ingest_rows_total", "stream tuples accepted"),
+            firings: c("datacell_firings_total", "factory firings"),
+            fire_rows_in: c("datacell_fire_rows_in_total", "stream tuples consumed by firings"),
+            fire_rows_out: c("datacell_fire_rows_out_total", "result tuples produced by firings"),
+            emitter_dropped: c(
+                "datacell_emitter_dropped_chunks_total",
+                "result chunks dropped by bounded subscriber queues",
+            ),
+            basket_buffered: g("datacell_basket_buffered_tuples", "live tuples across baskets"),
+            basket_pinned_bytes: g(
+                "datacell_basket_pinned_bytes",
+                "bytes pinned by basket buffers (incl. retired-but-uncompacted prefixes)",
+            ),
+            emitter_queued: g(
+                "datacell_emitter_queued_chunks",
+                "result chunks buffered across subscriber queues",
+            ),
+            pass_us: h("datacell_scheduler_pass_us", "scheduler pass duration (us)"),
+            fire_us: h("datacell_factory_fire_us", "single factory firing duration (us)"),
+            basket_wait_us: h(
+                "datacell_basket_wait_us",
+                "newest consumed tuple: basket arrival to factory fire (us)",
+            ),
+            e2e_us: h(
+                "datacell_e2e_latency_us",
+                "ingest arrival to result delivery into subscriber queues (us)",
+            ),
+            emitter_queue_us: h(
+                "datacell_emitter_queue_us",
+                "result chunk time spent in a subscriber queue (us)",
+            ),
+            wire_delivery_us: h(
+                "datacell_wire_delivery_us",
+                "ingest arrival to result bytes on the client socket (us)",
+            ),
+            recorder: FlightRecorder::new(FLIGHT_RECORDER_CAPACITY),
+            registry,
+            enabled,
+        }
+    }
+
+    /// Whether recording is live (`DataCellConfig::observability`).
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The underlying registry (snapshot/render access).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Snapshot every engine series.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.registry.snapshot()
+    }
+
+    /// Record one lifecycle event into the flight recorder.
+    pub fn event(&self, kind: &'static str, detail: impl Into<String>) {
+        if self.enabled {
+            self.recorder.record(kind, detail);
+        }
+    }
+
+    /// Drain up to `n` most-recent flight-recorder events (all when
+    /// `None`), oldest first.
+    pub fn drain_events(&self, n: Option<usize>) -> Vec<TraceEvent> {
+        self.recorder.drain_recent(n)
+    }
+
+    /// Total events ever recorded (including ones the bounded ring evicted).
+    pub fn events_recorded(&self) -> u64 {
+        self.recorder.recorded()
+    }
+
+    pub(crate) fn record_ingest(&self, rows: usize) {
+        if self.enabled && rows > 0 {
+            self.ingest_batches.inc();
+            self.ingest_rows.add(rows as u64);
+        }
+    }
+
+    pub(crate) fn record_pass(&self, elapsed: Duration) {
+        if self.enabled {
+            self.pass_us.record_duration(elapsed);
+        }
+    }
+
+    pub(crate) fn record_fire(&self, elapsed: Duration, rows_in: u64, rows_out: u64) {
+        if self.enabled {
+            self.firings.inc();
+            self.fire_us.record_duration(elapsed);
+            self.fire_rows_in.add(rows_in);
+            self.fire_rows_out.add(rows_out);
+        }
+    }
+
+    pub(crate) fn record_basket_wait(&self, waited: Duration) {
+        if self.enabled {
+            self.basket_wait_us.record_duration(waited);
+        }
+    }
+
+    pub(crate) fn record_e2e(&self, elapsed: Duration) {
+        if self.enabled {
+            self.e2e_us.record_duration(elapsed);
+        }
+    }
+
+    pub(crate) fn record_emitter_drops(&self, n: u64) {
+        if self.enabled && n > 0 {
+            self.emitter_dropped.add(n);
+        }
+    }
+
+    /// Emitter-queue latency handle for [`crate::emitter::channel_obs`]
+    /// (`None` when recording is off).
+    pub(crate) fn emitter_queue_handle(&self) -> Option<Arc<Histogram>> {
+        self.enabled.then(|| Arc::clone(&self.emitter_queue_us))
+    }
+
+    /// Record arrival→socket latency for one delivered chunk (server
+    /// frontend; microseconds).
+    pub fn record_wire_delivery_us(&self, us: u64) {
+        if self.enabled {
+            self.wire_delivery_us.record(us);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_hub_records_nothing() {
+        let obs = EngineObs::new(false);
+        obs.record_ingest(10);
+        obs.record_fire(Duration::from_micros(5), 10, 1);
+        obs.record_e2e(Duration::from_micros(5));
+        obs.record_emitter_drops(3);
+        obs.record_wire_delivery_us(9);
+        obs.event("x", "ignored");
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("datacell_ingest_rows_total"), Some(0));
+        assert_eq!(snap.counter("datacell_firings_total"), Some(0));
+        assert_eq!(snap.histogram("datacell_e2e_latency_us").map(|h| h.count), Some(0));
+        assert!(obs.drain_events(None).is_empty());
+        assert!(obs.emitter_queue_handle().is_none());
+    }
+
+    #[test]
+    fn enabled_hub_records_everything() {
+        let obs = EngineObs::new(true);
+        obs.record_ingest(10);
+        obs.record_fire(Duration::from_micros(5), 10, 2);
+        obs.record_basket_wait(Duration::from_micros(3));
+        obs.record_e2e(Duration::from_micros(7));
+        obs.record_emitter_drops(3);
+        obs.record_wire_delivery_us(9);
+        obs.event("register", "q1");
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("datacell_ingest_rows_total"), Some(10));
+        assert_eq!(snap.counter("datacell_fire_rows_out_total"), Some(2));
+        assert_eq!(snap.counter("datacell_emitter_dropped_chunks_total"), Some(3));
+        assert_eq!(snap.histogram("datacell_wire_delivery_us").map(|h| h.count), Some(1));
+        assert_eq!(obs.drain_events(None).len(), 1);
+        assert!(obs.emitter_queue_handle().is_some());
+        // The exported page is valid Prometheus text.
+        datacell_obs::parse_prometheus(&snap.render_prometheus()).expect("valid exposition");
+    }
+}

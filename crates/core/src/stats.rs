@@ -48,6 +48,9 @@ pub struct QueryStats {
     pub last_tuples_touched: u64,
     /// Pending (undelivered) result chunks.
     pub pending_results: usize,
+    /// Result chunks this query's subscribers lost to bounded-queue
+    /// overflow (per-query attribution of `EngineStats::dropped_chunks`).
+    pub dropped: u64,
     /// Whether the query is paused.
     pub paused: bool,
 }
@@ -106,11 +109,11 @@ impl EngineStats {
         }
         out.push_str("== queries ==\n");
         out.push_str(
-            "id   mode         firings  tuples_in tuples_out   busy_us  touched  state\n",
+            "id   mode         firings  tuples_in tuples_out   busy_us  touched  dropped  state\n",
         );
         for q in &self.queries {
             out.push_str(&format!(
-                "q{:<3} {:<12} {:>7} {:>10} {:>10} {:>9} {:>8}  {}\n",
+                "q{:<3} {:<12} {:>7} {:>10} {:>10} {:>9} {:>8} {:>8}  {}\n",
                 q.id,
                 q.mode,
                 q.firings,
@@ -118,6 +121,7 @@ impl EngineStats {
                 q.tuples_out,
                 q.busy.as_micros(),
                 q.last_tuples_touched,
+                q.dropped,
                 if q.paused { "paused" } else { "active" }
             ));
         }
@@ -205,6 +209,7 @@ mod tests {
                 dropped_bytes: 0,
                 reclaimed_bytes: 512,
                 snapshots: 1,
+                ..Default::default()
             }),
             ..Default::default()
         };

@@ -1,0 +1,136 @@
+//! End-to-end observability: the engine's metrics registry, chunk-lifecycle
+//! latency tracing, flight recorder, and the EXPLAIN ANALYZE / STATS DETAIL
+//! text surfaces — plus the guarantee that turning tracing off (or on)
+//! never changes query results.
+
+use std::time::Duration;
+
+use datacell_core::{DataCell, DataCellConfig};
+use datacell_obs::parse_prometheus;
+use datacell_storage::Value;
+
+fn rows(n: usize, base: i64) -> Vec<Vec<Value>> {
+    (0..n)
+        .map(|i| vec![Value::Int(base + i as i64), Value::Int(10 * (i as i64 + 1))])
+        .collect()
+}
+
+fn driven_engine(config: DataCellConfig) -> (DataCell, u64) {
+    let mut cell = DataCell::new(config);
+    cell.execute("CREATE STREAM s (ts TIMESTAMP, val BIGINT)").unwrap();
+    let q = cell.register_query("SELECT COUNT(*), SUM(val) FROM s").unwrap();
+    for batch in 0..4 {
+        cell.push_rows("s", &rows(8, batch * 8)).unwrap();
+        cell.run_until_idle().unwrap();
+    }
+    (cell, q)
+}
+
+#[test]
+fn lifecycle_latency_series_fill_and_render_as_prometheus() {
+    let (mut cell, q) = driven_engine(DataCellConfig::default());
+    let sub = cell.subscribe(q).unwrap();
+    cell.push_rows("s", &rows(8, 100)).unwrap();
+    cell.run_until_idle().unwrap();
+    while sub.next_timeout(Duration::from_millis(10)).is_some() {}
+
+    let snap = cell.metrics_snapshot();
+    assert_eq!(snap.counter("datacell_ingest_rows_total"), Some(40));
+    assert!(snap.counter("datacell_firings_total").unwrap() >= 5);
+    assert!(snap.counter("datacell_fire_rows_in_total").unwrap() >= 40);
+    // Every lifecycle latency stage observed at least one sample.
+    for name in [
+        "datacell_basket_wait_us",
+        "datacell_factory_fire_us",
+        "datacell_scheduler_pass_us",
+        "datacell_e2e_latency_us",
+        "datacell_emitter_queue_us",
+    ] {
+        let h = snap.histogram(name).unwrap_or_else(|| panic!("{name} missing"));
+        assert!(h.count > 0, "{name} recorded no samples");
+    }
+    // Derived engine series are merged into the page.
+    assert_eq!(snap.gauge("datacell_queries"), Some(1));
+    assert!(snap.values.contains_key("datacell_uptime_seconds"));
+
+    // The METRICS page is valid Prometheus text exposition format.
+    let text = cell.metrics_text();
+    let samples = parse_prometheus(&text).expect("valid exposition format");
+    assert!(samples.iter().any(|s| s.name == "datacell_e2e_latency_us_bucket"));
+    assert!(samples.iter().any(|s| s.name == "datacell_ingest_rows_total"));
+}
+
+#[test]
+fn observability_off_records_nothing_and_results_match() {
+    let off = DataCellConfig { observability: false, ..Default::default() };
+    let (cell_off, q_off) = driven_engine(off);
+    let (cell_on, q_on) = driven_engine(DataCellConfig::default());
+
+    let snap = cell_off.metrics_snapshot();
+    assert_eq!(snap.counter("datacell_ingest_rows_total"), Some(0));
+    assert_eq!(snap.histogram("datacell_e2e_latency_us").map(|h| h.count), Some(0));
+    assert!(cell_off.trace_events(None).is_empty());
+
+    // Tracing never changes results: both engines emitted identical chunks.
+    let mut on = cell_on;
+    let mut offc = cell_off;
+    assert_eq!(offc.take_results(q_off).unwrap(), on.take_results(q_on).unwrap());
+}
+
+#[test]
+fn explain_analyze_and_stats_detail_render_timing() {
+    let (cell, q) = driven_engine(DataCellConfig::default());
+    let analyze = cell.explain_analyze(q).unwrap();
+    assert!(analyze.contains("== analyze =="), "analyze table present:\n{analyze}");
+    assert!(analyze.contains(&format!("q{q}")));
+    assert!(analyze.contains("p99_us"));
+
+    let detail = cell.stats_detail();
+    assert!(detail.contains("== queries =="));
+    assert!(detail.contains("== analyze =="));
+    assert!(detail.contains("== latency =="), "latency summary present:\n{detail}");
+    assert!(detail.contains("end-to-end"));
+
+    assert!(cell.explain_analyze(999).is_err());
+}
+
+#[test]
+fn flight_recorder_captures_lifecycle_and_drains() {
+    let (mut cell, q) = driven_engine(DataCellConfig::default());
+    cell.set_query_paused(q, true).unwrap();
+    cell.set_query_paused(q, false).unwrap();
+    let recorded = cell.obs().events_recorded();
+    assert!(recorded >= 4, "expected create/register/pause events, got {recorded}");
+
+    // Drain the 2 most recent events: the pause/resume pair, oldest first.
+    let recent = cell.trace_events(Some(2));
+    assert_eq!(recent.len(), 2);
+    assert!(recent.iter().all(|e| e.kind == "pause"));
+    assert!(recent[0].seq < recent[1].seq);
+    // Draining consumed them; the rest is still there, then empty.
+    let rest = cell.trace_events(None);
+    assert!(rest.iter().all(|e| e.kind != "pause"));
+    assert!(cell.trace_events(None).is_empty());
+}
+
+#[test]
+fn per_query_drop_attribution_reaches_stats() {
+    let config = DataCellConfig { emitter_capacity: Some(2), ..Default::default() };
+    let mut cell = DataCell::new(config);
+    cell.execute("CREATE STREAM s (ts TIMESTAMP, val BIGINT)").unwrap();
+    let q = cell.register_query("SELECT COUNT(*) FROM s").unwrap();
+    let _sub = cell.subscribe(q).unwrap(); // never drained → overflows
+    for batch in 0..6 {
+        cell.push_rows("s", &rows(4, batch * 4)).unwrap();
+        cell.run_until_idle().unwrap();
+    }
+    let stats = cell.stats();
+    assert!(stats.dropped_chunks > 0, "bounded queue must have overflowed");
+    let qs = stats.queries.iter().find(|x| x.id == q).unwrap();
+    assert_eq!(qs.dropped, stats.dropped_chunks, "all drops attribute to q{q}");
+    let snap = cell.metrics_snapshot();
+    assert_eq!(
+        snap.counter("datacell_emitter_dropped_chunks_total"),
+        Some(stats.dropped_chunks)
+    );
+}

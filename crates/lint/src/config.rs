@@ -86,16 +86,24 @@ impl Config {
 
     /// The shipped policy for the DataCell workspace.
     ///
-    /// Layering follows the crate diagram in the README: `storage` is the
-    /// foundation (no internal deps, and **no I/O** — durability lives in
-    /// `wal`); `wal` sees only `storage`; the language stack is
-    /// `sql → plan → core`; `server` talks to the engine only through
-    /// `core`/`storage`; `bench` may see everything. `protocol.rs` stays
-    /// I/O-free so every wire rule is unit-testable.
+    /// Layering follows the crate diagram in the README: `obs` and
+    /// `storage` are the foundation (no internal deps; both **no I/O** —
+    /// `obs` is a dependency-free in-memory metrics/tracing leaf,
+    /// durability lives in `wal`); `wal` sees `storage` + `obs`; the
+    /// language stack is `sql → plan → core`; `server` talks to the
+    /// engine only through `core`/`storage` (observability types reach it
+    /// as `core` re-exports); `bench` may see everything. `protocol.rs`
+    /// stays I/O-free so every wire rule is unit-testable.
     pub fn datacell(root: impl Into<PathBuf>) -> Config {
         let crates = vec![
+            CrateSpec::new("datacell-obs", "crates/obs", &[], &[]),
             CrateSpec::new("datacell-storage", "crates/storage", &[], &["parking_lot"]),
-            CrateSpec::new("datacell-wal", "crates/wal", &["datacell-storage"], &[]),
+            CrateSpec::new(
+                "datacell-wal",
+                "crates/wal",
+                &["datacell-storage", "datacell-obs"],
+                &[],
+            ),
             CrateSpec::new("datacell-algebra", "crates/algebra", &["datacell-storage"], &[]),
             CrateSpec::new("datacell-sql", "crates/sql", &[], &[]),
             CrateSpec::new(
@@ -108,6 +116,7 @@ impl Config {
                 "datacell-core",
                 "crates/core",
                 &[
+                    "datacell-obs",
                     "datacell-storage",
                     "datacell-wal",
                     "datacell-algebra",
@@ -162,6 +171,7 @@ impl Config {
             // bin-filter below via the dedicated prefix list: the
             // experiment drivers may panic on CLI misuse.
             deny_panic_paths: vec![
+                deny("crates/obs/src/"),
                 deny("crates/storage/src/"),
                 deny("crates/wal/src/"),
                 deny("crates/algebra/src/"),
@@ -193,6 +203,7 @@ impl Config {
             ],
             lock_classes: Vec::new(),
             no_io_paths: vec![
+                deny("crates/obs/src/"),
                 deny("crates/storage/src/"),
                 deny("crates/sql/src/"),
                 deny("crates/algebra/src/"),

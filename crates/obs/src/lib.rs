@@ -1,0 +1,35 @@
+//! # datacell-obs
+//!
+//! Observability primitives for the DataCell engine: a lock-free,
+//! per-thread-sharded metrics registry (counters, gauges, and fixed-bucket
+//! log2 histograms with mergeable snapshots) plus a bounded flight
+//! recorder of recent engine events.
+//!
+//! The crate is a dependency-free leaf: it performs no I/O and knows
+//! nothing about streams, queries, or sockets. The engine registers
+//! handles once at startup and records on the hot path with plain relaxed
+//! atomics; readers take [`MetricsSnapshot`]s that merge the shards and
+//! render [Prometheus text exposition
+//! format](https://prometheus.io/docs/instrumenting/exposition_formats/).
+//!
+//! ```
+//! use datacell_obs::Registry;
+//!
+//! let reg = Registry::new();
+//! let fired = reg.counter("datacell_firings_total", "total factory firings");
+//! let lat = reg.histogram("datacell_fire_us", "factory fire latency (us)");
+//! fired.add(1);
+//! lat.record(130);
+//! let snap = reg.snapshot();
+//! assert!(snap.render_prometheus().contains("datacell_firings_total 1"));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod recorder;
+pub mod registry;
+
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, BUCKETS};
+pub use recorder::{FlightRecorder, TraceEvent};
+pub use registry::{parse_prometheus, MetricValue, MetricsSnapshot, Registry, Sample};

@@ -1,0 +1,358 @@
+//! Metric primitives: atomic counters, gauges, and per-thread-sharded
+//! log2 histograms with mergeable snapshots.
+//!
+//! Histograms are the interesting part. Recording must be cheap enough
+//! for per-chunk hot paths, so each histogram holds [`SHARDS`] independent
+//! bucket arrays and a thread picks its shard by a cached hash of its
+//! `ThreadId` — two threads usually land on different cache lines and a
+//! record is a handful of relaxed `fetch_add`s with no compare-and-swap
+//! loop. Readers merge the shards into a [`HistogramSnapshot`], which is
+//! itself mergeable (associative and commutative, see the proptest in
+//! `tests/histogram_props.rs`), so per-worker or per-interval snapshots
+//! can be combined freely.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// Number of log2 buckets per histogram. Bucket 0 holds the value 0 and
+/// bucket `i` (i >= 1) holds values in `[2^(i-1), 2^i - 1]`; every `u64`
+/// maps to exactly one of the 64 buckets.
+pub const BUCKETS: usize = 64;
+
+/// Number of independent shards per histogram. Power of two so the shard
+/// pick is a mask, sized so a handful of worker threads rarely collide.
+const SHARDS: usize = 8;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// New counter at zero.
+    pub fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Add `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a signed value that can move both ways (queue depth, bytes
+/// pinned, active sessions).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// New gauge at zero.
+    pub fn new() -> Self {
+        Gauge(AtomicI64::new(0))
+    }
+
+    /// Set the gauge to an absolute value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Add a (possibly negative) delta.
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// One histogram shard: its own buckets, count, and sum so concurrent
+/// writers on different shards never touch the same cache lines.
+#[derive(Debug)]
+struct Shard {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Map a value to its log2 bucket index. Total over all of `u64`.
+#[inline]
+pub(crate) fn bucket_of(v: u64) -> usize {
+    ((64 - v.leading_zeros()) as usize).min(BUCKETS - 1)
+}
+
+/// Inclusive upper bound of bucket `i` (`2^i - 1`, saturating at the top).
+pub(crate) fn bucket_upper(i: usize) -> u64 {
+    if i >= 63 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// Inclusive lower bound of bucket `i`.
+pub(crate) fn bucket_lower(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << (i - 1)
+    }
+}
+
+/// A fixed-bucket log2 histogram, sharded per thread for lock-free
+/// concurrent recording.
+#[derive(Debug)]
+pub struct Histogram {
+    shards: [Shard; SHARDS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// New empty histogram.
+    pub fn new() -> Self {
+        Histogram { shards: std::array::from_fn(|_| Shard::new()) }
+    }
+
+    /// Record one observation. Lock-free: three relaxed `fetch_add`s on
+    /// the calling thread's shard.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let shard = &self.shards[shard_index()];
+        shard.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        shard.count.fetch_add(1, Ordering::Relaxed);
+        shard.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Record a duration as whole microseconds.
+    #[inline]
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(d.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Merge all shards into one snapshot.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut snap = HistogramSnapshot::default();
+        for shard in &self.shards {
+            for (i, b) in shard.buckets.iter().enumerate() {
+                snap.buckets[i] += b.load(Ordering::Relaxed);
+            }
+            snap.count += shard.count.load(Ordering::Relaxed);
+            snap.sum += shard.sum.load(Ordering::Relaxed);
+        }
+        snap
+    }
+}
+
+/// Cached per-thread shard index: hash the `ThreadId` once per thread.
+#[inline]
+fn shard_index() -> usize {
+    use std::hash::{Hash, Hasher};
+    thread_local! {
+        static SHARD: usize = {
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            std::thread::current().id().hash(&mut h);
+            (h.finish() as usize) & (SHARDS - 1)
+        };
+    }
+    SHARD.with(|s| *s)
+}
+
+/// A merged, immutable view of a histogram: plain `u64` buckets so it
+/// derives `Eq` and can live inside snapshot structs that are compared in
+/// tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts (`BUCKETS` log2 buckets).
+    pub buckets: [u64; BUCKETS],
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot { buckets: [0; BUCKETS], count: 0, sum: 0 }
+    }
+}
+
+impl HistogramSnapshot {
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Record one observation directly into the snapshot — the scalar,
+    /// single-owner counterpart of [`Histogram::record`] for call sites
+    /// that already hold `&mut` (e.g. per-factory stats).
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum += v;
+    }
+
+    /// Merge another snapshot into this one. Associative and commutative:
+    /// bucket-wise addition.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    /// Mean of the observed values, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate quantile (`q` in `[0, 1]`) by locating the bucket that
+    /// holds the target rank and interpolating linearly inside its value
+    /// range. Log2 buckets bound the relative error at 2x; good enough
+    /// for latency reporting.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = q * (self.count.saturating_sub(1)) as f64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let before = seen as f64;
+            seen += n;
+            if target < seen as f64 {
+                // Rank `target` falls inside bucket i: interpolate across
+                // the bucket's value range by the rank's position in it.
+                let lo = bucket_lower(i) as f64;
+                let hi = bucket_upper(i) as f64;
+                let frac = if n > 1 { (target - before) / (n - 1) as f64 } else { 0.0 };
+                return lo + (hi - lo) * frac.clamp(0.0, 1.0);
+            }
+        }
+        bucket_upper(BUCKETS - 1) as f64
+    }
+
+    /// Shorthand for the 50th/95th/99th percentile triple.
+    pub fn p50_p95_p99(&self) -> (f64, f64, f64) {
+        (self.quantile(0.50), self.quantile(0.95), self.quantile(0.99))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_mapping_is_total_and_ordered() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+        for i in 0..BUCKETS {
+            assert!(bucket_lower(i) <= bucket_upper(i));
+            assert_eq!(bucket_of(bucket_lower(i)), i);
+            assert_eq!(bucket_of(bucket_upper(i)), i);
+        }
+    }
+
+    #[test]
+    fn counter_and_gauge() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        let g = Gauge::new();
+        g.set(10);
+        g.add(-3);
+        assert_eq!(g.get(), 7);
+    }
+
+    #[test]
+    fn histogram_records_and_snapshots() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 100, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 6);
+        assert_eq!(s.sum, 1106);
+        assert_eq!(s.buckets[0], 1); // 0
+        assert_eq!(s.buckets[1], 1); // 1
+        assert_eq!(s.buckets[2], 2); // 2, 3
+        assert_eq!(s.buckets.iter().sum::<u64>(), 6);
+    }
+
+    #[test]
+    fn quantiles_are_monotonic_and_bounded() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let (p50, p95, p99) = s.p50_p95_p99();
+        assert!(p50 <= p95 && p95 <= p99);
+        // Log2 buckets bound the answer within 2x of the true quantile.
+        assert!((250.0..=1023.0).contains(&p50), "p50 = {p50}");
+        assert!(s.quantile(0.0) >= 1.0);
+        assert!(s.quantile(1.0) <= 1023.0);
+    }
+
+    #[test]
+    fn empty_snapshot_quantile_is_zero() {
+        let s = HistogramSnapshot::default();
+        assert_eq!(s.quantile(0.5), 0.0);
+        assert_eq!(s.mean(), 0.0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn merge_adds_bucketwise() {
+        let a_h = Histogram::new();
+        a_h.record(5);
+        let b_h = Histogram::new();
+        b_h.record(7);
+        b_h.record(100);
+        let mut a = a_h.snapshot();
+        a.merge(&b_h.snapshot());
+        assert_eq!(a.count, 3);
+        assert_eq!(a.sum, 112);
+        assert_eq!(a.buckets[bucket_of(5)], 2); // 5 and 7 share bucket [4,7]
+    }
+}

@@ -1,0 +1,143 @@
+//! The flight recorder: a bounded ring of recent engine events.
+//!
+//! Metrics answer "how fast"; the flight recorder answers "what just
+//! happened" — the last N lifecycle events (stream created, query
+//! registered, checkpoint, recovery, per-pass summaries, drops) with
+//! microsecond timestamps relative to recorder start. The ring is
+//! bounded, so a long-running engine keeps a fixed-size tail and the
+//! `TRACE DUMP` wire command drains it without unbounded growth.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+use std::time::Instant;
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Monotonic sequence number (never reused; gaps mean ring overflow).
+    pub seq: u64,
+    /// Microseconds since the recorder was created.
+    pub at_us: u64,
+    /// Short event kind tag (e.g. `register`, `pass`, `checkpoint`).
+    pub kind: &'static str,
+    /// Free-form detail line.
+    pub detail: String,
+}
+
+/// A bounded ring of [`TraceEvent`]s. Recording takes a short mutex —
+/// events are lifecycle-frequency (per pass, per DDL), not per tuple, so
+/// contention is negligible next to the engine lock.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    start: Instant,
+    capacity: usize,
+    next_seq: AtomicU64,
+    ring: Mutex<VecDeque<TraceEvent>>,
+}
+
+impl FlightRecorder {
+    /// New recorder holding at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        FlightRecorder {
+            start: Instant::now(),
+            capacity,
+            next_seq: AtomicU64::new(0),
+            ring: Mutex::new(VecDeque::with_capacity(capacity)),
+        }
+    }
+
+    /// Append one event, evicting the oldest when full.
+    pub fn record(&self, kind: &'static str, detail: impl Into<String>) {
+        let event = TraceEvent {
+            seq: self.next_seq.fetch_add(1, Ordering::Relaxed),
+            at_us: self.start.elapsed().as_micros().min(u64::MAX as u128) as u64,
+            kind,
+            detail: detail.into(),
+        };
+        let mut ring = self.ring.lock().unwrap_or_else(PoisonError::into_inner);
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(event);
+    }
+
+    /// Number of events currently buffered.
+    pub fn len(&self) -> usize {
+        self.ring.lock().unwrap_or_else(PoisonError::into_inner).len()
+    }
+
+    /// True when no events are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total events ever recorded (including evicted ones).
+    pub fn recorded(&self) -> u64 {
+        self.next_seq.load(Ordering::Relaxed)
+    }
+
+    /// Remove and return up to `n` of the **most recent** events (all
+    /// buffered events when `n` is `None`), oldest first.
+    pub fn drain_recent(&self, n: Option<usize>) -> Vec<TraceEvent> {
+        let mut ring = self.ring.lock().unwrap_or_else(PoisonError::into_inner);
+        let take = n.unwrap_or(ring.len()).min(ring.len());
+        let keep = ring.len() - take;
+        ring.split_off(keep).into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order_with_sequence() {
+        let rec = FlightRecorder::new(8);
+        rec.record("a", "first");
+        rec.record("b", "second");
+        let events = rec.drain_recent(None);
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind, "a");
+        assert_eq!(events[1].kind, "b");
+        assert!(events[0].seq < events[1].seq);
+        assert!(events[0].at_us <= events[1].at_us);
+        assert!(rec.is_empty());
+    }
+
+    #[test]
+    fn bounded_ring_evicts_oldest() {
+        let rec = FlightRecorder::new(3);
+        for i in 0..10 {
+            rec.record("e", format!("{i}"));
+        }
+        assert_eq!(rec.len(), 3);
+        assert_eq!(rec.recorded(), 10);
+        let events = rec.drain_recent(None);
+        let details: Vec<&str> = events.iter().map(|e| e.detail.as_str()).collect();
+        assert_eq!(details, vec!["7", "8", "9"]);
+    }
+
+    #[test]
+    fn drain_recent_takes_newest() {
+        let rec = FlightRecorder::new(10);
+        for i in 0..5 {
+            rec.record("e", format!("{i}"));
+        }
+        let last2 = rec.drain_recent(Some(2));
+        assert_eq!(last2.len(), 2);
+        assert_eq!(last2[0].detail, "3");
+        assert_eq!(last2[1].detail, "4");
+        // Older events stay buffered.
+        assert_eq!(rec.len(), 3);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let rec = FlightRecorder::new(0);
+        rec.record("x", "");
+        rec.record("y", "");
+        assert_eq!(rec.drain_recent(None).len(), 1);
+    }
+}

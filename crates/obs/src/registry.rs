@@ -1,0 +1,401 @@
+//! The metrics registry: a named collection of counters, gauges, and
+//! histograms, snapshotted as a whole and rendered in Prometheus text
+//! exposition format.
+//!
+//! Registration is the cold path (engine startup, query registration) and
+//! takes a `RwLock` write; the returned `Arc` handles are recorded through
+//! directly on the hot path with no registry involvement at all.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, PoisonError, RwLock};
+
+use crate::metrics::{bucket_upper, Counter, Gauge, Histogram, HistogramSnapshot, BUCKETS};
+
+/// Kind + handle of one registered metric.
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    metrics: BTreeMap<String, Metric>,
+    help: BTreeMap<String, String>,
+}
+
+/// A named collection of metrics.
+///
+/// `Registry` is `Sync`; clones of the returned `Arc` handles can be
+/// recorded from any thread concurrently.
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: RwLock<Inner>,
+}
+
+impl Registry {
+    /// New empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Get or create a counter. If the name is already registered as a
+    /// different kind the existing registration wins and a fresh detached
+    /// handle is returned (recording to it is harmless but unobserved);
+    /// metric names are engine-internal constants so this is a
+    /// programming error surfaced by tests, not a runtime hazard.
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        let mut inner = self.inner.write().unwrap_or_else(PoisonError::into_inner);
+        inner.help.entry(name.to_string()).or_insert_with(|| help.to_string());
+        let entry = inner
+            .metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::new())));
+        match entry {
+            Metric::Counter(c) => Arc::clone(c),
+            _ => Arc::new(Counter::new()),
+        }
+    }
+
+    /// Get or create a gauge (same name rules as [`Registry::counter`]).
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        let mut inner = self.inner.write().unwrap_or_else(PoisonError::into_inner);
+        inner.help.entry(name.to_string()).or_insert_with(|| help.to_string());
+        let entry = inner
+            .metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::new())));
+        match entry {
+            Metric::Gauge(g) => Arc::clone(g),
+            _ => Arc::new(Gauge::new()),
+        }
+    }
+
+    /// Get or create a histogram (same name rules as [`Registry::counter`]).
+    pub fn histogram(&self, name: &str, help: &str) -> Arc<Histogram> {
+        let mut inner = self.inner.write().unwrap_or_else(PoisonError::into_inner);
+        inner.help.entry(name.to_string()).or_insert_with(|| help.to_string());
+        let entry = inner
+            .metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new())));
+        match entry {
+            Metric::Histogram(h) => Arc::clone(h),
+            _ => Arc::new(Histogram::new()),
+        }
+    }
+
+    /// Snapshot every registered metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.read().unwrap_or_else(PoisonError::into_inner);
+        let mut values = BTreeMap::new();
+        for (name, metric) in &inner.metrics {
+            let value = match metric {
+                Metric::Counter(c) => MetricValue::Counter(c.get()),
+                Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                Metric::Histogram(h) => MetricValue::Histogram(Box::new(h.snapshot())),
+            };
+            values.insert(name.clone(), value);
+        }
+        MetricsSnapshot { values, help: inner.help.clone() }
+    }
+}
+
+/// The snapshotted value of one metric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Monotonic counter value.
+    Counter(u64),
+    /// Point-in-time gauge value.
+    Gauge(i64),
+    /// Merged histogram shards (boxed: a snapshot is ~64 buckets,
+    /// far larger than the scalar variants).
+    Histogram(Box<HistogramSnapshot>),
+}
+
+/// A point-in-time snapshot of a whole registry.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Metric name → value, sorted by name.
+    pub values: BTreeMap<String, MetricValue>,
+    /// Metric name → help text.
+    pub help: BTreeMap<String, String>,
+}
+
+impl MetricsSnapshot {
+    /// Look up a histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        match self.values.get(name) {
+            Some(MetricValue::Histogram(h)) => Some(h.as_ref()),
+            _ => None,
+        }
+    }
+
+    /// Look up a counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.values.get(name) {
+            Some(MetricValue::Counter(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Look up a gauge by name.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        match self.values.get(name) {
+            Some(MetricValue::Gauge(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Render the snapshot in Prometheus text exposition format.
+    ///
+    /// Histograms emit the conventional cumulative `_bucket{le="..."}`
+    /// series (log2 upper bounds, empty buckets above the max observed
+    /// value elided), `_sum`, and `_count`. The output round-trips through
+    /// [`parse_prometheus`].
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.values {
+            let help = self.help.get(name).map(String::as_str).unwrap_or("");
+            if !help.is_empty() {
+                out.push_str(&format!("# HELP {name} {help}\n"));
+            }
+            match value {
+                MetricValue::Counter(v) => {
+                    out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+                }
+                MetricValue::Gauge(v) => {
+                    out.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
+                }
+                MetricValue::Histogram(h) => {
+                    out.push_str(&format!("# TYPE {name} histogram\n"));
+                    // Highest non-empty bucket; always emit at least one
+                    // finite le bound so empty histograms still render a
+                    // well-formed series.
+                    let top = h
+                        .buckets
+                        .iter()
+                        .rposition(|&n| n > 0)
+                        .map(|i| (i + 1).min(BUCKETS - 1))
+                        .unwrap_or(0);
+                    let mut cum = 0u64;
+                    for (i, &n) in h.buckets.iter().enumerate().take(top + 1) {
+                        cum += n;
+                        out.push_str(&format!(
+                            "{name}_bucket{{le=\"{}\"}} {cum}\n",
+                            bucket_upper(i)
+                        ));
+                    }
+                    out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+                    out.push_str(&format!("{name}_sum {}\n", h.sum));
+                    out.push_str(&format!("{name}_count {}\n", h.count));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One parsed Prometheus sample line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Metric name (including `_bucket`/`_sum`/`_count` suffixes).
+    pub name: String,
+    /// Label pairs, in source order.
+    pub labels: Vec<(String, String)>,
+    /// Sample value.
+    pub value: f64,
+}
+
+fn valid_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Parse (and thereby validate) Prometheus text exposition format.
+///
+/// Accepts `# HELP` / `# TYPE` comments and `name{labels} value` sample
+/// lines; returns every sample, or a description of the first malformed
+/// line. This is the validator the server socket test runs against the
+/// `METRICS` command output.
+pub fn parse_prometheus(text: &str) -> Result<Vec<Sample>, String> {
+    let mut samples = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let comment = comment.trim_start();
+            let mut parts = comment.splitn(3, ' ');
+            let kind = parts.next().unwrap_or("");
+            if kind == "HELP" || kind == "TYPE" {
+                let name = parts.next().unwrap_or("");
+                if !valid_name(name) {
+                    return Err(format!("line {}: bad metric name in comment: {line}", lineno + 1));
+                }
+                if kind == "TYPE" {
+                    let ty = parts.next().unwrap_or("").trim();
+                    if !matches!(ty, "counter" | "gauge" | "histogram" | "summary" | "untyped") {
+                        return Err(format!("line {}: unknown metric type {ty:?}", lineno + 1));
+                    }
+                }
+            }
+            // Other comments are allowed and ignored per the format spec.
+            continue;
+        }
+        samples.push(parse_sample(line).map_err(|e| format!("line {}: {e}", lineno + 1))?);
+    }
+    Ok(samples)
+}
+
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let (name_labels, value_str) = match line.find('}') {
+        Some(close) => {
+            let (head, tail) = line.split_at(close + 1);
+            (head, tail.trim())
+        }
+        None => {
+            let mut it = line.splitn(2, char::is_whitespace);
+            let head = it.next().unwrap_or("");
+            (head, it.next().unwrap_or("").trim())
+        }
+    };
+    let (name, labels) = match name_labels.find('{') {
+        Some(open) => {
+            let name = &name_labels[..open];
+            let body = name_labels
+                .get(open + 1..name_labels.len() - 1)
+                .ok_or_else(|| format!("bad label block in {line:?}"))?;
+            (name, parse_labels(body)?)
+        }
+        None => (name_labels, Vec::new()),
+    };
+    if !valid_name(name) {
+        return Err(format!("bad metric name {name:?}"));
+    }
+    let value: f64 = match value_str {
+        "+Inf" => f64::INFINITY,
+        "-Inf" => f64::NEG_INFINITY,
+        "NaN" => f64::NAN,
+        other => other.parse().map_err(|_| format!("bad sample value {other:?}"))?,
+    };
+    Ok(Sample { name: name.to_string(), labels, value })
+}
+
+fn parse_labels(body: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let body = body.trim().trim_end_matches(',');
+    if body.is_empty() {
+        return Ok(labels);
+    }
+    for pair in body.split(',') {
+        let (k, v) = pair
+            .split_once('=')
+            .ok_or_else(|| format!("label pair missing '=': {pair:?}"))?;
+        let k = k.trim();
+        if !valid_name(k) {
+            return Err(format!("bad label name {k:?}"));
+        }
+        let v = v.trim();
+        let v = v
+            .strip_prefix('"')
+            .and_then(|v| v.strip_suffix('"'))
+            .ok_or_else(|| format!("label value not quoted: {v:?}"))?;
+        labels.push((k.to_string(), v.to_string()));
+    }
+    Ok(labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_round_trip() {
+        let reg = Registry::new();
+        let c = reg.counter("requests_total", "total requests");
+        let g = reg.gauge("queue_depth", "current queue depth");
+        let h = reg.histogram("latency_us", "request latency");
+        c.add(3);
+        g.set(-2);
+        h.record(5);
+        h.record(500);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("requests_total"), Some(3));
+        assert_eq!(snap.gauge("queue_depth"), Some(-2));
+        assert_eq!(snap.histogram("latency_us").map(|h| h.count), Some(2));
+    }
+
+    #[test]
+    fn handles_are_shared() {
+        let reg = Registry::new();
+        reg.counter("c", "").add(1);
+        reg.counter("c", "").add(1);
+        assert_eq!(reg.snapshot().counter("c"), Some(2));
+    }
+
+    #[test]
+    fn render_parses_back() {
+        let reg = Registry::new();
+        reg.counter("a_total", "a help text").add(7);
+        reg.gauge("b_gauge", "").set(-1);
+        let h = reg.histogram("lat_us", "latency");
+        for v in [0u64, 1, 5, 5, 1000] {
+            h.record(v);
+        }
+        let text = reg.snapshot().render_prometheus();
+        let samples = parse_prometheus(&text).expect("render must parse");
+        let get = |n: &str| samples.iter().find(|s| s.name == n).map(|s| s.value);
+        assert_eq!(get("a_total"), Some(7.0));
+        assert_eq!(get("b_gauge"), Some(-1.0));
+        assert_eq!(get("lat_us_count"), Some(5.0));
+        assert_eq!(get("lat_us_sum"), Some(1011.0));
+        // Cumulative buckets end at count under le="+Inf".
+        let inf = samples
+            .iter()
+            .find(|s| s.name == "lat_us_bucket" && s.labels.iter().any(|(_, v)| v == "+Inf"))
+            .expect("+Inf bucket");
+        assert_eq!(inf.value, 5.0);
+        // Buckets are cumulative (non-decreasing in le order).
+        let buckets: Vec<f64> = samples
+            .iter()
+            .filter(|s| s.name == "lat_us_bucket")
+            .map(|s| s.value)
+            .collect();
+        assert!(buckets.windows(2).all(|w| w[0] <= w[1]), "{buckets:?}");
+    }
+
+    #[test]
+    fn empty_histogram_renders_well_formed() {
+        let reg = Registry::new();
+        reg.histogram("empty_us", "");
+        let text = reg.snapshot().render_prometheus();
+        let samples = parse_prometheus(&text).expect("parses");
+        assert!(samples.iter().any(|s| s.name == "empty_us_count" && s.value == 0.0));
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse_prometheus("1bad_name 3\n").is_err());
+        assert!(parse_prometheus("name not_a_number\n").is_err());
+        assert!(parse_prometheus("name{k=unquoted} 1\n").is_err());
+        assert!(parse_prometheus("# TYPE x spaghetti\n").is_err());
+        assert!(parse_prometheus("ok{le=\"+Inf\"} 1\n# random comment\nplain 2\n").is_ok());
+    }
+
+    #[test]
+    fn kind_mismatch_returns_detached_handle() {
+        let reg = Registry::new();
+        reg.counter("m", "").add(1);
+        let g = reg.gauge("m", "");
+        g.set(99);
+        // Registry keeps the first registration.
+        assert_eq!(reg.snapshot().counter("m"), Some(1));
+    }
+}

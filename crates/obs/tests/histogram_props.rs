@@ -1,0 +1,157 @@
+//! Property and concurrency tests for the sharded histogram and the
+//! registry.
+//!
+//! The histogram's correctness contract: snapshots are a *commutative
+//! monoid* under [`HistogramSnapshot::merge`] (so per-worker / per-shard
+//! snapshots can be combined in any grouping or order), and recording any
+//! multiset of values produces exactly the bucket counts of a scalar
+//! reference model. On top of that, a 4-thread hammer proves the
+//! registry's lock-free recording loses no observations.
+
+use std::sync::Arc;
+
+use datacell_obs::{Histogram, HistogramSnapshot, Registry, BUCKETS};
+use proptest::prelude::*;
+
+/// Scalar reference model: the bucket mapping restated independently.
+fn scalar_bucket(v: u64) -> usize {
+    if v == 0 {
+        return 0;
+    }
+    let mut i = 0usize;
+    let mut bound = 0u64; // inclusive upper bound of bucket i = 2^i - 1
+    loop {
+        if v <= bound {
+            return i;
+        }
+        i += 1;
+        if i == BUCKETS - 1 {
+            return i;
+        }
+        bound = (1u64 << i) - 1;
+    }
+}
+
+fn model_snapshot(values: &[u64]) -> HistogramSnapshot {
+    let mut snap = HistogramSnapshot::default();
+    for &v in values {
+        snap.buckets[scalar_bucket(v)] += 1;
+        snap.count += 1;
+        snap.sum += v;
+    }
+    snap
+}
+
+fn record_all(values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+/// Values spanning every magnitude the log2 buckets distinguish.
+fn arb_values() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(
+        prop_oneof![
+            Just(0u64),
+            (0u16..1024).prop_map(|v| v as u64),
+            (0u16..1024).prop_map(|v| (v as u64) << 20),
+            (0u16..1024).prop_map(|v| (v as u64) << 45),
+        ],
+        0..64,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn sharded_recording_matches_scalar_model(values in arb_values()) {
+        prop_assert_eq!(record_all(&values), model_snapshot(&values));
+    }
+
+    #[test]
+    fn merge_is_commutative(a in arb_values(), b in arb_values()) {
+        let (sa, sb) = (model_snapshot(&a), model_snapshot(&b));
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn merge_is_associative(
+        a in arb_values(),
+        b in arb_values(),
+        c in arb_values(),
+    ) {
+        let (sa, sb, sc) = (model_snapshot(&a), model_snapshot(&b), model_snapshot(&c));
+        // (a ⊕ b) ⊕ c
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+        // a ⊕ (b ⊕ c)
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn merge_of_splits_equals_whole(values in arb_values(), split in 0usize..64) {
+        let split = split.min(values.len());
+        let mut merged = model_snapshot(&values[..split]);
+        merged.merge(&model_snapshot(&values[split..]));
+        prop_assert_eq!(merged, record_all(&values));
+    }
+
+    #[test]
+    fn identity_element(values in arb_values()) {
+        let s = model_snapshot(&values);
+        let mut with_empty = s.clone();
+        with_empty.merge(&HistogramSnapshot::default());
+        prop_assert_eq!(with_empty, s);
+    }
+}
+
+/// Four threads hammer one registry's shared handles; nothing may be lost
+/// and the merged histogram must match the scalar model of everything
+/// recorded.
+#[test]
+fn registry_concurrent_hammer_loses_nothing() {
+    const THREADS: u64 = 4;
+    const PER_THREAD: u64 = 10_000;
+
+    let reg = Arc::new(Registry::new());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let reg = Arc::clone(&reg);
+            std::thread::spawn(move || {
+                // Each thread re-requests the handles by name, exercising
+                // concurrent get-or-create against concurrent recording.
+                let c = reg.counter("ops_total", "ops");
+                let g = reg.gauge("inflight", "inflight");
+                let h = reg.histogram("lat_us", "latency");
+                for i in 0..PER_THREAD {
+                    c.inc();
+                    g.add(1);
+                    h.record(t * PER_THREAD + i);
+                    g.add(-1);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("hammer thread");
+    }
+
+    let snap = reg.snapshot();
+    assert_eq!(snap.counter("ops_total"), Some(THREADS * PER_THREAD));
+    assert_eq!(snap.gauge("inflight"), Some(0));
+    let hist = snap.histogram("lat_us").expect("histogram registered");
+    let expected = model_snapshot(&(0..THREADS * PER_THREAD).collect::<Vec<u64>>());
+    assert_eq!(hist, &expected);
+}

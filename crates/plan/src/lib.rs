@@ -17,6 +17,7 @@
 
 #![warn(missing_docs)]
 
+pub mod analyze;
 pub mod binder;
 pub mod continuous;
 pub mod error;
@@ -28,6 +29,7 @@ pub mod optimizer;
 pub mod physical;
 pub mod shared;
 
+pub use analyze::{render_analyze, AnalyzeRow};
 pub use binder::{literal_to_value, type_of, Binder, BoundQuery};
 pub use continuous::{compile, CompiledQuery, ExecutionMode};
 pub use error::{PlanError, Result};

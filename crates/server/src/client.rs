@@ -209,19 +209,53 @@ impl Client {
             .map_err(|_| ClientError::Protocol(format!("bad push count {rest:?}")))
     }
 
-    /// Full `STATS` report text.
-    pub fn stats(&mut self) -> Result<String> {
-        self.send_line("STATS")?;
-        let rest = self.expect_reply("STATS ")?;
+    /// Read a `<tag> <line-count>` framed multi-line reply body.
+    fn read_framed(&mut self, tag: &str) -> Result<String> {
+        let rest = self.expect_reply(&format!("{tag} "))?;
         let lines: usize = rest
             .parse()
-            .map_err(|_| ClientError::Protocol(format!("bad stats length {rest:?}")))?;
+            .map_err(|_| ClientError::Protocol(format!("bad {tag} length {rest:?}")))?;
         let mut out = String::new();
         for _ in 0..lines {
             out.push_str(&self.read_line()?);
             out.push('\n');
         }
         Ok(out)
+    }
+
+    /// Full `STATS` report text.
+    pub fn stats(&mut self) -> Result<String> {
+        self.send_line("STATS")?;
+        self.read_framed("STATS")
+    }
+
+    /// Extended `STATS DETAIL` report (adds the per-factory analyze table
+    /// and the lifecycle-latency percentile summary).
+    pub fn stats_detail(&mut self) -> Result<String> {
+        self.send_line("STATS DETAIL")?;
+        self.read_framed("STATS")
+    }
+
+    /// Metrics registry snapshot in Prometheus text exposition format.
+    pub fn metrics(&mut self) -> Result<String> {
+        self.send_line("METRICS")?;
+        self.read_framed("METRICS")
+    }
+
+    /// `EXPLAIN ANALYZE <id>`: the query's plan plus its observed-runtime
+    /// row (firings, rows, latency percentiles).
+    pub fn explain_analyze(&mut self, id: u64) -> Result<String> {
+        self.send_line(&format!("EXPLAIN ANALYZE {id}"))?;
+        self.read_framed("ANALYZE")
+    }
+
+    /// Drain the server's flight recorder (`n` most recent events, or all).
+    pub fn trace_dump(&mut self, n: Option<usize>) -> Result<String> {
+        match n {
+            Some(n) => self.send_line(&format!("TRACE DUMP {n}"))?,
+            None => self.send_line("TRACE DUMP")?,
+        }
+        self.read_framed("TRACE")
     }
 
     /// Enter streaming mode for `query`. With a limit the server ends the

@@ -18,6 +18,11 @@
 //!                                       then CHUNK <id> <n> + n CSV rows …
 //! STOP          (while subscribed)      OK STOPPED <chunks> <rows>
 //! STATS                                 STATS <n> + n report lines
+//! STATS DETAIL                          STATS <n> + n report lines
+//!                                         (adds analyze + latency sections)
+//! METRICS                               METRICS <n> + n Prometheus lines
+//! EXPLAIN ANALYZE <id>                  ANALYZE <n> + n report lines
+//! TRACE DUMP [N]                        TRACE <n> + n event lines
 //! SHUTDOWN                              OK SHUTDOWN
 //! QUIT                                  OK BYE
 //! any error                             ERR <message>
@@ -83,6 +88,15 @@ pub enum Command {
     Stop,
     /// Engine + server statistics report.
     Stats,
+    /// Extended statistics: the `STATS` report plus the per-factory
+    /// analyze table and the lifecycle-latency percentile summary.
+    StatsDetail,
+    /// Metrics registry snapshot in Prometheus text exposition format.
+    Metrics,
+    /// Observed-runtime table for one continuous query (`EXPLAIN ANALYZE`).
+    ExplainAnalyze(u64),
+    /// Drain the flight recorder (the `n` most recent events, or all).
+    TraceDump(Option<usize>),
     /// Ask the server to shut down gracefully.
     Shutdown,
     /// Close this session.
@@ -159,7 +173,39 @@ pub fn parse_command(line: &str) -> Result<Command, ProtocolError> {
             Ok(Command::Subscribe { query: id, limit })
         }
         "STOP" => expect_empty("STOP").map(|()| Command::Stop),
-        "STATS" => expect_empty("STATS").map(|()| Command::Stats),
+        "STATS" => {
+            if rest.is_empty() {
+                Ok(Command::Stats)
+            } else if rest.eq_ignore_ascii_case("DETAIL") {
+                Ok(Command::StatsDetail)
+            } else {
+                Err(err("STATS syntax: STATS [DETAIL]"))
+            }
+        }
+        "METRICS" => expect_empty("METRICS").map(|()| Command::Metrics),
+        "EXPLAIN" => {
+            let (head, tail) = match rest.split_once(char::is_whitespace) {
+                Some((h, t)) => (h, t.trim()),
+                None => (rest, ""),
+            };
+            if !head.eq_ignore_ascii_case("ANALYZE") {
+                return Err(err("EXPLAIN syntax: EXPLAIN ANALYZE <query-id>"));
+            }
+            tail.parse::<u64>()
+                .map(Command::ExplainAnalyze)
+                .map_err(|_| err(format!("EXPLAIN ANALYZE requires a query id, got {tail:?}")))
+        }
+        "TRACE" => {
+            let mut parts = rest.split_whitespace();
+            match (parts.next().map(str::to_ascii_uppercase), parts.next(), parts.next()) {
+                (Some(kw), None, _) if kw == "DUMP" => Ok(Command::TraceDump(None)),
+                (Some(kw), Some(n), None) if kw == "DUMP" => n
+                    .parse::<usize>()
+                    .map(|n| Command::TraceDump(Some(n)))
+                    .map_err(|_| err(format!("TRACE DUMP requires a count, got {n:?}"))),
+                _ => Err(err("TRACE syntax: TRACE DUMP [<n>]")),
+            }
+        }
         "SHUTDOWN" => expect_empty("SHUTDOWN").map(|()| Command::Shutdown),
         "QUIT" => expect_empty("QUIT").map(|()| Command::Quit),
         other => Err(err(format!("unknown command {other:?}"))),
@@ -448,6 +494,29 @@ mod tests {
         assert!(parse_command("REGISTER INCREMENTAL").is_err());
         assert!(parse_command("PUSH a b").is_err());
         assert!(parse_command("DEREGISTER one").is_err());
+    }
+
+    #[test]
+    fn parse_observability_commands() {
+        assert_eq!(parse_command("METRICS").unwrap(), Command::Metrics);
+        assert_eq!(parse_command("stats detail").unwrap(), Command::StatsDetail);
+        assert_eq!(
+            parse_command("EXPLAIN ANALYZE 7").unwrap(),
+            Command::ExplainAnalyze(7)
+        );
+        assert_eq!(parse_command("TRACE DUMP").unwrap(), Command::TraceDump(None));
+        assert_eq!(
+            parse_command("trace dump 25").unwrap(),
+            Command::TraceDump(Some(25))
+        );
+        assert!(parse_command("METRICS now").is_err());
+        assert!(parse_command("STATS VERBOSE").is_err());
+        assert!(parse_command("EXPLAIN").is_err());
+        assert!(parse_command("EXPLAIN ANALYZE").is_err());
+        assert!(parse_command("EXPLAIN ANALYZE x").is_err());
+        assert!(parse_command("TRACE").is_err());
+        assert!(parse_command("TRACE DUMP x").is_err());
+        assert!(parse_command("TRACE DUMP 1 junk").is_err());
     }
 
     #[test]

@@ -23,8 +23,8 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
 
-use datacell_core::{EngineError, ExecOutcome};
-use datacell_storage::Row;
+use datacell_core::{EngineError, EngineObs, ExecOutcome};
+use datacell_storage::{Chunk, Row};
 
 use crate::protocol::{
     decode_typed_row, encode_chunk, encode_names, encode_row, err_line, parse_command,
@@ -313,9 +313,31 @@ impl Session {
             }
             Command::Push(stream) => self.push(&stream)?,
             Command::Subscribe { query, limit } => return self.subscribe(query, limit),
-            Command::Stats => self.stats_report()?,
+            Command::Stats => self.stats_report(false)?,
+            Command::StatsDetail => self.stats_report(true)?,
+            Command::Metrics => {
+                let text = self.shared.lock_engine().metrics_text();
+                self.send_framed("METRICS", text)?;
+            }
+            Command::ExplainAnalyze(id) => {
+                let rendered = self.shared.lock_engine().explain_analyze(id);
+                match rendered {
+                    Ok(text) => self.send_framed("ANALYZE", text)?,
+                    Err(e) => self.send_err(&e.to_string())?,
+                }
+            }
+            Command::TraceDump(n) => self.trace_report(n)?,
         }
         Ok(None)
+    }
+
+    /// Send a multi-line report framed as `<tag> <line-count>`.
+    fn send_framed(&mut self, tag: &str, mut body: String) -> io::Result<()> {
+        if !body.is_empty() && !body.ends_with('\n') {
+            body.push('\n');
+        }
+        let lines = body.lines().count();
+        self.send(&format!("{tag} {lines}\n{body}"))
     }
 
     fn exec(&mut self, sql: &str) -> io::Result<()> {
@@ -417,12 +439,12 @@ impl Session {
     fn subscribe(&mut self, query: u64, limit: Option<u64>) -> io::Result<Option<Exit>> {
         let subscribed = {
             let mut engine = self.shared.lock_engine();
-            engine
-                .output_names(query)
-                .and_then(|names| engine.subscribe(query).map(|em| (names, em)))
+            engine.output_names(query).and_then(|names| {
+                engine.subscribe(query).map(|em| (names, em, engine.obs().clone()))
+            })
         };
-        let (names, emitter) = match subscribed {
-            Ok(pair) => pair,
+        let (names, emitter, obs) = match subscribed {
+            Ok(triple) => triple,
             Err(e) => {
                 self.send_err(&e.to_string())?;
                 return Ok(None);
@@ -436,7 +458,7 @@ impl Session {
             if self.shared.is_shutdown() {
                 // Final drain: chunks of already-acknowledged batches must
                 // still reach the client before the stream ends.
-                self.forward_buffered(&emitter, query, limit, &mut counters)?;
+                self.forward_buffered(&emitter, &obs, query, limit, &mut counters)?;
                 break Some(Exit::Shutdown);
             }
             // 1. Client input: STOP, connection close, or garbage.
@@ -445,7 +467,7 @@ impl Session {
                 ReadLine::Overlong => self.send_err(OVERLONG_MSG)?,
                 ReadLine::Line(l) => match parse_command(&l) {
                     Ok(Command::Stop) => {
-                        self.forward_buffered(&emitter, query, limit, &mut counters)?;
+                        self.forward_buffered(&emitter, &obs, query, limit, &mut counters)?;
                         break None;
                     }
                     _ => self.send_err("only STOP is accepted while subscribed")?,
@@ -453,18 +475,18 @@ impl Session {
                 ReadLine::Idle => {}
             }
             // 2. Emitter output: forward everything buffered.
-            if self.forward_buffered(&emitter, query, limit, &mut counters)? {
+            if self.forward_buffered(&emitter, &obs, query, limit, &mut counters)? {
                 break None;
             }
             if emitter.is_closed() {
                 // Deregistered or engine shutdown: drain what is left and
                 // end the stream politely.
-                self.forward_buffered(&emitter, query, limit, &mut counters)?;
+                self.forward_buffered(&emitter, &obs, query, limit, &mut counters)?;
                 break None;
             }
             // 3. Idle: wait for the next chunk (bounded so step 1 reruns).
             if let Some(chunk) = emitter.next_timeout(STREAM_POLL) {
-                self.send(&encode_chunk(query, &chunk))?;
+                self.send_chunk(&obs, query, &chunk)?;
                 counters.0 += 1;
                 counters.1 += chunk.len() as u64;
                 if limit.is_some_and(|l| counters.0 >= l) {
@@ -493,26 +515,74 @@ impl Session {
     fn forward_buffered(
         &mut self,
         emitter: &datacell_core::Emitter,
+        obs: &EngineObs,
         query: u64,
         limit: Option<u64>,
         counters: &mut (u64, u64),
     ) -> io::Result<bool> {
         while limit.is_none_or(|l| counters.0 < l) {
             let Some(chunk) = emitter.try_next() else { return Ok(false) };
-            self.send(&encode_chunk(query, &chunk))?;
+            self.send_chunk(obs, query, &chunk)?;
             counters.0 += 1;
             counters.1 += chunk.len() as u64;
         }
         Ok(true)
     }
 
-    fn stats_report(&mut self) -> io::Result<()> {
-        let engine_report = self.shared.lock_engine().stats().render();
+    /// Write one `CHUNK` frame, then close the lifecycle latency chain:
+    /// the chunk's ingest stamp (the arrival tick of its newest
+    /// contributing tuple) to "bytes handed to the socket" is the
+    /// wire-delivery latency.
+    fn send_chunk(&mut self, obs: &EngineObs, query: u64, chunk: &Chunk) -> io::Result<()> {
+        self.send(&encode_chunk(query, chunk))?;
+        if let Some(arrived) = chunk.stamp().instant() {
+            let us = arrived.elapsed().as_micros().min(u64::MAX as u128) as u64;
+            obs.record_wire_delivery_us(us);
+        }
+        Ok(())
+    }
+
+    /// The `STATS` / `STATS DETAIL` report: engine sections (detail adds
+    /// the analyze table and latency percentiles), engine uptime, the
+    /// server-wide counters, and this session's own counters.
+    fn stats_report(&mut self, detail: bool) -> io::Result<()> {
+        let (engine_report, uptime) = {
+            let engine = self.shared.lock_engine();
+            let text = if detail { engine.stats_detail() } else { engine.stats().render() };
+            (text, engine.uptime())
+        };
         let mut report = engine_report;
+        report.push_str(&format!("uptime: {:.1}s\n", uptime.as_secs_f64()));
         report.push_str(&self.shared.stats.render());
-        let lines = report.lines().count();
-        let framed = format!("STATS {lines}\n{report}");
-        self.send(&framed)
+        report.push_str(&format!(
+            "== session ==\n\
+             commands: {} ({} errors)\n\
+             ingest: {} rows pushed\n\
+             egress: {} chunks / {} rows delivered\n",
+            self.stats.commands,
+            self.stats.errors,
+            self.stats.rows_pushed,
+            self.stats.chunks_delivered,
+            self.stats.rows_delivered,
+        ));
+        self.send_framed("STATS", report)
+    }
+
+    /// Drain the engine's flight recorder into a `TRACE` frame, one event
+    /// per line (details folded to keep the line framing intact).
+    fn trace_report(&mut self, n: Option<usize>) -> io::Result<()> {
+        let events = self.shared.lock_engine().trace_events(n);
+        let mut body = String::new();
+        for e in &events {
+            body.push_str(&format!(
+                "#{} +{}us {} {}\n",
+                e.seq,
+                e.at_us,
+                e.kind,
+                e.detail.replace(['\n', '\r'], "; ")
+            ));
+        }
+        self.send_framed("TRACE", body)
     }
 }
 

@@ -389,6 +389,85 @@ fn stats_command_reports_engine_and_server_sections() {
     assert!(report.contains("== queries =="), "{report}");
     assert!(report.contains("== server =="), "{report}");
     assert!(report.contains("rows pushed"), "{report}");
+    // Engine uptime and this session's own counters ride along.
+    assert!(report.contains("uptime: "), "{report}");
+    assert!(report.contains("== session =="), "{report}");
+    assert!(report.contains("commands: "), "{report}");
+    server.shutdown();
+}
+
+/// The observability surface over the wire: `METRICS` must be valid
+/// Prometheus text exposition format (acceptance), and the latency
+/// histograms filled by real socket traffic must show up on it.
+#[test]
+fn metrics_command_serves_parseable_prometheus() {
+    let server = start_server();
+    let mut c = Client::connect(server.local_addr()).unwrap();
+    c.exec("CREATE STREAM s (v BIGINT)").unwrap();
+    let q = c.register("SELECT COUNT(*), SUM(v) FROM s").unwrap();
+
+    // Drive the full receptor → engine → emitter → socket loop so the
+    // wire-delivery histogram records (the chunk carries its ingest stamp
+    // through the subscriber queue onto this connection).
+    let mut pusher = Client::connect(server.local_addr()).unwrap();
+    let mut sub = c.subscribe(q, Some(2)).unwrap();
+    pusher.push_rows("s", &rows_int(&[1, 2, 3])).unwrap();
+    pusher.push_rows("s", &rows_int(&[4, 5])).unwrap();
+    sub.next_chunk(Duration::from_secs(10)).unwrap().unwrap();
+    sub.next_chunk(Duration::from_secs(10)).unwrap().unwrap();
+    drop(sub);
+
+    let text = pusher.metrics().unwrap();
+    let samples = datacell_core::parse_prometheus(&text)
+        .expect("METRICS must be valid Prometheus exposition format");
+    let value_of = |name: &str| {
+        samples
+            .iter()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("{name} missing from:\n{text}"))
+            .value
+    };
+    assert_eq!(value_of("datacell_ingest_rows_total"), 5.0);
+    assert!(value_of("datacell_firings_total") >= 2.0);
+    for histogram in [
+        "datacell_basket_wait_us",
+        "datacell_factory_fire_us",
+        "datacell_e2e_latency_us",
+        "datacell_emitter_queue_us",
+        "datacell_wire_delivery_us",
+    ] {
+        assert!(
+            value_of(&format!("{histogram}_count")) >= 1.0,
+            "{histogram} recorded no samples:\n{text}"
+        );
+    }
+    server.shutdown();
+}
+
+#[test]
+fn explain_analyze_stats_detail_and_trace_over_the_wire() {
+    let server = start_server();
+    let mut c = Client::connect(server.local_addr()).unwrap();
+    c.exec("CREATE STREAM s (v BIGINT)").unwrap();
+    let q = c.register("SELECT COUNT(*) FROM s").unwrap();
+    c.push_rows("s", &rows_int(&[1, 2, 3])).unwrap();
+
+    let analyze = c.explain_analyze(q).unwrap();
+    assert!(analyze.contains("== analyze =="), "{analyze}");
+    assert!(analyze.contains(&format!("q{q}")), "{analyze}");
+    assert!(matches!(c.explain_analyze(999), Err(ClientError::Server(_))));
+
+    let detail = c.stats_detail().unwrap();
+    assert!(detail.contains("== analyze =="), "{detail}");
+    assert!(detail.contains("== latency =="), "{detail}");
+    assert!(detail.contains("== session =="), "{detail}");
+
+    // The flight recorder saw the DDL and registration; a drain returns
+    // them oldest-first and a second drain finds nothing new.
+    let trace = c.trace_dump(None).unwrap();
+    assert!(trace.contains("create_stream"), "{trace}");
+    assert!(trace.contains("register"), "{trace}");
+    assert!(c.trace_dump(None).unwrap().is_empty());
     server.shutdown();
 }
 

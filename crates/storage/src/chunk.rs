@@ -4,21 +4,63 @@
 //! A chunk is schema-free by itself (names live in plans); it is just the
 //! columnar payload, mirroring how MonetDB's MAL programs pass sets of BATs.
 
+use std::time::Instant;
+
 use crate::bat::Bat;
 use crate::error::{Result, StorageError};
 use crate::types::Oid;
 use crate::value::{Row, Value};
 
+/// Observability side-band: the wall-clock tick at which the newest tuple
+/// contributing to this chunk entered a receptor basket.
+///
+/// The stamp is *equality-transparent* — `PartialEq` always answers `true`
+/// — so chunks compare by data alone: recovery-equivalence and socket
+/// round-trip suites stay byte-identical whether or not latency tracing is
+/// enabled. It is never serialized; the wire and WAL codecs see only the
+/// columns.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IngestStamp(Option<Instant>);
+
+impl PartialEq for IngestStamp {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+
+impl IngestStamp {
+    /// A stamp for a chunk whose tuples entered ingest at `at`.
+    pub fn at(at: Instant) -> Self {
+        IngestStamp(Some(at))
+    }
+
+    /// The recorded ingest tick, if tracing stamped one.
+    pub fn instant(&self) -> Option<Instant> {
+        self.0
+    }
+
+    /// Combine two stamps: keeps the *newest* tick, matching the chunk
+    /// semantics — a result chunk is ready only once its newest input
+    /// tuple has arrived.
+    pub fn merged(self, other: IngestStamp) -> IngestStamp {
+        match (self.0, other.0) {
+            (Some(a), Some(b)) => IngestStamp(Some(a.max(b))),
+            (a, b) => IngestStamp(a.or(b)),
+        }
+    }
+}
+
 /// A set of equal-length columns with aligned (virtual) heads.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Chunk {
     columns: Vec<Bat>,
+    stamp: IngestStamp,
 }
 
 impl Chunk {
     /// An empty, zero-column chunk.
     pub fn empty() -> Self {
-        Chunk { columns: Vec::new() }
+        Chunk { columns: Vec::new(), stamp: IngestStamp::default() }
     }
 
     /// Build from columns, verifying equal lengths.
@@ -33,7 +75,23 @@ impl Chunk {
                 }
             }
         }
-        Ok(Chunk { columns })
+        Ok(Chunk { columns, stamp: IngestStamp::default() })
+    }
+
+    /// The chunk's ingest stamp (see [`IngestStamp`]).
+    pub fn stamp(&self) -> IngestStamp {
+        self.stamp
+    }
+
+    /// Set the ingest stamp, replacing any prior one.
+    pub fn set_stamp(&mut self, stamp: IngestStamp) {
+        self.stamp = stamp;
+    }
+
+    /// Builder-style [`Chunk::set_stamp`].
+    pub fn with_stamp(mut self, stamp: IngestStamp) -> Self {
+        self.stamp = stamp;
+        self
     }
 
     /// Number of rows (0 for a zero-column chunk).
@@ -70,6 +128,7 @@ impl Chunk {
     pub fn append(&mut self, other: &Chunk) -> Result<()> {
         if self.columns.is_empty() {
             self.columns = other.columns.clone();
+            self.stamp = self.stamp.merged(other.stamp);
             return Ok(());
         }
         if self.arity() != other.arity() {
@@ -81,6 +140,7 @@ impl Chunk {
         for (a, b) in self.columns.iter_mut().zip(&other.columns) {
             a.append(b)?;
         }
+        self.stamp = self.stamp.merged(other.stamp);
         Ok(())
     }
 
@@ -98,6 +158,7 @@ impl Chunk {
     pub fn gather_positions(&self, positions: &[usize]) -> Chunk {
         Chunk {
             columns: self.columns.iter().map(|c| c.gather_positions(positions)).collect(),
+            stamp: self.stamp,
         }
     }
 
@@ -105,7 +166,10 @@ impl Chunk {
     /// must share a head base, which holds for table/basket scans). O(1):
     /// every column slice shares its source buffer.
     pub fn slice_oids(&self, lo: Oid, hi: Oid) -> Chunk {
-        Chunk { columns: self.columns.iter().map(|c| c.slice_oids(lo, hi)).collect() }
+        Chunk {
+            columns: self.columns.iter().map(|c| c.slice_oids(lo, hi)).collect(),
+            stamp: self.stamp,
+        }
     }
 
     /// Detach every column from shared storage (see [`Bat::compact`]).

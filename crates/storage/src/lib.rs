@@ -29,7 +29,7 @@ pub mod vector;
 
 pub use bat::Bat;
 pub use catalog::{Catalog, CatalogEntry, StreamDef, TableHandle};
-pub use chunk::Chunk;
+pub use chunk::{Chunk, IngestStamp};
 pub use error::{Result, StorageError};
 pub use schema::{ColumnDef, Schema};
 pub use table::Table;

@@ -175,6 +175,7 @@ impl StreamLog {
     /// (the basket's high-water mark); `payload` is the serialized rows.
     pub fn append_batch(&mut self, first_oid: u64, nrows: u32, payload: &[u8]) -> Result<()> {
         debug_assert!(self.end_oid == 0 || first_oid == self.end_oid || self.sealed.is_empty());
+        let append_start = std::time::Instant::now();
         if self.active_bytes >= self.segment_bytes && self.active_bytes > 0 {
             self.rotate(first_oid)?;
         }
@@ -196,6 +197,7 @@ impl StreamLog {
             }
             SyncPolicy::Never => {}
         }
+        self.stats.record_append_us(append_start.elapsed().as_micros().min(u64::MAX as u128) as u64);
         Ok(())
     }
 
@@ -219,7 +221,9 @@ impl StreamLog {
 
     /// Fsync the active segment, marking everything appended as durable.
     pub fn sync(&mut self) -> Result<()> {
+        let sync_start = std::time::Instant::now();
         self.active.sync_data()?;
+        self.stats.record_fsync_us(sync_start.elapsed().as_micros().min(u64::MAX as u128) as u64);
         self.stats.add_synced(self.unsynced);
         self.unsynced = 0;
         Ok(())

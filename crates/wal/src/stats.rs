@@ -3,6 +3,8 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use datacell_obs::{Histogram, HistogramSnapshot};
+
 /// Live atomic counters (shared via `Arc`).
 #[derive(Debug, Default)]
 pub struct SharedStats {
@@ -15,9 +17,19 @@ pub struct SharedStats {
     dropped_bytes: AtomicU64,
     reclaimed_bytes: AtomicU64,
     snapshots: AtomicU64,
+    append_us: Histogram,
+    fsync_us: Histogram,
 }
 
 impl SharedStats {
+    pub(crate) fn record_append_us(&self, us: u64) {
+        self.append_us.record(us);
+    }
+
+    pub(crate) fn record_fsync_us(&self, us: u64) {
+        self.fsync_us.record(us);
+    }
+
     pub(crate) fn add_appended(&self, bytes: u64) {
         self.wal_bytes.fetch_add(bytes, Ordering::Relaxed);
         self.appended_batches.fetch_add(1, Ordering::Relaxed);
@@ -61,6 +73,8 @@ impl SharedStats {
             dropped_bytes: self.dropped_bytes.load(Ordering::Relaxed),
             reclaimed_bytes: self.reclaimed_bytes.load(Ordering::Relaxed),
             snapshots: self.snapshots.load(Ordering::Relaxed),
+            append_us: self.append_us.snapshot(),
+            fsync_us: self.fsync_us.snapshot(),
         }
     }
 }
@@ -86,4 +100,9 @@ pub struct WalStats {
     pub reclaimed_bytes: u64,
     /// Catalog snapshots written.
     pub snapshots: u64,
+    /// Latency histogram of stream-log batch appends (microseconds,
+    /// including framing and any policy-triggered fsync).
+    pub append_us: HistogramSnapshot,
+    /// Latency histogram of explicit fsync calls (microseconds).
+    pub fsync_us: HistogramSnapshot,
 }

@@ -1,20 +1,22 @@
 #!/usr/bin/env bash
 # Bench snapshot: run the e1 / e3 / e6 / e9 / e10 / e11 experiment
 # binaries at a small, fixed --events size and collect their SNAPSHOT
-# lines (events/sec per experiment) into BENCH_PR7.json, so every PR
+# lines (events/sec per experiment) into BENCH_PR8.json, so every PR
 # leaves a comparable perf data point behind. e1/e3/e9/e10 are kept from
 # earlier PRs for trajectory comparison; e11 (added with the durability
 # subsystem) tracks WAL ingest overhead and crash-recovery replay
 # throughput; e6 (added with the shared-execution layer) is swept over
 # its --overlap mixes to track what common-subplan factoring buys at 16
-# standing queries.
+# standing queries. Since the observability PR, e1/e6/e10 snapshots also
+# carry p50/p95/p99 end-to-end latency, and e1's --obs-compare leg
+# records throughput with tracing off vs on (acceptance: within 2%).
 #
 # Usage: scripts/bench_snapshot.sh [events]   (default 20000)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 events="${1:-20000}"
-out="BENCH_PR7.json"
+out="BENCH_PR8.json"
 
 cargo build --release -p datacell-bench --bins
 
@@ -31,7 +33,8 @@ collect() {
   done < <(sed -n 's/^SNAPSHOT //p' "${run_log}")
 }
 
-for bin in e1_reeval e3_window_sweep e6_multiquery e9_multicore e10_server e11_recovery; do
+collect ./target/release/e1_reeval --events "${events}" --obs-compare
+for bin in e3_window_sweep e6_multiquery e9_multicore e10_server e11_recovery; do
   collect "./target/release/${bin}" --events "${events}"
 done
 for mix in identical shared-predicate disjoint; do

@@ -92,7 +92,29 @@ grep -q '^CHUNK 1 1$' "${sub_out}"
 grep -q '^2,42$' "${sub_out}"   # COUNT=2, SUM=10+32
 grep -q '^2,12$' "${sub_out}"   # COUNT=2, SUM=5+7
 
-# 6. Stats + clean wire-protocol shutdown.
+# 6. Observability surface on a fresh connection: the Prometheus
+#    METRICS snapshot must carry the run's lifecycle counters and
+#    latency histograms, STATS DETAIL the analyze/latency tables,
+#    EXPLAIN ANALYZE the per-query observed runtimes, and TRACE DUMP
+#    the flight-recorder events this run produced.
+"${cli}" --addr "${addr}" --fail-on-err <<'EOF' > "${workdir}/obs.out"
+METRICS
+STATS DETAIL
+EXPLAIN ANALYZE 1
+TRACE DUMP 64
+EOF
+grep -Eq '^METRICS [0-9]+$' "${workdir}/obs.out"
+grep -q '^# TYPE datacell_ingest_rows_total counter$' "${workdir}/obs.out"
+grep -q '^datacell_ingest_rows_total 4$' "${workdir}/obs.out"   # 2 PUSH batches x 2 rows
+grep -q '^datacell_e2e_latency_us_count ' "${workdir}/obs.out"
+grep -q '^datacell_wire_delivery_us_count ' "${workdir}/obs.out"
+grep -q '^== analyze ==$' "${workdir}/obs.out"
+grep -q '^== latency ==$' "${workdir}/obs.out"
+grep -Eq '^ANALYZE [0-9]+$' "${workdir}/obs.out"
+grep -Eq '^TRACE [0-9]+$' "${workdir}/obs.out"
+grep -Eq '^#[0-9]+ \+[0-9]+us register ' "${workdir}/obs.out"
+
+# 7. Stats + clean wire-protocol shutdown.
 "${cli}" --addr "${addr}" --fail-on-err <<'EOF' > "${workdir}/teardown.out"
 STATS
 SHUTDOWN
@@ -105,7 +127,7 @@ grep -q '^shutdown:' "${server_log}"
 echo "server smoke test: ok"
 
 # ---------------------------------------------------------------------
-# 7. Durability leg: kill -9 mid-stream, restart over the same WAL dir.
+# 8. Durability leg: kill -9 mid-stream, restart over the same WAL dir.
 wal_dir="${workdir}/wal"
 durable_log="${workdir}/durable.log"
 

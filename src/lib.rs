@@ -8,6 +8,9 @@
 //!
 //! This facade crate re-exports the whole workspace:
 //!
+//! * [`obs`] — observability primitives: per-thread-sharded metrics
+//!   registry (counters, gauges, log2 histograms), Prometheus text
+//!   rendering/parsing, and the bounded flight recorder.
 //! * [`storage`] — BATs, chunks, tables, catalog (the column-store kernel).
 //! * [`wal`] — durability: CRC-framed segment logs, catalog snapshots and
 //!   crash recovery (per-fire exactly-once restart).
@@ -45,6 +48,7 @@
 pub use datacell_algebra as algebra;
 pub use datacell_baseline as baseline;
 pub use datacell_core as engine;
+pub use datacell_obs as obs;
 pub use datacell_plan as plan;
 pub use datacell_server as server;
 pub use datacell_sql as sql;
