@@ -1,0 +1,186 @@
+//! E12 — Resilience: ingest throughput under injected I/O faults and
+//! memory-budget admission control.
+//!
+//! Six legs over the same durable (fsync=always) windowed-aggregation
+//! scenario:
+//!
+//! 1. **clean** — fault facade disabled: the baseline every other leg is
+//!    judged against, and the "facade costs nothing when off" reference;
+//! 2. **armed-idle** — facade enabled with a `p=0` plan: every WAL
+//!    append/fsync runs the fault check and seeded roll but nothing ever
+//!    fires. Budget: within ~2% of clean (the acceptance bar for keeping
+//!    the harness compiled in);
+//! 3. **fsync faults at 0.1% / 1%** — retryable EIO injected on the
+//!    fsync path; throughput shows what the capped-backoff retry loop
+//!    costs at realistic and at abusive fault rates. `io_gave_up` must
+//!    stay zero (retryable faults never escalate);
+//! 4. **degraded** — a non-retryable ENOSPC lands on a stream-segment
+//!    append mid-run: the basket drops durability (loudly) and ingest
+//!    continues WAL-free — throughput typically *rises* past the fault;
+//! 5. **80% / 95% budget occupancy** — a `MemoryBudget` sized so the
+//!    steady-state pinned bytes sit at the given fraction of the
+//!    ceiling, drop-oldest policy: the cost of running admission checks
+//!    hot against the ceiling.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use datacell_bench::report::{f1, f2, snapshot, Table};
+use datacell_core::{
+    DataCell, DataCellConfig, FaultPlan, Faults, MemoryBudget, ShedPolicy, SyncPolicy, WalConfig,
+};
+use datacell_workload::{SensorConfig, SensorStream};
+
+const TOTAL_TUPLES: usize = 100_000;
+const BATCH: usize = 64; // small batches → many fsyncs → fault rates bite
+
+const QUERY: &str =
+    "SELECT sensor, COUNT(*), AVG(temp) FROM sensors [ROWS 4096 SLIDE 1024] GROUP BY sensor";
+
+fn wal_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("datacell-e12-{}-{tag}", std::process::id()))
+}
+
+fn plan(spec: &str) -> Faults {
+    Faults::enabled(FaultPlan::parse(spec).expect("e12 fault plan"))
+}
+
+struct Outcome {
+    tps: f64,
+    peak_pinned: usize,
+    io_retries: u64,
+    io_gave_up: u64,
+    degraded_streams: usize,
+    shed_chunks: u64,
+}
+
+/// Feed `total` sensor tuples through a durable engine under `faults`
+/// and (optionally) a memory budget; returns throughput and the
+/// resilience counters the legs assert on.
+fn run(total: usize, tag: &str, faults: Faults, budget: Option<MemoryBudget>) -> Outcome {
+    let dir = wal_dir(tag);
+    std::fs::remove_dir_all(&dir).ok();
+    let config = DataCellConfig {
+        wal: Some(WalConfig { dir: dir.clone(), sync: SyncPolicy::Always, ..WalConfig::at(&dir) }),
+        faults,
+        memory_budget: budget,
+        ..DataCellConfig::default()
+    };
+    let mut cell = DataCell::open(config).unwrap();
+    cell.execute(&SensorStream::create_stream_sql("sensors")).unwrap();
+    let q = cell.register_query(QUERY).unwrap();
+
+    let mut gen = SensorStream::new(SensorConfig::default());
+    let mut peak_pinned = 0usize;
+    let start = Instant::now();
+    let mut fed = 0usize;
+    while fed < total {
+        let n = BATCH.min(total - fed);
+        let rows = gen.take_rows(n);
+        // Drop-oldest admission never rejects a push, so the hot loop
+        // stays branch-free; the reject/pause policies are covered by
+        // the resilience tests, not this throughput harness.
+        cell.push_rows("sensors", &rows).unwrap();
+        cell.run_until_idle().unwrap();
+        peak_pinned = peak_pinned.max(cell.pinned_bytes());
+        fed += n;
+    }
+    let tps = total as f64 / start.elapsed().as_secs_f64();
+    let _ = cell.take_results(q);
+
+    let stats = cell.stats();
+    let wal = cell.wal_stats().expect("durable engine has wal stats");
+    let out = Outcome {
+        tps,
+        peak_pinned,
+        io_retries: wal.io_retries,
+        io_gave_up: wal.io_gave_up,
+        degraded_streams: stats.degraded_streams,
+        shed_chunks: stats.admission_dropped_chunks,
+    };
+    drop(cell);
+    std::fs::remove_dir_all(&dir).ok();
+    out
+}
+
+fn main() {
+    let total = datacell_bench::cli::events(TOTAL_TUPLES);
+    println!("E12: degraded-mode ingest — fault rates, facade overhead, admission ceilings");
+    println!("query: {QUERY}");
+    println!("{total} tuples, {BATCH}-row PUSH batches, WAL fsync=always\n");
+
+    let clean = run(total, "clean", Faults::disabled(), None);
+    let armed = run(total, "armed", plan("seed=1;wal_fsync:p=0:eio"), None);
+    let f01 = run(total, "f01", plan("seed=12;wal_fsync:p=0.001:eio"), None);
+    let f1pct = run(total, "f1", plan("seed=12;wal_fsync:p=0.01:eio"), None);
+    assert_eq!(f01.io_gave_up, 0, "e12: retryable faults must never exhaust retries");
+    assert_eq!(f1pct.io_gave_up, 0, "e12: retryable faults must never exhaust retries");
+
+    // Appends 1..=2 are catalog records (CREATE STREAM + the query
+    // registration); call 3 is the first stream-segment append, where a
+    // persistent ENOSPC degrades durability instead of erroring — so the
+    // whole ingest run measures WAL-detached (degraded) throughput.
+    let degraded = run(total, "degraded", plan("seed=3;wal_append:nth=3:enospc"), None);
+    assert_eq!(degraded.degraded_streams, 1, "e12: ENOSPC on a segment append must degrade");
+    assert!(degraded.io_gave_up >= 1);
+
+    // Size the ceiling so steady-state usage sits at ~80% / ~95% of it;
+    // drop-oldest keeps pushes always admitted while the admission check
+    // (a pinned-bytes sweep per push) runs hot against the ceiling.
+    let pinned = clean.peak_pinned.max(1);
+    let b80 = run(
+        total,
+        "b80",
+        Faults::disabled(),
+        Some(MemoryBudget::pinned_bytes(pinned * 5 / 4, ShedPolicy::DropOldest)),
+    );
+    let b95 = run(
+        total,
+        "b95",
+        Faults::disabled(),
+        Some(MemoryBudget::pinned_bytes(pinned * 20 / 19, ShedPolicy::DropOldest)),
+    );
+
+    let mut t = Table::new(&["leg", "tuples/s", "vs clean", "retries", "gave up", "shed"]);
+    let vs = |tps: f64| format!("{:+.1}%", (tps / clean.tps - 1.0) * 100.0);
+    for (name, o) in [
+        ("clean", &clean),
+        ("facade armed, idle", &armed),
+        ("fsync eio p=0.1%", &f01),
+        ("fsync eio p=1%", &f1pct),
+        ("enospc degrade", &degraded),
+        ("budget 80% occupancy", &b80),
+        ("budget 95% occupancy", &b95),
+    ] {
+        t.row(&[
+            name.into(),
+            f1(o.tps),
+            if std::ptr::eq(o, &clean) { "-".into() } else { vs(o.tps) },
+            o.io_retries.to_string(),
+            o.io_gave_up.to_string(),
+            o.shed_chunks.to_string(),
+        ]);
+    }
+    t.print();
+    println!("\npeak pinned: {} bytes (sets the 80%/95% ceilings)", clean.peak_pinned);
+
+    snapshot("e12_ingest_clean", clean.tps);
+    snapshot("e12_facade_armed_idle", armed.tps);
+    snapshot("e12_fsync_fault_0p1pct", f01.tps);
+    snapshot("e12_fsync_fault_1pct", f1pct.tps);
+    snapshot("e12_enospc_degraded", degraded.tps);
+    snapshot("e12_budget_80pct", b80.tps);
+    snapshot("e12_budget_95pct", b95.tps);
+
+    let facade_overhead = (1.0 - armed.tps / clean.tps.max(1.0)) * 100.0;
+    println!(
+        "\nfacade overhead (armed-idle vs disabled): {}%\n\
+         budget: the fault facade must stay within ~2% of the disabled\n\
+         engine — when off it is a single branch on an Option; armed but\n\
+         idle it adds one seeded roll per WAL syscall.\n\
+         shape check: retry legs pay ~1ms backoff per absorbed fault;\n\
+         the degraded leg sheds durability mid-run and speeds up;\n\
+         admission legs pay one pinned-bytes sweep per push.",
+        f2(facade_overhead)
+    );
+}

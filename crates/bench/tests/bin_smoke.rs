@@ -46,6 +46,8 @@ smoke!(e7_linear_road_smoke, "e7_linear_road");
 smoke!(e8_baselines_smoke, "e8_baselines");
 smoke!(e9_multicore_smoke, "e9_multicore");
 smoke!(e10_server_smoke, "e10_server");
+smoke!(e11_recovery_smoke, "e11_recovery");
+smoke!(e12_degraded_smoke, "e12_degraded");
 
 /// e9 sweeps worker counts and checksums every query's output internally
 /// (exiting non-zero on divergence); the smoke run must certify that the

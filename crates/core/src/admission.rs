@@ -1,0 +1,135 @@
+//! Admission control: memory budgets and shed policies.
+//!
+//! An unbounded stream engine dies by OOM, not by crash: baskets pin
+//! bytes until retirement, subscriber queues pin result chunks until a
+//! client drains them. A [`MemoryBudget`] puts a ceiling on both and a
+//! [`ShedPolicy`] decides what happens to the *next* PUSH once the
+//! ceiling is hit — reject it with a retryable
+//! [`EngineError::Overloaded`](crate::EngineError) (the server renders it
+//! as the `OVERLOADED <retry-after-ms>` wire error), shed the oldest
+//! queued result chunks to make room, or pause every receptor until usage
+//! falls back below a hysteresis watermark.
+//!
+//! The budget is consulted on the ingest path only
+//! ([`DataCell::push_rows`](crate::DataCell::push_rows) /
+//! [`push_chunk`](crate::DataCell::push_chunk)); DDL, queries and result
+//! draining always proceed — they are how the system gets *out* of
+//! overload. Every shed is counted per cause in the metrics registry
+//! (`datacell_admission_*`). The [`FaultPoint::AllocBudget`]
+//! (`datacell_faults`) fault point forces the over-budget path
+//! deterministically for chaos testing.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// What to do with a PUSH that would exceed the [`MemoryBudget`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShedPolicy {
+    /// Reject the push with a retryable overload error (wire:
+    /// `OVERLOADED <retry-after-ms>`). The default — it is the only
+    /// policy that never discards data already accepted.
+    #[default]
+    Reject,
+    /// Shed the oldest queued result chunks (subscriber queues and the
+    /// engine-internal pending-results buffers) to reclaim memory, then
+    /// admit the push. Freshness-biased, like emitter overflow.
+    DropOldest,
+    /// Pause ingestion engine-wide: this push and every later one is
+    /// rejected (retryable) until usage falls below the low watermark
+    /// ([`MemoryBudget::low_watermark`]), then ingest resumes
+    /// automatically. The hysteresis gap prevents flapping.
+    PauseReceptors,
+}
+
+impl ShedPolicy {
+    /// Canonical token (CLI / wire rendering).
+    pub fn token(&self) -> &'static str {
+        match self {
+            ShedPolicy::Reject => "reject",
+            ShedPolicy::DropOldest => "drop-oldest",
+            ShedPolicy::PauseReceptors => "pause-receptors",
+        }
+    }
+}
+
+impl fmt::Display for ShedPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.token())
+    }
+}
+
+impl FromStr for ShedPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "reject" => Ok(ShedPolicy::Reject),
+            "drop-oldest" => Ok(ShedPolicy::DropOldest),
+            "pause-receptors" => Ok(ShedPolicy::PauseReceptors),
+            other => Err(format!(
+                "bad shed policy {other:?} (want reject|drop-oldest|pause-receptors)"
+            )),
+        }
+    }
+}
+
+/// Memory ceiling the ingest path enforces (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryBudget {
+    /// Ceiling on bytes physically pinned by basket buffers (the sum of
+    /// `Basket::buffer_byte_size`, i.e. including retired-but-uncompacted
+    /// prefixes kept alive by live views).
+    pub max_pinned_bytes: usize,
+    /// Ceiling on result chunks queued across all subscriber emitters.
+    pub max_emitter_chunks: usize,
+    /// What happens to an over-budget push.
+    pub policy: ShedPolicy,
+    /// Backoff hint carried by overload rejections, in milliseconds.
+    pub retry_after_ms: u64,
+}
+
+impl MemoryBudget {
+    /// Default backoff hint for overload rejections.
+    pub const DEFAULT_RETRY_AFTER_MS: u64 = 50;
+
+    /// Budget bounding pinned basket bytes only (emitter occupancy
+    /// unbounded), with the default retry-after hint.
+    pub fn pinned_bytes(max: usize, policy: ShedPolicy) -> MemoryBudget {
+        MemoryBudget {
+            max_pinned_bytes: max,
+            max_emitter_chunks: usize::MAX,
+            policy,
+            retry_after_ms: MemoryBudget::DEFAULT_RETRY_AFTER_MS,
+        }
+    }
+
+    /// The resume threshold for [`ShedPolicy::PauseReceptors`]: 80% of
+    /// the pinned-bytes ceiling. Ingest paused by overload resumes only
+    /// once usage falls below this, so the engine does not flap at the
+    /// exact ceiling.
+    pub fn low_watermark(&self) -> usize {
+        self.max_pinned_bytes - self.max_pinned_bytes / 5
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shed_policy_roundtrips() {
+        for p in [ShedPolicy::Reject, ShedPolicy::DropOldest, ShedPolicy::PauseReceptors] {
+            assert_eq!(p.token().parse::<ShedPolicy>().unwrap(), p);
+        }
+        assert_eq!("REJECT".parse::<ShedPolicy>().unwrap(), ShedPolicy::Reject);
+        assert!("sometimes".parse::<ShedPolicy>().is_err());
+    }
+
+    #[test]
+    fn low_watermark_is_80_percent() {
+        let b = MemoryBudget::pinned_bytes(1000, ShedPolicy::PauseReceptors);
+        assert_eq!(b.low_watermark(), 800);
+        assert_eq!(b.max_emitter_chunks, usize::MAX);
+        assert_eq!(b.retry_after_ms, MemoryBudget::DEFAULT_RETRY_AFTER_MS);
+    }
+}

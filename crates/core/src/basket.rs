@@ -22,7 +22,7 @@ use std::collections::VecDeque;
 use std::time::Instant;
 
 use datacell_storage::{
-    binio, Bat, Chunk, IngestStamp, Oid, Result as StorageResult, Row, Schema, StorageError,
+    binio, Bat, Chunk, IngestStamp, Oid, Result as StorageResult, Row, Schema,
 };
 use datacell_wal::StreamLog;
 
@@ -52,6 +52,15 @@ pub struct Basket {
     /// Durability: when attached, every append is logged (write-ahead)
     /// and retirement truncates the log. `None` = in-memory basket.
     wal: Option<StreamLog>,
+    /// Degraded durability: when a WAL write exhausts its retries the
+    /// basket detaches its log and keeps ingesting un-durably, recording
+    /// why here. `None` = never degraded (fully durable, or in-memory by
+    /// configuration).
+    degraded: Option<String>,
+    /// One-shot transition marker the engine drains
+    /// ([`Basket::take_degraded_event`]) to count and log the escalation
+    /// exactly once.
+    degraded_event: bool,
     /// Observability: when on, each ingest batch records an arrival tick
     /// so window slices can be stamped for latency tracing.
     trace: bool,
@@ -77,6 +86,8 @@ impl Basket {
             retired: 0,
             paused: false,
             wal: None,
+            degraded: None,
+            degraded_event: false,
             trace: false,
             tick_floor: 0,
             ticks: VecDeque::new(),
@@ -98,6 +109,8 @@ impl Basket {
             retired: base,
             paused: false,
             wal: None,
+            degraded: None,
+            degraded_event: false,
             trace: false,
             tick_floor: base,
             ticks: VecDeque::new(),
@@ -150,16 +163,56 @@ impl Basket {
         self.wal.is_some()
     }
 
-    /// Fsync the attached log (checkpoint path). No-op when in-memory.
-    pub fn sync_wal(&mut self) -> StorageResult<()> {
-        match &mut self.wal {
-            Some(log) => log.sync().map_err(|e| StorageError::Io(e.to_string())),
-            None => Ok(()),
+    /// Why durability was dropped, when the basket escalated to degraded
+    /// operation (`None` = never degraded).
+    pub fn degraded(&self) -> Option<&str> {
+        self.degraded.as_deref()
+    }
+
+    /// Drain the one-shot degraded-transition marker: returns the reason
+    /// the first time after the escalation, `None` afterwards. The engine
+    /// polls this after each push to count and log the transition once.
+    pub(crate) fn take_degraded_event(&mut self) -> Option<String> {
+        if self.degraded_event {
+            self.degraded_event = false;
+            self.degraded.clone()
+        } else {
+            None
         }
+    }
+
+    /// Escalate to degraded durability: detach the log so ingest keeps
+    /// flowing un-durably, remember why, and arm the one-shot marker.
+    fn degrade(&mut self, reason: String) {
+        self.wal = None;
+        self.degraded = Some(reason);
+        self.degraded_event = true;
+    }
+
+    /// Fsync the attached log (checkpoint path). No-op when in-memory.
+    /// An fsync that exhausts its retries degrades the basket (like a
+    /// failed append) rather than failing the caller: the checkpoint
+    /// proceeds over the remaining durable state.
+    pub fn sync_wal(&mut self) -> StorageResult<()> {
+        let Some(log) = &mut self.wal else {
+            return Ok(());
+        };
+        if let Err(e) = log.sync() {
+            self.degrade(e.to_string());
+        }
+        Ok(())
     }
 
     /// Write-ahead: log `rows` as one batch starting at the current
     /// high-water mark. Called after validation, before the append lands.
+    ///
+    /// A write that exhausts the WAL's retry policy does **not** fail the
+    /// push — losing availability over a disk hiccup would be worse than
+    /// losing the durability guarantee. Instead the basket escalates to
+    /// degraded operation: the log is detached, ingest continues
+    /// un-durably, and the transition is surfaced loudly (engine stats,
+    /// metrics gauge, flight-recorder event) via the drained
+    /// [`Basket::take_degraded_event`] marker.
     fn log_rows(&mut self, rows: &[Row]) -> StorageResult<()> {
         let Some(log) = &mut self.wal else {
             return Ok(());
@@ -167,8 +220,10 @@ impl Basket {
         let mut buf = Vec::new();
         binio::encode_batch(&mut buf, &self.schema, rows);
         let first = self.columns.first().map_or(0, Bat::oid_end);
-        log.append_batch(first, rows.len() as u32, &buf)
-            .map_err(|e| StorageError::Io(e.to_string()))
+        if let Err(e) = log.append_batch(first, rows.len() as u32, &buf) {
+            self.degrade(e.to_string());
+        }
+        Ok(())
     }
 
     /// Basket name (= stream name).
@@ -583,6 +638,48 @@ mod tests {
         b.set_trace(false);
         b.push(&row(4, 4.0)).unwrap();
         assert!(b.slice(0, 10).stamp().instant().is_none());
+    }
+
+    #[test]
+    fn wal_failure_degrades_instead_of_failing_ingest() {
+        use datacell_faults::{FaultPlan, Faults};
+        use datacell_wal::{io_for, RetryPolicy, SharedStats, SyncPolicy};
+        use std::sync::Arc;
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos();
+        let dir = std::env::temp_dir().join(format!("datacell-basket-degrade-{nanos}"));
+        let faults = Faults::enabled(
+            FaultPlan::parse("seed=1;wal_append:nth=2:enospc").unwrap(),
+        );
+        let (log, _) = StreamLog::open_with_io(
+            &dir,
+            SyncPolicy::Never,
+            1 << 20,
+            Arc::new(SharedStats::default()),
+            io_for(&faults),
+            RetryPolicy::none(),
+        )
+        .unwrap();
+        let mut b = basket();
+        b.attach_wal(log);
+        assert!(b.is_durable());
+        // First append logs fine.
+        b.push(&row(1, 1.0)).unwrap();
+        assert!(b.take_degraded_event().is_none());
+        // The second hits the injected ENOSPC: the push still lands, the
+        // log is detached, and the transition marker fires exactly once.
+        b.push(&row(2, 2.0)).unwrap();
+        assert_eq!(b.len(), 2);
+        assert!(!b.is_durable());
+        assert!(b.degraded().is_some());
+        assert!(b.take_degraded_event().is_some());
+        assert!(b.take_degraded_event().is_none());
+        // Further ingest keeps flowing un-durably.
+        b.push(&row(3, 3.0)).unwrap();
+        assert_eq!(b.len(), 3);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,8 +1,11 @@
 //! Engine configuration — the "DataCell knobs" the demo lets the audience
 //! vary (paper §4).
 
+use datacell_faults::Faults;
 use datacell_plan::ExecutionMode;
 use datacell_wal::WalConfig;
+
+use crate::admission::MemoryBudget;
 
 /// Tunable engine parameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -68,6 +71,20 @@ pub struct DataCellConfig {
     /// latency for the durability window; see the `datacell-wal` crate
     /// docs. `None` (the default) is the classic in-memory engine.
     pub wal: Option<WalConfig>,
+    /// Admission control: `Some` puts a ceiling on pinned basket bytes
+    /// and emitter occupancy, shedding over-budget pushes by the budget's
+    /// [`ShedPolicy`](crate::ShedPolicy) (reject with a retryable
+    /// overload error / drop oldest queued results / pause receptors
+    /// with hysteresis). `None` (the default) admits everything — the
+    /// historical behaviour.
+    pub memory_budget: Option<MemoryBudget>,
+    /// Fault injection: a [`Faults`] facade over an optional seeded
+    /// [`FaultPlan`](datacell_faults::FaultPlan). Disabled (the default)
+    /// costs one branch per checked site; enabled, the plan's schedule
+    /// injects I/O errors into the WAL seam, forces the over-budget
+    /// admission path, and stalls scheduler passes — deterministically,
+    /// for chaos tests. Never enable in production.
+    pub faults: Faults,
 }
 
 impl Default for DataCellConfig {
@@ -83,6 +100,8 @@ impl Default for DataCellConfig {
             results_capacity: None,
             observability: true,
             wal: None,
+            memory_budget: None,
+            faults: Faults::disabled(),
         }
     }
 }
@@ -122,6 +141,8 @@ mod tests {
         assert_eq!(c.results_capacity, None);
         assert!(c.observability);
         assert_eq!(c.wal, None);
+        assert_eq!(c.memory_budget, None);
+        assert!(!c.faults.is_enabled());
         assert!(DataCellConfig::durable("/tmp/x").wal.is_some());
         assert_eq!(DataCellConfig::incremental().default_mode, ExecutionMode::Incremental);
     }

@@ -26,10 +26,11 @@
 //! `Bat::extend_from_rows` append path, and restores each factory with
 //! [`crate::Factory::restore`].
 
+use datacell_faults::Faults;
 use datacell_plan::ExecutionMode;
 use datacell_storage::binio::{self, ByteReader};
 use datacell_storage::{Chunk, Row, Schema, StorageError};
-use datacell_wal::{StreamBatch, StreamLog, Wal, WalConfig, WalStats};
+use datacell_wal::{io_for, StreamBatch, StreamLog, Wal, WalConfig, WalStats};
 
 use crate::error::{EngineError, Result};
 use crate::factory::{CursorState, FactoryState, IncrMeta};
@@ -375,11 +376,14 @@ pub struct EngineWal {
 
 impl EngineWal {
     /// Open the WAL directory, returning the recovered snapshot (if any)
-    /// and the decoded meta records appended since it.
+    /// and the decoded meta records appended since it. Every write goes
+    /// through the I/O seam picked by `faults` — direct OS I/O when the
+    /// facade is disabled, the injecting wrapper under a chaos plan.
     pub(crate) fn open(
         config: WalConfig,
+        faults: &Faults,
     ) -> Result<(EngineWal, Option<SnapshotData>, Vec<MetaRecord>)> {
-        let (wal, snapshot, raw) = Wal::open(config).map_err(werr)?;
+        let (wal, snapshot, raw) = Wal::open_with_io(config, io_for(faults)).map_err(werr)?;
         let snapshot = snapshot
             .map(|bytes| SnapshotData::decode(&bytes))
             .transpose()

@@ -113,7 +113,12 @@ impl EmitterSender {
         let mut dropped = 0usize;
         if let Some(cap) = self.shared.capacity {
             while q.len() > cap.max(1) {
-                q.pop_front();
+                // Overflow drop: deliberately NOT routed through
+                // `dequeued` — the entry's tick and the chunk's ingest
+                // stamp die here, so a dropped chunk contributes neither
+                // a queue-dwell nor a wire-delivery sample. METRICS
+                // latency chains cover delivered chunks only.
+                let _ = q.pop_front();
                 dropped += 1;
             }
         }
@@ -123,6 +128,24 @@ impl EmitterSender {
         }
         self.shared.avail.notify_one();
         Ok(dropped)
+    }
+
+    /// Admission-control shedding: drop the oldest buffered chunks down
+    /// to `keep`, returning how many were dropped. Like overflow drops,
+    /// shed chunks are counted in [`EmitterSender::dropped`] and
+    /// contribute no latency samples.
+    pub fn shed_to(&self, keep: usize) -> usize {
+        let mut q = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+        let mut dropped = 0usize;
+        while q.len() > keep {
+            let _ = q.pop_front();
+            dropped += 1;
+        }
+        drop(q);
+        if dropped > 0 {
+            self.shared.dropped.fetch_add(dropped as u64, Ordering::Relaxed);
+        }
+        dropped
     }
 
     /// Total chunks this subscriber has lost to overflow.
@@ -308,6 +331,34 @@ mod tests {
         let snap = h.snapshot();
         assert_eq!(snap.count, 2, "one dwell sample per dequeued chunk");
         assert_eq!(tx.queued(), 0);
+    }
+
+    #[test]
+    fn dropped_chunks_record_no_latency_samples() {
+        let h = Arc::new(Histogram::new());
+        let (tx, em) = channel_obs(1, Some(2), Some(h.clone()));
+        for i in 0..5 {
+            tx.send(chunk(vec![i])).unwrap();
+        }
+        assert_eq!(tx.dropped(), 3, "three chunks overflowed");
+        // Only the two delivered chunks produce dwell samples; the
+        // dropped ones (and their ingest stamps) must not leak into the
+        // latency chain.
+        assert_eq!(em.drain().len(), 2);
+        assert_eq!(h.snapshot().count, 2);
+    }
+
+    #[test]
+    fn shed_to_drops_oldest_and_counts() {
+        let (tx, em) = channel(1, None);
+        for i in 0..4 {
+            tx.send(chunk(vec![i])).unwrap();
+        }
+        assert_eq!(tx.shed_to(1), 3);
+        assert_eq!(tx.shed_to(1), 0, "already at target");
+        assert_eq!(tx.dropped(), 3);
+        // The newest chunk survives.
+        assert_eq!(em.drain(), vec![chunk(vec![3])]);
     }
 
     #[test]

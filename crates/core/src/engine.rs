@@ -11,12 +11,14 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use datacell_faults::FaultPoint;
 use datacell_obs::{MetricValue, MetricsSnapshot, TraceEvent};
 use datacell_plan::{compile, execute, AnalyzeRow, Binder, ExecSources, ExecutionMode};
 use datacell_sql::{parse_statement, Statement};
 use datacell_storage::{Catalog, Chunk, Row, Schema};
 use parking_lot::RwLock;
 
+use crate::admission::{MemoryBudget, ShedPolicy};
 use crate::basket::Basket;
 use crate::config::DataCellConfig;
 use crate::durability::{EngineWal, MetaRecord, QuerySnapshot, SnapshotData};
@@ -73,6 +75,14 @@ pub struct DataCell {
     wal_epoch: u64,
     /// Whether [`DataCell::open`] found (and recovered) prior state.
     recovered: bool,
+    /// Admission control: pushes rejected over budget (reject /
+    /// pause-receptors policies).
+    admission_rejected: u64,
+    /// Admission control: queued result chunks shed (drop-oldest policy).
+    admission_dropped: u64,
+    /// Pause-receptors hysteresis state: `true` while ingest is paused by
+    /// the memory budget (resumes below the low watermark).
+    ingest_paused: bool,
     config: DataCellConfig,
     next_qid: QueryId,
 }
@@ -106,6 +116,9 @@ impl DataCell {
             wal: None,
             wal_epoch: 0,
             recovered: false,
+            admission_rejected: 0,
+            admission_dropped: 0,
+            ingest_paused: false,
             config,
             next_qid: 1,
         }
@@ -123,7 +136,7 @@ impl DataCell {
         let Some(wal_config) = cell.config.wal.clone() else {
             return Ok(cell);
         };
-        let (wal, snapshot, records) = EngineWal::open(wal_config)?;
+        let (wal, snapshot, records) = EngineWal::open(wal_config, &cell.config.faults)?;
         cell.recovered = snapshot.is_some() || !records.is_empty();
         cell.recover(&wal, snapshot, records)?;
         cell.wal = Some(wal);
@@ -374,8 +387,16 @@ impl DataCell {
         wal.write_snapshot(&snap)?;
         self.wal_epoch = epoch;
         self.obs.event("checkpoint", format!("epoch {epoch}"));
+        let mut degraded = Vec::new();
         for basket in self.baskets.values() {
-            basket.write().sync_wal()?;
+            let mut b = basket.write();
+            b.sync_wal()?;
+            if let Some(reason) = b.take_degraded_event() {
+                degraded.push((b.name().to_owned(), reason));
+            }
+        }
+        for (name, reason) in degraded {
+            self.obs.record_degraded(&name, &reason);
         }
         wal.sync_meta()
     }
@@ -607,26 +628,147 @@ impl DataCell {
     // ---- ingestion -----------------------------------------------------
 
     /// Append rows to a stream's basket. Returns how many were accepted
-    /// (0 when the stream is paused).
+    /// (0 when the stream is paused). Over the configured
+    /// [`MemoryBudget`] the push is shed by policy — see
+    /// [`crate::admission`] and [`EngineError::Overloaded`].
     pub fn push_rows(&mut self, stream: &str, rows: &[Row]) -> Result<usize> {
         let basket = self
             .baskets
             .get(&stream.to_ascii_lowercase())
-            .ok_or_else(|| EngineError::UnknownStream(stream.to_owned()))?;
-        let n = basket.write().push_rows(rows)?;
+            .ok_or_else(|| EngineError::UnknownStream(stream.to_owned()))?
+            .clone();
+        self.admit()?;
+        let (n, degraded) = {
+            let mut b = basket.write();
+            let n = b.push_rows(rows)?;
+            (n, b.take_degraded_event())
+        };
+        if let Some(reason) = degraded {
+            self.obs.record_degraded(stream, &reason);
+        }
         self.obs.record_ingest(n);
         Ok(n)
     }
 
     /// Append a columnar chunk to a stream's basket (bulk receptor path).
+    /// Subject to the same admission control as [`DataCell::push_rows`].
     pub fn push_chunk(&mut self, stream: &str, chunk: &Chunk) -> Result<usize> {
         let basket = self
             .baskets
             .get(&stream.to_ascii_lowercase())
-            .ok_or_else(|| EngineError::UnknownStream(stream.to_owned()))?;
-        let n = basket.write().push_chunk(chunk)?;
+            .ok_or_else(|| EngineError::UnknownStream(stream.to_owned()))?
+            .clone();
+        self.admit()?;
+        let (n, degraded) = {
+            let mut b = basket.write();
+            let n = b.push_chunk(chunk)?;
+            (n, b.take_degraded_event())
+        };
+        if let Some(reason) = degraded {
+            self.obs.record_degraded(stream, &reason);
+        }
         self.obs.record_ingest(n);
         Ok(n)
+    }
+
+    /// Bytes physically pinned across every basket buffer (the quantity
+    /// the [`MemoryBudget`] bounds).
+    pub fn pinned_bytes(&self) -> usize {
+        self.baskets.values().map(|b| b.read().buffer_byte_size()).sum()
+    }
+
+    /// Whether ingestion is currently paused by the memory budget
+    /// (pause-receptors policy; resumes automatically below the low
+    /// watermark).
+    pub fn ingest_paused(&self) -> bool {
+        self.ingest_paused
+    }
+
+    /// True once the engine crossed either budget ceiling.
+    fn over_budget(&self, budget: &MemoryBudget) -> bool {
+        if self.pinned_bytes() > budget.max_pinned_bytes {
+            return true;
+        }
+        let queued: usize =
+            self.subscribers.values().flatten().map(EmitterSender::queued).sum();
+        queued > budget.max_emitter_chunks
+    }
+
+    /// Shed the oldest half of every queued-result backlog (subscriber
+    /// queues and the engine-internal pending buffers); returns how many
+    /// chunks were dropped. The drop-oldest admission policy.
+    fn shed_result_backlog(&mut self) -> usize {
+        let mut shed = 0usize;
+        for subs in self.subscribers.values() {
+            for tx in subs {
+                shed += tx.shed_to(tx.queued() / 2);
+            }
+        }
+        for pending in self.results.values_mut() {
+            let keep = pending.len() / 2;
+            while pending.len() > keep {
+                pending.pop_front();
+                shed += 1;
+            }
+        }
+        shed
+    }
+
+    /// Admission control for one push (see [`crate::admission`]): consult
+    /// the memory budget — or the `AllocBudget` fault point, which forces
+    /// the over-budget path deterministically — and shed by policy.
+    fn admit(&mut self) -> Result<()> {
+        let forced = self.config.faults.check(FaultPoint::AllocBudget).is_some();
+        let Some(budget) = self.config.memory_budget else {
+            if forced {
+                // A fault plan can exercise overload without a budget
+                // configured; shed like the default reject policy.
+                self.admission_rejected += 1;
+                self.obs.record_admission_rejected();
+                return Err(EngineError::Overloaded {
+                    retry_after_ms: MemoryBudget::DEFAULT_RETRY_AFTER_MS,
+                });
+            }
+            return Ok(());
+        };
+        if self.ingest_paused {
+            // Hysteresis: stay paused until usage falls below the low
+            // watermark, then resume silently admitting.
+            if !forced && self.pinned_bytes() <= budget.low_watermark() {
+                self.ingest_paused = false;
+                self.obs.event("admission", "ingest resumed: usage below low watermark");
+            } else {
+                self.admission_rejected += 1;
+                self.obs.record_admission_rejected();
+                return Err(EngineError::Overloaded { retry_after_ms: budget.retry_after_ms });
+            }
+        }
+        if !forced && !self.over_budget(&budget) {
+            return Ok(());
+        }
+        match budget.policy {
+            ShedPolicy::Reject => {
+                self.admission_rejected += 1;
+                self.obs.record_admission_rejected();
+                Err(EngineError::Overloaded { retry_after_ms: budget.retry_after_ms })
+            }
+            ShedPolicy::DropOldest => {
+                let shed = self.shed_result_backlog();
+                self.admission_dropped += shed as u64;
+                self.obs.record_admission_dropped(shed as u64);
+                self.obs
+                    .event("admission", format!("drop-oldest shed {shed} queued chunk(s)"));
+                Ok(())
+            }
+            ShedPolicy::PauseReceptors => {
+                self.ingest_paused = true;
+                self.admission_rejected += 1;
+                self.obs.record_admission_rejected();
+                self.obs.record_admission_pause();
+                self.obs.event("admission", "ingest paused: memory budget exceeded");
+                Err(EngineError::Overloaded { retry_after_ms: budget.retry_after_ms })
+            }
+        }
     }
 
     /// Shared handle to a stream's basket (for receptor threads).
@@ -705,6 +847,7 @@ impl DataCell {
     /// network has more than one partition. Consumed basket prefixes are
     /// retired by the scheduler's per-partition watermark protocol.
     pub fn step(&mut self) -> Result<usize> {
+        self.maybe_stall();
         let start = Instant::now();
         let fired = self.with_executor(|scheduler, ctx, sink| scheduler.step(ctx, sink))?;
         if fired > 0 {
@@ -720,6 +863,7 @@ impl DataCell {
     /// parallel mode each worker drives its basket partitions to quiescence
     /// independently.
     pub fn run_until_idle(&mut self) -> Result<u64> {
+        self.maybe_stall();
         let start = Instant::now();
         let fired =
             self.with_executor(|scheduler, ctx, sink| scheduler.run_until_idle(ctx, sink))?;
@@ -728,6 +872,15 @@ impl DataCell {
         }
         self.maybe_auto_checkpoint()?;
         Ok(fired)
+    }
+
+    /// `SchedulerStall` fault point: chaos plans can delay a scheduler
+    /// pass. The injected kind is irrelevant — every fault here is a
+    /// short sleep modelling a preempted worker, never an error.
+    fn maybe_stall(&self) {
+        if self.config.faults.check(FaultPoint::SchedulerStall).is_some() {
+            std::thread::sleep(Duration::from_millis(2));
+        }
     }
 
     // ---- results ----------------------------------------------------------
@@ -860,6 +1013,7 @@ impl DataCell {
                     bytes: b.byte_size(),
                     buffer_bytes: b.buffer_byte_size(),
                     paused: b.is_paused(),
+                    degraded: b.degraded().is_some(),
                 }
             })
             .collect();
@@ -887,6 +1041,7 @@ impl DataCell {
             .collect();
         let (shared_nodes, shared_nodes_active, shared_hits, shared_misses) =
             self.scheduler.shared_stats();
+        let degraded_streams = baskets.iter().filter(|b| b.degraded).count();
         EngineStats {
             baskets,
             queries,
@@ -899,6 +1054,10 @@ impl DataCell {
             shared_nodes_active,
             shared_hits,
             shared_misses,
+            degraded_streams,
+            admission_rejected: self.admission_rejected,
+            admission_dropped_chunks: self.admission_dropped,
+            ingest_paused: self.ingest_paused,
             wal: self.wal_stats(),
         }
     }
@@ -963,6 +1122,18 @@ impl DataCell {
             "scheduler rounds executed",
             MetricValue::Counter(self.scheduler.rounds),
         );
+        let degraded =
+            self.baskets.values().filter(|b| b.read().degraded().is_some()).count();
+        put(
+            "datacell_degraded_streams",
+            "streams running with dropped durability (WAL detached after retry exhaustion)",
+            MetricValue::Gauge(degraded as i64),
+        );
+        put(
+            "datacell_ingest_paused",
+            "1 while the memory budget has ingestion paused (pause-receptors policy)",
+            MetricValue::Gauge(self.ingest_paused as i64),
+        );
         let (nodes, active, hits, misses) = self.scheduler.shared_stats();
         put(
             "datacell_shared_nodes",
@@ -1004,6 +1175,16 @@ impl DataCell {
                 "datacell_wal_fsync_us",
                 "explicit fsync latency (us)",
                 MetricValue::Histogram(Box::new(wal.fsync_us)),
+            );
+            put(
+                "datacell_wal_io_retries_total",
+                "transient WAL I/O failures absorbed by the retry policy",
+                MetricValue::Counter(wal.io_retries),
+            );
+            put(
+                "datacell_wal_io_gave_up_total",
+                "WAL operations that exhausted their retries (degraded-durability trigger)",
+                MetricValue::Counter(wal.io_gave_up),
             );
         }
         snap

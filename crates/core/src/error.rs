@@ -23,6 +23,13 @@ pub enum EngineError {
     InvalidStatement(String),
     /// Durability-layer failure (WAL append, snapshot or recovery).
     Wal(String),
+    /// Admission control shed this request: the engine is over its
+    /// [`MemoryBudget`](crate::MemoryBudget). Retryable — back off for the
+    /// suggested interval and push again.
+    Overloaded {
+        /// Suggested client backoff before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -35,6 +42,9 @@ impl fmt::Display for EngineError {
             EngineError::UnknownStream(s) => write!(f, "unknown stream: {s}"),
             EngineError::InvalidStatement(m) => write!(f, "invalid statement: {m}"),
             EngineError::Wal(m) => write!(f, "durability error: {m}"),
+            EngineError::Overloaded { retry_after_ms } => {
+                write!(f, "overloaded: retry in {retry_after_ms} ms")
+            }
         }
     }
 }

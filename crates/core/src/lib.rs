@@ -29,6 +29,7 @@
 
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod basket;
 pub mod config;
 pub mod durability;
@@ -43,6 +44,7 @@ pub mod scheduler;
 pub mod shared;
 pub mod stats;
 
+pub use admission::{MemoryBudget, ShedPolicy};
 pub use basket::Basket;
 pub use config::DataCellConfig;
 pub use durability::EngineWal;
@@ -63,7 +65,11 @@ pub use stats::{BasketStats, EngineStats, QueryStats};
 pub use datacell_plan::ExecutionMode;
 // Re-export the durability configuration so engine users don't need
 // datacell-wal.
-pub use datacell_wal::{SyncPolicy, WalConfig, WalStats};
+pub use datacell_wal::{RetryPolicy, SyncPolicy, WalConfig, WalStats};
+// Re-export the fault-injection surface so chaos tests and benches can
+// build plans without depending on datacell-faults directly (the
+// layering rule admits `faults` only below `core`).
+pub use datacell_faults::{FaultKind, FaultPlan, FaultPoint, FaultRule, Faults, Trigger};
 // Re-export the observability snapshot types (and the exposition-format
 // validator) so engine users don't need datacell-obs.
 pub use datacell_obs::{parse_prometheus, HistogramSnapshot, MetricsSnapshot, TraceEvent};

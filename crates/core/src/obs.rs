@@ -51,6 +51,10 @@ pub struct EngineObs {
     pub(crate) fire_rows_in: Arc<Counter>,
     pub(crate) fire_rows_out: Arc<Counter>,
     pub(crate) emitter_dropped: Arc<Counter>,
+    pub(crate) admission_rejected: Arc<Counter>,
+    pub(crate) admission_dropped: Arc<Counter>,
+    pub(crate) admission_pauses: Arc<Counter>,
+    pub(crate) wal_degraded: Arc<Counter>,
 
     pub(crate) basket_buffered: Arc<Gauge>,
     pub(crate) basket_pinned_bytes: Arc<Gauge>,
@@ -82,6 +86,22 @@ impl EngineObs {
             emitter_dropped: c(
                 "datacell_emitter_dropped_chunks_total",
                 "result chunks dropped by bounded subscriber queues",
+            ),
+            admission_rejected: c(
+                "datacell_admission_rejected_total",
+                "pushes rejected by the memory budget (reject / pause-receptors policy)",
+            ),
+            admission_dropped: c(
+                "datacell_admission_dropped_chunks_total",
+                "queued result chunks shed by the memory budget (drop-oldest policy)",
+            ),
+            admission_pauses: c(
+                "datacell_admission_pauses_total",
+                "times the memory budget paused ingestion (pause-receptors policy)",
+            ),
+            wal_degraded: c(
+                "datacell_wal_degraded_streams_total",
+                "streams that dropped durability after a WAL write exhausted its retries",
             ),
             basket_buffered: g("datacell_basket_buffered_tuples", "live tuples across baskets"),
             basket_pinned_bytes: g(
@@ -186,6 +206,34 @@ impl EngineObs {
     pub(crate) fn record_emitter_drops(&self, n: u64) {
         if self.enabled && n > 0 {
             self.emitter_dropped.add(n);
+        }
+    }
+
+    pub(crate) fn record_admission_rejected(&self) {
+        if self.enabled {
+            self.admission_rejected.inc();
+        }
+    }
+
+    pub(crate) fn record_admission_dropped(&self, n: u64) {
+        if self.enabled && n > 0 {
+            self.admission_dropped.add(n);
+        }
+    }
+
+    pub(crate) fn record_admission_pause(&self) {
+        if self.enabled {
+            self.admission_pauses.inc();
+        }
+    }
+
+    /// Record a degraded-durability escalation: one stream detached its
+    /// WAL after a write exhausted its retries. Loud on purpose — counter
+    /// plus flight-recorder event.
+    pub(crate) fn record_degraded(&self, stream: &str, reason: &str) {
+        if self.enabled {
+            self.wal_degraded.inc();
+            self.event("degraded", format!("stream {stream} dropped durability: {reason}"));
         }
     }
 

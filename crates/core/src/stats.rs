@@ -25,6 +25,9 @@ pub struct BasketStats {
     pub buffer_bytes: usize,
     /// Whether ingestion is paused.
     pub paused: bool,
+    /// Whether the basket dropped durability (its WAL write exhausted
+    /// the retry policy; ingest continues un-durably).
+    pub degraded: bool,
 }
 
 /// Statistics for one continuous query.
@@ -83,6 +86,17 @@ pub struct EngineStats {
     /// Shared evaluations that had to run (first query of the pass to
     /// reach the node).
     pub shared_misses: u64,
+    /// Streams running with dropped durability (WAL detached after a
+    /// write exhausted its retries).
+    pub degraded_streams: usize,
+    /// Pushes rejected by the memory budget (reject / pause-receptors
+    /// shed policies).
+    pub admission_rejected: u64,
+    /// Queued result chunks shed by the memory budget (drop-oldest
+    /// shed policy).
+    pub admission_dropped_chunks: u64,
+    /// Whether the memory budget currently has ingestion paused.
+    pub ingest_paused: bool,
     /// Durability counters, when a WAL is attached (`None` = in-memory).
     pub wal: Option<WalStats>,
 }
@@ -104,7 +118,13 @@ impl EngineStats {
                 b.buffered,
                 b.bytes,
                 b.buffer_bytes,
-                if b.paused { "paused" } else { "live" }
+                if b.degraded {
+                    "degraded"
+                } else if b.paused {
+                    "paused"
+                } else {
+                    "live"
+                }
             ));
         }
         out.push_str("== queries ==\n");
@@ -137,6 +157,22 @@ impl EngineStats {
             "shared: {} subplan nodes ({} shared), {} evaluations saved / {} computed\n",
             self.shared_nodes, self.shared_nodes_active, self.shared_hits, self.shared_misses
         ));
+        if self.admission_rejected > 0 || self.admission_dropped_chunks > 0 || self.ingest_paused
+        {
+            out.push_str(&format!(
+                "admission: {} pushes rejected, {} chunks shed, ingest {}\n",
+                self.admission_rejected,
+                self.admission_dropped_chunks,
+                if self.ingest_paused { "PAUSED" } else { "flowing" }
+            ));
+        }
+        if self.degraded_streams > 0 {
+            out.push_str(&format!(
+                "DEGRADED DURABILITY: {} stream(s) detached their WAL after retry \
+                 exhaustion — ingest continues un-durably\n",
+                self.degraded_streams
+            ));
+        }
         if let Some(w) = &self.wal {
             out.push_str(&format!(
                 "wal: {} bytes, {} batches appended ({} synced), {} meta records, \
@@ -168,6 +204,7 @@ mod tests {
                 bytes: 960,
                 buffer_bytes: 1024,
                 paused: false,
+                degraded: false,
             }],
             queries: vec![QueryStats {
                 id: 1,
@@ -185,6 +222,10 @@ mod tests {
             shared_nodes_active: 2,
             shared_hits: 30,
             shared_misses: 10,
+            degraded_streams: 0,
+            admission_rejected: 0,
+            admission_dropped_chunks: 0,
+            ingest_paused: false,
             wal: None,
         };
         let text = stats.render();
@@ -194,6 +235,29 @@ mod tests {
         assert!(text.contains("emitters: 9 chunks dropped (overflow)"));
         assert!(text.contains("shared: 3 subplan nodes (2 shared), 30 evaluations saved / 10 computed"));
         assert!(!text.contains("wal:"));
+        // The healthy render stays quiet about admission and degradation.
+        assert!(!text.contains("admission:"));
+        assert!(!text.contains("DEGRADED"));
+    }
+
+    #[test]
+    fn render_is_loud_about_degradation_and_shedding() {
+        let stats = EngineStats {
+            baskets: vec![BasketStats {
+                name: "trades".into(),
+                degraded: true,
+                ..Default::default()
+            }],
+            degraded_streams: 1,
+            admission_rejected: 7,
+            admission_dropped_chunks: 3,
+            ingest_paused: true,
+            ..Default::default()
+        };
+        let text = stats.render();
+        assert!(text.contains("degraded"));
+        assert!(text.contains("admission: 7 pushes rejected, 3 chunks shed, ingest PAUSED"));
+        assert!(text.contains("DEGRADED DURABILITY: 1 stream(s)"));
     }
 
     #[test]

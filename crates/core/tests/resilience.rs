@@ -1,0 +1,164 @@
+//! Runtime resilience: admission control shedding and degraded-durability
+//! escalation, driven end-to-end through the engine facade with
+//! deterministic fault plans.
+
+use datacell_core::{
+    DataCell, DataCellConfig, EngineError, FaultPlan, Faults, MemoryBudget, RetryPolicy,
+    ShedPolicy,
+};
+use datacell_storage::Row;
+
+fn rows(n: usize) -> Vec<Row> {
+    (0..n).map(|i| vec![(i as i64).into(), (i as i64).into()]).collect()
+}
+
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .unwrap()
+        .as_nanos();
+    std::env::temp_dir().join(format!("datacell-resilience-{tag}-{nanos}"))
+}
+
+#[test]
+fn reject_policy_sheds_with_retryable_error() {
+    let config = DataCellConfig {
+        memory_budget: Some(MemoryBudget::pinned_bytes(256, ShedPolicy::Reject)),
+        ..DataCellConfig::default()
+    };
+    let mut cell = DataCell::new(config);
+    cell.execute("CREATE STREAM s (ts BIGINT, v BIGINT)").unwrap();
+    // No query consumes, so nothing retires: the budget fills.
+    while cell.push_rows("s", &rows(16)).is_ok() {}
+    let err = cell.push_rows("s", &rows(1)).unwrap_err();
+    assert!(matches!(err, EngineError::Overloaded { .. }));
+    let stats = cell.stats();
+    assert!(stats.admission_rejected >= 2);
+    assert!(stats.render().contains("admission:"));
+}
+
+#[test]
+fn pause_receptors_resumes_below_watermark() {
+    let config = DataCellConfig {
+        memory_budget: Some(MemoryBudget::pinned_bytes(2048, ShedPolicy::PauseReceptors)),
+        ..DataCellConfig::default()
+    };
+    let mut cell = DataCell::new(config);
+    cell.execute("CREATE STREAM s (ts BIGINT, v BIGINT)").unwrap();
+    cell.register_query("SELECT COUNT(*) FROM s").unwrap();
+    // Fill past the ceiling without running the scheduler.
+    while cell.push_rows("s", &rows(32)).is_ok() {}
+    assert!(cell.ingest_paused());
+    assert!(matches!(
+        cell.push_rows("s", &rows(1)),
+        Err(EngineError::Overloaded { .. })
+    ));
+    // Consuming the backlog retires (and compacts) the basket...
+    cell.run_until_idle().unwrap();
+    assert!(cell.pinned_bytes() <= 2048);
+    // ...so the next push crosses the low watermark and resumes ingest.
+    assert_eq!(cell.push_rows("s", &rows(1)).unwrap(), 1);
+    assert!(!cell.ingest_paused());
+}
+
+#[test]
+fn alloc_budget_fault_forces_drop_oldest_shed() {
+    let config = DataCellConfig {
+        memory_budget: Some(MemoryBudget::pinned_bytes(usize::MAX >> 1, ShedPolicy::DropOldest)),
+        // Far under budget; the third admission check is forced over.
+        faults: Faults::enabled(FaultPlan::parse("seed=7;alloc_budget:nth=3:eio").unwrap()),
+        ..DataCellConfig::default()
+    };
+    let mut cell = DataCell::new(config);
+    cell.execute("CREATE STREAM s (ts BIGINT, v BIGINT)").unwrap();
+    let q = cell.register_query("SELECT COUNT(*) FROM s").unwrap();
+    let em = cell.subscribe(q).unwrap();
+    // Two pushes build a two-chunk backlog in the subscriber queue and
+    // the internal pending buffer.
+    for _ in 0..2 {
+        cell.push_rows("s", &rows(4)).unwrap();
+        cell.run_until_idle().unwrap();
+    }
+    // The forced over-budget push is still admitted — the oldest half of
+    // each backlog is shed to pay for it.
+    assert_eq!(cell.push_rows("s", &rows(1)).unwrap(), 1);
+    let stats = cell.stats();
+    assert!(stats.admission_dropped_chunks >= 2);
+    assert_eq!(em.dropped(), 1);
+    assert_eq!(em.drain().len(), 1, "newest chunk survives the shed");
+}
+
+#[test]
+fn alloc_budget_fault_without_budget_rejects_once() {
+    let config = DataCellConfig {
+        faults: Faults::enabled(FaultPlan::parse("seed=7;alloc_budget:nth=1:eio").unwrap()),
+        ..DataCellConfig::default()
+    };
+    let mut cell = DataCell::new(config);
+    cell.execute("CREATE STREAM s (ts BIGINT, v BIGINT)").unwrap();
+    assert!(matches!(
+        cell.push_rows("s", &rows(1)),
+        Err(EngineError::Overloaded { retry_after_ms: 50 })
+    ));
+    assert_eq!(cell.push_rows("s", &rows(1)).unwrap(), 1, "nth=1 fires once");
+}
+
+#[test]
+fn transient_wal_fault_is_absorbed_by_retries() {
+    let dir = tmpdir("retry");
+    let mut config = DataCellConfig::durable(&dir);
+    // Default retry policy; one transient EIO on the second append.
+    config.faults =
+        Faults::enabled(FaultPlan::parse("seed=3;wal_append:nth=2:eio").unwrap());
+    let mut cell = DataCell::open(config).unwrap();
+    cell.execute("CREATE STREAM s (ts BIGINT, v BIGINT)").unwrap();
+    assert_eq!(cell.push_rows("s", &rows(2)).unwrap(), 2);
+    let wal = cell.wal_stats().unwrap();
+    assert_eq!(wal.io_retries, 1, "the EIO was absorbed");
+    assert_eq!(wal.io_gave_up, 0);
+    let stats = cell.stats();
+    assert_eq!(stats.degraded_streams, 0);
+    assert!(stats.baskets.iter().all(|b| !b.degraded));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn persistent_wal_fault_escalates_to_degraded() {
+    let dir = tmpdir("degrade");
+    let mut config = DataCellConfig::durable(&dir);
+    config.wal.as_mut().unwrap().retry = RetryPolicy::none();
+    // Call #1 is the CREATE STREAM meta append; call #2 is the first
+    // segment append — ENOSPC is persistent, so the basket degrades.
+    config.faults =
+        Faults::enabled(FaultPlan::parse("seed=3;wal_append:nth=2:enospc").unwrap());
+    let mut cell = DataCell::open(config).unwrap();
+    cell.execute("CREATE STREAM s (ts BIGINT, v BIGINT)").unwrap();
+    assert_eq!(cell.push_rows("s", &rows(2)).unwrap(), 2, "ingest survives");
+    let stats = cell.stats();
+    assert_eq!(stats.degraded_streams, 1);
+    assert!(stats.baskets[0].degraded);
+    assert!(stats.render().contains("DEGRADED DURABILITY: 1 stream(s)"));
+    let wal = cell.wal_stats().unwrap();
+    assert_eq!(wal.io_gave_up, 1);
+    // The degraded state is loud in METRICS, and ingest keeps flowing.
+    let metrics = cell.metrics_text();
+    assert!(metrics.contains("datacell_degraded_streams 1"));
+    assert!(metrics.contains("datacell_wal_io_gave_up_total 1"));
+    assert_eq!(cell.push_rows("s", &rows(3)).unwrap(), 3);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn scheduler_stall_fault_delays_but_never_errors() {
+    let config = DataCellConfig {
+        faults: Faults::enabled(FaultPlan::parse("seed=9;scheduler_stall:win=1..3:stall").unwrap()),
+        ..DataCellConfig::default()
+    };
+    let mut cell = DataCell::new(config);
+    cell.execute("CREATE STREAM s (ts BIGINT, v BIGINT)").unwrap();
+    let q = cell.register_query("SELECT COUNT(*) FROM s").unwrap();
+    cell.push_rows("s", &rows(4)).unwrap();
+    cell.run_until_idle().unwrap();
+    let out = cell.take_results(q).unwrap();
+    assert!(!out.is_empty(), "stalled passes still produce results");
+}

@@ -1,0 +1,225 @@
+//! The runtime facade: a cheap-to-clone handle the engine threads consult
+//! at each injection point. Disabled (the default) it is a single `None`
+//! branch — no atomics, no allocation, no rule scan — so production code
+//! pays nothing for carrying it.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::plan::{FaultKind, FaultPlan, FaultPoint, Trigger};
+
+const POINTS: usize = FaultPoint::ALL.len();
+
+/// Live plan state: the immutable schedule plus per-point call/injection
+/// counters and the seeded generator for probabilistic triggers.
+#[derive(Debug)]
+pub(crate) struct PlanState {
+    plan: FaultPlan,
+    calls: [AtomicU64; POINTS],
+    injected: [AtomicU64; POINTS],
+    rng: AtomicU64,
+}
+
+impl PlanState {
+    fn new(plan: FaultPlan) -> PlanState {
+        // SplitMix-style seed scramble; force odd so xorshift never
+        // degenerates to the all-zero fixed point.
+        let rng = plan.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        PlanState {
+            plan,
+            calls: std::array::from_fn(|_| AtomicU64::new(0)),
+            injected: std::array::from_fn(|_| AtomicU64::new(0)),
+            rng: AtomicU64::new(rng),
+        }
+    }
+
+    /// One uniform draw in `[0, 1)` (xorshift64*, lock-free).
+    fn roll(&self) -> f64 {
+        let mut cur = self.rng.load(Ordering::Relaxed);
+        loop {
+            let mut x = cur;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            match self
+                .rng
+                .compare_exchange_weak(cur, x, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => {
+                    let scaled = x.wrapping_mul(0x2545_F491_4F6C_DD1D);
+                    return (scaled >> 11) as f64 / (1u64 << 53) as f64;
+                }
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    fn check(&self, point: FaultPoint) -> Option<FaultKind> {
+        let i = point.index();
+        let n = self.calls[i].fetch_add(1, Ordering::Relaxed) + 1;
+        let mut hit = None;
+        for rule in &self.plan.rules {
+            if rule.point != point {
+                continue;
+            }
+            let fire = match rule.trigger {
+                Trigger::Nth(k) => n == k,
+                Trigger::Window { from, to } => n >= from && n < to,
+                Trigger::Prob(p) => self.roll() < p,
+            };
+            if fire {
+                hit = Some(rule.kind);
+                break;
+            }
+        }
+        if hit.is_some() {
+            self.injected[i].fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+}
+
+/// The handle threaded through WAL, engine and server code. Clones share
+/// one counter set, so a plan's schedule is global across threads.
+#[derive(Debug, Clone, Default)]
+pub struct Faults(Option<Arc<PlanState>>);
+
+impl Faults {
+    /// The no-op facade (the production default).
+    pub fn disabled() -> Faults {
+        Faults(None)
+    }
+
+    /// Activate a plan.
+    pub fn enabled(plan: FaultPlan) -> Faults {
+        Faults(Some(Arc::new(PlanState::new(plan))))
+    }
+
+    /// Whether a plan is active.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// The active plan, if any.
+    pub fn plan(&self) -> Option<&FaultPlan> {
+        self.0.as_deref().map(|s| &s.plan)
+    }
+
+    /// Consult the schedule at one injection point. Counts the call and,
+    /// when a rule fires, returns the fault the consumer must act out.
+    /// Disabled facades return `None` without touching any counter.
+    #[inline]
+    pub fn check(&self, point: FaultPoint) -> Option<FaultKind> {
+        let state = self.0.as_deref()?;
+        state.check(point)
+    }
+
+    /// Calls observed at `point` so far (0 when disabled).
+    pub fn calls(&self, point: FaultPoint) -> u64 {
+        self.0
+            .as_deref()
+            .map_or(0, |s| s.calls[point.index()].load(Ordering::Relaxed))
+    }
+
+    /// Faults injected at `point` so far (0 when disabled).
+    pub fn injected(&self, point: FaultPoint) -> u64 {
+        self.0
+            .as_deref()
+            .map_or(0, |s| s.injected[point.index()].load(Ordering::Relaxed))
+    }
+
+    /// Total faults injected across every point.
+    pub fn injected_total(&self) -> u64 {
+        FaultPoint::ALL.iter().map(|&p| self.injected(p)).sum()
+    }
+}
+
+impl PartialEq for Faults {
+    /// Facades compare by schedule (two handles over equal plans are
+    /// interchangeable configuration-wise, even if their counters differ).
+    fn eq(&self, other: &Faults) -> bool {
+        self.plan() == other.plan()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_is_inert() {
+        let f = Faults::disabled();
+        assert!(!f.is_enabled());
+        for p in FaultPoint::ALL {
+            assert_eq!(f.check(p), None);
+            assert_eq!(f.calls(p), 0);
+            assert_eq!(f.injected(p), 0);
+        }
+        assert_eq!(f.injected_total(), 0);
+        assert_eq!(f, Faults::default());
+    }
+
+    #[test]
+    fn nth_trigger_fires_exactly_once() {
+        let f = Faults::enabled(FaultPlan::parse("wal_fsync:nth=3:eio").unwrap());
+        let hits: Vec<_> = (0..6).map(|_| f.check(FaultPoint::WalFsync)).collect();
+        assert_eq!(hits, vec![None, None, Some(FaultKind::Eio), None, None, None]);
+        assert_eq!(f.calls(FaultPoint::WalFsync), 6);
+        assert_eq!(f.injected(FaultPoint::WalFsync), 1);
+        assert_eq!(f.injected_total(), 1);
+        // Other points are untouched.
+        assert_eq!(f.check(FaultPoint::WalAppend), None);
+        assert_eq!(f.injected(FaultPoint::WalAppend), 0);
+    }
+
+    #[test]
+    fn window_trigger_fires_in_range() {
+        let f = Faults::enabled(FaultPlan::parse("socket_read:win=2..4:stall").unwrap());
+        let hits: Vec<_> = (0..5).map(|_| f.check(FaultPoint::SocketRead)).collect();
+        assert_eq!(
+            hits,
+            vec![None, Some(FaultKind::Stall), Some(FaultKind::Stall), None, None]
+        );
+        assert_eq!(f.injected(FaultPoint::SocketRead), 2);
+    }
+
+    #[test]
+    fn first_matching_rule_wins() {
+        let f = Faults::enabled(
+            FaultPlan::parse("wal_append:nth=1:enospc;wal_append:win=1..9:eio").unwrap(),
+        );
+        assert_eq!(f.check(FaultPoint::WalAppend), Some(FaultKind::Enospc));
+        assert_eq!(f.check(FaultPoint::WalAppend), Some(FaultKind::Eio));
+    }
+
+    #[test]
+    fn probabilistic_trigger_is_seeded_and_deterministic() {
+        let run = |seed: u64| {
+            let f = Faults::enabled(
+                FaultPlan::parse(&format!("seed={seed};wal_append:p=0.5:eio")).unwrap(),
+            );
+            (0..64).map(|_| f.check(FaultPoint::WalAppend).is_some()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7), "same seed must reproduce the schedule");
+        assert_ne!(run(7), run(8), "distinct seeds should diverge");
+        let hits = run(7).iter().filter(|h| **h).count();
+        assert!((8..=56).contains(&hits), "p=0.5 over 64 draws hit {hits} times");
+    }
+
+    #[test]
+    fn probability_extremes() {
+        let never = Faults::enabled(FaultPlan::parse("wal_fsync:p=0:eio").unwrap());
+        assert!((0..32).all(|_| never.check(FaultPoint::WalFsync).is_none()));
+        let always = Faults::enabled(FaultPlan::parse("wal_fsync:p=1:eio").unwrap());
+        assert!((0..32).all(|_| always.check(FaultPoint::WalFsync).is_some()));
+    }
+
+    #[test]
+    fn clones_share_one_schedule() {
+        let f = Faults::enabled(FaultPlan::parse("wal_fsync:nth=2:eio").unwrap());
+        let g = f.clone();
+        assert_eq!(f.check(FaultPoint::WalFsync), None);
+        assert_eq!(g.check(FaultPoint::WalFsync), Some(FaultKind::Eio));
+        assert_eq!(f.injected(FaultPoint::WalFsync), 1);
+    }
+}

@@ -1,0 +1,38 @@
+//! # datacell-faults
+//!
+//! Deterministic fault injection for the DataCell runtime. Resilience
+//! claims are only testable if failure is reproducible: this crate turns
+//! "what if the second fsync fails" into a value — a seeded, schedule-
+//! driven [`FaultPlan`] with typed injection points ([`FaultPoint`]) and
+//! typed outcomes ([`FaultKind`]) — consulted through a zero-cost-when-
+//! disabled facade ([`Faults`]).
+//!
+//! The crate is a dependency-free leaf, like `datacell-obs`: it performs
+//! **no I/O** and never constructs an `io::Error` itself. A fired rule is
+//! just a [`FaultKind`] value; the consumer owning the real operation
+//! (the WAL's I/O shim, the server's socket wrappers, the engine's
+//! admission check) decides what `eio`/`enospc`/`short`/`stall` mean
+//! there. That keeps every schedule rule unit-testable and lets the same
+//! plan drive file, socket and scheduler faults coherently.
+//!
+//! ```
+//! use datacell_faults::{FaultKind, FaultPlan, FaultPoint, Faults};
+//!
+//! let plan = FaultPlan::parse("seed=1;wal_fsync:nth=2:eio").unwrap();
+//! let faults = Faults::enabled(plan);
+//! assert_eq!(faults.check(FaultPoint::WalFsync), None);
+//! assert_eq!(faults.check(FaultPoint::WalFsync), Some(FaultKind::Eio));
+//! assert_eq!(faults.injected_total(), 1);
+//!
+//! // The production default costs one branch per check.
+//! let off = Faults::disabled();
+//! assert_eq!(off.check(FaultPoint::WalFsync), None);
+//! ```
+
+#![warn(missing_docs)]
+
+mod facade;
+mod plan;
+
+pub use facade::Faults;
+pub use plan::{FaultKind, FaultPlan, FaultPoint, FaultRule, Trigger};

@@ -1,0 +1,371 @@
+//! Fault-plan vocabulary: typed injection points, fault kinds, triggers
+//! and the parsed [`FaultPlan`].
+//!
+//! A plan is a seeded, schedule-driven description of *which* operations
+//! fail, *when*, and *how*. The textual form (accepted by
+//! [`FaultPlan::parse`], produced by `Display`) is what operators put in
+//! the `DATACELL_FAULT_PLAN` environment variable:
+//!
+//! ```text
+//! plan    := clause (';' clause)*
+//! clause  := 'seed=' u64 | rule
+//! rule    := point ':' trigger ':' kind
+//! point   := wal_append | wal_fsync | snapshot_rename | socket_read
+//!          | socket_write | alloc_budget | scheduler_stall
+//! trigger := 'nth=' n | 'p=' probability | 'win=' lo '..' hi
+//! kind    := eio | enospc | short | stall
+//! ```
+//!
+//! Example: `seed=42;wal_fsync:nth=2:eio;socket_write:p=0.01:stall` — the
+//! second fsync anywhere fails with `EIO`, and every socket write fails
+//! into a stall with probability 1% (drawn from the seeded generator, so
+//! the whole schedule is reproducible).
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A typed operation the runtime offers for injection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultPoint {
+    /// A stream-segment batch append (frame write).
+    WalAppend,
+    /// An fsync of a stream segment or the meta log.
+    WalFsync,
+    /// The atomic tmp-file rename publishing a catalog snapshot.
+    SnapshotRename,
+    /// A server-side socket read.
+    SocketRead,
+    /// A server-side socket write.
+    SocketWrite,
+    /// A memory-budget admission check (forces the over-budget path).
+    AllocBudget,
+    /// A scheduler pass (injects an artificial stall).
+    SchedulerStall,
+}
+
+impl FaultPoint {
+    /// Every injection point, in index order.
+    pub const ALL: [FaultPoint; 7] = [
+        FaultPoint::WalAppend,
+        FaultPoint::WalFsync,
+        FaultPoint::SnapshotRename,
+        FaultPoint::SocketRead,
+        FaultPoint::SocketWrite,
+        FaultPoint::AllocBudget,
+        FaultPoint::SchedulerStall,
+    ];
+
+    /// Dense index for per-point counter arrays.
+    pub fn index(self) -> usize {
+        match self {
+            FaultPoint::WalAppend => 0,
+            FaultPoint::WalFsync => 1,
+            FaultPoint::SnapshotRename => 2,
+            FaultPoint::SocketRead => 3,
+            FaultPoint::SocketWrite => 4,
+            FaultPoint::AllocBudget => 5,
+            FaultPoint::SchedulerStall => 6,
+        }
+    }
+
+    /// The token used in plan strings and metrics labels.
+    pub fn token(self) -> &'static str {
+        match self {
+            FaultPoint::WalAppend => "wal_append",
+            FaultPoint::WalFsync => "wal_fsync",
+            FaultPoint::SnapshotRename => "snapshot_rename",
+            FaultPoint::SocketRead => "socket_read",
+            FaultPoint::SocketWrite => "socket_write",
+            FaultPoint::AllocBudget => "alloc_budget",
+            FaultPoint::SchedulerStall => "scheduler_stall",
+        }
+    }
+}
+
+impl fmt::Display for FaultPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.token())
+    }
+}
+
+impl FromStr for FaultPoint {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        FaultPoint::ALL
+            .into_iter()
+            .find(|p| p.token() == s)
+            .ok_or_else(|| format!("unknown fault point {s:?}"))
+    }
+}
+
+/// How an injected fault manifests. The faults crate stays I/O-free: a
+/// kind is a *value*; the consumer (the WAL's I/O shim, the server's
+/// socket wrappers) converts it into the concrete `io::Error` / stall.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Transient I/O error (`EIO`) — retryable.
+    Eio,
+    /// Persistent out-of-space error (`ENOSPC`) — not retryable.
+    Enospc,
+    /// A short write: only part of the buffer reaches the file before the
+    /// operation errors, leaving a torn frame for recovery to truncate.
+    ShortWrite,
+    /// An artificial delay (the operation succeeds late).
+    Stall,
+}
+
+impl FaultKind {
+    /// The token used in plan strings.
+    pub fn token(self) -> &'static str {
+        match self {
+            FaultKind::Eio => "eio",
+            FaultKind::Enospc => "enospc",
+            FaultKind::ShortWrite => "short",
+            FaultKind::Stall => "stall",
+        }
+    }
+
+    /// Whether a consumer should treat the fault as transient (worth
+    /// retrying) rather than persistent.
+    pub fn is_retryable(self) -> bool {
+        match self {
+            FaultKind::Eio | FaultKind::ShortWrite | FaultKind::Stall => true,
+            FaultKind::Enospc => false,
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.token())
+    }
+}
+
+impl FromStr for FaultKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "eio" => Ok(FaultKind::Eio),
+            "enospc" => Ok(FaultKind::Enospc),
+            "short" => Ok(FaultKind::ShortWrite),
+            "stall" => Ok(FaultKind::Stall),
+            other => Err(format!("unknown fault kind {other:?}")),
+        }
+    }
+}
+
+/// When a rule fires, in terms of the per-point call counter (1-based).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Trigger {
+    /// Fire on exactly the `n`th call.
+    Nth(u64),
+    /// Fire on every call in `[from, to)`.
+    Window {
+        /// First firing call number (1-based, inclusive).
+        from: u64,
+        /// One past the last firing call number.
+        to: u64,
+    },
+    /// Fire on each call with this probability, drawn from the plan's
+    /// seeded generator (deterministic for a given seed and call order).
+    Prob(f64),
+}
+
+impl fmt::Display for Trigger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Trigger::Nth(n) => write!(f, "nth={n}"),
+            Trigger::Window { from, to } => write!(f, "win={from}..{to}"),
+            Trigger::Prob(p) => write!(f, "p={p}"),
+        }
+    }
+}
+
+impl FromStr for Trigger {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        if let Some(n) = s.strip_prefix("nth=") {
+            let n: u64 =
+                n.parse().map_err(|_| format!("bad nth trigger {s:?} (want nth=<n>)"))?;
+            if n == 0 {
+                return Err("nth trigger is 1-based; nth=0 never fires".into());
+            }
+            return Ok(Trigger::Nth(n));
+        }
+        if let Some(p) = s.strip_prefix("p=") {
+            let p: f64 =
+                p.parse().map_err(|_| format!("bad probability trigger {s:?} (want p=<0..1>)"))?;
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("probability {p} out of [0, 1]"));
+            }
+            return Ok(Trigger::Prob(p));
+        }
+        if let Some(range) = s.strip_prefix("win=") {
+            let (lo, hi) = range
+                .split_once("..")
+                .ok_or_else(|| format!("bad window trigger {s:?} (want win=<lo>..<hi>)"))?;
+            let from: u64 =
+                lo.parse().map_err(|_| format!("bad window start in {s:?}"))?;
+            let to: u64 = hi.parse().map_err(|_| format!("bad window end in {s:?}"))?;
+            if from == 0 || to <= from {
+                return Err(format!("window {from}..{to} is empty or 0-based (calls are 1-based)"));
+            }
+            return Ok(Trigger::Window { from, to });
+        }
+        Err(format!("unknown trigger {s:?} (want nth=<n> | p=<prob> | win=<lo>..<hi>)"))
+    }
+}
+
+/// One injection rule: at `point`, when `trigger` matches, inject `kind`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultRule {
+    /// Where the fault is injected.
+    pub point: FaultPoint,
+    /// When it fires.
+    pub trigger: Trigger,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+impl fmt::Display for FaultRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}:{}", self.point, self.trigger, self.kind)
+    }
+}
+
+/// A parsed, immutable fault schedule (seed + ordered rules; the first
+/// matching rule per call wins).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Seed for the probabilistic triggers' generator.
+    pub seed: u64,
+    /// Rules, in declaration order.
+    pub rules: Vec<FaultRule>,
+}
+
+impl FaultPlan {
+    /// Parse the textual plan form (see the module docs for the grammar).
+    pub fn parse(s: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::default();
+        for clause in s.split(';') {
+            let clause = clause.trim();
+            if clause.is_empty() {
+                continue;
+            }
+            if let Some(seed) = clause.strip_prefix("seed=") {
+                plan.seed =
+                    seed.parse().map_err(|_| format!("bad seed clause {clause:?}"))?;
+                continue;
+            }
+            let mut parts = clause.splitn(3, ':');
+            let (point, trigger, kind) = match (parts.next(), parts.next(), parts.next()) {
+                (Some(p), Some(t), Some(k)) => (p, t, k),
+                _ => {
+                    return Err(format!(
+                        "bad rule {clause:?} (want <point>:<trigger>:<kind>)"
+                    ))
+                }
+            };
+            plan.rules.push(FaultRule {
+                point: point.trim().parse()?,
+                trigger: trigger.trim().parse()?,
+                kind: kind.trim().parse()?,
+            });
+        }
+        Ok(plan)
+    }
+
+    /// Whether the plan holds any rule for `point`.
+    pub fn covers(&self, point: FaultPoint) -> bool {
+        self.rules.iter().any(|r| r.point == point)
+    }
+
+    /// Whether every rule injects a retryable fault kind (a plan under
+    /// which a resilient runtime must remain byte-identical to fault-free).
+    pub fn all_retryable(&self) -> bool {
+        self.rules.iter().all(|r| r.kind.is_retryable())
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "seed={}", self.seed)?;
+        for rule in &self.rules {
+            write!(f, ";{rule}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_full_plan() {
+        let plan =
+            FaultPlan::parse("seed=42; wal_fsync:nth=2:eio ;socket_write:p=0.25:stall").unwrap();
+        assert_eq!(plan.seed, 42);
+        assert_eq!(plan.rules.len(), 2);
+        assert_eq!(
+            plan.rules[0],
+            FaultRule {
+                point: FaultPoint::WalFsync,
+                trigger: Trigger::Nth(2),
+                kind: FaultKind::Eio,
+            }
+        );
+        assert!(plan.covers(FaultPoint::SocketWrite));
+        assert!(!plan.covers(FaultPoint::WalAppend));
+        assert!(plan.all_retryable());
+    }
+
+    #[test]
+    fn parse_window_and_enospc() {
+        let plan = FaultPlan::parse("wal_append:win=3..6:enospc").unwrap();
+        assert_eq!(
+            plan.rules[0].trigger,
+            Trigger::Window { from: 3, to: 6 }
+        );
+        assert!(!plan.all_retryable());
+    }
+
+    #[test]
+    fn display_roundtrips() {
+        let text = "seed=7;wal_append:nth=1:short;scheduler_stall:win=2..9:stall;wal_fsync:p=0.5:eio";
+        let plan = FaultPlan::parse(text).unwrap();
+        assert_eq!(plan.to_string(), text);
+        assert_eq!(FaultPlan::parse(&plan.to_string()).unwrap(), plan);
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(FaultPlan::parse("seed=x").is_err());
+        assert!(FaultPlan::parse("wal_append").is_err());
+        assert!(FaultPlan::parse("nowhere:nth=1:eio").is_err());
+        assert!(FaultPlan::parse("wal_append:always:eio").is_err());
+        assert!(FaultPlan::parse("wal_append:nth=0:eio").is_err());
+        assert!(FaultPlan::parse("wal_append:win=0..3:eio").is_err());
+        assert!(FaultPlan::parse("wal_append:win=5..5:eio").is_err());
+        assert!(FaultPlan::parse("wal_append:p=1.5:eio").is_err());
+        assert!(FaultPlan::parse("wal_append:nth=1:boom").is_err());
+    }
+
+    #[test]
+    fn empty_plan_is_valid_and_inert() {
+        let plan = FaultPlan::parse("").unwrap();
+        assert!(plan.rules.is_empty());
+        assert!(plan.all_retryable());
+    }
+
+    #[test]
+    fn point_tokens_roundtrip() {
+        for p in FaultPoint::ALL {
+            assert_eq!(p.token().parse::<FaultPoint>().unwrap(), p);
+        }
+        assert_eq!(FaultPoint::ALL.map(FaultPoint::index), [0, 1, 2, 3, 4, 5, 6]);
+    }
+}

@@ -86,10 +86,12 @@ impl Config {
 
     /// The shipped policy for the DataCell workspace.
     ///
-    /// Layering follows the crate diagram in the README: `obs` and
-    /// `storage` are the foundation (no internal deps; both **no I/O** —
-    /// `obs` is a dependency-free in-memory metrics/tracing leaf,
-    /// durability lives in `wal`); `wal` sees `storage` + `obs`; the
+    /// Layering follows the crate diagram in the README: `obs`, `faults`
+    /// and `storage` are the foundation (no internal deps; all **no I/O**
+    /// — `obs` is a dependency-free in-memory metrics/tracing leaf,
+    /// `faults` a dependency-free injection-schedule leaf whose fired
+    /// faults are plain values, durability lives in `wal`); `wal` sees
+    /// `storage` + `obs` + `faults`; the
     /// language stack is `sql → plan → core`; `server` talks to the
     /// engine only through `core`/`storage` (observability types reach it
     /// as `core` re-exports); `bench` may see everything. `protocol.rs`
@@ -97,11 +99,12 @@ impl Config {
     pub fn datacell(root: impl Into<PathBuf>) -> Config {
         let crates = vec![
             CrateSpec::new("datacell-obs", "crates/obs", &[], &[]),
+            CrateSpec::new("datacell-faults", "crates/faults", &[], &[]),
             CrateSpec::new("datacell-storage", "crates/storage", &[], &["parking_lot"]),
             CrateSpec::new(
                 "datacell-wal",
                 "crates/wal",
-                &["datacell-storage", "datacell-obs"],
+                &["datacell-storage", "datacell-obs", "datacell-faults"],
                 &[],
             ),
             CrateSpec::new("datacell-algebra", "crates/algebra", &["datacell-storage"], &[]),
@@ -117,6 +120,7 @@ impl Config {
                 "crates/core",
                 &[
                     "datacell-obs",
+                    "datacell-faults",
                     "datacell-storage",
                     "datacell-wal",
                     "datacell-algebra",
@@ -128,7 +132,7 @@ impl Config {
             CrateSpec::new(
                 "datacell-server",
                 "crates/server",
-                &["datacell-storage", "datacell-core"],
+                &["datacell-storage", "datacell-core", "datacell-faults"],
                 &[],
             ),
             CrateSpec::new(
@@ -172,6 +176,7 @@ impl Config {
             // experiment drivers may panic on CLI misuse.
             deny_panic_paths: vec![
                 deny("crates/obs/src/"),
+                deny("crates/faults/src/"),
                 deny("crates/storage/src/"),
                 deny("crates/wal/src/"),
                 deny("crates/algebra/src/"),
@@ -204,6 +209,7 @@ impl Config {
             lock_classes: Vec::new(),
             no_io_paths: vec![
                 deny("crates/obs/src/"),
+                deny("crates/faults/src/"),
                 deny("crates/storage/src/"),
                 deny("crates/sql/src/"),
                 deny("crates/algebra/src/"),

@@ -4,6 +4,7 @@
 //! datacell-server [--addr HOST:PORT] [--workers N] [--emitter-capacity N]
 //!                 [--incremental] [--init FILE]
 //!                 [--wal-dir DIR] [--fsync always|never|every=N]
+//!                 [--memory-budget BYTES] [--shed-policy reject|drop-oldest|pause]
 //! ```
 //!
 //! Prints `LISTENING <addr>` once the socket is bound (port 0 picks an
@@ -15,24 +16,36 @@
 //! restart over the same directory the server recovers everything (the
 //! `--init` script is then skipped) and subscriptions continue exactly.
 //! A graceful `SHUTDOWN` checkpoints (catalog snapshot + fsync).
+//!
+//! `--memory-budget` caps the bytes pinned in baskets and result queues;
+//! over budget, pushes are shed per `--shed-policy` (`reject` answers
+//! `OVERLOADED <retry-after-ms>` on the wire). The `DATACELL_FAULT_PLAN`
+//! environment variable arms the seeded fault-injection harness (e.g.
+//! `seed=7;wal_fsync:p=0.01:eio`) — chaos drills against a real daemon.
 
 use std::io::Write;
 use std::time::Duration;
 
-use datacell_core::{DataCellConfig, SyncPolicy, WalConfig};
+use datacell_core::{
+    DataCellConfig, FaultPlan, Faults, MemoryBudget, ShedPolicy, SyncPolicy, WalConfig,
+};
 use datacell_server::{Server, ServerConfig};
 
 fn usage() -> ! {
     eprintln!(
         "usage: datacell-server [--addr HOST:PORT] [--workers N] \
          [--emitter-capacity N] [--incremental] [--init FILE] \
-         [--wal-dir DIR] [--fsync always|never|every=N]"
+         [--wal-dir DIR] [--fsync always|never|every=N] \
+         [--memory-budget BYTES] [--shed-policy reject|drop-oldest|pause]\n\
+         env: DATACELL_FAULT_PLAN=<seeded fault plan> arms fault injection"
     );
     std::process::exit(2);
 }
 
 fn main() {
     let mut config = ServerConfig { addr: "127.0.0.1:4321".into(), ..Default::default() };
+    let mut budget_bytes: Option<usize> = None;
+    let mut shed_policy = ShedPolicy::Reject;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| {
@@ -80,6 +93,20 @@ fn main() {
                     }
                 }
             }
+            "--memory-budget" => {
+                budget_bytes = Some(value("--memory-budget").parse().unwrap_or_else(|_| usage()))
+            }
+            "--shed-policy" => {
+                shed_policy = match value("--shed-policy").as_str() {
+                    "reject" => ShedPolicy::Reject,
+                    "drop-oldest" => ShedPolicy::DropOldest,
+                    "pause" => ShedPolicy::PauseReceptors,
+                    other => {
+                        eprintln!("unknown shed policy {other:?}");
+                        usage()
+                    }
+                }
+            }
             "--init" => {
                 let path = value("--init");
                 match std::fs::read_to_string(&path) {
@@ -101,6 +128,23 @@ fn main() {
     if config.engine.wal.as_ref().is_some_and(|w| w.dir.as_os_str().is_empty()) {
         eprintln!("--fsync requires --wal-dir");
         usage();
+    }
+    if let Some(bytes) = budget_bytes {
+        config.engine.memory_budget = Some(MemoryBudget::pinned_bytes(bytes, shed_policy));
+    }
+    if let Ok(spec) = std::env::var("DATACELL_FAULT_PLAN") {
+        if !spec.is_empty() {
+            match FaultPlan::parse(&spec) {
+                Ok(plan) => {
+                    eprintln!("datacell-server: fault injection armed: {spec}");
+                    config.engine.faults = Faults::enabled(plan);
+                }
+                Err(e) => {
+                    eprintln!("DATACELL_FAULT_PLAN: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
     }
 
     let server = match Server::start(config) {

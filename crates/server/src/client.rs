@@ -1,10 +1,19 @@
 //! Blocking wire-protocol client — used by the integration tests, the
 //! `datacell-cli` binary and the `e10_server` load generator.
+//!
+//! Two levels of resilience are available:
+//!
+//! * [`Client::push_rows_retry`] backs off and retries when the server
+//!   sheds the push with `OVERLOADED <retry-after-ms>`;
+//! * [`ResumingSubscription`] owns its connection and transparently
+//!   reconnects (jittered exponential backoff) when the socket dies,
+//!   re-attaching with `SUBSCRIBE … AFTER <epoch> <seq>` so the stream
+//!   resumes at the last chunk it saw — across server restarts too.
 
 use std::fmt;
 use std::io::{self, Write};
 use std::net::{TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
 
 use datacell_core::ExecutionMode;
 use datacell_storage::Row;
@@ -21,6 +30,13 @@ pub enum ClientError {
     Protocol(String),
     /// The server answered `ERR <message>`.
     Server(String),
+    /// The server shed the request under admission control
+    /// (`OVERLOADED <retry-after-ms>`). Retry after the hinted backoff —
+    /// or let [`Client::push_rows_retry`] do it for you.
+    Overloaded {
+        /// Server-suggested backoff before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
 }
 
 impl fmt::Display for ClientError {
@@ -29,6 +45,9 @@ impl fmt::Display for ClientError {
             ClientError::Io(e) => write!(f, "io error: {e}"),
             ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
             ClientError::Server(m) => write!(f, "server error: {m}"),
+            ClientError::Overloaded { retry_after_ms } => {
+                write!(f, "server overloaded: retry in {retry_after_ms} ms")
+            }
         }
     }
 }
@@ -99,13 +118,20 @@ impl Client {
         }
     }
 
-    /// Read one reply line, surfacing `ERR` as [`ClientError::Server`].
+    /// Read one reply line, surfacing `ERR` as [`ClientError::Server`]
+    /// and `OVERLOADED` as [`ClientError::Overloaded`].
     fn read_reply(&mut self) -> Result<String> {
         let line = self.read_line()?;
-        match line.strip_prefix("ERR ") {
-            Some(msg) => Err(ClientError::Server(msg.to_owned())),
-            None => Ok(line),
+        if let Some(msg) = line.strip_prefix("ERR ") {
+            return Err(ClientError::Server(msg.to_owned()));
         }
+        if let Some(rest) = line.strip_prefix("OVERLOADED ") {
+            let retry_after_ms = rest.trim().parse().map_err(|_| {
+                ClientError::Protocol(format!("bad OVERLOADED hint {line:?}"))
+            })?;
+            return Err(ClientError::Overloaded { retry_after_ms });
+        }
+        Ok(line)
     }
 
     fn expect_reply(&mut self, prefix: &str) -> Result<String> {
@@ -209,6 +235,79 @@ impl Client {
             .map_err(|_| ClientError::Protocol(format!("bad push count {rest:?}")))
     }
 
+    /// [`Client::push_rows`], but when the server sheds the batch with
+    /// `OVERLOADED <retry-after-ms>` sleep the hinted backoff and retry,
+    /// up to `max_retries` additional attempts.
+    pub fn push_rows_retry(
+        &mut self,
+        stream: &str,
+        rows: &[Row],
+        max_retries: u32,
+    ) -> Result<usize> {
+        let mut attempts = 0;
+        loop {
+            match self.push_rows(stream, rows) {
+                Err(ClientError::Overloaded { retry_after_ms }) if attempts < max_retries => {
+                    attempts += 1;
+                    std::thread::sleep(Duration::from_millis(retry_after_ms.max(1)));
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// Parse a `CHUNK <query> <n> <seq>` header and read its `n` row
+    /// lines (blocking — the server writes a frame contiguously).
+    fn read_chunk_frame(&mut self, header: &str) -> Result<(u64, Vec<Row>)> {
+        let Some(rest) = header.strip_prefix("CHUNK ") else {
+            return Err(ClientError::Protocol(format!(
+                "expected CHUNK frame, got {header:?}"
+            )));
+        };
+        let mut it = rest.split_whitespace().skip(1);
+        let count: usize = it
+            .next()
+            .and_then(|n| n.parse().ok())
+            .ok_or_else(|| ClientError::Protocol(format!("bad CHUNK header {header:?}")))?;
+        let seq: u64 = it
+            .next()
+            .and_then(|n| n.parse().ok())
+            .ok_or_else(|| ClientError::Protocol(format!("bad CHUNK header {header:?}")))?;
+        let mut rows = Vec::with_capacity(count);
+        self.stream.set_read_timeout(None)?;
+        for _ in 0..count {
+            let line = self.read_line()?;
+            rows.push(decode_row(&line).map_err(|e| ClientError::Protocol(e.0))?);
+        }
+        Ok((seq, rows))
+    }
+
+    /// Send `SUBSCRIBE` and parse the
+    /// `OK SUBSCRIBED <id> <epoch> <next-seq> <names>` handshake.
+    fn start_subscription(
+        &mut self,
+        query: u64,
+        limit: Option<u64>,
+        after: Option<(u64, u64)>,
+    ) -> Result<(u64, u64, Vec<String>)> {
+        let mut cmd = format!("SUBSCRIBE {query}");
+        if let Some(n) = limit {
+            cmd.push_str(&format!(" LIMIT {n}"));
+        }
+        if let Some((epoch, seq)) = after {
+            cmd.push_str(&format!(" AFTER {epoch} {seq}"));
+        }
+        self.send_line(&cmd)?;
+        let rest = self.expect_reply("OK SUBSCRIBED ")?;
+        let mut it = rest.splitn(4, ' ');
+        let bad = || ClientError::Protocol(format!("bad SUBSCRIBED handshake {rest:?}"));
+        let _id = it.next().ok_or_else(bad)?;
+        let epoch: u64 = it.next().and_then(|t| t.parse().ok()).ok_or_else(bad)?;
+        let next_seq: u64 = it.next().and_then(|t| t.parse().ok()).ok_or_else(bad)?;
+        let names = decode_names(it.next().unwrap_or(""))?;
+        Ok((epoch, next_seq, names))
+    }
+
     /// Read a `<tag> <line-count>` framed multi-line reply body.
     fn read_framed(&mut self, tag: &str) -> Result<String> {
         let rest = self.expect_reply(&format!("{tag} "))?;
@@ -261,16 +360,14 @@ impl Client {
     /// Enter streaming mode for `query`. With a limit the server ends the
     /// stream by itself after that many chunks.
     pub fn subscribe(&mut self, query: u64, limit: Option<u64>) -> Result<Subscription<'_>> {
-        match limit {
-            Some(n) => self.send_line(&format!("SUBSCRIBE {query} LIMIT {n}"))?,
-            None => self.send_line(&format!("SUBSCRIBE {query}"))?,
-        }
-        let rest = self.expect_reply("OK SUBSCRIBED ")?;
-        let names = match rest.split_once(' ') {
-            Some((_id, names)) => decode_names(names)?,
-            None => Vec::new(),
-        };
-        Ok(Subscription { client: self, names, finished: false })
+        let (epoch, next_seq, names) = self.start_subscription(query, limit, None)?;
+        Ok(Subscription {
+            client: self,
+            names,
+            epoch,
+            last_seq: next_seq.saturating_sub(1),
+            finished: false,
+        })
     }
 
     /// Ask the server to shut down gracefully.
@@ -309,6 +406,8 @@ fn decode_names(csv: &str) -> Result<Vec<String>> {
 pub struct Subscription<'a> {
     client: &'a mut Client,
     names: Vec<String>,
+    epoch: u64,
+    last_seq: u64,
     finished: bool,
 }
 
@@ -316,6 +415,13 @@ impl Subscription<'_> {
     /// Output column names of the subscribed query.
     pub fn names(&self) -> &[String] {
         &self.names
+    }
+
+    /// Resume coordinates `(epoch, seq)` of the latest chunk delivered —
+    /// pass them to `SUBSCRIBE … AFTER <epoch> <seq>` on a fresh
+    /// connection to continue the stream where this one stands.
+    pub fn position(&self) -> (u64, u64) {
+        (self.epoch, self.last_seq)
     }
 
     /// True once the server ended the stream (`OK STOPPED` seen).
@@ -354,22 +460,8 @@ impl Subscription<'_> {
             self.finished = true;
             return Ok(None);
         }
-        let Some(rest) = header.strip_prefix("CHUNK ") else {
-            return Err(ClientError::Protocol(format!(
-                "expected CHUNK frame, got {header:?}"
-            )));
-        };
-        let count: usize = rest
-            .split_whitespace()
-            .nth(1)
-            .and_then(|n| n.parse().ok())
-            .ok_or_else(|| ClientError::Protocol(format!("bad CHUNK header {header:?}")))?;
-        let mut rows = Vec::with_capacity(count);
-        self.client.stream.set_read_timeout(None)?;
-        for _ in 0..count {
-            let line = self.client.read_line()?;
-            rows.push(decode_row(&line).map_err(|e| ClientError::Protocol(e.0))?);
-        }
+        let (seq, rows) = self.client.read_chunk_frame(header)?;
+        self.last_seq = seq;
         Ok(Some(rows))
     }
 
@@ -411,6 +503,245 @@ impl Subscription<'_> {
                 return Err(ClientError::Protocol(format!(
                     "unexpected line while resyncing after STOP: {line:?}"
                 )));
+            }
+        }
+    }
+}
+
+/// Reconnect/backoff knobs for [`ResumingSubscription`].
+#[derive(Debug, Clone, Copy)]
+pub struct ReconnectPolicy {
+    /// Consecutive failed reconnect attempts before giving up.
+    pub max_attempts: u32,
+    /// First retry delay; doubles per attempt (plus jitter) up to `cap`.
+    pub base_delay: Duration,
+    /// Upper bound on the per-attempt delay.
+    pub cap: Duration,
+}
+
+impl Default for ReconnectPolicy {
+    fn default() -> ReconnectPolicy {
+        ReconnectPolicy {
+            max_attempts: 40,
+            base_delay: Duration::from_millis(10),
+            cap: Duration::from_millis(500),
+        }
+    }
+}
+
+/// Wall-clock jitter in `0..max(delay/2, 1ms)` — the server crate
+/// deliberately carries no RNG dependency, and de-synchronising a herd
+/// of reconnecting clients only needs *spread*, not randomness quality.
+fn jitter(delay: Duration) -> Duration {
+    let span_ms = (delay.as_millis() as u64 / 2).max(1);
+    let nanos = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| u64::from(d.subsec_nanos()))
+        .unwrap_or(0);
+    Duration::from_millis(nanos % span_ms)
+}
+
+/// One streaming-mode read, decoded.
+enum Poll {
+    Idle,
+    Chunk { seq: u64, rows: Vec<Row> },
+    Stopped,
+}
+
+/// A subscription that **owns** its connection and survives losing it.
+///
+/// When the socket dies mid-stream the subscription reconnects with
+/// jittered exponential backoff (see [`ReconnectPolicy`]) and re-attaches
+/// with `SUBSCRIBE <id> AFTER <epoch> <seq>`, so the server's replay ring
+/// redelivers exactly the chunks this client has not seen — including
+/// across a server restart (the epoch changes and the new incarnation
+/// replays everything it retains for the query).
+///
+/// End-of-stream semantics: `OK STOPPED` on the wire is ambiguous — both
+/// graceful server shutdown and query deregistration end the stream that
+/// way. The subscription resolves it by re-attaching: if the new
+/// incarnation immediately ends the stream again without delivering a
+/// single chunk, the query is gone and [`ResumingSubscription::finished`]
+/// becomes true; otherwise the stream simply continues.
+pub struct ResumingSubscription {
+    addr: String,
+    query: u64,
+    policy: ReconnectPolicy,
+    client: Option<Client>,
+    names: Vec<String>,
+    epoch: u64,
+    last_seq: u64,
+    attached_once: bool,
+    chunks_since_attach: u64,
+    reconnects: u64,
+    finished: bool,
+}
+
+impl ResumingSubscription {
+    /// Subscribe to `query` at `addr` with the default reconnect policy.
+    pub fn connect(addr: impl Into<String>, query: u64) -> Result<ResumingSubscription> {
+        ResumingSubscription::connect_with(addr, query, ReconnectPolicy::default())
+    }
+
+    /// Subscribe with an explicit reconnect policy.
+    pub fn connect_with(
+        addr: impl Into<String>,
+        query: u64,
+        policy: ReconnectPolicy,
+    ) -> Result<ResumingSubscription> {
+        let mut sub = ResumingSubscription {
+            addr: addr.into(),
+            query,
+            policy,
+            client: None,
+            names: Vec::new(),
+            epoch: 0,
+            last_seq: 0,
+            attached_once: false,
+            chunks_since_attach: 0,
+            reconnects: 0,
+            finished: false,
+        };
+        sub.attach()?;
+        Ok(sub)
+    }
+
+    /// Output column names of the subscribed query.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Resume coordinates `(epoch, seq)` of the latest chunk delivered.
+    pub fn position(&self) -> (u64, u64) {
+        (self.epoch, self.last_seq)
+    }
+
+    /// How many times the subscription re-attached after losing its
+    /// connection (or riding out a server restart).
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    /// True once the stream ended for good (query deregistered).
+    pub fn finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Connect and (re-)enter streaming mode, resuming after the last
+    /// chunk seen if this is a re-attach.
+    fn attach(&mut self) -> Result<()> {
+        let mut client = Client::connect(self.addr.as_str())?;
+        let after = if self.attached_once {
+            Some((self.epoch, self.last_seq))
+        } else {
+            None
+        };
+        let (epoch, next_seq, names) = client.start_subscription(self.query, None, after)?;
+        if epoch != self.epoch {
+            // New server incarnation: fresh sequence space. The server
+            // replays everything it still retains for this query, so our
+            // cursor restarts just behind whatever is about to arrive.
+            self.epoch = epoch;
+            self.last_seq = next_seq.saturating_sub(1);
+        }
+        self.names = names;
+        self.attached_once = true;
+        self.chunks_since_attach = 0;
+        self.client = Some(client);
+        Ok(())
+    }
+
+    /// Reconnect with jittered exponential backoff until attached or the
+    /// policy's attempt budget runs out.
+    fn reattach(&mut self) -> Result<()> {
+        self.client = None;
+        let mut delay = self.policy.base_delay;
+        let mut last_err = ClientError::Protocol("reconnect budget is zero".into());
+        for _ in 0..self.policy.max_attempts.max(1) {
+            std::thread::sleep(delay + jitter(delay));
+            match self.attach() {
+                Ok(()) => {
+                    self.reconnects += 1;
+                    return Ok(());
+                }
+                Err(e) => last_err = e,
+            }
+            delay = delay.saturating_mul(2).min(self.policy.cap);
+        }
+        Err(last_err)
+    }
+
+    /// One streaming read on an attached connection.
+    fn poll(client: &mut Client, timeout: Duration) -> Result<Poll> {
+        client.stream.set_read_timeout(Some(timeout))?;
+        let header = match client.reader.poll_line()? {
+            ReadLine::Idle => return Ok(Poll::Idle),
+            ReadLine::Eof => {
+                return Err(ClientError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                )))
+            }
+            ReadLine::Overlong => {
+                return Err(ClientError::Protocol(
+                    "server frame line exceeds 1 MiB".into(),
+                ))
+            }
+            ReadLine::Line(l) => l,
+        };
+        if header.starts_with("OK STOPPED") {
+            return Ok(Poll::Stopped);
+        }
+        let (seq, rows) = client.read_chunk_frame(&header)?;
+        Ok(Poll::Chunk { seq, rows })
+    }
+
+    /// Wait up to `timeout` for the next chunk, transparently
+    /// reconnecting and resuming if the connection dies. `Ok(None)` means
+    /// either an idle timeout or the stream genuinely ended — check
+    /// [`ResumingSubscription::finished`]. Reconnect backoff happens
+    /// inside this call, so one invocation can take longer than
+    /// `timeout` while a reconnect is in progress.
+    pub fn next_chunk(&mut self, timeout: Duration) -> Result<Option<Vec<Row>>> {
+        if self.finished {
+            return Ok(None);
+        }
+        loop {
+            if self.client.is_none() {
+                self.reattach()?;
+            }
+            let step = match self.client.as_mut() {
+                Some(client) => ResumingSubscription::poll(client, timeout),
+                None => continue,
+            };
+            match step {
+                Ok(Poll::Idle) => return Ok(None),
+                Ok(Poll::Chunk { seq, rows }) => {
+                    if seq <= self.last_seq {
+                        // Defensive: never deliver a chunk twice.
+                        continue;
+                    }
+                    self.last_seq = seq;
+                    self.chunks_since_attach += 1;
+                    return Ok(Some(rows));
+                }
+                Ok(Poll::Stopped) => {
+                    if self.chunks_since_attach == 0 {
+                        // Re-attached and the stream ended again without a
+                        // single chunk: the query is gone.
+                        self.finished = true;
+                        self.client = None;
+                        return Ok(None);
+                    }
+                    // Probably a server shutdown/restart: re-attach and
+                    // let the replay ring arbitrate what we still get.
+                    self.client = None;
+                }
+                Err(ClientError::Io(_)) => {
+                    // Connection died mid-stream; resume on a fresh one.
+                    self.client = None;
+                }
+                Err(e) => return Err(e),
             }
         }
     }

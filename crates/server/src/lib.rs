@@ -14,6 +14,8 @@
 //!
 //! * [`protocol`] — line-oriented wire grammar: framing, CSV value
 //!   encoding, command parsing. No I/O.
+//! * [`replay`] — per-query retained result tails with delivery sequence
+//!   numbers, powering reconnect-with-resume (`SUBSCRIBE … AFTER`).
 //! * [`session`] — one thread per connection: command dispatch and the
 //!   streaming (subscription) mode.
 //! * [`server`] — the listener, the shared engine behind a mutex, the
@@ -47,10 +49,14 @@
 
 pub mod client;
 pub mod protocol;
+pub mod replay;
 pub mod server;
 pub mod session;
 
-pub use client::{Client, ClientError, ExecReply, Subscription};
+pub use client::{
+    Client, ClientError, ExecReply, ReconnectPolicy, ResumingSubscription, Subscription,
+};
 pub use protocol::{Command, ProtocolError};
+pub use replay::ReplayRing;
 pub use server::{Server, ServerConfig, ServerStats};
 pub use session::SessionStats;

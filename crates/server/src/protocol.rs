@@ -14,9 +14,11 @@
 //! DEREGISTER <id>                       OK DEREGISTERED <id>
 //! PUSH <stream>                         OK PUSHED <n>
 //!   <csv row> … END                       (socket-receptor bulk ingest)
-//! SUBSCRIBE <id> [LIMIT <n>]            OK SUBSCRIBED <id> <csv-names>
-//!                                       then CHUNK <id> <n> + n CSV rows …
+//! SUBSCRIBE <id> [LIMIT <n>]            OK SUBSCRIBED <id> <epoch> <next-seq>
+//!           [AFTER <epoch> <seq>]           <csv-names>
+//!                                       then CHUNK <id> <n> <seq> + n CSV rows …
 //! STOP          (while subscribed)      OK STOPPED <chunks> <rows>
+//! overloaded engine                     OVERLOADED <retry-after-ms>
 //! STATS                                 STATS <n> + n report lines
 //! STATS DETAIL                          STATS <n> + n report lines
 //!                                         (adds analyze + latency sections)
@@ -27,6 +29,13 @@
 //! QUIT                                  OK BYE
 //! any error                             ERR <message>
 //! ```
+//!
+//! Every `CHUNK` frame carries the query's monotonically increasing
+//! result sequence number, scoped to one server incarnation (the
+//! `<epoch>` of the subscribe handshake). A reconnecting client replays
+//! its position with `AFTER <epoch> <seq>`: same epoch → the server
+//! resumes from the first retained chunk after `seq`; different epoch
+//! (the server restarted) → it replays everything still retained.
 //!
 //! Multi-line replies carry an exact line count up front, so a client
 //! never needs a terminator scan. Values are CSV-encoded per
@@ -83,6 +92,9 @@ pub enum Command {
         query: u64,
         /// Auto-stop after this many chunks (None = until STOP/close).
         limit: Option<u64>,
+        /// Resume position: `(epoch, last-seen-seq)` from a previous
+        /// incarnation of this subscription (None = future chunks only).
+        after: Option<(u64, u64)>,
     },
     /// Leave streaming mode (only meaningful while subscribed).
     Stop,
@@ -154,23 +166,40 @@ pub fn parse_command(line: &str) -> Result<Command, ProtocolError> {
             Ok(Command::Push(rest.to_owned()))
         }
         "SUBSCRIBE" => {
+            const SYNTAX: &str =
+                "SUBSCRIBE syntax: SUBSCRIBE <id> [LIMIT <n>] [AFTER <epoch> <seq>]";
             let mut parts = rest.split_whitespace();
             let id = parts
                 .next()
                 .and_then(|t| t.parse::<u64>().ok())
                 .ok_or_else(|| err(format!("SUBSCRIBE requires a query id, got {rest:?}")))?;
-            let limit = match (parts.next().map(str::to_ascii_uppercase), parts.next()) {
-                (None, _) => None,
-                (Some(kw), Some(n)) if kw == "LIMIT" => Some(
-                    n.parse::<u64>()
-                        .map_err(|_| err(format!("LIMIT requires a count, got {n:?}")))?,
-                ),
-                _ => return Err(err("SUBSCRIBE syntax: SUBSCRIBE <id> [LIMIT <n>]")),
-            };
-            if parts.next().is_some() {
-                return Err(err("SUBSCRIBE syntax: SUBSCRIBE <id> [LIMIT <n>]"));
+            let mut limit = None;
+            let mut after = None;
+            while let Some(kw) = parts.next() {
+                match kw.to_ascii_uppercase().as_str() {
+                    "LIMIT" if limit.is_none() => {
+                        let n = parts.next().ok_or_else(|| err(SYNTAX))?;
+                        limit = Some(
+                            n.parse::<u64>().map_err(|_| {
+                                err(format!("LIMIT requires a count, got {n:?}"))
+                            })?,
+                        );
+                    }
+                    "AFTER" if after.is_none() => {
+                        let epoch = parts
+                            .next()
+                            .and_then(|t| t.parse::<u64>().ok())
+                            .ok_or_else(|| err(SYNTAX))?;
+                        let seq = parts
+                            .next()
+                            .and_then(|t| t.parse::<u64>().ok())
+                            .ok_or_else(|| err(SYNTAX))?;
+                        after = Some((epoch, seq));
+                    }
+                    _ => return Err(err(SYNTAX)),
+                }
             }
-            Ok(Command::Subscribe { query: id, limit })
+            Ok(Command::Subscribe { query: id, limit, after })
         }
         "STOP" => expect_empty("STOP").map(|()| Command::Stop),
         "STATS" => {
@@ -266,9 +295,10 @@ pub fn encode_names(names: &[String]) -> String {
 }
 
 /// Encode one result chunk as a `CHUNK` frame (header + rows, each line
-/// `\n`-terminated).
-pub fn encode_chunk(query: u64, chunk: &Chunk) -> String {
-    let mut out = format!("CHUNK {query} {}\n", chunk.len());
+/// `\n`-terminated). `seq` is the chunk's per-query delivery sequence
+/// number — the client's resume cursor.
+pub fn encode_chunk(query: u64, seq: u64, chunk: &Chunk) -> String {
+    let mut out = format!("CHUNK {query} {} {seq}\n", chunk.len());
     for row in chunk.rows() {
         out.push_str(&encode_row(&row));
         out.push('\n');
@@ -472,16 +502,28 @@ mod tests {
     fn parse_subscribe_forms() {
         assert_eq!(
             parse_command("SUBSCRIBE 3").unwrap(),
-            Command::Subscribe { query: 3, limit: None }
+            Command::Subscribe { query: 3, limit: None, after: None }
         );
         assert_eq!(
             parse_command("SUBSCRIBE 3 LIMIT 10").unwrap(),
-            Command::Subscribe { query: 3, limit: Some(10) }
+            Command::Subscribe { query: 3, limit: Some(10), after: None }
+        );
+        assert_eq!(
+            parse_command("SUBSCRIBE 3 AFTER 17 42").unwrap(),
+            Command::Subscribe { query: 3, limit: None, after: Some((17, 42)) }
+        );
+        assert_eq!(
+            parse_command("SUBSCRIBE 3 LIMIT 5 AFTER 17 42").unwrap(),
+            Command::Subscribe { query: 3, limit: Some(5), after: Some((17, 42)) }
         );
         assert!(parse_command("SUBSCRIBE").is_err());
         assert!(parse_command("SUBSCRIBE x").is_err());
         assert!(parse_command("SUBSCRIBE 3 LIMIT").is_err());
         assert!(parse_command("SUBSCRIBE 3 LIMIT 1 junk").is_err());
+        assert!(parse_command("SUBSCRIBE 3 AFTER 17").is_err());
+        assert!(parse_command("SUBSCRIBE 3 AFTER 17 x").is_err());
+        assert!(parse_command("SUBSCRIBE 3 AFTER 1 2 AFTER 3 4").is_err());
+        assert!(parse_command("SUBSCRIBE 3 LIMIT 1 LIMIT 2").is_err());
     }
 
     #[test]
@@ -615,8 +657,8 @@ mod tests {
             Bat::from_floats(vec![0.5, 1.5]),
         ])
         .unwrap();
-        let frame = encode_chunk(9, &chunk);
-        assert_eq!(frame, "CHUNK 9 2\n1,0.5\n2,1.5\n");
+        let frame = encode_chunk(9, 31, &chunk);
+        assert_eq!(frame, "CHUNK 9 2 31\n1,0.5\n2,1.5\n");
     }
 
     #[test]

@@ -1,0 +1,193 @@
+//! Per-query replay rings: the server-side half of reconnect-with-resume.
+//!
+//! Every subscribed query gets one [`ReplayRing`], fed by an internal
+//! *tap* emitter ([`datacell_core::DataCell::subscribe`]) that the server
+//! keeps alive across client disconnects. The ring assigns each result
+//! chunk a monotonically increasing **sequence number** (scoped to one
+//! server incarnation, identified by its *epoch*) and retains the most
+//! recent `capacity` chunks. A session streams by cursor: "give me every
+//! retained chunk with `seq > cursor`" — so a client that reconnects with
+//! `AFTER <epoch> <seq>` resumes exactly where it left off, as long as
+//! the gap fits in the ring.
+//!
+//! Latency accounting contract (see `emitter.rs` in `datacell-core`):
+//! a chunk's ingest stamp is consumed by the **first** delivery — the
+//! fetch that advances the ring's stamp watermark keeps the stamp (the
+//! session records wire-delivery latency from it), every later fetch of
+//! the same chunk (a replay to a reconnecting or second subscriber)
+//! clears it, so stale arrival ticks never pollute the
+//! `datacell_wire_delivery_us` histogram.
+
+use std::collections::VecDeque;
+
+use datacell_core::Emitter;
+use datacell_storage::{Chunk, IngestStamp};
+
+/// One query's retained result tail, with delivery sequence numbers.
+pub struct ReplayRing {
+    tap: Emitter,
+    buf: VecDeque<(u64, Chunk)>,
+    /// Sequence number the next produced chunk will get (first is 1).
+    next_seq: u64,
+    /// Highest sequence number already delivered with its stamp intact.
+    stamped_floor: u64,
+    capacity: usize,
+}
+
+impl ReplayRing {
+    /// Wrap a tap emitter; retain at most `capacity` chunks.
+    pub fn new(tap: Emitter, capacity: usize) -> ReplayRing {
+        ReplayRing {
+            tap,
+            buf: VecDeque::new(),
+            next_seq: 1,
+            stamped_floor: 0,
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Pull everything buffered on the tap into the ring, assigning
+    /// sequence numbers and evicting the oldest chunks beyond capacity.
+    pub fn drain_tap(&mut self) {
+        while let Some(chunk) = self.tap.try_next() {
+            self.buf.push_back((self.next_seq, chunk));
+            self.next_seq += 1;
+            while self.buf.len() > self.capacity {
+                // Evicted undelivered chunks die with their stamps: no
+                // latency sample, same as an emitter overflow drop.
+                self.buf.pop_front();
+            }
+        }
+    }
+
+    /// Sequence number the next produced chunk will receive.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Oldest sequence number still retained (== `next_seq` when empty).
+    pub fn oldest_retained(&self) -> u64 {
+        self.buf.front().map_or(self.next_seq, |(seq, _)| *seq)
+    }
+
+    /// Whether the engine closed the tap (query deregistered / shutdown)
+    /// — no further chunks will ever arrive.
+    pub fn is_closed(&self) -> bool {
+        self.tap.is_closed()
+    }
+
+    /// Clone out up to `max` retained chunks with `seq > cursor`, oldest
+    /// first. The first delivery of a chunk keeps its ingest stamp;
+    /// replays get it stripped (see the module docs).
+    pub fn fetch_after(&mut self, cursor: u64, max: usize) -> Vec<(u64, Chunk)> {
+        let mut out = Vec::new();
+        for (seq, chunk) in &self.buf {
+            if *seq <= cursor {
+                continue;
+            }
+            if out.len() >= max {
+                break;
+            }
+            let mut chunk = chunk.clone();
+            if *seq > self.stamped_floor {
+                self.stamped_floor = *seq;
+            } else {
+                chunk.set_stamp(IngestStamp::default());
+            }
+            out.push((*seq, chunk));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datacell_core::EmitterSender;
+    use datacell_storage::Bat;
+    use std::time::Instant;
+
+    fn chunk(v: i64) -> Chunk {
+        Chunk::new(vec![Bat::from_ints(vec![v])])
+            .expect("one-column chunk")
+            .with_stamp(IngestStamp::at(Instant::now()))
+    }
+
+    fn ring(capacity: usize) -> (EmitterSender, ReplayRing) {
+        let (tx, rx) = datacell_core::emitter::channel(0, None);
+        (tx, ReplayRing::new(rx, capacity))
+    }
+
+    #[test]
+    fn sequences_are_monotonic_and_cursor_fetch_is_exact() {
+        let (tx, mut ring) = ring(16);
+        for v in 1..=4 {
+            tx.send(chunk(v)).expect("send");
+        }
+        ring.drain_tap();
+        assert_eq!(ring.next_seq(), 5);
+        assert_eq!(ring.oldest_retained(), 1);
+        let all: Vec<u64> = ring.fetch_after(0, usize::MAX).iter().map(|(s, _)| *s).collect();
+        assert_eq!(all, vec![1, 2, 3, 4]);
+        let tail: Vec<u64> = ring.fetch_after(2, usize::MAX).iter().map(|(s, _)| *s).collect();
+        assert_eq!(tail, vec![3, 4]);
+        assert!(ring.fetch_after(4, usize::MAX).is_empty());
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let (tx, mut ring) = ring(2);
+        for v in 1..=5 {
+            tx.send(chunk(v)).expect("send");
+        }
+        ring.drain_tap();
+        assert_eq!(ring.oldest_retained(), 4);
+        let got: Vec<u64> = ring.fetch_after(0, usize::MAX).iter().map(|(s, _)| *s).collect();
+        assert_eq!(got, vec![4, 5], "a cursor before the floor gets what is left");
+    }
+
+    #[test]
+    fn replays_are_stamp_stripped() {
+        let (tx, mut ring) = ring(8);
+        tx.send(chunk(1)).expect("send");
+        tx.send(chunk(2)).expect("send");
+        ring.drain_tap();
+        // First delivery: stamps intact (latency chain closes here).
+        let first = ring.fetch_after(0, usize::MAX);
+        assert!(first.iter().all(|(_, c)| c.stamp().instant().is_some()));
+        // Replay to a reconnecting subscriber: stamps stripped.
+        let replay = ring.fetch_after(0, usize::MAX);
+        assert!(replay.iter().all(|(_, c)| c.stamp().instant().is_none()));
+        // A genuinely new chunk keeps its stamp even after the replay.
+        tx.send(chunk(3)).expect("send");
+        ring.drain_tap();
+        let next = ring.fetch_after(2, usize::MAX);
+        assert_eq!(next.len(), 1);
+        assert!(next[0].1.stamp().instant().is_some());
+    }
+
+    #[test]
+    fn fetch_respects_max() {
+        let (tx, mut ring) = ring(16);
+        for v in 1..=4 {
+            tx.send(chunk(v)).expect("send");
+        }
+        ring.drain_tap();
+        let got: Vec<u64> = ring.fetch_after(0, 2).iter().map(|(s, _)| *s).collect();
+        assert_eq!(got, vec![1, 2]);
+        // Chunks beyond the budget were not touched: their first-delivery
+        // stamps are still pending.
+        let rest = ring.fetch_after(2, usize::MAX);
+        assert!(rest.iter().all(|(_, c)| c.stamp().instant().is_some()));
+    }
+
+    #[test]
+    fn closed_tap_is_visible() {
+        let (tx, mut ring) = ring(4);
+        tx.send(chunk(1)).expect("send");
+        drop(tx);
+        assert!(ring.is_closed());
+        ring.drain_tap();
+        assert_eq!(ring.fetch_after(0, usize::MAX).len(), 1, "buffered chunks still drain");
+    }
+}

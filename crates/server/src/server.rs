@@ -17,15 +17,19 @@
 //!   sessions end their `CHUNK` streams, unblocks `accept` with a
 //!   self-connection, and joins every thread.
 
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, SystemTime};
 
-use datacell_core::{DataCell, DataCellConfig};
+use datacell_core::{DataCell, DataCellConfig, EngineError};
+use datacell_storage::Chunk;
 
+use crate::replay::ReplayRing;
 use crate::session::{run_session, SessionStats};
 
 /// Server construction parameters.
@@ -42,6 +46,22 @@ pub struct ServerConfig {
     /// Fallback interval at which the pump thread fires the scheduler
     /// even without an explicit work signal.
     pub pump_interval: Duration,
+    /// Result chunks retained per subscribed query for
+    /// reconnect-with-resume (`SUBSCRIBE … AFTER`): a reconnecting client
+    /// can recover at most this many missed chunks.
+    pub replay_capacity: usize,
+    /// Close command-mode sessions with no input for this long (`None` =
+    /// never). Streaming sessions are exempt — a subscriber is legitimately
+    /// quiet for hours.
+    pub idle_timeout: Option<Duration>,
+    /// A `PUSH` block must reach its `END` within this deadline of the
+    /// last row received, or the batch is discarded with an `ERR` (a
+    /// stalled producer must not pin a session forever mid-frame).
+    pub push_frame_timeout: Duration,
+    /// Socket write deadline per reply/chunk (`None` = block forever). A
+    /// wedged client that stops reading eventually errors the write and
+    /// frees the session thread.
+    pub write_timeout: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -58,8 +78,21 @@ impl Default for ServerConfig {
             },
             init_script: None,
             pump_interval: Duration::from_millis(50),
+            replay_capacity: 256,
+            idle_timeout: Some(Duration::from_secs(300)),
+            push_frame_timeout: Duration::from_secs(10),
+            write_timeout: Some(Duration::from_secs(30)),
         }
     }
+}
+
+/// The per-session resilience knobs, copied out of [`ServerConfig`] into
+/// [`SharedState`] so session threads never need the whole config.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SessionTuning {
+    pub idle_timeout: Option<Duration>,
+    pub push_frame_timeout: Duration,
+    pub write_timeout: Option<Duration>,
 }
 
 /// Server-wide counters, aggregated across all sessions (atomics so
@@ -134,11 +167,21 @@ pub struct ServerStats {
 }
 
 /// State shared by the listener, pump and every session thread.
+///
+/// Lock order: **engine before rings** — a thread holding the rings lock
+/// must never take the engine lock.
 pub(crate) struct SharedState {
     engine: Mutex<DataCell>,
     work: Condvar,
     shutdown: AtomicBool,
     pub(crate) stats: StatCounters,
+    /// Incarnation id (start-time millis): scope of replay sequence
+    /// numbers. A client resuming with a different epoch gets the oldest
+    /// retained chunks instead of a seq-based resume.
+    pub(crate) epoch: u64,
+    rings: Mutex<HashMap<u64, ReplayRing>>,
+    replay_capacity: usize,
+    pub(crate) tuning: SessionTuning,
 }
 
 impl SharedState {
@@ -146,6 +189,10 @@ impl SharedState {
     /// panicked session must not wedge the whole server).
     pub(crate) fn lock_engine(&self) -> MutexGuard<'_, DataCell> {
         self.engine.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn lock_rings(&self) -> MutexGuard<'_, HashMap<u64, ReplayRing>> {
+        self.rings.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Signal the pump thread that new work may be pending.
@@ -160,6 +207,72 @@ impl SharedState {
     pub(crate) fn request_shutdown(&self) {
         self.shutdown.store(true, Ordering::Release);
         self.work.notify_all();
+    }
+
+    /// Make sure `query` has a replay ring (creating its engine tap on
+    /// first subscribe), then place a cursor for a (re)connecting
+    /// subscriber. Returns `(cursor, next_seq)`: the session delivers
+    /// chunks with `seq > cursor`, and `next_seq = cursor + 1` is echoed
+    /// in the subscribe handshake.
+    pub(crate) fn attach_subscriber(
+        &self,
+        query: u64,
+        after: Option<(u64, u64)>,
+    ) -> Result<(u64, u64), EngineError> {
+        // Engine lock strictly before the rings lock.
+        let mut engine = self.lock_engine();
+        let mut rings = self.lock_rings();
+        if let Entry::Vacant(slot) = rings.entry(query) {
+            let tap = engine.subscribe(query)?;
+            slot.insert(ReplayRing::new(tap, self.replay_capacity));
+        }
+        drop(engine);
+        let Some(ring) = rings.get_mut(&query) else {
+            // Unreachable: inserted above; keep the deny-path panic-free.
+            return Err(EngineError::UnknownQuery(query));
+        };
+        ring.drain_tap();
+        let cursor = match after {
+            // Same incarnation: resume right after the client's last seen
+            // chunk (chunks already evicted are simply gone — bounded ring).
+            Some((epoch, seq)) if epoch == self.epoch => seq,
+            // Server restarted (or first contact): replay everything still
+            // retained, which for a fresh ring means "future chunks only".
+            Some(_) => ring.oldest_retained().saturating_sub(1),
+            None => ring.next_seq().saturating_sub(1),
+        };
+        Ok((cursor, cursor + 1))
+    }
+
+    /// Drain the query's tap and clone out up to `max` chunks after
+    /// `cursor`. Returns the batch plus whether the ring is closed
+    /// (deregistered / engine shutdown — once drained, the stream is
+    /// over).
+    pub(crate) fn fetch_ring(
+        &self,
+        query: u64,
+        cursor: u64,
+        max: usize,
+    ) -> (Vec<(u64, Chunk)>, bool) {
+        let mut rings = self.lock_rings();
+        match rings.get_mut(&query) {
+            Some(ring) => {
+                ring.drain_tap();
+                (ring.fetch_after(cursor, max), ring.is_closed())
+            }
+            None => (Vec::new(), true),
+        }
+    }
+
+    /// Pull every ring's tap forward so sequence numbers are assigned and
+    /// chunks retained even while no subscriber is attached. (Rings of
+    /// deregistered queries stay, closed, so a late resume sees a clean
+    /// end-of-stream rather than an unknown query.)
+    pub(crate) fn drain_rings(&self) {
+        let mut rings = self.lock_rings();
+        for ring in rings.values_mut() {
+            ring.drain_tap();
+        }
     }
 }
 
@@ -190,12 +303,36 @@ impl Server {
         }
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
+        let epoch = SystemTime::now()
+            .duration_since(SystemTime::UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
         let shared = Arc::new(SharedState {
             engine: Mutex::new(engine),
             work: Condvar::new(),
             shutdown: AtomicBool::new(false),
             stats: StatCounters::default(),
+            epoch,
+            rings: Mutex::new(HashMap::new()),
+            replay_capacity: config.replay_capacity,
+            tuning: SessionTuning {
+                idle_timeout: config.idle_timeout,
+                push_frame_timeout: config.push_frame_timeout,
+                write_timeout: config.write_timeout,
+            },
         });
+        // Prime a replay ring for every recovered query *before* the
+        // listener opens: chunks fired between recovery and the first
+        // subscriber re-attaching are retained for resume, not dropped.
+        {
+            let mut engine = shared.lock_engine();
+            let mut rings = shared.lock_rings();
+            for query in engine.query_ids() {
+                if let Ok(tap) = engine.subscribe(query) {
+                    rings.insert(query, ReplayRing::new(tap, shared.replay_capacity));
+                }
+            }
+        }
         let sessions: Arc<Mutex<Vec<JoinHandle<SessionStats>>>> =
             Arc::new(Mutex::new(Vec::new()));
 
@@ -225,6 +362,12 @@ impl Server {
     /// The bound address (resolves port 0).
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// This incarnation's epoch — the scope of replay sequence numbers
+    /// (echoed to clients in the `SUBSCRIBE` handshake).
+    pub fn epoch(&self) -> u64 {
+        self.shared.epoch
     }
 
     /// Whether some session issued `SHUTDOWN` (or [`Server::shutdown`]
@@ -330,5 +473,8 @@ fn pump_loop(shared: &Arc<SharedState>, interval: Duration) {
             break;
         }
         let _ = engine.run_until_idle();
+        // Advance every replay ring even with no subscriber attached, so
+        // sequence numbers exist the moment a client (re)subscribes.
+        shared.drain_rings();
     }
 }

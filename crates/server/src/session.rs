@@ -8,20 +8,27 @@
 //!   duration of the command), write the reply;
 //! * **streaming mode** — after `SUBSCRIBE`, the connection becomes an
 //!   *emitter* (paper §3): result chunks are pumped from the query's
-//!   bounded subscriber queue to the socket as `CHUNK` frames until the
-//!   client sends `STOP`, the chunk limit is reached, the subscription is
-//!   closed engine-side, or the connection drops.
+//!   server-side [`ReplayRing`](crate::replay::ReplayRing) to the socket
+//!   as `CHUNK <id> <n> <seq>` frames until the client sends `STOP`, the
+//!   chunk limit is reached, the subscription is closed engine-side, or
+//!   the connection drops. The ring outlives the connection, so a client
+//!   reconnecting with `SUBSCRIBE … AFTER <epoch> <seq>` resumes from its
+//!   last delivered chunk.
 //!
 //! All socket reads go through [`LineReader`] with a short read timeout,
 //! so every blocking point periodically rechecks the server's shutdown
-//! flag and streaming sessions can poll the socket and the emitter from a
-//! single thread.
+//! flag and streaming sessions can poll the socket and the ring from a
+//! single thread. Sessions also carry resilience deadlines (see
+//! [`ServerConfig`](crate::ServerConfig)): idle command-mode sessions are
+//! reaped, a `PUSH` block must reach `END` within its frame timeout, and
+//! socket writes carry a deadline so a wedged client cannot pin the
+//! thread.
 
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use datacell_core::{EngineError, EngineObs, ExecOutcome};
 use datacell_storage::{Chunk, Row};
@@ -163,6 +170,9 @@ enum Input {
     Overlong,
     /// Connection closed (or server shutting down).
     Closed,
+    /// The caller's deadline passed with no input (idle reaping or a
+    /// stalled `PUSH` frame).
+    TimedOut,
 }
 
 /// Why the session loop ended.
@@ -194,6 +204,9 @@ struct Session {
 impl Session {
     fn new(stream: TcpStream, shared: Arc<SharedState>) -> io::Result<Session> {
         stream.set_read_timeout(Some(COMMAND_POLL))?;
+        // A wedged client that stops reading must not pin this thread on
+        // a blocking write forever.
+        stream.set_write_timeout(shared.tuning.write_timeout)?;
         stream.set_nodelay(true).ok();
         let reader = LineReader::new(stream.try_clone()?);
         Ok(Session { reader, writer: stream, shared, stats: SessionStats::default() })
@@ -215,14 +228,27 @@ impl Session {
         self.send(&line)
     }
 
+    /// Report an engine failure. Admission-control sheds get the
+    /// dedicated retryable `OVERLOADED <retry-after-ms>` line so clients
+    /// can tell "back off and retry" from a hard `ERR`.
+    fn send_engine_err(&mut self, e: &EngineError) -> io::Result<()> {
+        if let EngineError::Overloaded { retry_after_ms } = e {
+            self.stats.errors += 1;
+            self.shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+            return self.send(&format!("OVERLOADED {retry_after_ms}\n"));
+        }
+        self.send_err(&e.to_string())
+    }
+
     fn count_pushed(&mut self, n: u64) {
         self.stats.rows_pushed += n;
         self.shared.stats.rows_pushed.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Block for the next input event, honouring the shutdown flag at
-    /// every read-timeout tick.
-    fn next_input(&mut self) -> io::Result<Input> {
+    /// every read-timeout tick. A passed `deadline` turns prolonged
+    /// silence into [`Input::TimedOut`] instead of waiting forever.
+    fn next_input(&mut self, deadline: Option<Instant>) -> io::Result<Input> {
         loop {
             match self.reader.poll_line()? {
                 ReadLine::Line(l) => return Ok(Input::Line(l)),
@@ -232,6 +258,9 @@ impl Session {
                     if self.shared.is_shutdown() {
                         return Ok(Input::Closed);
                     }
+                    if deadline.is_some_and(|d| Instant::now() >= d) {
+                        return Ok(Input::TimedOut);
+                    }
                 }
             }
         }
@@ -239,8 +268,15 @@ impl Session {
 
     fn run(&mut self) -> io::Result<()> {
         loop {
-            let line = match self.next_input()? {
+            let deadline = self.shared.tuning.idle_timeout.map(|t| Instant::now() + t);
+            let line = match self.next_input(deadline)? {
                 Input::Line(l) => l,
+                Input::TimedOut => {
+                    // Idle-session reaping: tell the client why, then hang
+                    // up (best effort — it may be long gone).
+                    let _ = self.send("ERR idle session reaped\n");
+                    break;
+                }
                 Input::Overlong => {
                     // A framing error, not a fatal one: answer ERR and
                     // keep the session alive (the reader resynced at the
@@ -312,7 +348,9 @@ impl Session {
                 }
             }
             Command::Push(stream) => self.push(&stream)?,
-            Command::Subscribe { query, limit } => return self.subscribe(query, limit),
+            Command::Subscribe { query, limit, after } => {
+                return self.subscribe(query, limit, after)
+            }
             Command::Stats => self.stats_report(false)?,
             Command::StatsDetail => self.stats_report(true)?,
             Command::Metrics => {
@@ -369,7 +407,7 @@ impl Session {
                 }
                 self.send(&reply)
             }
-            Err(e) => self.send_err(&e.to_string()),
+            Err(e) => self.send_engine_err(&e),
         }
     }
 
@@ -382,8 +420,21 @@ impl Session {
         let mut rows: Vec<Row> = Vec::new();
         let mut bad: Option<String> = None;
         loop {
-            let line = match self.next_input()? {
+            // In-frame deadline: a producer that stalls mid-block (between
+            // `PUSH` and `END`) must not pin the session forever. The
+            // deadline restarts with every row received.
+            let deadline = Instant::now() + self.shared.tuning.push_frame_timeout;
+            let line = match self.next_input(Some(deadline))? {
                 Input::Line(l) => l,
+                Input::TimedOut => {
+                    // Nothing was applied; the reader is still line-synced,
+                    // so the session survives. Any stragglers of the
+                    // abandoned block will bounce off parse_command.
+                    return self.send_err(&format!(
+                        "PUSH {stream}: no END within {:?}; batch discarded",
+                        self.shared.tuning.push_frame_timeout
+                    ));
+                }
                 Input::Overlong => {
                     // An oversize row poisons the batch but not the
                     // session: keep consuming through END, then ERR.
@@ -431,26 +482,44 @@ impl Session {
                 self.shared.notify_work();
                 self.send(&format!("OK PUSHED {n}\n"))
             }
-            Err(e) => self.send_err(&e.to_string()),
+            Err(e) => self.send_engine_err(&e),
         }
     }
 
-    /// Streaming mode: the connection becomes this query's emitter.
-    fn subscribe(&mut self, query: u64, limit: Option<u64>) -> io::Result<Option<Exit>> {
-        let subscribed = {
-            let mut engine = self.shared.lock_engine();
-            engine.output_names(query).and_then(|names| {
-                engine.subscribe(query).map(|em| (names, em, engine.obs().clone()))
-            })
+    /// Streaming mode: the connection becomes this query's emitter,
+    /// reading from the query's server-side replay ring by cursor. A plain
+    /// `SUBSCRIBE` starts at "future chunks only"; `AFTER <epoch> <seq>`
+    /// resumes a previous incarnation of the subscription.
+    fn subscribe(
+        &mut self,
+        query: u64,
+        limit: Option<u64>,
+        after: Option<(u64, u64)>,
+    ) -> io::Result<Option<Exit>> {
+        let prepared = {
+            let engine = self.shared.lock_engine();
+            engine.output_names(query).map(|names| (names, engine.obs().clone()))
         };
-        let (names, emitter, obs) = match subscribed {
-            Ok(triple) => triple,
+        let (names, obs) = match prepared {
+            Ok(pair) => pair,
             Err(e) => {
-                self.send_err(&e.to_string())?;
+                self.send_engine_err(&e)?;
                 return Ok(None);
             }
         };
-        self.send(&format!("OK SUBSCRIBED {query} {}\n", encode_names(&names)))?;
+        let mut cursor = match self.shared.attach_subscriber(query, after) {
+            Ok((cursor, _next_seq)) => cursor,
+            Err(e) => {
+                self.send_engine_err(&e)?;
+                return Ok(None);
+            }
+        };
+        self.send(&format!(
+            "OK SUBSCRIBED {query} {} {} {}\n",
+            self.shared.epoch,
+            cursor + 1,
+            encode_names(&names)
+        ))?;
 
         self.writer.set_read_timeout(Some(STREAM_POLL))?;
         let mut counters = (0u64, 0u64); // (chunks, rows)
@@ -458,40 +527,33 @@ impl Session {
             if self.shared.is_shutdown() {
                 // Final drain: chunks of already-acknowledged batches must
                 // still reach the client before the stream ends.
-                self.forward_buffered(&emitter, &obs, query, limit, &mut counters)?;
+                self.forward_ring(query, &obs, &mut cursor, limit, &mut counters)?;
                 break Some(Exit::Shutdown);
             }
-            // 1. Client input: STOP, connection close, or garbage.
+            // 1. Client input: STOP, connection close, or garbage. The
+            //    STREAM_POLL read timeout paces the loop.
             match self.reader.poll_line()? {
                 ReadLine::Eof => break Some(Exit::Closed),
                 ReadLine::Overlong => self.send_err(OVERLONG_MSG)?,
                 ReadLine::Line(l) => match parse_command(&l) {
                     Ok(Command::Stop) => {
-                        self.forward_buffered(&emitter, &obs, query, limit, &mut counters)?;
+                        self.forward_ring(query, &obs, &mut cursor, limit, &mut counters)?;
                         break None;
                     }
                     _ => self.send_err("only STOP is accepted while subscribed")?,
                 },
                 ReadLine::Idle => {}
             }
-            // 2. Emitter output: forward everything buffered.
-            if self.forward_buffered(&emitter, &obs, query, limit, &mut counters)? {
+            // 2. Ring output: forward everything retained past the cursor.
+            let (limit_hit, closed) =
+                self.forward_ring(query, &obs, &mut cursor, limit, &mut counters)?;
+            if limit_hit {
                 break None;
             }
-            if emitter.is_closed() {
-                // Deregistered or engine shutdown: drain what is left and
-                // end the stream politely.
-                self.forward_buffered(&emitter, &obs, query, limit, &mut counters)?;
+            if closed {
+                // Deregistered or engine shutdown: the ring is drained and
+                // no more chunks can arrive — end the stream politely.
                 break None;
-            }
-            // 3. Idle: wait for the next chunk (bounded so step 1 reruns).
-            if let Some(chunk) = emitter.next_timeout(STREAM_POLL) {
-                self.send_chunk(&obs, query, &chunk)?;
-                counters.0 += 1;
-                counters.1 += chunk.len() as u64;
-                if limit.is_some_and(|l| counters.0 >= l) {
-                    break None;
-                }
             }
         };
         let (chunks, rows) = counters;
@@ -505,36 +567,54 @@ impl Session {
         // than a bare EOF.
         self.send(&format!("OK STOPPED {chunks} {rows}\n"))?;
         Ok(exit)
-        // Dropping the emitter deregisters this subscriber: the engine
-        // prunes the matching sender on its next delivery.
+        // The ring (and its engine tap) deliberately survives this
+        // session: that retained tail is what a reconnecting client
+        // resumes from.
     }
 
-    /// Forward everything currently buffered on the emitter, updating
-    /// `(chunks, rows)` counters. Returns true once the chunk limit is
-    /// reached.
-    fn forward_buffered(
+    /// Forward every retained chunk past `cursor`, updating the cursor
+    /// and the `(chunks, rows)` counters. Returns `(limit_reached,
+    /// ring_closed_and_drained)`.
+    fn forward_ring(
         &mut self,
-        emitter: &datacell_core::Emitter,
-        obs: &EngineObs,
         query: u64,
+        obs: &EngineObs,
+        cursor: &mut u64,
         limit: Option<u64>,
         counters: &mut (u64, u64),
-    ) -> io::Result<bool> {
-        while limit.is_none_or(|l| counters.0 < l) {
-            let Some(chunk) = emitter.try_next() else { return Ok(false) };
-            self.send_chunk(obs, query, &chunk)?;
-            counters.0 += 1;
-            counters.1 += chunk.len() as u64;
+    ) -> io::Result<(bool, bool)> {
+        loop {
+            let budget = match limit {
+                Some(l) if counters.0 >= l => return Ok((true, false)),
+                Some(l) => (l - counters.0) as usize,
+                None => usize::MAX,
+            };
+            let (batch, closed) = self.shared.fetch_ring(query, *cursor, budget);
+            if batch.is_empty() {
+                return Ok((false, closed));
+            }
+            for (seq, chunk) in batch {
+                self.send_chunk(obs, query, seq, &chunk)?;
+                *cursor = seq;
+                counters.0 += 1;
+                counters.1 += chunk.len() as u64;
+            }
         }
-        Ok(true)
     }
 
     /// Write one `CHUNK` frame, then close the lifecycle latency chain:
     /// the chunk's ingest stamp (the arrival tick of its newest
     /// contributing tuple) to "bytes handed to the socket" is the
-    /// wire-delivery latency.
-    fn send_chunk(&mut self, obs: &EngineObs, query: u64, chunk: &Chunk) -> io::Result<()> {
-        self.send(&encode_chunk(query, chunk))?;
+    /// wire-delivery latency. Replayed chunks arrive stamp-stripped from
+    /// the ring, so re-deliveries never pollute the histogram.
+    fn send_chunk(
+        &mut self,
+        obs: &EngineObs,
+        query: u64,
+        seq: u64,
+        chunk: &Chunk,
+    ) -> io::Result<()> {
+        self.send(&encode_chunk(query, seq, chunk))?;
         if let Some(arrived) = chunk.stamp().instant() {
             let us = arrived.elapsed().as_micros().min(u64::MAX as u128) as u64;
             obs.record_wire_delivery_us(us);

@@ -90,10 +90,13 @@ fn full_loop_byte_identical_to_in_process_windowed() {
         cell.push_rows("s", &rows_int(batch)).unwrap();
         cell.run_until_idle().unwrap();
     }
+    // Sequence numbers start at 1 in a fresh server incarnation and the
+    // subscription precedes every push, so the ring assigns 1..=N.
     let expected: String = emitter
         .drain()
         .iter()
-        .map(|chunk| encode_chunk(ref_q, chunk))
+        .enumerate()
+        .map(|(i, chunk)| encode_chunk(ref_q, i as u64 + 1, chunk))
         .collect();
     assert!(!expected.is_empty(), "reference produced no chunks");
 
@@ -163,10 +166,13 @@ fn full_loop_byte_identical_echo_with_mixed_types() {
         cell.push_rows("t", batch).unwrap();
         cell.run_until_idle().unwrap();
     }
+    // Sequence numbers start at 1 in a fresh server incarnation and the
+    // subscription precedes every push, so the ring assigns 1..=N.
     let expected: String = emitter
         .drain()
         .iter()
-        .map(|chunk| encode_chunk(ref_q, chunk))
+        .enumerate()
+        .map(|(i, chunk)| encode_chunk(ref_q, i as u64 + 1, chunk))
         .collect();
 
     let server = start_server();

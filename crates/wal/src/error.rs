@@ -12,6 +12,18 @@ pub enum WalError {
     /// integrity check. Log *tails* never produce this — damaged tails are
     /// dropped and reported through [`WalStats`](crate::WalStats) instead.
     Corrupt(String),
+    /// A write/fsync kept failing past the configured retry budget (or
+    /// failed with a persistent condition such as `ENOSPC` that retrying
+    /// cannot fix). The engine reacts by dropping to degraded durability
+    /// — ingest continues, the WAL is detached — never by panicking.
+    RetriesExhausted {
+        /// The operation that gave up (`"segment append"`, `"fsync"`, …).
+        op: &'static str,
+        /// Attempts made, including the first.
+        attempts: u32,
+        /// The last underlying error, rendered.
+        last: String,
+    },
 }
 
 impl fmt::Display for WalError {
@@ -19,6 +31,9 @@ impl fmt::Display for WalError {
         match self {
             WalError::Io(e) => write!(f, "wal i/o error: {e}"),
             WalError::Corrupt(msg) => write!(f, "wal corrupt: {msg}"),
+            WalError::RetriesExhausted { op, attempts, last } => {
+                write!(f, "wal {op} failed after {attempts} attempt(s): {last}")
+            }
         }
     }
 }
@@ -27,7 +42,7 @@ impl std::error::Error for WalError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             WalError::Io(e) => Some(e),
-            WalError::Corrupt(_) => None,
+            WalError::Corrupt(_) | WalError::RetriesExhausted { .. } => None,
         }
     }
 }

@@ -18,6 +18,18 @@ pub const HEADER_BYTES: usize = 8;
 /// cause a multi-GiB allocation).
 pub const MAX_RECORD_BYTES: u32 = 64 << 20;
 
+/// Frame one record into an owned buffer (header + payload) — used where
+/// the write itself must be a single fallible operation against the I/O
+/// seam, so a short write can be detected and the torn frame repaired.
+pub fn frame_bytes(payload: &[u8]) -> Vec<u8> {
+    debug_assert!(payload.len() as u64 <= MAX_RECORD_BYTES as u64);
+    let mut buf = Vec::with_capacity(HEADER_BYTES + payload.len());
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&crc32(payload).to_le_bytes());
+    buf.extend_from_slice(payload);
+    buf
+}
+
 /// Append one framed record; returns the bytes written.
 pub fn write_record(w: &mut impl Write, payload: &[u8]) -> io::Result<u64> {
     debug_assert!(payload.len() as u64 <= MAX_RECORD_BYTES as u64);

@@ -1,0 +1,310 @@
+//! The injectable I/O seam and the append retry policy.
+//!
+//! Every durability-relevant file operation — segment/meta frame writes,
+//! fsyncs, the snapshot's atomic rename — goes through the [`WalIo`]
+//! trait. Production uses [`RealIo`] (a direct delegation); under an
+//! active fault plan [`FaultyIo`] consults the seeded schedule first and
+//! acts out the fired fault (`EIO`, `ENOSPC`, a short write that leaves a
+//! torn frame, or a stall) before or instead of the real call.
+//!
+//! Transient failures are absorbed by [`with_retry`]: capped exponential
+//! backoff, a per-attempt repair hook (the log truncates any torn frame
+//! left by a failed write before re-appending — otherwise the retried
+//! frame would land *after* the partial one and be unreachable past the
+//! damage), and honest accounting in [`SharedStats`]. When retries are
+//! exhausted — or the error is persistent, like `ENOSPC` — the caller
+//! gets [`WalError::RetriesExhausted`] and the engine escalates to the
+//! durable-degraded state instead of panicking or losing frames silently.
+
+use std::fmt;
+use std::fs::{self, File};
+use std::io::{self, Write};
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Duration;
+
+use datacell_faults::{FaultKind, FaultPoint, Faults};
+
+use crate::error::{Result, WalError};
+use crate::stats::SharedStats;
+
+/// How append/fsync failures are retried before the WAL gives up and the
+/// engine drops to degraded durability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first failed attempt (0 = fail fast).
+    pub max_retries: u32,
+    /// Backoff before the first retry, in milliseconds; doubles per retry.
+    pub base_backoff_ms: u64,
+    /// Ceiling on one backoff sleep, in milliseconds.
+    pub max_backoff_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    /// Four retries, 1 ms → 50 ms capped exponential backoff (~100 ms of
+    /// patience before degrading — long enough for a transient `EIO`,
+    /// short enough that ingest stalls stay bounded).
+    fn default() -> RetryPolicy {
+        RetryPolicy { max_retries: 4, base_backoff_ms: 1, max_backoff_ms: 50 }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries, no backoff (tests that want the first error surfaced).
+    pub fn none() -> RetryPolicy {
+        RetryPolicy { max_retries: 0, base_backoff_ms: 0, max_backoff_ms: 0 }
+    }
+
+    fn backoff(&self, retry: u32) -> Duration {
+        let ms = self
+            .base_backoff_ms
+            .saturating_mul(1u64 << retry.min(16))
+            .min(self.max_backoff_ms);
+        Duration::from_millis(ms)
+    }
+}
+
+/// Whether an I/O error is worth retrying: transient kinds (`EIO`,
+/// interruption, timeouts) are; persistent conditions (`ENOSPC`,
+/// permission loss) and anything unrecognized are not.
+pub fn is_retryable(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    ) || e.raw_os_error() == Some(libc_eio())
+}
+
+const fn libc_eio() -> i32 {
+    5 // EIO on every Unix the workspace targets
+}
+
+const fn libc_enospc() -> i32 {
+    28 // ENOSPC
+}
+
+/// The file-operation seam. One implementor per run; shared by every log.
+pub trait WalIo: Send + Sync + fmt::Debug {
+    /// Write the whole buffer (one framed record) at `point`.
+    fn write_all(&self, file: &mut File, buf: &[u8], point: FaultPoint) -> io::Result<()>;
+
+    /// Fsync file data at `point`.
+    fn sync_data(&self, file: &File, point: FaultPoint) -> io::Result<()>;
+
+    /// Atomically rename `from` over `to` (the snapshot publish step;
+    /// consults [`FaultPoint::SnapshotRename`]).
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+}
+
+/// Direct delegation to the OS — the production implementation.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RealIo;
+
+impl WalIo for RealIo {
+    fn write_all(&self, file: &mut File, buf: &[u8], _point: FaultPoint) -> io::Result<()> {
+        file.write_all(buf)
+    }
+
+    fn sync_data(&self, file: &File, _point: FaultPoint) -> io::Result<()> {
+        file.sync_data()
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        fs::rename(from, to)
+    }
+}
+
+/// Fault-plan-driven implementation: consults the schedule, acts out the
+/// fired fault, and otherwise delegates to [`RealIo`].
+#[derive(Debug, Clone)]
+pub struct FaultyIo {
+    faults: Faults,
+}
+
+impl FaultyIo {
+    /// Wrap the real I/O in `faults`' schedule.
+    pub fn new(faults: Faults) -> FaultyIo {
+        FaultyIo { faults }
+    }
+
+    /// Convert a fired fault into its `io::Error`, or `None` when the
+    /// operation should proceed (possibly after a stall).
+    fn act(&self, kind: FaultKind) -> Option<io::Error> {
+        match kind {
+            FaultKind::Eio => Some(io::Error::from_raw_os_error(libc_eio())),
+            FaultKind::Enospc => Some(io::Error::from_raw_os_error(libc_enospc())),
+            FaultKind::ShortWrite => None, // handled by write_all below
+            FaultKind::Stall => {
+                std::thread::sleep(Duration::from_millis(2));
+                None
+            }
+        }
+    }
+}
+
+impl WalIo for FaultyIo {
+    fn write_all(&self, file: &mut File, buf: &[u8], point: FaultPoint) -> io::Result<()> {
+        match self.faults.check(point) {
+            Some(FaultKind::ShortWrite) => {
+                // Half the record reaches the disk, then the write errors:
+                // a torn frame the retry path must truncate away.
+                file.write_all(&buf[..buf.len() / 2])?;
+                Err(io::Error::from_raw_os_error(libc_eio()))
+            }
+            Some(kind) => match self.act(kind) {
+                Some(e) => Err(e),
+                None => file.write_all(buf),
+            },
+            None => file.write_all(buf),
+        }
+    }
+
+    fn sync_data(&self, file: &File, point: FaultPoint) -> io::Result<()> {
+        match self.faults.check(point).and_then(|k| self.act(k)) {
+            Some(e) => Err(e),
+            None => file.sync_data(),
+        }
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        match self.faults.check(FaultPoint::SnapshotRename).and_then(|k| self.act(k)) {
+            Some(e) => Err(e),
+            None => fs::rename(from, to),
+        }
+    }
+}
+
+/// The seam implementation for a facade: [`RealIo`] when no plan is
+/// active (zero overhead), [`FaultyIo`] otherwise.
+pub fn io_for(faults: &Faults) -> Arc<dyn WalIo> {
+    if faults.is_enabled() {
+        Arc::new(FaultyIo::new(faults.clone()))
+    } else {
+        Arc::new(RealIo)
+    }
+}
+
+/// Run `attempt` under `policy`. The closure's argument is `true` on
+/// retries, so the caller can repair state first (truncate a torn frame)
+/// without paying for the repair on the common first-attempt path.
+pub(crate) fn with_retry<T>(
+    policy: &RetryPolicy,
+    stats: &SharedStats,
+    op: &'static str,
+    mut attempt: impl FnMut(bool) -> io::Result<T>,
+) -> Result<T> {
+    let mut retries = 0u32;
+    loop {
+        match attempt(retries > 0) {
+            Ok(v) => return Ok(v),
+            Err(e) if is_retryable(&e) && retries < policy.max_retries => {
+                stats.add_io_retry();
+                std::thread::sleep(policy.backoff(retries));
+                retries += 1;
+            }
+            Err(e) if is_retryable(&e) => {
+                stats.add_io_gave_up();
+                return Err(WalError::RetriesExhausted {
+                    op,
+                    attempts: retries + 1,
+                    last: e.to_string(),
+                });
+            }
+            Err(e) => {
+                // Persistent (ENOSPC, permission loss, …): retrying is
+                // pointless; report exhaustion immediately so the engine
+                // escalates to degraded durability at once.
+                stats.add_io_gave_up();
+                return Err(WalError::RetriesExhausted {
+                    op,
+                    attempts: retries + 1,
+                    last: e.to_string(),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datacell_faults::FaultPlan;
+
+    fn fast() -> RetryPolicy {
+        RetryPolicy { max_retries: 3, base_backoff_ms: 0, max_backoff_ms: 0 }
+    }
+
+    #[test]
+    fn retry_absorbs_transient_errors() {
+        let stats = SharedStats::default();
+        let mut failures = 2;
+        let out = with_retry(&fast(), &stats, "test", |retrying| {
+            if failures > 0 {
+                assert_eq!(retrying, failures < 2);
+                failures -= 1;
+                Err(io::Error::from_raw_os_error(5))
+            } else {
+                Ok(42)
+            }
+        });
+        assert_eq!(out.unwrap(), 42);
+        let snap = stats.snapshot();
+        assert_eq!(snap.io_retries, 2);
+        assert_eq!(snap.io_gave_up, 0);
+    }
+
+    #[test]
+    fn retry_gives_up_after_cap() {
+        let stats = SharedStats::default();
+        let out: Result<()> = with_retry(&fast(), &stats, "append", |_| {
+            Err(io::Error::from_raw_os_error(5))
+        });
+        match out {
+            Err(WalError::RetriesExhausted { op, attempts, .. }) => {
+                assert_eq!(op, "append");
+                assert_eq!(attempts, 4);
+            }
+            other => panic!("expected RetriesExhausted, got {other:?}"),
+        }
+        let snap = stats.snapshot();
+        assert_eq!(snap.io_retries, 3);
+        assert_eq!(snap.io_gave_up, 1);
+    }
+
+    #[test]
+    fn persistent_errors_fail_fast() {
+        let stats = SharedStats::default();
+        let mut calls = 0;
+        let out: Result<()> = with_retry(&fast(), &stats, "append", |_| {
+            calls += 1;
+            Err(io::Error::from_raw_os_error(28)) // ENOSPC
+        });
+        assert!(matches!(out, Err(WalError::RetriesExhausted { attempts: 1, .. })));
+        assert_eq!(calls, 1, "ENOSPC must not be retried");
+        assert_eq!(stats.snapshot().io_retries, 0);
+    }
+
+    #[test]
+    fn retryability_classification() {
+        assert!(is_retryable(&io::Error::from_raw_os_error(5)));
+        assert!(is_retryable(&io::Error::from(io::ErrorKind::Interrupted)));
+        assert!(is_retryable(&io::Error::from(io::ErrorKind::TimedOut)));
+        assert!(!is_retryable(&io::Error::from_raw_os_error(28)));
+        assert!(!is_retryable(&io::Error::from(io::ErrorKind::PermissionDenied)));
+    }
+
+    #[test]
+    fn io_for_selects_implementation() {
+        assert!(format!("{:?}", io_for(&Faults::disabled())).contains("RealIo"));
+        let faults = Faults::enabled(FaultPlan::parse("wal_append:nth=1:eio").unwrap());
+        assert!(format!("{:?}", io_for(&faults)).contains("FaultyIo"));
+    }
+
+    #[test]
+    fn backoff_is_capped() {
+        let p = RetryPolicy { max_retries: 10, base_backoff_ms: 8, max_backoff_ms: 20 };
+        assert_eq!(p.backoff(0), Duration::from_millis(8));
+        assert_eq!(p.backoff(1), Duration::from_millis(16));
+        assert_eq!(p.backoff(2), Duration::from_millis(20));
+        assert_eq!(p.backoff(63), Duration::from_millis(20));
+    }
+}

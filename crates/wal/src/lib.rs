@@ -36,6 +36,7 @@
 pub mod crc;
 pub mod error;
 pub mod frame;
+pub mod io;
 pub mod meta;
 pub mod segment;
 pub mod stats;
@@ -45,6 +46,7 @@ mod wal;
 pub(crate) mod testutil;
 
 pub use error::{Result, WalError};
+pub use io::{io_for, FaultyIo, RealIo, RetryPolicy, WalIo};
 pub use segment::{StreamBatch, StreamLog};
 pub use stats::{SharedStats, WalStats};
 pub use wal::{SyncPolicy, Wal, WalConfig};

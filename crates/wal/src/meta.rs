@@ -17,8 +17,11 @@ use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
+use datacell_faults::FaultPoint;
+
 use crate::error::{Result, WalError};
-use crate::frame::{write_record, FrameScanner};
+use crate::frame::{frame_bytes, write_record, FrameScanner};
+use crate::io::{with_retry, RealIo, RetryPolicy, WalIo};
 use crate::stats::SharedStats;
 use crate::SyncPolicy;
 
@@ -36,6 +39,8 @@ pub struct MetaLog {
     file: File,
     sync: SyncPolicy,
     stats: Arc<SharedStats>,
+    io: Arc<dyn WalIo>,
+    retry: RetryPolicy,
     unsynced: u64,
     /// Bytes in the log since the last reset (the engine's automatic
     /// checkpoint trigger reads this to keep recovery cost bounded).
@@ -43,12 +48,24 @@ pub struct MetaLog {
 }
 
 impl MetaLog {
-    /// Open (or create) the meta log, replaying its surviving records. A
-    /// damaged tail is truncated in place and counted as dropped bytes.
+    /// Open (or create) the meta log, replaying its surviving records,
+    /// with direct OS I/O and the default retry policy. A damaged tail is
+    /// truncated in place and counted as dropped bytes.
     pub fn open(
         path: impl Into<PathBuf>,
         sync: SyncPolicy,
         stats: Arc<SharedStats>,
+    ) -> Result<(MetaLog, Vec<Vec<u8>>)> {
+        MetaLog::open_with_io(path, sync, stats, Arc::new(RealIo), RetryPolicy::default())
+    }
+
+    /// [`MetaLog::open`] through an explicit I/O seam and retry policy.
+    pub fn open_with_io(
+        path: impl Into<PathBuf>,
+        sync: SyncPolicy,
+        stats: Arc<SharedStats>,
+        io: Arc<dyn WalIo>,
+        retry: RetryPolicy,
     ) -> Result<(MetaLog, Vec<Vec<u8>>)> {
         let path = path.into();
         let mut records = Vec::new();
@@ -68,7 +85,7 @@ impl MetaLog {
         }
         let file = OpenOptions::new().create(true).append(true).open(&path)?;
         let bytes = file.metadata()?.len();
-        Ok((MetaLog { path, file, sync, stats, unsynced: 0, bytes }, records))
+        Ok((MetaLog { path, file, sync, stats, io, retry, unsynced: 0, bytes }, records))
     }
 
     /// Bytes appended since the last [`MetaLog::reset`].
@@ -78,7 +95,19 @@ impl MetaLog {
 
     /// Append one record.
     pub fn append(&mut self, payload: &[u8]) -> Result<()> {
-        let written = write_record(&mut self.file, payload)?;
+        let framed = frame_bytes(payload);
+        // `bytes` tracks the file length exactly (open measures it, reset
+        // zeroes it), so it doubles as the repair point for torn frames.
+        let base = self.bytes;
+        let io = self.io.clone();
+        let file = &mut self.file;
+        let written = with_retry(&self.retry, &self.stats, "meta append", |retrying| {
+            if retrying {
+                file.set_len(base)?;
+            }
+            io.write_all(file, &framed, FaultPoint::WalAppend)?;
+            Ok(framed.len() as u64)
+        })?;
         self.stats.add_meta(written);
         self.bytes += written;
         self.unsynced += 1;
@@ -96,7 +125,11 @@ impl MetaLog {
 
     /// Fsync pending records.
     pub fn sync(&mut self) -> Result<()> {
-        self.file.sync_data()?;
+        let io = self.io.clone();
+        let file = &self.file;
+        with_retry(&self.retry, &self.stats, "meta fsync", |_| {
+            io.sync_data(file, FaultPoint::WalFsync)
+        })?;
         self.unsynced = 0;
         Ok(())
     }
@@ -115,13 +148,27 @@ impl MetaLog {
 /// rename over `path`, fsync the directory (so the rename itself is
 /// durable, not just the file data).
 pub fn write_snapshot(path: &Path, payload: &[u8]) -> Result<()> {
+    write_snapshot_with(&RealIo, &RetryPolicy::default(), &SharedStats::default(), path, payload)
+}
+
+/// [`write_snapshot`] through an explicit I/O seam: the publish rename
+/// consults [`FaultPoint::SnapshotRename`] and retries under `retry`. A
+/// failed publish leaves the *previous* snapshot intact (the tmp file is
+/// simply abandoned), so degraded here never loses the old catalog.
+pub fn write_snapshot_with(
+    io: &dyn WalIo,
+    retry: &RetryPolicy,
+    stats: &SharedStats,
+    path: &Path,
+    payload: &[u8],
+) -> Result<()> {
     let tmp = path.with_extension("tmp");
     {
         let mut f = File::create(&tmp)?;
         write_record(&mut f, payload)?;
         f.sync_data()?;
     }
-    fs::rename(&tmp, path)?;
+    with_retry(retry, stats, "snapshot rename", |_| io.rename(&tmp, path))?;
     if let Some(dir) = path.parent() {
         sync_dir(dir)?;
     }

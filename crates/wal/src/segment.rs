@@ -30,8 +30,11 @@ use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
+use datacell_faults::FaultPoint;
+
 use crate::error::Result;
-use crate::frame::{write_record, FrameScanner};
+use crate::frame::{frame_bytes, FrameScanner};
+use crate::io::{with_retry, RealIo, RetryPolicy, WalIo};
 use crate::stats::SharedStats;
 use crate::SyncPolicy;
 
@@ -61,6 +64,8 @@ pub struct StreamLog {
     sync: SyncPolicy,
     segment_bytes: u64,
     stats: Arc<SharedStats>,
+    io: Arc<dyn WalIo>,
+    retry: RetryPolicy,
     sealed: Vec<Sealed>,
     active_seq: u64,
     active: File,
@@ -83,12 +88,26 @@ fn parse_seq(path: &Path) -> Option<u64> {
 
 impl StreamLog {
     /// Open (or create) the log under `dir`, replaying every surviving
-    /// batch. See the module docs for the damage policy.
+    /// batch, with direct OS I/O and the default retry policy. See the
+    /// module docs for the damage policy.
     pub fn open(
         dir: impl Into<PathBuf>,
         sync: SyncPolicy,
         segment_bytes: u64,
         stats: Arc<SharedStats>,
+    ) -> Result<(StreamLog, Vec<StreamBatch>)> {
+        StreamLog::open_with_io(dir, sync, segment_bytes, stats, Arc::new(RealIo), RetryPolicy::default())
+    }
+
+    /// [`StreamLog::open`] through an explicit I/O seam and retry policy
+    /// (fault-injection runs route every append/fsync through `io`).
+    pub fn open_with_io(
+        dir: impl Into<PathBuf>,
+        sync: SyncPolicy,
+        segment_bytes: u64,
+        stats: Arc<SharedStats>,
+        io: Arc<dyn WalIo>,
+        retry: RetryPolicy,
     ) -> Result<(StreamLog, Vec<StreamBatch>)> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
@@ -156,6 +175,8 @@ impl StreamLog {
             sync,
             segment_bytes,
             stats,
+            io,
+            retry,
             sealed,
             active_seq,
             active,
@@ -183,7 +204,20 @@ impl StreamLog {
         record.extend_from_slice(&first_oid.to_le_bytes());
         record.extend_from_slice(&nrows.to_le_bytes());
         record.extend_from_slice(payload);
-        let written = write_record(&mut self.active, &record)?;
+        let framed = frame_bytes(&record);
+        let base = self.active_bytes;
+        let io = self.io.clone();
+        let active = &mut self.active;
+        let written = with_retry(&self.retry, &self.stats, "segment append", |retrying| {
+            if retrying {
+                // A failed attempt may have left a torn frame behind; drop
+                // it first or the retried record would land *after* the
+                // partial one and be unreachable past the damage.
+                active.set_len(base)?;
+            }
+            io.write_all(active, &framed, FaultPoint::WalAppend)?;
+            Ok(framed.len() as u64)
+        })?;
         self.active_bytes += written;
         self.end_oid = first_oid + nrows as u64;
         self.unsynced += 1;
@@ -222,7 +256,11 @@ impl StreamLog {
     /// Fsync the active segment, marking everything appended as durable.
     pub fn sync(&mut self) -> Result<()> {
         let sync_start = std::time::Instant::now();
-        self.active.sync_data()?;
+        let io = self.io.clone();
+        let active = &self.active;
+        with_retry(&self.retry, &self.stats, "segment fsync", |_| {
+            io.sync_data(active, FaultPoint::WalFsync)
+        })?;
         self.stats.record_fsync_us(sync_start.elapsed().as_micros().min(u64::MAX as u128) as u64);
         self.stats.add_synced(self.unsynced);
         self.unsynced = 0;
@@ -268,6 +306,7 @@ fn decode_stream_record(payload: &[u8], expected: Option<u64>) -> Option<StreamB
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::frame::write_record;
     use crate::testutil::tmpdir;
 
     fn open_at(dir: &Path, segment_bytes: u64) -> (StreamLog, Vec<StreamBatch>) {

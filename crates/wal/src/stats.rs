@@ -17,6 +17,8 @@ pub struct SharedStats {
     dropped_bytes: AtomicU64,
     reclaimed_bytes: AtomicU64,
     snapshots: AtomicU64,
+    io_retries: AtomicU64,
+    io_gave_up: AtomicU64,
     append_us: Histogram,
     fsync_us: Histogram,
 }
@@ -61,6 +63,14 @@ impl SharedStats {
         self.snapshots.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn add_io_retry(&self) {
+        self.io_retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_io_gave_up(&self) {
+        self.io_gave_up.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Point-in-time snapshot of every counter.
     pub fn snapshot(&self) -> WalStats {
         WalStats {
@@ -73,6 +83,8 @@ impl SharedStats {
             dropped_bytes: self.dropped_bytes.load(Ordering::Relaxed),
             reclaimed_bytes: self.reclaimed_bytes.load(Ordering::Relaxed),
             snapshots: self.snapshots.load(Ordering::Relaxed),
+            io_retries: self.io_retries.load(Ordering::Relaxed),
+            io_gave_up: self.io_gave_up.load(Ordering::Relaxed),
             append_us: self.append_us.snapshot(),
             fsync_us: self.fsync_us.snapshot(),
         }
@@ -100,6 +112,11 @@ pub struct WalStats {
     pub reclaimed_bytes: u64,
     /// Catalog snapshots written.
     pub snapshots: u64,
+    /// Transient write/fsync failures absorbed by the retry policy.
+    pub io_retries: u64,
+    /// Operations that exhausted the retry budget (each one drops the
+    /// engine to degraded durability until the operator intervenes).
+    pub io_gave_up: u64,
     /// Latency histogram of stream-log batch appends (microseconds,
     /// including framing and any policy-triggered fsync).
     pub append_us: HistogramSnapshot,

@@ -7,7 +7,8 @@ use std::str::FromStr;
 use std::sync::{Arc, Mutex};
 
 use crate::error::Result;
-use crate::meta::{read_snapshot, write_snapshot, MetaLog};
+use crate::io::{RealIo, RetryPolicy, WalIo};
+use crate::meta::{read_snapshot, write_snapshot_with, MetaLog};
 use crate::segment::{StreamBatch, StreamLog};
 use crate::stats::{SharedStats, WalStats};
 
@@ -57,6 +58,9 @@ pub struct WalConfig {
     /// fire records never accumulate unboundedly and recovery cost stays
     /// bounded. `None` = only explicit / shutdown checkpoints.
     pub checkpoint_meta_bytes: Option<u64>,
+    /// How transient append/fsync failures are retried before the WAL
+    /// gives up and the engine drops to degraded durability.
+    pub retry: RetryPolicy,
 }
 
 impl WalConfig {
@@ -68,6 +72,7 @@ impl WalConfig {
             sync: SyncPolicy::EveryN(64),
             segment_bytes: 4 << 20,
             checkpoint_meta_bytes: Some(8 << 20),
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -76,21 +81,38 @@ impl WalConfig {
 pub struct Wal {
     config: WalConfig,
     stats: Arc<SharedStats>,
+    io: Arc<dyn WalIo>,
     meta: Mutex<MetaLog>,
 }
 
 impl Wal {
-    /// Open (or initialize) the WAL directory. Returns the manager, the
-    /// catalog snapshot payload (if one was ever written) and the meta-log
-    /// records appended since that snapshot, in order.
+    /// Open (or initialize) the WAL directory with direct OS I/O. Returns
+    /// the manager, the catalog snapshot payload (if one was ever written)
+    /// and the meta-log records appended since that snapshot, in order.
     #[allow(clippy::type_complexity)]
     pub fn open(config: WalConfig) -> Result<(Wal, Option<Vec<u8>>, Vec<Vec<u8>>)> {
+        Wal::open_with_io(config, Arc::new(RealIo))
+    }
+
+    /// [`Wal::open`] through an explicit I/O seam: every segment/meta
+    /// append, fsync and snapshot rename of this WAL (and of the stream
+    /// logs it hands out) goes through `io`.
+    #[allow(clippy::type_complexity)]
+    pub fn open_with_io(
+        config: WalConfig,
+        io: Arc<dyn WalIo>,
+    ) -> Result<(Wal, Option<Vec<u8>>, Vec<Vec<u8>>)> {
         fs::create_dir_all(config.dir.join("streams"))?;
         let stats = Arc::new(SharedStats::default());
         let snapshot = read_snapshot(&config.dir.join("snapshot.bin"))?;
-        let (meta, records) =
-            MetaLog::open(config.dir.join("meta.log"), config.sync, stats.clone())?;
-        Ok((Wal { config, stats, meta: Mutex::new(meta) }, snapshot, records))
+        let (meta, records) = MetaLog::open_with_io(
+            config.dir.join("meta.log"),
+            config.sync,
+            stats.clone(),
+            io.clone(),
+            config.retry,
+        )?;
+        Ok((Wal { config, stats, io, meta: Mutex::new(meta) }, snapshot, records))
     }
 
     /// The configuration this WAL was opened with.
@@ -100,11 +122,13 @@ impl Wal {
 
     /// Open (and replay) the segment log of one stream.
     pub fn stream_log(&self, stream: &str) -> Result<(StreamLog, Vec<StreamBatch>)> {
-        StreamLog::open(
+        StreamLog::open_with_io(
             self.config.dir.join("streams").join(stream),
             self.config.sync,
             self.config.segment_bytes,
             self.stats.clone(),
+            self.io.clone(),
+            self.config.retry,
         )
     }
 
@@ -133,7 +157,13 @@ impl Wal {
     /// Write a catalog snapshot atomically, then restart the meta log
     /// empty (the snapshot subsumes it).
     pub fn write_snapshot(&self, payload: &[u8]) -> Result<()> {
-        write_snapshot(&self.config.dir.join("snapshot.bin"), payload)?;
+        write_snapshot_with(
+            self.io.as_ref(),
+            &self.config.retry,
+            &self.stats,
+            &self.config.dir.join("snapshot.bin"),
+            payload,
+        )?;
         self.meta.lock().unwrap_or_else(|e| e.into_inner()).reset()?;
         self.stats.add_snapshot();
         Ok(())

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
-# Bench snapshot: run the e1 / e3 / e6 / e9 / e10 / e11 experiment
+# Bench snapshot: run the e1 / e3 / e6 / e9 / e10 / e11 / e12 experiment
 # binaries at a small, fixed --events size and collect their SNAPSHOT
-# lines (events/sec per experiment) into BENCH_PR8.json, so every PR
+# lines (events/sec per experiment) into BENCH_PR9.json, so every PR
 # leaves a comparable perf data point behind. e1/e3/e9/e10 are kept from
 # earlier PRs for trajectory comparison; e11 (added with the durability
 # subsystem) tracks WAL ingest overhead and crash-recovery replay
@@ -10,13 +10,18 @@
 # standing queries. Since the observability PR, e1/e6/e10 snapshots also
 # carry p50/p95/p99 end-to-end latency, and e1's --obs-compare leg
 # records throughput with tracing off vs on (acceptance: within 2%).
+# e12 (added with the resilience PR) records ingest under injected fsync
+# faults, the ENOSPC degraded mode, admission-control ceilings, and the
+# armed-idle fault-facade overhead next to the disabled baseline — the
+# e1 numbers double as the "facade off costs nothing" trajectory check
+# (acceptance: within 2% of the previous PR's snapshot).
 #
 # Usage: scripts/bench_snapshot.sh [events]   (default 20000)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 events="${1:-20000}"
-out="BENCH_PR8.json"
+out="BENCH_PR9.json"
 
 cargo build --release -p datacell-bench --bins
 
@@ -34,7 +39,7 @@ collect() {
 }
 
 collect ./target/release/e1_reeval --events "${events}" --obs-compare
-for bin in e3_window_sweep e6_multiquery e9_multicore e10_server e11_recovery; do
+for bin in e3_window_sweep e6_multiquery e9_multicore e10_server e11_recovery e12_degraded; do
   collect "./target/release/${bin}" --events "${events}"
 done
 for mix in identical shared-predicate disjoint; do

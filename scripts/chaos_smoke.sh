@@ -1,0 +1,152 @@
+#!/usr/bin/env bash
+# Chaos smoke test: run `datacell-server` with a *seeded* fault plan armed
+# via DATACELL_FAULT_PLAN (two retryable EIO faults on the WAL fsync
+# path), drive the full wire loop, and assert the faults were absorbed
+# invisibly — correct chunks, retry counters in METRICS, no degrade.
+#
+# The second half kills a subscriber mid-stream (no QUIT — a client
+# crash), pushes more rows while nobody is listening, then re-attaches
+# with `SUBSCRIBE ... AFTER <epoch> <seq>` and asserts the replay ring
+# hands back exactly the missed chunk before going live again — the
+# reconnect-with-resume contract, end to end against a real daemon.
+#
+# Usage: scripts/chaos_smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p datacell-server --bins
+
+workdir="$(mktemp -d)"
+server_log="${workdir}/server.log"
+sub_out="${workdir}/subscriber.out"
+sub_in="${workdir}/subscriber.in"
+
+cleanup() {
+  exec 3>&- 2>/dev/null || true
+  [[ -n "${server_pid:-}" ]] && kill "${server_pid}" 2>/dev/null || true
+  [[ -n "${sub_pid:-}" ]] && kill "${sub_pid}" 2>/dev/null || true
+  rm -rf "${workdir}"
+}
+trap cleanup EXIT
+
+wait_for() { # wait_for <pattern> <file> <what>
+  for _ in $(seq 1 100); do
+    grep -q "$1" "$2" 2>/dev/null && return 0
+    sleep 0.1
+  done
+  echo "FAIL: timed out waiting for $3" >&2
+  echo "--- $2 ---" >&2; cat "$2" >&2 || true
+  echo "--- server log ---" >&2; cat "${server_log}" >&2 || true
+  exit 1
+}
+
+cli=./target/release/datacell-cli
+
+# 1. Durable server with the fault plan armed: fsync calls 2 and 5 fail
+#    with a retryable EIO. The retry loop must absorb both; a generous
+#    memory budget exercises the admission flags without ever tripping.
+DATACELL_FAULT_PLAN='seed=7;wal_fsync:nth=2:eio;wal_fsync:nth=5:eio' \
+  ./target/release/datacell-server --addr 127.0.0.1:0 \
+  --wal-dir "${workdir}/wal" --fsync always \
+  --memory-budget 50000000 --shed-policy reject > "${server_log}" 2>&1 &
+server_pid=$!
+wait_for '^LISTENING ' "${server_log}" "server to bind"
+grep -q 'fault injection armed' "${server_log}"
+addr="$(sed -n 's/^LISTENING //p' "${server_log}" | head -1)"
+echo "chaos server listening on ${addr} (fault plan armed)"
+
+# 2. Stream + continuous query.
+"${cli}" --addr "${addr}" --fail-on-err <<'EOF' > "${workdir}/setup.out"
+EXEC CREATE STREAM s (ts TIMESTAMP, v BIGINT)
+REGISTER SELECT COUNT(*), SUM(v) FROM s
+EOF
+grep -q '^OK QUERY 1$' "${workdir}/setup.out"
+
+# 3. Subscriber; scrape the incarnation epoch from the handshake.
+mkfifo "${sub_in}"
+"${cli}" --addr "${addr}" < "${sub_in}" > "${sub_out}" &
+sub_pid=$!
+exec 3> "${sub_in}"
+echo "SUBSCRIBE 1" >&3
+wait_for '^OK SUBSCRIBED 1 ' "${sub_out}" "subscription handshake"
+epoch="$(sed -n 's/^OK SUBSCRIBED 1 //p' "${sub_out}" | head -1 | cut -d' ' -f1)"
+[[ -n "${epoch}" ]]
+
+# 4. Two pushes through the faulty fsyncs: both must land (the EIOs are
+#    retried under the hood), and the chunks must be correct.
+"${cli}" --addr "${addr}" --fail-on-err <<'EOF' > "${workdir}/push.out"
+PUSH s
+@1,10
+@2,32
+END
+PUSH s
+@3,5
+@4,7
+END
+EOF
+[[ "$(grep -c '^OK PUSHED 2$' "${workdir}/push.out")" -eq 2 ]]
+wait_for '^CHUNK 1 1 2$' "${sub_out}" "both chunks through the faulty WAL"
+grep -q '^CHUNK 1 1 1$' "${sub_out}"
+grep -q '^2,42$' "${sub_out}"
+grep -q '^2,12$' "${sub_out}"
+
+# 5. The crash: kill the subscriber process mid-stream (no QUIT), then
+#    push while nobody is listening — the replay ring must retain seq 3.
+kill -9 "${sub_pid}"
+wait "${sub_pid}" 2>/dev/null || true
+sub_pid=""
+exec 3>&-
+"${cli}" --addr "${addr}" --fail-on-err <<'EOF' > "${workdir}/push2.out"
+PUSH s
+@5,100
+@6,200
+END
+EOF
+grep -q '^OK PUSHED 2$' "${workdir}/push2.out"
+
+# 6. Reconnect-with-resume: AFTER <epoch> 2 → the server replays the
+#    missed seq-3 chunk, then the stream continues live (seq 4).
+mkfifo "${sub_in}.2"
+"${cli}" --addr "${addr}" < "${sub_in}.2" > "${sub_out}.2" &
+sub_pid=$!
+exec 3> "${sub_in}.2"
+echo "SUBSCRIBE 1 LIMIT 2 AFTER ${epoch} 2" >&3
+wait_for '^OK SUBSCRIBED 1 ' "${sub_out}.2" "resumed subscription handshake"
+wait_for '^CHUNK 1 1 3$' "${sub_out}.2" "replayed missed chunk"
+grep -q '^2,300$' "${sub_out}.2"   # COUNT=2, SUM=100+200
+
+"${cli}" --addr "${addr}" --fail-on-err <<'EOF' > "${workdir}/push3.out"
+PUSH s
+@7,1
+@8,2
+END
+EOF
+wait_for '^CHUNK 1 1 4$' "${sub_out}.2" "live chunk after resume"
+wait_for '^OK STOPPED ' "${sub_out}.2" "limit reached"
+echo "QUIT" >&3
+exec 3>&-
+wait "${sub_pid}"; sub_pid=""
+
+# 7. The faults must be visible in METRICS as absorbed retries — and
+#    only retries: nothing gave up, nothing degraded, nothing shed.
+"${cli}" --addr "${addr}" --fail-on-err <<'EOF' > "${workdir}/obs.out"
+METRICS
+STATS
+EOF
+grep -Eq '^datacell_wal_io_retries_total [1-9]' "${workdir}/obs.out"
+grep -q '^datacell_wal_io_gave_up_total 0$' "${workdir}/obs.out"
+grep -q '^datacell_degraded_streams 0$' "${workdir}/obs.out"
+if grep -q 'DEGRADED DURABILITY' "${workdir}/obs.out"; then
+  echo "FAIL: retryable fault plan degraded a stream" >&2
+  exit 1
+fi
+
+# 8. Clean wire-protocol shutdown.
+"${cli}" --addr "${addr}" --fail-on-err <<'EOF' > "${workdir}/teardown.out"
+SHUTDOWN
+EOF
+grep -q '^OK SHUTDOWN$' "${workdir}/teardown.out"
+wait "${server_pid}"; server_pid=""
+grep -q '^shutdown:' "${server_log}"
+
+echo "chaos smoke test: ok"

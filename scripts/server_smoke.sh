@@ -88,7 +88,9 @@ wait_for '^OK STOPPED 2 2$' "${sub_out}" "both chunks + stream end"
 echo "QUIT" >&3
 exec 3>&-
 wait "${sub_pid}"; sub_pid=""
-grep -q '^CHUNK 1 1$' "${sub_out}"
+# CHUNK <query> <rows> <seq>; seq 1 and 2 are this incarnation's chunks.
+grep -Eq '^CHUNK 1 1 1$' "${sub_out}"
+grep -Eq '^CHUNK 1 1 2$' "${sub_out}"
 grep -q '^2,42$' "${sub_out}"   # COUNT=2, SUM=10+32
 grep -q '^2,12$' "${sub_out}"   # COUNT=2, SUM=5+7
 

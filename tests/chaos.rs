@@ -1,0 +1,171 @@
+//! Chaos property tests: randomized seeded fault plans against a durable
+//! windowed/aggregate scenario.
+//!
+//! Two invariants, straight from the resilience contract:
+//!
+//! * under any plan made of **retryable** fault kinds (EIO, short write,
+//!   stall) within the retry budget, the engine neither panics nor
+//!   wedges, absorbs every fault, and the subscriber chunk streams are
+//!   **byte-identical** (wire `CHUNK` encoding) to a fault-free run;
+//! * under a **non-retryable** persistent fault (ENOSPC), the engine
+//!   drops to the documented degraded-durability state — visible in
+//!   stats and METRICS — and keeps serving: the emitted streams still
+//!   match the fault-free run.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use proptest::prelude::*;
+
+use datacell::engine::{
+    DataCell, DataCellConfig, FaultPlan, Faults, QueryId, SyncPolicy, WalConfig,
+};
+use datacell::server::protocol::encode_chunk;
+use datacell::storage::{Row, Value};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+fn tmpdir() -> PathBuf {
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("datacell-chaos-{}-{n}", std::process::id()))
+}
+
+fn durable_config(dir: &PathBuf, faults: Faults) -> DataCellConfig {
+    DataCellConfig {
+        wal: Some(WalConfig {
+            dir: dir.clone(),
+            // Fsync every batch so `wal_fsync` fault points actually fire.
+            sync: SyncPolicy::Always,
+            ..WalConfig::at(dir)
+        }),
+        faults,
+        ..DataCellConfig::default()
+    }
+}
+
+const SETUP: &str = "CREATE STREAM s (ts BIGINT, v BIGINT)";
+const QUERIES: [&str; 2] = [
+    "SELECT COUNT(*), SUM(v) FROM s [ROWS 4 SLIDE 2]",
+    "SELECT ts, v FROM s",
+];
+
+fn batches() -> Vec<Vec<Row>> {
+    (0..6)
+        .map(|b| {
+            (0..3)
+                .map(|i| {
+                    let ts = (b * 3 + i) as i64;
+                    vec![Value::Int(ts), Value::Int(ts * 7 % 11)]
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Run the scenario under `faults`; return per-query wire-encoded chunk
+/// streams (seq-stamped exactly as a fresh server incarnation would) and
+/// the engine for post-run assertions.
+fn run_scenario(faults: Faults) -> (Vec<String>, DataCell) {
+    let dir = tmpdir();
+    let mut cell = DataCell::open(durable_config(&dir, faults)).expect("open");
+    cell.execute(SETUP).expect("setup");
+    let handles: Vec<(QueryId, _)> = QUERIES
+        .iter()
+        .map(|sql| {
+            let qid = cell.register_query(sql).expect("register");
+            let emitter = cell.subscribe(qid).expect("subscribe");
+            (qid, emitter)
+        })
+        .collect();
+    for batch in batches() {
+        cell.push_rows("s", &batch).expect("push");
+        cell.run_until_idle().expect("scheduler pass");
+    }
+    let streams = handles
+        .iter()
+        .map(|(qid, emitter)| {
+            emitter
+                .drain()
+                .iter()
+                .enumerate()
+                .map(|(i, chunk)| encode_chunk(*qid, i as u64 + 1, chunk))
+                .collect::<String>()
+        })
+        .collect();
+    std::fs::remove_dir_all(&dir).ok();
+    (streams, cell)
+}
+
+/// One retryable fault rule as plan-grammar text. `nth` triggers fire
+/// exactly once, so even stacked rules on the same point stay within the
+/// default 4-retry budget.
+fn retryable_rule() -> impl Strategy<Value = String> {
+    (0..3usize, 1..12u64, 0..3usize).prop_map(|(point, nth, kind)| {
+        let point = ["wal_append", "wal_fsync", "scheduler_stall"][point];
+        let kind = if point == "scheduler_stall" {
+            // The scheduler only models preemption; error kinds would be
+            // silently ignored there and test nothing.
+            "stall"
+        } else {
+            ["eio", "short", "stall"][kind]
+        };
+        format!("{point}:nth={nth}:{kind}")
+    })
+}
+
+fn retryable_plan() -> impl Strategy<Value = FaultPlan> {
+    (0..u64::MAX, prop::collection::vec(retryable_rule(), 1..4)).prop_map(|(seed, rules)| {
+        let spec = format!("seed={seed};{}", rules.join(";"));
+        let plan = FaultPlan::parse(&spec).expect("generated plan must parse");
+        assert!(plan.all_retryable(), "{spec}");
+        plan
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Retryable chaos is invisible: identical bytes, no degrade.
+    #[test]
+    fn retryable_plans_leave_streams_byte_identical(plan in retryable_plan()) {
+        let (reference, _) = run_scenario(Faults::disabled());
+        prop_assert!(reference.iter().any(|s| !s.is_empty()), "reference produced nothing");
+        let (chaotic, cell) = run_scenario(Faults::enabled(plan));
+        prop_assert_eq!(&chaotic, &reference, "fault plan changed the output stream");
+        let wal = cell.wal_stats().expect("durable engine has wal stats");
+        prop_assert_eq!(wal.io_gave_up, 0, "retryable plan must never exhaust retries");
+        prop_assert_eq!(cell.stats().degraded_streams, 0);
+    }
+
+    /// A non-retryable fault (ENOSPC) on a stream's data append degrades
+    /// that stream's durability — loudly — but never takes the pipeline
+    /// down with it. (Persistent faults on the *catalog* log are a
+    /// different contract: they surface as hard `EngineError`s, because
+    /// exactly-once fire accounting cannot continue without it.)
+    #[test]
+    fn enospc_on_stream_append_degrades_but_keeps_serving(
+        seed in 0..u64::MAX,
+        fsync_nth in 1..6u64,
+    ) {
+        let (reference, _) = run_scenario(Faults::disabled());
+        // `wal_append` call #4 is the first stream-segment append — after
+        // the three catalog appends (CREATE STREAM + two registrations).
+        // ENOSPC is non-retryable, so the basket drops durability on the
+        // spot; a retryable fsync fault rides along as extra churn.
+        let spec = format!(
+            "seed={seed};wal_append:nth=4:enospc;wal_fsync:nth={fsync_nth}:eio"
+        );
+        let plan = FaultPlan::parse(&spec).expect("plan parses");
+        prop_assert!(!plan.all_retryable());
+        let (degraded, cell) = run_scenario(Faults::enabled(plan));
+        prop_assert_eq!(&degraded, &reference, "degraded engine must keep serving");
+        let stats = cell.stats();
+        prop_assert!(stats.degraded_streams >= 1, "degrade must be visible in stats");
+        prop_assert!(stats.render().contains("DEGRADED DURABILITY"));
+        let wal = cell.wal_stats().expect("wal stats");
+        prop_assert!(wal.io_gave_up >= 1);
+        let metrics = cell.metrics_text();
+        prop_assert!(metrics.contains("datacell_degraded_streams"));
+        prop_assert!(metrics.contains("datacell_wal_io_gave_up_total"));
+    }
+}

@@ -128,8 +128,8 @@ fn assert_continuation(reference: &[Vec<Chunk>], crashed: &[Vec<Chunk>], ctx: &s
         for (ci, (w, g)) in want.iter().zip(got).enumerate() {
             assert_eq!(w, g, "{ctx}: query #{qi} chunk {ci} differs structurally");
             assert_eq!(
-                encode_chunk(qi as u64 + 1, w),
-                encode_chunk(qi as u64 + 1, g),
+                encode_chunk(qi as u64 + 1, ci as u64 + 1, w),
+                encode_chunk(qi as u64 + 1, ci as u64 + 1, g),
                 "{ctx}: query #{qi} chunk {ci} differs on the wire"
             );
         }
