@@ -2,50 +2,146 @@
 //!
 //! The whole outside-world loop of the paper's Figure 1, but over real
 //! sockets: N concurrent ingest clients batch tuples through the `PUSH`
-//! socket receptor while one subscriber connection acts as the emitter,
-//! streaming `CHUNK` frames back. The run ends when the subscriber has
-//! observed every pushed tuple in the aggregated results (sum of
-//! per-firing `COUNT(*)` equals the events fed), so the reported rate is
-//! true end-to-end: wire-in → basket → factory firing → wire-out.
+//! socket receptor while subscriber connections act as emitters,
+//! streaming `CHUNK` frames back. The run ends when every subscriber has
+//! observed every pushed tuple, so the reported rate is true end-to-end:
+//! wire-in → basket → factory firing → wire-out.
 //!
-//! We sweep the ingest batch size (the wire-side analogue of e1's arrival
-//! batch sweep) and report events/sec plus the chunk counts.
+//! Default leg: the classic aggregate loop (`COUNT(*), SUM(v)`), swept
+//! over the ingest batch size (the wire-side analogue of e1's arrival
+//! batch sweep).
+//!
+//! `--wire-compare`: a row-passthrough query (`SELECT id, v FROM s`) so
+//! *both* directions carry every tuple, run once over the CSV text
+//! protocol and once over the binary columnar protocol (`HELLO BINARY`),
+//! reporting the speedup of length-prefixed columnar frames over
+//! per-line CSV.
+//!
+//! `--subscribers N` (with `--binary`): fan-out — N concurrent
+//! subscribers to one passthrough query. The reactor encodes each chunk
+//! once and shares the frame across all N write queues; the encode-once
+//! cache hit rate is reported alongside throughput.
 
+use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
-use datacell_bench::report::{f1, snapshot_latency, Table};
-use datacell_server::{Client, Server, ServerConfig};
+use datacell_bench::report::{f1, snapshot, snapshot_latency, Table};
+use datacell_server::{Client, ReconnectPolicy, ResumingSubscription, Server, ServerConfig};
 use datacell_storage::{Row, Value};
 
 const TOTAL_EVENTS: usize = 200_000;
 const PUSHERS: usize = 4;
 
-/// One full client/server run; returns (events/sec, chunks received,
-/// wire-delivery latency percentiles).
-fn run(total: usize, batch: usize) -> (f64, u64, (f64, f64, f64)) {
+/// What the subscribers count while draining.
+#[derive(Clone, Copy, PartialEq)]
+enum Workload {
+    /// `SELECT COUNT(*), SUM(v)` — sum the delivered counts.
+    Aggregate,
+    /// `SELECT id, v FROM s` — every pushed row comes back.
+    Passthrough,
+}
+
+impl Workload {
+    fn query(self) -> &'static str {
+        match self {
+            Workload::Aggregate => "SELECT COUNT(*), SUM(v) FROM s",
+            Workload::Passthrough => "SELECT id, v FROM s",
+        }
+    }
+}
+
+struct RunResult {
+    events_per_sec: f64,
+    chunks: u64,
+    wire: (f64, f64, f64),
+    cache_hit_rate: f64,
+}
+
+/// One full client/server run; every one of `subscribers` connections
+/// must observe all `total` events end to end.
+fn run(total: usize, batch: usize, load: Workload, binary: bool, subscribers: usize) -> RunResult {
     let mut config = ServerConfig {
         init_script: Some("CREATE STREAM s (id BIGINT, v BIGINT)".into()),
         ..Default::default()
     };
     // The run asserts exactly-once delivery, which is incompatible with
-    // the default drop-oldest bounded subscriber queue: if the subscriber
-    // session falls behind on a loaded box, chunks would be silently
-    // dropped and the assertion would flake. Unbounded is safe here — the
+    // the default drop-oldest bounded subscriber queue: if a subscriber
+    // falls behind on a loaded box, chunks would be silently dropped and
+    // the assertion would flake. Unbounded is safe here — every
     // subscriber drains continuously.
     config.engine.emitter_capacity = None;
     let server = Server::start(config).expect("server start");
     let addr = server.local_addr();
 
     let mut control = Client::connect(addr).expect("control connect");
-    let q = control.register("SELECT COUNT(*), SUM(v) FROM s").expect("register");
-    let mut sub = control.subscribe(q, None).expect("subscribe");
+    let q = control.register(load.query()).expect("register");
 
+    // Attach every subscriber before the first push (construction does
+    // the SUBSCRIBE handshake synchronously), then drain in threads.
+    let expected: i64 = ((total / PUSHERS) * PUSHERS) as i64;
+    let subs: Vec<ResumingSubscription> = (0..subscribers)
+        .map(|_| {
+            let connect = if binary {
+                ResumingSubscription::connect_binary_with
+            } else {
+                ResumingSubscription::connect_with
+            };
+            connect(addr.to_string(), q, ReconnectPolicy::default()).expect("subscribe")
+        })
+        .collect();
+    let drainers: Vec<_> = subs
+        .into_iter()
+        .map(|mut sub| {
+            std::thread::spawn(move || {
+                let mut seen = 0i64;
+                let mut chunks = 0u64;
+                let deadline = Instant::now() + Duration::from_secs(240);
+                while seen < expected {
+                    assert!(
+                        Instant::now() < deadline,
+                        "subscriber saw only {seen} of {expected} events"
+                    );
+                    let Some(rows) =
+                        sub.next_chunk(Duration::from_millis(100)).expect("chunk")
+                    else {
+                        continue;
+                    };
+                    chunks += 1;
+                    match load {
+                        Workload::Aggregate => {
+                            for row in &rows {
+                                seen += row[0].as_int().expect("count column");
+                            }
+                        }
+                        Workload::Passthrough => seen += rows.len() as i64,
+                    }
+                }
+                assert_eq!(seen, expected, "events lost or duplicated end to end");
+                chunks
+            })
+        })
+        .collect();
+
+    // Connect and negotiate outside the timed region (both modes alike):
+    // the measurement is wire throughput, not TCP/HELLO handshake cost —
+    // which would otherwise dominate short runs. The clock starts at the
+    // barrier, once every pusher holds a ready connection.
     let per_pusher = total / PUSHERS;
-    let start = Instant::now();
+    let gate = Arc::new(Barrier::new(PUSHERS + 1));
     let pushers: Vec<_> = (0..PUSHERS)
         .map(|p| {
+            let gate = Arc::clone(&gate);
             std::thread::spawn(move || {
-                let mut client = Client::connect(addr).expect("pusher connect");
+                let mut client = if binary {
+                    let mut c = Client::connect_binary(addr).expect("pusher connect");
+                    // Prefetch the schema: the SCHEMA round trip is a
+                    // one-time negotiation cost, not wire throughput.
+                    c.schema_of("s").expect("schema prefetch");
+                    c
+                } else {
+                    Client::connect(addr).expect("pusher connect")
+                };
+                gate.wait();
                 let mut sent = 0usize;
                 while sent < per_pusher {
                     let n = batch.min(per_pusher - sent);
@@ -63,44 +159,43 @@ fn run(total: usize, batch: usize) -> (f64, u64, (f64, f64, f64)) {
             })
         })
         .collect();
+    gate.wait();
+    let start = Instant::now();
 
-    // Drain the subscription until every pushed tuple is accounted for.
-    let expected: i64 = (per_pusher * PUSHERS) as i64;
-    let mut seen = 0i64;
     let mut chunks = 0u64;
-    let deadline = Instant::now() + Duration::from_secs(120);
-    while seen < expected {
-        assert!(
-            Instant::now() < deadline,
-            "subscriber saw only {seen} of {expected} events"
-        );
-        if let Some(rows) = sub.next_chunk(Duration::from_millis(100)).expect("chunk") {
-            chunks += 1;
-            for row in rows {
-                seen += row[0].as_int().expect("count column");
-            }
-        }
+    for d in drainers {
+        chunks = chunks.max(d.join().expect("subscriber thread"));
     }
     let elapsed = start.elapsed().as_secs_f64();
-    assert_eq!(seen, expected, "events lost or duplicated end to end");
     for p in pushers {
         p.join().expect("pusher thread");
     }
-    drop(sub.stop());
     // Arrival tick → CHUNK frame on the socket: the true end-to-end
-    // latency of the wire loop, from the engine's delivery histogram.
-    let wire = server.with_engine(|e| {
-        e.metrics_snapshot()
+    // latency of the wire loop, from the engine's delivery histogram —
+    // plus the reactor's encode-once cache counters in binary mode.
+    let (wire, cache_hit_rate) = server.with_engine(|e| {
+        let snap = e.metrics_snapshot();
+        let wire = snap
             .histogram("datacell_wire_delivery_us")
             .map(|h| h.p50_p95_p99())
-            .unwrap_or((0.0, 0.0, 0.0))
+            .unwrap_or((0.0, 0.0, 0.0));
+        let hits = snap.counter("datacell_reactor_frame_cache_hits_total").unwrap_or(0) as f64;
+        let misses =
+            snap.counter("datacell_reactor_frame_cache_misses_total").unwrap_or(0) as f64;
+        let rate = if hits + misses > 0.0 { hits / (hits + misses) } else { 0.0 };
+        (wire, rate)
     });
     server.shutdown();
-    ((expected as f64) / elapsed, chunks, wire)
+    RunResult {
+        events_per_sec: (expected as f64) / elapsed,
+        chunks,
+        wire,
+        cache_hit_rate,
+    }
 }
 
-fn main() {
-    let total = datacell_bench::cli::events(TOTAL_EVENTS);
+/// The classic aggregate batch sweep (the PR-trajectory snapshot).
+fn main_aggregate(total: usize) {
     println!(
         "E10: client/server loop over loopback TCP — {PUSHERS} ingest clients + \
          1 subscriber, {total} events end to end\n"
@@ -111,18 +206,18 @@ fn main() {
     let mut snap_wire = (0.0, 0.0, 0.0);
     for batch in [64usize, 256, 1024] {
         let batch = batch.min(total.max(1));
-        let (eps, chunks, wire) = run(total, batch);
+        let r = run(total, batch, Workload::Aggregate, false, 1);
         t.row(&[
             batch.to_string(),
-            f1(eps),
-            chunks.to_string(),
-            f1(total as f64 / chunks.max(1) as f64),
-            f1(wire.0),
-            f1(wire.1),
+            f1(r.events_per_sec),
+            r.chunks.to_string(),
+            f1(total as f64 / r.chunks.max(1) as f64),
+            f1(r.wire.0),
+            f1(r.wire.1),
         ]);
-        if eps > snap {
-            snap = eps;
-            snap_wire = wire;
+        if r.events_per_sec > snap {
+            snap = r.events_per_sec;
+            snap_wire = r.wire;
         }
     }
     t.print();
@@ -132,4 +227,90 @@ fn main() {
          kernel dominates; every event is delivered exactly once end to end."
     );
     snapshot_latency("e10_server", snap, snap_wire);
+}
+
+/// Text vs binary over a row-passthrough query: every tuple crosses the
+/// wire twice (CSV lines vs columnar frames).
+fn main_wire_compare(total: usize, batch: usize) {
+    println!(
+        "E10 --wire-compare: row passthrough over loopback TCP, {total} events,\n\
+         batch {batch} — CSV text protocol vs binary columnar frames\n"
+    );
+    let text = run(total, batch, Workload::Passthrough, false, 1);
+    let bin = run(total, batch, Workload::Passthrough, true, 1);
+    let mut t = Table::new(&["mode", "events/s", "chunks", "wire p50", "wire p95"]);
+    t.row(&[
+        "text".into(),
+        f1(text.events_per_sec),
+        text.chunks.to_string(),
+        f1(text.wire.0),
+        f1(text.wire.1),
+    ]);
+    t.row(&[
+        "binary".into(),
+        f1(bin.events_per_sec),
+        bin.chunks.to_string(),
+        f1(bin.wire.0),
+        f1(bin.wire.1),
+    ]);
+    t.print();
+    let speedup = bin.events_per_sec / text.events_per_sec.max(1.0);
+    println!(
+        "\nbinary/text speedup: {speedup:.2}x — length-prefixed columnar frames\n\
+         skip per-byte newline scanning, per-row CSV formatting/parsing and\n\
+         per-subscriber re-encoding (frames are encoded once and shared)."
+    );
+    snapshot_latency("e10_wire_text", text.events_per_sec, text.wire);
+    snapshot_latency("e10_wire_binary", bin.events_per_sec, bin.wire);
+    snapshot("e10_wire_speedup", speedup);
+}
+
+/// Fan-out: N subscribers to one passthrough query; the encode-once
+/// cache turns N deliveries of a chunk into one encoding.
+fn main_fanout(total: usize, subscribers: usize, binary: bool) {
+    let mode = if binary { "binary" } else { "text" };
+    println!(
+        "E10 --subscribers {subscribers}: {mode}-mode fan-out over loopback TCP,\n\
+         {total} events delivered to every subscriber\n"
+    );
+    let r = run(total, 256, Workload::Passthrough, binary, subscribers);
+    let delivered = r.events_per_sec * subscribers as f64;
+    let mut t = Table::new(&["subscribers", "events/s", "deliveries/s", "cache hit %"]);
+    t.row(&[
+        subscribers.to_string(),
+        f1(r.events_per_sec),
+        f1(delivered),
+        f1(r.cache_hit_rate * 100.0),
+    ]);
+    t.print();
+    println!(
+        "\nshape check: with {subscribers} subscribers the reactor encodes each\n\
+         chunk once ({:.1}% cache hits) and fans the same bytes out to every\n\
+         write queue — deliveries/sec scales while encodings stay flat.",
+        r.cache_hit_rate * 100.0
+    );
+    snapshot(&format!("e10_fanout{subscribers}_{mode}"), delivered);
+}
+
+fn main() {
+    let total = datacell_bench::cli::events(TOTAL_EVENTS);
+    let binary = datacell_bench::cli::has_flag("--binary");
+    let subscribers: usize = datacell_bench::cli::arg_value("--subscribers")
+        .map(|v| v.parse().expect("--subscribers takes a count"))
+        .unwrap_or(1);
+    if datacell_bench::cli::has_flag("--wire-compare") {
+        // Batch 1024: large enough that the wire format (CSV lines vs
+        // columnar frames) dominates over per-batch ack round trips —
+        // the quantity this leg is comparing.
+        main_wire_compare(total, 1024);
+    } else if subscribers > 1 {
+        main_fanout(total, subscribers, binary);
+    } else if binary {
+        // Binary-mode aggregate loop (same shape as the default leg).
+        let r = run(total, 256, Workload::Aggregate, true, 1);
+        println!("E10 --binary: aggregate loop over binary frames");
+        snapshot_latency("e10_server_binary", r.events_per_sec, r.wire);
+    } else {
+        main_aggregate(total);
+    }
 }

@@ -324,6 +324,10 @@ impl Basket {
         if self.paused {
             return Ok(0);
         }
+        // Columnar schema gate: the zip-append below would silently
+        // truncate a ragged chunk, so arity/type/NOT-NULL must be checked
+        // up front — this is the trust boundary for binary `PUSH` frames.
+        self.schema.validate_chunk(chunk)?;
         if self.wal.is_some() {
             // The durable path pays a row conversion here; the columnar
             // fast path below is untouched when no log is attached. The

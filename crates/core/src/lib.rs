@@ -72,5 +72,7 @@ pub use datacell_wal::{RetryPolicy, SyncPolicy, WalConfig, WalStats};
 pub use datacell_faults::{FaultKind, FaultPlan, FaultPoint, FaultRule, Faults, Trigger};
 // Re-export the observability snapshot types (and the exposition-format
 // validator) so engine users don't need datacell-obs.
-pub use datacell_obs::{parse_prometheus, HistogramSnapshot, MetricsSnapshot, TraceEvent};
+pub use datacell_obs::{
+    parse_prometheus, Counter, Gauge, HistogramSnapshot, MetricsSnapshot, TraceEvent,
+};
 

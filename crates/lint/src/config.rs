@@ -133,7 +133,7 @@ impl Config {
                 "datacell-server",
                 "crates/server",
                 &["datacell-storage", "datacell-core", "datacell-faults"],
-                &[],
+                &["polling"],
             ),
             CrateSpec::new(
                 "datacell-baseline",
@@ -200,6 +200,8 @@ impl Config {
                 deny("crates/core/src/durability.rs"),
                 deny("crates/server/src/protocol.rs"),
                 deny("crates/server/src/session.rs"),
+                deny("crates/server/src/frame.rs"),
+                deny("crates/server/src/reactor.rs"),
             ],
             lock_paths: vec![
                 deny("crates/core/src/"),
@@ -215,6 +217,7 @@ impl Config {
                 deny("crates/algebra/src/"),
                 deny("crates/plan/src/"),
                 deny("crates/server/src/protocol.rs"),
+                deny("crates/server/src/frame.rs"),
             ],
             codecs: vec![
                 CodecSpec {
@@ -258,6 +261,12 @@ impl Config {
                     enum_name: "Command".into(),
                     encode: ("crates/server/src/session.rs".into(), "dispatch".into()),
                     decode: ("crates/server/src/protocol.rs".into(), "parse_command".into()),
+                },
+                CodecSpec {
+                    enum_file: "crates/server/src/frame.rs".into(),
+                    enum_name: "FrameTag".into(),
+                    encode: ("crates/server/src/frame.rs".into(), "tag_byte".into()),
+                    decode: ("crates/server/src/frame.rs".into(), "tag_from_byte".into()),
                 },
             ],
         }

@@ -1,7 +1,7 @@
 //! `datacell-cli` — interactive / scripted wire-protocol session.
 //!
 //! ```text
-//! datacell-cli [--addr HOST:PORT] [--fail-on-err]
+//! datacell-cli [--addr HOST:PORT] [--fail-on-err] [--binary]
 //! ```
 //!
 //! Reads protocol lines from stdin and forwards them verbatim; prints
@@ -10,17 +10,26 @@
 //! is sent automatically (unless the script already quit). With
 //! `--fail-on-err` the exit status is 1 if the server ever answered
 //! `ERR`.
+//!
+//! `--binary` negotiates `HELLO BINARY 1` after connecting and speaks
+//! length-prefixed frames on the wire: stdin lines travel as TEXT
+//! frames, and incoming CHUNK frames are printed in the same
+//! `CHUNK <id> <n> <seq>` + CSV-rows form the text protocol uses — a
+//! scripted session's expected output is identical in both modes.
 
-use std::io::{BufRead, Write};
+use std::io::{BufRead, Read, Write};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
+use datacell_server::frame::{self, Frame, FrameBuf};
+use datacell_server::protocol;
 use datacell_server::session::{LineReader, ReadLine};
 
 fn main() {
     let mut addr = "127.0.0.1:4321".to_string();
     let mut fail_on_err = false;
+    let mut binary = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -32,8 +41,9 @@ fn main() {
                 }
             },
             "--fail-on-err" => fail_on_err = true,
+            "--binary" => binary = true,
             other => {
-                eprintln!("usage: datacell-cli [--addr HOST:PORT] [--fail-on-err]");
+                eprintln!("usage: datacell-cli [--addr HOST:PORT] [--fail-on-err] [--binary]");
                 eprintln!("unknown argument {other:?}");
                 std::process::exit(2);
             }
@@ -50,33 +60,62 @@ fn main() {
     stream.set_nodelay(true).ok();
     let saw_err = Arc::new(AtomicBool::new(false));
 
-    // Reader thread: print every server line until the connection closes.
-    let printer = {
-        let stream = match stream.try_clone() {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("datacell-cli: cannot clone socket: {e}");
+    // `--binary`: negotiate frames while the wire is still line-oriented,
+    // before the printer thread attaches. Bytes the handshake reader
+    // over-read are already frames and carry over into the frame buffer.
+    let mut leftover: Vec<u8> = Vec::new();
+    if binary {
+        let hello = format!("HELLO BINARY {}\n", datacell_storage::binio::WIRE_VERSION);
+        let reply = stream
+            .try_clone()
+            .map_err(|e| e.to_string())
+            .and_then(|clone| {
+                (&stream).write_all(hello.as_bytes()).map_err(|e| e.to_string())?;
+                let mut reader = LineReader::new(clone);
+                loop {
+                    match reader.poll_line().map_err(|e| e.to_string())? {
+                        ReadLine::Line(l) => {
+                            leftover = reader.take_buffered();
+                            return Ok(l);
+                        }
+                        ReadLine::Idle => {}
+                        ReadLine::Overlong => return Err("overlong HELLO reply".into()),
+                        ReadLine::Eof => return Err("connection closed during HELLO".into()),
+                    }
+                }
+            });
+        match reply {
+            Ok(l) if l == format!("OK HELLO BINARY {}", datacell_storage::binio::WIRE_VERSION) => {}
+            Ok(l) => {
+                eprintln!("datacell-cli: binary negotiation refused: {l}");
                 std::process::exit(1);
             }
-        };
+            Err(e) => {
+                eprintln!("datacell-cli: binary negotiation failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let reader_stream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("datacell-cli: cannot clone socket: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    // Reader thread: print every server line until the connection closes.
+    // In binary mode frames are decoded and printed in the text protocol's
+    // shape (CHUNK header + CSV rows), so scripted expectations hold in
+    // both modes.
+    let printer = {
         let saw_err = saw_err.clone();
         std::thread::spawn(move || {
-            let mut reader = LineReader::new(stream);
-            loop {
-                match reader.poll_line() {
-                    Ok(ReadLine::Line(l)) => {
-                        if l.starts_with("ERR ") {
-                            saw_err.store(true, Ordering::Relaxed);
-                        }
-                        println!("{l}");
-                    }
-                    Ok(ReadLine::Overlong) => {
-                        saw_err.store(true, Ordering::Relaxed);
-                        eprintln!("datacell-cli: server line exceeded 1 MiB, skipped");
-                    }
-                    Ok(ReadLine::Idle) => {}
-                    Ok(ReadLine::Eof) | Err(_) => break,
-                }
+            if binary {
+                print_frames(reader_stream, leftover, &saw_err);
+            } else {
+                print_lines(reader_stream, &saw_err);
             }
             std::io::stdout().flush().ok();
         })
@@ -95,12 +134,19 @@ fn main() {
         if upper == "QUIT" || upper == "SHUTDOWN" {
             sent_quit = true;
         }
-        if writer.write_all(format!("{line}\n").as_bytes()).is_err() {
+        let wire = if binary {
+            frame::encode_text(&line)
+        } else {
+            format!("{line}\n").into_bytes()
+        };
+        if writer.write_all(&wire).is_err() {
             break;
         }
     }
     if !sent_quit {
-        let _ = writer.write_all(b"QUIT\n");
+        let quit =
+            if binary { frame::encode_text("QUIT") } else { b"QUIT\n".to_vec() };
+        let _ = writer.write_all(&quit);
     }
     // The server closes the connection after QUIT/SHUTDOWN; the printer
     // thread drains the remaining replies and exits on EOF.
@@ -108,5 +154,82 @@ fn main() {
 
     if fail_on_err && saw_err.load(Ordering::Relaxed) {
         std::process::exit(1);
+    }
+}
+
+/// Text mode: one server line per stdout line.
+fn print_lines(stream: TcpStream, saw_err: &AtomicBool) {
+    let mut reader = LineReader::new(stream);
+    loop {
+        match reader.poll_line() {
+            Ok(ReadLine::Line(l)) => {
+                if l.starts_with("ERR ") {
+                    saw_err.store(true, Ordering::Relaxed);
+                }
+                println!("{l}");
+            }
+            Ok(ReadLine::Overlong) => {
+                saw_err.store(true, Ordering::Relaxed);
+                eprintln!("datacell-cli: server line exceeded 1 MiB, skipped");
+            }
+            Ok(ReadLine::Idle) => {}
+            Ok(ReadLine::Eof) | Err(_) => break,
+        }
+    }
+}
+
+/// Binary mode: decode frames, print TEXT payload lines verbatim and
+/// CHUNK frames re-rendered in the text protocol's CSV shape.
+fn print_frames(mut stream: TcpStream, leftover: Vec<u8>, saw_err: &AtomicBool) {
+    let mut fbuf = FrameBuf::new();
+    fbuf.push_bytes(&leftover);
+    let mut buf = [0u8; 64 * 1024];
+    loop {
+        loop {
+            match fbuf.next_frame() {
+                Ok(Some((tag, payload))) => match frame::decode_frame(tag, &payload) {
+                    Ok(Frame::Text(t)) => {
+                        for l in t.lines() {
+                            if l.starts_with("ERR ") {
+                                saw_err.store(true, Ordering::Relaxed);
+                            }
+                            println!("{l}");
+                        }
+                    }
+                    Ok(Frame::Chunk { query, seq, chunk }) => {
+                        print!("{}", protocol::encode_chunk(query, seq, &chunk));
+                    }
+                    Ok(Frame::Push { .. }) => {
+                        saw_err.store(true, Ordering::Relaxed);
+                        eprintln!("datacell-cli: unexpected PUSH frame from server");
+                        return;
+                    }
+                    Err(e) => {
+                        saw_err.store(true, Ordering::Relaxed);
+                        eprintln!("datacell-cli: bad frame from server: {}", e.0);
+                        return;
+                    }
+                },
+                Ok(None) => break,
+                Err(e) => {
+                    // An untrusted length field cannot be resynced.
+                    saw_err.store(true, Ordering::Relaxed);
+                    eprintln!("datacell-cli: frame stream desynced: {}", e.0);
+                    return;
+                }
+            }
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => fbuf.push_bytes(&buf[..n]),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) => {}
+            Err(_) => break,
+        }
     }
 }

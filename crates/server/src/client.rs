@@ -9,17 +9,31 @@
 //!   reconnects (jittered exponential backoff) when the socket dies,
 //!   re-attaching with `SUBSCRIBE … AFTER <epoch> <seq>` so the stream
 //!   resumes at the last chunk it saw — across server restarts too.
+//!
+//! Both work in **text** or **binary** wire mode. [`Client::connect_binary`]
+//! (or [`Client::hello_binary`] on an open connection) negotiates
+//! `HELLO BINARY <version>`; afterwards commands travel as TEXT frames,
+//! ingest as columnar PUSH frames (the row schema is fetched once per
+//! stream via `SCHEMA`), and subscription results arrive as columnar
+//! CHUNK frames — same replies, same resume coordinates, so everything
+//! above the framing layer is mode-agnostic.
 
+use std::collections::VecDeque;
 use std::fmt;
-use std::io::{self, Write};
+use std::io::{self, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::{Duration, SystemTime, UNIX_EPOCH};
 
 use datacell_core::ExecutionMode;
-use datacell_storage::Row;
+use datacell_storage::binio::{self, ByteReader};
+use datacell_storage::{Row, Schema};
 
-use crate::protocol::{decode_row, encode_row, split_fields, PUSH_END};
+use crate::frame::{self, Frame, FrameBuf};
+use crate::protocol::{decode_hex, decode_row, encode_row, split_fields, PUSH_END};
 use crate::session::{LineReader, ReadLine};
+
+/// Socket read granularity in binary mode.
+const FRAME_READ_BUF: usize = 64 * 1024;
 
 /// Client-side failure.
 #[derive(Debug)]
@@ -81,29 +95,198 @@ pub enum ExecReply {
     },
 }
 
+/// One mode-aware wire read: what the server produced next.
+#[derive(Debug)]
+enum Wire {
+    /// A reply line (TEXT frame line in binary mode).
+    Line(String),
+    /// One result chunk with its delivery sequence number.
+    Chunk {
+        seq: u64,
+        rows: Vec<Row>,
+    },
+    /// Read timeout elapsed with no complete line/frame.
+    Idle,
+    /// Peer closed the connection.
+    Eof,
+}
+
 /// A blocking connection to a DataCell server.
 pub struct Client {
     stream: TcpStream,
     reader: LineReader<TcpStream>,
+    /// True after `HELLO BINARY` negotiation: both directions are frames.
+    binary: bool,
+    /// Frame accumulator (binary mode only).
+    fbuf: FrameBuf,
+    /// Decoded-but-undelivered wire events, in arrival order.
+    pending: VecDeque<Wire>,
+    /// Per-stream schema cache for columnar PUSH encoding.
+    schemas: Vec<(String, Schema)>,
 }
 
 impl Client {
-    /// Connect to a server.
+    /// Connect to a server (text mode).
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Client> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
         let reader = LineReader::new(stream.try_clone()?);
-        Ok(Client { stream, reader })
+        Ok(Client {
+            stream,
+            reader,
+            binary: false,
+            fbuf: FrameBuf::new(),
+            pending: VecDeque::new(),
+            schemas: Vec::new(),
+        })
     }
 
-    fn send_line(&mut self, line: &str) -> Result<()> {
-        self.stream.write_all(line.as_bytes())?;
-        self.stream.write_all(b"\n")?;
+    /// Connect and negotiate the binary wire protocol.
+    pub fn connect_binary(addr: impl ToSocketAddrs) -> Result<Client> {
+        let mut client = Client::connect(addr)?;
+        client.hello_binary()?;
+        Ok(client)
+    }
+
+    /// True once the connection speaks frames in both directions.
+    pub fn is_binary(&self) -> bool {
+        self.binary
+    }
+
+    /// Negotiate binary mode on an open text-mode connection:
+    /// `HELLO BINARY <version>` → `OK HELLO BINARY <version>`, after which
+    /// both directions switch to length-prefixed frames. Idempotent.
+    pub fn hello_binary(&mut self) -> Result<()> {
+        if self.binary {
+            return Ok(());
+        }
+        self.send_line(&format!("HELLO BINARY {}", binio::WIRE_VERSION))?;
+        let line = self.read_line()?;
+        let expected = format!("OK HELLO BINARY {}", binio::WIRE_VERSION);
+        if line != expected {
+            return Err(ClientError::Protocol(format!(
+                "unexpected HELLO reply {line:?} (expected {expected:?})"
+            )));
+        }
+        self.binary = true;
+        // Anything the line reader buffered past the OK line is already
+        // frame bytes — hand it to the frame accumulator.
+        let leftover = self.reader.take_buffered();
+        self.fbuf.push_bytes(&leftover);
         Ok(())
+    }
+
+    /// Send one command line as a **single** write: text mode appends the
+    /// newline before writing (two `write_all`s could interleave with a
+    /// concurrent writer on a cloned handle, and cost an extra packet
+    /// with `TCP_NODELAY`); binary mode wraps the line in a TEXT frame.
+    fn send_line(&mut self, line: &str) -> Result<()> {
+        if self.binary {
+            self.stream.write_all(&frame::encode_text(line))?;
+        } else {
+            let mut buf = Vec::with_capacity(line.len() + 1);
+            buf.extend_from_slice(line.as_bytes());
+            buf.push(b'\n');
+            self.stream.write_all(&buf)?;
+        }
+        Ok(())
+    }
+
+    /// Pull the next wire event in binary mode: drain decoded events,
+    /// then whole frames out of the accumulator, then the socket.
+    fn read_event_binary(&mut self, timeout: Option<Duration>) -> Result<Wire> {
+        loop {
+            if let Some(ev) = self.pending.pop_front() {
+                return Ok(ev);
+            }
+            let mut decoded = false;
+            while let Some((tag, payload)) =
+                self.fbuf.next_frame().map_err(|e| ClientError::Protocol(e.0))?
+            {
+                match frame::decode_frame(tag, &payload)
+                    .map_err(|e| ClientError::Protocol(e.0))?
+                {
+                    Frame::Text(text) => {
+                        for line in text.lines() {
+                            self.pending.push_back(Wire::Line(line.to_owned()));
+                            decoded = true;
+                        }
+                    }
+                    Frame::Chunk { seq, chunk, .. } => {
+                        self.pending.push_back(Wire::Chunk {
+                            seq,
+                            rows: chunk.rows().collect(),
+                        });
+                        decoded = true;
+                    }
+                    Frame::Push { .. } => {
+                        return Err(ClientError::Protocol(
+                            "PUSH frames flow client to server only".into(),
+                        ));
+                    }
+                }
+            }
+            if decoded {
+                continue;
+            }
+            self.stream.set_read_timeout(timeout)?;
+            let mut buf = [0u8; FRAME_READ_BUF];
+            match self.stream.read(&mut buf) {
+                Ok(0) => return Ok(Wire::Eof),
+                Ok(n) => self.fbuf.push_bytes(&buf[..n]),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    return Ok(Wire::Idle)
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    /// One streaming-mode wire read: a chunk, a control line
+    /// (`OK STOPPED` / `ERR` / `PONG`), idle, or EOF — mode-agnostic.
+    fn read_stream_event(&mut self, timeout: Option<Duration>) -> Result<Wire> {
+        if self.binary {
+            return self.read_event_binary(timeout);
+        }
+        self.stream.set_read_timeout(timeout)?;
+        match self.reader.poll_line()? {
+            ReadLine::Idle => Ok(Wire::Idle),
+            ReadLine::Eof => Ok(Wire::Eof),
+            ReadLine::Overlong => {
+                Err(ClientError::Protocol("server frame line exceeds 1 MiB".into()))
+            }
+            ReadLine::Line(l) => {
+                if l.starts_with("CHUNK ") {
+                    let (seq, rows) = self.read_chunk_frame(&l)?;
+                    Ok(Wire::Chunk { seq, rows })
+                } else {
+                    Ok(Wire::Line(l))
+                }
+            }
+        }
     }
 
     /// Read one reply line, blocking indefinitely.
     fn read_line(&mut self) -> Result<String> {
+        if self.binary {
+            return match self.read_event_binary(None)? {
+                Wire::Line(l) => Ok(l),
+                Wire::Chunk { .. } => Err(ClientError::Protocol(
+                    "unexpected CHUNK frame while awaiting a reply line".into(),
+                )),
+                Wire::Eof => Err(ClientError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                ))),
+                Wire::Idle => Err(ClientError::Protocol("idle on blocking read".into())),
+            };
+        }
         self.stream.set_read_timeout(None)?;
         match self.reader.poll_line()? {
             ReadLine::Line(l) => Ok(l),
@@ -219,20 +402,69 @@ impl Client {
         self.expect_reply("OK DEREGISTERED ").map(|_| ())
     }
 
+    /// Fetch (and cache) a stream's schema via `SCHEMA <stream>` — the
+    /// client-side half of columnar PUSH encoding. Public so latency-
+    /// sensitive producers can prefetch instead of paying the round trip
+    /// on their first [`push_rows`](Self::push_rows).
+    pub fn schema_of(&mut self, stream: &str) -> Result<Schema> {
+        if let Some((_, s)) = self.schemas.iter().find(|(n, _)| n == stream) {
+            return Ok(s.clone());
+        }
+        self.send_line(&format!("SCHEMA {stream}"))?;
+        let rest = self.expect_reply("OK SCHEMA ")?;
+        let (name, hex) = rest.split_once(' ').ok_or_else(|| {
+            ClientError::Protocol(format!("bad SCHEMA reply {rest:?}"))
+        })?;
+        if name != stream {
+            return Err(ClientError::Protocol(format!(
+                "SCHEMA reply names {name:?}, asked for {stream:?}"
+            )));
+        }
+        let bytes = decode_hex(hex).map_err(|e| ClientError::Protocol(e.0))?;
+        let mut r = ByteReader::new(&bytes);
+        let schema = binio::decode_schema(&mut r)
+            .map_err(|e| ClientError::Protocol(e.to_string()))?;
+        self.schemas.push((stream.to_owned(), schema.clone()));
+        Ok(schema)
+    }
+
     /// Bulk-ingest rows into a stream (the socket-receptor path). Returns
     /// how many rows the basket accepted.
+    ///
+    /// Text mode sends the multi-line `PUSH … END` block; binary mode
+    /// encodes one columnar PUSH frame against the stream's schema
+    /// (fetched once via `SCHEMA` and cached per connection). Either way
+    /// the batch leaves in a single write.
     pub fn push_rows(&mut self, stream: &str, rows: &[Row]) -> Result<usize> {
-        let mut block = format!("PUSH {stream}\n");
-        for row in rows {
-            block.push_str(&encode_row(row));
+        if self.binary {
+            let schema = self.schema_of(stream)?;
+            let bytes = frame::encode_push_frame(stream, &schema, rows)
+                .map_err(|e| ClientError::Protocol(e.0))?;
+            self.stream.write_all(&bytes)?;
+        } else {
+            let mut block = format!("PUSH {stream}\n");
+            for row in rows {
+                block.push_str(&encode_row(row));
+                block.push('\n');
+            }
+            block.push_str(PUSH_END);
             block.push('\n');
+            self.stream.write_all(block.as_bytes())?;
         }
-        block.push_str(PUSH_END);
-        block.push('\n');
-        self.stream.write_all(block.as_bytes())?;
-        let rest = self.expect_reply("OK PUSHED ")?;
-        rest.parse()
-            .map_err(|_| ClientError::Protocol(format!("bad push count {rest:?}")))
+        match self.expect_reply("OK PUSHED ") {
+            Ok(rest) => rest
+                .parse()
+                .map_err(|_| ClientError::Protocol(format!("bad push count {rest:?}"))),
+            Err(e) => {
+                // A server-side rejection may mean the stream was dropped
+                // and recreated with a different shape — forget the cached
+                // schema so the next attempt re-fetches it.
+                if matches!(e, ClientError::Server(_)) {
+                    self.schemas.retain(|(n, _)| n != stream);
+                }
+                Err(e)
+            }
+        }
     }
 
     /// [`Client::push_rows`], but when the server sheds the batch with
@@ -436,33 +668,24 @@ impl Subscription<'_> {
         if self.finished {
             return Ok(None);
         }
-        self.client.stream.set_read_timeout(Some(timeout))?;
-        let header = match self.client.reader.poll_line()? {
-            ReadLine::Idle => return Ok(None),
-            ReadLine::Eof => {
+        match self.client.read_stream_event(Some(timeout))? {
+            Wire::Idle => Ok(None),
+            Wire::Eof => {
                 self.finished = true;
-                return Ok(None);
+                Ok(None)
             }
-            ReadLine::Overlong => {
-                return Err(ClientError::Protocol(
-                    "server frame line exceeds 1 MiB".into(),
-                ))
+            Wire::Line(l) if l.starts_with("OK STOPPED") => {
+                self.finished = true;
+                Ok(None)
             }
-            ReadLine::Line(l) => l,
-        };
-        self.read_frame_body(&header)
-    }
-
-    /// Parse one frame starting at `header`, reading its rows (blocking —
-    /// the server writes a frame contiguously).
-    fn read_frame_body(&mut self, header: &str) -> Result<Option<Vec<Row>>> {
-        if header.starts_with("OK STOPPED") {
-            self.finished = true;
-            return Ok(None);
+            Wire::Line(l) => Err(ClientError::Protocol(format!(
+                "expected CHUNK frame, got {l:?}"
+            ))),
+            Wire::Chunk { seq, rows } => {
+                self.last_seq = seq;
+                Ok(Some(rows))
+            }
         }
-        let (seq, rows) = self.client.read_chunk_frame(header)?;
-        self.last_seq = seq;
-        Ok(Some(rows))
     }
 
     /// Leave streaming mode: send `STOP`, drain in-flight chunks, return
@@ -475,18 +698,33 @@ impl Subscription<'_> {
         self.client.send_line("STOP")?;
         let mut tail = Vec::new();
         let (chunks, rows) = loop {
-            self.client.stream.set_read_timeout(None)?;
-            let line = self.client.read_line()?;
-            if let Some(rest) = line.strip_prefix("OK STOPPED ") {
-                self.finished = true;
-                let mut it = rest.split_whitespace();
-                let chunks = it.next().and_then(|n| n.parse().ok()).unwrap_or(0);
-                let rows = it.next().and_then(|n| n.parse().ok()).unwrap_or(0);
-                break (chunks, rows);
-            }
-            // A CHUNK frame raced with our STOP; keep it.
-            if let Some(rows) = self.read_frame_body(&line)? {
-                tail.push(rows);
+            match self.client.read_stream_event(None)? {
+                Wire::Line(line) => {
+                    let Some(rest) = line.strip_prefix("OK STOPPED ") else {
+                        return Err(ClientError::Protocol(format!(
+                            "expected CHUNK frame, got {line:?}"
+                        )));
+                    };
+                    self.finished = true;
+                    let mut it = rest.split_whitespace();
+                    let chunks = it.next().and_then(|n| n.parse().ok()).unwrap_or(0);
+                    let rows = it.next().and_then(|n| n.parse().ok()).unwrap_or(0);
+                    break (chunks, rows);
+                }
+                // A CHUNK frame raced with our STOP; keep it.
+                Wire::Chunk { seq, rows } => {
+                    self.last_seq = seq;
+                    tail.push(rows);
+                }
+                Wire::Idle => {
+                    return Err(ClientError::Protocol("idle on blocking read".into()))
+                }
+                Wire::Eof => {
+                    return Err(ClientError::Io(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "server closed the connection",
+                    )))
+                }
             }
         };
         // Resync: if the server ended the stream on its own (LIMIT,
@@ -567,6 +805,7 @@ pub struct ResumingSubscription {
     addr: String,
     query: u64,
     policy: ReconnectPolicy,
+    binary: bool,
     client: Option<Client>,
     names: Vec<String>,
     epoch: u64,
@@ -589,10 +828,37 @@ impl ResumingSubscription {
         query: u64,
         policy: ReconnectPolicy,
     ) -> Result<ResumingSubscription> {
+        ResumingSubscription::connect_mode(addr, query, policy, false)
+    }
+
+    /// Subscribe over the binary wire protocol (default reconnect
+    /// policy). Every attach — including reconnects after a lost socket
+    /// or server restart — renegotiates `HELLO BINARY` before resuming
+    /// with `AFTER <epoch> <seq>`.
+    pub fn connect_binary(addr: impl Into<String>, query: u64) -> Result<ResumingSubscription> {
+        ResumingSubscription::connect_mode(addr, query, ReconnectPolicy::default(), true)
+    }
+
+    /// Binary-mode subscribe with an explicit reconnect policy.
+    pub fn connect_binary_with(
+        addr: impl Into<String>,
+        query: u64,
+        policy: ReconnectPolicy,
+    ) -> Result<ResumingSubscription> {
+        ResumingSubscription::connect_mode(addr, query, policy, true)
+    }
+
+    fn connect_mode(
+        addr: impl Into<String>,
+        query: u64,
+        policy: ReconnectPolicy,
+        binary: bool,
+    ) -> Result<ResumingSubscription> {
         let mut sub = ResumingSubscription {
             addr: addr.into(),
             query,
             policy,
+            binary,
             client: None,
             names: Vec::new(),
             epoch: 0,
@@ -631,6 +897,9 @@ impl ResumingSubscription {
     /// chunk seen if this is a re-attach.
     fn attach(&mut self) -> Result<()> {
         let mut client = Client::connect(self.addr.as_str())?;
+        if self.binary {
+            client.hello_binary()?;
+        }
         let after = if self.attached_once {
             Some((self.epoch, self.last_seq))
         } else {
@@ -673,27 +942,18 @@ impl ResumingSubscription {
 
     /// One streaming read on an attached connection.
     fn poll(client: &mut Client, timeout: Duration) -> Result<Poll> {
-        client.stream.set_read_timeout(Some(timeout))?;
-        let header = match client.reader.poll_line()? {
-            ReadLine::Idle => return Ok(Poll::Idle),
-            ReadLine::Eof => {
-                return Err(ClientError::Io(io::Error::new(
-                    io::ErrorKind::UnexpectedEof,
-                    "server closed the connection",
-                )))
-            }
-            ReadLine::Overlong => {
-                return Err(ClientError::Protocol(
-                    "server frame line exceeds 1 MiB".into(),
-                ))
-            }
-            ReadLine::Line(l) => l,
-        };
-        if header.starts_with("OK STOPPED") {
-            return Ok(Poll::Stopped);
+        match client.read_stream_event(Some(timeout))? {
+            Wire::Idle => Ok(Poll::Idle),
+            Wire::Eof => Err(ClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ))),
+            Wire::Line(l) if l.starts_with("OK STOPPED") => Ok(Poll::Stopped),
+            Wire::Line(l) => Err(ClientError::Protocol(format!(
+                "expected CHUNK frame, got {l:?}"
+            ))),
+            Wire::Chunk { seq, rows } => Ok(Poll::Chunk { seq, rows }),
         }
-        let (seq, rows) = client.read_chunk_frame(&header)?;
-        Ok(Poll::Chunk { seq, rows })
     }
 
     /// Wait up to `timeout` for the next chunk, transparently

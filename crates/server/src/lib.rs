@@ -4,27 +4,41 @@
 //! outside world" (§3) made real. Receptors and emitters stop being
 //! in-process iterator/channel adapters and become **sockets**:
 //!
-//! * a `PUSH` block is a **socket receptor** — CSV rows flow off the wire
-//!   into a stream's basket in one batch;
+//! * a `PUSH` block is a **socket receptor** — rows flow off the wire
+//!   into a stream's basket in one batch: CSV lines on a text session,
+//!   one columnar `PUSH` frame on a binary one;
 //! * a `SUBSCRIBE`d connection is an **emitter** — result chunks stream
 //!   back to the client with bounded-queue backpressure (drop-oldest, see
 //!   `DataCellConfig::emitter_capacity`).
+//!
+//! Every connection starts in the line-oriented text protocol; a client
+//! may upgrade with `HELLO BINARY 1`, after which both directions speak
+//! length-prefixed frames (see [`frame`]) — result chunks are then
+//! encoded **once** per (query, seq) and the same bytes fan out to every
+//! binary subscriber.
 //!
 //! Layering (each unit-testable below the sockets):
 //!
 //! * [`protocol`] — line-oriented wire grammar: framing, CSV value
 //!   encoding, command parsing. No I/O.
+//! * [`frame`] — the binary wire grammar: tagged length-prefixed frames
+//!   (TEXT / CHUNK / PUSH) and the incremental [`FrameBuf`] cutter. No
+//!   I/O either.
 //! * [`replay`] — per-query retained result tails with delivery sequence
 //!   numbers, powering reconnect-with-resume (`SUBSCRIBE … AFTER`).
 //! * [`session`] — one thread per connection: command dispatch and the
-//!   streaming (subscription) mode.
+//!   streaming (subscription) mode for text sessions.
+//! * [`reactor`] — the readiness-based driver for binary sessions: one
+//!   thread, an epoll poller (`vendor/polling`), per-session write queues
+//!   with high-water backpressure, and the encode-once frame cache. Text
+//!   sessions that negotiate `HELLO BINARY` are handed off here.
 //! * [`server`] — the listener, the shared engine behind a mutex, the
 //!   scheduler pump thread, graceful shutdown, server-wide stats.
 //! * [`client`] — a blocking client for tests, the CLI and load
-//!   generators.
+//!   generators; speaks both modes ([`Client::connect_binary`]).
 //!
 //! Binaries: `datacell-server` (the daemon) and `datacell-cli`
-//! (interactive/scripted session).
+//! (interactive/scripted session, `--binary` for framed mode).
 //!
 //! ```
 //! use datacell_server::{Client, Server, ServerConfig};
@@ -48,7 +62,9 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod frame;
 pub mod protocol;
+pub mod reactor;
 pub mod replay;
 pub mod server;
 pub mod session;
@@ -56,6 +72,7 @@ pub mod session;
 pub use client::{
     Client, ClientError, ExecReply, ReconnectPolicy, ResumingSubscription, Subscription,
 };
+pub use frame::{Frame, FrameBuf, FrameTag};
 pub use protocol::{Command, ProtocolError};
 pub use replay::ReplayRing;
 pub use server::{Server, ServerConfig, ServerStats};

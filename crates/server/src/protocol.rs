@@ -6,6 +6,10 @@
 //! ```text
 //! client → server                       server → client
 //! ---------------------------------------------------------------------
+//! HELLO BINARY <version>                OK HELLO BINARY <version>
+//!                                         (both directions switch to
+//!                                          binary frames — see `frame`)
+//! SCHEMA <stream>                       OK SCHEMA <stream> <hex-schema>
 //! PING                                  PONG
 //! EXEC <sql>                            OK CREATED <name> | OK DROPPED <name>
 //!                                       | OK INSERTED <n>
@@ -71,6 +75,15 @@ fn err(msg: impl Into<String>) -> ProtocolError {
 /// One client command, parsed from its first line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
+    /// Negotiate the binary wire mode: `HELLO BINARY <version>`. On
+    /// `OK HELLO BINARY <version>` both directions switch to frames (see
+    /// [`crate::frame`]); an unsupported version answers `ERR` and the
+    /// session stays in text mode.
+    Hello(u32),
+    /// Fetch a stream's schema (`SCHEMA <stream>`), hex-encoded
+    /// `binio::encode_schema` bytes — what a binary client needs to build
+    /// columnar `PUSH` frames.
+    Schema(String),
     /// Liveness probe.
     Ping,
     /// Run one SQL statement.
@@ -130,6 +143,23 @@ pub fn parse_command(line: &str) -> Result<Command, ProtocolError> {
         }
     };
     match word.to_ascii_uppercase().as_str() {
+        "HELLO" => {
+            const SYNTAX: &str = "HELLO syntax: HELLO BINARY <version>";
+            let mut parts = rest.split_whitespace();
+            match (parts.next().map(str::to_ascii_uppercase), parts.next(), parts.next()) {
+                (Some(kw), Some(v), None) if kw == "BINARY" => v
+                    .parse::<u32>()
+                    .map(Command::Hello)
+                    .map_err(|_| err(format!("HELLO BINARY requires a version, got {v:?}"))),
+                _ => Err(err(SYNTAX)),
+            }
+        }
+        "SCHEMA" => {
+            if rest.is_empty() || rest.contains(char::is_whitespace) {
+                return Err(err("SCHEMA requires exactly one stream name"));
+            }
+            Ok(Command::Schema(rest.to_owned()))
+        }
         "PING" => expect_empty("PING").map(|()| Command::Ping),
         "EXEC" => {
             if rest.is_empty() {
@@ -456,6 +486,38 @@ pub fn err_line(msg: &str) -> String {
     format!("ERR {}\n", msg.replace(['\n', '\r'], "; "))
 }
 
+// ---- hex (SCHEMA reply payload) ---------------------------------------
+
+/// Lowercase hex of `bytes` (the `OK SCHEMA` reply carries binary schema
+/// bytes inside a text line).
+pub fn encode_hex(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        let hi = b >> 4;
+        let lo = b & 0xf;
+        for n in [hi, lo] {
+            out.push(char::from_digit(n as u32, 16).unwrap_or('0'));
+        }
+    }
+    out
+}
+
+/// Inverse of [`encode_hex`].
+pub fn decode_hex(s: &str) -> Result<Vec<u8>, ProtocolError> {
+    if !s.len().is_multiple_of(2) {
+        return Err(err("odd-length hex payload"));
+    }
+    let digits: Vec<u8> = s
+        .chars()
+        .map(|c| {
+            c.to_digit(16)
+                .map(|d| d as u8)
+                .ok_or_else(|| err(format!("bad hex digit {c:?}")))
+        })
+        .collect::<Result<_, _>>()?;
+    Ok(digits.chunks_exact(2).map(|p| (p[0] << 4) | p[1]).collect())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -524,6 +586,31 @@ mod tests {
         assert!(parse_command("SUBSCRIBE 3 AFTER 17 x").is_err());
         assert!(parse_command("SUBSCRIBE 3 AFTER 1 2 AFTER 3 4").is_err());
         assert!(parse_command("SUBSCRIBE 3 LIMIT 1 LIMIT 2").is_err());
+    }
+
+    #[test]
+    fn parse_negotiation_commands() {
+        assert_eq!(parse_command("HELLO BINARY 1").unwrap(), Command::Hello(1));
+        assert_eq!(parse_command("hello binary 2").unwrap(), Command::Hello(2));
+        assert_eq!(parse_command("SCHEMA trades").unwrap(), Command::Schema("trades".into()));
+        assert!(parse_command("HELLO").is_err());
+        assert!(parse_command("HELLO BINARY").is_err());
+        assert!(parse_command("HELLO BINARY x").is_err());
+        assert!(parse_command("HELLO TEXT 1").is_err());
+        assert!(parse_command("HELLO BINARY 1 junk").is_err());
+        assert!(parse_command("SCHEMA").is_err());
+        assert!(parse_command("SCHEMA a b").is_err());
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        for bytes in [&[][..], &[0x00][..], &[0xde, 0xad, 0xbe, 0xef][..]] {
+            let s = encode_hex(bytes);
+            assert_eq!(decode_hex(&s).unwrap(), bytes);
+        }
+        assert_eq!(encode_hex(&[0x0f, 0xa0]), "0fa0");
+        assert!(decode_hex("abc").is_err());
+        assert!(decode_hex("zz").is_err());
     }
 
     #[test]
@@ -664,6 +751,77 @@ mod tests {
     #[test]
     fn err_line_is_single_line() {
         assert_eq!(err_line("boom\nline2"), "ERR boom; line2\n");
+    }
+
+    mod roundtrip_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_float() -> BoxedStrategy<f64> {
+            prop_oneof![
+                // Raw bit patterns: covers subnormals, both zero signs and
+                // every exponent; NaN patterns are asserted NaN-preserving.
+                (0u64..u64::MAX).prop_map(f64::from_bits),
+                (0f64..1.0).prop_map(|x| x + 0.2),
+                Just(-0.0f64),
+                Just(5e-324),
+                Just(f64::MIN_POSITIVE),
+                Just(f64::MAX),
+                Just(f64::INFINITY),
+                Just(f64::NEG_INFINITY),
+                Just(f64::NAN),
+            ]
+            .boxed()
+        }
+
+        fn arb_value() -> BoxedStrategy<Value> {
+            let ch = prop_oneof![
+                Just('"'),
+                Just('\\'),
+                Just('\n'),
+                Just('\r'),
+                Just(','),
+                Just('@'),
+                Just('é'),
+                (97u32..123).prop_map(|c| char::from_u32(c).unwrap_or('x')),
+            ];
+            prop_oneof![
+                Just(Value::Null),
+                Just(Value::Bool(true)),
+                Just(Value::Bool(false)),
+                (i64::MIN..i64::MAX).prop_map(Value::Int),
+                arb_float().prop_map(Value::Float),
+                collection::vec(ch, 0..16)
+                    .prop_map(|cs| Value::Str(cs.into_iter().collect())),
+                (i64::MIN..i64::MAX).prop_map(Value::Timestamp),
+            ]
+            .boxed()
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(512))]
+
+            #[test]
+            fn text_roundtrip_bit_for_bit(vals in collection::vec(arb_value(), 1..8)) {
+                let line = encode_row(&vals);
+                let back = decode_row(&line).unwrap();
+                prop_assert_eq!(back.len(), vals.len());
+                for (b, v) in back.iter().zip(&vals) {
+                    match (b, v) {
+                        (Value::Float(b), Value::Float(v)) => {
+                            // NaN payload bits don't survive text ("NaN"),
+                            // but NaN-ness must.
+                            if v.is_nan() {
+                                prop_assert!(b.is_nan(), "NaN decoded as {b:?}");
+                            } else {
+                                prop_assert_eq!(b.to_bits(), v.to_bits(), "float {v:?}");
+                            }
+                        }
+                        _ => prop_assert_eq!(b, v),
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -19,14 +19,46 @@
 //! `datacell_wire_delivery_us` histogram.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Instant;
 
 use datacell_core::Emitter;
 use datacell_storage::{Chunk, IngestStamp};
 
+use crate::frame::encode_chunk_frame;
+
+/// One retained chunk plus its lazily built wire frame.
+struct Entry {
+    seq: u64,
+    chunk: Chunk,
+    /// Encode-once cache: the binary `CHUNK` frame for this entry. The
+    /// frame embeds only `(query, seq)` — both identical for every
+    /// subscriber of the query within one epoch — so a single encoding
+    /// fans out to all of them (the cache key is effectively
+    /// `(query, epoch, seq)`; query and epoch are fixed per ring).
+    frame: Option<Arc<Vec<u8>>>,
+}
+
+/// One binary `CHUNK` frame ready for delivery to a subscriber.
+pub struct FrameDelivery {
+    /// Delivery sequence number (the client's resume cursor).
+    pub seq: u64,
+    /// The complete wire frame (header included), shared across
+    /// subscribers.
+    pub bytes: Arc<Vec<u8>>,
+    /// Result rows inside the chunk (stats accounting).
+    pub rows: u64,
+    /// Arrival tick of the chunk's newest contributing tuple — present
+    /// only on the first delivery (replays never re-sample latency).
+    pub stamp: Option<Instant>,
+    /// Whether the frame came from the encode-once cache.
+    pub cached: bool,
+}
+
 /// One query's retained result tail, with delivery sequence numbers.
 pub struct ReplayRing {
     tap: Emitter,
-    buf: VecDeque<(u64, Chunk)>,
+    buf: VecDeque<Entry>,
     /// Sequence number the next produced chunk will get (first is 1).
     next_seq: u64,
     /// Highest sequence number already delivered with its stamp intact.
@@ -50,7 +82,7 @@ impl ReplayRing {
     /// sequence numbers and evicting the oldest chunks beyond capacity.
     pub fn drain_tap(&mut self) {
         while let Some(chunk) = self.tap.try_next() {
-            self.buf.push_back((self.next_seq, chunk));
+            self.buf.push_back(Entry { seq: self.next_seq, chunk, frame: None });
             self.next_seq += 1;
             while self.buf.len() > self.capacity {
                 // Evicted undelivered chunks die with their stamps: no
@@ -67,7 +99,7 @@ impl ReplayRing {
 
     /// Oldest sequence number still retained (== `next_seq` when empty).
     pub fn oldest_retained(&self) -> u64 {
-        self.buf.front().map_or(self.next_seq, |(seq, _)| *seq)
+        self.buf.front().map_or(self.next_seq, |e| e.seq)
     }
 
     /// Whether the engine closed the tap (query deregistered / shutdown)
@@ -81,20 +113,72 @@ impl ReplayRing {
     /// replays get it stripped (see the module docs).
     pub fn fetch_after(&mut self, cursor: u64, max: usize) -> Vec<(u64, Chunk)> {
         let mut out = Vec::new();
-        for (seq, chunk) in &self.buf {
-            if *seq <= cursor {
+        for e in &self.buf {
+            if e.seq <= cursor {
                 continue;
             }
             if out.len() >= max {
                 break;
             }
-            let mut chunk = chunk.clone();
-            if *seq > self.stamped_floor {
-                self.stamped_floor = *seq;
+            let mut chunk = e.chunk.clone();
+            if e.seq > self.stamped_floor {
+                self.stamped_floor = e.seq;
             } else {
                 chunk.set_stamp(IngestStamp::default());
             }
-            out.push((*seq, chunk));
+            out.push((e.seq, chunk));
+        }
+        out
+    }
+
+    /// Binary-mode counterpart of [`ReplayRing::fetch_after`]: up to `max`
+    /// wire-ready `CHUNK` frames with `seq > cursor`, oldest first. Each
+    /// chunk is encoded **at most once** per ring lifetime; later fetches
+    /// (other subscribers, replays) share the cached `Arc` bytes. Stamp
+    /// semantics match the text path: only the fetch that first advances
+    /// the stamp watermark carries the arrival tick.
+    ///
+    /// A chunk whose frame exceeds the wire cap is skipped (it cannot be
+    /// framed; the cursor advances past it with the rest of the batch).
+    pub fn fetch_frames_after(
+        &mut self,
+        query: u64,
+        cursor: u64,
+        max: usize,
+    ) -> Vec<FrameDelivery> {
+        let mut out = Vec::new();
+        for e in self.buf.iter_mut() {
+            if e.seq <= cursor {
+                continue;
+            }
+            if out.len() >= max {
+                break;
+            }
+            let cached = e.frame.is_some();
+            let bytes = match &e.frame {
+                Some(b) => Arc::clone(b),
+                None => match encode_chunk_frame(query, e.seq, &e.chunk) {
+                    Ok(encoded) => {
+                        let arc = Arc::new(encoded);
+                        e.frame = Some(Arc::clone(&arc));
+                        arc
+                    }
+                    Err(_) => continue,
+                },
+            };
+            let stamp = if e.seq > self.stamped_floor {
+                self.stamped_floor = e.seq;
+                e.chunk.stamp().instant()
+            } else {
+                None
+            };
+            out.push(FrameDelivery {
+                seq: e.seq,
+                bytes,
+                rows: e.chunk.len() as u64,
+                stamp,
+                cached,
+            });
         }
         out
     }
@@ -179,6 +263,47 @@ mod tests {
         // stamps are still pending.
         let rest = ring.fetch_after(2, usize::MAX);
         assert!(rest.iter().all(|(_, c)| c.stamp().instant().is_some()));
+    }
+
+    #[test]
+    fn frames_are_encoded_once_and_shared() {
+        let (tx, mut ring) = ring(8);
+        tx.send(chunk(1)).expect("send");
+        tx.send(chunk(2)).expect("send");
+        ring.drain_tap();
+        // First subscriber: every frame is a cache miss, stamps intact.
+        let first = ring.fetch_frames_after(9, 0, usize::MAX);
+        assert_eq!(first.len(), 2);
+        assert!(first.iter().all(|f| !f.cached));
+        assert!(first.iter().all(|f| f.stamp.is_some()));
+        assert!(first.iter().all(|f| f.rows == 1));
+        // Second subscriber: same bytes (pointer-equal Arc), no stamps.
+        let second = ring.fetch_frames_after(9, 0, usize::MAX);
+        assert!(second.iter().all(|f| f.cached));
+        assert!(second.iter().all(|f| f.stamp.is_none()));
+        for (a, b) in first.iter().zip(&second) {
+            assert!(Arc::ptr_eq(&a.bytes, &b.bytes), "encode-once violated");
+        }
+        // The frames decode back to the retained chunks.
+        let (tag, payload) = {
+            let mut fb = crate::frame::FrameBuf::new();
+            fb.push_bytes(&first[0].bytes);
+            fb.next_frame().expect("frame").expect("whole")
+        };
+        match crate::frame::decode_frame(tag, &payload).expect("decode") {
+            crate::frame::Frame::Chunk { query, seq, chunk } => {
+                assert_eq!((query, seq), (9, 1));
+                assert_eq!(chunk.len(), 1);
+            }
+            other => panic!("unexpected frame {other:?}"),
+        }
+        // Text and frame fetches share the stamp watermark.
+        tx.send(chunk(3)).expect("send");
+        ring.drain_tap();
+        let text = ring.fetch_after(2, usize::MAX);
+        assert!(text[0].1.stamp().instant().is_some());
+        let replay = ring.fetch_frames_after(9, 2, usize::MAX);
+        assert!(replay[0].stamp.is_none(), "text fetch consumed the stamp");
     }
 
     #[test]

@@ -26,10 +26,11 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, SystemTime};
 
-use datacell_core::{DataCell, DataCellConfig, EngineError};
+use datacell_core::{DataCell, DataCellConfig, EngineError, Faults};
 use datacell_storage::Chunk;
 
-use crate::replay::ReplayRing;
+use crate::reactor::{reactor_loop, BinaryHandoff};
+use crate::replay::{FrameDelivery, ReplayRing};
 use crate::session::{run_session, SessionStats};
 
 /// Server construction parameters.
@@ -182,6 +183,12 @@ pub(crate) struct SharedState {
     rings: Mutex<HashMap<u64, ReplayRing>>,
     replay_capacity: usize,
     pub(crate) tuning: SessionTuning,
+    /// Connections that negotiated `HELLO BINARY`, parked here by their
+    /// session thread for the reactor to adopt on its next tick.
+    handoffs: Mutex<Vec<BinaryHandoff>>,
+    /// Fault-injection facade (cloned out of the engine config so the
+    /// reactor's socket I/O consults the same schedule as the WAL).
+    pub(crate) faults: Faults,
 }
 
 impl SharedState {
@@ -264,6 +271,38 @@ impl SharedState {
         }
     }
 
+    /// Binary-mode counterpart of [`SharedState::fetch_ring`]: wire-ready
+    /// `CHUNK` frames (encoded at most once per chunk, `Arc`-shared across
+    /// subscribers) past `cursor`, plus whether the ring is closed.
+    pub(crate) fn fetch_ring_frames(
+        &self,
+        query: u64,
+        cursor: u64,
+        max: usize,
+    ) -> (Vec<FrameDelivery>, bool) {
+        let mut rings = self.lock_rings();
+        match rings.get_mut(&query) {
+            Some(ring) => {
+                ring.drain_tap();
+                (ring.fetch_frames_after(query, cursor, max), ring.is_closed())
+            }
+            None => (Vec::new(), true),
+        }
+    }
+
+    /// Park a freshly negotiated binary connection for the reactor.
+    pub(crate) fn enqueue_handoff(&self, handoff: BinaryHandoff) {
+        self.handoffs
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(handoff);
+    }
+
+    /// Adopt every parked binary connection (reactor side).
+    pub(crate) fn take_handoffs(&self) -> Vec<BinaryHandoff> {
+        std::mem::take(&mut *self.handoffs.lock().unwrap_or_else(PoisonError::into_inner))
+    }
+
     /// Pull every ring's tap forward so sequence numbers are assigned and
     /// chunks retained even while no subscriber is attached. (Rings of
     /// deregistered queries stay, closed, so a late resume sees a clean
@@ -282,6 +321,7 @@ pub struct Server {
     addr: SocketAddr,
     listener: Option<JoinHandle<()>>,
     pump: Option<JoinHandle<()>>,
+    reactor: Option<JoinHandle<()>>,
     sessions: Arc<Mutex<Vec<JoinHandle<SessionStats>>>>,
 }
 
@@ -307,6 +347,8 @@ impl Server {
             .duration_since(SystemTime::UNIX_EPOCH)
             .map(|d| d.as_millis() as u64)
             .unwrap_or(0);
+        let faults = engine.config().faults.clone();
+        let obs = engine.obs().clone();
         let shared = Arc::new(SharedState {
             engine: Mutex::new(engine),
             work: Condvar::new(),
@@ -320,6 +362,8 @@ impl Server {
                 push_frame_timeout: config.push_frame_timeout,
                 write_timeout: config.write_timeout,
             },
+            handoffs: Mutex::new(Vec::new()),
+            faults,
         });
         // Prime a replay ring for every recovered query *before* the
         // listener opens: chunks fired between recovery and the first
@@ -343,6 +387,12 @@ impl Server {
                 .name("datacell-pump".into())
                 .spawn(move || pump_loop(&shared, interval))?
         };
+        let reactor = {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name("datacell-reactor".into())
+                .spawn(move || reactor_loop(&shared, &obs))?
+        };
         let listener_thread = {
             let shared = shared.clone();
             let sessions = sessions.clone();
@@ -355,6 +405,7 @@ impl Server {
             addr,
             listener: Some(listener_thread),
             pump: Some(pump),
+            reactor: Some(reactor),
             sessions,
         })
     }
@@ -402,6 +453,9 @@ impl Server {
             let _ = h.join();
         }
         if let Some(h) = self.pump.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.reactor.take() {
             let _ = h.join();
         }
         let handles: Vec<_> = {

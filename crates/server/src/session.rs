@@ -91,6 +91,16 @@ impl<R: Read> LineReader<R> {
         String::from_utf8_lossy(&line).into_owned()
     }
 
+    /// Surrender whatever raw bytes are buffered past the last produced
+    /// line. Used at the `HELLO BINARY` handoff: bytes the peer pipelined
+    /// after the handshake line are binary frames and belong to the
+    /// reactor's frame reader, not this line reader.
+    pub fn take_buffered(&mut self) -> Vec<u8> {
+        self.scanned = 0;
+        self.discarding = false;
+        std::mem::take(&mut self.buf)
+    }
+
     /// Try to produce the next line. A read timeout on the underlying
     /// stream yields [`ReadLine::Idle`]; a line over [`MAX_LINE`] is
     /// discarded (through its newline) and reported as
@@ -181,16 +191,26 @@ enum Exit {
     Closed,
     /// The server is shutting down.
     Shutdown,
+    /// `HELLO BINARY` negotiated: this connection continues under the
+    /// reactor in frame mode; the session thread ends without closing it.
+    Handoff,
 }
 
 /// Drive one client connection to completion. Returns the session's
-/// final statistics (already folded into the server-wide counters).
+/// final statistics (already folded into the server-wide counters) —
+/// or, after a binary handoff, an empty default: the connection lives on
+/// under the reactor, which folds the carried-over counters when the
+/// connection actually closes.
 pub(crate) fn run_session(stream: TcpStream, shared: Arc<SharedState>) -> SessionStats {
     let mut session = match Session::new(stream, shared) {
         Ok(s) => s,
         Err(_) => return SessionStats::default(),
     };
     let _ = session.run();
+    if session.handoff {
+        session.into_handoff();
+        return SessionStats::default();
+    }
     session.finish()
 }
 
@@ -199,6 +219,9 @@ struct Session {
     writer: TcpStream,
     shared: Arc<SharedState>,
     stats: SessionStats,
+    /// Set when `HELLO BINARY` succeeded: hand the socket to the reactor
+    /// instead of closing it.
+    handoff: bool,
 }
 
 impl Session {
@@ -209,12 +232,37 @@ impl Session {
         stream.set_write_timeout(shared.tuning.write_timeout)?;
         stream.set_nodelay(true).ok();
         let reader = LineReader::new(stream.try_clone()?);
-        Ok(Session { reader, writer: stream, shared, stats: SessionStats::default() })
+        Ok(Session {
+            reader,
+            writer: stream,
+            shared,
+            stats: SessionStats::default(),
+            handoff: false,
+        })
     }
 
     fn finish(self) -> SessionStats {
         self.shared.stats.fold_session(&self.stats);
         self.stats
+    }
+
+    /// Pass the connection to the reactor: the socket goes non-blocking,
+    /// bytes the client pipelined behind the `HELLO` line travel along,
+    /// and this session's counters ride with the connection (folded
+    /// server-wide when the reactor eventually closes it).
+    fn into_handoff(mut self) {
+        let leftover = self.reader.take_buffered();
+        if self.writer.set_nonblocking(true).is_err() {
+            // Can't enter the reactor; close out as a normal session end.
+            self.finish();
+            return;
+        }
+        let Session { writer, shared, stats, .. } = self;
+        shared.enqueue_handoff(crate::reactor::BinaryHandoff {
+            stream: writer,
+            leftover,
+            stats,
+        });
     }
 
     fn send(&mut self, text: &str) -> io::Result<()> {
@@ -302,6 +350,10 @@ impl Session {
             };
             match self.dispatch(cmd)? {
                 None => {}
+                Some(Exit::Handoff) => {
+                    self.handoff = true;
+                    break;
+                }
                 Some(Exit::Closed) | Some(Exit::Shutdown) => break,
             }
         }
@@ -310,6 +362,30 @@ impl Session {
 
     fn dispatch(&mut self, cmd: Command) -> io::Result<Option<Exit>> {
         match cmd {
+            Command::Hello(version) => {
+                if version == datacell_storage::binio::WIRE_VERSION {
+                    self.send(&format!("OK HELLO BINARY {version}\n"))?;
+                    return Ok(Some(Exit::Handoff));
+                }
+                self.send_err(&format!(
+                    "unsupported binary wire version {version} (supported: {})",
+                    datacell_storage::binio::WIRE_VERSION
+                ))?;
+            }
+            Command::Schema(stream) => {
+                let schema = self.shared.lock_engine().catalog().schema_of(&stream);
+                match schema {
+                    Ok(s) => {
+                        let mut bytes = Vec::new();
+                        datacell_storage::binio::encode_schema(&mut bytes, &s);
+                        self.send(&format!(
+                            "OK SCHEMA {stream} {}\n",
+                            crate::protocol::encode_hex(&bytes)
+                        ))?;
+                    }
+                    Err(e) => self.send_engine_err(&EngineError::from(e))?,
+                }
+            }
             Command::Ping => self.send("PONG\n")?,
             Command::Quit => {
                 self.send("OK BYE\n")?;

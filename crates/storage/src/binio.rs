@@ -20,7 +20,7 @@ use crate::error::{Result, StorageError};
 use crate::schema::{ColumnDef, Schema};
 use crate::types::{DataType, Oid};
 use crate::value::{Row, Value};
-use crate::vector::Vector;
+use crate::vector::{Segment, Vector};
 
 /// Stable on-disk tag of a [`DataType`].
 pub fn type_tag(ty: DataType) -> u8 {
@@ -159,6 +159,71 @@ impl<'a> ByteReader<'a> {
     }
 }
 
+// ---- wire frames ------------------------------------------------------
+
+/// Version of the binary wire-frame layout negotiated by `HELLO BINARY`.
+/// Bump on any layout change; peers refuse versions they don't speak.
+pub const WIRE_VERSION: u32 = 1;
+
+/// Hard ceiling on one frame's payload length (16 MiB). A longer length
+/// field is corrupt or hostile: the connection cannot be resynced past an
+/// untrusted length, so readers treat this as fatal.
+pub const MAX_FRAME_LEN: u32 = 16 << 20;
+
+/// Bytes in a frame header: tag `u8` + payload length `u32` (LE).
+pub const FRAME_HEADER_LEN: usize = 5;
+
+/// Begin a wire frame: append the tag byte and a zero length placeholder.
+/// Returns the payload start offset to hand to [`end_frame`].
+pub fn begin_frame(buf: &mut Vec<u8>, tag: u8) -> usize {
+    put_u8(buf, tag);
+    put_u32(buf, 0);
+    buf.len()
+}
+
+/// Close the frame opened at `payload_start`, patching the real payload
+/// length into the header. Fails (leaving `buf` untouched beyond the
+/// already-written bytes) if the payload outgrew [`MAX_FRAME_LEN`] or
+/// `payload_start` doesn't point just past a header.
+pub fn end_frame(buf: &mut [u8], payload_start: usize) -> Result<()> {
+    let len = buf.len().checked_sub(payload_start).ok_or_else(|| {
+        corrupt("end_frame: payload start past end of buffer")
+    })?;
+    if len > MAX_FRAME_LEN as usize {
+        return Err(corrupt(format!("frame payload too large: {len} bytes")));
+    }
+    let slot = payload_start
+        .checked_sub(4)
+        .and_then(|lo| buf.get_mut(lo..payload_start))
+        .ok_or_else(|| corrupt("end_frame: no header before payload"))?;
+    slot.copy_from_slice(&(len as u32).to_le_bytes());
+    Ok(())
+}
+
+/// Append a complete frame (header + payload) in one call.
+pub fn put_frame(buf: &mut Vec<u8>, tag: u8, payload: &[u8]) -> Result<()> {
+    let start = begin_frame(buf, tag);
+    buf.extend_from_slice(payload);
+    end_frame(buf, start)
+}
+
+/// Parse a frame header from the front of `bytes` without consuming the
+/// payload: `Ok(Some((tag, payload_len)))` when a whole header is
+/// present, `Ok(None)` when more bytes are needed, `Err` on a length
+/// field past [`MAX_FRAME_LEN`].
+pub fn peek_frame_header(bytes: &[u8]) -> Result<Option<(u8, usize)>> {
+    if bytes.len() < FRAME_HEADER_LEN {
+        return Ok(None);
+    }
+    let mut r = ByteReader::new(bytes);
+    let tag = r.u8()?;
+    let len = r.u32()?;
+    if len > MAX_FRAME_LEN {
+        return Err(corrupt(format!("frame length {len} exceeds cap")));
+    }
+    Ok(Some((tag, len as usize)))
+}
+
 // ---- schemas ----------------------------------------------------------
 
 /// Encode a schema (column names, type tags, NOT NULL flags).
@@ -271,6 +336,72 @@ pub fn decode_batch(r: &mut ByteReader<'_>) -> Result<Vec<Row>> {
         }
     }
     Ok(rows)
+}
+
+/// Decode a batch written by [`encode_batch`] straight into a columnar
+/// [`Chunk`](crate::chunk::Chunk) — no intermediate `Vec<Row>`. Each
+/// column's cells land in one typed buffer that becomes the [`Segment`]
+/// backing a [`Bat`], so a binary `PUSH` frame can be appended to a
+/// basket with `Vector::append` instead of being re-pivoted row by row.
+/// OID heads start at 0; the receiving basket renumbers on append.
+pub fn decode_batch_chunk(r: &mut ByteReader<'_>) -> Result<crate::chunk::Chunk> {
+    let ncols = r.u32()? as usize;
+    let nrows = r.u32()? as usize;
+    // Same plausibility bounds as [`decode_batch`]: every `with_capacity`
+    // below is capped by the remaining input length.
+    if ncols > r.remaining() / 2
+        || (nrows > 0 && (ncols == 0 || nrows > r.remaining()))
+        || ncols.saturating_mul(nrows) > r.remaining()
+    {
+        return Err(corrupt(format!("implausible batch header: {ncols}x{nrows}")));
+    }
+    let mut cols: Vec<Bat> = Vec::with_capacity(ncols);
+    for _ in 0..ncols {
+        let ty = type_from_tag(r.u8()?)?;
+        let any_null = r.u8()? != 0;
+        let validity: Option<Vec<bool>> = if any_null {
+            Some(r.bytes(nrows)?.iter().map(|&b| b != 0).collect())
+        } else {
+            None
+        };
+        let data = match ty {
+            DataType::Bool => {
+                let mut v: Vec<bool> = Vec::with_capacity(nrows);
+                for _ in 0..nrows {
+                    v.push(r.u8()? != 0);
+                }
+                Vector::Bool(Segment::from_vec(v))
+            }
+            DataType::Int | DataType::Timestamp => {
+                let mut v: Vec<i64> = Vec::with_capacity(nrows);
+                for _ in 0..nrows {
+                    v.push(r.i64()?);
+                }
+                let seg = Segment::from_vec(v);
+                if ty == DataType::Int {
+                    Vector::Int(seg)
+                } else {
+                    Vector::Timestamp(seg)
+                }
+            }
+            DataType::Float => {
+                let mut v: Vec<f64> = Vec::with_capacity(nrows);
+                for _ in 0..nrows {
+                    v.push(r.f64()?);
+                }
+                Vector::Float(Segment::from_vec(v))
+            }
+            DataType::Str => {
+                let mut v: Vec<String> = Vec::with_capacity(nrows);
+                for _ in 0..nrows {
+                    v.push(r.str()?);
+                }
+                Vector::Str(Segment::from_vec(v))
+            }
+        };
+        cols.push(Bat::from_parts(data, 0, validity)?);
+    }
+    crate::chunk::Chunk::new(cols)
 }
 
 // ---- chunks -----------------------------------------------------------
@@ -454,6 +585,44 @@ mod tests {
         assert!(r.u64().is_err());
         assert_eq!(r.remaining(), 2);
         assert!(ByteReader::new(&[5, 0, 0, 0, b'a']).str().is_err());
+    }
+
+    #[test]
+    fn frame_header_roundtrip() {
+        let mut buf = Vec::new();
+        let start = begin_frame(&mut buf, 0x01);
+        put_u64(&mut buf, 42);
+        end_frame(&mut buf, start).unwrap();
+        assert_eq!(peek_frame_header(&buf).unwrap(), Some((0x01, 8)));
+        assert_eq!(buf.len(), FRAME_HEADER_LEN + 8);
+
+        let mut buf = Vec::new();
+        put_frame(&mut buf, 0x00, b"PING").unwrap();
+        assert_eq!(peek_frame_header(&buf).unwrap(), Some((0x00, 4)));
+        assert_eq!(&buf[FRAME_HEADER_LEN..], b"PING");
+    }
+
+    #[test]
+    fn frame_header_is_bounded() {
+        // Short reads ask for more bytes; hostile lengths are fatal.
+        assert_eq!(peek_frame_header(&[]).unwrap(), None);
+        assert_eq!(peek_frame_header(&[1, 2, 3, 4]).unwrap(), None);
+        let mut evil = Vec::new();
+        put_u8(&mut evil, 0x01);
+        put_u32(&mut evil, u32::MAX);
+        assert!(peek_frame_header(&evil).is_err());
+        // Cap is inclusive: exactly MAX_FRAME_LEN is still legal.
+        let mut edge = Vec::new();
+        put_u8(&mut edge, 0x01);
+        put_u32(&mut edge, MAX_FRAME_LEN);
+        assert_eq!(
+            peek_frame_header(&edge).unwrap(),
+            Some((0x01, MAX_FRAME_LEN as usize))
+        );
+        // Misused end_frame errors instead of panicking.
+        let mut buf = Vec::new();
+        assert!(end_frame(&mut buf, 3).is_err());
+        assert!(end_frame(&mut Vec::new(), 0).is_err());
     }
 
     #[test]

@@ -99,6 +99,34 @@ impl Schema {
         Ok(())
     }
 
+    /// Columnar analogue of [`validate_row`](Self::validate_row): check a
+    /// whole decoded [`Chunk`](crate::chunk::Chunk) against this schema in
+    /// O(arity) — exact arity, exact column types (wire decoding already
+    /// produced typed columns, so no per-cell coercion applies), and no
+    /// NULL slot under a NOT NULL column. Gate for the binary `PUSH`
+    /// ingest path, which appends columns wholesale without ever
+    /// materializing rows.
+    pub fn validate_chunk(&self, chunk: &crate::chunk::Chunk) -> Result<()> {
+        if chunk.arity() != self.arity() {
+            return Err(StorageError::ArityMismatch {
+                expected: self.arity(),
+                found: chunk.arity(),
+            });
+        }
+        for (col, def) in chunk.columns().iter().zip(&self.columns) {
+            if col.data_type() != def.ty {
+                return Err(StorageError::TypeMismatch {
+                    expected: def.ty,
+                    found: col.data_type(),
+                });
+            }
+            if def.not_null && col.has_nulls() {
+                return Err(StorageError::NullViolation(def.name.clone()));
+            }
+        }
+        Ok(())
+    }
+
     /// Append another schema's columns (for join output schemas). Columns
     /// from `other` that clash by name get `prefix.` prepended.
     pub fn concat(&self, other: &Schema, prefix: &str) -> Schema {

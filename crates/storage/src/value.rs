@@ -70,7 +70,15 @@ impl Value {
             (Value::Int(i), DataType::Float) => Some(Value::Float(*i as f64)),
             (Value::Int(i), DataType::Timestamp) => Some(Value::Timestamp(*i)),
             (Value::Float(x), DataType::Float) => Some(Value::Float(*x)),
-            (Value::Float(x), DataType::Int) => Some(Value::Int(*x as i64)),
+            // Checked: `as i64` would saturate NaN/±inf/out-of-range to
+            // i64::MIN/MAX silently; those casts are rejected instead.
+            // Both bounds are exactly representable as f64.
+            #[allow(clippy::manual_range_contains)]
+            (Value::Float(x), DataType::Int)
+                if x.is_finite() && *x >= -9_223_372_036_854_775_808.0 && *x < 9_223_372_036_854_775_808.0 =>
+            {
+                Some(Value::Int(*x as i64))
+            }
             (Value::Str(s), DataType::Str) => Some(Value::Str(s.clone())),
             (Value::Timestamp(t), DataType::Timestamp) => Some(Value::Timestamp(*t)),
             (Value::Timestamp(t), DataType::Int) => Some(Value::Int(*t)),
@@ -136,13 +144,10 @@ impl fmt::Display for Value {
             Value::Null => f.write_str("NULL"),
             Value::Bool(b) => write!(f, "{b}"),
             Value::Int(i) => write!(f, "{i}"),
-            Value::Float(x) => {
-                if x.fract() == 0.0 && x.abs() < 1e15 {
-                    write!(f, "{x:.1}")
-                } else {
-                    write!(f, "{x}")
-                }
-            }
+            // `{:?}` is shortest-round-trip and always keeps a '.' or 'e'
+            // marker, so text decode can't type-flip a Float into an Int
+            // (plain `{}` prints 1e15 as "1000000000000000").
+            Value::Float(x) => write!(f, "{x:?}"),
             Value::Str(s) => write!(f, "{s}"),
             Value::Timestamp(t) => write!(f, "@{t}"),
         }
@@ -204,6 +209,21 @@ mod tests {
     }
 
     #[test]
+    fn float_to_int_coercion_is_checked() {
+        assert_eq!(Value::Float(f64::NAN).coerce(DataType::Int), None);
+        assert_eq!(Value::Float(f64::INFINITY).coerce(DataType::Int), None);
+        assert_eq!(Value::Float(f64::NEG_INFINITY).coerce(DataType::Int), None);
+        // 2^63 is the first float past i64::MAX; -2^63 is exactly i64::MIN.
+        assert_eq!(Value::Float(9_223_372_036_854_775_808.0).coerce(DataType::Int), None);
+        assert_eq!(
+            Value::Float(-9_223_372_036_854_775_808.0).coerce(DataType::Int),
+            Some(Value::Int(i64::MIN))
+        );
+        assert_eq!(Value::Float(1e300).coerce(DataType::Int), None);
+        assert_eq!(Value::Float(-0.0).coerce(DataType::Int), Some(Value::Int(0)));
+    }
+
+    #[test]
     fn null_comparisons_are_unknown() {
         assert_eq!(Value::Null.sql_cmp(&Value::Int(1)), None);
         assert_eq!(Value::Int(1).sql_cmp(&Value::Null), None);
@@ -231,5 +251,29 @@ mod tests {
         assert_eq!(Value::Int(7).to_string(), "7");
         assert_eq!(Value::Null.to_string(), "NULL");
         assert_eq!(Value::Timestamp(5).to_string(), "@5");
+    }
+
+    #[test]
+    fn float_display_is_round_trip_exact() {
+        // Every spelling must re-parse to the identical bit pattern, and must
+        // keep a '.' or 'e' so the text protocol can't type-flip it to Int.
+        for x in [
+            0.1f64 + 0.2,
+            -0.0,
+            1e15,
+            1e16,
+            f64::MIN_POSITIVE,
+            5e-324, // smallest subnormal
+            f64::MAX,
+        ] {
+            let s = Value::Float(x).to_string();
+            assert!(
+                s.contains('.') || s.contains('e') || s.contains("inf"),
+                "ambiguous float spelling {s:?}"
+            );
+            let back: f64 = s.parse().unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "round-trip of {s:?}");
+        }
+        assert_eq!(Value::Float(-0.0).to_string(), "-0.0");
     }
 }

@@ -14,14 +14,18 @@
 # faults, the ENOSPC degraded mode, admission-control ceilings, and the
 # armed-idle fault-facade overhead next to the disabled baseline — the
 # e1 numbers double as the "facade off costs nothing" trajectory check
-# (acceptance: within 2% of the previous PR's snapshot).
+# (acceptance: within 2% of the previous PR's snapshot). Since the binary
+# wire-protocol PR, e10 is also run with --wire-compare (CSV text vs
+# binary columnar frames on a row-passthrough query; acceptance: binary
+# ≥ 3x text) and with --binary --subscribers 64 (encode-once fan-out
+# deliveries/sec and frame-cache hit rate).
 #
 # Usage: scripts/bench_snapshot.sh [events]   (default 20000)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 events="${1:-20000}"
-out="BENCH_PR9.json"
+out="BENCH_PR10.json"
 
 cargo build --release -p datacell-bench --bins
 
@@ -45,6 +49,12 @@ done
 for mix in identical shared-predicate disjoint; do
   collect ./target/release/e6_multiquery --events "${events}" --overlap "${mix}"
 done
+# The wire comparison runs 3x longer: the binary mode's fixed per-run
+# costs (connect, negotiate, first-chunk factory warm-up) amortize over
+# the run, while the text mode's per-row CSV cost dominates at any
+# length — too few events under-reports the steady-state gap.
+collect ./target/release/e10_server --events "$(( events * 3 ))" --wire-compare
+collect ./target/release/e10_server --events "${events}" --binary --subscribers 64
 
 cores=$(nproc 2>/dev/null || echo 1)
 {

@@ -206,3 +206,76 @@ wait "${server_pid}"; server_pid=""
 }
 
 echo "server smoke test (durable kill -9 + restart): ok"
+
+# ---------------------------------------------------------------------
+# 9. Binary protocol leg: the same loop with `--binary` sessions — HELLO
+#    negotiation, commands as TEXT frames, result chunks as columnar
+#    CHUNK frames. The CLI re-renders frames in the text shape, so the
+#    assertions are identical to leg 1's. Ingest stays on a text session:
+#    the multi-line text PUSH grammar is deliberately not available over
+#    frames (binary ingest is the columnar PUSH frame, exercised by the
+#    client library's test suite), which the negative check pins down.
+bin_log="${workdir}/binary.log"
+./target/release/datacell-server --addr 127.0.0.1:0 > "${bin_log}" &
+server_pid=$!
+wait_for '^LISTENING ' "${bin_log}" "binary-leg server to bind"
+addr="$(sed -n 's/^LISTENING //p' "${bin_log}" | head -1)"
+echo "binary-leg server listening on ${addr}"
+
+"${cli}" --addr "${addr}" --binary --fail-on-err <<'EOF' > "${workdir}/bin-setup.out"
+EXEC CREATE STREAM s (ts TIMESTAMP, v BIGINT)
+REGISTER SELECT COUNT(*), SUM(v) FROM s
+EOF
+grep -q '^OK CREATED s$' "${workdir}/bin-setup.out"
+grep -q '^OK QUERY 1$' "${workdir}/bin-setup.out"
+
+mkfifo "${sub_in}.3"
+"${cli}" --addr "${addr}" --binary < "${sub_in}.3" > "${workdir}/bin-sub.out" &
+sub_pid=$!
+exec 3> "${sub_in}.3"
+echo "SUBSCRIBE 1 LIMIT 2" >&3
+wait_for '^OK SUBSCRIBED 1 ' "${workdir}/bin-sub.out" "binary subscription"
+
+# Text PUSH over a binary session must be refused with a pointer to the
+# PUSH frame (no --fail-on-err: the ERR is the expected output).
+"${cli}" --addr "${addr}" --binary <<'EOF' > "${workdir}/bin-nopush.out"
+PUSH s
+EOF
+grep -q '^ERR text PUSH is not available in binary mode' "${workdir}/bin-nopush.out"
+
+"${cli}" --addr "${addr}" --fail-on-err <<'EOF' > "${workdir}/bin-push.out"
+PUSH s
+@1,10
+@2,32
+END
+PUSH s
+@3,5
+@4,7
+END
+EOF
+[[ "$(grep -c '^OK PUSHED 2$' "${workdir}/bin-push.out")" -eq 2 ]]
+
+# The binary subscriber sees the same chunks the text subscriber saw in
+# leg 1 — frame decoding is invisible in the rendered output.
+wait_for '^OK STOPPED 2 2$' "${workdir}/bin-sub.out" "binary chunks + stream end"
+echo "QUIT" >&3
+exec 3>&-
+wait "${sub_pid}"; sub_pid=""
+grep -Eq '^CHUNK 1 1 1$' "${workdir}/bin-sub.out"
+grep -Eq '^CHUNK 1 1 2$' "${workdir}/bin-sub.out"
+grep -q '^2,42$' "${workdir}/bin-sub.out"
+grep -q '^2,12$' "${workdir}/bin-sub.out"
+
+# Binary STATS/METRICS framed reports, then clean shutdown over frames.
+"${cli}" --addr "${addr}" --binary --fail-on-err <<'EOF' > "${workdir}/bin-teardown.out"
+STATS
+METRICS
+SHUTDOWN
+EOF
+grep -q 'rows pushed' "${workdir}/bin-teardown.out"
+grep -q '^datacell_reactor_sessions ' "${workdir}/bin-teardown.out"
+grep -q '^OK SHUTDOWN$' "${workdir}/bin-teardown.out"
+wait "${server_pid}"; server_pid=""
+grep -q '^shutdown:' "${bin_log}"
+
+echo "server smoke test (binary frames): ok"

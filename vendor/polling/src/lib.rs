@@ -1,0 +1,303 @@
+//! Offline stand-in for the `polling` crate (smol-rs), Linux-only.
+//!
+//! Implements the subset the DataCell reactor uses: [`Poller`] with
+//! `add` / `modify` / `delete` / `wait`, [`Event`] interest/readiness
+//! flags and the [`Events`] buffer — directly over the `epoll` syscalls.
+//!
+//! Semantics match the real crate: sources are registered in **oneshot**
+//! mode (`EPOLLONESHOT`), so after an event is delivered the source stays
+//! registered but disarmed until the next [`Poller::modify`]. Callers
+//! must re-arm after handling each event — exactly the discipline the
+//! real `polling` crate requires, which keeps the reactor source-
+//! compatible with it.
+
+use std::io;
+use std::os::fd::{AsRawFd, RawFd};
+use std::time::Duration;
+
+#[allow(non_camel_case_types)]
+type c_int = i32;
+
+/// Linux `struct epoll_event`. Packed on x86-64 only, matching the
+/// kernel ABI (see `<sys/epoll.h>`).
+#[repr(C)]
+#[cfg_attr(target_arch = "x86_64", repr(packed))]
+#[derive(Clone, Copy)]
+struct epoll_event {
+    events: u32,
+    data: u64,
+}
+
+const EPOLL_CLOEXEC: c_int = 0x80000;
+const EPOLL_CTL_ADD: c_int = 1;
+const EPOLL_CTL_DEL: c_int = 2;
+const EPOLL_CTL_MOD: c_int = 3;
+const EPOLLIN: u32 = 0x1;
+const EPOLLOUT: u32 = 0x4;
+const EPOLLERR: u32 = 0x8;
+const EPOLLHUP: u32 = 0x10;
+const EPOLLRDHUP: u32 = 0x2000;
+const EPOLLONESHOT: u32 = 1 << 30;
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut epoll_event) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut epoll_event, maxevents: c_int, timeout: c_int)
+        -> c_int;
+    fn close(fd: c_int) -> c_int;
+}
+
+fn cvt(ret: c_int) -> io::Result<c_int> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// Interest in, or readiness of, one registered source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Caller-chosen key identifying the source.
+    pub key: usize,
+    /// Interested in / ready for reading (also set on error or hangup,
+    /// so a read is attempted and surfaces the failure).
+    pub readable: bool,
+    /// Interested in / ready for writing.
+    pub writable: bool,
+}
+
+impl Event {
+    /// Interest in read readiness only.
+    pub fn readable(key: usize) -> Event {
+        Event { key, readable: true, writable: false }
+    }
+
+    /// Interest in write readiness only.
+    pub fn writable(key: usize) -> Event {
+        Event { key, readable: false, writable: true }
+    }
+
+    /// Interest in both directions.
+    pub fn all(key: usize) -> Event {
+        Event { key, readable: true, writable: true }
+    }
+
+    /// No interest (keeps the registration, delivers nothing).
+    pub fn none(key: usize) -> Event {
+        Event { key, readable: false, writable: false }
+    }
+
+    fn mask(self) -> u32 {
+        let mut m = EPOLLONESHOT | EPOLLRDHUP;
+        if self.readable {
+            m |= EPOLLIN;
+        }
+        if self.writable {
+            m |= EPOLLOUT;
+        }
+        m
+    }
+}
+
+/// Buffer that [`Poller::wait`] fills with ready events.
+pub struct Events {
+    raw: Vec<epoll_event>,
+    len: usize,
+}
+
+impl Events {
+    /// A buffer sized for a typical reactor tick.
+    pub fn new() -> Events {
+        Events::with_capacity(1024)
+    }
+
+    /// A buffer holding at most `cap` events per wait.
+    pub fn with_capacity(cap: usize) -> Events {
+        Events {
+            raw: vec![epoll_event { events: 0, data: 0 }; cap.max(1)],
+            len: 0,
+        }
+    }
+
+    /// Ready events from the last [`Poller::wait`].
+    pub fn iter(&self) -> impl Iterator<Item = Event> + '_ {
+        self.raw[..self.len].iter().map(|ev| {
+            let bits = ev.events;
+            Event {
+                key: ev.data as usize,
+                // Errors and hangups surface as readable so the caller's
+                // next read observes them.
+                readable: bits & (EPOLLIN | EPOLLERR | EPOLLHUP | EPOLLRDHUP) != 0,
+                writable: bits & (EPOLLOUT | EPOLLERR | EPOLLHUP) != 0,
+            }
+        })
+    }
+
+    /// Number of ready events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True iff the last wait timed out with nothing ready.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Forget the events from the last wait.
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+}
+
+impl Default for Events {
+    fn default() -> Events {
+        Events::new()
+    }
+}
+
+/// A readiness queue over `epoll`.
+#[derive(Debug)]
+pub struct Poller {
+    epfd: RawFd,
+}
+
+impl Poller {
+    /// Create a poller (`epoll_create1(EPOLL_CLOEXEC)`).
+    pub fn new() -> io::Result<Poller> {
+        // SAFETY: plain syscall, no pointers involved.
+        let epfd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+        Ok(Poller { epfd })
+    }
+
+    fn ctl(&self, op: c_int, fd: RawFd, interest: Option<Event>) -> io::Result<()> {
+        let mut ev = interest.map(|i| epoll_event { events: i.mask(), data: i.key as u64 });
+        let ptr = ev
+            .as_mut()
+            .map(|e| e as *mut epoll_event)
+            .unwrap_or(std::ptr::null_mut());
+        // SAFETY: `ptr` is null (DEL) or points at a live, properly laid
+        // out epoll_event for the duration of the call.
+        cvt(unsafe { epoll_ctl(self.epfd, op, fd, ptr) })?;
+        Ok(())
+    }
+
+    /// Register a source with an initial interest. The registration is
+    /// oneshot: after each delivered event, re-arm with
+    /// [`Poller::modify`].
+    pub fn add(&self, source: &impl AsRawFd, interest: Event) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, source.as_raw_fd(), Some(interest))
+    }
+
+    /// Change (or re-arm) a registered source's interest.
+    pub fn modify(&self, source: &impl AsRawFd, interest: Event) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, source.as_raw_fd(), Some(interest))
+    }
+
+    /// Remove a source. Must be called before the source is dropped.
+    pub fn delete(&self, source: &impl AsRawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, source.as_raw_fd(), None)
+    }
+
+    /// Block until at least one source is ready or `timeout` elapses
+    /// (`None` = forever). Returns the number of events now in `events`
+    /// (previous contents are replaced).
+    pub fn wait(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<usize> {
+        events.clear();
+        let timeout_ms: c_int = match timeout {
+            None => -1,
+            Some(d) => {
+                let ms = d.as_millis().min(c_int::MAX as u128) as c_int;
+                // Round sub-millisecond remainders up so a 100µs timeout
+                // doesn't become a zero-timeout busy loop.
+                if d.subsec_nanos() % 1_000_000 != 0 {
+                    ms.saturating_add(1)
+                } else {
+                    ms
+                }
+            }
+        };
+        let cap = events.raw.len() as c_int;
+        loop {
+            // SAFETY: the buffer outlives the call and `cap` matches its
+            // length.
+            match cvt(unsafe { epoll_wait(self.epfd, events.raw.as_mut_ptr(), cap, timeout_ms) })
+            {
+                Ok(n) => {
+                    events.len = n as usize;
+                    return Ok(events.len);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        // SAFETY: owned fd, closed exactly once.
+        unsafe {
+            close(self.epfd);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+
+    #[test]
+    fn readiness_and_oneshot_rearm() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut a = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (mut b, _) = listener.accept().unwrap();
+        b.set_nonblocking(true).unwrap();
+
+        let poller = Poller::new().unwrap();
+        poller.add(&b, Event::readable(7)).unwrap();
+        let mut events = Events::with_capacity(8);
+
+        // Nothing ready yet.
+        assert_eq!(poller.wait(&mut events, Some(Duration::from_millis(10))).unwrap(), 0);
+
+        a.write_all(b"hi").unwrap();
+        assert_eq!(poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap(), 1);
+        let ev = events.iter().next().unwrap();
+        assert_eq!(ev.key, 7);
+        assert!(ev.readable);
+
+        // Oneshot: without a re-arm the same readiness is not redelivered.
+        assert_eq!(poller.wait(&mut events, Some(Duration::from_millis(10))).unwrap(), 0);
+
+        // Re-arm, and ask for write readiness too.
+        poller.modify(&b, Event::all(7)).unwrap();
+        assert_eq!(poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap(), 1);
+        let ev = events.iter().next().unwrap();
+        assert!(ev.readable && ev.writable);
+
+        let mut buf = [0u8; 2];
+        b.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"hi");
+
+        poller.delete(&b).unwrap();
+        a.write_all(b"x").unwrap();
+        assert_eq!(poller.wait(&mut events, Some(Duration::from_millis(10))).unwrap(), 0);
+    }
+
+    #[test]
+    fn hangup_reported_as_readable() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let a = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (b, _) = listener.accept().unwrap();
+        let poller = Poller::new().unwrap();
+        poller.add(&b, Event::readable(1)).unwrap();
+        drop(a);
+        let mut events = Events::new();
+        assert_eq!(poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap(), 1);
+        assert!(events.iter().next().unwrap().readable);
+        poller.delete(&b).unwrap();
+    }
+}
